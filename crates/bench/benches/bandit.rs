@@ -1,0 +1,35 @@
+//! Criterion: per-call overhead of the bandit policies — the cost Micro
+//! Adaptivity adds to every primitive call (§4.2 notes this overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ma_core::policy::VwGreedyParams;
+use ma_core::PolicyKind;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_per_call");
+    group.throughput(Throughput::Elements(1));
+    let kinds = [
+        ("fixed", PolicyKind::Fixed(0)),
+        (
+            "vw-greedy(1024,8,2)",
+            PolicyKind::VwGreedy(VwGreedyParams::table5_best()),
+        ),
+        ("eps-greedy(0.05)", PolicyKind::EpsGreedy { eps: 0.05 }),
+        ("eps-decreasing", PolicyKind::EpsDecreasing { eps0: 1.0 }),
+        ("ucb1", PolicyKind::Ucb1),
+    ];
+    for (name, kind) in kinds {
+        let mut p = kind.build(3, 42);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let f = p.choose();
+                p.observe(f, 1024, 4096);
+                std::hint::black_box(f)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion: bloom-filter lookup fused vs fission across filter sizes
+//! (Fig. 6's benchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ma_primitives::bloom::{sel_bloomfilter_fission, sel_bloomfilter_fused, BloomFilter};
+use ma_primitives::hashing::hash_u64;
+
+fn bench_bloom(c: &mut Criterion) {
+    let n = 16 * 1024;
+    let hashes: Vec<u64> = (0..n as u64).map(|i| hash_u64(i * 2 + 1)).collect();
+    let mut res = vec![0u32; n];
+    let mut group = c.benchmark_group("sel_bloomfilter");
+    group.throughput(Throughput::Elements(n as u64));
+    for size_kb in [16usize, 1024, 32 * 1024] {
+        let mut bf = BloomFilter::with_bytes(size_kb << 10);
+        for k in 0..(size_kb as u64) << 10 {
+            bf.insert_key(k * 7919);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("fused", format!("{size_kb}KB")),
+            &size_kb,
+            |b, _| b.iter(|| std::hint::black_box(sel_bloomfilter_fused(&mut res, &bf, &hashes, None))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fission", format!("{size_kb}KB")),
+            &size_kb,
+            |b, _| {
+                b.iter(|| std::hint::black_box(sel_bloomfilter_fission(&mut res, &bf, &hashes, None)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bloom);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: map flavors — selective vs full computation vs unrolling
+//! (Table 4 / Fig. 8's benchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ma_bench::measure::sel_vector;
+use ma_primitives::map_arith::{
+    map_col_col_full, map_col_col_icc, map_col_col_selective, map_col_col_unroll8,
+};
+use ma_primitives::ops::Mul;
+use ma_primitives::MapColCol;
+
+fn bench_map(c: &mut Criterion) {
+    let n = 16 * 1024;
+    let a: Vec<i64> = (0..n as i64).collect();
+    let b2: Vec<i64> = (0..n as i64).map(|i| i * 3).collect();
+    let mut res = vec![0i64; n];
+    let mut group = c.benchmark_group("map_mul_i64");
+    group.throughput(Throughput::Elements(n as u64));
+    let flavors: [(&str, MapColCol<i64>); 4] = [
+        ("selective", map_col_col_selective::<i64, Mul>),
+        ("full", map_col_col_full::<i64, Mul>),
+        ("unroll8", map_col_col_unroll8::<i64, Mul>),
+        ("icc", map_col_col_icc::<i64, Mul>),
+    ];
+    for density_pct in [10u32, 50, 100] {
+        let sel = sel_vector(n, density_pct as f64 / 100.0, 3);
+        let sv = if density_pct == 100 { None } else { Some(sel.as_slice()) };
+        for (name, f) in flavors {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{density_pct}%")),
+                &density_pct,
+                |bch, _| {
+                    bch.iter(|| {
+                        f(&mut res, &a, &b2, sv);
+                        std::hint::black_box(&res);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_map);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: selection flavors across selectivities (Fig. 1's benchmark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ma_bench::measure::selective_data;
+use ma_primitives::ops::Lt;
+use ma_primitives::selection::{
+    sel_col_val_branching, sel_col_val_clang, sel_col_val_icc, sel_col_val_no_branching,
+    sel_col_val_unroll8,
+};
+use ma_primitives::SelColVal;
+
+fn bench_selection(c: &mut Criterion) {
+    let n = 16 * 1024;
+    let mut group = c.benchmark_group("selection");
+    group.throughput(Throughput::Elements(n as u64));
+    let flavors: [(&str, SelColVal<i32>); 5] = [
+        ("branching", sel_col_val_branching::<i32, Lt>),
+        ("no_branching", sel_col_val_no_branching::<i32, Lt>),
+        ("icc", sel_col_val_icc::<i32, Lt>),
+        ("clang", sel_col_val_clang::<i32, Lt>),
+        ("unroll8", sel_col_val_unroll8::<i32, Lt>),
+    ];
+    for sel_pct in [1u32, 50, 99] {
+        let (data, thr) = selective_data(n, sel_pct as f64 / 100.0, 7);
+        let mut res = vec![0u32; n];
+        for (name, f) in flavors {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{sel_pct}%")),
+                &sel_pct,
+                |b, _| b.iter(|| std::hint::black_box(f(&mut res, &data, thr, None))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion: end-to-end TPC-H queries under the three engine modes —
+//! the per-query comparison behind Table 11 (tiny scale for bench time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ma_executor::{ExecConfig, FlavorAxis};
+use ma_tpch::{Runner, TpchData};
+use std::sync::Arc;
+
+fn bench_queries(c: &mut Criterion) {
+    let runner = Runner::new(Arc::new(TpchData::generate(0.01, 0xBE11C4)));
+    let mut group = c.benchmark_group("tpch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for q in [1usize, 6, 12] {
+        for (mode, cfg) in [
+            ("fixed", ExecConfig::fixed_default()),
+            ("heuristic", ExecConfig::heuristic()),
+            ("adaptive", ExecConfig::adaptive(FlavorAxis::All)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("q{q}"), mode),
+                &q,
+                |b, &q| {
+                    b.iter(|| {
+                        let r = runner.run(q, cfg.clone()).expect("query");
+                        std::hint::black_box(r.checksum)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

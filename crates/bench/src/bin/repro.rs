@@ -1,0 +1,73 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment|all> [--sf F] [--seed S]
+//!
+//! experiments: table1 fig1 fig2 fig4 fig5 fig6 table4 fig8 fig10 table5
+//!              tables6-10 table11 fig11
+//! ```
+//!
+//! TPC-H experiments default to scale factor 0.05 (≈300K lineitems); the
+//! micro-benchmarks run on fixed synthetic data. Output goes to stdout;
+//! absolute tick counts are host-specific, shapes and factors are the
+//! reproduction targets (see EXPERIMENTS.md).
+
+use ma_bench::experiments::{make_runner, run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut sf = 0.05f64;
+    let mut seed = 0xC0FFEEu64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sf needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage("no experiment given");
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!("generating TPC-H data at SF {sf} (seed {seed:#x}) ...");
+    let runner = make_runner(sf, seed);
+    for id in &ids {
+        match run_experiment(id, &runner, seed) {
+            Some(report) => {
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                usage("");
+            }
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: repro <experiment|all> [--sf F] [--seed S]");
+    eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+    std::process::exit(2);
+}

@@ -1,0 +1,335 @@
+//! Micro-benchmark experiments: Fig. 1, Fig. 5, Fig. 6, Table 4, Fig. 8.
+//!
+//! Each prints two blocks: the **host measurement** (the real curve on the
+//! machine running the experiment) and the **machine-model curves** for the
+//! paper's four machines (the cross-hardware claim). Shapes and winner
+//! changes are the reproduction target; absolute values are host-specific.
+
+use ma_machsim::{costmodel, ALL_MACHINES, MACHINE1, MACHINE3, MACHINE4};
+use ma_primitives::bloom::{
+    sel_bloomfilter_fission, sel_bloomfilter_fused, sel_bloomfilter_prefetch, BloomFilter,
+};
+use ma_primitives::hashing::hash_u64;
+use ma_primitives::map_arith::{
+    map_col_col_full, map_col_col_selective, map_col_col_unroll8, map_col_col_clang,
+};
+use ma_primitives::merge::{mergejoin_i64_clang, mergejoin_i64_gcc, mergejoin_i64_icc};
+use ma_primitives::ops::Mul;
+use ma_primitives::selection::{sel_col_val_branching, sel_col_val_no_branching};
+use ma_primitives::ops::Lt;
+
+use crate::measure::{selective_data, sel_vector, ticks_per_tuple};
+use crate::report::{render_curves, Series};
+
+/// Fig. 1: (no-)branching selection cost vs selectivity.
+pub fn fig01() -> String {
+    let n = 64 * 1024;
+    let mut out = String::from("=== Figure 1: (No-)Branching selection cost vs selectivity ===\n");
+    let sels: Vec<f64> = (0..=20).map(|i| i as f64 * 0.05).collect();
+    let mut host_br = Vec::new();
+    let mut host_nobr = Vec::new();
+    let mut res = vec![0u32; n];
+    for &s in &sels {
+        let (data, thr) = selective_data(n, s, 42);
+        host_br.push(ticks_per_tuple(n as u64, 15, || {
+            std::hint::black_box(sel_col_val_branching::<i32, Lt>(&mut res, &data, thr, None));
+        }));
+        host_nobr.push(ticks_per_tuple(n as u64, 15, || {
+            std::hint::black_box(sel_col_val_no_branching::<i32, Lt>(
+                &mut res, &data, thr, None,
+            ));
+        }));
+    }
+    let xs: Vec<String> = sels.iter().map(|s| format!("{:.0}%", s * 100.0)).collect();
+    let mut series = vec![
+        Series::new("host branching", host_br),
+        Series::new("host no-branch", host_nobr),
+    ];
+    for m in [&MACHINE1, &MACHINE3] {
+        series.push(Series::new(
+            format!("{} br", m.name),
+            sels.iter().map(|&s| costmodel::branching_cost(m, s)).collect(),
+        ));
+        series.push(Series::new(
+            format!("{} nobr", m.name),
+            sels.iter().map(|&s| costmodel::no_branching_cost(m, s)).collect(),
+        ));
+    }
+    out.push_str(&render_curves("selectivity", &xs, &series));
+    for m in &ALL_MACHINES {
+        let (lo, hi) = costmodel::branching_crossovers(m);
+        out.push_str(&format!(
+            "{}: modelled cross-overs at {:.0}% and {:.0}%\n",
+            m.name,
+            lo * 100.0,
+            hi * 100.0
+        ));
+    }
+    out
+}
+
+/// Fig. 5: merge-join — the best compiler style depends on the machine.
+pub fn fig05() -> String {
+    let mut out =
+        String::from("=== Figure 5: mergejoin — best compiler style depends on machine ===\n");
+    // Host: 1M right keys against 500K unique left keys, vectors of 1024.
+    let lkeys: Vec<i64> = (0..500_000).map(|i| i * 2).collect();
+    let rkeys: Vec<i64> = (0..1_000_000).collect();
+    let n = rkeys.len();
+    let mut rpos = vec![0u32; 1024];
+    let mut lidx = vec![0u32; 1024];
+    let styles: [(&str, ma_primitives::MergeJoinFn); 3] = [
+        ("gcc", mergejoin_i64_gcc),
+        ("icc", mergejoin_i64_icc),
+        ("clang", mergejoin_i64_clang),
+    ];
+    out.push_str("host measurement (ticks/tuple):\n");
+    for (name, f) in styles {
+        let t = ticks_per_tuple(n as u64, 7, || {
+            let mut cursor = 0;
+            for chunk in rkeys.chunks(1024) {
+                std::hint::black_box(f(&mut cursor, &lkeys, chunk, None, &mut rpos, &mut lidx));
+            }
+        });
+        out.push_str(&format!("  {name:<6} {t:>8.3}\n"));
+    }
+    out.push_str("machine models (cycles/tuple):\n");
+    let xs: Vec<String> = vec!["gcc".into(), "icc".into(), "clang".into()];
+    let series: Vec<Series> = [&MACHINE1, &MACHINE3, &MACHINE4]
+        .iter()
+        .map(|m| {
+            Series::new(
+                m.name,
+                ["gcc", "icc", "clang"]
+                    .iter()
+                    .map(|s| costmodel::mergejoin_cost(m, s))
+                    .collect(),
+            )
+        })
+        .collect();
+    out.push_str(&render_curves("style", &xs, &series));
+    out
+}
+
+/// Fig. 6: bloom-filter loop-fission speedup vs filter size.
+pub fn fig06() -> String {
+    let mut out = String::from("=== Figure 6: sel_bloomfilter speedup with loop fission ===\n");
+    let n = 64 * 1024;
+    let hashes: Vec<u64> = (0..n as u64).map(|i| hash_u64(i * 2 + 1)).collect();
+    let mut res = vec![0u32; 1024];
+    let sizes: Vec<usize> = (12..=27).map(|p| 1usize << p).collect();
+    let mut host = Vec::new();
+    let mut host_pf = Vec::new();
+    for &bytes in &sizes {
+        let mut bf = BloomFilter::with_bytes(bytes);
+        // ~1 key per 8 bits.
+        for k in 0..(bytes as u64) {
+            bf.insert_key(k * 7919);
+        }
+        let fused = ticks_per_tuple(n as u64, 5, || {
+            for chunk in hashes.chunks(1024) {
+                std::hint::black_box(sel_bloomfilter_fused(&mut res, &bf, chunk, None));
+            }
+        });
+        let fission = ticks_per_tuple(n as u64, 5, || {
+            for chunk in hashes.chunks(1024) {
+                std::hint::black_box(sel_bloomfilter_fission(&mut res, &bf, chunk, None));
+            }
+        });
+        let prefetch = ticks_per_tuple(n as u64, 5, || {
+            for chunk in hashes.chunks(1024) {
+                std::hint::black_box(sel_bloomfilter_prefetch(&mut res, &bf, chunk, None));
+            }
+        });
+        host.push(fused / fission);
+        host_pf.push(fused / prefetch);
+    }
+    let xs: Vec<String> = sizes.iter().map(|s| format!("{}K", s >> 10)).collect();
+    let mut series = vec![
+        Series::new("host fission", host),
+        Series::new("host prefetch", host_pf),
+    ];
+    for m in &ALL_MACHINES {
+        series.push(Series::new(
+            m.name,
+            sizes
+                .iter()
+                .map(|&b| costmodel::fission_speedup(m, b as u64))
+                .collect(),
+        ));
+    }
+    out.push_str(&render_curves("bloom size", &xs, &series));
+    out
+}
+
+/// Table 4: hand vs compiler unrolling (cycles/tuple), machines 1 and 3.
+pub fn table4() -> String {
+    let mut out = String::from("=== Table 4: map_mul hand vs compiler unrolling ===\n");
+    // Host: our concrete variants of the dense i32 multiply.
+    let n = 64 * 1024;
+    let a: Vec<i32> = (0..n as i32).collect();
+    let b: Vec<i32> = (0..n as i32).map(|i| i.wrapping_mul(3)).collect();
+    let mut res = vec![0i32; n];
+    out.push_str("host (ticks/tuple):\n");
+    for (name, f) in [
+        (
+            "selective (plain loop)",
+            map_col_col_selective::<i32, Mul> as ma_primitives::MapColCol<i32>,
+        ),
+        ("full (dense/SIMD)", map_col_col_full::<i32, Mul>),
+        ("hand unroll8", map_col_col_unroll8::<i32, Mul>),
+        ("clang style (zip)", map_col_col_clang::<i32, Mul>),
+    ] {
+        let t = ticks_per_tuple(n as u64, 15, || {
+            f(&mut res, &a, &b, None);
+            std::hint::black_box(&res);
+        });
+        out.push_str(&format!("  {name:<24} {t:>8.3}\n"));
+    }
+    out.push_str("machine models (cycles/tuple):\n");
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>14} {:>14} {:>12} {:>12}\n",
+        "machine", "hand-u8", "simd+unroll", "no-simd+unrl", "simd", "neither"
+    ));
+    for m in &ALL_MACHINES {
+        out.push_str(&format!(
+            "{:<22} {:>10.2} {:>14.2} {:>14.2} {:>12.2} {:>12.2}\n",
+            m.name,
+            costmodel::unroll_table_cell(m, true, true, true),
+            costmodel::unroll_table_cell(m, false, true, true),
+            costmodel::unroll_table_cell(m, false, false, true),
+            costmodel::unroll_table_cell(m, false, true, false),
+            costmodel::unroll_table_cell(m, false, false, false),
+        ));
+    }
+    out
+}
+
+/// Fig. 8: full-computation speedup vs input selectivity, per data type.
+pub fn fig08() -> String {
+    let mut out = String::from("=== Figure 8: map_mul full-computation speedup ===\n");
+    let n = 16 * 1024;
+    let densities: Vec<f64> = (1..=10).map(|i| i as f64 * 0.1).collect();
+    let xs: Vec<String> = densities.iter().map(|d| format!("{:.0}%", d * 100.0)).collect();
+
+    fn host_curve<T: Copy + Default>(
+        n: usize,
+        densities: &[f64],
+        data: &[T],
+        selective: ma_primitives::MapColCol<T>,
+        full: ma_primitives::MapColCol<T>,
+    ) -> Vec<f64> {
+        let mut res = vec![T::default(); n];
+        densities
+            .iter()
+            .map(|&d| {
+                let sel = sel_vector(n, d, 7);
+                let t_sel = ticks_per_tuple(n as u64, 11, || {
+                    selective(&mut res, data, data, Some(&sel));
+                    std::hint::black_box(&res);
+                });
+                let t_full = ticks_per_tuple(n as u64, 11, || {
+                    full(&mut res, data, data, Some(&sel));
+                    std::hint::black_box(&res);
+                });
+                t_sel / t_full
+            })
+            .collect()
+    }
+
+    let d16: Vec<i16> = (0..n).map(|i| i as i16).collect();
+    let d32: Vec<i32> = (0..n as i32).collect();
+    let d64: Vec<i64> = (0..n as i64).collect();
+    let mut series = vec![
+        Series::new(
+            "host i16",
+            host_curve(
+                n,
+                &densities,
+                &d16,
+                map_col_col_selective::<i16, Mul>,
+                map_col_col_full::<i16, Mul>,
+            ),
+        ),
+        Series::new(
+            "host i32",
+            host_curve(
+                n,
+                &densities,
+                &d32,
+                map_col_col_selective::<i32, Mul>,
+                map_col_col_full::<i32, Mul>,
+            ),
+        ),
+        Series::new(
+            "host i64",
+            host_curve(
+                n,
+                &densities,
+                &d64,
+                map_col_col_selective::<i64, Mul>,
+                map_col_col_full::<i64, Mul>,
+            ),
+        ),
+    ];
+    for (m, elem, label) in [
+        (&MACHINE1, 4, "m1 i32"),
+        (&MACHINE3, 4, "m3 i32"),
+        (&MACHINE1, 2, "m1 i16"),
+        (&MACHINE1, 8, "m1 i64"),
+    ] {
+        series.push(Series::new(
+            label,
+            densities
+                .iter()
+                .map(|&d| costmodel::full_speedup(m, elem, d))
+                .collect(),
+        ));
+    }
+    out.push_str(&render_curves("density", &xs, &series));
+    out.push_str("modelled cross-over densities (full computation wins above):\n");
+    for m in &ALL_MACHINES {
+        out.push_str(&format!(
+            "  {:<22} i16 {:>4.0}%  i32 {:>4.0}%  i64 {}\n",
+            m.name,
+            costmodel::full_crossover(m, 2) * 100.0,
+            costmodel::full_crossover(m, 4) * 100.0,
+            if costmodel::full_crossover(m, 8) >= 0.99 {
+                "never".to_string()
+            } else {
+                format!("{:>4.0}%", costmodel::full_crossover(m, 8) * 100.0)
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig01_produces_curves_and_crossovers() {
+        let txt = fig01();
+        assert!(txt.contains("host branching"));
+        assert!(txt.contains("cross-overs"));
+        assert!(txt.lines().count() > 20);
+    }
+
+    #[test]
+    fn fig05_lists_three_styles() {
+        let txt = fig05();
+        for s in ["gcc", "icc", "clang", "machine1", "machine3"] {
+            assert!(txt.contains(s), "missing {s}");
+        }
+    }
+
+    #[test]
+    fn table4_has_all_machines() {
+        let txt = table4();
+        for m in ["machine1", "machine2", "machine3", "machine4"] {
+            assert!(txt.contains(m));
+        }
+        assert!(txt.contains("hand unroll8"));
+    }
+}

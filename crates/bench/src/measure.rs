@@ -1,0 +1,72 @@
+//! Host micro-measurement helpers: run a primitive repeatedly over a
+//! vector and report ticks/tuple, with warmup and median-of-runs.
+
+use ma_core::cycles::ticks_now;
+use ma_core::SplitMix64;
+
+/// Measures `f` over `reps` repetitions of a workload covering `tuples`
+/// tuples per call, returning the median ticks/tuple.
+pub fn ticks_per_tuple(tuples: u64, reps: usize, mut f: impl FnMut()) -> f64 {
+    // Warmup.
+    for _ in 0..3 {
+        f();
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = ticks_now();
+        f();
+        let dt = ticks_now().saturating_sub(t0);
+        samples.push(dt as f64 / tuples as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Generates an i32 vector of `n` values where a fraction `selectivity` is
+/// below the returned threshold — uniform data for selection sweeps.
+pub fn selective_data(n: usize, selectivity: f64, seed: u64) -> (Vec<i32>, i32) {
+    let mut rng = SplitMix64::new(seed);
+    let data: Vec<i32> = (0..n).map(|_| (rng.next_u64() % 1_000_000) as i32).collect();
+    let threshold = (1_000_000.0 * selectivity) as i32;
+    (data, threshold)
+}
+
+/// A strictly increasing selection vector of the given density over `n`
+/// positions.
+pub fn sel_vector(n: usize, density: f64, seed: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n as u32)
+        .filter(|_| rng.next_f64() < density)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selective_data_hits_target_rate() {
+        let (data, thr) = selective_data(100_000, 0.3, 1);
+        let frac = data.iter().filter(|&&x| x < thr).count() as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn sel_vector_is_monotonic_with_density() {
+        let s = sel_vector(10_000, 0.5, 2);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        let frac = s.len() as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn ticks_per_tuple_returns_positive() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let mut sink = 0u64;
+        let t = ticks_per_tuple(10_000, 5, || {
+            sink = sink.wrapping_add(data.iter().sum::<u64>());
+        });
+        assert!(t > 0.0);
+        assert!(sink != 1); // keep the work alive
+    }
+}

@@ -1,0 +1,151 @@
+//! Adaptive dispatch: the per-instance glue between a [`FlavorSet`], a
+//! bandit [`Policy`] and profiling.
+//!
+//! One `AdaptiveDispatch` exists per *primitive instance* in a query plan
+//! (§1.1 distinguishes instances from functions because each instance sees a
+//! different data stream). On every call it asks the policy for a flavor,
+//! times the call, and feeds the observation back — this is the change §3.2
+//! describes inside the expression evaluator.
+
+use std::sync::Arc;
+
+use crate::cycles::ticks_now;
+use crate::flavor::FlavorSet;
+use crate::policy::Policy;
+use crate::profile::PrimitiveProfile;
+
+/// Chooses, times and profiles calls to one primitive instance.
+pub struct AdaptiveDispatch<F: Copy> {
+    set: Arc<FlavorSet<F>>,
+    policy: Box<dyn Policy>,
+    profile: PrimitiveProfile,
+    /// APHs per flavor are optionally kept for figure generation
+    /// (Fig. 11 plots per-flavor histories alongside the adaptive run).
+    last_flavor: usize,
+}
+
+impl<F: Copy> AdaptiveDispatch<F> {
+    /// Creates a dispatcher. The policy must have been built with
+    /// `set.len()` arms.
+    pub fn new(set: Arc<FlavorSet<F>>, policy: Box<dyn Policy>) -> Self {
+        assert_eq!(
+            policy.arms(),
+            set.len(),
+            "policy arms must match flavor count for {}",
+            set.signature()
+        );
+        AdaptiveDispatch {
+            set,
+            policy,
+            profile: PrimitiveProfile::with_aph(),
+            last_flavor: 0,
+        }
+    }
+
+    /// Invokes the instance once over `tuples` tuples: the policy picks a
+    /// flavor, `call` runs it, the observed cost is recorded.
+    #[inline]
+    pub fn invoke<R>(&mut self, tuples: u64, call: impl FnOnce(F) -> R) -> R {
+        let fi = self.policy.choose();
+        self.last_flavor = fi;
+        let f = self.set.flavor(fi);
+        let t0 = ticks_now();
+        let out = call(f);
+        let ticks = ticks_now().saturating_sub(t0);
+        self.policy.observe(fi, tuples, ticks);
+        self.profile.record(tuples, ticks);
+        out
+    }
+
+    /// The flavor used by the most recent call.
+    pub fn last_flavor(&self) -> usize {
+        self.last_flavor
+    }
+
+    /// The flavor set driving this instance.
+    pub fn set(&self) -> &Arc<FlavorSet<F>> {
+        &self.set
+    }
+
+    /// Cumulative + APH profile of this instance.
+    pub fn profile(&self) -> &PrimitiveProfile {
+        &self.profile
+    }
+
+    /// The policy (e.g. to inspect vw-greedy state in reports).
+    pub fn policy(&self) -> &dyn Policy {
+        self.policy.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor::{FlavorInfo, FlavorSource};
+    use crate::policy::PolicyKind;
+
+    type SumFn = fn(&[u64]) -> u64;
+
+    fn sum_loop(v: &[u64]) -> u64 {
+        let mut acc = 0;
+        for &x in v {
+            acc += x;
+        }
+        acc
+    }
+    fn sum_iter(v: &[u64]) -> u64 {
+        v.iter().sum()
+    }
+
+    fn mk_set() -> FlavorSet<SumFn> {
+        let mut s = FlavorSet::new(
+            "aggr_sum_u64",
+            FlavorInfo::new("loop", FlavorSource::Default),
+            sum_loop as SumFn,
+        );
+        s.register(FlavorInfo::new("iter", FlavorSource::CompilerStyle), sum_iter);
+        s
+    }
+
+    #[test]
+    fn invoke_runs_and_profiles() {
+        let set = Arc::new(mk_set());
+        let policy = PolicyKind::Fixed(1).build(2, 0);
+        let mut d = AdaptiveDispatch::new(set, policy);
+        let data: Vec<u64> = (0..1000).collect();
+        let out = d.invoke(1000, |f| f(&data));
+        assert_eq!(out, 499_500);
+        assert_eq!(d.last_flavor(), 1);
+        assert_eq!(d.profile().calls, 1);
+        assert_eq!(d.profile().tot_tuples, 1000);
+    }
+
+    #[test]
+    fn adaptive_policy_exercises_both_flavors() {
+        let set = Arc::new(mk_set());
+        let policy = PolicyKind::VwGreedy(crate::policy::VwGreedyParams {
+            explore_period: 64,
+            exploit_period: 16,
+            explore_length: 4,
+        })
+        .build(2, 9);
+        let mut d = AdaptiveDispatch::new(set, policy);
+        let data: Vec<u64> = (0..1024).collect();
+        let mut used = [false, false];
+        for _ in 0..512 {
+            d.invoke(1024, |f| f(&data));
+            used[d.last_flavor()] = true;
+        }
+        assert!(used[0] && used[1], "both flavors should be exercised");
+        assert_eq!(d.profile().calls, 512);
+        assert!(d.profile().tot_ticks > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "policy arms must match")]
+    fn arm_mismatch_panics() {
+        let set = Arc::new(mk_set());
+        let policy = PolicyKind::Fixed(0).build(3, 0);
+        AdaptiveDispatch::new(set, policy);
+    }
+}

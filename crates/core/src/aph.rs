@@ -1,0 +1,316 @@
+//! Approximated Performance History (APH).
+//!
+//! §1.1 of the paper: keeping one measurement per primitive call is too
+//! heavyweight (an analytical query calls a primitive instance 100K+ times),
+//! so Vectorwise keeps a histogram of at most 512 buckets. Initially each
+//! call appends one bucket; when all 512 are used, neighbouring buckets are
+//! merged pairwise so 256 remain, and from then on each bucket covers twice
+//! as many calls. After `k` merge rounds each bucket aggregates `2^k`
+//! consecutive calls.
+//!
+//! Every "cycles/tuple during a query" plot in the paper (Figures 2, 4, 10,
+//! 11) is an APH rendered with call number on the X axis.
+
+/// One APH bucket: aggregate statistics over a run of consecutive calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AphBucket {
+    /// Number of primitive calls aggregated into the bucket.
+    pub calls: u64,
+    /// Total tuples processed by those calls.
+    pub tuples: u64,
+    /// Total ticks spent in those calls.
+    pub ticks: u64,
+}
+
+impl AphBucket {
+    fn absorb(&mut self, other: &AphBucket) {
+        self.calls += other.calls;
+        self.tuples += other.tuples;
+        self.ticks += other.ticks;
+    }
+
+    /// Average cost in ticks per tuple over the bucket.
+    pub fn cost_per_tuple(&self) -> f64 {
+        if self.tuples == 0 {
+            0.0
+        } else {
+            self.ticks as f64 / self.tuples as f64
+        }
+    }
+}
+
+/// Bounded performance histogram over the lifetime of a primitive instance.
+#[derive(Debug, Clone)]
+pub struct Aph {
+    max_buckets: usize,
+    /// Calls aggregated per full bucket: `2^k` after `k` merge rounds.
+    calls_per_bucket: u64,
+    buckets: Vec<AphBucket>,
+    pending: AphBucket,
+}
+
+/// The paper's bucket budget.
+pub const DEFAULT_APH_BUCKETS: usize = 512;
+
+impl Default for Aph {
+    fn default() -> Self {
+        Aph::new(DEFAULT_APH_BUCKETS)
+    }
+}
+
+impl Aph {
+    /// Creates an APH with the given bucket budget (must be even and ≥ 2).
+    pub fn new(max_buckets: usize) -> Self {
+        assert!(max_buckets >= 2 && max_buckets.is_multiple_of(2));
+        Aph {
+            max_buckets,
+            calls_per_bucket: 1,
+            buckets: Vec::with_capacity(max_buckets),
+            pending: AphBucket::default(),
+        }
+    }
+
+    /// Records one primitive call.
+    pub fn record(&mut self, tuples: u64, ticks: u64) {
+        self.pending.absorb(&AphBucket {
+            calls: 1,
+            tuples,
+            ticks,
+        });
+        if self.pending.calls == self.calls_per_bucket {
+            self.buckets.push(self.pending);
+            self.pending = AphBucket::default();
+            if self.buckets.len() == self.max_buckets {
+                self.halve();
+            }
+        }
+    }
+
+    fn halve(&mut self) {
+        let mut merged = Vec::with_capacity(self.max_buckets);
+        for pair in self.buckets.chunks_exact(2) {
+            let mut b = pair[0];
+            b.absorb(&pair[1]);
+            merged.push(b);
+        }
+        self.buckets = merged;
+        self.calls_per_bucket *= 2;
+    }
+
+    /// Completed buckets (excludes the partial pending bucket).
+    pub fn buckets(&self) -> &[AphBucket] {
+        &self.buckets
+    }
+
+    /// The partially filled bucket at the end of the history, if any calls
+    /// are pending.
+    pub fn pending(&self) -> Option<&AphBucket> {
+        (self.pending.calls > 0).then_some(&self.pending)
+    }
+
+    /// Calls covered by each *full* bucket (`2^k`).
+    pub fn calls_per_bucket(&self) -> u64 {
+        self.calls_per_bucket
+    }
+
+    /// Total calls recorded.
+    pub fn total_calls(&self) -> u64 {
+        self.buckets.iter().map(|b| b.calls).sum::<u64>() + self.pending.calls
+    }
+
+    /// Total tuples recorded.
+    pub fn total_tuples(&self) -> u64 {
+        self.buckets.iter().map(|b| b.tuples).sum::<u64>() + self.pending.tuples
+    }
+
+    /// Total ticks recorded.
+    pub fn total_ticks(&self) -> u64 {
+        self.buckets.iter().map(|b| b.ticks).sum::<u64>() + self.pending.ticks
+    }
+
+    /// Renders the history as `(first_call_number, cost_per_tuple)` points —
+    /// the paper's Figure-2-style X axis. Includes the pending bucket.
+    pub fn series(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        let mut call = 0u64;
+        for b in &self.buckets {
+            out.push((call, b.cost_per_tuple()));
+            call += b.calls;
+        }
+        if self.pending.calls > 0 {
+            out.push((call, self.pending.cost_per_tuple()));
+        }
+        out
+    }
+
+    /// Pointwise minimum of several APHs over the *same* call stream: the
+    /// approximated optimum OPT used in §4.1 ("taking the minimum time among
+    /// all flavors for each APH bucket"). All histories must cover the same
+    /// number of calls. Returns total ticks of the bucket-wise minimum.
+    pub fn opt_ticks(histories: &[&Aph]) -> u64 {
+        assert!(!histories.is_empty());
+        let n = histories[0].total_calls();
+        assert!(
+            histories.iter().all(|h| h.total_calls() == n),
+            "OPT requires aligned histories"
+        );
+        // Align on the coarsest granularity among the histories.
+        let series: Vec<Vec<(u64, &AphBucket)>> = histories
+            .iter()
+            .map(|h| {
+                let mut v = Vec::with_capacity(h.buckets.len() + 1);
+                let mut call = 0;
+                for b in &h.buckets {
+                    v.push((call, b));
+                    call += b.calls;
+                }
+                if h.pending.calls > 0 {
+                    v.push((call, &h.pending));
+                }
+                v
+            })
+            .collect();
+        // Walk call ranges; within each range take min cost/tuple, weight by
+        // the range's tuple count (taken from the first history).
+        let boundaries: Vec<u64> = {
+            let mut b: Vec<u64> = series
+                .iter()
+                .flat_map(|s| s.iter().map(|&(c, _)| c))
+                .collect();
+            b.push(n);
+            b.sort_unstable();
+            b.dedup();
+            b
+        };
+        let mut total = 0.0f64;
+        for w in boundaries.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if hi <= lo {
+                continue;
+            }
+            let mut min_cost = f64::INFINITY;
+            let mut tuples_here = 0.0f64;
+            for s in &series {
+                // Find the bucket covering `lo` in this history.
+                let idx = match s.binary_search_by(|&(c, _)| c.cmp(&lo)) {
+                    Ok(i) => i,
+                    Err(i) => i - 1,
+                };
+                let (start, b) = s[idx];
+                debug_assert!(lo >= start);
+                let cost = b.cost_per_tuple();
+                if cost < min_cost {
+                    min_cost = cost;
+                }
+                if tuples_here == 0.0 && b.calls > 0 {
+                    // Approximate tuples in the range as proportional share.
+                    tuples_here = b.tuples as f64 * (hi - lo) as f64 / b.calls as f64;
+                }
+            }
+            total += min_cost * tuples_here;
+        }
+        total.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_one_bucket_per_call_before_merge() {
+        let mut a = Aph::new(8);
+        for i in 0..5 {
+            a.record(100, 100 * (i + 1));
+        }
+        assert_eq!(a.buckets().len(), 5);
+        assert_eq!(a.calls_per_bucket(), 1);
+        assert_eq!(a.total_calls(), 5);
+    }
+
+    #[test]
+    fn halves_when_full() {
+        let mut a = Aph::new(8);
+        for _ in 0..8 {
+            a.record(10, 20);
+        }
+        // Reaching 8 buckets triggers a merge down to 4, each covering 2.
+        assert_eq!(a.buckets().len(), 4);
+        assert_eq!(a.calls_per_bucket(), 2);
+        assert_eq!(a.total_calls(), 8);
+        assert_eq!(a.total_tuples(), 80);
+        for b in a.buckets() {
+            assert_eq!(b.calls, 2);
+            assert_eq!(b.tuples, 20);
+            assert_eq!(b.ticks, 40);
+        }
+    }
+
+    #[test]
+    fn repeated_halving_bounds_bucket_count() {
+        let mut a = Aph::new(8);
+        for _ in 0..1000 {
+            a.record(1, 3);
+        }
+        assert!(a.buckets().len() < 8);
+        assert_eq!(a.total_calls(), 1000);
+        assert_eq!(a.total_ticks(), 3000);
+        // 1000 calls in <8 buckets needs >=128 calls/bucket (power of two).
+        assert!(a.calls_per_bucket() >= 128);
+        assert!(a.calls_per_bucket().is_power_of_two());
+    }
+
+    #[test]
+    fn pending_bucket_exposed() {
+        let mut a = Aph::new(4);
+        for _ in 0..4 {
+            a.record(5, 10);
+        }
+        // now calls_per_bucket = 2, 2 buckets; one more call stays pending
+        a.record(5, 10);
+        assert!(a.pending().is_some());
+        assert_eq!(a.total_calls(), 5);
+    }
+
+    #[test]
+    fn series_costs() {
+        let mut a = Aph::new(8);
+        a.record(10, 50); // 5 ticks/tuple
+        a.record(10, 150); // 15 ticks/tuple
+        let s = a.series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (0, 5.0));
+        assert_eq!(s[1], (1, 15.0));
+    }
+
+    #[test]
+    fn cost_per_tuple_handles_zero_tuples() {
+        assert_eq!(AphBucket::default().cost_per_tuple(), 0.0);
+    }
+
+    #[test]
+    fn opt_picks_bucketwise_minimum() {
+        // Flavor A costs 10 ticks/tuple in the first half, 2 in the second;
+        // flavor B the reverse. OPT should cost ~2 everywhere.
+        let mut a = Aph::new(512);
+        let mut b = Aph::new(512);
+        for i in 0..100u64 {
+            let (ca, cb) = if i < 50 { (10, 2) } else { (2, 10) };
+            a.record(10, ca * 10);
+            b.record(10, cb * 10);
+        }
+        let opt = Aph::opt_ticks(&[&a, &b]);
+        assert_eq!(opt, 2 * 10 * 100);
+        assert!(opt < a.total_ticks());
+        assert!(opt < b.total_ticks());
+    }
+
+    #[test]
+    fn opt_of_single_history_is_its_total() {
+        let mut a = Aph::new(512);
+        for _ in 0..10 {
+            a.record(7, 21);
+        }
+        assert_eq!(Aph::opt_ticks(&[&a]), a.total_ticks());
+    }
+}

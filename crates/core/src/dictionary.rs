@@ -1,0 +1,164 @@
+//! The Primitive Dictionary.
+//!
+//! §1.1: "The primitive signature string is used in the Primitive Dictionary
+//! component of the query evaluator to implement function resolution; hence
+//! this dictionary maps signature strings into function pointers. As part of
+//! the Micro Adaptivity feature, we changed the Primitive Dictionary so as to
+//! allow it to store multiple function pointers for each signature."
+//!
+//! Because different primitive families have different concrete function
+//! types, the dictionary stores type-erased [`FlavorSet`]s and hands back the
+//! typed set on lookup. A mismatching type at lookup is a plan-construction
+//! bug and reported as such.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::flavor::FlavorSet;
+
+/// Maps primitive signature strings to flavor sets.
+#[derive(Default)]
+pub struct PrimitiveDictionary {
+    entries: HashMap<String, Box<dyn Any + Send + Sync>>,
+}
+
+impl PrimitiveDictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the flavor set for its signature.
+    ///
+    /// Registration is dynamic: flavor libraries may call this at startup or
+    /// while the system is active (§1.1).
+    pub fn register<F>(&mut self, set: FlavorSet<F>)
+    where
+        F: Copy + Send + Sync + 'static,
+    {
+        self.entries
+            .insert(set.signature().to_string(), Box::new(Arc::new(set)));
+    }
+
+    /// Looks up the flavor set for `signature` with concrete function type
+    /// `F`. Returns `None` when the signature is unknown.
+    ///
+    /// # Panics
+    /// If the signature exists but was registered with a different function
+    /// type — a bug in plan construction, not a runtime condition.
+    pub fn lookup<F>(&self, signature: &str) -> Option<Arc<FlavorSet<F>>>
+    where
+        F: Copy + Send + Sync + 'static,
+    {
+        self.entries.get(signature).map(|e| {
+            e.downcast_ref::<Arc<FlavorSet<F>>>()
+                .unwrap_or_else(|| {
+                    panic!("primitive {signature} registered with a different function type")
+                })
+                .clone()
+        })
+    }
+
+    /// Whether a signature is registered.
+    pub fn contains(&self, signature: &str) -> bool {
+        self.entries.contains_key(signature)
+    }
+
+    /// All registered signatures (unordered).
+    pub fn signatures(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|s| s.as_str())
+    }
+
+    /// Number of registered signatures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flavor::{FlavorInfo, FlavorSource};
+
+    type SelFn = fn(&[i32], i32) -> usize;
+    type MapFn = fn(&[i32], &mut [i32]);
+
+    fn count_lt(col: &[i32], v: i32) -> usize {
+        col.iter().filter(|&&x| x < v).count()
+    }
+    fn copy(src: &[i32], dst: &mut [i32]) {
+        dst.copy_from_slice(src);
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut d = PrimitiveDictionary::new();
+        d.register(FlavorSet::<SelFn>::new(
+            "sel_lt_i32",
+            FlavorInfo::new("branching", FlavorSource::Default),
+            count_lt,
+        ));
+        d.register(FlavorSet::<MapFn>::new(
+            "map_copy_i32",
+            FlavorInfo::new("default", FlavorSource::Default),
+            copy,
+        ));
+        assert_eq!(d.len(), 2);
+        assert!(d.contains("sel_lt_i32"));
+        let s = d.lookup::<SelFn>("sel_lt_i32").unwrap();
+        assert_eq!((s.flavor(0))(&[1, 5, 2], 3), 2);
+        assert!(d.lookup::<SelFn>("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different function type")]
+    fn type_mismatch_panics() {
+        let mut d = PrimitiveDictionary::new();
+        d.register(FlavorSet::<SelFn>::new(
+            "sel_lt_i32",
+            FlavorInfo::new("branching", FlavorSource::Default),
+            count_lt,
+        ));
+        let _ = d.lookup::<MapFn>("sel_lt_i32");
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut d = PrimitiveDictionary::new();
+        let mut set = FlavorSet::<SelFn>::new(
+            "sel_lt_i32",
+            FlavorInfo::new("branching", FlavorSource::Default),
+            count_lt,
+        );
+        d.register(set.clone());
+        set.register(FlavorInfo::new("nobranch", FlavorSource::Algorithmic), count_lt);
+        d.register(set);
+        assert_eq!(d.lookup::<SelFn>("sel_lt_i32").unwrap().len(), 2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn signatures_iterates_all() {
+        let mut d = PrimitiveDictionary::new();
+        assert!(d.is_empty());
+        d.register(FlavorSet::<SelFn>::new(
+            "a",
+            FlavorInfo::new("x", FlavorSource::Default),
+            count_lt,
+        ));
+        d.register(FlavorSet::<SelFn>::new(
+            "b",
+            FlavorInfo::new("x", FlavorSource::Default),
+            count_lt,
+        ));
+        let mut sigs: Vec<&str> = d.signatures().collect();
+        sigs.sort_unstable();
+        assert_eq!(sigs, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Flavors: alternative implementations of the same primitive, plus the
+//! metadata Vectorwise keeps about each (§1.1 *Flavors*).
+
+/// Where a flavor came from. The paper's flavor sets are either *algorithmic
+/// variations* (branch/no-branch, loop fission, full computation,
+/// hand-unrolling) or *compiler variation* (gcc/icc/clang builds of the same
+/// source; emulated here by distinct code styles — see DESIGN.md §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlavorSource {
+    /// The build that unmodified Vectorwise would ship.
+    Default,
+    /// An algorithmic variation enabled by a template compilation flag.
+    Algorithmic,
+    /// A compiler/code-style variation.
+    CompilerStyle,
+}
+
+/// Metadata delivered with a flavor when it is registered.
+#[derive(Debug, Clone)]
+pub struct FlavorInfo {
+    /// Short name, e.g. `"branching"`, `"gcc"`, `"fission"`.
+    pub name: &'static str,
+    /// Provenance.
+    pub source: FlavorSource,
+    /// True when this entry is an alternate *name* for a function already
+    /// registered under another flavor of the same set (e.g. the `gcc` code
+    /// style of a selection primitive *is* the plain `branching` loop).
+    /// [`FlavorSet::canonical_subset`] drops aliases so an adaptive policy
+    /// never wastes arms on duplicates.
+    pub alias: bool,
+}
+
+impl FlavorInfo {
+    /// Convenience constructor (non-alias).
+    pub fn new(name: &'static str, source: FlavorSource) -> Self {
+        FlavorInfo {
+            name,
+            source,
+            alias: false,
+        }
+    }
+
+    /// An alias entry: same function as another flavor, different name.
+    pub fn alias(name: &'static str, source: FlavorSource) -> Self {
+        FlavorInfo {
+            name,
+            source,
+            alias: true,
+        }
+    }
+}
+
+/// A set of interchangeable implementations for one primitive signature.
+///
+/// `F` is the concrete function-pointer type of the primitive family (all
+/// flavors of a signature necessarily share it). Flavor index 0 is the
+/// *default* flavor — the one a non-adaptive build would always call.
+#[derive(Debug, Clone)]
+pub struct FlavorSet<F> {
+    signature: String,
+    infos: Vec<FlavorInfo>,
+    funcs: Vec<F>,
+}
+
+impl<F: Copy> FlavorSet<F> {
+    /// Creates a set for `signature` containing a single default flavor.
+    pub fn new(signature: impl Into<String>, default_info: FlavorInfo, default_fn: F) -> Self {
+        FlavorSet {
+            signature: signature.into(),
+            infos: vec![default_info],
+            funcs: vec![default_fn],
+        }
+    }
+
+    /// Creates a set from parallel metadata/function lists.
+    ///
+    /// # Panics
+    /// If the lists are empty or of different lengths.
+    pub fn from_parts(
+        signature: impl Into<String>,
+        infos: Vec<FlavorInfo>,
+        funcs: Vec<F>,
+    ) -> Self {
+        assert!(!infos.is_empty(), "a flavor set needs at least one flavor");
+        assert_eq!(infos.len(), funcs.len());
+        FlavorSet {
+            signature: signature.into(),
+            infos,
+            funcs,
+        }
+    }
+
+    /// Registers an additional flavor (the dynamic registration mechanism of
+    /// §1.1: components may add flavors at startup or while running).
+    pub fn register(&mut self, info: FlavorInfo, f: F) {
+        self.infos.push(info);
+        self.funcs.push(f);
+    }
+
+    /// The primitive signature string, e.g. `"sel_lt_i32_col_val"`.
+    pub fn signature(&self) -> &str {
+        &self.signature
+    }
+
+    /// Number of flavors.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True if the set has no flavors (cannot happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// The function pointer of flavor `i`.
+    #[inline]
+    pub fn flavor(&self, i: usize) -> F {
+        self.funcs[i]
+    }
+
+    /// Metadata of flavor `i`.
+    pub fn info(&self, i: usize) -> &FlavorInfo {
+        &self.infos[i]
+    }
+
+    /// All metadata, index-aligned with functions.
+    pub fn infos(&self) -> &[FlavorInfo] {
+        &self.infos
+    }
+
+    /// Index of the flavor named `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.infos.iter().position(|i| i.name == name)
+    }
+
+    /// The set without alias entries (every remaining flavor is a distinct
+    /// implementation). Never empty: flavor 0 is by convention canonical.
+    pub fn canonical_subset(&self) -> FlavorSet<F> {
+        let mut infos = Vec::new();
+        let mut funcs = Vec::new();
+        for (i, info) in self.infos.iter().enumerate() {
+            if !info.alias {
+                infos.push(info.clone());
+                funcs.push(self.funcs[i]);
+            }
+        }
+        assert!(!infos.is_empty(), "flavor 0 must be canonical");
+        FlavorSet {
+            signature: self.signature.clone(),
+            infos,
+            funcs,
+        }
+    }
+
+    /// Restricts the set to the named flavors (order preserved as given).
+    /// Unknown names are ignored. Returns `None` if nothing matches.
+    pub fn subset(&self, names: &[&str]) -> Option<FlavorSet<F>> {
+        let mut infos = Vec::new();
+        let mut funcs = Vec::new();
+        for n in names {
+            if let Some(i) = self.index_of(n) {
+                infos.push(self.infos[i].clone());
+                funcs.push(self.funcs[i]);
+            }
+        }
+        if infos.is_empty() {
+            None
+        } else {
+            Some(FlavorSet {
+                signature: self.signature.clone(),
+                infos,
+                funcs,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type UnaryFn = fn(i32) -> i32;
+
+    fn double(x: i32) -> i32 {
+        x * 2
+    }
+    fn double_shift(x: i32) -> i32 {
+        x << 1
+    }
+
+    #[test]
+    fn single_flavor_set() {
+        let s: FlavorSet<UnaryFn> = FlavorSet::new(
+            "map_double_i32",
+            FlavorInfo::new("default", FlavorSource::Default),
+            double,
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.signature(), "map_double_i32");
+        assert_eq!((s.flavor(0))(21), 42);
+    }
+
+    #[test]
+    fn register_adds_flavors() {
+        let mut s: FlavorSet<UnaryFn> = FlavorSet::new(
+            "map_double_i32",
+            FlavorInfo::new("mul", FlavorSource::Default),
+            double,
+        );
+        s.register(FlavorInfo::new("shift", FlavorSource::Algorithmic), double_shift);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("shift"), Some(1));
+        assert_eq!((s.flavor(1))(21), 42);
+    }
+
+    #[test]
+    fn subset_filters_and_orders() {
+        let s: FlavorSet<UnaryFn> = FlavorSet::from_parts(
+            "sig",
+            vec![
+                FlavorInfo::new("a", FlavorSource::Default),
+                FlavorInfo::new("b", FlavorSource::Algorithmic),
+                FlavorInfo::new("c", FlavorSource::CompilerStyle),
+            ],
+            vec![double, double_shift, double],
+        );
+        let sub = s.subset(&["c", "a", "zzz"]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.info(0).name, "c");
+        assert_eq!(sub.info(1).name, "a");
+        assert!(s.subset(&["nope"]).is_none());
+    }
+
+    #[test]
+    fn canonical_subset_drops_aliases() {
+        let mut s: FlavorSet<UnaryFn> = FlavorSet::new(
+            "sig",
+            FlavorInfo::new("branching", FlavorSource::Default),
+            double,
+        );
+        s.register(FlavorInfo::new("no_branching", FlavorSource::Algorithmic), double_shift);
+        s.register(FlavorInfo::alias("gcc", FlavorSource::CompilerStyle), double);
+        let c = s.canonical_subset();
+        assert_eq!(c.len(), 2);
+        assert!(c.index_of("gcc").is_none());
+        assert_eq!(c.info(0).name, "branching");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flavor")]
+    fn empty_set_rejected() {
+        let _: FlavorSet<UnaryFn> = FlavorSet::from_parts("sig", vec![], vec![]);
+    }
+}

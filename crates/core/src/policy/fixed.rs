@@ -1,0 +1,62 @@
+//! The non-adaptive baseline: always call the same flavor.
+//!
+//! This models a conventional build of the engine, where the shipped binary
+//! contains exactly one implementation per primitive. Every "always X"
+//! column of Tables 6–10 is a run under `FixedPolicy`.
+
+use crate::policy::Policy;
+
+/// Always selects the same flavor index.
+#[derive(Debug, Clone)]
+pub struct FixedPolicy {
+    arms: usize,
+    index: usize,
+}
+
+impl FixedPolicy {
+    /// Creates a fixed policy. `index` must be a valid flavor index.
+    pub fn new(arms: usize, index: usize) -> Self {
+        assert!(index < arms, "fixed flavor {index} out of range ({arms} arms)");
+        FixedPolicy { arms, index }
+    }
+}
+
+impl Policy for FixedPolicy {
+    #[inline]
+    fn choose(&mut self) -> usize {
+        self.index
+    }
+
+    #[inline]
+    fn observe(&mut self, _flavor: usize, _tuples: u64, _ticks: u64) {}
+
+    fn arms(&self) -> usize {
+        self.arms
+    }
+
+    fn name(&self) -> String {
+        format!("fixed({})", self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_same_choice() {
+        let mut p = FixedPolicy::new(3, 2);
+        for _ in 0..100 {
+            assert_eq!(p.choose(), 2);
+            p.observe(2, 10, 10);
+        }
+        assert_eq!(p.arms(), 3);
+        assert_eq!(p.name(), "fixed(2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        FixedPolicy::new(2, 2);
+    }
+}

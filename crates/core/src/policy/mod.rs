@@ -1,0 +1,206 @@
+//! Flavor-selection policies: the multi-armed-bandit algorithms of §3.2.
+//!
+//! Each primitive *instance* owns one policy. Before every call the
+//! expression evaluator asks the policy which flavor to run
+//! ([`Policy::choose`]); after the call it reports the observed cost
+//! ([`Policy::observe`]). Cost is ticks/tuple — lower is better (the paper's
+//! "reward" is the negative of this).
+//!
+//! Implementations:
+//! * [`VwGreedy`] — the paper's contribution (Listing 8 + the initial
+//!   exploration sweep added after the trace simulations).
+//! * [`EpsGreedy`], [`EpsFirst`], [`EpsDecreasing`] — the ε-family baselines
+//!   of Table 5 (Vermorel & Mohri parameterization).
+//! * [`Ucb1`] — a stationary-optimal baseline (Auer et al.), included
+//!   because §3.2 discusses why stationary-optimal algorithms may fail here.
+//! * [`FixedPolicy`] — always one flavor; models a non-adaptive build.
+
+mod eps;
+mod fixed;
+mod ucb;
+mod vw_greedy;
+
+pub use eps::{EpsDecreasing, EpsFirst, EpsGreedy};
+pub use fixed::FixedPolicy;
+pub use ucb::Ucb1;
+pub use vw_greedy::{VwGreedy, VwGreedyParams};
+
+use crate::rng::SplitMix64;
+
+/// A flavor-selection policy over `arms()` flavors.
+pub trait Policy: Send {
+    /// The flavor to use for the next primitive call.
+    fn choose(&mut self) -> usize;
+
+    /// Reports the observed cost of the last call: it ran flavor `flavor`
+    /// over `tuples` tuples in `ticks` ticks.
+    fn observe(&mut self, flavor: usize, tuples: u64, ticks: u64);
+
+    /// Number of flavors the policy selects among.
+    fn arms(&self) -> usize;
+
+    /// Human-readable name with parameters, e.g. `vw-greedy(1024,256,32)`.
+    fn name(&self) -> String;
+
+    /// Optional context hint supplied by the caller *before* [`Policy::choose`]
+    /// (e.g. observed selectivity, or bloom-filter size). Bandit policies
+    /// ignore it; the hard-coded heuristics of §4.2 are implemented as a
+    /// policy that decides on exactly this value.
+    fn hint(&mut self, _value: f64) {}
+}
+
+/// A constructible description of a policy, used by configuration and by the
+/// Table 5 simulation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// Always use flavor `0` (or the given index).
+    Fixed(usize),
+    /// The paper's vw-greedy with (explore_period, exploit_period,
+    /// explore_length).
+    VwGreedy(VwGreedyParams),
+    /// ε-greedy with exploration probability `eps`.
+    EpsGreedy {
+        /// Exploration probability per call.
+        eps: f64,
+    },
+    /// ε-first: pure round-robin exploration for `explore_calls` calls, pure
+    /// exploitation afterwards. (The ε of Table 5 times the expected horizon.)
+    EpsFirst {
+        /// Number of initial round-robin exploration calls.
+        explore_calls: u64,
+    },
+    /// ε-decreasing with ε_t = min(1, eps0 / t).
+    EpsDecreasing {
+        /// Initial exploration weight.
+        eps0: f64,
+    },
+    /// UCB1.
+    Ucb1,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy for `arms` flavors with a deterministic seed.
+    pub fn build(self, arms: usize, seed: u64) -> Box<dyn Policy> {
+        assert!(arms > 0, "a policy needs at least one arm");
+        let rng = SplitMix64::new(seed);
+        match self {
+            PolicyKind::Fixed(i) => Box::new(FixedPolicy::new(arms, i)),
+            PolicyKind::VwGreedy(p) => Box::new(VwGreedy::new(arms, p, rng)),
+            PolicyKind::EpsGreedy { eps } => Box::new(EpsGreedy::new(arms, eps, rng)),
+            PolicyKind::EpsFirst { explore_calls } => {
+                Box::new(EpsFirst::new(arms, explore_calls))
+            }
+            PolicyKind::EpsDecreasing { eps0 } => {
+                Box::new(EpsDecreasing::new(arms, eps0, rng))
+            }
+            PolicyKind::Ucb1 => Box::new(Ucb1::new(arms)),
+        }
+    }
+}
+
+/// Per-arm running means, shared by the ε-family and UCB baselines.
+#[derive(Debug, Clone)]
+pub(crate) struct ArmMeans {
+    ticks: Vec<f64>,
+    tuples: Vec<f64>,
+    pulls: Vec<u64>,
+}
+
+impl ArmMeans {
+    pub(crate) fn new(arms: usize) -> Self {
+        ArmMeans {
+            ticks: vec![0.0; arms],
+            tuples: vec![0.0; arms],
+            pulls: vec![0; arms],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn observe(&mut self, arm: usize, tuples: u64, ticks: u64) {
+        self.ticks[arm] += ticks as f64;
+        self.tuples[arm] += tuples as f64;
+        self.pulls[arm] += 1;
+    }
+
+    /// Mean ticks/tuple of an arm; infinite when never pulled so that unseen
+    /// arms are never considered "best" but always explorable.
+    #[inline]
+    pub(crate) fn mean_cost(&self, arm: usize) -> f64 {
+        if self.tuples[arm] == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ticks[arm] / self.tuples[arm]
+        }
+    }
+
+    pub(crate) fn pulls(&self, arm: usize) -> u64 {
+        self.pulls[arm]
+    }
+
+    /// Arm with the lowest mean cost; unpulled arms first (cost = ∞ means
+    /// they lose against any measured arm, so prefer returning the first
+    /// unpulled arm explicitly to bootstrap).
+    pub(crate) fn best_arm(&self) -> usize {
+        if let Some(unpulled) = self.pulls.iter().position(|&p| p == 0) {
+            return unpulled;
+        }
+        let mut best = 0;
+        let mut best_cost = self.mean_cost(0);
+        for a in 1..self.ticks.len() {
+            let c = self.mean_cost(a);
+            if c < best_cost {
+                best = a;
+                best_cost = c;
+            }
+        }
+        best
+    }
+
+    pub(crate) fn arms(&self) -> usize {
+        self.ticks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_means_track_best() {
+        let mut m = ArmMeans::new(3);
+        assert_eq!(m.best_arm(), 0); // unpulled arms bootstrap in order
+        m.observe(0, 100, 1000); // 10/tuple
+        assert_eq!(m.best_arm(), 1);
+        m.observe(1, 100, 500); // 5/tuple
+        assert_eq!(m.best_arm(), 2);
+        m.observe(2, 100, 700); // 7/tuple
+        assert_eq!(m.best_arm(), 1);
+        assert_eq!(m.pulls(1), 1);
+        assert_eq!(m.mean_cost(0), 10.0);
+    }
+
+    #[test]
+    fn policy_kind_builds_all() {
+        for kind in [
+            PolicyKind::Fixed(0),
+            PolicyKind::VwGreedy(VwGreedyParams::default()),
+            PolicyKind::EpsGreedy { eps: 0.05 },
+            PolicyKind::EpsFirst { explore_calls: 100 },
+            PolicyKind::EpsDecreasing { eps0: 1.0 },
+            PolicyKind::Ucb1,
+        ] {
+            let mut p = kind.build(3, 1);
+            assert_eq!(p.arms(), 3);
+            let c = p.choose();
+            assert!(c < 3);
+            p.observe(c, 100, 100);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn zero_arms_rejected() {
+        PolicyKind::Ucb1.build(0, 1);
+    }
+}

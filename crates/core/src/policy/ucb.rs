@@ -1,0 +1,138 @@
+//! UCB1 (Auer, Cesa-Bianchi & Fischer 2002): optimal logarithmic regret for
+//! *stationary* bandits.
+//!
+//! §3.2 motivates vw-greedy by noting flavors are not stationary processes,
+//! "so [stationary-optimal algorithms] might perform poorly in practice".
+//! We include UCB1 so that claim is testable on our traces.
+
+use crate::policy::{ArmMeans, Policy};
+
+/// UCB1 over cost minimization.
+///
+/// Costs (ticks/tuple) are normalized against the running maximum observed
+/// cost so the exploration bonus and the exploitation term share a scale.
+#[derive(Debug, Clone)]
+pub struct Ucb1 {
+    means: ArmMeans,
+    calls: u64,
+    max_cost_seen: f64,
+}
+
+impl Ucb1 {
+    /// `new`.
+    pub fn new(arms: usize) -> Self {
+        Ucb1 {
+            means: ArmMeans::new(arms),
+            calls: 0,
+            max_cost_seen: 1.0,
+        }
+    }
+}
+
+impl Policy for Ucb1 {
+    fn choose(&mut self) -> usize {
+        // Play each arm once first.
+        for a in 0..self.means.arms() {
+            if self.means.pulls(a) == 0 {
+                return a;
+            }
+        }
+        let ln_n = (self.calls.max(1) as f64).ln();
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for a in 0..self.means.arms() {
+            // Reward in [0,1]: 1 - normalized cost.
+            let reward = 1.0 - self.means.mean_cost(a) / self.max_cost_seen;
+            let bonus = (2.0 * ln_n / self.means.pulls(a) as f64).sqrt();
+            let score = reward + bonus;
+            if score > best_score {
+                best = a;
+                best_score = score;
+            }
+        }
+        best
+    }
+
+    fn observe(&mut self, flavor: usize, tuples: u64, ticks: u64) {
+        self.calls += 1;
+        self.means.observe(flavor, tuples, ticks);
+        if tuples > 0 {
+            let cost = ticks as f64 / tuples as f64;
+            if cost > self.max_cost_seen {
+                self.max_cost_seen = cost;
+            }
+        }
+    }
+
+    fn arms(&self) -> usize {
+        self.means.arms()
+    }
+
+    fn name(&self) -> String {
+        "ucb1".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulls_every_arm_once_first() {
+        let mut p = Ucb1::new(4);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let f = p.choose();
+            seen.push(f);
+            p.observe(f, 1000, 1000);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn converges_on_stationary_costs() {
+        let mut p = Ucb1::new(3);
+        let costs = [8u64, 2, 6];
+        let mut chosen = Vec::new();
+        for _ in 0..20_000 {
+            let f = p.choose();
+            chosen.push(f);
+            p.observe(f, 1000, costs[f] * 1000);
+        }
+        let tail_best =
+            chosen[10_000..].iter().filter(|&&f| f == 1).count() as f64 / 10_000.0;
+        assert!(tail_best > 0.9, "UCB1 should exploit the best arm: {tail_best}");
+    }
+
+    #[test]
+    fn beats_constant_exploration_on_stationary_costs() {
+        // UCB1's strength (logarithmic regret) versus ε-greedy's linear
+        // regret: with stationary costs, ε-greedy keeps paying the ε
+        // exploration tax forever while UCB1's exploration dies out.
+        use crate::policy::EpsGreedy;
+        use crate::rng::SplitMix64;
+        let costs = [8u64, 2, 6];
+        let run = |p: &mut dyn Policy| -> u64 {
+            let mut total = 0;
+            for _ in 0..50_000 {
+                let f = p.choose();
+                let c = costs[f] * 1000;
+                p.observe(f, 1000, c);
+                total += c;
+            }
+            total
+        };
+        let ucb_total = run(&mut Ucb1::new(3));
+        let eps_total = run(&mut EpsGreedy::new(3, 0.1, SplitMix64::new(3)));
+        let opt_total = 50_000 * 2 * 1000;
+        let ucb_ratio = ucb_total as f64 / opt_total as f64;
+        let eps_ratio = eps_total as f64 / opt_total as f64;
+        assert!(ucb_ratio < 1.05, "UCB1 regret should vanish: {ucb_ratio}");
+        // ε-greedy pays ~ε·(mean excess)/best ≈ 1.11 forever.
+        assert!(
+            eps_ratio > ucb_ratio + 0.03,
+            "eps-greedy ({eps_ratio}) should pay more than UCB1 ({ucb_ratio})"
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! vw-greedy: the paper's non-stationary-resistant bandit (Listing 8).
+//!
+//! Differences from classic ε-greedy, per §3.2:
+//!
+//! 1. exploration and exploitation alternate in a *deterministic pattern*
+//!    instead of randomly;
+//! 2. flavor choice looks only at *recent* performance (the mean over the
+//!    current phase) instead of an all-time mean.
+//!
+//! Every `EXPLORE_PERIOD` calls a random flavor is run for `EXPLORE_LENGTH`
+//! calls; otherwise, every `EXPLOIT_PERIOD` calls the flavor with the lowest
+//! *last-phase* average cost is (re)chosen. The first two calls of each phase
+//! are excluded from the measured window to avoid charging instruction-cache
+//! misses to the flavor. Additionally, the first `EXPLORE_PERIOD` calls
+//! perform an *initial sweep* testing every flavor for `EXPLORE_LENGTH`
+//! calls — the extension §3.2 adds after the trace simulations.
+
+use crate::policy::Policy;
+use crate::rng::SplitMix64;
+
+/// vw-greedy parameters. All should be powers of two (the paper makes the
+/// phase tests a bitwise-and); `explore_period > exploit_period >=
+/// explore_length >= 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VwGreedyParams {
+    /// Calls between exploration phases.
+    pub explore_period: u64,
+    /// Length (in calls) of an exploitation phase, after which the best
+    /// flavor is re-evaluated.
+    pub exploit_period: u64,
+    /// Length (in calls) of an exploration phase.
+    pub explore_length: u64,
+}
+
+impl Default for VwGreedyParams {
+    /// The demonstration settings of §3.2 (Figure 10): (1024, 256, 32).
+    fn default() -> Self {
+        VwGreedyParams {
+            explore_period: 1024,
+            exploit_period: 256,
+            explore_length: 32,
+        }
+    }
+}
+
+impl VwGreedyParams {
+    /// The best overall parameters found by the Table 5 simulation:
+    /// (1024, 8, 2).
+    pub fn table5_best() -> Self {
+        VwGreedyParams {
+            explore_period: 1024,
+            exploit_period: 8,
+            explore_length: 2,
+        }
+    }
+
+    /// Validates the parameter constraints stated in §3.2.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.explore_length == 0 {
+            return Err("explore_length must be >= 1".into());
+        }
+        if self.exploit_period < self.explore_length {
+            return Err("exploit_period must be >= explore_length".into());
+        }
+        if self.explore_period <= self.exploit_period {
+            return Err("explore_period must be > exploit_period".into());
+        }
+        Ok(())
+    }
+}
+
+/// The vw-greedy policy state, a faithful port of Listing 8.
+#[derive(Debug, Clone)]
+pub struct VwGreedy {
+    params: VwGreedyParams,
+    rng: SplitMix64,
+    k: usize,
+
+    // Classical primitive profiling (cumulative).
+    calls: u64,
+    tot_ticks: u64,
+    tot_tuples: u64,
+
+    // Measurement window of the current phase.
+    prev_ticks: u64,
+    prev_tuples: u64,
+    calc_start: u64,
+    calc_end: u64,
+
+    // Next call count at which an exploration phase begins.
+    next_explore: u64,
+
+    // Last-phase average cost per flavor (ticks/tuple); ∞ = never measured.
+    avg_cost: Vec<f64>,
+
+    current: usize,
+    /// Remaining flavors to test in the initial sweep (in index order).
+    sweep_next: usize,
+}
+
+impl VwGreedy {
+    /// Creates a policy over `arms` flavors.
+    pub fn new(arms: usize, params: VwGreedyParams, rng: SplitMix64) -> Self {
+        params
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid vw-greedy parameters: {e}"));
+        VwGreedy {
+            params,
+            rng,
+            k: arms,
+            calls: 0,
+            tot_ticks: 0,
+            tot_tuples: 0,
+            prev_ticks: 0,
+            prev_tuples: 0,
+            calc_start: 0,
+            // First phase: flavor 0 of the initial sweep, measured over
+            // (calc_start=0 .. calc_end]; boundary handling mirrors
+            // Listing 8 with calls starting at 0.
+            calc_end: params.explore_length + 2,
+            next_explore: params.explore_period,
+            avg_cost: vec![f64::INFINITY; arms],
+            current: 0,
+            sweep_next: 1,
+        }
+    }
+
+    /// The flavor with the lowest last-phase average cost (ties: lowest
+    /// index; unmeasured flavors never win against measured ones unless all
+    /// are unmeasured).
+    fn best_flavor(&self) -> usize {
+        let mut best = 0;
+        let mut best_cost = self.avg_cost[0];
+        for (i, &c) in self.avg_cost.iter().enumerate().skip(1) {
+            if c < best_cost {
+                best = i;
+                best_cost = c;
+            }
+        }
+        best
+    }
+
+    fn random_flavor(&mut self) -> usize {
+        self.rng.gen_range(self.k)
+    }
+
+    /// Last-phase average costs (for inspection/EXPERIMENTS).
+    pub fn avg_costs(&self) -> &[f64] {
+        &self.avg_cost
+    }
+
+    /// The currently selected flavor.
+    pub fn current_flavor(&self) -> usize {
+        self.current
+    }
+}
+
+impl Policy for VwGreedy {
+    #[inline]
+    fn choose(&mut self) -> usize {
+        self.current
+    }
+
+    fn observe(&mut self, flavor: usize, tuples: u64, ticks: u64) {
+        debug_assert_eq!(flavor, self.current, "observe must follow choose");
+        // Classical primitive profiling.
+        self.tot_ticks += ticks;
+        self.tot_tuples += tuples;
+        self.calls += 1;
+
+        // vw-greedy switching.
+        if self.calls == self.calc_end {
+            // Average cost of the phase that just ended, charged to the
+            // flavor that ran it.
+            let dt = self.tot_tuples - self.prev_tuples;
+            if dt > 0 {
+                self.avg_cost[self.current] =
+                    (self.tot_ticks - self.prev_ticks) as f64 / dt as f64;
+            }
+            let phase_len = if self.sweep_next < self.k {
+                // Initial sweep: test every flavor once, EXPLORE_LENGTH each.
+                self.current = self.sweep_next;
+                self.sweep_next += 1;
+                self.params.explore_length
+            } else if self.calls > self.next_explore {
+                // Exploration.
+                self.next_explore += self.params.explore_period;
+                self.current = self.random_flavor();
+                self.params.explore_length
+            } else {
+                // Exploitation.
+                self.current = self.best_flavor();
+                self.params.exploit_period
+            };
+            // Ignore the first 2 calls of the new phase (instruction-cache
+            // warm-up), exactly as Listing 8.
+            self.calc_start = self.calls + 2;
+            self.calc_end = self.calc_start + phase_len;
+        }
+        if self.calls == self.calc_start {
+            self.prev_tuples = self.tot_tuples;
+            self.prev_ticks = self.tot_ticks;
+        }
+    }
+
+    fn arms(&self) -> usize {
+        self.k
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "vw-greedy({},{},{})",
+            self.params.explore_period, self.params.exploit_period, self.params.explore_length
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the policy with a synthetic cost function and returns the
+    /// sequence of chosen flavors.
+    fn drive(
+        p: &mut VwGreedy,
+        calls: usize,
+        mut cost: impl FnMut(usize, usize) -> u64,
+    ) -> Vec<usize> {
+        let mut chosen = Vec::with_capacity(calls);
+        for t in 0..calls {
+            let f = p.choose();
+            chosen.push(f);
+            p.observe(f, 1000, cost(t, f) * 1000);
+        }
+        chosen
+    }
+
+    fn mk(params: VwGreedyParams, arms: usize) -> VwGreedy {
+        VwGreedy::new(arms, params, SplitMix64::new(12345))
+    }
+
+    #[test]
+    fn initial_sweep_tests_all_flavors() {
+        let params = VwGreedyParams {
+            explore_period: 256,
+            exploit_period: 32,
+            explore_length: 8,
+        };
+        let mut p = mk(params, 4);
+        let chosen = drive(&mut p, 64, |_, _| 5);
+        for f in 0..4 {
+            assert!(
+                chosen.contains(&f),
+                "flavor {f} never tested in initial sweep: {chosen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_cheapest_stationary_flavor() {
+        let mut p = mk(VwGreedyParams::default(), 3);
+        // flavor 1 is cheapest.
+        let chosen = drive(&mut p, 20_000, |_, f| [10, 3, 7][f]);
+        let tail = &chosen[10_000..];
+        let frac_best = tail.iter().filter(|&&f| f == 1).count() as f64 / tail.len() as f64;
+        assert!(
+            frac_best > 0.9,
+            "expected >90% best-flavor calls in steady state, got {frac_best}"
+        );
+    }
+
+    #[test]
+    fn switches_when_best_flavor_changes() {
+        let mut p = mk(VwGreedyParams::default(), 2);
+        // Flavor 0 best for the first 8192 calls, then flavor 1.
+        let chosen = drive(&mut p, 32_768, |t, f| {
+            if t < 8192 {
+                [2, 10][f]
+            } else {
+                [10, 2][f]
+            }
+        });
+        let early = &chosen[4096..8192];
+        let late = &chosen[16_384..];
+        let early_f0 = early.iter().filter(|&&f| f == 0).count() as f64 / early.len() as f64;
+        let late_f1 = late.iter().filter(|&&f| f == 1).count() as f64 / late.len() as f64;
+        assert!(early_f0 > 0.85, "early phase should prefer flavor 0: {early_f0}");
+        assert!(late_f1 > 0.85, "late phase should prefer flavor 1: {late_f1}");
+    }
+
+    #[test]
+    fn deterioration_detected_within_exploit_period() {
+        // §4.1: detecting deterioration of the current best happens every
+        // EXPLOIT_PERIOD calls, which is fast.
+        let params = VwGreedyParams {
+            explore_period: 1024,
+            exploit_period: 64,
+            explore_length: 8,
+        };
+        let mut p = mk(params, 2);
+        // flavor 0 is best until call 5000, then becomes terrible.
+        let chosen = drive(&mut p, 10_000, |t, f| match (t < 5000, f) {
+            (true, 0) => 2,
+            (true, 1) => 4,
+            (false, 0) => 50,
+            (false, 1) => 4,
+            _ => unreachable!(),
+        });
+        // Within ~2 exploitation phases + exploration, it must switch.
+        let after = &chosen[5000 + 3 * 64 + 16..6000];
+        let f1 = after.iter().filter(|&&f| f == 1).count() as f64 / after.len() as f64;
+        assert!(f1 > 0.8, "should abandon deteriorated flavor quickly: {f1}");
+    }
+
+    #[test]
+    fn explores_periodically() {
+        let mut p = mk(VwGreedyParams::default(), 3);
+        // Stationary costs; exploration still must revisit non-best arms.
+        let chosen = drive(&mut p, 10_000, |_, f| [3, 10, 10][f]);
+        let tail = &chosen[2048..];
+        let explored: usize = tail.iter().filter(|&&f| f != 0).count();
+        // ~ EXPLORE_LENGTH * (2/3) per EXPLORE_PERIOD of calls.
+        assert!(explored > 0, "exploration must continue in steady state");
+        let frac = explored as f64 / tail.len() as f64;
+        assert!(frac < 0.15, "exploration overhead should be bounded: {frac}");
+    }
+
+    #[test]
+    fn zero_tuple_phases_do_not_poison_costs() {
+        let mut p = mk(VwGreedyParams::default(), 2);
+        for _ in 0..5000 {
+            let f = p.choose();
+            p.observe(f, 0, 17); // zero tuples: no division, avg untouched
+        }
+        assert!(p.avg_costs().iter().all(|c| c.is_infinite()));
+    }
+
+    #[test]
+    fn single_arm_always_chooses_zero() {
+        let mut p = mk(VwGreedyParams::default(), 1);
+        let chosen = drive(&mut p, 5000, |_, _| 4);
+        assert!(chosen.iter().all(|&f| f == 0));
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(VwGreedyParams::default().validate().is_ok());
+        assert!(VwGreedyParams::table5_best().validate().is_ok());
+        assert!(VwGreedyParams {
+            explore_period: 8,
+            exploit_period: 8,
+            explore_length: 2
+        }
+        .validate()
+        .is_err());
+        assert!(VwGreedyParams {
+            explore_period: 1024,
+            exploit_period: 2,
+            explore_length: 8
+        }
+        .validate()
+        .is_err());
+        assert!(VwGreedyParams {
+            explore_period: 1024,
+            exploit_period: 8,
+            explore_length: 0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn name_includes_parameters() {
+        let p = mk(VwGreedyParams::table5_best(), 2);
+        assert_eq!(p.name(), "vw-greedy(1024,8,2)");
+    }
+}

@@ -1,0 +1,173 @@
+//! The Table 5 scores: Absolute/OPT and Relative/OPT.
+//!
+//! §3.2: the *absolute* score sums the times of the algorithm's choices over
+//! the whole workload and divides by the sum of OPT's times — the overall
+//! workload impact. The *relative* score averages the per-instance
+//! algorithm/OPT ratios — the average benefit per primitive. Instances that
+//! cost many cycles can make the two diverge.
+
+use crate::sim::SimResult;
+
+/// A scored policy over a workload of instance traces.
+#[derive(Debug, Clone)]
+pub struct SimScore {
+    /// Policy display name.
+    pub policy: String,
+    /// Σ policy ticks / Σ OPT ticks over all instances.
+    pub absolute_over_opt: f64,
+    /// Mean over instances of (policy ticks / OPT ticks).
+    pub relative_over_opt: f64,
+}
+
+impl SimScore {
+    /// The paper's ranking key: the average of the two scores.
+    pub fn average(&self) -> f64 {
+        (self.absolute_over_opt + self.relative_over_opt) / 2.0
+    }
+
+    /// Computes both scores from per-instance simulation results.
+    pub fn from_results(policy: impl Into<String>, results: &[SimResult]) -> Self {
+        assert!(!results.is_empty(), "need at least one simulated instance");
+        let tot_policy: u64 = results.iter().map(|r| r.policy_ticks).sum();
+        let tot_opt: u64 = results.iter().map(|r| r.opt_ticks).sum();
+        let absolute = if tot_opt == 0 {
+            1.0
+        } else {
+            tot_policy as f64 / tot_opt as f64
+        };
+        let relative =
+            results.iter().map(SimResult::ratio_to_opt).sum::<f64>() / results.len() as f64;
+        SimScore {
+            policy: policy.into(),
+            absolute_over_opt: absolute,
+            relative_over_opt: relative,
+        }
+    }
+}
+
+/// A sortable collection of policy scores (one Table 5).
+#[derive(Debug, Clone, Default)]
+pub struct ScoreBoard {
+    scores: Vec<SimScore>,
+}
+
+impl ScoreBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a score.
+    pub fn push(&mut self, score: SimScore) {
+        self.scores.push(score);
+    }
+
+    /// Scores sorted by ascending average (best first), ties broken by name
+    /// for stable output.
+    pub fn ranked(&self) -> Vec<&SimScore> {
+        let mut v: Vec<&SimScore> = self.scores.iter().collect();
+        v.sort_by(|a, b| {
+            a.average()
+                .partial_cmp(&b.average())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.policy.cmp(&b.policy))
+        });
+        v
+    }
+
+    /// Number of scored policies.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Renders as an aligned text table (same columns as Table 5).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>12} {:>9}\n",
+            "Algorithm", "Absolute/OPT", "Relative/OPT", "Average"
+        ));
+        for s in self.ranked() {
+            out.push_str(&format!(
+                "{:<28} {:>12.3} {:>12.3} {:>9.3}\n",
+                s.policy,
+                s.absolute_over_opt,
+                s.relative_over_opt,
+                s.average()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimResult;
+
+    fn res(instance: &str, policy_ticks: u64, opt_ticks: u64) -> SimResult {
+        SimResult {
+            instance: instance.into(),
+            policy: "p".into(),
+            policy_ticks,
+            opt_ticks,
+            choices: vec![],
+        }
+    }
+
+    #[test]
+    fn absolute_weighs_by_instance_size() {
+        // Instance A is huge and optimal; instance B tiny and 2x off.
+        let results = vec![res("a", 1_000_000, 1_000_000), res("b", 20, 10)];
+        let s = SimScore::from_results("p", &results);
+        assert!(s.absolute_over_opt < 1.001, "abs {}", s.absolute_over_opt);
+        // Relative averages the ratios: (1.0 + 2.0)/2.
+        assert!((s.relative_over_opt - 1.5).abs() < 1e-9);
+        assert!(s.average() > 1.0);
+    }
+
+    #[test]
+    fn ranked_orders_by_average() {
+        let mut b = ScoreBoard::new();
+        b.push(SimScore {
+            policy: "worse".into(),
+            absolute_over_opt: 1.2,
+            relative_over_opt: 1.2,
+        });
+        b.push(SimScore {
+            policy: "better".into(),
+            absolute_over_opt: 1.01,
+            relative_over_opt: 1.03,
+        });
+        let ranked = b.ranked();
+        assert_eq!(ranked[0].policy, "better");
+        assert_eq!(ranked[1].policy, "worse");
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn render_contains_header_and_rows() {
+        let mut b = ScoreBoard::new();
+        b.push(SimScore {
+            policy: "vw-greedy(1024,8,2)".into(),
+            absolute_over_opt: 1.015,
+            relative_over_opt: 1.011,
+        });
+        let txt = b.render();
+        assert!(txt.contains("Absolute/OPT"));
+        assert!(txt.contains("vw-greedy(1024,8,2)"));
+        assert!(txt.contains("1.015"));
+    }
+
+    #[test]
+    fn zero_opt_guard() {
+        let s = SimScore::from_results("p", &[res("a", 0, 0)]);
+        assert_eq!(s.absolute_over_opt, 1.0);
+        assert_eq!(s.relative_over_opt, 1.0);
+    }
+}

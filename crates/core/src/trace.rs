@@ -1,0 +1,121 @@
+//! Recorded flavor traces.
+//!
+//! §3.2 "Simulations on traces": the authors profiled a TPC-H run once per
+//! flavor (the system sticking to one flavor for the whole run) and then
+//! replayed the recorded per-call costs against candidate MAB algorithms.
+//! An [`InstanceTrace`] is that recording for one primitive instance: for
+//! every call, the tuple count and the cost *each* flavor exhibited at that
+//! point of the query.
+
+/// Per-call costs of all flavors of one primitive instance.
+#[derive(Debug, Clone)]
+pub struct InstanceTrace {
+    /// Identifier, e.g. `"Q12/sel_lt_i32_col_val#3"`.
+    pub name: String,
+    /// Tuples processed at each call (shared by all flavors — they process
+    /// the same data stream).
+    pub tuples: Vec<u64>,
+    /// `costs[f][t]` = ticks flavor `f` takes (or took) at call `t`.
+    pub costs: Vec<Vec<u64>>,
+}
+
+impl InstanceTrace {
+    /// Builds a trace, validating shape.
+    pub fn new(name: impl Into<String>, tuples: Vec<u64>, costs: Vec<Vec<u64>>) -> Self {
+        assert!(!costs.is_empty(), "a trace needs at least one flavor");
+        let n = tuples.len();
+        assert!(
+            costs.iter().all(|c| c.len() == n),
+            "every flavor must have one cost per call"
+        );
+        InstanceTrace {
+            name: name.into(),
+            tuples,
+            costs,
+        }
+    }
+
+    /// Number of calls.
+    pub fn calls(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Number of flavors.
+    pub fn flavors(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Total ticks if one fixed flavor is used throughout.
+    pub fn fixed_ticks(&self, flavor: usize) -> u64 {
+        self.costs[flavor].iter().sum()
+    }
+
+    /// Total ticks of the per-call oracle OPT (minimum over flavors at every
+    /// call) — the denominator of the Table 5 scores.
+    pub fn opt_ticks(&self) -> u64 {
+        (0..self.calls())
+            .map(|t| self.costs.iter().map(|c| c[t]).min().unwrap_or(0))
+            .sum()
+    }
+
+    /// The single best *fixed* flavor in hindsight.
+    pub fn best_fixed_flavor(&self) -> usize {
+        (0..self.flavors())
+            .min_by_key(|&f| self.fixed_ticks(f))
+            .unwrap_or(0)
+    }
+
+    /// Total tuples across all calls.
+    pub fn total_tuples(&self) -> u64 {
+        self.tuples.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> InstanceTrace {
+        InstanceTrace::new(
+            "t",
+            vec![10, 10, 10],
+            vec![vec![5, 50, 5], vec![20, 20, 20]],
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let t = mk();
+        assert_eq!(t.calls(), 3);
+        assert_eq!(t.flavors(), 2);
+        assert_eq!(t.total_tuples(), 30);
+    }
+
+    #[test]
+    fn fixed_and_opt_ticks() {
+        let t = mk();
+        assert_eq!(t.fixed_ticks(0), 60);
+        assert_eq!(t.fixed_ticks(1), 60);
+        // OPT switches: 5 + 20 + 5.
+        assert_eq!(t.opt_ticks(), 30);
+        assert!(t.opt_ticks() <= t.fixed_ticks(t.best_fixed_flavor()));
+    }
+
+    #[test]
+    fn best_fixed_flavor_hindsight() {
+        let t = InstanceTrace::new("t", vec![1, 1], vec![vec![10, 10], vec![5, 30]]);
+        assert_eq!(t.best_fixed_flavor(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per call")]
+    fn ragged_costs_rejected() {
+        InstanceTrace::new("t", vec![1, 1], vec![vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flavor")]
+    fn empty_costs_rejected() {
+        InstanceTrace::new("t", vec![1], vec![]);
+    }
+}

@@ -1,0 +1,414 @@
+//! Per-query adaptive dispatch: instance creation, flavor-subset resolution
+//! and profiling registry.
+//!
+//! A [`QueryContext`] is created per query execution. Operators ask it for
+//! typed [`PrimInstance`]s by signature; the context resolves the flavor
+//! subset according to the configured [`FlavorMode`], builds the bandit (or
+//! fixed/heuristic) policy, and registers the instance for post-query
+//! reporting (per-instance profiles and APHs — the data behind Tables 6–11
+//! and Figures 2/4/11).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use ma_core::cycles::ticks_now;
+use ma_core::policy::{FixedPolicy, Policy};
+use ma_core::{Aph, FlavorSet, PrimitiveDictionary, PrimitiveProfile};
+
+use crate::config::{ExecConfig, FlavorMode};
+use crate::heuristics::{tuned, HeuristicPolicy, HeuristicRule};
+use crate::ExecError;
+
+/// Family hint used to pick the right hard-coded heuristic in
+/// [`FlavorMode::Heuristic`] mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeurKind {
+    /// Selection primitive: branching-vs-no-branching rule on observed
+    /// selectivity.
+    Selection,
+    /// Map primitive: full-computation rule on input density; the element
+    /// width picks the threshold (Fig. 8).
+    FullComp {
+        /// Element width in bytes (picks the Fig. 8 threshold).
+        elem_bytes: usize,
+    },
+    /// Bloom lookup: fission rule on filter size.
+    Fission,
+    /// No applicable heuristic.
+    None,
+}
+
+/// Shared per-instance statistics, visible to the registry after the run.
+#[derive(Debug)]
+pub struct InstanceStats {
+    /// Operator-assigned label, e.g. `"Q12/sel_ge"`.
+    pub label: String,
+    /// Primitive signature.
+    pub signature: String,
+    /// Flavor names, index-aligned with `flavor_calls`.
+    pub flavor_names: Vec<String>,
+    /// Cumulative totals + APH.
+    pub profile: PrimitiveProfile,
+    /// Calls per flavor.
+    pub flavor_calls: Vec<u64>,
+}
+
+/// A typed primitive instance: flavor set + policy + stats.
+pub struct PrimInstance<F: Copy> {
+    set: Arc<FlavorSet<F>>,
+    policy: Box<dyn Policy>,
+    stats: Rc<RefCell<InstanceStats>>,
+    last: usize,
+}
+
+impl<F: Copy> PrimInstance<F> {
+    /// Chooses a flavor, runs `call` with it, records cost.
+    #[inline]
+    pub fn invoke<R>(&mut self, tuples: u64, call: impl FnOnce(F) -> R) -> R {
+        let fi = self.policy.choose();
+        self.last = fi;
+        let f = self.set.flavor(fi);
+        let t0 = ticks_now();
+        let out = call(f);
+        let ticks = ticks_now().saturating_sub(t0);
+        self.policy.observe(fi, tuples, ticks);
+        let mut stats = self.stats.borrow_mut();
+        stats.profile.record(tuples, ticks);
+        stats.flavor_calls[fi] += 1;
+        out
+    }
+
+    /// Supplies a context hint to the policy (used by heuristics mode).
+    #[inline]
+    pub fn hint(&mut self, value: f64) {
+        self.policy.hint(value);
+    }
+
+    /// Index of the flavor used by the last call.
+    pub fn last_flavor(&self) -> usize {
+        self.last
+    }
+
+    /// Name of the flavor used by the last call.
+    pub fn last_flavor_name(&self) -> &str {
+        self.set.info(self.last).name
+    }
+
+    /// The (possibly subsetted) flavor set of this instance.
+    pub fn set(&self) -> &Arc<FlavorSet<F>> {
+        &self.set
+    }
+}
+
+/// A finished instance's report.
+#[derive(Debug, Clone)]
+pub struct InstanceReport {
+    /// Operator-assigned label.
+    pub label: String,
+    /// Primitive signature.
+    pub signature: String,
+    /// Total calls.
+    pub calls: u64,
+    /// Total tuples processed.
+    pub tuples: u64,
+    /// Total ticks spent.
+    pub ticks: u64,
+    /// APH, if collected.
+    pub aph: Option<Aph>,
+    /// `(flavor name, calls)` pairs.
+    pub flavor_calls: Vec<(String, u64)>,
+}
+
+impl InstanceReport {
+    /// Lifetime mean cost in ticks/tuple.
+    pub fn avg_cost(&self) -> f64 {
+        if self.tuples == 0 {
+            0.0
+        } else {
+            self.ticks as f64 / self.tuples as f64
+        }
+    }
+}
+
+/// Per-query context: dictionary + config + instance registry.
+pub struct QueryContext {
+    dict: Arc<PrimitiveDictionary>,
+    config: ExecConfig,
+    registry: Rc<RefCell<Vec<Rc<RefCell<InstanceStats>>>>>,
+    next_seed: RefCell<u64>,
+}
+
+impl QueryContext {
+    /// Creates a context over a dictionary with the given configuration.
+    pub fn new(dict: Arc<PrimitiveDictionary>, config: ExecConfig) -> Self {
+        let seed = config.seed;
+        QueryContext {
+            dict,
+            config,
+            registry: Rc::new(RefCell::new(Vec::new())),
+            next_seed: RefCell::new(seed),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The vector size used by operators.
+    pub fn vector_size(&self) -> usize {
+        self.config.vector_size
+    }
+
+    fn fresh_seed(&self) -> u64 {
+        let mut s = self.next_seed.borrow_mut();
+        *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *s
+    }
+
+    /// Creates a typed instance for `signature`.
+    ///
+    /// The flavor subset and policy follow the configured [`FlavorMode`];
+    /// `heur` tells heuristics mode which rule applies to this family.
+    pub fn instance<F>(
+        &self,
+        signature: &str,
+        label: impl Into<String>,
+        heur: HeurKind,
+    ) -> Result<PrimInstance<F>, ExecError>
+    where
+        F: Copy + Send + Sync + 'static,
+    {
+        let master = self
+            .dict
+            .lookup::<F>(signature)
+            .ok_or_else(|| ExecError::UnknownPrimitive(signature.to_string()))?;
+
+        let (set, policy): (Arc<FlavorSet<F>>, Box<dyn Policy>) = match &self.config.flavors {
+            FlavorMode::Fixed(name) => {
+                let idx = name.and_then(|n| master.index_of(n)).unwrap_or(0);
+                let arms = master.len();
+                (master, Box::new(FixedPolicy::new(arms, idx)))
+            }
+            FlavorMode::Adaptive { axis, policy } => {
+                let sub = match axis.names() {
+                    None => master.canonical_subset(),
+                    Some([]) => master
+                        .subset(&[master.info(0).name])
+                        .expect("flavor 0 always exists"),
+                    Some(names) => match master.subset(names) {
+                        Some(s) if s.len() > 1 => s,
+                        // Axis doesn't apply to this primitive: default only.
+                        _ => master
+                            .subset(&[master.info(0).name])
+                            .expect("flavor 0 always exists"),
+                    },
+                };
+                let arms = sub.len();
+                let pol: Box<dyn Policy> = if arms == 1 {
+                    Box::new(FixedPolicy::new(1, 0))
+                } else {
+                    policy.build(arms, self.fresh_seed())
+                };
+                (Arc::new(sub), pol)
+            }
+            FlavorMode::Heuristic => {
+                let (rule, alt_name): (HeuristicRule, &str) = match heur {
+                    HeurKind::Selection => (tuned::SELECTION, "no_branching"),
+                    HeurKind::FullComp { elem_bytes } => {
+                        (tuned::full_computation(elem_bytes), "full")
+                    }
+                    HeurKind::Fission => (tuned::FISSION, "fission"),
+                    HeurKind::None => (HeuristicRule::Off, ""),
+                };
+                let arms = master.len();
+                let alt = master.index_of(alt_name);
+                let pol: Box<dyn Policy> = match (rule, alt) {
+                    (HeuristicRule::Off, _) | (_, None) => Box::new(FixedPolicy::new(arms, 0)),
+                    (rule, Some(alt)) => Box::new(HeuristicPolicy::new(rule, arms, 0, alt)),
+                };
+                (master, pol)
+            }
+        };
+
+        let profile = if self.config.collect_aph {
+            PrimitiveProfile::with_aph()
+        } else {
+            PrimitiveProfile::totals_only()
+        };
+        let stats = Rc::new(RefCell::new(InstanceStats {
+            label: label.into(),
+            signature: signature.to_string(),
+            flavor_names: set.infos().iter().map(|i| i.name.to_string()).collect(),
+            profile,
+            flavor_calls: vec![0; set.len()],
+        }));
+        self.registry.borrow_mut().push(Rc::clone(&stats));
+        Ok(PrimInstance {
+            set,
+            policy,
+            stats,
+            last: 0,
+        })
+    }
+
+    /// Reports of all instances created so far (including live ones).
+    pub fn reports(&self) -> Vec<InstanceReport> {
+        self.registry
+            .borrow()
+            .iter()
+            .map(|s| {
+                let s = s.borrow();
+                InstanceReport {
+                    label: s.label.clone(),
+                    signature: s.signature.clone(),
+                    calls: s.profile.calls,
+                    tuples: s.profile.tot_tuples,
+                    ticks: s.profile.tot_ticks,
+                    aph: s.profile.aph.clone(),
+                    flavor_calls: s
+                        .flavor_names
+                        .iter()
+                        .cloned()
+                        .zip(s.flavor_calls.iter().copied())
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Sum of ticks spent inside primitives across all instances.
+    pub fn total_primitive_ticks(&self) -> u64 {
+        self.registry
+            .borrow()
+            .iter()
+            .map(|s| s.borrow().profile.tot_ticks)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlavorAxis;
+    use ma_primitives::{build_dictionary, SelColVal};
+
+    fn ctx(config: ExecConfig) -> QueryContext {
+        QueryContext::new(Arc::new(build_dictionary()), config)
+    }
+
+    fn run_sel(inst: &mut PrimInstance<SelColVal<i32>>, col: &[i32], val: i32) -> usize {
+        let mut res = vec![0u32; col.len()];
+        inst.invoke(col.len() as u64, |f| f(&mut res, col, val, None))
+    }
+
+    #[test]
+    fn fixed_default_uses_flavor_zero() {
+        let c = ctx(ExecConfig::fixed_default());
+        let mut i = c
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "t", HeurKind::Selection)
+            .unwrap();
+        let col: Vec<i32> = (0..100).collect();
+        let k = run_sel(&mut i, &col, 50);
+        assert_eq!(k, 50);
+        assert_eq!(i.last_flavor_name(), "branching");
+    }
+
+    #[test]
+    fn fixed_named_flavor() {
+        let c = ctx(ExecConfig::fixed("no_branching"));
+        let mut i = c
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "t", HeurKind::Selection)
+            .unwrap();
+        run_sel(&mut i, &[1, 2, 3], 2);
+        assert_eq!(i.last_flavor_name(), "no_branching");
+    }
+
+    #[test]
+    fn fixed_unknown_name_falls_back_to_default() {
+        let c = ctx(ExecConfig::fixed("fission")); // not a selection flavor
+        let mut i = c
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "t", HeurKind::Selection)
+            .unwrap();
+        run_sel(&mut i, &[1, 2, 3], 2);
+        assert_eq!(i.last_flavor_name(), "branching");
+    }
+
+    #[test]
+    fn adaptive_branching_axis_subsets_two_flavors() {
+        let c = ctx(ExecConfig::adaptive(FlavorAxis::Branching));
+        let i = c
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "t", HeurKind::Selection)
+            .unwrap();
+        assert_eq!(i.set().len(), 2);
+        assert_eq!(i.set().info(0).name, "branching");
+        assert_eq!(i.set().info(1).name, "no_branching");
+    }
+
+    #[test]
+    fn adaptive_all_axis_uses_canonical_set() {
+        let c = ctx(ExecConfig::adaptive(FlavorAxis::All));
+        let i = c
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "t", HeurKind::Selection)
+            .unwrap();
+        assert_eq!(i.set().len(), 5);
+    }
+
+    #[test]
+    fn adaptive_inapplicable_axis_degenerates_to_default() {
+        let c = ctx(ExecConfig::adaptive(FlavorAxis::Fission));
+        let mut i = c
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "t", HeurKind::Selection)
+            .unwrap();
+        assert_eq!(i.set().len(), 1);
+        run_sel(&mut i, &[5, 6], 6);
+        assert_eq!(i.last_flavor_name(), "branching");
+    }
+
+    #[test]
+    fn heuristic_mode_switches_on_hint() {
+        let c = ctx(ExecConfig::heuristic());
+        let mut i = c
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "t", HeurKind::Selection)
+            .unwrap();
+        let col: Vec<i32> = (0..100).collect();
+        i.hint(0.5); // mid selectivity → no_branching
+        run_sel(&mut i, &col, 50);
+        assert_eq!(i.last_flavor_name(), "no_branching");
+        i.hint(0.99);
+        run_sel(&mut i, &col, 99);
+        assert_eq!(i.last_flavor_name(), "branching");
+    }
+
+    #[test]
+    fn unknown_signature_is_an_error() {
+        let c = ctx(ExecConfig::fixed_default());
+        let r = c.instance::<SelColVal<i32>>("sel_nonsense", "t", HeurKind::None);
+        assert!(matches!(r, Err(ExecError::UnknownPrimitive(_))));
+    }
+
+    #[test]
+    fn reports_accumulate() {
+        let c = ctx(ExecConfig::adaptive(FlavorAxis::Branching));
+        let mut i = c
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "q1/sel", HeurKind::Selection)
+            .unwrap();
+        let col: Vec<i32> = (0..1024).collect();
+        for _ in 0..100 {
+            run_sel(&mut i, &col, 512);
+        }
+        let reports = c.reports();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.label, "q1/sel");
+        assert_eq!(r.calls, 100);
+        assert_eq!(r.tuples, 102_400);
+        assert!(r.ticks > 0);
+        assert!(r.avg_cost() > 0.0);
+        let total_flavor_calls: u64 = r.flavor_calls.iter().map(|(_, c)| c).sum();
+        assert_eq!(total_flavor_calls, 100);
+        assert_eq!(c.total_primitive_ticks(), r.ticks);
+        assert!(r.aph.is_some());
+    }
+}

@@ -1,0 +1,171 @@
+//! Execution configuration: which flavors exist per primitive, and how the
+//! engine chooses between them.
+
+use ma_core::policy::VwGreedyParams;
+use ma_core::PolicyKind;
+
+/// Which *subset* of each primitive's flavors is visible to the engine.
+///
+/// The paper evaluates five flavor sets in isolation (Tables 6–10) and all
+/// of them together (Table 11); an axis selects that subset by flavor name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlavorAxis {
+    /// Only the default flavor (index 0) of every primitive.
+    Default,
+    /// Branching vs No-Branching selection primitives (Table 6).
+    Branching,
+    /// gcc / icc / clang code styles everywhere they exist (Table 7).
+    Compiler,
+    /// Fused vs loop-fission bloom-filter lookup (Table 8).
+    Fission,
+    /// Selective vs full computation in map primitives (Table 9).
+    FullComputation,
+    /// Hand-unrolling on/off (Table 10).
+    Unrolling,
+    /// The union of all flavor sets (the Table 11 Micro Adaptive run).
+    All,
+}
+
+impl FlavorAxis {
+    /// The flavor names this axis admits, or `None` for the full master set.
+    pub fn names(self) -> Option<&'static [&'static str]> {
+        match self {
+            FlavorAxis::Default => Some(&[]), // sentinel: default only
+            FlavorAxis::Branching => Some(&["branching", "no_branching"]),
+            FlavorAxis::Compiler => Some(&["gcc", "icc", "clang"]),
+            FlavorAxis::Fission => Some(&["fused", "fission"]),
+            FlavorAxis::FullComputation => Some(&["selective", "full"]),
+            FlavorAxis::Unrolling => Some(&["unroll8", "no_unroll"]),
+            FlavorAxis::All => None,
+        }
+    }
+}
+
+/// How the engine resolves a flavor at each primitive call.
+#[derive(Debug, Clone)]
+pub enum FlavorMode {
+    /// Non-adaptive: always the named flavor where it exists, otherwise the
+    /// default. `Fixed(None)` is the stock engine (default flavor always) —
+    /// the "No Heuristics" baseline of Table 11.
+    Fixed(Option<&'static str>),
+    /// Micro Adaptivity: a bandit policy over the axis' flavor subset.
+    Adaptive {
+        /// Flavor subset the bandit selects among.
+        axis: FlavorAxis,
+        /// Bandit policy per primitive instance.
+        policy: PolicyKind,
+    },
+    /// Hard-coded heuristics tuned offline (the competing approach of §4.2):
+    /// selectivity thresholds pick branching/full-computation variants,
+    /// bloom size picks fission.
+    Heuristic,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Flavor resolution mode.
+    pub flavors: FlavorMode,
+    /// Seed for per-instance policy randomness (exploration).
+    pub seed: u64,
+    /// Tuples per vector.
+    pub vector_size: usize,
+    /// Whether instances keep APHs (small overhead; needed for figures).
+    pub collect_aph: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            flavors: FlavorMode::Fixed(None),
+            seed: 0x5EED,
+            vector_size: ma_vector::VECTOR_SIZE,
+            collect_aph: true,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Stock engine: default flavor everywhere.
+    pub fn fixed_default() -> Self {
+        ExecConfig::default()
+    }
+
+    /// Always the named flavor where available.
+    pub fn fixed(name: &'static str) -> Self {
+        ExecConfig {
+            flavors: FlavorMode::Fixed(Some(name)),
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Micro Adaptive over an axis with the paper's best vw-greedy
+    /// parameters (1024, 8, 2).
+    pub fn adaptive(axis: FlavorAxis) -> Self {
+        ExecConfig {
+            flavors: FlavorMode::Adaptive {
+                axis,
+                policy: PolicyKind::VwGreedy(VwGreedyParams::table5_best()),
+            },
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Micro Adaptive with an explicit policy.
+    pub fn adaptive_with(axis: FlavorAxis, policy: PolicyKind) -> Self {
+        ExecConfig {
+            flavors: FlavorMode::Adaptive { axis, policy },
+            ..ExecConfig::default()
+        }
+    }
+
+    /// The §4.2 heuristics competitor.
+    pub fn heuristic() -> Self {
+        ExecConfig {
+            flavors: FlavorMode::Heuristic,
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_names() {
+        assert_eq!(
+            FlavorAxis::Branching.names().unwrap(),
+            &["branching", "no_branching"]
+        );
+        assert!(FlavorAxis::All.names().is_none());
+        assert_eq!(FlavorAxis::Default.names().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert!(matches!(
+            ExecConfig::fixed_default().flavors,
+            FlavorMode::Fixed(None)
+        ));
+        assert!(matches!(
+            ExecConfig::fixed("no_branching").flavors,
+            FlavorMode::Fixed(Some("no_branching"))
+        ));
+        assert!(matches!(
+            ExecConfig::adaptive(FlavorAxis::All).flavors,
+            FlavorMode::Adaptive { .. }
+        ));
+        assert!(matches!(
+            ExecConfig::heuristic().flavors,
+            FlavorMode::Heuristic
+        ));
+        assert_eq!(ExecConfig::default().with_seed(7).seed, 7);
+    }
+}

@@ -1,0 +1,312 @@
+//! Expression and predicate ASTs, as built by query plans.
+//!
+//! Plans construct these trees; [`crate::eval`] compiles them into chains of
+//! primitive instances resolved through the Primitive Dictionary — the point
+//! where Micro Adaptivity hooks into execution (§3.2: "the expression
+//! evaluator is the component that calls implementation functions for
+//! primitives").
+
+use ma_vector::DataType;
+
+/// A constant value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `I16`.
+    I16(i16),
+    /// `I32`.
+    I32(i32),
+    /// `I64`.
+    I64(i64),
+    /// `F64`.
+    F64(f64),
+    /// `Str`.
+    Str(String),
+}
+
+impl Value {
+    /// The scalar type of the constant.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::I16(_) => DataType::I16,
+            Value::I32(_) => DataType::I32,
+            Value::I64(_) => DataType::I64,
+            Value::F64(_) => DataType::F64,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+}
+
+/// Arithmetic operator kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithKind {
+    /// `Add`.
+    Add,
+    /// `Sub`.
+    Sub,
+    /// `Mul`.
+    Mul,
+    /// `Div`.
+    Div,
+}
+
+impl ArithKind {
+    /// Signature fragment (`add`, `sub`, ...).
+    pub fn sig_name(self) -> &'static str {
+        match self {
+            ArithKind::Add => "add",
+            ArithKind::Sub => "sub",
+            ArithKind::Mul => "mul",
+            ArithKind::Div => "div",
+        }
+    }
+}
+
+/// Comparison operator kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpKind {
+    /// `Lt`.
+    Lt,
+    /// `Le`.
+    Le,
+    /// `Gt`.
+    Gt,
+    /// `Ge`.
+    Ge,
+    /// `Eq`.
+    Eq,
+    /// `Ne`.
+    Ne,
+}
+
+impl CmpKind {
+    /// Signature fragment (`lt`, `le`, ...).
+    pub fn sig_name(self) -> &'static str {
+        match self {
+            CmpKind::Lt => "lt",
+            CmpKind::Le => "le",
+            CmpKind::Gt => "gt",
+            CmpKind::Ge => "ge",
+            CmpKind::Eq => "eq",
+            CmpKind::Ne => "ne",
+        }
+    }
+}
+
+/// A projection expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Input column by index.
+    Col(usize),
+    /// A constant (only valid as the rhs of [`Expr::Arith`]; constant
+    /// folding happens in the plan builder).
+    Const(Value),
+    /// Binary arithmetic. Both sides must have the same numeric type
+    /// (`i64` or `f64`); insert [`Expr::Cast`]s as needed.
+    Arith {
+        /// `op`.
+        op: ArithKind,
+        /// `lhs`.
+        lhs: Box<Expr>,
+        /// `rhs`.
+        rhs: Box<Expr>,
+    },
+    /// Numeric widening cast.
+    Cast {
+        /// Target type.
+        to: DataType,
+        /// The expression being cast.
+        inner: Box<Expr>,
+    },
+    /// `substring(col from start+1 for len)` over a string column
+    /// (byte-indexed, `start` is 0-based).
+    Substr {
+        /// `col`.
+        col: usize,
+        /// `start`.
+        start: usize,
+        /// `len`.
+        len: usize,
+    },
+}
+
+#[allow(clippy::should_implement_trait)] // builder fns, not operator impls
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+    /// i64 constant.
+    pub fn i64(v: i64) -> Expr {
+        Expr::Const(Value::I64(v))
+    }
+    /// f64 constant.
+    pub fn f64(v: f64) -> Expr {
+        Expr::Const(Value::F64(v))
+    }
+    /// Arithmetic node.
+    pub fn arith(op: ArithKind, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Arith {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+    /// `lhs + rhs`.
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::arith(ArithKind::Add, lhs, rhs)
+    }
+    /// `lhs - rhs`.
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::arith(ArithKind::Sub, lhs, rhs)
+    }
+    /// `lhs * rhs`.
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::arith(ArithKind::Mul, lhs, rhs)
+    }
+    /// `lhs / rhs`.
+    pub fn div(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::arith(ArithKind::Div, lhs, rhs)
+    }
+    /// Cast node.
+    pub fn cast(to: DataType, inner: Expr) -> Expr {
+        Expr::Cast {
+            to,
+            inner: Box::new(inner),
+        }
+    }
+}
+
+/// The comparison target of a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmpRhs {
+    /// Compare against a constant (`col op const` → `_col_val` primitive).
+    Const(Value),
+    /// Compare against another column (`col op col` → `_col_col`).
+    Col(usize),
+}
+
+/// A selection predicate tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `col op rhs`.
+    Cmp {
+        /// `col`.
+        col: usize,
+        /// `op`.
+        op: CmpKind,
+        /// `rhs`.
+        rhs: CmpRhs,
+    },
+    /// `col LIKE pattern`.
+    Like {
+        /// String column index.
+        col: usize,
+        /// LIKE pattern text.
+        pattern: String,
+    },
+    /// `col NOT LIKE pattern`.
+    NotLike {
+        /// String column index.
+        col: usize,
+        /// LIKE pattern text.
+        pattern: String,
+    },
+    /// `col IN (strings...)` — compiled to an OR of equalities.
+    InStr {
+        /// String column index.
+        col: usize,
+        /// Accepted values.
+        values: Vec<String>,
+    },
+    /// Conjunction, evaluated left to right (cheapest/most selective first
+    /// is the plan builder's job).
+    And(Vec<Pred>),
+    /// Disjunction (union of the branch selection vectors).
+    Or(Vec<Pred>),
+}
+
+impl Pred {
+    /// `col op const`.
+    pub fn cmp_val(col: usize, op: CmpKind, v: Value) -> Pred {
+        Pred::Cmp {
+            col,
+            op,
+            rhs: CmpRhs::Const(v),
+        }
+    }
+    /// `col op col`.
+    pub fn cmp_col(col: usize, op: CmpKind, other: usize) -> Pred {
+        Pred::Cmp {
+            col,
+            op,
+            rhs: CmpRhs::Col(other),
+        }
+    }
+    /// `lo <= col AND col <= hi` (BETWEEN).
+    pub fn between_i32(col: usize, lo: i32, hi: i32) -> Pred {
+        Pred::And(vec![
+            Pred::cmp_val(col, CmpKind::Ge, Value::I32(lo)),
+            Pred::cmp_val(col, CmpKind::Le, Value::I32(hi)),
+        ])
+    }
+    /// `lo <= col AND col <= hi` over i64 (decimals ×100).
+    pub fn between_i64(col: usize, lo: i64, hi: i64) -> Pred {
+        Pred::And(vec![
+            Pred::cmp_val(col, CmpKind::Ge, Value::I64(lo)),
+            Pred::cmp_val(col, CmpKind::Le, Value::I64(hi)),
+        ])
+    }
+    /// String equality.
+    pub fn str_eq(col: usize, v: impl Into<String>) -> Pred {
+        Pred::cmp_val(col, CmpKind::Eq, Value::Str(v.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types() {
+        assert_eq!(Value::I32(1).data_type(), DataType::I32);
+        assert_eq!(Value::Str("x".into()).data_type(), DataType::Str);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::mul(
+            Expr::col(0),
+            Expr::sub(Expr::i64(100), Expr::col(1)),
+        );
+        match e {
+            Expr::Arith {
+                op: ArithKind::Mul,
+                lhs,
+                rhs,
+            } => {
+                assert_eq!(*lhs, Expr::Col(0));
+                assert!(matches!(*rhs, Expr::Arith { op: ArithKind::Sub, .. }));
+            }
+            _ => panic!("wrong shape"),
+        }
+    }
+
+    #[test]
+    fn between_desugars_to_and() {
+        let p = Pred::between_i32(2, 10, 20);
+        match p {
+            Pred::And(v) => {
+                assert_eq!(v.len(), 2);
+                assert!(matches!(v[0], Pred::Cmp { op: CmpKind::Ge, .. }));
+                assert!(matches!(v[1], Pred::Cmp { op: CmpKind::Le, .. }));
+            }
+            _ => panic!("wrong shape"),
+        }
+    }
+
+    #[test]
+    fn sig_names() {
+        assert_eq!(ArithKind::Mul.sig_name(), "mul");
+        assert_eq!(CmpKind::Ge.sig_name(), "ge");
+    }
+}

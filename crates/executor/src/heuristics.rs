@@ -1,0 +1,180 @@
+//! Hard-coded flavor heuristics — the competing approach of §4.2.
+//!
+//! "One could for instance hard-code to use No-Branching selection
+//! implementations between 10% and 90% observed selectivity. Similarly,
+//! above 30% selectivity a primitive like map_mul could ignore the selection
+//! vector [...]. Finally, depending on the bloom filter size, we could
+//! decide to use Fission or not. We developed such heuristics, tuning them
+//! to the characteristics of Machine 1."
+//!
+//! Implemented as a [`Policy`] that decides on the *hint* the executor
+//! supplies before each call (observed selectivity, input density, or bloom
+//! size), so the engine machinery is identical across modes.
+
+use ma_core::policy::Policy;
+
+/// Which rule a heuristic instance applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HeuristicRule {
+    /// Selection primitives: no-branching when the *observed* selectivity of
+    /// the previous calls lies in `[lo, hi]`, branching outside.
+    /// The hint is the last call's output selectivity.
+    Selection {
+        /// Lower selectivity bound (inclusive).
+        lo: f64,
+        /// Upper selectivity bound (inclusive).
+        hi: f64,
+    },
+    /// Map primitives: full computation when input density (live/len) is at
+    /// least `threshold`. Data-type dependent (Fig. 8): smaller types gain
+    /// more from SIMD, so their threshold is lower.
+    FullComputation {
+        /// Minimum input density for full computation.
+        threshold: f64,
+    },
+    /// Bloom lookups: fission when the filter exceeds `bytes`.
+    Fission {
+        /// Filter size above which fission is used.
+        bytes: f64,
+    },
+    /// No rule: always the default flavor.
+    Off,
+}
+
+/// A policy that applies a [`HeuristicRule`] against the latest hint.
+#[derive(Debug, Clone)]
+pub struct HeuristicPolicy {
+    rule: HeuristicRule,
+    arms: usize,
+    /// Flavor index to use when the rule does not fire (the default).
+    base: usize,
+    /// Flavor index when the rule fires.
+    alt: usize,
+    hint: f64,
+}
+
+impl HeuristicPolicy {
+    /// Creates the policy. `base`/`alt` are flavor indices within the
+    /// instance's flavor set.
+    pub fn new(rule: HeuristicRule, arms: usize, base: usize, alt: usize) -> Self {
+        assert!(base < arms && alt < arms);
+        HeuristicPolicy {
+            rule,
+            arms,
+            base,
+            alt,
+            hint: f64::NAN,
+        }
+    }
+
+    fn fires(&self) -> bool {
+        if self.hint.is_nan() {
+            return false;
+        }
+        match self.rule {
+            HeuristicRule::Selection { lo, hi } => self.hint >= lo && self.hint <= hi,
+            HeuristicRule::FullComputation { threshold } => self.hint >= threshold,
+            HeuristicRule::Fission { bytes } => self.hint > bytes,
+            HeuristicRule::Off => false,
+        }
+    }
+}
+
+impl Policy for HeuristicPolicy {
+    fn choose(&mut self) -> usize {
+        if self.fires() {
+            self.alt
+        } else {
+            self.base
+        }
+    }
+
+    fn observe(&mut self, _flavor: usize, _tuples: u64, _ticks: u64) {}
+
+    fn arms(&self) -> usize {
+        self.arms
+    }
+
+    fn name(&self) -> String {
+        format!("heuristic({:?})", self.rule)
+    }
+
+    fn hint(&mut self, value: f64) {
+        self.hint = value;
+    }
+}
+
+/// The Machine-1-tuned thresholds of §4.2.
+pub mod tuned {
+    use super::HeuristicRule;
+
+    /// No-branching between 10% and 90% observed selectivity.
+    pub const SELECTION: HeuristicRule = HeuristicRule::Selection { lo: 0.10, hi: 0.90 };
+
+    /// Full computation above 30% density for 32-bit ints (the paper's
+    /// example); shifted per type following Fig. 8: 16-bit gains from 10%,
+    /// 64-bit never gains.
+    pub fn full_computation(elem_bytes: usize) -> HeuristicRule {
+        match elem_bytes {
+            2 => HeuristicRule::FullComputation { threshold: 0.10 },
+            4 => HeuristicRule::FullComputation { threshold: 0.30 },
+            // 64-bit values: SIMD gain never pays for the extra work.
+            _ => HeuristicRule::Off,
+        }
+    }
+
+    /// Fission for bloom filters beyond 1 MB (machine 1's cross-over,
+    /// Fig. 6).
+    pub const FISSION: HeuristicRule = HeuristicRule::Fission { bytes: (1 << 20) as f64 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_rule_window() {
+        let mut p = HeuristicPolicy::new(tuned::SELECTION, 2, 0, 1);
+        // No hint yet: default.
+        assert_eq!(p.choose(), 0);
+        p.hint(0.5);
+        assert_eq!(p.choose(), 1, "mid selectivity → no-branching");
+        p.hint(0.95);
+        assert_eq!(p.choose(), 0, "high selectivity → branching");
+        p.hint(0.05);
+        assert_eq!(p.choose(), 0, "low selectivity → branching");
+        p.hint(0.10);
+        assert_eq!(p.choose(), 1, "inclusive lower bound");
+    }
+
+    #[test]
+    fn full_computation_rule_by_type() {
+        let mut p16 = HeuristicPolicy::new(tuned::full_computation(2), 2, 0, 1);
+        p16.hint(0.15);
+        assert_eq!(p16.choose(), 1);
+        let mut p32 = HeuristicPolicy::new(tuned::full_computation(4), 2, 0, 1);
+        p32.hint(0.15);
+        assert_eq!(p32.choose(), 0);
+        p32.hint(0.35);
+        assert_eq!(p32.choose(), 1);
+        let mut p64 = HeuristicPolicy::new(tuned::full_computation(8), 2, 0, 1);
+        p64.hint(0.99);
+        assert_eq!(p64.choose(), 0, "64-bit never goes full");
+    }
+
+    #[test]
+    fn fission_rule_by_size() {
+        let mut p = HeuristicPolicy::new(tuned::FISSION, 2, 0, 1);
+        p.hint((64 << 10) as f64);
+        assert_eq!(p.choose(), 0, "small filter stays fused");
+        p.hint((4 << 20) as f64);
+        assert_eq!(p.choose(), 1, "large filter → fission");
+    }
+
+    #[test]
+    fn off_rule_never_fires() {
+        let mut p = HeuristicPolicy::new(HeuristicRule::Off, 3, 2, 0);
+        p.hint(1e9);
+        assert_eq!(p.choose(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+//! # ma-executor — vectorized query executor with Micro Adaptivity
+//!
+//! A vector-at-a-time pull engine in the Vectorwise architecture (§1):
+//! operators exchange [`ma_vector::DataChunk`]s of ~1024 tuples; all data
+//! processing happens in primitive functions resolved through the Primitive
+//! Dictionary; and the *expression evaluator* ([`eval`]) is the place where
+//! the engine — per configuration — either always calls the default flavor,
+//! applies hard-coded heuristics (§4.2), or runs a multi-armed bandit per
+//! primitive instance (Micro Adaptivity, §3).
+//!
+//! Operators: [`ops::Scan`], [`ops::Select`], [`ops::Project`],
+//! [`ops::HashJoin`] (inner/semi/anti/left-single, bloom-filter
+//! accelerated), [`ops::MergeJoin`], [`ops::HashAggregate`],
+//! [`ops::StreamAggregate`], [`ops::Sort`], [`ops::Limit`].
+
+pub mod adaptive;
+pub mod config;
+pub mod eval;
+pub mod expr;
+pub mod heuristics;
+pub mod ops;
+pub mod stage;
+
+pub use adaptive::{HeurKind, InstanceReport, PrimInstance, QueryContext};
+pub use config::{ExecConfig, FlavorAxis, FlavorMode};
+pub use eval::{CompiledExpr, CompiledPred};
+pub use expr::{ArithKind, CmpKind, CmpRhs, Expr, Pred, Value};
+pub use ops::{collect, BoxOp, Operator};
+pub use stage::StageProfile;
+
+use ma_vector::TableError;
+
+/// Errors from plan construction and execution.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Malformed plan (type mismatch, bad column index, ...).
+    Plan(String),
+    /// A primitive signature missing from the dictionary.
+    UnknownPrimitive(String),
+    /// Storage-level error.
+    Table(TableError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Plan(m) => write!(f, "plan error: {m}"),
+            ExecError::UnknownPrimitive(s) => write!(f, "unknown primitive: {s}"),
+            ExecError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<TableError> for ExecError {
+    fn from(e: TableError) -> Self {
+        ExecError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(ExecError::Plan("x".into()).to_string().contains("plan"));
+        assert!(ExecError::UnknownPrimitive("sig".into())
+            .to_string()
+            .contains("sig"));
+        let t: ExecError = TableError::UnknownColumn("c".into()).into();
+        assert!(t.to_string().contains("table error"));
+    }
+}

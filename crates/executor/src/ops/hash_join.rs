@@ -1,0 +1,752 @@
+//! Hash join with optional bloom-filter probe acceleration.
+//!
+//! The build side is materialized into a chained hash table; probing is
+//! vectorized: a `map_hash_*`/`map_rehash_*` instance chain computes the
+//! probe hash vector, the optional `sel_bloomfilter` instance (the loop
+//! fission flavor set, §2) pre-filters probe positions, and matched output
+//! columns are produced by adaptive `map_fetch_*` gathers (the Fig. 4(d)
+//! primitive). The chain walk itself is plain code — §4.1 notes Vectorwise's
+//! hash-table lookup also bypasses the expression evaluator.
+
+use std::sync::Arc;
+
+use ma_primitives::hashing::{combine_hash, hash_u64};
+use ma_primitives::{BloomFilter, MapHash, MapRehash, SelBloom};
+use ma_vector::{DataChunk, DataType, SelVec, Vector};
+
+use crate::adaptive::HeurKind;
+use crate::expr::Value;
+use crate::ops::fetch::FetchInst;
+use crate::ops::{normalize_keys_i64, BoxOp, FrozenStore, Operator, RowStore};
+use crate::{ExecError, PrimInstance, QueryContext};
+
+/// Join semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// All matching pairs; output = probe columns ++ build payload.
+    Inner,
+    /// Probe tuples with at least one match (selection-vector narrowing).
+    Semi,
+    /// Probe tuples with no match.
+    Anti,
+    /// At most one match per probe tuple (unique build keys); unmatched
+    /// tuples get default payload values. Used for e.g. Q13's
+    /// customer ⟕ per-customer order counts.
+    LeftSingle,
+}
+
+enum ProbeHashStep {
+    First(PrimInstance<MapHash<i64>>, usize),
+    Rest(PrimInstance<MapRehash<i64>>, usize),
+}
+
+struct BuildSide {
+    /// Normalized key columns, one `Vec<i64>` per key.
+    keys: Vec<Vec<i64>>,
+    payload: FrozenStore,
+    heads: Vec<u32>,
+    chain: Vec<u32>,
+    mask: u64,
+    bloom: Option<BloomFilter>,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl BuildSide {
+    fn probe_chain(&self, hash: u64) -> u32 {
+        self.heads[(hash & self.mask) as usize]
+    }
+
+    fn key_matches(&self, row: u32, probe_keys: &[Vec<i64>], pos: usize) -> bool {
+        self.keys
+            .iter()
+            .zip(probe_keys)
+            .all(|(bk, pk)| bk[row as usize] == pk[pos])
+    }
+}
+
+/// Hash join operator.
+pub struct HashJoin {
+    build: Option<BoxOp>,
+    probe: BoxOp,
+    build_key_idx: Vec<usize>,
+    probe_key_idx: Vec<usize>,
+    payload_idx: Vec<usize>,
+    kind: JoinKind,
+    types: Vec<DataType>,
+    vector_size: usize,
+
+    probe_hash_steps: Vec<ProbeHashStep>,
+    bloom_inst: Option<PrimInstance<SelBloom>>,
+    probe_fetch: Vec<FetchInst>,
+    payload_fetch: Vec<FetchInst>,
+    defaults: Vec<Value>,
+
+    built: Option<BuildSide>,
+    /// Pending inner-join matches: source chunk + (probe pos, build row).
+    pending: Option<(DataChunk, Vec<u32>, Vec<u32>, usize)>,
+    // scratch
+    hashes: Vec<u64>,
+    probe_keys: Vec<Vec<i64>>,
+}
+
+impl HashJoin {
+    /// Builds a hash join.
+    ///
+    /// * `build_keys`/`probe_keys`: integer key columns (index-aligned).
+    /// * `payload`: build-side columns appended to the output
+    ///   (Inner/LeftSingle only).
+    /// * `defaults`: LeftSingle payload values for unmatched probe tuples
+    ///   (must match payload types; empty otherwise).
+    /// * `use_bloom`: pre-filter probe positions with a bloom filter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        build: BoxOp,
+        probe: BoxOp,
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+        payload: Vec<usize>,
+        kind: JoinKind,
+        use_bloom: bool,
+        defaults: Vec<Value>,
+        ctx: &QueryContext,
+        label: &str,
+    ) -> Result<Self, ExecError> {
+        if build_keys.is_empty() || build_keys.len() != probe_keys.len() {
+            return Err(ExecError::Plan("join key lists must match".into()));
+        }
+        let build_types = build.out_types().to_vec();
+        let probe_types = probe.out_types().to_vec();
+        for &k in &build_keys {
+            if k >= build_types.len() {
+                return Err(ExecError::Plan(format!("build key {k} out of range")));
+            }
+        }
+        for &k in &probe_keys {
+            if k >= probe_types.len() {
+                return Err(ExecError::Plan(format!("probe key {k} out of range")));
+            }
+        }
+        let payload_types: Vec<DataType> = payload
+            .iter()
+            .map(|&i| {
+                build_types
+                    .get(i)
+                    .copied()
+                    .ok_or_else(|| ExecError::Plan(format!("payload column {i} out of range")))
+            })
+            .collect::<Result<_, _>>()?;
+
+        let types: Vec<DataType> = match kind {
+            JoinKind::Inner | JoinKind::LeftSingle => probe_types
+                .iter()
+                .copied()
+                .chain(payload_types.iter().copied())
+                .collect(),
+            JoinKind::Semi | JoinKind::Anti => probe_types.clone(),
+        };
+        if kind == JoinKind::LeftSingle {
+            if defaults.len() != payload_types.len() {
+                return Err(ExecError::Plan(
+                    "LeftSingle needs one default per payload column".into(),
+                ));
+            }
+            for (d, t) in defaults.iter().zip(&payload_types) {
+                if d.data_type() != *t {
+                    return Err(ExecError::Plan(format!(
+                        "default type {} does not match payload {t}",
+                        d.data_type()
+                    )));
+                }
+            }
+        }
+
+        let mut probe_hash_steps = Vec::new();
+        for (k, &c) in probe_keys.iter().enumerate() {
+            probe_hash_steps.push(if k == 0 {
+                ProbeHashStep::First(
+                    ctx.instance("map_hash_i64_col", format!("{label}/map_hash"), HeurKind::None)?,
+                    c,
+                )
+            } else {
+                ProbeHashStep::Rest(
+                    ctx.instance(
+                        "map_rehash_i64_col",
+                        format!("{label}/map_rehash"),
+                        HeurKind::None,
+                    )?,
+                    c,
+                )
+            });
+        }
+        let bloom_inst = if use_bloom {
+            Some(ctx.instance(
+                "sel_bloomfilter",
+                format!("{label}/sel_bloomfilter"),
+                HeurKind::Fission,
+            )?)
+        } else {
+            None
+        };
+        // Inner joins gather probe columns through fetch instances.
+        let probe_fetch = if kind == JoinKind::Inner {
+            probe_types
+                .iter()
+                .map(|&t| FetchInst::create(t, ctx, label))
+                .collect::<Result<_, _>>()?
+        } else {
+            Vec::new()
+        };
+        let payload_fetch = if kind == JoinKind::Inner {
+            payload_types
+                .iter()
+                .map(|&t| FetchInst::create(t, ctx, label))
+                .collect::<Result<_, _>>()?
+        } else {
+            Vec::new()
+        };
+
+        let nkeys = build_keys.len();
+        Ok(HashJoin {
+            build: Some(build),
+            probe,
+            build_key_idx: build_keys,
+            probe_key_idx: probe_keys,
+            payload_idx: payload,
+            kind,
+            types,
+            vector_size: ctx.vector_size(),
+            probe_hash_steps,
+            bloom_inst,
+            probe_fetch,
+            payload_fetch,
+            defaults,
+            built: None,
+            pending: None,
+            hashes: Vec::new(),
+            probe_keys: vec![Vec::new(); nkeys],
+        })
+    }
+
+    fn do_build(&mut self) -> Result<(), ExecError> {
+        let mut child = self.build.take().expect("build called once");
+        let build_types = child.out_types().to_vec();
+        let payload_types: Vec<DataType> =
+            self.payload_idx.iter().map(|&i| build_types[i]).collect();
+        let mut keys: Vec<Vec<i64>> = vec![Vec::new(); self.build_key_idx.len()];
+        let mut payload = RowStore::new(payload_types);
+        let mut scratch = Vec::new();
+        while let Some(chunk) = child.next()? {
+            let positions = chunk.live_positions();
+            for (kv, &ci) in keys.iter_mut().zip(&self.build_key_idx) {
+                normalize_keys_i64(chunk.column(ci), &mut scratch);
+                kv.extend(positions.iter().map(|&p| scratch[p]));
+            }
+            payload.append(&chunk, &self.payload_idx);
+        }
+        let rows = keys[0].len();
+        // Row hashes (build side bypasses the evaluator, like Vectorwise).
+        let mut row_hashes = vec![0u64; rows];
+        for (k, kv) in keys.iter().enumerate() {
+            if k == 0 {
+                for (h, &v) in row_hashes.iter_mut().zip(kv) {
+                    *h = hash_u64(v as u64);
+                }
+            } else {
+                for (h, &v) in row_hashes.iter_mut().zip(kv) {
+                    *h = combine_hash(*h, v as u64);
+                }
+            }
+        }
+        let slots = (rows * 2).next_power_of_two().max(64);
+        let mut heads = vec![NIL; slots];
+        let mut chain = vec![NIL; rows];
+        let mask = slots as u64 - 1;
+        for (r, &h) in row_hashes.iter().enumerate() {
+            let s = (h & mask) as usize;
+            chain[r] = heads[s];
+            heads[s] = r as u32;
+        }
+        let bloom = self.bloom_inst.as_ref().map(|_| {
+            let mut bf = BloomFilter::for_keys(rows);
+            for &h in &row_hashes {
+                bf.insert_hash(h);
+            }
+            bf
+        });
+        self.built = Some(BuildSide {
+            keys,
+            payload: payload.freeze(),
+            heads,
+            chain,
+            mask,
+            bloom,
+        });
+        Ok(())
+    }
+
+    /// Emits up to `vector_size` pending inner-join pairs as one chunk.
+    fn emit_pending(&mut self) -> Option<DataChunk> {
+        let (chunk, ppos, brow, offset) = self.pending.as_mut()?;
+        let n = (ppos.len() - *offset).min(self.vector_size);
+        if n == 0 {
+            self.pending = None;
+            return None;
+        }
+        let pp = &ppos[*offset..*offset + n];
+        let bb = &brow[*offset..*offset + n];
+        let built = self.built.as_ref().expect("built");
+        let mut cols: Vec<Arc<Vector>> = Vec::with_capacity(self.types.len());
+        for (ci, inst) in self.probe_fetch.iter_mut().enumerate() {
+            cols.push(Arc::new(inst.fetch(chunk.column(ci), pp)));
+        }
+        for (pi, inst) in self.payload_fetch.iter_mut().enumerate() {
+            cols.push(Arc::new(inst.fetch(built.payload.col(pi), bb)));
+        }
+        *offset += n;
+        let done = *offset >= ppos.len();
+        let out = DataChunk::new(cols);
+        if done {
+            self.pending = None;
+        }
+        Some(out)
+    }
+
+    /// Probes one chunk; returns an output chunk unless everything was
+    /// filtered out.
+    fn probe_chunk(&mut self, chunk: DataChunk) -> Option<DataChunk> {
+        let n = chunk.len();
+        let sel_owned = chunk.sel().cloned();
+        let sel = sel_owned.as_ref().map(SelVec::as_slice);
+        let live = chunk.live_count() as u64;
+
+        // Normalize probe keys.
+        for (kv, &ci) in self.probe_keys.iter_mut().zip(&self.probe_key_idx) {
+            normalize_keys_i64(chunk.column(ci), kv);
+        }
+        // Hash pipeline.
+        self.hashes.resize(n.max(self.hashes.len()), 0);
+        let hashes = &mut self.hashes[..n];
+        for step in &mut self.probe_hash_steps {
+            match step {
+                ProbeHashStep::First(inst, c) => {
+                    let keys =
+                        &self.probe_keys[self.probe_key_idx.iter().position(|x| x == c).unwrap()];
+                    inst.invoke(live, |f| f(hashes, keys, sel));
+                }
+                ProbeHashStep::Rest(inst, c) => {
+                    let keys =
+                        &self.probe_keys[self.probe_key_idx.iter().position(|x| x == c).unwrap()];
+                    inst.invoke(live, |f| f(hashes, keys, sel));
+                }
+            }
+        }
+
+        let built = self.built.as_ref().expect("built");
+
+        // Bloom pre-filter (candidates that *may* match).
+        let mut bloom_buf: Vec<u32>;
+        let candidates: &[u32] = match (&mut self.bloom_inst, &built.bloom) {
+            (Some(inst), Some(bf)) => {
+                let cap = live as usize;
+                bloom_buf = vec![0u32; cap];
+                inst.hint(bf.bytes() as f64);
+                let k = inst.invoke(live, |f| f(&mut bloom_buf, bf, hashes, sel));
+                bloom_buf.truncate(k);
+                &bloom_buf
+            }
+            _ => {
+                bloom_buf = match sel {
+                    Some(s) => s.to_vec(),
+                    None => (0..n as u32).collect(),
+                };
+                &bloom_buf
+            }
+        };
+
+        match self.kind {
+            JoinKind::Inner => {
+                let mut ppos = Vec::new();
+                let mut brow = Vec::new();
+                for &i in candidates {
+                    let mut r = built.probe_chain(hashes[i as usize]);
+                    while r != NIL {
+                        if built.key_matches(r, &self.probe_keys, i as usize) {
+                            ppos.push(i);
+                            brow.push(r);
+                        }
+                        r = built.chain[r as usize];
+                    }
+                }
+                if ppos.is_empty() {
+                    return None;
+                }
+                self.pending = Some((chunk, ppos, brow, 0));
+                self.emit_pending()
+            }
+            JoinKind::Semi | JoinKind::Anti => {
+                let mut matched = vec![false; n];
+                for &i in candidates {
+                    let mut r = built.probe_chain(hashes[i as usize]);
+                    while r != NIL {
+                        if built.key_matches(r, &self.probe_keys, i as usize) {
+                            matched[i as usize] = true;
+                            break;
+                        }
+                        r = built.chain[r as usize];
+                    }
+                }
+                let want = self.kind == JoinKind::Semi;
+                let positions: Vec<u32> = match sel {
+                    Some(s) => s
+                        .iter()
+                        .copied()
+                        .filter(|&i| matched[i as usize] == want)
+                        .collect(),
+                    None => (0..n as u32).filter(|&i| matched[i as usize] == want).collect(),
+                };
+                if positions.is_empty() {
+                    return None;
+                }
+                Some(chunk.with_sel(Some(SelVec::from_positions(positions))))
+            }
+            JoinKind::LeftSingle => {
+                // One output row per live probe tuple; payload from the
+                // unique match or the defaults.
+                let mut match_row = vec![NIL; n];
+                for &i in candidates {
+                    let mut r = built.probe_chain(hashes[i as usize]);
+                    while r != NIL {
+                        if built.key_matches(r, &self.probe_keys, i as usize) {
+                            match_row[i as usize] = r;
+                            break;
+                        }
+                        r = built.chain[r as usize];
+                    }
+                }
+                let mut cols: Vec<Arc<Vector>> = chunk.columns().to_vec();
+                for (pi, d) in self.defaults.iter().enumerate() {
+                    let src = built.payload.col(pi);
+                    let col = left_single_payload(src, &match_row, d, sel, n);
+                    cols.push(Arc::new(col));
+                }
+                let mut out = DataChunk::new(cols);
+                out.set_sel(sel_owned);
+                Some(out)
+            }
+        }
+    }
+}
+
+/// Builds a LeftSingle payload column: match value or default.
+fn left_single_payload(
+    src: &Vector,
+    match_row: &[u32],
+    default: &Value,
+    sel: Option<&[u32]>,
+    n: usize,
+) -> Vector {
+    macro_rules! fill {
+        ($srcv:expr, $d:expr, $variant:ident, $zero:expr) => {{
+            let mut out = vec![$zero; n];
+            let apply = |i: usize, out: &mut Vec<_>| {
+                out[i] = if match_row[i] == NIL {
+                    $d
+                } else {
+                    $srcv[match_row[i] as usize]
+                };
+            };
+            match sel {
+                Some(s) => {
+                    for &i in s {
+                        apply(i as usize, &mut out);
+                    }
+                }
+                None => {
+                    for i in 0..n {
+                        apply(i, &mut out);
+                    }
+                }
+            }
+            Vector::$variant(out)
+        }};
+    }
+    match (src, default) {
+        (Vector::I16(v), Value::I16(d)) => fill!(v, *d, I16, 0i16),
+        (Vector::I32(v), Value::I32(d)) => fill!(v, *d, I32, 0i32),
+        (Vector::I64(v), Value::I64(d)) => fill!(v, *d, I64, 0i64),
+        (Vector::F64(v), Value::F64(d)) => fill!(v, *d, F64, 0f64),
+        _ => panic!("LeftSingle payload only supports numeric columns"),
+    }
+}
+
+impl Operator for HashJoin {
+    fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+        if self.built.is_none() {
+            self.do_build()?;
+        }
+        if let Some(out) = self.emit_pending() {
+            return Ok(Some(out));
+        }
+        loop {
+            let Some(chunk) = self.probe.next()? else {
+                return Ok(None);
+            };
+            if chunk.live_count() == 0 {
+                continue;
+            }
+            if let Some(out) = self.probe_chunk(chunk) {
+                return Ok(Some(out));
+            }
+        }
+    }
+
+    fn out_types(&self) -> &[DataType] {
+        &self.types
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecConfig;
+    use crate::ops::{collect, total_rows, Scan};
+    use ma_primitives::build_dictionary;
+    use ma_vector::{ColumnBuilder, Table};
+
+    fn ctx() -> QueryContext {
+        QueryContext::new(Arc::new(build_dictionary()), ExecConfig::fixed_default())
+    }
+
+    /// Dim table: key 0..n, name "n{key}".
+    fn dim(n: usize) -> BoxOp {
+        let mut k = ColumnBuilder::with_capacity(DataType::I32, n);
+        let mut s = ColumnBuilder::with_capacity(DataType::Str, n);
+        for i in 0..n {
+            k.push_i32(i as i32);
+            s.push_str(&format!("n{i}"));
+        }
+        let t = Arc::new(
+            Table::new("d", vec![("k".into(), k.finish()), ("s".into(), s.finish())]).unwrap(),
+        );
+        Box::new(Scan::new(t, &["k", "s"], 128).unwrap())
+    }
+
+    /// Fact table: fk = i % m, v = i.
+    fn fact(n: usize, m: usize) -> BoxOp {
+        let mut fk = ColumnBuilder::with_capacity(DataType::I32, n);
+        let mut v = ColumnBuilder::with_capacity(DataType::I64, n);
+        for i in 0..n {
+            fk.push_i32((i % m) as i32);
+            v.push_i64(i as i64);
+        }
+        let t = Arc::new(
+            Table::new("f", vec![("fk".into(), fk.finish()), ("v".into(), v.finish())]).unwrap(),
+        );
+        Box::new(Scan::new(t, &["fk", "v"], 128).unwrap())
+    }
+
+    fn join(kind: JoinKind, use_bloom: bool, dim_n: usize, fact_n: usize) -> HashJoin {
+        let c = ctx();
+        HashJoin::new(
+            dim(dim_n),
+            fact(fact_n, 10),
+            vec![0],
+            vec![0],
+            if matches!(kind, JoinKind::Inner) {
+                vec![1]
+            } else {
+                vec![]
+            },
+            kind,
+            use_bloom,
+            vec![],
+            &c,
+            "t",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches_and_fetches_payload() {
+        // dim keys 0..5; fact fk cycles 0..10 → half the fact rows match.
+        let mut j = join(JoinKind::Inner, false, 5, 1000);
+        assert_eq!(
+            j.out_types(),
+            &[DataType::I32, DataType::I64, DataType::Str]
+        );
+        let chunks = collect(&mut j).unwrap();
+        assert_eq!(total_rows(&chunks), 500);
+        for ch in &chunks {
+            for p in ch.live_positions() {
+                let fk = ch.column(0).as_i32()[p];
+                assert!(fk < 5);
+                assert_eq!(ch.column(2).as_str_vec().get(p), format!("n{fk}"));
+                // v % 10 == fk by construction
+                assert_eq!(ch.column(1).as_i64()[p] % 10, fk as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_join_with_bloom_gives_same_result() {
+        let plain = collect(&mut join(JoinKind::Inner, false, 5, 1000)).unwrap();
+        let bloom = collect(&mut join(JoinKind::Inner, true, 5, 1000)).unwrap();
+        assert_eq!(total_rows(&plain), total_rows(&bloom));
+        let sum = |chunks: &[DataChunk]| -> i64 {
+            chunks
+                .iter()
+                .flat_map(|c| c.live_positions().into_iter().map(move |p| c.column(1).as_i64()[p]))
+                .sum()
+        };
+        assert_eq!(sum(&plain), sum(&bloom));
+    }
+
+    #[test]
+    fn semi_and_anti_partition_probe() {
+        let semi = collect(&mut join(JoinKind::Semi, false, 5, 1000)).unwrap();
+        let anti = collect(&mut join(JoinKind::Anti, false, 5, 1000)).unwrap();
+        assert_eq!(total_rows(&semi), 500);
+        assert_eq!(total_rows(&anti), 500);
+        for ch in &semi {
+            for p in ch.live_positions() {
+                assert!(ch.column(0).as_i32()[p] < 5);
+            }
+        }
+        for ch in &anti {
+            for p in ch.live_positions() {
+                assert!(ch.column(0).as_i32()[p] >= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn anti_with_bloom_keeps_filtered_positions() {
+        let plain = collect(&mut join(JoinKind::Anti, false, 7, 500)).unwrap();
+        let bloom = collect(&mut join(JoinKind::Anti, true, 7, 500)).unwrap();
+        assert_eq!(total_rows(&plain), total_rows(&bloom));
+    }
+
+    #[test]
+    fn one_to_many_expansion() {
+        // dim key 0..2, fact fk = i % 10 → keys 0,1 match 100 rows each...
+        // plus duplicate build rows: make dim with duplicated keys to force
+        // multiple matches per probe row.
+        let c = ctx();
+        let mut k = ColumnBuilder::with_capacity(DataType::I32, 4);
+        let mut s = ColumnBuilder::with_capacity(DataType::Str, 4);
+        for (key, name) in [(0, "a"), (0, "b"), (1, "c"), (2, "d")] {
+            k.push_i32(key);
+            s.push_str(name);
+        }
+        let t = Arc::new(
+            Table::new("d", vec![("k".into(), k.finish()), ("s".into(), s.finish())]).unwrap(),
+        );
+        let build: BoxOp = Box::new(Scan::new(t, &["k", "s"], 128).unwrap());
+        let mut j = HashJoin::new(
+            build,
+            fact(10, 10),
+            vec![0],
+            vec![0],
+            vec![1],
+            JoinKind::Inner,
+            false,
+            vec![],
+            &c,
+            "t",
+        )
+        .unwrap();
+        let chunks = collect(&mut j).unwrap();
+        // fk=0 matches 2 build rows; fk=1 and fk=2 match 1 each → 4 rows.
+        assert_eq!(total_rows(&chunks), 4);
+    }
+
+    #[test]
+    fn left_single_fills_defaults() {
+        let c = ctx();
+        // build: counts per key (0..3); probe: keys 0..6
+        let mut k = ColumnBuilder::with_capacity(DataType::I32, 3);
+        let mut cnt = ColumnBuilder::with_capacity(DataType::I64, 3);
+        for i in 0..3i32 {
+            k.push_i32(i);
+            cnt.push_i64(i as i64 * 100);
+        }
+        let t = Arc::new(
+            Table::new("b", vec![("k".into(), k.finish()), ("c".into(), cnt.finish())]).unwrap(),
+        );
+        let build: BoxOp = Box::new(Scan::new(t, &["k", "c"], 128).unwrap());
+        let mut j = HashJoin::new(
+            build,
+            fact(6, 6),
+            vec![0],
+            vec![0],
+            vec![1],
+            JoinKind::LeftSingle,
+            false,
+            vec![Value::I64(0)],
+            &c,
+            "t",
+        )
+        .unwrap();
+        let chunks = collect(&mut j).unwrap();
+        assert_eq!(total_rows(&chunks), 6);
+        let ch = &chunks[0];
+        for p in ch.live_positions() {
+            let key = ch.column(0).as_i32()[p];
+            let got = ch.column(2).as_i64()[p];
+            let expect = if key < 3 { key as i64 * 100 } else { 0 };
+            assert_eq!(got, expect, "key {key}");
+        }
+    }
+
+    #[test]
+    fn pending_matches_split_into_vector_sized_chunks() {
+        // Single build key matching every fact row → expansion of 5000 rows
+        // must be emitted in ≤1024-row chunks.
+        let c = ctx();
+        let mut k = ColumnBuilder::with_capacity(DataType::I32, 1);
+        let mut s = ColumnBuilder::with_capacity(DataType::Str, 1);
+        k.push_i32(0);
+        s.push_str("only");
+        let t = Arc::new(
+            Table::new("d", vec![("k".into(), k.finish()), ("s".into(), s.finish())]).unwrap(),
+        );
+        let build: BoxOp = Box::new(Scan::new(t, &["k", "s"], 128).unwrap());
+        let mut j = HashJoin::new(
+            build,
+            fact(5000, 1),
+            vec![0],
+            vec![0],
+            vec![1],
+            JoinKind::Inner,
+            false,
+            vec![],
+            &c,
+            "t",
+        )
+        .unwrap();
+        let chunks = collect(&mut j).unwrap();
+        assert_eq!(total_rows(&chunks), 5000);
+        for ch in &chunks {
+            assert!(ch.len() <= 1024);
+        }
+    }
+
+    #[test]
+    fn key_list_mismatch_rejected() {
+        let c = ctx();
+        assert!(HashJoin::new(
+            dim(5),
+            fact(10, 10),
+            vec![0],
+            vec![0, 1],
+            vec![],
+            JoinKind::Semi,
+            false,
+            vec![],
+            &c,
+            "t"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Table scan: materializes chunks from an in-memory columnar table.
+//!
+//! Scan decompression bypasses the expression evaluator in Vectorwise (§4.1
+//! notes this explicitly), so scans use no flavored primitives here either.
+
+use std::sync::Arc;
+
+use ma_vector::{DataChunk, DataType, Table};
+
+use crate::ops::Operator;
+use crate::ExecError;
+
+/// Sequential scan over selected columns of a table.
+pub struct Scan {
+    table: Arc<Table>,
+    col_idx: Vec<usize>,
+    types: Vec<DataType>,
+    vector_size: usize,
+    pos: usize,
+}
+
+impl Scan {
+    /// Builds a scan of `columns` (by name, output order as given).
+    pub fn new(
+        table: Arc<Table>,
+        columns: &[&str],
+        vector_size: usize,
+    ) -> Result<Self, ExecError> {
+        let mut col_idx = Vec::with_capacity(columns.len());
+        let mut types = Vec::with_capacity(columns.len());
+        for name in columns {
+            let i = table.column_index(name)?;
+            col_idx.push(i);
+            types.push(table.column_at(i).data_type());
+        }
+        Ok(Scan {
+            table,
+            col_idx,
+            types,
+            vector_size,
+            pos: 0,
+        })
+    }
+}
+
+impl Operator for Scan {
+    fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+        let rows = self.table.rows();
+        if self.pos >= rows {
+            return Ok(None);
+        }
+        let n = (rows - self.pos).min(self.vector_size);
+        let cols = self
+            .col_idx
+            .iter()
+            .map(|&i| Arc::new(self.table.column_at(i).slice_vector(self.pos, n)))
+            .collect();
+        self.pos += n;
+        Ok(Some(DataChunk::new(cols)))
+    }
+
+    fn out_types(&self) -> &[DataType] {
+        &self.types
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{collect, total_rows};
+    use ma_vector::{Column, ColumnBuilder};
+
+    fn table(n: usize) -> Arc<Table> {
+        let mut a = ColumnBuilder::with_capacity(DataType::I32, n);
+        let mut s = ColumnBuilder::with_capacity(DataType::Str, n);
+        for i in 0..n {
+            a.push_i32(i as i32);
+            s.push_str(&format!("row{i}"));
+        }
+        Arc::new(
+            Table::new(
+                "t",
+                vec![("a".into(), a.finish()), ("s".into(), s.finish())],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn scans_all_rows_in_chunks() {
+        let t = table(2500);
+        let mut scan = Scan::new(t, &["a", "s"], 1024).unwrap();
+        assert_eq!(scan.out_types(), &[DataType::I32, DataType::Str]);
+        let chunks = collect(&mut scan).unwrap();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 1024);
+        assert_eq!(chunks[2].len(), 452);
+        assert_eq!(total_rows(&chunks), 2500);
+        assert_eq!(chunks[1].column(0).as_i32()[0], 1024);
+        assert_eq!(chunks[1].column(1).as_str_vec().get(0), "row1024");
+    }
+
+    #[test]
+    fn column_order_follows_request() {
+        let t = table(10);
+        let mut scan = Scan::new(t, &["s", "a"], 16).unwrap();
+        assert_eq!(scan.out_types(), &[DataType::Str, DataType::I32]);
+        let c = scan.next().unwrap().unwrap();
+        assert_eq!(c.column(1).as_i32()[3], 3);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = table(1);
+        assert!(Scan::new(t, &["nope"], 16).is_err());
+    }
+
+    #[test]
+    fn empty_table_yields_no_chunks() {
+        let t = Arc::new(
+            Table::new(
+                "e",
+                vec![(
+                    "a".into(),
+                    Column::I32(Arc::new(vec![])),
+                )],
+            )
+            .unwrap(),
+        );
+        let mut scan = Scan::new(t, &["a"], 16).unwrap();
+        assert!(scan.next().unwrap().is_none());
+    }
+}

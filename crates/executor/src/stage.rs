@@ -1,0 +1,100 @@
+//! Per-stage query profiling (the paper's Table 1).
+//!
+//! A query run divides into *preprocess* (plan construction, rewriting),
+//! *execute* (the pull loop), and *postprocess* (result finalization); inside
+//! execute, the share spent in primitive functions is tracked separately.
+//! Table 1 shows ~99.9% of the time in execute and ~92% inside primitives —
+//! the observation that makes per-call profiling affordable.
+
+/// Tick totals per execution stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageProfile {
+    /// Plan construction / operator instantiation.
+    pub preprocess: u64,
+    /// The pull loop, end to end.
+    pub execute: u64,
+    /// Ticks inside primitive functions (subset of `execute`).
+    pub primitives: u64,
+    /// Result assembly after the pull loop.
+    pub postprocess: u64,
+}
+
+impl StageProfile {
+    /// Total ticks across the disjoint stages (primitives are inside
+    /// execute, so not added again).
+    pub fn total(&self) -> u64 {
+        self.preprocess + self.execute + self.postprocess
+    }
+
+    /// Percentage of total for each stage, in Table 1 order
+    /// (preprocess, execute, primitives, postprocess).
+    pub fn percentages(&self) -> [f64; 4] {
+        let t = self.total().max(1) as f64;
+        [
+            self.preprocess as f64 / t * 100.0,
+            self.execute as f64 / t * 100.0,
+            self.primitives as f64 / t * 100.0,
+            self.postprocess as f64 / t * 100.0,
+        ]
+    }
+
+    /// Renders the Table 1 layout.
+    pub fn render(&self) -> String {
+        let p = self.percentages();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>14} {:>14} {:>14}\n",
+            "stage", "preprocess", "execute", "primitives", "postprocess"
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>14} {:>14} {:>14}\n",
+            "ticks", self.preprocess, self.execute, self.primitives, self.postprocess
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>13.2}% {:>13.2}% {:>13.2}% {:>13.2}%\n",
+            "%", p[0], p[1], p[2], p[3]
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_percentages() {
+        let s = StageProfile {
+            preprocess: 10,
+            execute: 970,
+            primitives: 900,
+            postprocess: 20,
+        };
+        assert_eq!(s.total(), 1000);
+        let p = s.percentages();
+        assert!((p[0] - 1.0).abs() < 1e-9);
+        assert!((p[1] - 97.0).abs() < 1e-9);
+        assert!((p[2] - 90.0).abs() < 1e-9);
+        assert!((p[3] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_all_stages() {
+        let s = StageProfile {
+            preprocess: 1,
+            execute: 2,
+            primitives: 1,
+            postprocess: 1,
+        };
+        let txt = s.render();
+        for word in ["preprocess", "execute", "primitives", "postprocess"] {
+            assert!(txt.contains(word));
+        }
+    }
+
+    #[test]
+    fn zero_profile_does_not_divide_by_zero() {
+        let p = StageProfile::default().percentages();
+        assert_eq!(p, [0.0; 4]);
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's four test machines (Table 2) as analytic models.
+//!
+//! We have one physical host; the paper has four machines whose role in the
+//! evaluation is to show that *cross-over points move across hardware*
+//! (Figures 5, 6, 8; Table 4). Each machine is reduced to the handful of
+//! parameters those effects depend on: last-level cache capacity, memory
+//! latency, how many outstanding misses the core sustains, branch
+//! misprediction penalty, and SIMD width. DESIGN.md §3 documents the
+//! substitution argument.
+
+/// An analytic machine model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    /// Display name (paper machine number + microarchitecture).
+    pub name: &'static str,
+    /// Last-level cache in bytes (Table 2).
+    pub llc_bytes: u64,
+    /// Branch misprediction penalty in cycles.
+    pub branch_miss_penalty: f64,
+    /// Main-memory latency in cycles.
+    pub mem_latency: f64,
+    /// Outstanding misses a loop with independent iterations can overlap
+    /// (memory-level parallelism).
+    pub mlp: f64,
+    /// SIMD lanes for 32-bit operations (1 = no usable SIMD).
+    pub simd_lanes_32: f64,
+    /// Base scalar cost of a simple primitive body, cycles/tuple.
+    pub base_cost: f64,
+}
+
+/// Machine 1: Intel Nehalem, 12 MB LLC (Table 2).
+pub const MACHINE1: Machine = Machine {
+    name: "machine1-nehalem",
+    llc_bytes: 12 << 20,
+    branch_miss_penalty: 17.0,
+    mem_latency: 190.0,
+    mlp: 5.0,
+    simd_lanes_32: 4.0,
+    base_cost: 1.0,
+};
+
+/// Machine 2: Intel Core2, 4 MB LLC.
+pub const MACHINE2: Machine = Machine {
+    name: "machine2-core2",
+    llc_bytes: 4 << 20,
+    branch_miss_penalty: 15.0,
+    mem_latency: 230.0,
+    mlp: 3.0,
+    simd_lanes_32: 4.0,
+    base_cost: 1.2,
+};
+
+/// Machine 3: AMD Egypt (Opteron), 1 MB LLC, no useful SSE integer mul.
+pub const MACHINE3: Machine = Machine {
+    name: "machine3-egypt",
+    llc_bytes: 1 << 20,
+    branch_miss_penalty: 12.0,
+    mem_latency: 260.0,
+    mlp: 2.0,
+    simd_lanes_32: 1.0,
+    base_cost: 1.4,
+};
+
+/// Machine 4: Intel Sandy Bridge, 8 MB LLC.
+pub const MACHINE4: Machine = Machine {
+    name: "machine4-sandybridge",
+    llc_bytes: 8 << 20,
+    branch_miss_penalty: 15.0,
+    mem_latency: 170.0,
+    mlp: 6.0,
+    simd_lanes_32: 8.0,
+    base_cost: 0.9,
+};
+
+/// All four machines of Table 2.
+pub const ALL_MACHINES: [Machine; 4] = [MACHINE1, MACHINE2, MACHINE3, MACHINE4];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants, clippy::eq_op)]
+    fn table2_cache_sizes() {
+        assert_eq!(MACHINE1.llc_bytes, 12 << 20);
+        assert_eq!(MACHINE2.llc_bytes, 4 << 20);
+        assert_eq!(MACHINE3.llc_bytes, 1 << 20);
+        assert_eq!(MACHINE4.llc_bytes, 8 << 20);
+    }
+
+    #[test]
+    fn machines_are_distinct() {
+        for (i, a) in ALL_MACHINES.iter().enumerate() {
+            for b in &ALL_MACHINES[i + 1..] {
+                assert_ne!(a.name, b.name);
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn amd_has_no_simd_advantage() {
+        assert_eq!(MACHINE3.simd_lanes_32, 1.0);
+        assert!(MACHINE4.simd_lanes_32 > MACHINE1.simd_lanes_32);
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic non-stationary flavor traces.
+//!
+//! §3.2's demonstration scenario (Fig. 10): a primitive with three flavors
+//! "where one is the best at the start and the end of the query, but
+//! another one is better in the middle". We generate exactly that shape as
+//! an [`InstanceTrace`] so any policy can be replayed over it.
+
+use ma_core::{InstanceTrace, SplitMix64};
+
+/// Parameters of the Fig. 10 scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10Spec {
+    /// Number of primitive calls (the paper plots ~96K).
+    pub calls: usize,
+    /// Tuples per call.
+    pub tuples: u64,
+    /// Measurement noise amplitude (cycles/tuple).
+    pub noise: f64,
+}
+
+impl Default for Fig10Spec {
+    fn default() -> Self {
+        Fig10Spec {
+            calls: 96 * 1024,
+            tuples: 1024,
+            noise: 0.15,
+        }
+    }
+}
+
+/// Smooth bump that is ≈0 at the borders and 1 in the middle third.
+fn mid_window(x: f64) -> f64 {
+    // Raised-cosine between 25% and 75% of the query.
+    if !(0.2..=0.8).contains(&x) {
+        0.0
+    } else {
+        let t = (x - 0.2) / 0.6;
+        0.5 * (1.0 - (2.0 * std::f64::consts::PI * t).cos())
+    }
+}
+
+/// Generates the three-flavor non-stationary trace of Fig. 10.
+///
+/// * flavor 0: ~5.2 cycles/tuple throughout — best at start and end;
+/// * flavor 1: ~6.3 at the borders, dipping to ~4.6 mid-query — best in
+///   the middle;
+/// * flavor 2: ~7.0 throughout — never best (the bandit must learn to
+///   ignore it).
+pub fn fig10_trace(spec: &Fig10Spec, seed: u64) -> InstanceTrace {
+    let mut rng = SplitMix64::new(seed);
+    let n = spec.calls;
+    let mut costs: Vec<Vec<u64>> = (0..3).map(|_| Vec::with_capacity(n)).collect();
+    for t in 0..n {
+        let x = t as f64 / n as f64;
+        let w = mid_window(x);
+        let base = [5.2, 6.3 - 1.7 * w, 7.0 - 0.3 * w];
+        for (f, c) in costs.iter_mut().enumerate() {
+            let noise = (rng.next_f64() - 0.5) * 2.0 * spec.noise;
+            let cost_per_tuple = (base[f] + noise).max(0.5);
+            c.push((cost_per_tuple * spec.tuples as f64) as u64);
+        }
+    }
+    InstanceTrace::new("fig10", vec![spec.tuples; n], costs)
+}
+
+/// Generates a *stationary* trace with the given per-flavor mean costs —
+/// the control case where ε-first should do fine (§3.2's observation about
+/// compiler flavors rarely crossing over).
+pub fn stationary_trace(
+    name: &str,
+    calls: usize,
+    tuples: u64,
+    means: &[f64],
+    noise: f64,
+    seed: u64,
+) -> InstanceTrace {
+    let mut rng = SplitMix64::new(seed);
+    let mut costs = vec![Vec::with_capacity(calls); means.len()];
+    for _ in 0..calls {
+        for (f, c) in costs.iter_mut().enumerate() {
+            let n = (rng.next_f64() - 0.5) * 2.0 * noise;
+            c.push(((means[f] + n).max(0.1) * tuples as f64) as u64);
+        }
+    }
+    InstanceTrace::new(name, vec![tuples; calls], costs)
+}
+
+/// A trace with one cross-over at `switch_at` (fraction of the query):
+/// flavor 0 best before, flavor 1 best after — the Fig. 2 / Q12 pattern.
+pub fn switching_trace(
+    calls: usize,
+    tuples: u64,
+    switch_at: f64,
+    seed: u64,
+) -> InstanceTrace {
+    let mut rng = SplitMix64::new(seed);
+    let mut costs: Vec<Vec<u64>> = (0..2).map(|_| Vec::with_capacity(calls)).collect();
+    let sw = (calls as f64 * switch_at) as usize;
+    for t in 0..calls {
+        let (c0, c1) = if t < sw { (4.0, 5.5) } else { (16.0, 5.5) };
+        let n0 = (rng.next_f64() - 0.5) * 0.4;
+        let n1 = (rng.next_f64() - 0.5) * 0.4;
+        costs[0].push(((c0 + n0) * tuples as f64) as u64);
+        costs[1].push(((c1 + n1) * tuples as f64) as u64);
+    }
+    InstanceTrace::new("switching", vec![tuples; calls], costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ma_core::policy::VwGreedyParams;
+    use ma_core::{simulate_instance, PolicyKind};
+
+    #[test]
+    fn fig10_shape_has_the_right_winners() {
+        let tr = fig10_trace(&Fig10Spec::default(), 1);
+        let n = tr.calls();
+        let avg = |f: usize, lo: usize, hi: usize| -> f64 {
+            tr.costs[f][lo..hi].iter().sum::<u64>() as f64 / (hi - lo) as f64
+        };
+        // Start: flavor 0 best.
+        assert!(avg(0, 0, n / 10) < avg(1, 0, n / 10));
+        assert!(avg(0, 0, n / 10) < avg(2, 0, n / 10));
+        // Middle: flavor 1 best.
+        let (ml, mh) = (4 * n / 10, 6 * n / 10);
+        assert!(avg(1, ml, mh) < avg(0, ml, mh));
+        // End: flavor 0 again.
+        assert!(avg(0, 9 * n / 10, n) < avg(1, 9 * n / 10, n));
+        // Flavor 2 never best on average in any window.
+        for w in 0..10 {
+            let (lo, hi) = (w * n / 10, (w + 1) * n / 10);
+            assert!(avg(2, lo, hi) > avg(0, lo, hi).min(avg(1, lo, hi)));
+        }
+    }
+
+    #[test]
+    fn vw_greedy_tracks_fig10_minimum() {
+        // The paper's demonstration: with (1024, 256, 32), the adaptive
+        // trace "consistently covers the minimum of the various performance
+        // lines".
+        let tr = fig10_trace(&Fig10Spec::default(), 2);
+        let mut policy = PolicyKind::VwGreedy(VwGreedyParams::default()).build(3, 7);
+        let r = simulate_instance(&tr, policy.as_mut());
+        let ratio = r.ratio_to_opt();
+        assert!(ratio < 1.12, "adaptive should hug the minimum: {ratio}");
+        // And it must beat every fixed flavor.
+        for f in 0..3 {
+            assert!(
+                r.policy_ticks < tr.fixed_ticks(f),
+                "adaptive {} vs fixed({f}) {}",
+                r.policy_ticks,
+                tr.fixed_ticks(f)
+            );
+        }
+    }
+
+    #[test]
+    fn fig10_switches_to_middle_flavor() {
+        let tr = fig10_trace(&Fig10Spec::default(), 3);
+        let mut policy = PolicyKind::VwGreedy(VwGreedyParams::default()).build(3, 11);
+        let r = simulate_instance(&tr, policy.as_mut());
+        let n = tr.calls();
+        let mid = &r.choices[45 * n / 100..55 * n / 100];
+        let f1 = mid.iter().filter(|&&f| f == 1).count() as f64 / mid.len() as f64;
+        assert!(f1 > 0.7, "mid-query the bandit should run flavor 1: {f1}");
+        let start = &r.choices[2 * n / 100..20 * n / 100];
+        let f0 = start.iter().filter(|&&f| f == 0).count() as f64 / start.len() as f64;
+        assert!(f0 > 0.7, "start should run flavor 0: {f0}");
+    }
+
+    #[test]
+    fn stationary_trace_is_stationary() {
+        let tr = stationary_trace("s", 10_000, 100, &[3.0, 5.0], 0.1, 4);
+        let half = tr.calls() / 2;
+        let m_early = tr.costs[0][..half].iter().sum::<u64>() as f64 / half as f64;
+        let m_late = tr.costs[0][half..].iter().sum::<u64>() as f64 / half as f64;
+        assert!((m_early - m_late).abs() / m_early < 0.02);
+        assert_eq!(tr.best_fixed_flavor(), 0);
+    }
+
+    #[test]
+    fn switching_trace_flips_at_fraction() {
+        let tr = switching_trace(1000, 100, 0.7, 5);
+        assert!(tr.costs[0][100] < tr.costs[1][100]);
+        assert!(tr.costs[0][900] > tr.costs[1][900]);
+        let opt = tr.opt_ticks();
+        assert!(opt < tr.fixed_ticks(0) && opt < tr.fixed_ticks(1));
+    }
+}

@@ -1,0 +1,423 @@
+//! Aggregation primitives: grouped (by dense group id) and ungrouped.
+//!
+//! `aggr_sum128_i64_col` mirrors the paper's `aggr_sum128_sint_col`
+//! (Fig. 4b): 64-bit inputs accumulate into 128-bit sums so no workload can
+//! overflow. The grouped variants update `accs[gid[i]]` per live position —
+//! the inner loop of hash aggregation after `insertcheck` assigned ids.
+
+/// Grouped 128-bit sum of an `i64` column.
+pub type AggrSumI64Grouped = fn(accs: &mut [i128], gids: &[u32], col: &[i64], sel: Option<&[u32]>);
+/// Grouped sum of an `f64` column.
+pub type AggrSumF64Grouped = fn(accs: &mut [f64], gids: &[u32], col: &[f64], sel: Option<&[u32]>);
+/// Grouped count.
+pub type AggrCountGrouped = fn(accs: &mut [i64], gids: &[u32], sel: Option<&[u32]>);
+/// Grouped min/max of an `i64` column.
+pub type AggrMinMaxI64Grouped =
+    fn(accs: &mut [i64], gids: &[u32], col: &[i64], sel: Option<&[u32]>);
+/// Grouped min/max of an `f64` column.
+pub type AggrMinMaxF64Grouped =
+    fn(accs: &mut [f64], gids: &[u32], col: &[f64], sel: Option<&[u32]>);
+
+/// Ungrouped 128-bit sum (returns the partial for this vector).
+pub type AggrSumI64 = fn(col: &[i64], sel: Option<&[u32]>) -> i128;
+/// Ungrouped `f64` sum.
+pub type AggrSumF64 = fn(col: &[f64], sel: Option<&[u32]>) -> f64;
+/// Ungrouped min/max over `i64` (returns identity when no tuple is live).
+pub type AggrMinMaxI64 = fn(col: &[i64], sel: Option<&[u32]>) -> i64;
+/// Ungrouped min/max over `f64`.
+pub type AggrMinMaxF64 = fn(col: &[f64], sel: Option<&[u32]>) -> f64;
+
+macro_rules! grouped_sum {
+    ($gcc:ident, $icc:ident, $clang:ident, $in:ty, $acc:ty) => {
+        /// `gcc` style: plain loop.
+        pub fn $gcc(accs: &mut [$acc], gids: &[u32], col: &[$in], sel: Option<&[u32]>) {
+            match sel {
+                Some(s) => {
+                    for &i in s {
+                        let i = i as usize;
+                        accs[gids[i] as usize] += col[i] as $acc;
+                    }
+                }
+                None => {
+                    for i in 0..col.len() {
+                        accs[gids[i] as usize] += col[i] as $acc;
+                    }
+                }
+            }
+        }
+
+        /// `icc` style: 4-way unrolled.
+        pub fn $icc(accs: &mut [$acc], gids: &[u32], col: &[$in], sel: Option<&[u32]>) {
+            macro_rules! body {
+                ($i:expr) => {{
+                    let i = $i;
+                    accs[gids[i] as usize] += col[i] as $acc;
+                }};
+            }
+            match sel {
+                Some(s) => {
+                    let mut j = 0;
+                    while j + 4 <= s.len() {
+                        body!(s[j] as usize);
+                        body!(s[j + 1] as usize);
+                        body!(s[j + 2] as usize);
+                        body!(s[j + 3] as usize);
+                        j += 4;
+                    }
+                    while j < s.len() {
+                        body!(s[j] as usize);
+                        j += 1;
+                    }
+                }
+                None => {
+                    let n = col.len();
+                    let mut i = 0;
+                    while i + 4 <= n {
+                        body!(i);
+                        body!(i + 1);
+                        body!(i + 2);
+                        body!(i + 3);
+                        i += 4;
+                    }
+                    while i < n {
+                        body!(i);
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        /// `clang` style: iterator zip on the dense path.
+        pub fn $clang(accs: &mut [$acc], gids: &[u32], col: &[$in], sel: Option<&[u32]>) {
+            match sel {
+                Some(s) => {
+                    for &i in s {
+                        let i = i as usize;
+                        accs[gids[i] as usize] += col[i] as $acc;
+                    }
+                }
+                None => {
+                    for (&g, &x) in gids.iter().zip(col.iter()) {
+                        accs[g as usize] += x as $acc;
+                    }
+                }
+            }
+        }
+    };
+}
+
+grouped_sum!(
+    aggr_sum128_i64_gcc,
+    aggr_sum128_i64_icc,
+    aggr_sum128_i64_clang,
+    i64,
+    i128
+);
+grouped_sum!(
+    aggr_sum_f64_gcc,
+    aggr_sum_f64_icc,
+    aggr_sum_f64_clang,
+    f64,
+    f64
+);
+
+/// Grouped count, `gcc` style.
+pub fn aggr_count_gcc(accs: &mut [i64], gids: &[u32], sel: Option<&[u32]>) {
+    match sel {
+        Some(s) => {
+            for &i in s {
+                accs[gids[i as usize] as usize] += 1;
+            }
+        }
+        None => {
+            for &g in gids {
+                accs[g as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Grouped count, `clang` style.
+pub fn aggr_count_clang(accs: &mut [i64], gids: &[u32], sel: Option<&[u32]>) {
+    match sel {
+        Some(s) => s.iter().for_each(|&i| accs[gids[i as usize] as usize] += 1),
+        None => gids.iter().for_each(|&g| accs[g as usize] += 1),
+    }
+}
+
+macro_rules! grouped_minmax {
+    ($name:ident, $ty:ty, $pick:ident) => {
+        /// Grouped min/max update.
+        pub fn $name(accs: &mut [$ty], gids: &[u32], col: &[$ty], sel: Option<&[u32]>) {
+            match sel {
+                Some(s) => {
+                    for &i in s {
+                        let i = i as usize;
+                        let g = gids[i] as usize;
+                        accs[g] = accs[g].$pick(col[i]);
+                    }
+                }
+                None => {
+                    for i in 0..col.len() {
+                        let g = gids[i] as usize;
+                        accs[g] = accs[g].$pick(col[i]);
+                    }
+                }
+            }
+        }
+    };
+}
+
+grouped_minmax!(aggr_min_i64_grouped, i64, min);
+grouped_minmax!(aggr_max_i64_grouped, i64, max);
+grouped_minmax!(aggr_min_f64_grouped, f64, min);
+grouped_minmax!(aggr_max_f64_grouped, f64, max);
+
+// ---------------------------------------------------------------------------
+// ungrouped
+// ---------------------------------------------------------------------------
+
+/// Ungrouped 128-bit sum, `gcc` style.
+pub fn aggr0_sum128_i64_gcc(col: &[i64], sel: Option<&[u32]>) -> i128 {
+    let mut acc: i128 = 0;
+    match sel {
+        Some(s) => {
+            for &i in s {
+                acc += col[i as usize] as i128;
+            }
+        }
+        None => {
+            for &x in col {
+                acc += x as i128;
+            }
+        }
+    }
+    acc
+}
+
+/// Ungrouped 128-bit sum, `icc` style: 4 independent accumulators.
+pub fn aggr0_sum128_i64_icc(col: &[i64], sel: Option<&[u32]>) -> i128 {
+    match sel {
+        Some(s) => {
+            let (mut a0, mut a1, mut a2, mut a3) = (0i128, 0i128, 0i128, 0i128);
+            let mut j = 0;
+            while j + 4 <= s.len() {
+                a0 += col[s[j] as usize] as i128;
+                a1 += col[s[j + 1] as usize] as i128;
+                a2 += col[s[j + 2] as usize] as i128;
+                a3 += col[s[j + 3] as usize] as i128;
+                j += 4;
+            }
+            while j < s.len() {
+                a0 += col[s[j] as usize] as i128;
+                j += 1;
+            }
+            a0 + a1 + a2 + a3
+        }
+        None => {
+            let (mut a0, mut a1, mut a2, mut a3) = (0i128, 0i128, 0i128, 0i128);
+            let mut i = 0;
+            while i + 4 <= col.len() {
+                a0 += col[i] as i128;
+                a1 += col[i + 1] as i128;
+                a2 += col[i + 2] as i128;
+                a3 += col[i + 3] as i128;
+                i += 4;
+            }
+            while i < col.len() {
+                a0 += col[i] as i128;
+                i += 1;
+            }
+            a0 + a1 + a2 + a3
+        }
+    }
+}
+
+/// Ungrouped 128-bit sum, `clang` style.
+pub fn aggr0_sum128_i64_clang(col: &[i64], sel: Option<&[u32]>) -> i128 {
+    match sel {
+        Some(s) => s.iter().map(|&i| col[i as usize] as i128).sum(),
+        None => col.iter().map(|&x| x as i128).sum(),
+    }
+}
+
+/// Ungrouped f64 sum, `gcc` style.
+pub fn aggr0_sum_f64_gcc(col: &[f64], sel: Option<&[u32]>) -> f64 {
+    let mut acc = 0.0;
+    match sel {
+        Some(s) => {
+            for &i in s {
+                acc += col[i as usize];
+            }
+        }
+        None => {
+            for &x in col {
+                acc += x;
+            }
+        }
+    }
+    acc
+}
+
+/// Ungrouped f64 sum, `clang` style.
+pub fn aggr0_sum_f64_clang(col: &[f64], sel: Option<&[u32]>) -> f64 {
+    match sel {
+        Some(s) => s.iter().map(|&i| col[i as usize]).sum(),
+        None => col.iter().sum(),
+    }
+}
+
+/// Ungrouped i64 min (identity `i64::MAX`).
+pub fn aggr0_min_i64(col: &[i64], sel: Option<&[u32]>) -> i64 {
+    match sel {
+        Some(s) => s.iter().map(|&i| col[i as usize]).min().unwrap_or(i64::MAX),
+        None => col.iter().copied().min().unwrap_or(i64::MAX),
+    }
+}
+
+/// Ungrouped i64 max (identity `i64::MIN`).
+pub fn aggr0_max_i64(col: &[i64], sel: Option<&[u32]>) -> i64 {
+    match sel {
+        Some(s) => s.iter().map(|&i| col[i as usize]).max().unwrap_or(i64::MIN),
+        None => col.iter().copied().max().unwrap_or(i64::MIN),
+    }
+}
+
+/// Ungrouped f64 min (identity `+∞`).
+pub fn aggr0_min_f64(col: &[f64], sel: Option<&[u32]>) -> f64 {
+    match sel {
+        Some(s) => s.iter().map(|&i| col[i as usize]).fold(f64::INFINITY, f64::min),
+        None => col.iter().copied().fold(f64::INFINITY, f64::min),
+    }
+}
+
+/// Ungrouped f64 max (identity `-∞`).
+pub fn aggr0_max_f64(col: &[f64], sel: Option<&[u32]>) -> f64 {
+    match sel {
+        Some(s) => s
+            .iter()
+            .map(|&i| col[i as usize])
+            .fold(f64::NEG_INFINITY, f64::max),
+        None => col.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_sum_flavors_agree() {
+        let col: Vec<i64> = (0..100).collect();
+        let gids: Vec<u32> = (0..100u32).map(|i| i % 7).collect();
+        let sel: Vec<u32> = (0..100u32).filter(|i| i % 2 == 0).collect();
+        for sv in [None, Some(sel.as_slice())] {
+            let mut a = vec![0i128; 7];
+            let mut b = vec![0i128; 7];
+            let mut c = vec![0i128; 7];
+            aggr_sum128_i64_gcc(&mut a, &gids, &col, sv);
+            aggr_sum128_i64_icc(&mut b, &gids, &col, sv);
+            aggr_sum128_i64_clang(&mut c, &gids, &col, sv);
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn grouped_sum_values() {
+        let col = [10i64, 20, 30, 40];
+        let gids = [0u32, 1, 0, 1];
+        let mut accs = vec![0i128; 2];
+        aggr_sum128_i64_gcc(&mut accs, &gids, &col, None);
+        assert_eq!(accs, vec![40, 60]);
+    }
+
+    #[test]
+    fn sum128_does_not_overflow_i64_ranges() {
+        let col = vec![i64::MAX; 4];
+        let gids = vec![0u32; 4];
+        let mut accs = vec![0i128; 1];
+        aggr_sum128_i64_gcc(&mut accs, &gids, &col, None);
+        assert_eq!(accs[0], i64::MAX as i128 * 4);
+    }
+
+    #[test]
+    fn grouped_count() {
+        let gids = [0u32, 1, 1, 2, 1];
+        let mut a = vec![0i64; 3];
+        let mut b = vec![0i64; 3];
+        aggr_count_gcc(&mut a, &gids, None);
+        aggr_count_clang(&mut b, &gids, None);
+        assert_eq!(a, vec![1, 3, 1]);
+        assert_eq!(a, b);
+        let sel = [0u32, 2];
+        let mut c = vec![0i64; 3];
+        aggr_count_gcc(&mut c, &gids, Some(&sel));
+        assert_eq!(c, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn grouped_minmax() {
+        let col = [5i64, 1, 9, 3];
+        let gids = [0u32, 0, 1, 1];
+        let mut mins = vec![i64::MAX; 2];
+        let mut maxs = vec![i64::MIN; 2];
+        aggr_min_i64_grouped(&mut mins, &gids, &col, None);
+        aggr_max_i64_grouped(&mut maxs, &gids, &col, None);
+        assert_eq!(mins, vec![1, 3]);
+        assert_eq!(maxs, vec![5, 9]);
+    }
+
+    #[test]
+    fn grouped_minmax_f64() {
+        let col = [0.5f64, -1.0, 2.5];
+        let gids = [0u32, 0, 0];
+        let mut mins = vec![f64::INFINITY; 1];
+        let mut maxs = vec![f64::NEG_INFINITY; 1];
+        aggr_min_f64_grouped(&mut mins, &gids, &col, None);
+        aggr_max_f64_grouped(&mut maxs, &gids, &col, None);
+        assert_eq!(mins[0], -1.0);
+        assert_eq!(maxs[0], 2.5);
+    }
+
+    #[test]
+    fn ungrouped_sums_agree() {
+        let col: Vec<i64> = (0..1000).map(|i| i * 3 - 500).collect();
+        let sel: Vec<u32> = (0..1000u32).step_by(3).collect();
+        for sv in [None, Some(sel.as_slice())] {
+            let a = aggr0_sum128_i64_gcc(&col, sv);
+            let b = aggr0_sum128_i64_icc(&col, sv);
+            let c = aggr0_sum128_i64_clang(&col, sv);
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn ungrouped_f64_sums_agree() {
+        let col: Vec<f64> = (0..100).map(|i| i as f64 * 0.25).collect();
+        let a = aggr0_sum_f64_gcc(&col, None);
+        let b = aggr0_sum_f64_clang(&col, None);
+        assert!((a - b).abs() < 1e-9);
+        assert!((a - 1237.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ungrouped_minmax_identities_on_empty() {
+        assert_eq!(aggr0_min_i64(&[], None), i64::MAX);
+        assert_eq!(aggr0_max_i64(&[], None), i64::MIN);
+        assert_eq!(aggr0_min_f64(&[], None), f64::INFINITY);
+        assert_eq!(aggr0_max_f64(&[], None), f64::NEG_INFINITY);
+        assert_eq!(aggr0_min_i64(&[1, 2], Some(&[])), i64::MAX);
+    }
+
+    #[test]
+    fn ungrouped_minmax_values() {
+        let col = [3i64, -7, 12, 0];
+        assert_eq!(aggr0_min_i64(&col, None), -7);
+        assert_eq!(aggr0_max_i64(&col, None), 12);
+        let sel = [0u32, 3];
+        assert_eq!(aggr0_min_i64(&col, Some(&sel)), 0);
+        assert_eq!(aggr0_max_i64(&col, Some(&sel)), 3);
+    }
+}

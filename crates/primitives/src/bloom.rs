@@ -1,0 +1,311 @@
+//! Bloom filter and its selection primitive — the paper's loop-fission
+//! case study (§2, Listings 5 & 6).
+//!
+//! Vectorwise uses bloom filters to pre-filter hash-join probes whose keys
+//! are often absent. The lookup primitive is a *selection*: it emits the
+//! positions whose key might be in the filter. Two flavors:
+//!
+//! * `fused` (Listing 5) — one loop; the `ret += bf_get(...)` creates a
+//!   loop-carried dependency, so a cache miss in `bf_get` stalls the chain.
+//! * `fission` (Listing 6) — first loop only gathers the membership bits
+//!   into a temporary array (iterations independent → the CPU can keep
+//!   several cache misses in flight), second loop builds the selection
+//!   vector. Faster for filters that exceed the cache; slower for small
+//!   filters (Fig. 6).
+
+use std::cell::RefCell;
+
+use crate::hashing::hash_u64;
+
+/// A blocked bloom filter with two derived probes per key.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    pub(crate) words: Vec<u64>,
+    mask: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter of at least `bytes` bytes (rounded up to a power of
+    /// two, minimum 64).
+    pub fn with_bytes(bytes: usize) -> Self {
+        let words = (bytes.max(64) / 8).next_power_of_two();
+        BloomFilter {
+            words: vec![0; words],
+            mask: (words as u64 * 64) - 1,
+        }
+    }
+
+    /// Creates a filter sized for `n` keys at ~8 bits/key (≈2% false
+    /// positives with 2 probes).
+    pub fn for_keys(n: usize) -> Self {
+        Self::with_bytes(n.max(8))
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    #[inline(always)]
+    pub(crate) fn bit_positions(&self, hash: u64) -> (u64, u64) {
+        // Two probes derived from disjoint hash halves.
+        (hash & self.mask, (hash >> 32 ^ hash << 17) & self.mask)
+    }
+
+    /// Inserts a pre-hashed key.
+    #[inline]
+    pub fn insert_hash(&mut self, hash: u64) {
+        let (b1, b2) = self.bit_positions(hash);
+        self.words[(b1 / 64) as usize] |= 1 << (b1 % 64);
+        self.words[(b2 / 64) as usize] |= 1 << (b2 % 64);
+    }
+
+    /// Inserts a raw integer key.
+    pub fn insert_key(&mut self, key: u64) {
+        self.insert_hash(hash_u64(key));
+    }
+
+    /// Membership check on a pre-hashed key (no false negatives).
+    #[inline(always)]
+    pub fn get(&self, hash: u64) -> bool {
+        let (b1, b2) = self.bit_positions(hash);
+        let w1 = self.words[(b1 / 64) as usize] >> (b1 % 64);
+        let w2 = self.words[(b2 / 64) as usize] >> (b2 % 64);
+        (w1 & w2 & 1) == 1
+    }
+}
+
+/// Bloom-filter selection primitive: emits positions whose hash may be in
+/// the filter.
+pub type SelBloom = fn(res: &mut [u32], bloom: &BloomFilter, hashes: &[u64], sel: Option<&[u32]>) -> usize;
+
+/// Fused flavor (paper Listing 5): membership check and selection-vector
+/// construction in one loop with a loop-carried dependency.
+pub fn sel_bloomfilter_fused(
+    res: &mut [u32],
+    bloom: &BloomFilter,
+    hashes: &[u64],
+    sel: Option<&[u32]>,
+) -> usize {
+    let mut ret = 0;
+    match sel {
+        Some(s) => {
+            for &i in s {
+                res[ret] = i;
+                ret += bloom.get(hashes[i as usize]) as usize; // cache miss stalls `ret`
+            }
+        }
+        None => {
+            for (i, &h) in hashes.iter().enumerate() {
+                res[ret] = i as u32;
+                ret += bloom.get(h) as usize;
+            }
+        }
+    }
+    ret
+}
+
+thread_local! {
+    /// Scratch for the fission flavor's intermediate membership bits.
+    static FISSION_TMP: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Loop-fission flavor (paper Listing 6): first loop gathers membership bits
+/// with independent iterations (multiple outstanding cache misses), second
+/// loop builds the selection vector.
+pub fn sel_bloomfilter_fission(
+    res: &mut [u32],
+    bloom: &BloomFilter,
+    hashes: &[u64],
+    sel: Option<&[u32]>,
+) -> usize {
+    FISSION_TMP.with(|tmp| {
+        let mut tmp = tmp.borrow_mut();
+        match sel {
+            Some(s) => {
+                let n = s.len();
+                if tmp.len() < n {
+                    tmp.resize(n, 0);
+                }
+                for (j, &i) in s.iter().enumerate() {
+                    tmp[j] = bloom.get(hashes[i as usize]) as u8; // independent iterations
+                }
+                let mut ret = 0;
+                for (j, &i) in s.iter().enumerate() {
+                    res[ret] = i;
+                    ret += tmp[j] as usize;
+                }
+                ret
+            }
+            None => {
+                let n = hashes.len();
+                if tmp.len() < n {
+                    tmp.resize(n, 0);
+                }
+                for (j, &h) in hashes.iter().enumerate() {
+                    tmp[j] = bloom.get(h) as u8;
+                }
+                let mut ret = 0;
+                for (i, &t) in tmp[..n].iter().enumerate() {
+                    res[ret] = i as u32;
+                    ret += t as usize;
+                }
+                ret
+            }
+        }
+    })
+}
+
+/// Software-prefetching flavor — the §6 future-work idea ("inserting
+/// prefetch instructions into hash lookups. Such prefetch instructions are
+/// sensitive to the right prefetch depth"). The membership word of the
+/// element `PREFETCH_DEPTH` iterations ahead is prefetched into L1 while
+/// the current element is processed; Micro Adaptivity can then discover on
+/// which hardware (and filter size) this beats plain fission.
+pub fn sel_bloomfilter_prefetch(
+    res: &mut [u32],
+    bloom: &BloomFilter,
+    hashes: &[u64],
+    sel: Option<&[u32]>,
+) -> usize {
+    const PREFETCH_DEPTH: usize = 8;
+
+    #[inline(always)]
+    fn prefetch(bloom: &BloomFilter, hash: u64) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is a hint; the pointer is in-bounds by the same
+        // masking `BloomFilter::get` uses, and even a wild address would
+        // only be a performance bug for this instruction.
+        unsafe {
+            let (b1, _) = bloom.bit_positions(hash);
+            let ptr = bloom.words.as_ptr().add((b1 / 64) as usize);
+            core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                ptr as *const i8,
+            );
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (bloom, hash);
+        }
+    }
+
+    let mut ret = 0;
+    match sel {
+        Some(s) => {
+            for (j, &i) in s.iter().enumerate() {
+                if let Some(&ahead) = s.get(j + PREFETCH_DEPTH) {
+                    prefetch(bloom, hashes[ahead as usize]);
+                }
+                res[ret] = i;
+                ret += bloom.get(hashes[i as usize]) as usize;
+            }
+        }
+        None => {
+            for (i, &h) in hashes.iter().enumerate() {
+                if let Some(&ahead) = hashes.get(i + PREFETCH_DEPTH) {
+                    prefetch(bloom, ahead);
+                }
+                res[ret] = i as u32;
+                ret += bloom.get(h) as usize;
+            }
+        }
+    }
+    ret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_with(keys: &[u64]) -> BloomFilter {
+        let mut bf = BloomFilter::for_keys(keys.len());
+        for &k in keys {
+            bf.insert_key(k);
+        }
+        bf
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 7919).collect();
+        let bf = filter_with(&keys);
+        for &k in &keys {
+            assert!(bf.get(hash_u64(k)), "inserted key {k} must be found");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let keys: Vec<u64> = (0..10_000).collect();
+        let bf = filter_with(&keys);
+        let fp = (10_000u64..110_000)
+            .filter(|&k| bf.get(hash_u64(k)))
+            .count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.1, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn sizes_round_to_power_of_two() {
+        assert_eq!(BloomFilter::with_bytes(4096).bytes(), 4096);
+        assert_eq!(BloomFilter::with_bytes(5000).bytes(), 8192);
+        assert!(BloomFilter::with_bytes(1).bytes() >= 64);
+    }
+
+    #[test]
+    fn flavors_equivalent() {
+        let keys: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        let bf = filter_with(&keys);
+        let hashes: Vec<u64> = (0..1024u64).map(hash_u64).collect();
+        let sel: Vec<u32> = (0..1024u32).filter(|i| i % 5 != 0).collect();
+        for sv in [None, Some(sel.as_slice())] {
+            let cap = sv.map_or(hashes.len(), <[u32]>::len);
+            let mut r1 = vec![0u32; cap];
+            let mut r2 = vec![0u32; cap];
+            let k1 = sel_bloomfilter_fused(&mut r1, &bf, &hashes, sv);
+            let k2 = sel_bloomfilter_fission(&mut r2, &bf, &hashes, sv);
+            assert_eq!(&r1[..k1], &r2[..k2]);
+            assert!(k1 > 0, "some keys should pass");
+            assert!(k1 < cap, "some keys should be filtered");
+        }
+    }
+
+    #[test]
+    fn fission_scratch_grows_with_input() {
+        let bf = filter_with(&[1, 2, 3]);
+        // Call with a large vector after a small one: scratch must resize.
+        let small: Vec<u64> = (0..16u64).map(hash_u64).collect();
+        let large: Vec<u64> = (0..4096u64).map(hash_u64).collect();
+        let mut res = vec![0u32; 4096];
+        let _ = sel_bloomfilter_fission(&mut res, &bf, &small, None);
+        let k = sel_bloomfilter_fission(&mut res, &bf, &large, None);
+        let mut expect = vec![0u32; 4096];
+        let ke = sel_bloomfilter_fused(&mut expect, &bf, &large, None);
+        assert_eq!(&res[..k], &expect[..ke]);
+    }
+
+    #[test]
+    fn prefetch_flavor_equivalent_to_fused() {
+        let keys: Vec<u64> = (0..800).map(|i| i * 11).collect();
+        let bf = filter_with(&keys);
+        let hashes: Vec<u64> = (0..2048u64).map(hash_u64).collect();
+        let sel: Vec<u32> = (0..2048u32).filter(|i| i % 7 != 0).collect();
+        for sv in [None, Some(sel.as_slice())] {
+            let cap = sv.map_or(hashes.len(), <[u32]>::len);
+            let mut r1 = vec![0u32; cap];
+            let mut r2 = vec![0u32; cap];
+            let k1 = sel_bloomfilter_fused(&mut r1, &bf, &hashes, sv);
+            let k2 = sel_bloomfilter_prefetch(&mut r2, &bf, &hashes, sv);
+            assert_eq!(&r1[..k1], &r2[..k2]);
+        }
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bf = BloomFilter::with_bytes(1024);
+        let hashes: Vec<u64> = (0..100u64).map(hash_u64).collect();
+        let mut res = vec![0u32; 100];
+        assert_eq!(sel_bloomfilter_fused(&mut res, &bf, &hashes, None), 0);
+        assert_eq!(sel_bloomfilter_fission(&mut res, &bf, &hashes, None), 0);
+    }
+}

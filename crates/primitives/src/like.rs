@@ -1,0 +1,253 @@
+//! SQL `LIKE` pattern matching and its selection primitives.
+//!
+//! TPC-H needs a handful of shapes: prefix (`PROMO%`), contains (`%green%`)
+//! and multi-segment (`%special%requests%`). Patterns are compiled once at
+//! plan-build time; the primitive matches a vector of strings against the
+//! compiled pattern. Only `%` wildcards occur in TPC-H; `_` is supported for
+//! completeness.
+
+use ma_vector::StrVec;
+
+/// A compiled LIKE pattern: literal segments separated by `%`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LikePattern {
+    /// Literal segments between `%` wildcards, in order.
+    segments: Vec<String>,
+    /// Whether the pattern starts without a leading `%` (anchored start).
+    anchored_start: bool,
+    /// Whether the pattern ends without a trailing `%` (anchored end).
+    anchored_end: bool,
+    /// Whether any `_` occurs (falls back to a slow positional matcher).
+    has_underscore: bool,
+    /// Raw pattern, kept for the `_` fallback and for display.
+    raw: String,
+}
+
+impl LikePattern {
+    /// Compiles a LIKE pattern.
+    pub fn compile(pattern: &str) -> Self {
+        let has_underscore = pattern.contains('_');
+        let anchored_start = !pattern.starts_with('%');
+        let anchored_end = !pattern.ends_with('%');
+        let segments: Vec<String> = pattern
+            .split('%')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        LikePattern {
+            segments,
+            anchored_start,
+            anchored_end,
+            has_underscore,
+            raw: pattern.to_string(),
+        }
+    }
+
+    /// The original pattern text.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// Matches one string against the pattern.
+    pub fn matches(&self, s: &str) -> bool {
+        if self.has_underscore {
+            return like_match_positional(s.as_bytes(), self.raw.as_bytes());
+        }
+        if self.segments.is_empty() {
+            // "%", "%%", or "" patterns.
+            return !(self.anchored_start && self.anchored_end) || s.is_empty();
+        }
+        let mut rest = s;
+        let last = self.segments.len() - 1;
+        for (idx, seg) in self.segments.iter().enumerate() {
+            let is_first = idx == 0;
+            let is_last = idx == last;
+            if is_first && self.anchored_start {
+                match rest.strip_prefix(seg.as_str()) {
+                    Some(r) => rest = r,
+                    None => return false,
+                }
+                if is_last && self.anchored_end {
+                    return rest.is_empty();
+                }
+            } else if is_last && self.anchored_end {
+                // The final segment must close the string.
+                return rest.ends_with(seg.as_str());
+            } else {
+                match rest.find(seg.as_str()) {
+                    Some(p) => rest = &rest[p + seg.len()..],
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Classic recursive-descent LIKE matcher supporting `%` and `_` (used only
+/// when `_` occurs — none of the TPC-H patterns do).
+fn like_match_positional(s: &[u8], p: &[u8]) -> bool {
+    if p.is_empty() {
+        return s.is_empty();
+    }
+    match p[0] {
+        b'%' => {
+            // Try all suffixes.
+            (0..=s.len()).any(|i| like_match_positional(&s[i..], &p[1..]))
+        }
+        b'_' => !s.is_empty() && like_match_positional(&s[1..], &p[1..]),
+        c => !s.is_empty() && s[0] == c && like_match_positional(&s[1..], &p[1..]),
+    }
+}
+
+/// LIKE selection primitive type.
+pub type SelLike =
+    fn(res: &mut [u32], col: &StrVec, pat: &LikePattern, sel: Option<&[u32]>) -> usize;
+
+/// `sel_like_str_col_val`: select positions matching the pattern.
+pub fn sel_like(res: &mut [u32], col: &StrVec, pat: &LikePattern, sel: Option<&[u32]>) -> usize {
+    let mut k = 0;
+    match sel {
+        Some(s) => {
+            for &i in s {
+                if pat.matches(col.get(i as usize)) {
+                    res[k] = i;
+                    k += 1;
+                }
+            }
+        }
+        None => {
+            for i in 0..col.len() {
+                if pat.matches(col.get(i)) {
+                    res[k] = i as u32;
+                    k += 1;
+                }
+            }
+        }
+    }
+    k
+}
+
+/// `sel_not_like_str_col_val`: select positions NOT matching the pattern.
+pub fn sel_not_like(
+    res: &mut [u32],
+    col: &StrVec,
+    pat: &LikePattern,
+    sel: Option<&[u32]>,
+) -> usize {
+    let mut k = 0;
+    match sel {
+        Some(s) => {
+            for &i in s {
+                if !pat.matches(col.get(i as usize)) {
+                    res[k] = i;
+                    k += 1;
+                }
+            }
+        }
+        None => {
+            for i in 0..col.len() {
+                if !pat.matches(col.get(i)) {
+                    res[k] = i as u32;
+                    k += 1;
+                }
+            }
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, s: &str) -> bool {
+        LikePattern::compile(pat).matches(s)
+    }
+
+    #[test]
+    fn prefix_patterns() {
+        assert!(m("PROMO%", "PROMO BURNISHED COPPER"));
+        assert!(!m("PROMO%", "STANDARD BRASS"));
+        assert!(m("PROMO%", "PROMO"));
+        assert!(!m("PROMO%", "PROM"));
+    }
+
+    #[test]
+    fn contains_patterns() {
+        assert!(m("%green%", "dark green metallic"));
+        assert!(m("%green%", "green"));
+        assert!(!m("%green%", "gren"));
+    }
+
+    #[test]
+    fn suffix_patterns() {
+        assert!(m("%BRASS", "LARGE POLISHED BRASS"));
+        assert!(!m("%BRASS", "BRASS PLATED"));
+    }
+
+    #[test]
+    fn multi_segment_patterns() {
+        // Q13's famous pattern.
+        assert!(m(
+            "%special%requests%",
+            "the special packages. carefully final requests nag"
+        ));
+        assert!(!m("%special%requests%", "requests before special"));
+        assert!(m("%Customer%Complaints%", "xx Customer yy Complaints zz"));
+    }
+
+    #[test]
+    fn exact_and_empty_patterns() {
+        assert!(m("MAIL", "MAIL"));
+        assert!(!m("MAIL", "MAILX"));
+        assert!(m("%", "anything"));
+        assert!(m("%", ""));
+        assert!(m("", ""));
+        assert!(!m("", "x"));
+    }
+
+    #[test]
+    fn anchored_both_ends_with_middle_wildcard() {
+        assert!(m("forest%", "forest green"));
+        assert!(m("a%z", "abcz"));
+        assert!(m("a%z", "az"));
+        assert!(!m("a%z", "abc"));
+        assert!(!m("a%z", "za"));
+    }
+
+    #[test]
+    fn overlapping_segment_greediness() {
+        // Anchored-end segment must match the *final* occurrence.
+        assert!(m("%ab", "abab"));
+        assert!(m("a%ab", "aab"));
+        assert!(!m("a%ab", "ab")); // 'a' consumed, "ab" can't fit in "b"
+    }
+
+    #[test]
+    fn underscore_fallback() {
+        assert!(m("a_c", "abc"));
+        assert!(!m("a_c", "ac"));
+        assert!(m("_%", "x"));
+        assert!(!m("_%", ""));
+    }
+
+    #[test]
+    fn sel_like_primitives() {
+        let col = StrVec::from_strings(&[
+            "PROMO ANODIZED TIN",
+            "ECONOMY BRUSHED STEEL",
+            "PROMO PLATED COPPER",
+        ]);
+        let pat = LikePattern::compile("PROMO%");
+        let mut res = [0u32; 3];
+        let k = sel_like(&mut res, &col, &pat, None);
+        assert_eq!(&res[..k], &[0, 2]);
+        let k = sel_not_like(&mut res, &col, &pat, None);
+        assert_eq!(&res[..k], &[1]);
+        // under a selection vector
+        let sel = [1u32, 2];
+        let k = sel_like(&mut res, &col, &pat, Some(&sel));
+        assert_eq!(&res[..k], &[2]);
+    }
+}

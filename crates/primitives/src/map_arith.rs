@@ -1,0 +1,469 @@
+//! Projection (map) primitives: arithmetic over vectors, plus casts.
+//!
+//! Flavor axes from the paper:
+//!
+//! * **selective vs full computation** (§2, Fig. 7): `selective` honors the
+//!   selection vector and computes only live positions (leaving other result
+//!   slots untouched); `full` ignores it and computes every position — more
+//!   work, but a dense auto-vectorizable loop.
+//! * **hand-unrolling** (§2, Listing 7): `unroll8` processes the dense path
+//!   in groups of 8 with an epilogue.
+//! * **compiler styles**: `icc` (4-way unrolled), `clang` (iterator zip).
+//!   The plain indexed `selective` loop doubles as the `gcc` style.
+
+use crate::ops::ArithOp;
+
+/// Binary map over two columns: `res[i] = a[i] op b[i]` for live `i`.
+pub type MapColCol<T> = fn(res: &mut [T], a: &[T], b: &[T], sel: Option<&[u32]>);
+
+/// Binary map column-constant: `res[i] = a[i] op v` for live `i`.
+pub type MapColVal<T> = fn(res: &mut [T], a: &[T], v: T, sel: Option<&[u32]>);
+
+// ---------------------------------------------------------------------------
+// col ⊕ col
+// ---------------------------------------------------------------------------
+
+/// Selective computation (default; paper Listing 4 shape).
+pub fn map_col_col_selective<T: Copy, O: ArithOp<T>>(
+    res: &mut [T],
+    a: &[T],
+    b: &[T],
+    sel: Option<&[u32]>,
+) {
+    match sel {
+        Some(s) => {
+            for &i in s {
+                let i = i as usize;
+                res[i] = O::apply(a[i], b[i]);
+            }
+        }
+        None => {
+            for i in 0..a.len() {
+                res[i] = O::apply(a[i], b[i]);
+            }
+        }
+    }
+}
+
+/// Full computation: ignores the selection vector entirely (Fig. 7 right).
+/// The dense loop trivially maps to SIMD.
+pub fn map_col_col_full<T: Copy, O: ArithOp<T>>(
+    res: &mut [T],
+    a: &[T],
+    b: &[T],
+    _sel: Option<&[u32]>,
+) {
+    for i in 0..a.len() {
+        res[i] = O::apply(a[i], b[i]);
+    }
+}
+
+/// Hand-unrolled (8×) selective flavor: dense path unrolled as in Listing 7,
+/// selected path unrolled over the selection vector.
+pub fn map_col_col_unroll8<T: Copy, O: ArithOp<T>>(
+    res: &mut [T],
+    a: &[T],
+    b: &[T],
+    sel: Option<&[u32]>,
+) {
+    macro_rules! body {
+        ($i:expr) => {{
+            let i = $i;
+            res[i] = O::apply(a[i], b[i]);
+        }};
+    }
+    match sel {
+        Some(s) => {
+            let mut j = 0;
+            while j + 8 <= s.len() {
+                body!(s[j] as usize);
+                body!(s[j + 1] as usize);
+                body!(s[j + 2] as usize);
+                body!(s[j + 3] as usize);
+                body!(s[j + 4] as usize);
+                body!(s[j + 5] as usize);
+                body!(s[j + 6] as usize);
+                body!(s[j + 7] as usize);
+                j += 8;
+            }
+            while j < s.len() {
+                body!(s[j] as usize);
+                j += 1;
+            }
+        }
+        None => {
+            let n = a.len();
+            let mut i = 0;
+            while i + 8 <= n {
+                body!(i);
+                body!(i + 1);
+                body!(i + 2);
+                body!(i + 3);
+                body!(i + 4);
+                body!(i + 5);
+                body!(i + 6);
+                body!(i + 7);
+                i += 8;
+            }
+            while i < n {
+                body!(i);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// `icc` code style: 4-way unrolled selective.
+pub fn map_col_col_icc<T: Copy, O: ArithOp<T>>(
+    res: &mut [T],
+    a: &[T],
+    b: &[T],
+    sel: Option<&[u32]>,
+) {
+    macro_rules! body {
+        ($i:expr) => {{
+            let i = $i;
+            res[i] = O::apply(a[i], b[i]);
+        }};
+    }
+    match sel {
+        Some(s) => {
+            let mut j = 0;
+            while j + 4 <= s.len() {
+                body!(s[j] as usize);
+                body!(s[j + 1] as usize);
+                body!(s[j + 2] as usize);
+                body!(s[j + 3] as usize);
+                j += 4;
+            }
+            while j < s.len() {
+                body!(s[j] as usize);
+                j += 1;
+            }
+        }
+        None => {
+            let n = a.len();
+            let mut i = 0;
+            while i + 4 <= n {
+                body!(i);
+                body!(i + 1);
+                body!(i + 2);
+                body!(i + 3);
+                i += 4;
+            }
+            while i < n {
+                body!(i);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// `clang` code style: iterator zip formulation on the dense path.
+pub fn map_col_col_clang<T: Copy, O: ArithOp<T>>(
+    res: &mut [T],
+    a: &[T],
+    b: &[T],
+    sel: Option<&[u32]>,
+) {
+    match sel {
+        Some(s) => {
+            for &i in s {
+                let i = i as usize;
+                res[i] = O::apply(a[i], b[i]);
+            }
+        }
+        None => {
+            for ((r, &x), &y) in res.iter_mut().zip(a.iter()).zip(b.iter()) {
+                *r = O::apply(x, y);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// col ⊕ const
+// ---------------------------------------------------------------------------
+
+/// Selective computation, column-constant.
+pub fn map_col_val_selective<T: Copy, O: ArithOp<T>>(
+    res: &mut [T],
+    a: &[T],
+    v: T,
+    sel: Option<&[u32]>,
+) {
+    match sel {
+        Some(s) => {
+            for &i in s {
+                let i = i as usize;
+                res[i] = O::apply(a[i], v);
+            }
+        }
+        None => {
+            for i in 0..a.len() {
+                res[i] = O::apply(a[i], v);
+            }
+        }
+    }
+}
+
+/// Full computation, column-constant.
+pub fn map_col_val_full<T: Copy, O: ArithOp<T>>(
+    res: &mut [T],
+    a: &[T],
+    v: T,
+    _sel: Option<&[u32]>,
+) {
+    for i in 0..a.len() {
+        res[i] = O::apply(a[i], v);
+    }
+}
+
+/// Hand-unrolled (8×) selective flavor, column-constant.
+pub fn map_col_val_unroll8<T: Copy, O: ArithOp<T>>(
+    res: &mut [T],
+    a: &[T],
+    v: T,
+    sel: Option<&[u32]>,
+) {
+    macro_rules! body {
+        ($i:expr) => {{
+            let i = $i;
+            res[i] = O::apply(a[i], v);
+        }};
+    }
+    match sel {
+        Some(s) => {
+            let mut j = 0;
+            while j + 8 <= s.len() {
+                body!(s[j] as usize);
+                body!(s[j + 1] as usize);
+                body!(s[j + 2] as usize);
+                body!(s[j + 3] as usize);
+                body!(s[j + 4] as usize);
+                body!(s[j + 5] as usize);
+                body!(s[j + 6] as usize);
+                body!(s[j + 7] as usize);
+                j += 8;
+            }
+            while j < s.len() {
+                body!(s[j] as usize);
+                j += 1;
+            }
+        }
+        None => {
+            let n = a.len();
+            let mut i = 0;
+            while i + 8 <= n {
+                body!(i);
+                body!(i + 1);
+                body!(i + 2);
+                body!(i + 3);
+                body!(i + 4);
+                body!(i + 5);
+                body!(i + 6);
+                body!(i + 7);
+                i += 8;
+            }
+            while i < n {
+                body!(i);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// `clang` code style, column-constant.
+pub fn map_col_val_clang<T: Copy, O: ArithOp<T>>(
+    res: &mut [T],
+    a: &[T],
+    v: T,
+    sel: Option<&[u32]>,
+) {
+    match sel {
+        Some(s) => {
+            for &i in s {
+                let i = i as usize;
+                res[i] = O::apply(a[i], v);
+            }
+        }
+        None => {
+            for (r, &x) in res.iter_mut().zip(a.iter()) {
+                *r = O::apply(x, v);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// casts
+// ---------------------------------------------------------------------------
+
+/// Cast map: `res[i] = from[i] as To` for live positions.
+pub type MapCast<From, To> = fn(res: &mut [To], from: &[From], sel: Option<&[u32]>);
+
+macro_rules! cast_prim {
+    ($name:ident, $from:ty, $to:ty) => {
+        /// Widening/converting cast primitive.
+        pub fn $name(res: &mut [$to], from: &[$from], sel: Option<&[u32]>) {
+            match sel {
+                Some(s) => {
+                    for &i in s {
+                        res[i as usize] = from[i as usize] as $to;
+                    }
+                }
+                None => {
+                    for i in 0..from.len() {
+                        res[i] = from[i] as $to;
+                    }
+                }
+            }
+        }
+    };
+}
+
+cast_prim!(map_cast_i16_i32, i16, i32);
+cast_prim!(map_cast_i16_i64, i16, i64);
+cast_prim!(map_cast_i16_f64, i16, f64);
+cast_prim!(map_cast_i32_i64, i32, i64);
+cast_prim!(map_cast_i32_f64, i32, f64);
+cast_prim!(map_cast_i64_f64, i64, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Add, Div, Mul, Sub};
+
+    const CC_FLAVORS: [(&str, MapColCol<i64>); 5] = [
+        ("selective", map_col_col_selective::<i64, Mul>),
+        ("full", map_col_col_full::<i64, Mul>),
+        ("unroll8", map_col_col_unroll8::<i64, Mul>),
+        ("icc", map_col_col_icc::<i64, Mul>),
+        ("clang", map_col_col_clang::<i64, Mul>),
+    ];
+
+    #[test]
+    fn col_col_flavors_agree_on_dense() {
+        let a: Vec<i64> = (0..100).collect();
+        let b: Vec<i64> = (0..100).map(|i| i * 3 + 1).collect();
+        let mut expect = vec![0i64; 100];
+        map_col_col_selective::<i64, Mul>(&mut expect, &a, &b, None);
+        for (name, f) in CC_FLAVORS {
+            let mut res = vec![0i64; 100];
+            f(&mut res, &a, &b, None);
+            assert_eq!(res, expect, "flavor {name}");
+        }
+    }
+
+    #[test]
+    fn col_col_flavors_agree_on_selected_positions() {
+        let a: Vec<i64> = (0..100).collect();
+        let b: Vec<i64> = (0..100).map(|i| i + 7).collect();
+        let sel: Vec<u32> = (0..100u32).filter(|i| i % 5 == 0).collect();
+        let mut expect = vec![0i64; 100];
+        map_col_col_selective::<i64, Mul>(&mut expect, &a, &b, Some(&sel));
+        for (name, f) in CC_FLAVORS {
+            let mut res = vec![0i64; 100];
+            f(&mut res, &a, &b, Some(&sel));
+            // Only selected positions are comparable; full computation may
+            // write others too, which is allowed (they are dead).
+            for &i in &sel {
+                assert_eq!(res[i as usize], expect[i as usize], "flavor {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn selective_leaves_unselected_untouched_full_does_not() {
+        let a = [1i64, 2, 3, 4];
+        let b = [10i64, 10, 10, 10];
+        let sel = [1u32, 3];
+        let mut res = [-1i64; 4];
+        map_col_col_selective::<i64, Add>(&mut res, &a, &b, Some(&sel));
+        assert_eq!(res, [-1, 12, -1, 14]);
+        let mut res = [-1i64; 4];
+        map_col_col_full::<i64, Add>(&mut res, &a, &b, Some(&sel));
+        assert_eq!(res, [11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn col_val_flavors_agree() {
+        let a: Vec<f64> = (0..64).map(|i| i as f64 * 0.5).collect();
+        let sel: Vec<u32> = (0..64u32).filter(|i| i % 3 == 1).collect();
+        for sv in [None, Some(sel.as_slice())] {
+            let mut expect = vec![0.0; 64];
+            map_col_val_selective::<f64, Mul>(&mut expect, &a, 2.0, sv);
+            for (name, f) in [
+                ("full", map_col_val_full::<f64, Mul> as MapColVal<f64>),
+                ("unroll8", map_col_val_unroll8::<f64, Mul>),
+                ("clang", map_col_val_clang::<f64, Mul>),
+            ] {
+                let mut res = vec![0.0; 64];
+                f(&mut res, &a, 2.0, sv);
+                let check: Box<dyn Fn(usize) -> bool> = match sv {
+                    Some(s) => Box::new(move |i| s.contains(&(i as u32))),
+                    None => Box::new(|_| true),
+                };
+                for i in 0..64 {
+                    if check(i) {
+                        assert_eq!(res[i], expect[i], "flavor {name} idx {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_and_div_work() {
+        let a = [10i64, 20, 30];
+        let b = [3i64, 4, 5];
+        let mut res = [0i64; 3];
+        map_col_col_selective::<i64, Sub>(&mut res, &a, &b, None);
+        assert_eq!(res, [7, 16, 25]);
+        map_col_col_selective::<i64, Div>(&mut res, &a, &b, None);
+        assert_eq!(res, [3, 5, 6]);
+    }
+
+    #[test]
+    fn div_selective_skips_unselected_zero() {
+        let a = [10i64, 20];
+        let b = [0i64, 4]; // position 0 divides by zero but is not selected
+        let sel = [1u32];
+        let mut res = [0i64; 2];
+        map_col_col_selective::<i64, Div>(&mut res, &a, &b, Some(&sel));
+        assert_eq!(res[1], 5);
+    }
+
+    #[test]
+    fn unroll_epilogues() {
+        for n in [1usize, 7, 8, 9, 16, 17, 23] {
+            let a: Vec<i64> = (0..n as i64).collect();
+            let b: Vec<i64> = (0..n as i64).map(|i| i + 1).collect();
+            let mut expect = vec![0i64; n];
+            map_col_col_selective::<i64, Add>(&mut expect, &a, &b, None);
+            let mut res = vec![0i64; n];
+            map_col_col_unroll8::<i64, Add>(&mut res, &a, &b, None);
+            assert_eq!(res, expect, "n={n}");
+            let mut res = vec![0i64; n];
+            map_col_col_icc::<i64, Add>(&mut res, &a, &b, None);
+            assert_eq!(res, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn casts() {
+        let mut r32 = [0i32; 3];
+        map_cast_i16_i32(&mut r32, &[1i16, -2, 3], None);
+        assert_eq!(r32, [1, -2, 3]);
+        let mut r64 = [0i64; 3];
+        map_cast_i32_i64(&mut r64, &[7i32, 8, 9], None);
+        assert_eq!(r64, [7, 8, 9]);
+        let mut rf = [0.0f64; 2];
+        map_cast_i64_f64(&mut rf, &[5i64, 10], None);
+        assert_eq!(rf, [5.0, 10.0]);
+        // selective cast
+        let mut rf = [-1.0f64; 3];
+        map_cast_i32_f64(&mut rf, &[1, 2, 3], Some(&[2]));
+        assert_eq!(rf, [-1.0, -1.0, 3.0]);
+    }
+}

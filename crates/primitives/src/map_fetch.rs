@@ -1,0 +1,236 @@
+//! Fetch (gather) primitives: `res[i] = src[idx[i]]` for live positions.
+//!
+//! Joins use these to fetch build-side payload columns by matched row id, and
+//! Q12's `map_fetch_uidx_col_str_col` (Fig. 4d) is exactly this shape. The
+//! three code-style flavors stand in for the gcc/clang/icc builds whose
+//! alternating superiority Fig. 4(d) shows.
+
+use ma_vector::StrVec;
+
+/// Fixed-width gather.
+pub type MapFetch<T> = fn(res: &mut [T], src: &[T], idx: &[u32], sel: Option<&[u32]>);
+
+/// String gather (res must share the arena of src; see
+/// [`StrVec::writable_like`]).
+pub type MapFetchStr = fn(res: &mut StrVec, src: &StrVec, idx: &[u32], sel: Option<&[u32]>);
+
+/// `gcc` style: plain indexed loop.
+pub fn map_fetch_gcc<T: Copy>(res: &mut [T], src: &[T], idx: &[u32], sel: Option<&[u32]>) {
+    match sel {
+        Some(s) => {
+            for &i in s {
+                let i = i as usize;
+                res[i] = src[idx[i] as usize];
+            }
+        }
+        None => {
+            for i in 0..idx.len() {
+                res[i] = src[idx[i] as usize];
+            }
+        }
+    }
+}
+
+/// `icc` style: 4-way unrolled.
+pub fn map_fetch_icc<T: Copy>(res: &mut [T], src: &[T], idx: &[u32], sel: Option<&[u32]>) {
+    macro_rules! body {
+        ($i:expr) => {{
+            let i = $i;
+            res[i] = src[idx[i] as usize];
+        }};
+    }
+    match sel {
+        Some(s) => {
+            let mut j = 0;
+            while j + 4 <= s.len() {
+                body!(s[j] as usize);
+                body!(s[j + 1] as usize);
+                body!(s[j + 2] as usize);
+                body!(s[j + 3] as usize);
+                j += 4;
+            }
+            while j < s.len() {
+                body!(s[j] as usize);
+                j += 1;
+            }
+        }
+        None => {
+            let n = idx.len();
+            let mut i = 0;
+            while i + 4 <= n {
+                body!(i);
+                body!(i + 1);
+                body!(i + 2);
+                body!(i + 3);
+                i += 4;
+            }
+            while i < n {
+                body!(i);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// `clang` style: iterator zip on the dense path.
+pub fn map_fetch_clang<T: Copy>(res: &mut [T], src: &[T], idx: &[u32], sel: Option<&[u32]>) {
+    match sel {
+        Some(s) => {
+            for &i in s {
+                let i = i as usize;
+                res[i] = src[idx[i] as usize];
+            }
+        }
+        None => {
+            for (r, &ix) in res.iter_mut().zip(idx.iter()) {
+                *r = src[ix as usize];
+            }
+        }
+    }
+}
+
+/// String gather, `gcc` style.
+pub fn map_fetch_str_gcc(res: &mut StrVec, src: &StrVec, idx: &[u32], sel: Option<&[u32]>) {
+    let views = src.views();
+    match sel {
+        Some(s) => {
+            for &i in s {
+                let i = i as usize;
+                res.views_mut()[i] = views[idx[i] as usize];
+            }
+        }
+        None => {
+            for i in 0..idx.len() {
+                res.views_mut()[i] = views[idx[i] as usize];
+            }
+        }
+    }
+}
+
+/// String gather, `icc` style (4-way unrolled).
+pub fn map_fetch_str_icc(res: &mut StrVec, src: &StrVec, idx: &[u32], sel: Option<&[u32]>) {
+    let views = src.views().to_vec();
+    let out = res.views_mut();
+    macro_rules! body {
+        ($i:expr) => {{
+            let i = $i;
+            out[i] = views[idx[i] as usize];
+        }};
+    }
+    match sel {
+        Some(s) => {
+            let mut j = 0;
+            while j + 4 <= s.len() {
+                body!(s[j] as usize);
+                body!(s[j + 1] as usize);
+                body!(s[j + 2] as usize);
+                body!(s[j + 3] as usize);
+                j += 4;
+            }
+            while j < s.len() {
+                body!(s[j] as usize);
+                j += 1;
+            }
+        }
+        None => {
+            let n = idx.len();
+            let mut i = 0;
+            while i + 4 <= n {
+                body!(i);
+                body!(i + 1);
+                body!(i + 2);
+                body!(i + 3);
+                i += 4;
+            }
+            while i < n {
+                body!(i);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// String gather, `clang` style.
+pub fn map_fetch_str_clang(res: &mut StrVec, src: &StrVec, idx: &[u32], sel: Option<&[u32]>) {
+    let views = src.views().to_vec();
+    match sel {
+        Some(s) => {
+            for &i in s {
+                let i = i as usize;
+                res.views_mut()[i] = views[idx[i] as usize];
+            }
+        }
+        None => {
+            for (r, &ix) in res.views_mut().iter_mut().zip(idx.iter()) {
+                *r = views[ix as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_flavors_agree() {
+        let src: Vec<i64> = (100..200).collect();
+        let idx: Vec<u32> = (0..50u32).map(|i| (i * 7) % 100).collect();
+        let sel: Vec<u32> = (0..50u32).filter(|i| i % 3 == 0).collect();
+        for sv in [None, Some(sel.as_slice())] {
+            let mut expect = vec![0i64; 50];
+            map_fetch_gcc(&mut expect, &src, &idx, sv);
+            for (name, f) in [
+                ("icc", map_fetch_icc::<i64> as MapFetch<i64>),
+                ("clang", map_fetch_clang::<i64>),
+            ] {
+                let mut res = vec![0i64; 50];
+                f(&mut res, &src, &idx, sv);
+                match sv {
+                    None => assert_eq!(res, expect, "{name}"),
+                    Some(s) => {
+                        for &i in s {
+                            assert_eq!(res[i as usize], expect[i as usize], "{name}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_values_are_correct() {
+        let src = [10i32, 20, 30];
+        let idx = [2u32, 0, 1, 2];
+        let mut res = [0i32; 4];
+        map_fetch_gcc(&mut res, &src, &idx, None);
+        assert_eq!(res, [30, 10, 20, 30]);
+    }
+
+    #[test]
+    fn string_fetch_flavors_agree() {
+        let src = StrVec::from_strings(&["alpha", "beta", "gamma", "delta"]);
+        let idx = [3u32, 1, 0, 2, 3];
+        for f in [
+            map_fetch_str_gcc as MapFetchStr,
+            map_fetch_str_icc,
+            map_fetch_str_clang,
+        ] {
+            let mut res = src.writable_like(5);
+            f(&mut res, &src, &idx, None);
+            let got: Vec<&str> = res.iter().collect();
+            assert_eq!(got, vec!["delta", "beta", "alpha", "gamma", "delta"]);
+        }
+    }
+
+    #[test]
+    fn string_fetch_with_sel() {
+        let src = StrVec::from_strings(&["a", "b", "c"]);
+        let idx = [2u32, 2, 2];
+        let sel = [1u32];
+        let mut res = src.writable_like(3);
+        map_fetch_str_gcc(&mut res, &src, &idx, Some(&sel));
+        assert_eq!(res.get(1), "c");
+        assert_eq!(res.get(0), ""); // untouched
+    }
+}

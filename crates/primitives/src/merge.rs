@@ -1,0 +1,242 @@
+//! Merge-join kernel: the `mergejoin_slng_col_slng_col` primitive of
+//! Fig. 4(c) and Fig. 5.
+//!
+//! Joins a *sorted, unique* left key array (cursor-carried across calls)
+//! against one vector of sorted right keys, emitting `(right position, left
+//! index)` match pairs. The three flavors are legitimately different code
+//! shapes with different branch/cache profiles — the stand-in for the
+//! paper's compiler builds, whose best performer varies by machine (Fig. 5):
+//!
+//! * `gcc` — plain branchy linear advance;
+//! * `icc` — branch-free linear advance (the comparison feeds index
+//!   arithmetic);
+//! * `clang` — galloping (exponential + binary search) advance, which wins
+//!   when the left side is much denser than the right.
+
+/// Merge-join one right-side vector against the left key array.
+///
+/// `cursor` persists across calls (the operator owns it). Returns the number
+/// of emitted pairs; `out_rpos[j]`/`out_lidx[j]` hold the right position and
+/// left index of pair `j`. Right keys must be ascending over live positions,
+/// left keys ascending and unique.
+pub type MergeJoinFn = fn(
+    cursor: &mut usize,
+    lkeys: &[i64],
+    rkeys: &[i64],
+    sel: Option<&[u32]>,
+    out_rpos: &mut [u32],
+    out_lidx: &mut [u32],
+) -> usize;
+
+#[inline(always)]
+fn emit_if_match(
+    cur: usize,
+    lkeys: &[i64],
+    rk: i64,
+    rpos: u32,
+    out_rpos: &mut [u32],
+    out_lidx: &mut [u32],
+    k: &mut usize,
+) {
+    if cur < lkeys.len() && lkeys[cur] == rk {
+        out_rpos[*k] = rpos;
+        out_lidx[*k] = cur as u32;
+        *k += 1;
+    }
+}
+
+/// `gcc` flavor: branchy linear advance.
+pub fn mergejoin_i64_gcc(
+    cursor: &mut usize,
+    lkeys: &[i64],
+    rkeys: &[i64],
+    sel: Option<&[u32]>,
+    out_rpos: &mut [u32],
+    out_lidx: &mut [u32],
+) -> usize {
+    let mut cur = *cursor;
+    let mut k = 0;
+    let mut step = |i: u32| {
+        let rk = rkeys[i as usize];
+        while cur < lkeys.len() && lkeys[cur] < rk {
+            cur += 1;
+        }
+        emit_if_match(cur, lkeys, rk, i, out_rpos, out_lidx, &mut k);
+    };
+    match sel {
+        Some(s) => s.iter().for_each(|&i| step(i)),
+        None => (0..rkeys.len() as u32).for_each(&mut step),
+    }
+    *cursor = cur;
+    k
+}
+
+/// `icc` flavor: branch-free linear advance (comparison feeds index
+/// arithmetic, bounded by the remaining left length).
+pub fn mergejoin_i64_icc(
+    cursor: &mut usize,
+    lkeys: &[i64],
+    rkeys: &[i64],
+    sel: Option<&[u32]>,
+    out_rpos: &mut [u32],
+    out_lidx: &mut [u32],
+) -> usize {
+    let mut cur = *cursor;
+    let mut k = 0;
+    let n = lkeys.len();
+    let mut step = |i: u32| {
+        let rk = rkeys[i as usize];
+        while cur < n {
+            // Branch-free inner step: advance by 0 or 1 without a
+            // data-dependent branch on the key comparison.
+            let advance = (lkeys[cur] < rk) as usize;
+            cur += advance;
+            if advance == 0 {
+                break;
+            }
+        }
+        emit_if_match(cur, lkeys, rk, i, out_rpos, out_lidx, &mut k);
+    };
+    match sel {
+        Some(s) => s.iter().for_each(|&i| step(i)),
+        None => (0..rkeys.len() as u32).for_each(&mut step),
+    }
+    *cursor = cur;
+    k
+}
+
+/// `clang` flavor: galloping advance (exponential probe then binary search).
+pub fn mergejoin_i64_clang(
+    cursor: &mut usize,
+    lkeys: &[i64],
+    rkeys: &[i64],
+    sel: Option<&[u32]>,
+    out_rpos: &mut [u32],
+    out_lidx: &mut [u32],
+) -> usize {
+    let mut cur = *cursor;
+    let mut k = 0;
+    let n = lkeys.len();
+    let mut step = |i: u32| {
+        let rk = rkeys[i as usize];
+        if cur < n && lkeys[cur] < rk {
+            // Exponential probe for the first index with lkeys >= rk.
+            let mut bound = 1;
+            while cur + bound < n && lkeys[cur + bound] < rk {
+                bound *= 2;
+            }
+            let lo = cur + bound / 2;
+            let hi = (cur + bound).min(n);
+            cur = lo + lkeys[lo..hi].partition_point(|&x| x < rk);
+        }
+        emit_if_match(cur, lkeys, rk, i, out_rpos, out_lidx, &mut k);
+    };
+    match sel {
+        Some(s) => s.iter().for_each(|&i| step(i)),
+        None => (0..rkeys.len() as u32).for_each(&mut step),
+    }
+    *cursor = cur;
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FLAVORS: [(&str, MergeJoinFn); 3] = [
+        ("gcc", mergejoin_i64_gcc),
+        ("icc", mergejoin_i64_icc),
+        ("clang", mergejoin_i64_clang),
+    ];
+
+    fn run(
+        f: MergeJoinFn,
+        lkeys: &[i64],
+        rkeys: &[i64],
+        sel: Option<&[u32]>,
+    ) -> Vec<(u32, u32)> {
+        let cap = sel.map_or(rkeys.len(), <[u32]>::len);
+        let mut rpos = vec![0u32; cap];
+        let mut lidx = vec![0u32; cap];
+        let mut cursor = 0;
+        let k = f(&mut cursor, lkeys, rkeys, sel, &mut rpos, &mut lidx);
+        (0..k).map(|j| (rpos[j], lidx[j])).collect()
+    }
+
+    #[test]
+    fn flavors_agree_dense() {
+        let lkeys: Vec<i64> = (0..100).map(|i| i * 3).collect(); // 0,3,6,...
+        let rkeys: Vec<i64> = (0..150).map(|i| i * 2).collect(); // 0,2,4,...
+        let expect = run(mergejoin_i64_gcc, &lkeys, &rkeys, None);
+        assert!(!expect.is_empty());
+        for (name, f) in FLAVORS {
+            assert_eq!(run(f, &lkeys, &rkeys, None), expect, "{name}");
+        }
+        // Matches are multiples of 6 below min(300, 297).
+        for &(rpos, lidx) in &expect {
+            assert_eq!(rkeys[rpos as usize], lkeys[lidx as usize]);
+            assert_eq!(rkeys[rpos as usize] % 6, 0);
+        }
+    }
+
+    #[test]
+    fn flavors_agree_with_sel() {
+        let lkeys: Vec<i64> = (0..1000).collect();
+        let rkeys: Vec<i64> = (0..500).map(|i| i * 2).collect();
+        let sel: Vec<u32> = (0..500u32).filter(|i| i % 3 != 0).collect();
+        let expect = run(mergejoin_i64_gcc, &lkeys, &rkeys, Some(&sel));
+        for (name, f) in FLAVORS {
+            assert_eq!(run(f, &lkeys, &rkeys, Some(&sel)), expect, "{name}");
+        }
+    }
+
+    #[test]
+    fn cursor_carries_across_calls() {
+        let lkeys: Vec<i64> = (0..100).collect();
+        let r1: Vec<i64> = (0..50).collect();
+        let r2: Vec<i64> = (50..100).collect();
+        for (name, f) in FLAVORS {
+            let mut cursor = 0;
+            let mut rpos = vec![0u32; 50];
+            let mut lidx = vec![0u32; 50];
+            let k1 = f(&mut cursor, &lkeys, &r1, None, &mut rpos, &mut lidx);
+            assert_eq!(k1, 50, "{name}");
+            let k2 = f(&mut cursor, &lkeys, &r2, None, &mut rpos, &mut lidx);
+            assert_eq!(k2, 50, "{name}");
+            assert_eq!(lidx[0], 50, "{name}: second call continues at left 50");
+        }
+    }
+
+    #[test]
+    fn no_matches_when_disjoint() {
+        let lkeys = [10i64, 20, 30];
+        let rkeys = [1i64, 2, 3];
+        for (name, f) in FLAVORS {
+            assert!(run(f, &lkeys, &rkeys, None).is_empty(), "{name}");
+        }
+        // Right keys all beyond the left range.
+        let rkeys = [100i64, 200];
+        for (name, f) in FLAVORS {
+            assert!(run(f, &lkeys, &rkeys, None).is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn duplicate_right_keys_match_same_left() {
+        // 1:N — lineitem has many rows per order.
+        let lkeys = [5i64, 10];
+        let rkeys = [5i64, 5, 5, 10, 10];
+        for (name, f) in FLAVORS {
+            let got = run(f, &lkeys, &rkeys, None);
+            assert_eq!(got, vec![(0, 0), (1, 0), (2, 0), (3, 1), (4, 1)], "{name}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        for (_, f) in FLAVORS {
+            assert!(run(f, &[], &[1, 2], None).is_empty());
+            assert!(run(f, &[1, 2], &[], None).is_empty());
+        }
+    }
+}

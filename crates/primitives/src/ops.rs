@@ -1,0 +1,156 @@
+//! Predicate and arithmetic operator lego bricks.
+//!
+//! Vectorwise generates its ~5000 primitives from templates that insert a
+//! "body action" into a loop (§2, Listing 7). The Rust equivalent: tiny
+//! zero-sized operator types with `#[inline(always)]` bodies, monomorphized
+//! into each loop shape. Each (operator, type, loop-shape) instantiation is a
+//! distinct concrete function that coerces to a plain `fn` pointer for the
+//! Primitive Dictionary.
+
+/// A binary comparison predicate over `T`.
+pub trait CmpOp<T> {
+    /// Short name used in signature strings (`lt`, `le`, ...).
+    const NAME: &'static str;
+    /// Evaluates the predicate.
+    fn cmp(a: T, b: T) -> bool;
+}
+
+/// A binary arithmetic operator over `T`.
+pub trait ArithOp<T> {
+    /// Short name used in signature strings (`add`, `mul`, ...).
+    const NAME: &'static str;
+    /// True when the operator is safe to run on *unselected* garbage inputs
+    /// (full computation, Fig. 7 right). Integer division is not.
+    const FULL_SAFE: bool;
+    /// Applies the operator.
+    fn apply(a: T, b: T) -> T;
+}
+
+macro_rules! cmp_op {
+    ($op:ident, $name:literal, $a:ident, $b:ident, $e:expr) => {
+        /// Comparison operator (zero-sized marker).
+        #[derive(Debug, Clone, Copy)]
+        pub struct $op;
+        impl<T: PartialOrd + Copy> CmpOp<T> for $op {
+            const NAME: &'static str = $name;
+            #[inline(always)]
+            fn cmp($a: T, $b: T) -> bool {
+                $e
+            }
+        }
+    };
+}
+
+cmp_op!(Lt, "lt", a, b, a < b);
+cmp_op!(Le, "le", a, b, a <= b);
+cmp_op!(Gt, "gt", a, b, a > b);
+cmp_op!(Ge, "ge", a, b, a >= b);
+cmp_op!(EqOp, "eq", a, b, a == b);
+cmp_op!(NeOp, "ne", a, b, a != b);
+
+macro_rules! arith_op_int {
+    ($op:ident, $name:literal, $full:literal, $m:ident, $($ty:ty),+) => {
+        /// Arithmetic operator (zero-sized marker).
+        #[derive(Debug, Clone, Copy)]
+        pub struct $op;
+        $(impl ArithOp<$ty> for $op {
+            const NAME: &'static str = $name;
+            const FULL_SAFE: bool = $full;
+            #[inline(always)]
+            fn apply(a: $ty, b: $ty) -> $ty {
+                a.$m(b)
+            }
+        })+
+    };
+}
+
+// Integer arithmetic wraps: full computation runs the operator on tuples the
+// selection excluded, whose values may be arbitrary — a wrap there must not
+// abort the query (the result slot is dead anyway, Fig. 7 right).
+arith_op_int!(Add, "add", true, wrapping_add, i16, i32, i64);
+arith_op_int!(Sub, "sub", true, wrapping_sub, i16, i32, i64);
+arith_op_int!(Mul, "mul", true, wrapping_mul, i16, i32, i64);
+
+/// Integer division: *not* safe under full computation (division by an
+/// unselected zero must not trap), so `FULL_SAFE = false` and the registry
+/// registers no `full` flavor for it.
+#[derive(Debug, Clone, Copy)]
+pub struct Div;
+macro_rules! div_int {
+    ($($ty:ty),+) => {
+        $(impl ArithOp<$ty> for Div {
+            const NAME: &'static str = "div";
+            const FULL_SAFE: bool = false;
+            #[inline(always)]
+            fn apply(a: $ty, b: $ty) -> $ty {
+                // Callers guarantee b != 0 on selected tuples.
+                a / b
+            }
+        })+
+    };
+}
+div_int!(i16, i32, i64);
+
+macro_rules! arith_op_f64 {
+    ($op:ident, $name:literal, $a:ident, $b:ident, $e:expr) => {
+        impl ArithOp<f64> for $op {
+            const NAME: &'static str = $name;
+            const FULL_SAFE: bool = true; // IEEE: no traps, NaN/inf are fine
+            #[inline(always)]
+            fn apply($a: f64, $b: f64) -> f64 {
+                $e
+            }
+        }
+    };
+}
+
+arith_op_f64!(Add, "add", a, b, a + b);
+arith_op_f64!(Sub, "sub", a, b, a - b);
+arith_op_f64!(Mul, "mul", a, b, a * b);
+arith_op_f64!(Div, "div", a, b, a / b);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops_evaluate() {
+        assert!(<Lt as CmpOp<i32>>::cmp(1, 2));
+        assert!(!<Lt as CmpOp<i32>>::cmp(2, 2));
+        assert!(<Le as CmpOp<i32>>::cmp(2, 2));
+        assert!(<Gt as CmpOp<f64>>::cmp(2.5, 1.0));
+        assert!(<Ge as CmpOp<i64>>::cmp(3, 3));
+        assert!(<EqOp as CmpOp<i16>>::cmp(7, 7));
+        assert!(<NeOp as CmpOp<i16>>::cmp(7, 8));
+    }
+
+    #[test]
+    fn arith_ops_evaluate() {
+        assert_eq!(<Add as ArithOp<i64>>::apply(2, 3), 5);
+        assert_eq!(<Sub as ArithOp<i64>>::apply(2, 3), -1);
+        assert_eq!(<Mul as ArithOp<i64>>::apply(4, 3), 12);
+        assert_eq!(<Div as ArithOp<i64>>::apply(9, 2), 4);
+        assert_eq!(<Mul as ArithOp<f64>>::apply(0.5, 4.0), 2.0);
+        assert_eq!(<Div as ArithOp<f64>>::apply(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn int_overflow_wraps_instead_of_trapping() {
+        assert_eq!(<Add as ArithOp<i64>>::apply(i64::MAX, 1), i64::MIN);
+        assert_eq!(<Mul as ArithOp<i16>>::apply(i16::MAX, 2), -2);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn full_safety_flags() {
+        assert!(<Mul as ArithOp<i64>>::FULL_SAFE);
+        assert!(!<Div as ArithOp<i64>>::FULL_SAFE);
+        assert!(<Div as ArithOp<f64>>::FULL_SAFE);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(<Lt as CmpOp<i32>>::NAME, "lt");
+        assert_eq!(<Div as ArithOp<i64>>::NAME, "div");
+    }
+}

@@ -1,0 +1,118 @@
+//! Calendar arithmetic for TPC-H dates.
+//!
+//! Dates are stored as `i32` days since 1992-01-01 (the first order date the
+//! spec allows). Conversion uses the standard civil-from-days algorithm
+//! (Howard Hinnant), exact over the whole TPC-H range.
+
+/// Days from 1970-01-01 to 1992-01-01.
+const EPOCH_OFFSET_1970: i64 = 8035;
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = y - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + u64::from(doy); // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// TPC-H day number (days since 1992-01-01) for a civil date.
+pub fn date(y: i32, m: u32, d: u32) -> i32 {
+    (days_from_civil(y as i64, m, d) - EPOCH_OFFSET_1970) as i32
+}
+
+/// Civil `(year, month, day)` from a TPC-H day number.
+pub fn civil(day: i32) -> (i32, u32, u32) {
+    let z = day as i64 + EPOCH_OFFSET_1970 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+/// Year of a TPC-H day number.
+pub fn year_of(day: i32) -> i32 {
+    civil(day).0
+}
+
+/// Adds whole months to a day number (TPC-H parameter dates are always the
+/// first of a month, so no day-clamping is needed).
+pub fn add_months(day: i32, months: i32) -> i32 {
+    let (y, m, d) = civil(day);
+    let tot = y * 12 + (m as i32 - 1) + months;
+    let ny = tot.div_euclid(12);
+    let nm = (tot.rem_euclid(12) + 1) as u32;
+    date(ny, nm, d)
+}
+
+/// Adds whole years to a day number.
+pub fn add_years(day: i32, years: i32) -> i32 {
+    add_months(day, years * 12)
+}
+
+/// First order date allowed by the spec.
+pub const START_DATE: i32 = 0; // 1992-01-01
+/// Last ship window end (1998-12-31).
+pub fn end_date() -> i32 {
+    date(1998, 12, 31)
+}
+/// The spec's CURRENTDATE (1995-06-17).
+pub fn current_date() -> i32 {
+    date(1995, 6, 17)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(date(1992, 1, 1), 0);
+    }
+
+    #[test]
+    fn known_spans() {
+        assert_eq!(date(1992, 1, 2), 1);
+        assert_eq!(date(1993, 1, 1), 366); // 1992 is a leap year
+        assert_eq!(date(1994, 1, 1), 731);
+        assert_eq!(date(1998, 12, 31), 2556);
+    }
+
+    #[test]
+    fn civil_roundtrip() {
+        for day in [0, 1, 59, 60, 365, 366, 1000, 2000, 2556] {
+            let (y, m, d) = civil(day);
+            assert_eq!(date(y, m, d), day, "day {day} → {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn years() {
+        assert_eq!(year_of(date(1995, 6, 17)), 1995);
+        assert_eq!(year_of(date(1992, 12, 31)), 1992);
+        assert_eq!(year_of(date(1996, 1, 1)), 1996);
+    }
+
+    #[test]
+    fn month_and_year_arithmetic() {
+        assert_eq!(add_months(date(1993, 7, 1), 3), date(1993, 10, 1));
+        assert_eq!(add_months(date(1993, 11, 1), 3), date(1994, 2, 1));
+        assert_eq!(add_years(date(1994, 1, 1), 1), date(1995, 1, 1));
+        assert_eq!(add_months(date(1995, 9, 1), 1), date(1995, 10, 1));
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert_eq!(date(1992, 3, 1) - date(1992, 2, 28), 2); // Feb 29 exists
+        assert_eq!(date(1993, 3, 1) - date(1993, 2, 28), 1);
+        let (y, m, d) = civil(date(1996, 2, 29));
+        assert_eq!((y, m, d), (1996, 2, 29));
+    }
+}

@@ -1,0 +1,223 @@
+//! Text pools for dbgen: names, types, comments with pattern injection.
+//!
+//! Word lists follow the spec's grammar closely enough that every LIKE
+//! pattern the 22 queries use has its spec-rate hit frequency: `%green%` in
+//! `p_name` (1/17 of parts contain any given color), `PROMO%` in `p_type`
+//! (1/6), `%special%requests%` in `o_comment` (~1%), `%Customer%Complaints%`
+//! in `s_comment` (rare), `forest%` in `p_name`.
+
+use ma_core::SplitMix64;
+
+/// The spec's P_NAME color vocabulary (55 words, 5 chosen per part).
+pub const COLORS: [&str; 55] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime",
+    "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+];
+
+/// TYPE_SYLLABLE_1 through _3 (spec 4.2.2.13).
+pub const TYPES1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// `TYPES2`.
+pub const TYPES2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// `TYPES3`.
+pub const TYPES3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// CONTAINER syllables.
+pub const CONTAINERS1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// `CONTAINERS2`.
+pub const CONTAINERS2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Order priorities.
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes.
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Ship instructions.
+pub const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// Market segments.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// The 25 nations with their region keys (spec A-1).
+pub const NATIONS: [(&str, i32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// The 5 regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Filler vocabulary for comments.
+const WORDS: [&str; 32] = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "final", "ironic", "regular",
+    "express", "bold", "pending", "even", "silent", "unusual", "packages", "deposits", "accounts",
+    "instructions", "theodolites", "dependencies", "foxes", "pinto", "beans", "ideas", "platelets",
+    "requests", "realms", "courts", "epitaphs", "somas", "asymptotes", "dugouts",
+];
+
+/// Generates a comment of `words` random words, optionally injecting a
+/// marker phrase (e.g. "special ... requests") when `inject` is true.
+pub fn comment(rng: &mut SplitMix64, words: usize, inject: Option<(&str, &str)>) -> String {
+    let mut out = String::with_capacity(words * 8 + 24);
+    let inject_at = inject.map(|_| rng.gen_range(words.max(2) - 1));
+    for w in 0..words {
+        if w > 0 {
+            out.push(' ');
+        }
+        if let (Some((first, second)), Some(at)) = (inject, inject_at) {
+            if w == at {
+                out.push_str(first);
+                out.push(' ');
+                out.push_str(second);
+                continue;
+            }
+        }
+        out.push_str(WORDS[rng.gen_range(WORDS.len())]);
+    }
+    out
+}
+
+/// A part name: five random color words (spec 4.2.3).
+pub fn part_name(rng: &mut SplitMix64) -> String {
+    let mut out = String::with_capacity(48);
+    for w in 0..5 {
+        if w > 0 {
+            out.push(' ');
+        }
+        out.push_str(COLORS[rng.gen_range(COLORS.len())]);
+    }
+    out
+}
+
+/// A part type: three syllables.
+pub fn part_type(rng: &mut SplitMix64) -> String {
+    format!(
+        "{} {} {}",
+        TYPES1[rng.gen_range(TYPES1.len())],
+        TYPES2[rng.gen_range(TYPES2.len())],
+        TYPES3[rng.gen_range(TYPES3.len())]
+    )
+}
+
+/// A container: two syllables.
+pub fn container(rng: &mut SplitMix64) -> String {
+    format!(
+        "{} {}",
+        CONTAINERS1[rng.gen_range(CONTAINERS1.len())],
+        CONTAINERS2[rng.gen_range(CONTAINERS2.len())]
+    )
+}
+
+/// A phone number whose country code is `10 + nationkey` (spec 4.2.2.9) —
+/// Q22 matches on the first two characters.
+pub fn phone(rng: &mut SplitMix64, nationkey: i32) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        100 + rng.gen_range(900),
+        100 + rng.gen_range(900),
+        1000 + rng.gen_range(9000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_injection_places_both_words_in_order() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..50 {
+            let c = comment(&mut rng, 12, Some(("special", "requests")));
+            // "requests" can also occur as a filler word; the guarantee is
+            // that "special" is eventually followed by "requests".
+            let p = c.find("special").expect("first word present");
+            assert!(c[p..].contains("requests"), "{c}");
+        }
+    }
+
+    #[test]
+    fn comment_without_injection_has_no_marker() {
+        let mut rng = SplitMix64::new(2);
+        // "requests" alone can appear (it is in WORDS); the full phrase
+        // "special requests" must not, since "special" is not in WORDS.
+        for _ in 0..100 {
+            let c = comment(&mut rng, 10, None);
+            assert!(!c.contains("special "));
+        }
+    }
+
+    #[test]
+    fn part_name_has_five_words() {
+        let mut rng = SplitMix64::new(3);
+        let n = part_name(&mut rng);
+        assert_eq!(n.split(' ').count(), 5);
+    }
+
+    #[test]
+    fn green_frequency_matches_spec_rate() {
+        // Each of 5 words is "green" with probability 1/55 → ~ 5/55 ≈ 9%.
+        let mut rng = SplitMix64::new(4);
+        let hits = (0..2000)
+            .filter(|_| part_name(&mut rng).contains("green"))
+            .count();
+        let rate = hits as f64 / 2000.0;
+        assert!((0.04..0.16).contains(&rate), "green rate {rate}");
+    }
+
+    #[test]
+    fn phone_has_country_code() {
+        let mut rng = SplitMix64::new(5);
+        let p = phone(&mut rng, 7);
+        assert!(p.starts_with("17-"));
+        assert_eq!(p.len(), "17-123-456-7890".len());
+    }
+
+    #[test]
+    fn type_and_container_shapes() {
+        let mut rng = SplitMix64::new(6);
+        assert_eq!(part_type(&mut rng).split(' ').count(), 3);
+        assert_eq!(container(&mut rng).split(' ').count(), 2);
+    }
+
+    #[test]
+    fn nations_reference_valid_regions() {
+        for (_, r) in NATIONS {
+            assert!((0..5).contains(&r));
+        }
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # ma-tpch — TPC-H substrate
+//!
+//! Deterministic in-memory dbgen ([`dbgen::TpchData`]) plus all 22 TPC-H
+//! queries expressed as physical plans over the `ma-executor` operators
+//! ([`queries`]), and a [`runner`] that executes them under any engine
+//! configuration with per-stage and per-instance profiling.
+//!
+//! The paper evaluates Micro Adaptivity on TPC-H SF-100 (§4); this crate
+//! reproduces the workload at configurable scale. Schema/spec deviations
+//! are documented in [`dbgen`] and DESIGN.md §3.
+
+pub mod dates;
+pub mod dbgen;
+pub mod params;
+pub mod queries;
+pub mod runner;
+
+pub use dbgen::TpchData;
+pub use params::Params;
+pub use queries::run_query;
+pub use runner::{geometric_mean, QueryResult, Runner};
+

@@ -1,0 +1,187 @@
+//! Query substitution parameters (the spec's validation values).
+//!
+//! The paper runs the standard TPC-H queries; we pin every substitution
+//! parameter to the spec's qualification value so results are deterministic
+//! and comparable across engine configurations.
+
+use crate::dates::date;
+
+/// All substitution parameters for the 22 queries.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Q1: shipdate cutoff = 1998-12-01 − delta days.
+    pub q1_delta_days: i32,
+    /// Q2: part size.
+    pub q2_size: i32,
+    /// Q2: part type suffix.
+    pub q2_type_suffix: &'static str,
+    /// Q2: region.
+    pub q2_region: &'static str,
+    /// Q3: market segment.
+    pub q3_segment: &'static str,
+    /// Q3: date.
+    pub q3_date: i32,
+    /// Q4: quarter start.
+    pub q4_date: i32,
+    /// Q5: region.
+    pub q5_region: &'static str,
+    /// Q5: year start.
+    pub q5_date: i32,
+    /// Q6: year start.
+    pub q6_date: i32,
+    /// Q6: discount midpoint in percent.
+    pub q6_discount_pct: i64,
+    /// Q6: quantity bound.
+    pub q6_quantity: i32,
+    /// Q7: the two nations.
+    pub q7_nation1: &'static str,
+    /// `q7_nation2`.
+    pub q7_nation2: &'static str,
+    /// Q8: nation / region / part type.
+    pub q8_nation: &'static str,
+    /// `q8_region`.
+    pub q8_region: &'static str,
+    /// `q8_type`.
+    pub q8_type: &'static str,
+    /// Q9: part-name color.
+    pub q9_color: &'static str,
+    /// Q10: quarter start.
+    pub q10_date: i32,
+    /// Q11: nation and value fraction (spec: 0.0001 / SF).
+    pub q11_nation: &'static str,
+    /// `q11_fraction_sf1`.
+    pub q11_fraction_sf1: f64,
+    /// Q12: the two ship modes and the year start.
+    pub q12_shipmode1: &'static str,
+    /// `q12_shipmode2`.
+    pub q12_shipmode2: &'static str,
+    /// `q12_date`.
+    pub q12_date: i32,
+    /// Q13: the comment words.
+    pub q13_word1: &'static str,
+    /// `q13_word2`.
+    pub q13_word2: &'static str,
+    /// Q14: month start.
+    pub q14_date: i32,
+    /// Q15: quarter start.
+    pub q15_date: i32,
+    /// Q16: excluded brand / type prefix / size list.
+    pub q16_brand: &'static str,
+    /// `q16_type_prefix`.
+    pub q16_type_prefix: &'static str,
+    /// `q16_sizes`.
+    pub q16_sizes: [i32; 8],
+    /// Q17: brand and container.
+    pub q17_brand: &'static str,
+    /// `q17_container`.
+    pub q17_container: &'static str,
+    /// Q18: quantity threshold.
+    pub q18_quantity: i64,
+    /// Q19: three (brand, quantity-low) groups.
+    pub q19_brand1: &'static str,
+    /// `q19_qty1`.
+    pub q19_qty1: i32,
+    /// `q19_brand2`.
+    pub q19_brand2: &'static str,
+    /// `q19_qty2`.
+    pub q19_qty2: i32,
+    /// `q19_brand3`.
+    pub q19_brand3: &'static str,
+    /// `q19_qty3`.
+    pub q19_qty3: i32,
+    /// Q20: color prefix / year start / nation.
+    pub q20_color: &'static str,
+    /// `q20_date`.
+    pub q20_date: i32,
+    /// `q20_nation`.
+    pub q20_nation: &'static str,
+    /// Q21: nation.
+    pub q21_nation: &'static str,
+    /// Q22: the seven country codes.
+    pub q22_codes: [&'static str; 7],
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            q1_delta_days: 90,
+            q2_size: 15,
+            q2_type_suffix: "BRASS",
+            q2_region: "EUROPE",
+            q3_segment: "BUILDING",
+            q3_date: date(1995, 3, 15),
+            q4_date: date(1993, 7, 1),
+            q5_region: "ASIA",
+            q5_date: date(1994, 1, 1),
+            q6_date: date(1994, 1, 1),
+            q6_discount_pct: 6,
+            q6_quantity: 24,
+            q7_nation1: "FRANCE",
+            q7_nation2: "GERMANY",
+            q8_nation: "BRAZIL",
+            q8_region: "AMERICA",
+            q8_type: "ECONOMY ANODIZED STEEL",
+            q9_color: "green",
+            q10_date: date(1993, 10, 1),
+            q11_nation: "GERMANY",
+            q11_fraction_sf1: 0.0001,
+            q12_shipmode1: "MAIL",
+            q12_shipmode2: "SHIP",
+            q12_date: date(1994, 1, 1),
+            q13_word1: "special",
+            q13_word2: "requests",
+            q14_date: date(1995, 9, 1),
+            q15_date: date(1996, 1, 1),
+            q16_brand: "Brand#45",
+            q16_type_prefix: "MEDIUM POLISHED",
+            q16_sizes: [49, 14, 23, 45, 19, 3, 36, 9],
+            q17_brand: "Brand#23",
+            q17_container: "MED BOX",
+            q18_quantity: 300,
+            q19_brand1: "Brand#12",
+            q19_qty1: 1,
+            q19_brand2: "Brand#23",
+            q19_qty2: 10,
+            q19_brand3: "Brand#34",
+            q19_qty3: 20,
+            q20_color: "forest",
+            q20_date: date(1994, 1, 1),
+            q20_nation: "CANADA",
+            q21_nation: "SAUDI ARABIA",
+            q22_codes: ["13", "31", "23", "29", "30", "18", "17"],
+        }
+    }
+}
+
+impl Params {
+    /// Q1 shipdate cutoff day.
+    pub fn q1_cutoff(&self) -> i32 {
+        date(1998, 12, 1) - self.q1_delta_days
+    }
+
+    /// Q11 fraction at scale factor `sf` (spec scales it by 1/SF).
+    pub fn q11_fraction(&self, sf: f64) -> f64 {
+        self.q11_fraction_sf1 / sf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_spec_validation_values() {
+        let p = Params::default();
+        assert_eq!(p.q1_cutoff(), date(1998, 9, 2));
+        assert_eq!(p.q3_segment, "BUILDING");
+        assert_eq!(p.q16_sizes.len(), 8);
+        assert_eq!(p.q22_codes[0], "13");
+    }
+
+    #[test]
+    fn q11_fraction_scales_inverse_to_sf() {
+        let p = Params::default();
+        assert!((p.q11_fraction(0.1) - 0.001).abs() < 1e-12);
+        assert!((p.q11_fraction(1.0) - 0.0001).abs() < 1e-12);
+    }
+}

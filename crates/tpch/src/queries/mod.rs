@@ -1,0 +1,218 @@
+//! The 22 TPC-H queries as physical plans over the `ma-executor` operators.
+//!
+//! Plans are built by hand (the paper's focus is the executor, not the
+//! optimizer), with join orders a reasonable optimizer would pick. A few
+//! queries need multi-phase orchestration that SQL engines do with scalar
+//! subqueries or CASE expressions:
+//!
+//! * Q11/Q15/Q17/Q20/Q21/Q22 materialize an aggregate into a temporary
+//!   table and feed a scalar (threshold/max/avg) into the next phase;
+//! * Q8/Q12/Q14 group one level finer than the SQL and fold the CASE
+//!   arithmetic in a tiny post-step over the (few-row) aggregate result.
+//!
+//! Every query returns a [`QueryOutput`] with a configuration-independent
+//! checksum, which the integration tests use to verify that all flavor
+//! modes (fixed, heuristic, adaptive) produce identical results.
+
+mod q01_q06;
+mod q07_q11;
+mod q12_q17;
+mod q18_q22;
+
+use std::sync::Arc;
+
+use ma_executor::ops::FrozenStore;
+use ma_executor::{BoxOp, ExecError, Expr, QueryContext};
+use ma_vector::{Column, DataType, Table, Vector};
+
+use crate::dbgen::TpchData;
+use crate::params::Params;
+
+/// A finished query: result rows plus a stable checksum.
+pub struct QueryOutput {
+    /// Number of result rows.
+    pub rows: usize,
+    /// Configuration-independent checksum over all result values.
+    pub checksum: f64,
+    /// The materialized result.
+    pub store: FrozenStore,
+}
+
+/// Runs query `q` (1–22).
+pub fn run_query(
+    q: usize,
+    db: &TpchData,
+    ctx: &QueryContext,
+    params: &Params,
+) -> Result<QueryOutput, ExecError> {
+    match q {
+        1 => q01_q06::q01(db, ctx, params),
+        2 => q01_q06::q02(db, ctx, params),
+        3 => q01_q06::q03(db, ctx, params),
+        4 => q01_q06::q04(db, ctx, params),
+        5 => q01_q06::q05(db, ctx, params),
+        6 => q01_q06::q06(db, ctx, params),
+        7 => q07_q11::q07(db, ctx, params),
+        8 => q07_q11::q08(db, ctx, params),
+        9 => q07_q11::q09(db, ctx, params),
+        10 => q07_q11::q10(db, ctx, params),
+        11 => q07_q11::q11(db, ctx, params),
+        12 => q12_q17::q12(db, ctx, params),
+        13 => q12_q17::q13(db, ctx, params),
+        14 => q12_q17::q14(db, ctx, params),
+        15 => q12_q17::q15(db, ctx, params),
+        16 => q12_q17::q16(db, ctx, params),
+        17 => q12_q17::q17(db, ctx, params),
+        18 => q18_q22::q18(db, ctx, params),
+        19 => q18_q22::q19(db, ctx, params),
+        20 => q18_q22::q20(db, ctx, params),
+        21 => q18_q22::q21(db, ctx, params),
+        22 => q18_q22::q22(db, ctx, params),
+        _ => Err(ExecError::Plan(format!("no such TPC-H query: {q}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared plan-building helpers
+// ---------------------------------------------------------------------------
+
+/// Scans named columns of a database table.
+pub(crate) fn scan(
+    db: &TpchData,
+    table: &str,
+    cols: &[&str],
+    ctx: &QueryContext,
+) -> Result<BoxOp, ExecError> {
+    let t = db
+        .table(table)
+        .ok_or_else(|| ExecError::Plan(format!("unknown table {table}")))?;
+    Ok(Box::new(ma_executor::ops::Scan::new(
+        Arc::clone(t),
+        cols,
+        ctx.vector_size(),
+    )?))
+}
+
+/// `1 - e` for f64 expressions, built without a constant lhs:
+/// `e*(-1) + 1`.
+pub(crate) fn one_minus(e: Expr) -> Expr {
+    Expr::add(Expr::mul(e, Expr::f64(-1.0)), Expr::f64(1.0))
+}
+
+/// `1 + e` for f64 expressions.
+pub(crate) fn one_plus(e: Expr) -> Expr {
+    Expr::add(e, Expr::f64(1.0))
+}
+
+/// Percent column (`l_discount`/`l_tax`, stored 0–10) as an f64 fraction.
+pub(crate) fn pct_frac(col: usize) -> Expr {
+    Expr::mul(
+        Expr::cast(DataType::F64, Expr::col(col)),
+        Expr::f64(0.01),
+    )
+}
+
+/// `l_extendedprice * (1 - l_discount)` in f64 cents.
+pub(crate) fn revenue(ep_col: usize, disc_col: usize) -> Expr {
+    Expr::mul(
+        Expr::cast(DataType::F64, Expr::col(ep_col)),
+        one_minus(pct_frac(disc_col)),
+    )
+}
+
+/// Converts a materialized result into an in-memory [`Table`] (for
+/// multi-phase queries feeding one phase's result into the next).
+pub(crate) fn store_to_table(
+    name: &str,
+    col_names: &[&str],
+    store: &FrozenStore,
+) -> Result<Arc<Table>, ExecError> {
+    assert_eq!(col_names.len(), store.types().len());
+    let cols = col_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.to_string(), vector_to_column(store.col(i))))
+        .collect();
+    Ok(Arc::new(Table::new(name, cols)?))
+}
+
+fn vector_to_column(v: &Vector) -> Column {
+    match v {
+        Vector::I16(x) => Column::I16(Arc::new(x.clone())),
+        Vector::I32(x) => Column::I32(Arc::new(x.clone())),
+        Vector::I64(x) => Column::I64(Arc::new(x.clone())),
+        Vector::F64(x) => Column::F64(Arc::new(x.clone())),
+        Vector::Str(s) => Column::Str {
+            arena: Arc::clone(s.arena()),
+            views: Arc::new(s.views().to_vec()),
+        },
+    }
+}
+
+/// Stable checksum over a result store: numeric values summed, strings
+/// folded by byte sum. Identical results → identical checksum, independent
+/// of flavor configuration.
+pub(crate) fn checksum(store: &FrozenStore) -> f64 {
+    let mut acc = 0.0f64;
+    for i in 0..store.types().len() {
+        match store.col(i) {
+            Vector::I16(v) => acc += v.iter().map(|&x| x as f64).sum::<f64>(),
+            Vector::I32(v) => acc += v.iter().map(|&x| x as f64).sum::<f64>(),
+            Vector::I64(v) => acc += v.iter().map(|&x| x as f64).sum::<f64>(),
+            Vector::F64(v) => acc += v.iter().sum::<f64>(),
+            Vector::Str(s) => {
+                acc += s
+                    .iter()
+                    .map(|x| x.bytes().map(u64::from).sum::<u64>() as f64)
+                    .sum::<f64>()
+            }
+        }
+    }
+    acc
+}
+
+/// Materializes an operator into a [`QueryOutput`].
+pub(crate) fn finish(mut op: BoxOp) -> Result<QueryOutput, ExecError> {
+    let store = ma_executor::ops::materialize(op.as_mut())?;
+    Ok(QueryOutput {
+        rows: store.rows(),
+        checksum: checksum(&store),
+        store,
+    })
+}
+
+/// Builds a [`QueryOutput`] from an already-materialized store.
+pub(crate) fn finish_store(store: FrozenStore) -> QueryOutput {
+    QueryOutput {
+        rows: store.rows(),
+        checksum: checksum(&store),
+        store,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use ma_executor::ExecConfig;
+    use ma_primitives::build_dictionary;
+    use std::sync::OnceLock;
+
+    /// A small database shared by all query tests (generation is the
+    /// expensive part).
+    pub(crate) fn test_db() -> &'static TpchData {
+        static DB: OnceLock<TpchData> = OnceLock::new();
+        DB.get_or_init(|| TpchData::generate(0.01, 0xDBDB))
+    }
+
+    /// A default-flavor context over the shared dictionary.
+    pub(crate) fn test_ctx() -> QueryContext {
+        static DICT: OnceLock<Arc<ma_core::PrimitiveDictionary>> = OnceLock::new();
+        let dict = DICT.get_or_init(|| Arc::new(build_dictionary()));
+        QueryContext::new(Arc::clone(dict), ExecConfig::fixed_default())
+    }
+
+    pub(crate) fn run(q: usize) -> QueryOutput {
+        run_query(q, test_db(), &test_ctx(), &Params::default())
+            .unwrap_or_else(|e| panic!("Q{q} failed: {e}"))
+    }
+}

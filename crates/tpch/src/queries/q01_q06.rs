@@ -1,0 +1,670 @@
+//! TPC-H Q1–Q6.
+
+use ma_executor::ops::{
+    AggSpec, HashAggregate, HashJoin, JoinKind, ProjItem, Project, Select, Sort, SortKey,
+    StreamAggregate,
+};
+use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
+use ma_vector::DataType;
+
+use super::{finish, one_minus, one_plus, pct_frac, revenue, scan, QueryOutput};
+use crate::dates::{add_months, add_years};
+use crate::dbgen::TpchData;
+use crate::params::Params;
+
+/// Q1: pricing summary report.
+pub(crate) fn q01(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    // [0 shipdate, 1 returnflag, 2 linestatus, 3 qty, 4 extprice, 5 disc, 6 tax]
+    let li = scan(
+        db,
+        "lineitem",
+        &[
+            "l_shipdate",
+            "l_returnflag",
+            "l_linestatus",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+        ],
+        ctx,
+    )?;
+    let sel = Select::new(
+        li,
+        &Pred::cmp_val(0, CmpKind::Le, Value::I32(p.q1_cutoff())),
+        ctx,
+        "Q1/sel_shipdate",
+    )?;
+    // [0 rf, 1 ls, 2 qty64, 3 ep, 4 disc_price, 5 charge, 6 disc_frac]
+    let disc_price = Expr::mul(
+        Expr::cast(DataType::F64, Expr::col(4)),
+        one_minus(pct_frac(5)),
+    );
+    let charge = Expr::mul(disc_price.clone(), one_plus(pct_frac(6)));
+    let proj = Project::new(
+        Box::new(sel),
+        vec![
+            ProjItem::Pass(1),
+            ProjItem::Pass(2),
+            ProjItem::Expr(Expr::cast(DataType::I64, Expr::col(3))),
+            ProjItem::Pass(4),
+            ProjItem::Expr(disc_price),
+            ProjItem::Expr(charge),
+            ProjItem::Expr(pct_frac(5)),
+        ],
+        ctx,
+        "Q1/maps",
+    )?;
+    // [0 rf, 1 ls, 2 sum_qty, 3 sum_base, 4 sum_disc_price, 5 sum_charge,
+    //  6 sum_disc, 7 count]
+    let agg = HashAggregate::new(
+        Box::new(proj),
+        vec![0, 1],
+        vec![
+            AggSpec::SumI64(2),
+            AggSpec::SumI64(3),
+            AggSpec::SumF64(4),
+            AggSpec::SumF64(5),
+            AggSpec::SumF64(6),
+            AggSpec::CountStar,
+        ],
+        ctx,
+        "Q1/agg",
+    )?;
+    // append avgs: [..8 avg_qty, 9 avg_price, 10 avg_disc]
+    let cnt_f = || Expr::cast(DataType::F64, Expr::col(7));
+    let post = Project::new(
+        Box::new(agg),
+        vec![
+            ProjItem::Pass(0),
+            ProjItem::Pass(1),
+            ProjItem::Pass(2),
+            ProjItem::Pass(3),
+            ProjItem::Pass(4),
+            ProjItem::Pass(5),
+            ProjItem::Expr(Expr::div(Expr::cast(DataType::F64, Expr::col(2)), cnt_f())),
+            ProjItem::Expr(Expr::div(Expr::cast(DataType::F64, Expr::col(3)), cnt_f())),
+            ProjItem::Expr(Expr::div(Expr::col(6), cnt_f())),
+            ProjItem::Pass(7),
+        ],
+        ctx,
+        "Q1/avgs",
+    )?;
+    let sort = Sort::new(
+        Box::new(post),
+        vec![SortKey::asc(0), SortKey::asc(1)],
+        None,
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q2: minimum-cost supplier.
+pub(crate) fn q02(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    // europe nations: nation [0 nk, 1 name, 2 rk] semi region(EUROPE)
+    let region = scan(db, "region", &["r_regionkey", "r_name"], ctx)?;
+    let region_sel = Select::new(region, &Pred::str_eq(1, p.q2_region), ctx, "Q2/sel_region")?;
+    let nation = scan(db, "nation", &["n_nationkey", "n_name", "n_regionkey"], ctx)?;
+    let nation_eu = HashJoin::new(
+        Box::new(region_sel),
+        nation,
+        vec![0],
+        vec![2],
+        vec![],
+        JoinKind::Semi,
+        false,
+        vec![],
+        ctx,
+        "Q2/join_region",
+    )?;
+    // supplier joined with nation name:
+    // [0 sk, 1 sname, 2 saddr, 3 snk, 4 sphone, 5 sacct, 6 scomment, 7 nname]
+    let supplier = scan(
+        db,
+        "supplier",
+        &[
+            "s_suppkey",
+            "s_name",
+            "s_address",
+            "s_nationkey",
+            "s_phone",
+            "s_acctbal",
+            "s_comment",
+        ],
+        ctx,
+    )?;
+    let sup_eu = HashJoin::new(
+        Box::new(nation_eu),
+        supplier,
+        vec![0],
+        vec![3],
+        vec![1],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q2/join_nation",
+    )?;
+    // partsupp enriched:
+    // [0 pspk, 1 pssk, 2 cost, 3 acct, 4 sname, 5 nname, 6 addr, 7 phone, 8 comment]
+    let partsupp = scan(
+        db,
+        "partsupp",
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+        ctx,
+    )?;
+    let ps_eu = HashJoin::new(
+        Box::new(sup_eu),
+        partsupp,
+        vec![0],
+        vec![1],
+        vec![5, 1, 7, 2, 4, 6],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q2/join_supplier",
+    )?;
+    // parts: size = 15 AND type LIKE %BRASS
+    let part = scan(db, "part", &["p_partkey", "p_mfgr", "p_size", "p_type"], ctx)?;
+    let part_sel = Select::new(
+        part,
+        &Pred::And(vec![
+            Pred::cmp_val(2, CmpKind::Eq, Value::I32(p.q2_size)),
+            Pred::Like {
+                col: 3,
+                pattern: format!("%{}", p.q2_type_suffix),
+            },
+        ]),
+        ctx,
+        "Q2/sel_part",
+    )?;
+    // rows: [0..8 ps_eu, 9 mfgr]
+    let rows = HashJoin::new(
+        Box::new(part_sel),
+        Box::new(ps_eu),
+        vec![0],
+        vec![0],
+        vec![1],
+        JoinKind::Inner,
+        true,
+        vec![],
+        ctx,
+        "Q2/join_part",
+    )?;
+    // Materialize once; reuse for the min-cost subquery and the final join.
+    let mut rows_op: BoxOp = Box::new(rows);
+    let store = ma_executor::ops::materialize(rows_op.as_mut())?;
+    let rows_t = super::store_to_table(
+        "q2rows",
+        &[
+            "pk", "sk", "cost", "acct", "sname", "nname", "addr", "phone", "comment", "mfgr",
+        ],
+        &store,
+    )?;
+    let db_rows = |cols: &[&str]| -> Result<BoxOp, ExecError> {
+        Ok(Box::new(ma_executor::ops::Scan::new(
+            std::sync::Arc::clone(&rows_t),
+            cols,
+            ctx.vector_size(),
+        )?))
+    };
+    // min cost per part
+    let minc = HashAggregate::new(
+        db_rows(&["pk", "cost"])?,
+        vec![0],
+        vec![AggSpec::MinI64(1)],
+        ctx,
+        "Q2/agg_min",
+    )?;
+    // join back and filter cost == min
+    // [0 pk, 1 sk, 2 cost, 3 acct, 4 sname, 5 nname, 6 addr, 7 phone,
+    //  8 comment, 9 mfgr, 10 mincost]
+    let all = db_rows(&[
+        "pk", "sk", "cost", "acct", "sname", "nname", "addr", "phone", "comment", "mfgr",
+    ])?;
+    let with_min = HashJoin::new(
+        Box::new(minc),
+        all,
+        vec![0],
+        vec![0],
+        vec![1],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q2/join_min",
+    )?;
+    let only_min = Select::new(
+        Box::new(with_min),
+        &Pred::cmp_col(2, CmpKind::Eq, 10),
+        ctx,
+        "Q2/sel_min",
+    )?;
+    // output: [acct, sname, nname, pk, mfgr, addr, phone, comment]
+    let out = Project::new(
+        Box::new(only_min),
+        vec![
+            ProjItem::Pass(3),
+            ProjItem::Pass(4),
+            ProjItem::Pass(5),
+            ProjItem::Pass(0),
+            ProjItem::Pass(9),
+            ProjItem::Pass(6),
+            ProjItem::Pass(7),
+            ProjItem::Pass(8),
+        ],
+        ctx,
+        "Q2/out",
+    )?;
+    let sort = Sort::new(
+        Box::new(out),
+        vec![
+            SortKey::desc(0),
+            SortKey::asc(2),
+            SortKey::asc(1),
+            SortKey::asc(3),
+        ],
+        Some(100),
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q3: shipping priority.
+pub(crate) fn q03(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    let customer = scan(db, "customer", &["c_custkey", "c_mktsegment"], ctx)?;
+    let cust = Select::new(customer, &Pred::str_eq(1, p.q3_segment), ctx, "Q3/sel_cust")?;
+    let orders = scan(
+        db,
+        "orders",
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+        ctx,
+    )?;
+    let ord = Select::new(
+        orders,
+        &Pred::cmp_val(2, CmpKind::Lt, Value::I32(p.q3_date)),
+        ctx,
+        "Q3/sel_orders",
+    )?;
+    // [0 okey, 1 ckey, 2 odate, 3 shipprio]
+    let ord_cust = HashJoin::new(
+        Box::new(cust),
+        Box::new(ord),
+        vec![0],
+        vec![1],
+        vec![],
+        JoinKind::Semi,
+        true,
+        vec![],
+        ctx,
+        "Q3/join_cust",
+    )?;
+    let li = scan(
+        db,
+        "lineitem",
+        &["l_orderkey", "l_shipdate", "l_extendedprice", "l_discount"],
+        ctx,
+    )?;
+    let li_sel = Select::new(
+        li,
+        &Pred::cmp_val(1, CmpKind::Gt, Value::I32(p.q3_date)),
+        ctx,
+        "Q3/sel_li",
+    )?;
+    // [0 lokey, 1 sdate, 2 ep, 3 disc, 4 odate, 5 shipprio]
+    let joined = HashJoin::new(
+        Box::new(ord_cust),
+        Box::new(li_sel),
+        vec![0],
+        vec![0],
+        vec![2, 3],
+        JoinKind::Inner,
+        true,
+        vec![],
+        ctx,
+        "Q3/join_orders",
+    )?;
+    // [0 okey, 1 odate, 2 shipprio, 3 rev]
+    let proj = Project::new(
+        Box::new(joined),
+        vec![
+            ProjItem::Pass(0),
+            ProjItem::Pass(4),
+            ProjItem::Pass(5),
+            ProjItem::Expr(revenue(2, 3)),
+        ],
+        ctx,
+        "Q3/rev",
+    )?;
+    let agg = HashAggregate::new(
+        Box::new(proj),
+        vec![0, 1, 2],
+        vec![AggSpec::SumF64(3)],
+        ctx,
+        "Q3/agg",
+    )?;
+    // output [okey, revenue, odate, shipprio]
+    let out = Project::new(
+        Box::new(agg),
+        vec![
+            ProjItem::Pass(0),
+            ProjItem::Pass(3),
+            ProjItem::Pass(1),
+            ProjItem::Pass(2),
+        ],
+        ctx,
+        "Q3/out",
+    )?;
+    let sort = Sort::new(
+        Box::new(out),
+        vec![SortKey::desc(1), SortKey::asc(2)],
+        Some(10),
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q4: order priority checking.
+pub(crate) fn q04(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    let orders = scan(
+        db,
+        "orders",
+        &["o_orderkey", "o_orderdate", "o_orderpriority"],
+        ctx,
+    )?;
+    let ord = Select::new(
+        orders,
+        &Pred::And(vec![
+            Pred::cmp_val(1, CmpKind::Ge, Value::I32(p.q4_date)),
+            Pred::cmp_val(1, CmpKind::Lt, Value::I32(add_months(p.q4_date, 3))),
+        ]),
+        ctx,
+        "Q4/sel_orders",
+    )?;
+    let li = scan(
+        db,
+        "lineitem",
+        &["l_orderkey", "l_commitdate", "l_receiptdate"],
+        ctx,
+    )?;
+    let li_late = Select::new(
+        li,
+        &Pred::cmp_col(1, CmpKind::Lt, 2),
+        ctx,
+        "Q4/sel_late",
+    )?;
+    // EXISTS: semi-join orders against late lineitems.
+    let semi = HashJoin::new(
+        Box::new(li_late),
+        Box::new(ord),
+        vec![0],
+        vec![0],
+        vec![],
+        JoinKind::Semi,
+        true,
+        vec![],
+        ctx,
+        "Q4/semi",
+    )?;
+    let agg = HashAggregate::new(
+        Box::new(semi),
+        vec![2],
+        vec![AggSpec::CountStar],
+        ctx,
+        "Q4/agg",
+    )?;
+    let sort = Sort::new(
+        Box::new(agg),
+        vec![SortKey::asc(0)],
+        None,
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q5: local supplier volume.
+pub(crate) fn q05(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    let region = scan(db, "region", &["r_regionkey", "r_name"], ctx)?;
+    let region_sel = Select::new(region, &Pred::str_eq(1, p.q5_region), ctx, "Q5/sel_region")?;
+    let nation = scan(db, "nation", &["n_nationkey", "n_name", "n_regionkey"], ctx)?;
+    let nation_r = HashJoin::new(
+        Box::new(region_sel),
+        nation,
+        vec![0],
+        vec![2],
+        vec![],
+        JoinKind::Semi,
+        false,
+        vec![],
+        ctx,
+        "Q5/join_region",
+    )?;
+    // customer: [0 ckey, 1 cnk, 2 nname]
+    let customer = scan(db, "customer", &["c_custkey", "c_nationkey"], ctx)?;
+    let cust = HashJoin::new(
+        Box::new(nation_r),
+        customer,
+        vec![0],
+        vec![1],
+        vec![1],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q5/join_cust_nation",
+    )?;
+    // orders in year: [0 okey, 1 ockey, 2 odate, 3 cnk, 4 nname]
+    let orders = scan(db, "orders", &["o_orderkey", "o_custkey", "o_orderdate"], ctx)?;
+    let ord_sel = Select::new(
+        orders,
+        &Pred::And(vec![
+            Pred::cmp_val(2, CmpKind::Ge, Value::I32(p.q5_date)),
+            Pred::cmp_val(2, CmpKind::Lt, Value::I32(add_years(p.q5_date, 1))),
+        ]),
+        ctx,
+        "Q5/sel_orders",
+    )?;
+    let ord = HashJoin::new(
+        Box::new(cust),
+        Box::new(ord_sel),
+        vec![0],
+        vec![1],
+        vec![1, 2],
+        JoinKind::Inner,
+        true,
+        vec![],
+        ctx,
+        "Q5/join_cust",
+    )?;
+    // lineitem: [0 lokey, 1 lsk, 2 ep, 3 disc, 4 cnk, 5 nname]
+    let li = scan(
+        db,
+        "lineitem",
+        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+        ctx,
+    )?;
+    let li2 = HashJoin::new(
+        Box::new(ord),
+        li,
+        vec![0],
+        vec![0],
+        vec![3, 4],
+        JoinKind::Inner,
+        true,
+        vec![],
+        ctx,
+        "Q5/join_orders",
+    )?;
+    // supplier nation must equal customer nation: composite semi-join.
+    let supplier = scan(db, "supplier", &["s_suppkey", "s_nationkey"], ctx)?;
+    let li3 = HashJoin::new(
+        supplier,
+        Box::new(li2),
+        vec![0, 1],
+        vec![1, 4],
+        vec![],
+        JoinKind::Semi,
+        false,
+        vec![],
+        ctx,
+        "Q5/join_supp",
+    )?;
+    let proj = Project::new(
+        Box::new(li3),
+        vec![ProjItem::Pass(5), ProjItem::Expr(revenue(2, 3))],
+        ctx,
+        "Q5/rev",
+    )?;
+    let agg = HashAggregate::new(
+        Box::new(proj),
+        vec![0],
+        vec![AggSpec::SumF64(1)],
+        ctx,
+        "Q5/agg",
+    )?;
+    let sort = Sort::new(
+        Box::new(agg),
+        vec![SortKey::desc(1)],
+        None,
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q6: forecasting revenue change.
+pub(crate) fn q06(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    // [0 shipdate, 1 discount, 2 quantity, 3 extprice]
+    let li = scan(
+        db,
+        "lineitem",
+        &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"],
+        ctx,
+    )?;
+    let sel = Select::new(
+        li,
+        &Pred::And(vec![
+            Pred::cmp_val(0, CmpKind::Ge, Value::I32(p.q6_date)),
+            Pred::cmp_val(0, CmpKind::Lt, Value::I32(add_years(p.q6_date, 1))),
+            Pred::between_i64(1, p.q6_discount_pct - 1, p.q6_discount_pct + 1),
+            Pred::cmp_val(2, CmpKind::Lt, Value::I32(p.q6_quantity)),
+        ]),
+        ctx,
+        "Q6/sel",
+    )?;
+    let proj = Project::new(
+        Box::new(sel),
+        vec![ProjItem::Expr(Expr::mul(
+            Expr::cast(DataType::F64, Expr::col(3)),
+            pct_frac(1),
+        ))],
+        ctx,
+        "Q6/rev",
+    )?;
+    let agg = StreamAggregate::new(Box::new(proj), vec![AggSpec::SumF64(0)], ctx, "Q6/agg")?;
+    finish(Box::new(agg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run;
+
+    #[test]
+    fn q01_four_groups_with_sane_averages() {
+        let out = run(1);
+        // returnflag × linestatus: A/F, N/F, N/O, R/F.
+        assert_eq!(out.rows, 4);
+        for g in 0..out.rows {
+            let avg_qty = out.store.col(8).as_f64()[g]; // avg_price col 9? layout check below
+            let _ = avg_qty;
+            let count = out.store.col(9).as_i64()[g];
+            assert!(count > 0);
+            let sum_qty = out.store.col(2).as_i64()[g];
+            let aq = out.store.col(6).as_f64()[g];
+            assert!((aq - sum_qty as f64 / count as f64).abs() < 1e-6);
+            assert!((1.0..=50.0).contains(&aq), "avg qty {aq}");
+        }
+    }
+
+    #[test]
+    fn q02_output_shape() {
+        let out = run(2);
+        assert!(out.rows <= 100);
+        // All result rows are for EUROPE nations.
+        for g in 0..out.rows {
+            let nname = out.store.col(2).as_str_vec().get(g).to_string();
+            assert!(
+                ["FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"]
+                    .contains(&nname.as_str()),
+                "{nname}"
+            );
+        }
+    }
+
+    #[test]
+    fn q03_top10_sorted_by_revenue() {
+        let out = run(3);
+        assert!(out.rows <= 10);
+        let rev = out.store.col(1).as_f64();
+        for w in rev.windows(2) {
+            assert!(w[0] >= w[1], "revenue not descending");
+        }
+    }
+
+    #[test]
+    fn q04_five_priorities() {
+        let out = run(4);
+        assert!(out.rows <= 5 && out.rows >= 3, "rows {}", out.rows);
+        let counts = out.store.col(1).as_i64();
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn q05_asia_nations_only() {
+        let out = run(5);
+        assert!(out.rows <= 5);
+        for g in 0..out.rows {
+            let n = out.store.col(0).as_str_vec().get(g).to_string();
+            assert!(
+                ["INDIA", "INDONESIA", "JAPAN", "CHINA", "VIETNAM"].contains(&n.as_str()),
+                "{n}"
+            );
+        }
+        let rev = out.store.col(1).as_f64();
+        for w in rev.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn q06_single_positive_revenue() {
+        let out = run(6);
+        assert_eq!(out.rows, 1);
+        let rev = out.store.col(0).as_f64()[0];
+        assert!(rev > 0.0, "revenue {rev}");
+    }
+}

@@ -1,0 +1,591 @@
+//! TPC-H Q12–Q17.
+
+use ma_executor::ops::{
+    AggSpec, HashAggregate, HashJoin, JoinKind, MergeJoin, ProjItem, Project, Select, Sort,
+    SortKey, StreamAggregate,
+};
+use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
+use ma_vector::{ColumnBuilder, DataType, Table};
+
+use super::{finish, finish_store, revenue, scan, store_to_table, QueryOutput};
+use crate::dates::{add_months, add_years};
+use crate::dbgen::TpchData;
+use crate::params::Params;
+
+/// Q12: shipping modes and order priority. Uses the **merge join** (both
+/// sides arrive sorted by order key) — the operator of Fig. 4(c)/4(d):
+/// lineitem's selection vectors shrink in the border regions of the date
+/// range thanks to the date clustering.
+pub(crate) fn q12(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    // left: orders sorted by key (unique)
+    let orders = scan(db, "orders", &["o_orderkey", "o_orderpriority"], ctx)?;
+    // right: filtered lineitem, sorted by orderkey
+    // [0 lokey, 1 shipmode, 2 sdate, 3 cdate, 4 rdate]
+    let li = scan(
+        db,
+        "lineitem",
+        &[
+            "l_orderkey",
+            "l_shipmode",
+            "l_shipdate",
+            "l_commitdate",
+            "l_receiptdate",
+        ],
+        ctx,
+    )?;
+    let li_sel = Select::new(
+        li,
+        &Pred::And(vec![
+            Pred::InStr {
+                col: 1,
+                values: vec![p.q12_shipmode1.into(), p.q12_shipmode2.into()],
+            },
+            Pred::cmp_val(4, CmpKind::Ge, Value::I32(p.q12_date)),
+            Pred::cmp_val(4, CmpKind::Lt, Value::I32(add_years(p.q12_date, 1))),
+            Pred::cmp_col(3, CmpKind::Lt, 4), // commit < receipt
+            Pred::cmp_col(2, CmpKind::Lt, 3), // ship < commit
+        ]),
+        ctx,
+        "Q12/sel_li",
+    )?;
+    // [0 lokey, 1 shipmode, 2 sdate, 3 cdate, 4 rdate, 5 opriority]
+    let mj = MergeJoin::new(orders, Box::new(li_sel), 0, 0, vec![1], ctx, "Q12/mergejoin")?;
+    // count by (shipmode, priority); the CASE high/low split is a tiny
+    // post-step over ≤ 2×5 groups.
+    let agg = HashAggregate::new(
+        Box::new(mj),
+        vec![1, 5],
+        vec![AggSpec::CountStar],
+        ctx,
+        "Q12/agg",
+    )?;
+    let mut agg_op: BoxOp = Box::new(agg);
+    let store = ma_executor::ops::materialize(agg_op.as_mut())?;
+    let mut by_mode: std::collections::BTreeMap<String, (i64, i64)> = Default::default();
+    for g in 0..store.rows() {
+        let mode = store.col(0).as_str_vec().get(g).to_string();
+        let prio = store.col(1).as_str_vec().get(g);
+        let cnt = store.col(2).as_i64()[g];
+        let e = by_mode.entry(mode).or_insert((0, 0));
+        if prio == "1-URGENT" || prio == "2-HIGH" {
+            e.0 += cnt;
+        } else {
+            e.1 += cnt;
+        }
+    }
+    let mut mode_b = ColumnBuilder::with_capacity(DataType::Str, by_mode.len());
+    let mut high_b = ColumnBuilder::with_capacity(DataType::I64, by_mode.len());
+    let mut low_b = ColumnBuilder::with_capacity(DataType::I64, by_mode.len());
+    for (m, (h, l)) in &by_mode {
+        mode_b.push_str(m);
+        high_b.push_i64(*h);
+        low_b.push_i64(*l);
+    }
+    let table = Table::new(
+        "q12out",
+        vec![
+            ("shipmode".into(), mode_b.finish()),
+            ("high".into(), high_b.finish()),
+            ("low".into(), low_b.finish()),
+        ],
+    )?;
+    let mut out: BoxOp = Box::new(ma_executor::ops::Scan::new(
+        std::sync::Arc::new(table),
+        &["shipmode", "high", "low"],
+        ctx.vector_size(),
+    )?);
+    Ok(finish_store(ma_executor::ops::materialize(out.as_mut())?))
+}
+
+/// Q13: customer distribution (LEFT OUTER JOIN via LeftSingle).
+pub(crate) fn q13(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    let orders = scan(db, "orders", &["o_orderkey", "o_custkey", "o_comment"], ctx)?;
+    let ord = Select::new(
+        orders,
+        &Pred::NotLike {
+            col: 2,
+            pattern: format!("%{}%{}%", p.q13_word1, p.q13_word2),
+        },
+        ctx,
+        "Q13/sel_comment",
+    )?;
+    // orders per customer: [ckey, cnt]
+    let per_cust = HashAggregate::new(
+        Box::new(ord),
+        vec![1],
+        vec![AggSpec::CountStar],
+        ctx,
+        "Q13/agg_orders",
+    )?;
+    // customer ⟕ counts: [ck, c_count]
+    let customer = scan(db, "customer", &["c_custkey"], ctx)?;
+    let left = HashJoin::new(
+        Box::new(per_cust),
+        customer,
+        vec![0],
+        vec![0],
+        vec![1],
+        JoinKind::LeftSingle,
+        false,
+        vec![Value::I64(0)],
+        ctx,
+        "Q13/left_join",
+    )?;
+    // distribution: [c_count, custdist]
+    let dist = HashAggregate::new(
+        Box::new(left),
+        vec![1],
+        vec![AggSpec::CountStar],
+        ctx,
+        "Q13/agg_dist",
+    )?;
+    let sort = Sort::new(
+        Box::new(dist),
+        vec![SortKey::desc(1), SortKey::desc(0)],
+        None,
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q14: promotion effect. PROMO share folded in a post-step over the
+/// per-type aggregate.
+pub(crate) fn q14(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    // [0 lpk, 1 sdate, 2 ep, 3 disc]
+    let li = scan(
+        db,
+        "lineitem",
+        &["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"],
+        ctx,
+    )?;
+    let li_sel = Select::new(
+        li,
+        &Pred::And(vec![
+            Pred::cmp_val(1, CmpKind::Ge, Value::I32(p.q14_date)),
+            Pred::cmp_val(1, CmpKind::Lt, Value::I32(add_months(p.q14_date, 1))),
+        ]),
+        ctx,
+        "Q14/sel_shipdate",
+    )?;
+    // [0..3, 4 ptype]
+    let part = scan(db, "part", &["p_partkey", "p_type"], ctx)?;
+    let joined = HashJoin::new(
+        part,
+        Box::new(li_sel),
+        vec![0],
+        vec![0],
+        vec![1],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q14/join_part",
+    )?;
+    let proj = Project::new(
+        Box::new(joined),
+        vec![ProjItem::Pass(4), ProjItem::Expr(revenue(2, 3))],
+        ctx,
+        "Q14/rev",
+    )?;
+    let agg = HashAggregate::new(
+        Box::new(proj),
+        vec![0],
+        vec![AggSpec::SumF64(1)],
+        ctx,
+        "Q14/agg",
+    )?;
+    let mut agg_op: BoxOp = Box::new(agg);
+    let store = ma_executor::ops::materialize(agg_op.as_mut())?;
+    let mut promo = 0.0;
+    let mut total = 0.0;
+    for g in 0..store.rows() {
+        let rev = store.col(1).as_f64()[g];
+        total += rev;
+        if store.col(0).as_str_vec().get(g).starts_with("PROMO") {
+            promo += rev;
+        }
+    }
+    let share = if total > 0.0 { 100.0 * promo / total } else { 0.0 };
+    let mut b = ColumnBuilder::with_capacity(DataType::F64, 1);
+    b.push_f64(share);
+    let table = Table::new("q14out", vec![("promo_revenue".into(), b.finish())])?;
+    let mut out: BoxOp = Box::new(ma_executor::ops::Scan::new(
+        std::sync::Arc::new(table),
+        &["promo_revenue"],
+        ctx.vector_size(),
+    )?);
+    Ok(finish_store(ma_executor::ops::materialize(out.as_mut())?))
+}
+
+/// Q15: top supplier (revenue view materialized as a temp table).
+pub(crate) fn q15(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    // revenue per supplier over the quarter
+    let li = scan(
+        db,
+        "lineitem",
+        &["l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"],
+        ctx,
+    )?;
+    let li_sel = Select::new(
+        li,
+        &Pred::And(vec![
+            Pred::cmp_val(1, CmpKind::Ge, Value::I32(p.q15_date)),
+            Pred::cmp_val(1, CmpKind::Lt, Value::I32(add_months(p.q15_date, 3))),
+        ]),
+        ctx,
+        "Q15/sel_shipdate",
+    )?;
+    let proj = Project::new(
+        Box::new(li_sel),
+        vec![ProjItem::Pass(0), ProjItem::Expr(revenue(2, 3))],
+        ctx,
+        "Q15/rev",
+    )?;
+    let agg = HashAggregate::new(
+        Box::new(proj),
+        vec![0],
+        vec![AggSpec::SumF64(1)],
+        ctx,
+        "Q15/agg",
+    )?;
+    let mut agg_op: BoxOp = Box::new(agg);
+    let store = ma_executor::ops::materialize(agg_op.as_mut())?;
+    let max_rev = store.col(1).as_f64().iter().copied().fold(0.0f64, f64::max);
+    let revenue_t = store_to_table("revenue0", &["supplier_no", "total_revenue"], &store)?;
+    // suppliers achieving the max
+    let rev_scan: BoxOp = Box::new(ma_executor::ops::Scan::new(
+        std::sync::Arc::clone(&revenue_t),
+        &["supplier_no", "total_revenue"],
+        ctx.vector_size(),
+    )?);
+    let top = Select::new(
+        rev_scan,
+        &Pred::cmp_val(1, CmpKind::Ge, Value::F64(max_rev - 1e-6)),
+        ctx,
+        "Q15/sel_max",
+    )?;
+    // [0 sk, 1 name, 2 addr, 3 phone, 4 rev]
+    let supplier = scan(
+        db,
+        "supplier",
+        &["s_suppkey", "s_name", "s_address", "s_phone"],
+        ctx,
+    )?;
+    let joined = HashJoin::new(
+        Box::new(top),
+        supplier,
+        vec![0],
+        vec![0],
+        vec![1],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q15/join_supp",
+    )?;
+    let sort = Sort::new(
+        Box::new(joined),
+        vec![SortKey::asc(0)],
+        None,
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q16: parts/supplier relationship (distinct via two-level aggregation).
+pub(crate) fn q16(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    let part = scan(db, "part", &["p_partkey", "p_brand", "p_type", "p_size"], ctx)?;
+    let size_in = Pred::Or(
+        p.q16_sizes
+            .iter()
+            .map(|&s| Pred::cmp_val(3, CmpKind::Eq, Value::I32(s)))
+            .collect(),
+    );
+    let part_sel = Select::new(
+        part,
+        &Pred::And(vec![
+            Pred::cmp_val(1, CmpKind::Ne, Value::Str(p.q16_brand.into())),
+            Pred::NotLike {
+                col: 2,
+                pattern: format!("{}%", p.q16_type_prefix),
+            },
+            size_in,
+        ]),
+        ctx,
+        "Q16/sel_part",
+    )?;
+    // [0 pspk, 1 pssk, 2 brand, 3 ptype, 4 size]
+    let partsupp = scan(db, "partsupp", &["ps_partkey", "ps_suppkey"], ctx)?;
+    let ps = HashJoin::new(
+        Box::new(part_sel),
+        partsupp,
+        vec![0],
+        vec![0],
+        vec![1, 2, 3],
+        JoinKind::Inner,
+        true,
+        vec![],
+        ctx,
+        "Q16/join_part",
+    )?;
+    // exclude suppliers with complaints
+    let supplier = scan(db, "supplier", &["s_suppkey", "s_comment"], ctx)?;
+    let bad = Select::new(
+        supplier,
+        &Pred::Like {
+            col: 1,
+            pattern: "%Customer%Complaints%".into(),
+        },
+        ctx,
+        "Q16/sel_complaints",
+    )?;
+    let ps_ok = HashJoin::new(
+        Box::new(bad),
+        Box::new(ps),
+        vec![0],
+        vec![1],
+        vec![],
+        JoinKind::Anti,
+        false,
+        vec![],
+        ctx,
+        "Q16/anti_supp",
+    )?;
+    // distinct (brand, type, size, suppkey), then count per (brand, type, size)
+    let distinct = HashAggregate::new(
+        Box::new(ps_ok),
+        vec![2, 3, 4, 1],
+        vec![],
+        ctx,
+        "Q16/distinct",
+    )?;
+    let agg = HashAggregate::new(
+        Box::new(distinct),
+        vec![0, 1, 2],
+        vec![AggSpec::CountStar],
+        ctx,
+        "Q16/agg",
+    )?;
+    let sort = Sort::new(
+        Box::new(agg),
+        vec![
+            SortKey::desc(3),
+            SortKey::asc(0),
+            SortKey::asc(1),
+            SortKey::asc(2),
+        ],
+        None,
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q17: small-quantity-order revenue (per-part average via temp table; the
+/// `0.2·avg` comparison is done in integers: `5·qty·cnt < sum`).
+pub(crate) fn q17(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    let part_sel = |label: &str| -> Result<BoxOp, ExecError> {
+        let part = scan(db, "part", &["p_partkey", "p_brand", "p_container"], ctx)?;
+        Ok(Box::new(Select::new(
+            part,
+            &Pred::And(vec![
+                Pred::str_eq(1, p.q17_brand),
+                Pred::str_eq(2, p.q17_container),
+            ]),
+            ctx,
+            label,
+        )?))
+    };
+    let li_for_parts = |label: &str| -> Result<BoxOp, ExecError> {
+        // [0 lpk, 1 qty64, 2 ep]
+        let li = scan(
+            db,
+            "lineitem",
+            &["l_partkey", "l_quantity", "l_extendedprice"],
+            ctx,
+        )?;
+        let semi = HashJoin::new(
+            part_sel(&format!("{label}/part"))?,
+            li,
+            vec![0],
+            vec![0],
+            vec![],
+            JoinKind::Semi,
+            true,
+            vec![],
+            ctx,
+            label,
+        )?;
+        Ok(Box::new(Project::new(
+            Box::new(semi),
+            vec![
+                ProjItem::Pass(0),
+                ProjItem::Expr(Expr::cast(DataType::I64, Expr::col(1))),
+                ProjItem::Pass(2),
+            ],
+            ctx,
+            "Q17/proj",
+        )?))
+    };
+    // phase A: per-part sum(qty), count
+    let totals = HashAggregate::new(
+        li_for_parts("Q17/semi_a")?,
+        vec![0],
+        vec![AggSpec::SumI64(1), AggSpec::CountStar],
+        ctx,
+        "Q17/agg_totals",
+    )?;
+    let mut totals_op: BoxOp = Box::new(totals);
+    let totals_store = ma_executor::ops::materialize(totals_op.as_mut())?;
+    let totals_t = store_to_table("q17totals", &["pk", "sumqty", "cnt"], &totals_store)?;
+    // phase B: join back, select 5*qty*cnt < sumqty
+    let totals_scan: BoxOp = Box::new(ma_executor::ops::Scan::new(
+        std::sync::Arc::clone(&totals_t),
+        &["pk", "sumqty", "cnt"],
+        ctx.vector_size(),
+    )?);
+    // [0 pk, 1 qty64, 2 ep, 3 sumqty, 4 cnt]
+    let joined = HashJoin::new(
+        totals_scan,
+        li_for_parts("Q17/semi_b")?,
+        vec![0],
+        vec![0],
+        vec![1, 2],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q17/join_totals",
+    )?;
+    // [0 lhs = 5*qty*cnt, 1 sumqty, 2 ep]
+    let cmp_proj = Project::new(
+        Box::new(joined),
+        vec![
+            ProjItem::Expr(Expr::mul(
+                Expr::mul(Expr::col(1), Expr::i64(5)),
+                Expr::col(4),
+            )),
+            ProjItem::Pass(3),
+            ProjItem::Pass(2),
+        ],
+        ctx,
+        "Q17/cmp",
+    )?;
+    let small = Select::new(
+        Box::new(cmp_proj),
+        &Pred::cmp_col(0, CmpKind::Lt, 1),
+        ctx,
+        "Q17/sel_small",
+    )?;
+    let agg = StreamAggregate::new(Box::new(small), vec![AggSpec::SumI64(2)], ctx, "Q17/agg")?;
+    let mut agg_op: BoxOp = Box::new(agg);
+    let store = ma_executor::ops::materialize(agg_op.as_mut())?;
+    // avg_yearly = sum(extendedprice)/7, in dollars.
+    let avg_yearly = store.col(0).as_i64()[0] as f64 / 7.0 / 100.0;
+    let mut b = ColumnBuilder::with_capacity(DataType::F64, 1);
+    b.push_f64(avg_yearly);
+    let table = Table::new("q17out", vec![("avg_yearly".into(), b.finish())])?;
+    let mut out: BoxOp = Box::new(ma_executor::ops::Scan::new(
+        std::sync::Arc::new(table),
+        &["avg_yearly"],
+        ctx.vector_size(),
+    )?);
+    Ok(finish_store(ma_executor::ops::materialize(out.as_mut())?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run;
+
+    #[test]
+    fn q12_two_shipmodes_with_counts() {
+        let out = run(12);
+        assert!(out.rows <= 2 && out.rows >= 1, "rows {}", out.rows);
+        for g in 0..out.rows {
+            let m = out.store.col(0).as_str_vec().get(g).to_string();
+            assert!(["MAIL", "SHIP"].contains(&m.as_str()));
+            let high = out.store.col(1).as_i64()[g];
+            let low = out.store.col(2).as_i64()[g];
+            assert!(high + low > 0);
+        }
+    }
+
+    #[test]
+    fn q13_distribution_includes_zero_orders() {
+        let out = run(13);
+        assert!(out.rows > 1);
+        // custdist sums to number of customers
+        let total: i64 = out.store.col(1).as_i64().iter().sum();
+        assert_eq!(total as usize, super::super::test_support::test_db().customer.rows());
+        // some customers have zero orders at this scale (orders ≈ 10/cust,
+        // but comment filter keeps most) — just assert sorted by custdist desc
+        let d = out.store.col(1).as_i64();
+        for w in d.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn q14_share_is_percentage() {
+        let out = run(14);
+        assert_eq!(out.rows, 1);
+        let share = out.store.col(0).as_f64()[0];
+        assert!((0.0..=100.0).contains(&share), "share {share}");
+        // PROMO is 1 of 6 type prefixes → share around 16%.
+        assert!((5.0..35.0).contains(&share), "share {share}");
+    }
+
+    #[test]
+    fn q15_top_supplier_has_max_revenue() {
+        let out = run(15);
+        assert!(out.rows >= 1);
+        // ties allowed, but usually 1 row; revenue column equal across rows
+        // layout: [sk, name, addr, phone, rev]
+        let rev = out.store.col(4).as_f64();
+        for r in rev {
+            assert!((r - rev[0]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn q16_counts_positive_and_sorted() {
+        let out = run(16);
+        assert!(out.rows > 0);
+        let cnt = out.store.col(3).as_i64();
+        assert!(cnt.iter().all(|&c| c > 0));
+        for w in cnt.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn q17_single_value() {
+        let out = run(17);
+        assert_eq!(out.rows, 1);
+        let v = out.store.col(0).as_f64()[0];
+        assert!(v >= 0.0);
+    }
+}

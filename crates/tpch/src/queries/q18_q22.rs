@@ -1,0 +1,649 @@
+//! TPC-H Q18–Q22.
+
+use ma_executor::ops::{
+    AggSpec, HashAggregate, HashJoin, JoinKind, ProjItem, Project, Select, Sort, SortKey,
+    StreamAggregate,
+};
+use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
+use ma_vector::DataType;
+
+use super::{finish, revenue, scan, store_to_table, QueryOutput};
+use crate::dates::add_years;
+use crate::dbgen::TpchData;
+use crate::params::Params;
+
+/// Q18: large-volume customers.
+pub(crate) fn q18(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    // per-order quantity
+    let li = scan(db, "lineitem", &["l_orderkey", "l_quantity"], ctx)?;
+    let proj = Project::new(
+        li,
+        vec![
+            ProjItem::Pass(0),
+            ProjItem::Expr(Expr::cast(DataType::I64, Expr::col(1))),
+        ],
+        ctx,
+        "Q18/qty64",
+    )?;
+    let per_order = HashAggregate::new(
+        Box::new(proj),
+        vec![0],
+        vec![AggSpec::SumI64(1)],
+        ctx,
+        "Q18/agg_qty",
+    )?;
+    let big = Select::new(
+        Box::new(per_order),
+        &Pred::cmp_val(1, CmpKind::Gt, Value::I64(p.q18_quantity)),
+        ctx,
+        "Q18/sel_big",
+    )?;
+    // orders of those keys: [0 okey, 1 ockey, 2 odate, 3 total, 4 sumqty]
+    let orders = scan(
+        db,
+        "orders",
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"],
+        ctx,
+    )?;
+    let ord = HashJoin::new(
+        Box::new(big),
+        orders,
+        vec![0],
+        vec![0],
+        vec![1],
+        JoinKind::Inner,
+        true,
+        vec![],
+        ctx,
+        "Q18/join_orders",
+    )?;
+    // customer name: [0..4, 5 cname]
+    let customer = scan(db, "customer", &["c_custkey", "c_name"], ctx)?;
+    let with_cust = HashJoin::new(
+        customer,
+        Box::new(ord),
+        vec![0],
+        vec![1],
+        vec![1],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q18/join_cust",
+    )?;
+    // output: [cname, ckey, okey, odate, totalprice, sumqty]
+    let out = Project::new(
+        Box::new(with_cust),
+        vec![
+            ProjItem::Pass(5),
+            ProjItem::Pass(1),
+            ProjItem::Pass(0),
+            ProjItem::Pass(2),
+            ProjItem::Pass(3),
+            ProjItem::Pass(4),
+        ],
+        ctx,
+        "Q18/out",
+    )?;
+    let sort = Sort::new(
+        Box::new(out),
+        vec![SortKey::desc(4), SortKey::asc(3)],
+        Some(100),
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q19: discounted revenue (the three-branch OR of ANDs).
+pub(crate) fn q19(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    // [0 lpk, 1 qty, 2 ep, 3 disc, 4 instr, 5 mode]
+    let li = scan(
+        db,
+        "lineitem",
+        &[
+            "l_partkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipinstruct",
+            "l_shipmode",
+        ],
+        ctx,
+    )?;
+    let li_common = Select::new(
+        li,
+        &Pred::And(vec![
+            Pred::str_eq(4, "DELIVER IN PERSON"),
+            Pred::InStr {
+                col: 5,
+                values: vec!["AIR".into(), "REG AIR".into()],
+            },
+        ]),
+        ctx,
+        "Q19/sel_common",
+    )?;
+    // part attrs: [0..5, 6 brand, 7 container, 8 size]
+    let part = scan(db, "part", &["p_partkey", "p_brand", "p_container", "p_size"], ctx)?;
+    let joined = HashJoin::new(
+        part,
+        Box::new(li_common),
+        vec![0],
+        vec![0],
+        vec![1, 2, 3],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q19/join_part",
+    )?;
+    let branch = |brand: &str, containers: &[&str], qlo: i32, smax: i32| -> Pred {
+        Pred::And(vec![
+            Pred::str_eq(6, brand),
+            Pred::InStr {
+                col: 7,
+                values: containers.iter().map(|s| s.to_string()).collect(),
+            },
+            Pred::cmp_val(1, CmpKind::Ge, Value::I32(qlo)),
+            Pred::cmp_val(1, CmpKind::Le, Value::I32(qlo + 10)),
+            Pred::cmp_val(8, CmpKind::Ge, Value::I32(1)),
+            Pred::cmp_val(8, CmpKind::Le, Value::I32(smax)),
+        ])
+    };
+    let sel = Select::new(
+        Box::new(joined),
+        &Pred::Or(vec![
+            branch(
+                p.q19_brand1,
+                &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+                p.q19_qty1,
+                5,
+            ),
+            branch(
+                p.q19_brand2,
+                &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                p.q19_qty2,
+                10,
+            ),
+            branch(
+                p.q19_brand3,
+                &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+                p.q19_qty3,
+                15,
+            ),
+        ]),
+        ctx,
+        "Q19/sel_branches",
+    )?;
+    let proj = Project::new(
+        Box::new(sel),
+        vec![ProjItem::Expr(revenue(2, 3))],
+        ctx,
+        "Q19/rev",
+    )?;
+    let agg = StreamAggregate::new(Box::new(proj), vec![AggSpec::SumF64(0)], ctx, "Q19/agg")?;
+    finish(Box::new(agg))
+}
+
+/// Q20: potential part promotion.
+pub(crate) fn q20(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    // forest% parts
+    let part = scan(db, "part", &["p_partkey", "p_name"], ctx)?;
+    let part_sel = Select::new(
+        part,
+        &Pred::Like {
+            col: 1,
+            pattern: format!("{}%", p.q20_color),
+        },
+        ctx,
+        "Q20/sel_part",
+    )?;
+    // partsupp for those parts: [0 pspk, 1 pssk, 2 avail]
+    let partsupp = scan(
+        db,
+        "partsupp",
+        &["ps_partkey", "ps_suppkey", "ps_availqty"],
+        ctx,
+    )?;
+    let ps = HashJoin::new(
+        Box::new(part_sel),
+        partsupp,
+        vec![0],
+        vec![0],
+        vec![],
+        JoinKind::Semi,
+        true,
+        vec![],
+        ctx,
+        "Q20/semi_part",
+    )?;
+    // shipped quantity per (partkey, suppkey) in the year
+    let li = scan(
+        db,
+        "lineitem",
+        &["l_partkey", "l_suppkey", "l_quantity", "l_shipdate"],
+        ctx,
+    )?;
+    let li_sel = Select::new(
+        li,
+        &Pred::And(vec![
+            Pred::cmp_val(3, CmpKind::Ge, Value::I32(p.q20_date)),
+            Pred::cmp_val(3, CmpKind::Lt, Value::I32(add_years(p.q20_date, 1))),
+        ]),
+        ctx,
+        "Q20/sel_shipdate",
+    )?;
+    let li_proj = Project::new(
+        Box::new(li_sel),
+        vec![
+            ProjItem::Pass(0),
+            ProjItem::Pass(1),
+            ProjItem::Expr(Expr::cast(DataType::I64, Expr::col(2))),
+        ],
+        ctx,
+        "Q20/qty64",
+    )?;
+    let li_agg = HashAggregate::new(
+        Box::new(li_proj),
+        vec![0, 1],
+        vec![AggSpec::SumI64(2)],
+        ctx,
+        "Q20/agg_shipped",
+    )?;
+    let mut li_agg_op: BoxOp = Box::new(li_agg);
+    let shipped_store = ma_executor::ops::materialize(li_agg_op.as_mut())?;
+    let shipped_t = store_to_table("q20shipped", &["pk", "sk", "sumqty"], &shipped_store)?;
+    let shipped: BoxOp = Box::new(ma_executor::ops::Scan::new(
+        std::sync::Arc::clone(&shipped_t),
+        &["pk", "sk", "sumqty"],
+        ctx.vector_size(),
+    )?);
+    // [0 pspk, 1 pssk, 2 avail, 3 sumqty]
+    let with_qty = HashJoin::new(
+        shipped,
+        Box::new(ps),
+        vec![0, 1],
+        vec![0, 1],
+        vec![2],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q20/join_shipped",
+    )?;
+    // availqty > 0.5 * sumqty  ⟺  2*avail > sumqty
+    // [0 pssk, 1 lhs, 2 sumqty]
+    let cmp = Project::new(
+        Box::new(with_qty),
+        vec![
+            ProjItem::Pass(1),
+            ProjItem::Expr(Expr::mul(
+                Expr::cast(DataType::I64, Expr::col(2)),
+                Expr::i64(2),
+            )),
+            ProjItem::Pass(3),
+        ],
+        ctx,
+        "Q20/cmp",
+    )?;
+    let excess = Select::new(
+        Box::new(cmp),
+        &Pred::cmp_col(1, CmpKind::Gt, 2),
+        ctx,
+        "Q20/sel_excess",
+    )?;
+    // suppliers with excess stock, in the nation
+    // [0 sk, 1 sname, 2 saddr, 3 snk]
+    let supplier = scan(
+        db,
+        "supplier",
+        &["s_suppkey", "s_name", "s_address", "s_nationkey"],
+        ctx,
+    )?;
+    let sup = HashJoin::new(
+        Box::new(excess),
+        supplier,
+        vec![0],
+        vec![0],
+        vec![],
+        JoinKind::Semi,
+        false,
+        vec![],
+        ctx,
+        "Q20/semi_supp",
+    )?;
+    let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
+    let nat = Select::new(nation, &Pred::str_eq(1, p.q20_nation), ctx, "Q20/sel_nation")?;
+    let sup_nat = HashJoin::new(
+        Box::new(nat),
+        Box::new(sup),
+        vec![0],
+        vec![3],
+        vec![],
+        JoinKind::Semi,
+        false,
+        vec![],
+        ctx,
+        "Q20/semi_nation",
+    )?;
+    let out = Project::new(
+        Box::new(sup_nat),
+        vec![ProjItem::Pass(1), ProjItem::Pass(2)],
+        ctx,
+        "Q20/out",
+    )?;
+    let sort = Sort::new(
+        Box::new(out),
+        vec![SortKey::asc(0)],
+        None,
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q21: suppliers who kept orders waiting. The EXISTS/NOT EXISTS pair is
+/// rewritten over per-order min/max supplier aggregates (see DESIGN.md):
+/// another supplier exists ⟺ min ≠ max among all lines; no *other* late
+/// supplier ⟺ min = max among late lines.
+pub(crate) fn q21(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    let li_minmax = |late_only: bool, label: &str| -> Result<BoxOp, ExecError> {
+        let li = scan(
+            db,
+            "lineitem",
+            &["l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"],
+            ctx,
+        )?;
+        let base: BoxOp = if late_only {
+            Box::new(Select::new(
+                li,
+                &Pred::cmp_col(3, CmpKind::Gt, 2),
+                ctx,
+                &format!("{label}/late"),
+            )?)
+        } else {
+            li
+        };
+        let proj = Project::new(
+            base,
+            vec![
+                ProjItem::Pass(0),
+                ProjItem::Expr(Expr::cast(DataType::I64, Expr::col(1))),
+            ],
+            ctx,
+            &format!("{label}/sk64"),
+        )?;
+        Ok(Box::new(HashAggregate::new(
+            Box::new(proj),
+            vec![0],
+            vec![AggSpec::MinI64(1), AggSpec::MaxI64(1)],
+            ctx,
+            label,
+        )?))
+    };
+    // main stream: Saudi suppliers' late lines on F orders
+    let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
+    let nat = Select::new(nation, &Pred::str_eq(1, p.q21_nation), ctx, "Q21/sel_nation")?;
+    let supplier = scan(db, "supplier", &["s_suppkey", "s_name", "s_nationkey"], ctx)?;
+    let sup = HashJoin::new(
+        Box::new(nat),
+        supplier,
+        vec![0],
+        vec![2],
+        vec![],
+        JoinKind::Semi,
+        false,
+        vec![],
+        ctx,
+        "Q21/semi_nation",
+    )?;
+    let li = scan(
+        db,
+        "lineitem",
+        &["l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"],
+        ctx,
+    )?;
+    let l1 = Select::new(li, &Pred::cmp_col(3, CmpKind::Gt, 2), ctx, "Q21/sel_late")?;
+    // [0 lokey, 1 lsk, 2 cdate, 3 rdate, 4 sname]
+    let l1s = HashJoin::new(
+        Box::new(sup),
+        Box::new(l1),
+        vec![0],
+        vec![1],
+        vec![1],
+        JoinKind::Inner,
+        true,
+        vec![],
+        ctx,
+        "Q21/join_supp",
+    )?;
+    // F orders only
+    let orders = scan(db, "orders", &["o_orderkey", "o_orderstatus"], ctx)?;
+    let ord_f = Select::new(orders, &Pred::str_eq(1, "F"), ctx, "Q21/sel_status")?;
+    let l1f = HashJoin::new(
+        Box::new(ord_f),
+        Box::new(l1s),
+        vec![0],
+        vec![0],
+        vec![],
+        JoinKind::Semi,
+        true,
+        vec![],
+        ctx,
+        "Q21/semi_orders",
+    )?;
+    // attach per-order min/max over all lines: [0..4, 5 min_a, 6 max_a]
+    let with_all = HashJoin::new(
+        li_minmax(false, "Q21/agg_all")?,
+        Box::new(l1f),
+        vec![0],
+        vec![0],
+        vec![1, 2],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q21/join_all",
+    )?;
+    // attach per-order min/max over late lines: [0..6, 7 min_l, 8 max_l]
+    let with_late = HashJoin::new(
+        li_minmax(true, "Q21/agg_late")?,
+        Box::new(with_all),
+        vec![0],
+        vec![0],
+        vec![1, 2],
+        JoinKind::Inner,
+        false,
+        vec![],
+        ctx,
+        "Q21/join_late",
+    )?;
+    // exists other supplier ∧ no other late supplier
+    let sel = Select::new(
+        Box::new(with_late),
+        &Pred::And(vec![
+            Pred::cmp_col(5, CmpKind::Ne, 6),
+            Pred::cmp_col(7, CmpKind::Eq, 8),
+        ]),
+        ctx,
+        "Q21/sel_exists",
+    )?;
+    let agg = HashAggregate::new(
+        Box::new(sel),
+        vec![4],
+        vec![AggSpec::CountStar],
+        ctx,
+        "Q21/agg",
+    )?;
+    let sort = Sort::new(
+        Box::new(agg),
+        vec![SortKey::desc(1), SortKey::asc(0)],
+        Some(100),
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+/// Q22: global sales opportunity (two-phase: average balance, then the
+/// anti-join against orders).
+pub(crate) fn q22(
+    db: &TpchData,
+    ctx: &QueryContext,
+    p: &Params,
+) -> Result<QueryOutput, ExecError> {
+    let codes: Vec<String> = p.q22_codes.iter().map(|s| s.to_string()).collect();
+    let cust_with_code = |label: &str| -> Result<BoxOp, ExecError> {
+        // [0 ck, 1 cc, 2 acctf]
+        let customer = scan(db, "customer", &["c_custkey", "c_phone", "c_acctbal"], ctx)?;
+        let proj = Project::new(
+            customer,
+            vec![
+                ProjItem::Pass(0),
+                ProjItem::Expr(Expr::Substr {
+                    col: 1,
+                    start: 0,
+                    len: 2,
+                }),
+                ProjItem::Expr(Expr::cast(DataType::F64, Expr::col(2))),
+            ],
+            ctx,
+            &format!("{label}/proj"),
+        )?;
+        Ok(Box::new(Select::new(
+            Box::new(proj),
+            &Pred::InStr {
+                col: 1,
+                values: codes.clone(),
+            },
+            ctx,
+            label,
+        )?))
+    };
+    // phase A: avg positive balance among those customers
+    let positive = Select::new(
+        cust_with_code("Q22/codes_a")?,
+        &Pred::cmp_val(2, CmpKind::Gt, Value::F64(0.0)),
+        ctx,
+        "Q22/sel_positive",
+    )?;
+    let avg_agg = StreamAggregate::new(
+        Box::new(positive),
+        vec![AggSpec::SumF64(2), AggSpec::CountStar],
+        ctx,
+        "Q22/avg",
+    )?;
+    let mut avg_op: BoxOp = Box::new(avg_agg);
+    let avg_store = ma_executor::ops::materialize(avg_op.as_mut())?;
+    let sum = avg_store.col(0).as_f64()[0];
+    let cnt = avg_store.col(1).as_i64()[0].max(1);
+    let avgbal = sum / cnt as f64;
+    // phase B: above-average customers with no orders
+    let rich = Select::new(
+        cust_with_code("Q22/codes_b")?,
+        &Pred::cmp_val(2, CmpKind::Gt, Value::F64(avgbal)),
+        ctx,
+        "Q22/sel_rich",
+    )?;
+    let orders = scan(db, "orders", &["o_custkey"], ctx)?;
+    let no_orders = HashJoin::new(
+        orders,
+        Box::new(rich),
+        vec![0],
+        vec![0],
+        vec![],
+        JoinKind::Anti,
+        true,
+        vec![],
+        ctx,
+        "Q22/anti_orders",
+    )?;
+    // [cc, numcust, totacctbal]
+    let agg = HashAggregate::new(
+        Box::new(no_orders),
+        vec![1],
+        vec![AggSpec::CountStar, AggSpec::SumF64(2)],
+        ctx,
+        "Q22/agg",
+    )?;
+    let sort = Sort::new(
+        Box::new(agg),
+        vec![SortKey::asc(0)],
+        None,
+        ctx.vector_size(),
+    )?;
+    finish(Box::new(sort))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::run;
+
+    #[test]
+    fn q18_rows_sorted_by_totalprice() {
+        let out = run(18);
+        // Threshold 300 is strict; at tiny SF there may be few/no hits —
+        // orders have up to 7 lines × 50 qty = 350 max.
+        let tp = out.store.col(4).as_i64();
+        for w in tp.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        let sq = out.store.col(5).as_i64();
+        assert!(sq.iter().all(|&q| q > 300));
+    }
+
+    #[test]
+    fn q19_revenue_nonnegative() {
+        let out = run(19);
+        assert_eq!(out.rows, 1);
+        assert!(out.store.col(0).as_f64()[0] >= 0.0);
+    }
+
+    #[test]
+    fn q20_supplier_names_sorted() {
+        let out = run(20);
+        let names: Vec<String> = (0..out.rows)
+            .map(|g| out.store.col(0).as_str_vec().get(g).to_string())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn q21_counts_positive() {
+        let out = run(21);
+        let cnt = out.store.col(1).as_i64();
+        assert!(cnt.iter().all(|&c| c > 0));
+        for w in cnt.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn q22_codes_sorted_with_positive_balances() {
+        let out = run(22);
+        assert!(out.rows >= 1, "some codes should have rich no-order customers");
+        let codes: Vec<String> = (0..out.rows)
+            .map(|g| out.store.col(0).as_str_vec().get(g).to_string())
+            .collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        assert_eq!(codes, sorted);
+        // total balances positive (all selected were above a positive avg)
+        assert!(out.store.col(2).as_f64().iter().all(|&b| b > 0.0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Query runner: executes TPC-H queries under a given engine configuration
+//! with per-stage and per-instance profiling — the machinery behind the
+//! paper's §4 evaluation (Tables 6–11, Figures 2/4/11).
+
+use std::sync::Arc;
+
+use ma_core::cycles::ticks_now;
+use ma_core::PrimitiveDictionary;
+use ma_executor::{ExecConfig, ExecError, InstanceReport, QueryContext, StageProfile};
+use ma_primitives::build_dictionary;
+
+use crate::dbgen::TpchData;
+use crate::params::Params;
+use crate::queries::run_query;
+
+/// Result of one query execution.
+pub struct QueryResult {
+    /// Query number (1–22).
+    pub query: usize,
+    /// Result row count.
+    pub rows: usize,
+    /// Configuration-independent result checksum.
+    pub checksum: f64,
+    /// Stage profile. Plan construction is interleaved with execution in
+    /// multi-phase queries, so `preprocess` is folded into `execute` here;
+    /// the dedicated Table 1 experiment instruments the stages separately.
+    pub stages: StageProfile,
+    /// Per-primitive-instance profiles (APHs, flavor call counts).
+    pub instances: Vec<InstanceReport>,
+}
+
+impl QueryResult {
+    /// Total ticks spent in primitives.
+    pub fn primitive_ticks(&self) -> u64 {
+        self.instances.iter().map(|i| i.ticks).sum()
+    }
+
+    /// Ticks in instances whose signature matches `pred`.
+    pub fn ticks_matching(&self, pred: impl Fn(&InstanceReport) -> bool) -> u64 {
+        self.instances
+            .iter()
+            .filter(|i| pred(i))
+            .map(|i| i.ticks)
+            .sum()
+    }
+}
+
+/// Executes TPC-H queries against one generated database.
+pub struct Runner {
+    db: Arc<TpchData>,
+    dict: Arc<PrimitiveDictionary>,
+    params: Params,
+}
+
+impl Runner {
+    /// Creates a runner over a database.
+    pub fn new(db: Arc<TpchData>) -> Self {
+        Runner {
+            db,
+            dict: Arc::new(build_dictionary()),
+            params: Params::default(),
+        }
+    }
+
+    /// The database.
+    pub fn db(&self) -> &Arc<TpchData> {
+        &self.db
+    }
+
+    /// The shared dictionary.
+    pub fn dictionary(&self) -> &Arc<PrimitiveDictionary> {
+        &self.dict
+    }
+
+    /// Substitution parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Runs query `q` under `config`.
+    pub fn run(&self, q: usize, config: ExecConfig) -> Result<QueryResult, ExecError> {
+        let ctx = QueryContext::new(Arc::clone(&self.dict), config);
+        let t0 = ticks_now();
+        let out = run_query(q, &self.db, &ctx, &self.params)?;
+        let execute = ticks_now().saturating_sub(t0);
+        let primitives = ctx.total_primitive_ticks();
+        Ok(QueryResult {
+            query: q,
+            rows: out.rows,
+            checksum: out.checksum,
+            stages: StageProfile {
+                preprocess: 0,
+                execute,
+                primitives,
+                postprocess: 0,
+            },
+            instances: ctx.reports(),
+        })
+    }
+
+    /// Runs all 22 queries (a power run), returning per-query results.
+    pub fn power_run(&self, config: &ExecConfig) -> Result<Vec<QueryResult>, ExecError> {
+        (1..=22).map(|q| self.run(q, config.clone())).collect()
+    }
+}
+
+/// Geometric mean of per-query improvement factors (the paper's power-score
+/// comparison in Table 11).
+pub fn geometric_mean(factors: &[f64]) -> f64 {
+    if factors.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = factors.iter().map(|f| f.max(1e-12).ln()).sum();
+    (log_sum / factors.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ma_executor::FlavorAxis;
+    use std::sync::OnceLock;
+
+    fn runner() -> &'static Runner {
+        static R: OnceLock<Runner> = OnceLock::new();
+        R.get_or_init(|| Runner::new(Arc::new(TpchData::generate(0.005, 0x7E57))))
+    }
+
+    #[test]
+    fn q6_runs_with_profiles() {
+        let r = runner().run(6, ExecConfig::fixed_default()).unwrap();
+        assert_eq!(r.rows, 1);
+        assert!(r.stages.execute > 0);
+        assert!(r.primitive_ticks() > 0);
+        assert!(!r.instances.is_empty());
+        // The selection instances exist and were called.
+        let sel_ticks = r.ticks_matching(|i| i.signature.starts_with("sel_"));
+        assert!(sel_ticks > 0);
+    }
+
+    #[test]
+    fn adaptive_and_fixed_agree_on_q6() {
+        let a = runner().run(6, ExecConfig::fixed_default()).unwrap();
+        let b = runner()
+            .run(6, ExecConfig::adaptive(FlavorAxis::All))
+            .unwrap();
+        let c = runner().run(6, ExecConfig::heuristic()).unwrap();
+        assert!((a.checksum - b.checksum).abs() <= 1e-6 * a.checksum.abs().max(1.0));
+        assert!((a.checksum - c.checksum).abs() <= 1e-6 * a.checksum.abs().max(1.0));
+    }
+
+    #[test]
+    fn adaptive_run_uses_multiple_flavors() {
+        let r = runner()
+            .run(1, ExecConfig::adaptive(FlavorAxis::All).with_seed(3))
+            .unwrap();
+        // At least one instance with >1 flavor should have spread calls.
+        let spread = r.instances.iter().any(|i| {
+            i.flavor_calls.iter().filter(|(_, c)| *c > 0).count() > 1
+        });
+        assert!(spread, "adaptive run should exercise multiple flavors");
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 1.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Multi-column data chunks flowing between operators.
+
+use std::sync::Arc;
+
+use crate::selvec::SelVec;
+use crate::vector::Vector;
+
+/// A batch of tuples: one [`Vector`] per column plus an optional selection
+/// vector restricting which positions are live.
+///
+/// Columns are `Arc`-shared: operators that merely pass a column through
+/// (e.g. `Select`, which only narrows the selection vector) clone the `Arc`
+/// rather than the data — the vectorized equivalent of Vectorwise never
+/// copying columns after a selection (§1.1).
+#[derive(Debug, Clone)]
+pub struct DataChunk {
+    columns: Vec<Arc<Vector>>,
+    /// Live positions; `None` means all `len` positions are live.
+    sel: Option<SelVec>,
+    /// Physical number of tuples in each column vector.
+    len: usize,
+}
+
+impl DataChunk {
+    /// Builds a chunk from columns. All columns must have equal length.
+    pub fn new(columns: Vec<Arc<Vector>>) -> Self {
+        let len = columns.first().map_or(0, |c| c.len());
+        debug_assert!(
+            columns.iter().all(|c| c.len() == len),
+            "all columns in a chunk must have the same length"
+        );
+        DataChunk {
+            columns,
+            sel: None,
+            len,
+        }
+    }
+
+    /// An empty chunk with no columns and no rows.
+    pub fn empty() -> Self {
+        DataChunk {
+            columns: Vec::new(),
+            sel: None,
+            len: 0,
+        }
+    }
+
+    /// Builds a chunk of `len` rows with no columns (useful for count-only
+    /// pipelines and tests).
+    pub fn of_len(len: usize) -> Self {
+        DataChunk {
+            columns: Vec::new(),
+            sel: None,
+            len,
+        }
+    }
+
+    /// Physical tuple count of the underlying vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the chunk holds no physical tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of *live* tuples (selection-vector length if present).
+    pub fn live_count(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.len,
+        }
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Arc<Vector>] {
+        &self.columns
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &Arc<Vector> {
+        &self.columns[i]
+    }
+
+    /// The selection vector, if any.
+    pub fn sel(&self) -> Option<&SelVec> {
+        self.sel.as_ref()
+    }
+
+    /// Replaces the selection vector.
+    pub fn set_sel(&mut self, sel: Option<SelVec>) {
+        debug_assert!(sel
+            .as_ref()
+            .is_none_or(|s| s.iter().all(|p| p < self.len)));
+        self.sel = sel;
+    }
+
+    /// Returns a copy of this chunk with a different selection vector, with
+    /// columns shared.
+    pub fn with_sel(&self, sel: Option<SelVec>) -> DataChunk {
+        let mut c = self.clone();
+        c.set_sel(sel);
+        c
+    }
+
+    /// Appends a column (must match the chunk length).
+    pub fn push_column(&mut self, col: Arc<Vector>) {
+        if self.columns.is_empty() && self.len == 0 {
+            self.len = col.len();
+        }
+        debug_assert_eq!(col.len(), self.len, "column length mismatch");
+        self.columns.push(col);
+    }
+
+    /// Keeps only the columns at `indices`, in that order (projection).
+    pub fn project(&self, indices: &[usize]) -> DataChunk {
+        DataChunk {
+            columns: indices.iter().map(|&i| Arc::clone(&self.columns[i])).collect(),
+            sel: self.sel.clone(),
+            len: self.len,
+        }
+    }
+
+    /// Iterates live positions (respecting the selection vector).
+    pub fn live_positions(&self) -> Vec<usize> {
+        match &self.sel {
+            Some(s) => s.iter().collect(),
+            None => (0..self.len).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk2() -> DataChunk {
+        DataChunk::new(vec![
+            Arc::new(Vector::I32(vec![10, 20, 30, 40])),
+            Arc::new(Vector::I64(vec![1, 2, 3, 4])),
+        ])
+    }
+
+    #[test]
+    fn counts_without_sel() {
+        let c = chunk2();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.live_count(), 4);
+        assert_eq!(c.live_positions(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn counts_with_sel() {
+        let mut c = chunk2();
+        c.set_sel(Some(SelVec::from_positions(vec![1, 3])));
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.live_count(), 2);
+        assert_eq!(c.live_positions(), vec![1, 3]);
+    }
+
+    #[test]
+    fn with_sel_shares_columns() {
+        let c = chunk2();
+        let d = c.with_sel(Some(SelVec::from_positions(vec![0])));
+        assert!(Arc::ptr_eq(c.column(0), d.column(0)));
+        assert_eq!(d.live_count(), 1);
+        assert_eq!(c.live_count(), 4);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let c = chunk2();
+        let p = c.project(&[1, 0]);
+        assert_eq!(p.column(0).data_type(), crate::DataType::I64);
+        assert_eq!(p.column(1).data_type(), crate::DataType::I32);
+    }
+
+    #[test]
+    fn push_column_sets_len_on_empty() {
+        let mut c = DataChunk::empty();
+        assert!(c.is_empty());
+        c.push_column(Arc::new(Vector::I32(vec![1, 2])));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn of_len_carries_rows_without_columns() {
+        let c = DataChunk::of_len(7);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.live_count(), 7);
+        assert_eq!(c.columns().len(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Column builders used by data generators (dbgen) and tests.
+
+use std::sync::Arc;
+
+use crate::table::Column;
+use crate::types::DataType;
+
+/// Accumulates values row by row and finalizes into a [`Column`].
+///
+/// The string variant packs everything into a single arena, which is the
+/// layout [`crate::StrVec`] scans share without copying.
+#[derive(Debug)]
+pub enum ColumnBuilder {
+    /// `I16`.
+    I16(Vec<i16>),
+    /// `I32`.
+    I32(Vec<i32>),
+    /// `I64`.
+    I64(Vec<i64>),
+    /// `F64`.
+    F64(Vec<f64>),
+    /// `Str`.
+    Str {
+        /// Packed string bytes (the future arena).
+        bytes: Vec<u8>,
+        /// Per-row `(offset, len)` views into `bytes`.
+        views: Vec<(u32, u32)>,
+    },
+}
+
+impl ColumnBuilder {
+    /// A new builder for `dt` with room for `cap` rows.
+    pub fn with_capacity(dt: DataType, cap: usize) -> Self {
+        match dt {
+            DataType::I16 => ColumnBuilder::I16(Vec::with_capacity(cap)),
+            DataType::I32 => ColumnBuilder::I32(Vec::with_capacity(cap)),
+            DataType::I64 => ColumnBuilder::I64(Vec::with_capacity(cap)),
+            DataType::F64 => ColumnBuilder::F64(Vec::with_capacity(cap)),
+            DataType::Str => ColumnBuilder::Str {
+                bytes: Vec::with_capacity(cap * 12),
+                views: Vec::with_capacity(cap),
+            },
+        }
+    }
+
+    /// Number of rows accumulated so far.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnBuilder::I16(v) => v.len(),
+            ColumnBuilder::I32(v) => v.len(),
+            ColumnBuilder::I64(v) => v.len(),
+            ColumnBuilder::F64(v) => v.len(),
+            ColumnBuilder::Str { views, .. } => views.len(),
+        }
+    }
+
+    /// True when no rows were accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `push_i16`.
+    pub fn push_i16(&mut self, v: i16) {
+        match self {
+            ColumnBuilder::I16(b) => b.push(v),
+            _ => panic!("push_i16 on non-i16 builder"),
+        }
+    }
+    /// `push_i32`.
+    pub fn push_i32(&mut self, v: i32) {
+        match self {
+            ColumnBuilder::I32(b) => b.push(v),
+            _ => panic!("push_i32 on non-i32 builder"),
+        }
+    }
+    /// `push_i64`.
+    pub fn push_i64(&mut self, v: i64) {
+        match self {
+            ColumnBuilder::I64(b) => b.push(v),
+            _ => panic!("push_i64 on non-i64 builder"),
+        }
+    }
+    /// `push_f64`.
+    pub fn push_f64(&mut self, v: f64) {
+        match self {
+            ColumnBuilder::F64(b) => b.push(v),
+            _ => panic!("push_f64 on non-f64 builder"),
+        }
+    }
+    /// `push_str`.
+    pub fn push_str(&mut self, s: &str) {
+        match self {
+            ColumnBuilder::Str { bytes, views } => {
+                let off = bytes.len() as u32;
+                bytes.extend_from_slice(s.as_bytes());
+                views.push((off, s.len() as u32));
+            }
+            _ => panic!("push_str on non-str builder"),
+        }
+    }
+
+    /// Finalizes into an immutable [`Column`].
+    pub fn finish(self) -> Column {
+        match self {
+            ColumnBuilder::I16(v) => Column::I16(Arc::new(v)),
+            ColumnBuilder::I32(v) => Column::I32(Arc::new(v)),
+            ColumnBuilder::I64(v) => Column::I64(Arc::new(v)),
+            ColumnBuilder::F64(v) => Column::F64(Arc::new(v)),
+            ColumnBuilder::Str { bytes, views } => Column::Str {
+                arena: bytes.into(),
+                views: Arc::new(views),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_type() {
+        let mut b = ColumnBuilder::with_capacity(DataType::I16, 2);
+        b.push_i16(7);
+        assert_eq!(b.len(), 1);
+        assert!(matches!(b.finish(), Column::I16(_)));
+
+        let mut b = ColumnBuilder::with_capacity(DataType::F64, 2);
+        b.push_f64(1.25);
+        assert!(matches!(b.finish(), Column::F64(_)));
+    }
+
+    #[test]
+    fn string_builder_packs_arena() {
+        let mut b = ColumnBuilder::with_capacity(DataType::Str, 3);
+        b.push_str("ab");
+        b.push_str("");
+        b.push_str("cde");
+        assert_eq!(b.len(), 3);
+        let col = b.finish();
+        let v = col.slice_vector(0, 3);
+        let sv = v.as_str_vec();
+        assert_eq!(sv.get(0), "ab");
+        assert_eq!(sv.get(1), "");
+        assert_eq!(sv.get(2), "cde");
+    }
+
+    #[test]
+    #[should_panic(expected = "push_i16 on non-i16 builder")]
+    fn type_confusion_panics() {
+        let mut b = ColumnBuilder::with_capacity(DataType::I32, 1);
+        b.push_i16(1);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = ColumnBuilder::with_capacity(DataType::I64, 0);
+        assert!(b.is_empty());
+        assert_eq!(b.finish().len(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Selection vectors: positions of qualifying tuples within a vector.
+
+/// A selection vector: a strictly increasing list of positions (`u32`) into
+/// the vectors of a [`crate::DataChunk`].
+///
+/// Selection primitives (`sel_*`) produce these; most other primitives accept
+/// an optional selection vector and then process only the selected positions
+/// ("selective computation", Fig. 7 left in the paper). Keeping positions
+/// instead of copying column data is what makes a vectorized `Select`
+/// essentially free.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelVec {
+    positions: Vec<u32>,
+}
+
+impl SelVec {
+    /// An empty selection vector (no tuple qualifies).
+    pub fn new() -> Self {
+        SelVec {
+            positions: Vec::new(),
+        }
+    }
+
+    /// A selection vector with capacity for `cap` positions.
+    pub fn with_capacity(cap: usize) -> Self {
+        SelVec {
+            positions: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The identity selection `[0, 1, .., n-1]`.
+    pub fn identity(n: usize) -> Self {
+        SelVec {
+            positions: (0..n as u32).collect(),
+        }
+    }
+
+    /// Builds from raw positions. Debug-asserts strict monotonicity, the
+    /// invariant every selection primitive preserves.
+    pub fn from_positions(positions: Vec<u32>) -> Self {
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "selection vector positions must be strictly increasing"
+        );
+        SelVec { positions }
+    }
+
+    /// Number of selected tuples.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if no tuple is selected.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The selected positions.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Mutable access to the backing storage for primitives that fill the
+    /// vector in place. The caller must leave positions strictly increasing.
+    pub fn positions_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.positions
+    }
+
+    /// Resizes the backing storage to `n` entries (used by primitives that
+    /// write through a raw slice and then shrink to the produced count).
+    pub fn resize_for_write(&mut self, n: usize) {
+        self.positions.resize(n, 0);
+    }
+
+    /// Truncates to the first `n` positions.
+    pub fn truncate(&mut self, n: usize) {
+        self.positions.truncate(n);
+    }
+
+    /// Selectivity relative to an input vector of `n` tuples.
+    pub fn selectivity(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.positions.len() as f64 / n as f64
+        }
+    }
+
+    /// Composes two selection levels: `outer` selects *within* `self`
+    /// (positions into `self`'s entries), producing positions into the
+    /// original vector. This is what a second conjunct's selection primitive
+    /// produces when run under an existing selection vector.
+    pub fn compose(&self, outer: &SelVec) -> SelVec {
+        let inner = &self.positions;
+        SelVec {
+            positions: outer
+                .positions
+                .iter()
+                .map(|&i| inner[i as usize])
+                .collect(),
+        }
+    }
+
+    /// Iterator over selected positions as `usize`.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.positions.iter().map(|&p| p as usize)
+    }
+}
+
+impl From<Vec<u32>> for SelVec {
+    fn from(v: Vec<u32>) -> Self {
+        SelVec::from_positions(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_covers_range() {
+        let s = SelVec::identity(5);
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(SelVec::new().is_empty());
+        assert_eq!(SelVec::new().selectivity(100), 0.0);
+    }
+
+    #[test]
+    fn selectivity_fraction() {
+        let s = SelVec::from_positions(vec![1, 5, 9]);
+        assert!((s.selectivity(10) - 0.3).abs() < 1e-12);
+        assert_eq!(s.selectivity(0), 0.0);
+    }
+
+    #[test]
+    fn compose_maps_through() {
+        // inner selects positions 2,4,6,8 of the base vector;
+        // outer selects entries 0 and 3 of *that*, i.e. base positions 2 and 8.
+        let inner = SelVec::from_positions(vec![2, 4, 6, 8]);
+        let outer = SelVec::from_positions(vec![0, 3]);
+        assert_eq!(inner.compose(&outer).as_slice(), &[2, 8]);
+    }
+
+    #[test]
+    fn compose_with_identity_is_noop() {
+        let inner = SelVec::from_positions(vec![3, 7, 11]);
+        let outer = SelVec::identity(3);
+        assert_eq!(inner.compose(&outer), inner);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn non_monotonic_panics_in_debug() {
+        let _ = SelVec::from_positions(vec![3, 1]);
+    }
+
+    #[test]
+    fn resize_and_truncate_roundtrip() {
+        let mut s = SelVec::new();
+        s.resize_for_write(8);
+        assert_eq!(s.len(), 8);
+        for (i, p) in s.positions_mut().iter_mut().enumerate() {
+            *p = (i * 2) as u32;
+        }
+        s.truncate(3);
+        assert_eq!(s.as_slice(), &[0, 2, 4]);
+    }
+}

@@ -1,0 +1,295 @@
+//! In-memory columnar tables: the storage substrate scans read from.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::types::DataType;
+use crate::vector::{StrVec, Vector};
+
+/// Errors raised by table construction and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A referenced column name does not exist.
+    UnknownColumn(String),
+    /// Columns of a table have differing row counts.
+    LengthMismatch {
+        /// Offending column name.
+        column: String,
+        /// Row count the table already has.
+        expected: usize,
+        /// Row count the column brought.
+        got: usize,
+    },
+    /// A column name was registered twice.
+    DuplicateColumn(String),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            TableError::LengthMismatch { column, expected, got } => write!(
+                f,
+                "column {column} has {got} rows, table has {expected}"
+            ),
+            TableError::DuplicateColumn(c) => write!(f, "duplicate column: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// One fully materialized column of a [`Table`].
+///
+/// Fixed-width types are plain `Vec`s; strings are a byte arena plus
+/// per-row `(offset, len)` views — scans hand out [`StrVec`]s that share the
+/// arena, so scanning strings never copies bytes.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// `I16`.
+    I16(Arc<Vec<i16>>),
+    /// `I32`.
+    I32(Arc<Vec<i32>>),
+    /// `I64`.
+    I64(Arc<Vec<i64>>),
+    /// `F64`.
+    F64(Arc<Vec<f64>>),
+    /// `Str`.
+    Str {
+        /// Shared byte storage.
+        arena: Arc<[u8]>,
+        /// Per-row `(offset, len)` views into the arena.
+        views: Arc<Vec<(u32, u32)>>,
+    },
+}
+
+impl Column {
+    /// The scalar type stored in the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::I16(_) => DataType::I16,
+            Column::I32(_) => DataType::I32,
+            Column::I64(_) => DataType::I64,
+            Column::F64(_) => DataType::F64,
+            Column::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I16(v) => v.len(),
+            Column::I32(v) => v.len(),
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Str { views, .. } => views.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes rows `[start, start+n)` as a [`Vector`].
+    ///
+    /// Fixed-width data is copied (the vectorized model's per-batch
+    /// materialization cost); strings share the arena and copy only views.
+    pub fn slice_vector(&self, start: usize, n: usize) -> Vector {
+        match self {
+            Column::I16(v) => Vector::I16(v[start..start + n].to_vec()),
+            Column::I32(v) => Vector::I32(v[start..start + n].to_vec()),
+            Column::I64(v) => Vector::I64(v[start..start + n].to_vec()),
+            Column::F64(v) => Vector::F64(v[start..start + n].to_vec()),
+            Column::Str { arena, views } => Vector::Str(StrVec::from_views(
+                Arc::clone(arena),
+                views[start..start + n].to_vec(),
+            )),
+        }
+    }
+
+    /// Materializes arbitrary `rows` (a gather) as a [`Vector`].
+    pub fn gather_vector(&self, rows: &[usize]) -> Vector {
+        match self {
+            Column::I16(v) => Vector::I16(rows.iter().map(|&r| v[r]).collect()),
+            Column::I32(v) => Vector::I32(rows.iter().map(|&r| v[r]).collect()),
+            Column::I64(v) => Vector::I64(rows.iter().map(|&r| v[r]).collect()),
+            Column::F64(v) => Vector::F64(rows.iter().map(|&r| v[r]).collect()),
+            Column::Str { arena, views } => Vector::Str(StrVec::from_views(
+                Arc::clone(arena),
+                rows.iter().map(|&r| views[r]).collect(),
+            )),
+        }
+    }
+}
+
+/// An immutable, named, in-memory columnar table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    column_names: Vec<String>,
+    by_name: HashMap<String, usize>,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Builds a table from `(name, column)` pairs. All columns must have the
+    /// same row count and distinct names.
+    pub fn new(
+        name: impl Into<String>,
+        cols: Vec<(String, Column)>,
+    ) -> Result<Self, TableError> {
+        let rows = cols.first().map_or(0, |(_, c)| c.len());
+        let mut column_names = Vec::with_capacity(cols.len());
+        let mut by_name = HashMap::with_capacity(cols.len());
+        let mut columns = Vec::with_capacity(cols.len());
+        for (cname, col) in cols {
+            if col.len() != rows {
+                return Err(TableError::LengthMismatch {
+                    column: cname,
+                    expected: rows,
+                    got: col.len(),
+                });
+            }
+            if by_name.insert(cname.clone(), columns.len()).is_some() {
+                return Err(TableError::DuplicateColumn(cname));
+            }
+            column_names.push(cname);
+            columns.push(col);
+        }
+        Ok(Table {
+            name: name.into(),
+            column_names,
+            by_name,
+            columns,
+            rows,
+        })
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Result<usize, TableError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TableError::UnknownColumn(format!("{}.{}", self.name, name)))
+    }
+
+    /// A named column.
+    pub fn column(&self, name: &str) -> Result<&Column, TableError> {
+        Ok(&self.columns[self.column_index(name)?])
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Table {
+        Table::new(
+            "t",
+            vec![
+                ("a".into(), Column::I32(Arc::new(vec![1, 2, 3]))),
+                ("b".into(), Column::F64(Arc::new(vec![0.5, 1.5, 2.5]))),
+                (
+                    "s".into(),
+                    {
+                        let sv = StrVec::from_strings(&["x", "yy", "zzz"]);
+                        Column::Str {
+                            arena: Arc::clone(sv.arena()),
+                            views: Arc::new(sv.views().to_vec()),
+                        }
+                    },
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = mk();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.column_index("b").unwrap(), 1);
+        assert!(matches!(
+            t.column_index("nope"),
+            Err(TableError::UnknownColumn(_))
+        ));
+        assert_eq!(t.column("a").unwrap().data_type(), DataType::I32);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = Table::new(
+            "t",
+            vec![
+                ("a".into(), Column::I32(Arc::new(vec![1, 2]))),
+                ("b".into(), Column::I32(Arc::new(vec![1]))),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = Table::new(
+            "t",
+            vec![
+                ("a".into(), Column::I32(Arc::new(vec![1]))),
+                ("a".into(), Column::I32(Arc::new(vec![2]))),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, TableError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn slice_vector_copies_fixed_width() {
+        let t = mk();
+        let v = t.column("a").unwrap().slice_vector(1, 2);
+        assert_eq!(v.as_i32(), &[2, 3]);
+    }
+
+    #[test]
+    fn slice_vector_shares_string_arena() {
+        let t = mk();
+        let v = t.column("s").unwrap().slice_vector(0, 3);
+        let sv = v.as_str_vec();
+        assert_eq!(sv.get(2), "zzz");
+        if let Column::Str { arena, .. } = t.column("s").unwrap() {
+            assert!(Arc::ptr_eq(arena, sv.arena()));
+        } else {
+            panic!("not a string column");
+        }
+    }
+
+    #[test]
+    fn gather_vector() {
+        let t = mk();
+        let v = t.column("a").unwrap().gather_vector(&[2, 0]);
+        assert_eq!(v.as_i32(), &[3, 1]);
+        let s = t.column("s").unwrap().gather_vector(&[1]);
+        assert_eq!(s.as_str_vec().get(0), "yy");
+    }
+}

@@ -1,0 +1,100 @@
+//! Scalar type descriptors shared by vectors, tables and primitives.
+
+/// Default number of tuples per vector.
+///
+/// The paper uses "e.g. 1000"; Vectorwise's default is 1024, which we adopt.
+/// Powers of two keep the vw-greedy phase arithmetic branch-free (§3.2).
+pub const VECTOR_SIZE: usize = 1024;
+
+/// The scalar types supported by the engine.
+///
+/// These mirror the type axis of Vectorwise's template-generated primitives:
+/// the paper's experiments use 16-bit `short`, 32-bit `int`, 64-bit `long`
+/// (`schr`/`sint`/`slng` in primitive signatures), doubles and strings.
+/// Dates are stored as `I32` days-since-epoch; decimals as `I64` scaled by
+/// 100 (TPC-H money has two decimal digits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 16-bit signed integer (`schr`/short in paper signatures).
+    I16,
+    /// 32-bit signed integer (`sint`).
+    I32,
+    /// 64-bit signed integer (`slng`), also fixed-point decimal ×100.
+    I64,
+    /// 64-bit IEEE float.
+    F64,
+    /// Variable-length UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// Width in bytes of one value, or `None` for variable-width types.
+    pub fn fixed_width(self) -> Option<usize> {
+        match self {
+            DataType::I16 => Some(2),
+            DataType::I32 => Some(4),
+            DataType::I64 => Some(8),
+            DataType::F64 => Some(8),
+            DataType::Str => None,
+        }
+    }
+
+    /// Lower-case name used in primitive signature strings (e.g. `i32` in
+    /// `sel_lt_i32_col_val`).
+    pub fn sig_name(self) -> &'static str {
+        match self {
+            DataType::I16 => "i16",
+            DataType::I32 => "i32",
+            DataType::I64 => "i64",
+            DataType::F64 => "f64",
+            DataType::Str => "str",
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.sig_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_size_is_power_of_two() {
+        assert!(VECTOR_SIZE.is_power_of_two());
+    }
+
+    #[test]
+    fn fixed_widths() {
+        assert_eq!(DataType::I16.fixed_width(), Some(2));
+        assert_eq!(DataType::I32.fixed_width(), Some(4));
+        assert_eq!(DataType::I64.fixed_width(), Some(8));
+        assert_eq!(DataType::F64.fixed_width(), Some(8));
+        assert_eq!(DataType::Str.fixed_width(), None);
+    }
+
+    #[test]
+    fn sig_names_are_distinct() {
+        let names = [
+            DataType::I16,
+            DataType::I32,
+            DataType::I64,
+            DataType::F64,
+            DataType::Str,
+        ]
+        .map(DataType::sig_name);
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_sig_name() {
+        assert_eq!(DataType::I64.to_string(), "i64");
+    }
+}

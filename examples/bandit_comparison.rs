@@ -1,0 +1,59 @@
+//! Bandit playground: replay the paper's policy zoo over synthetic traces.
+//!
+//! Generates the Fig. 10 non-stationary scenario plus stationary and
+//! single-switch controls, replays every policy family over them, and
+//! prints a Table-5-style scoreboard (Absolute/OPT and Relative/OPT).
+//!
+//! ```sh
+//! cargo run --release --example bandit_comparison
+//! ```
+
+use micro_adaptivity::core::policy::VwGreedyParams;
+use micro_adaptivity::core::{simulate_workload, PolicyKind, ScoreBoard, SimScore};
+use micro_adaptivity::machsim::{fig10_trace, stationary_trace, switching_trace, Fig10Spec};
+
+fn main() {
+    let traces = vec![
+        fig10_trace(&Fig10Spec::default(), 1),
+        stationary_trace("stationary-easy", 32 * 1024, 1024, &[4.0, 6.0, 8.0], 0.2, 2),
+        stationary_trace("stationary-close", 32 * 1024, 1024, &[5.0, 5.2, 5.4], 0.2, 3),
+        switching_trace(32 * 1024, 1024, 0.6, 4),
+    ];
+    println!("traces:");
+    for t in &traces {
+        println!(
+            "  {:<18} {} calls, {} flavors, best-fixed/OPT = {:.3}",
+            t.name,
+            t.calls(),
+            t.flavors(),
+            t.fixed_ticks(t.best_fixed_flavor()) as f64 / t.opt_ticks() as f64
+        );
+    }
+
+    let vw = |a, b, c| {
+        PolicyKind::VwGreedy(VwGreedyParams {
+            explore_period: a,
+            exploit_period: b,
+            explore_length: c,
+        })
+    };
+    let policies = [
+        vw(1024, 8, 2),
+        vw(1024, 256, 32),
+        vw(2048, 8, 2),
+        PolicyKind::EpsGreedy { eps: 0.001 },
+        PolicyKind::EpsGreedy { eps: 0.05 },
+        PolicyKind::EpsGreedy { eps: 0.1 },
+        PolicyKind::EpsFirst { explore_calls: 96 },
+        PolicyKind::EpsDecreasing { eps0: 1.0 },
+        PolicyKind::Ucb1,
+    ];
+
+    let mut board = ScoreBoard::new();
+    for kind in policies {
+        let results = simulate_workload(&traces, kind, 0xBEEF);
+        board.push(SimScore::from_results(kind.build(2, 0).name(), &results));
+    }
+    println!("\n{}", board.render());
+    println!("(lower is better; 1.000 = per-call oracle)");
+}

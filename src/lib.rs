@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # micro_adaptivity — umbrella crate
+//!
+//! Reproduction of *Micro Adaptivity in Vectorwise* (Răducanu, Boncz,
+//! Żukowski; SIGMOD 2013): a vectorized query engine that ships **many
+//! implementations ("flavors") of every primitive function** and uses the
+//! non-stationary multi-armed-bandit algorithm **vw-greedy** to pick, at each
+//! primitive call, the flavor that currently performs best.
+//!
+//! This crate re-exports the workspace's public API:
+//!
+//! * [`vector`] — columnar substrate: typed vectors, selection vectors,
+//!   data chunks, in-memory tables.
+//! * [`core`] — the Micro Adaptivity framework: flavor sets + primitive
+//!   dictionary, Approximated Performance History (APH), cycle profiling,
+//!   bandit policies (vw-greedy, ε-greedy, ε-first, ε-decreasing, UCB1),
+//!   and the trace simulator behind the paper's Table 5.
+//! * [`primitives`] — the flavor library: selection, map, fetch, hash,
+//!   bloom-filter and aggregation primitives, each in the paper's flavor
+//!   sets (branch/no-branch, fission, full computation, hand-unrolling,
+//!   compiler styles).
+//! * [`executor`] — vector-at-a-time query executor whose expression
+//!   evaluator performs the adaptive flavor dispatch.
+//! * [`tpch`] — deterministic TPC-H dbgen plus all 22 queries as physical
+//!   plans (the paper's evaluation workload).
+//! * [`machsim`] — analytic cost models of the paper's four test machines,
+//!   for the cross-hardware figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use micro_adaptivity::core::policy::{Policy, VwGreedy, VwGreedyParams};
+//! use micro_adaptivity::core::SplitMix64;
+//!
+//! // Two flavors whose relative speed flips halfway through the query.
+//! let mut policy = VwGreedy::new(2, VwGreedyParams::default(), SplitMix64::new(1));
+//! let mut total = 0u64;
+//! for call in 0..20_000u64 {
+//!     let flavor = policy.choose();
+//!     let cost = match (call < 10_000, flavor) {
+//!         (true, 0) | (false, 1) => 3_000,  // ticks for 1000 tuples
+//!         _ => 9_000,
+//!     };
+//!     policy.observe(flavor, 1_000, cost);
+//!     total += cost;
+//! }
+//! // vw-greedy tracks the flip: far closer to the 60M-tick optimum than to
+//! // the 120M ticks of the average fixed choice.
+//! assert!(total < 70_000_000);
+//! ```
+
+pub use ma_core as core;
+pub use ma_executor as executor;
+pub use ma_machsim as machsim;
+pub use ma_primitives as primitives;
+pub use ma_tpch as tpch;
+pub use ma_vector as vector;
