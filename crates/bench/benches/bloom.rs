@@ -19,13 +19,17 @@ fn bench_bloom(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("fused", format!("{size_kb}KB")),
             &size_kb,
-            |b, _| b.iter(|| std::hint::black_box(sel_bloomfilter_fused(&mut res, &bf, &hashes, None))),
+            |b, _| {
+                b.iter(|| std::hint::black_box(sel_bloomfilter_fused(&mut res, &bf, &hashes, None)))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("fission", format!("{size_kb}KB")),
             &size_kb,
             |b, _| {
-                b.iter(|| std::hint::black_box(sel_bloomfilter_fission(&mut res, &bf, &hashes, None)))
+                b.iter(|| {
+                    std::hint::black_box(sel_bloomfilter_fission(&mut res, &bf, &hashes, None))
+                })
             },
         );
     }

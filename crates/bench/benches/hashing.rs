@@ -32,7 +32,10 @@ fn bench_hashing(c: &mut Criterion) {
     let khashes: Vec<u64> = u64keys.iter().map(|&k| hash_u64(k)).collect();
     let mut gids = vec![0u32; n];
     for (name, f) in [
-        ("insertcheck_u64/gcc", hash_insertcheck_u64_gcc as ma_primitives::GroupInsertCheck),
+        (
+            "insertcheck_u64/gcc",
+            hash_insertcheck_u64_gcc as ma_primitives::GroupInsertCheck,
+        ),
         ("insertcheck_u64/icc", hash_insertcheck_u64_icc),
     ] {
         group.bench_function(name, |b| {

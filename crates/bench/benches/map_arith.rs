@@ -24,7 +24,11 @@ fn bench_map(c: &mut Criterion) {
     ];
     for density_pct in [10u32, 50, 100] {
         let sel = sel_vector(n, density_pct as f64 / 100.0, 3);
-        let sv = if density_pct == 100 { None } else { Some(sel.as_slice()) };
+        let sv = if density_pct == 100 {
+            None
+        } else {
+            Some(sel.as_slice())
+        };
         for (name, f) in flavors {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{density_pct}%")),

@@ -18,16 +18,12 @@ fn bench_queries(c: &mut Criterion) {
             ("heuristic", ExecConfig::heuristic()),
             ("adaptive", ExecConfig::adaptive(FlavorAxis::All)),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("q{q}"), mode),
-                &q,
-                |b, &q| {
-                    b.iter(|| {
-                        let r = runner.run(q, cfg.clone()).expect("query");
-                        std::hint::black_box(r.checksum)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("q{q}"), mode), &q, |b, &q| {
+                b.iter(|| {
+                    let r = runner.run(q, cfg.clone()).expect("query");
+                    std::hint::black_box(r.checksum)
+                })
+            });
         }
     }
     group.finish();

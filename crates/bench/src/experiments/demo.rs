@@ -31,9 +31,8 @@ pub fn fig10(seed: u64) -> String {
         .map(|(t, &f)| (t as u64, per_tuple(tr.costs[f][t])))
         .collect();
 
-    let mut out = String::from(
-        "=== Figure 10: vw-greedy(1024,256,32) on 3 non-stationary flavors ===\n",
-    );
+    let mut out =
+        String::from("=== Figure 10: vw-greedy(1024,256,32) on 3 non-stationary flavors ===\n");
     out.push_str(&render_aph_series(
         "cycles/tuple over the query lifetime",
         &[
@@ -122,11 +121,7 @@ pub fn record_compiler_traces(runner: &Runner, queries: &[usize]) -> Vec<Instanc
                     *c = c.repeat(reps);
                 }
             }
-            traces.push(InstanceTrace::new(
-                format!("Q{q}/{label}"),
-                tuples,
-                costs,
-            ));
+            traces.push(InstanceTrace::new(format!("Q{q}/{label}"), tuples, costs));
         }
     }
     traces
@@ -145,8 +140,7 @@ pub fn table5(runner: &Runner, queries: &[usize], seed: u64) -> String {
         out.push_str("no traces recorded (scale factor too small?)\n");
         return out;
     }
-    let horizon: usize =
-        traces.iter().map(InstanceTrace::calls).sum::<usize>() / traces.len();
+    let horizon: usize = traces.iter().map(InstanceTrace::calls).sum::<usize>() / traces.len();
     let eps_first = |eps: f64| PolicyKind::EpsFirst {
         explore_calls: ((eps * horizon as f64) as u64).max(6),
     };

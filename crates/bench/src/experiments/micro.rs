@@ -11,14 +11,14 @@ use ma_primitives::bloom::{
 };
 use ma_primitives::hashing::hash_u64;
 use ma_primitives::map_arith::{
-    map_col_col_full, map_col_col_selective, map_col_col_unroll8, map_col_col_clang,
+    map_col_col_clang, map_col_col_full, map_col_col_selective, map_col_col_unroll8,
 };
 use ma_primitives::merge::{mergejoin_i64_clang, mergejoin_i64_gcc, mergejoin_i64_icc};
+use ma_primitives::ops::Lt;
 use ma_primitives::ops::Mul;
 use ma_primitives::selection::{sel_col_val_branching, sel_col_val_no_branching};
-use ma_primitives::ops::Lt;
 
-use crate::measure::{selective_data, sel_vector, ticks_per_tuple};
+use crate::measure::{sel_vector, selective_data, ticks_per_tuple};
 use crate::report::{render_curves, Series};
 
 /// Fig. 1: (no-)branching selection cost vs selectivity.
@@ -48,11 +48,15 @@ pub fn fig01() -> String {
     for m in [&MACHINE1, &MACHINE3] {
         series.push(Series::new(
             format!("{} br", m.name),
-            sels.iter().map(|&s| costmodel::branching_cost(m, s)).collect(),
+            sels.iter()
+                .map(|&s| costmodel::branching_cost(m, s))
+                .collect(),
         ));
         series.push(Series::new(
             format!("{} nobr", m.name),
-            sels.iter().map(|&s| costmodel::no_branching_cost(m, s)).collect(),
+            sels.iter()
+                .map(|&s| costmodel::no_branching_cost(m, s))
+                .collect(),
         ));
     }
     out.push_str(&render_curves("selectivity", &xs, &series));
@@ -210,7 +214,10 @@ pub fn fig08() -> String {
     let mut out = String::from("=== Figure 8: map_mul full-computation speedup ===\n");
     let n = 16 * 1024;
     let densities: Vec<f64> = (1..=10).map(|i| i as f64 * 0.1).collect();
-    let xs: Vec<String> = densities.iter().map(|d| format!("{:.0}%", d * 100.0)).collect();
+    let xs: Vec<String> = densities
+        .iter()
+        .map(|d| format!("{:.0}%", d * 100.0))
+        .collect();
 
     fn host_curve<T: Copy + Default>(
         n: usize,

@@ -12,8 +12,20 @@ use ma_tpch::{Runner, TpchData};
 
 /// All experiment identifiers, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 14] = [
-    "table1", "fig1", "fig2", "fig4", "fig5", "fig6", "table4", "fig8", "fig10", "table5",
-    "tables6-10", "table11", "fig11", "ablation",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table4",
+    "fig8",
+    "fig10",
+    "table5",
+    "tables6-10",
+    "table11",
+    "fig11",
+    "ablation",
 ];
 
 /// Runs one experiment by id, returning its report text.

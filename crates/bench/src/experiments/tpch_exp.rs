@@ -5,10 +5,9 @@ use std::sync::Arc;
 
 use ma_core::cycles::ticks_now;
 use ma_core::Aph;
-use ma_executor::ops::{collect, Project, ProjItem, Scan, Select};
+use ma_executor::ops::{collect, ProjItem, Project, Scan, Select};
 use ma_executor::{
-    BoxOp, CmpKind, ExecConfig, FlavorAxis, InstanceReport, Pred, QueryContext, StageProfile,
-    Value,
+    BoxOp, CmpKind, ExecConfig, FlavorAxis, InstanceReport, Pred, QueryContext, StageProfile, Value,
 };
 use ma_tpch::{geometric_mean, Runner};
 
@@ -70,9 +69,8 @@ pub fn table1(runner: &Runner) -> String {
 /// a long 100% plateau collapsing to 0% at the end, thanks to the
 /// date-clustered storage.
 pub fn fig02(runner: &Runner) -> String {
-    let mut out = String::from(
-        "=== Figure 2: (No-)Branching cost during the Q12 date selection ===\n",
-    );
+    let mut out =
+        String::from("=== Figure 2: (No-)Branching cost during the Q12 date selection ===\n");
     let p = runner.params();
     let (ge_day, lt_day) = (p.q12_date, crate::dates_add_year(p.q12_date));
     let mut series = Vec::new();
@@ -108,7 +106,11 @@ pub fn fig02(runner: &Runner) -> String {
         let aph = report.aph.expect("APH collected");
         series.push((flavor.to_string(), aph.series()));
     }
-    out.push_str(&render_aph_series("cycles/tuple vs call number", &series, 32));
+    out.push_str(&render_aph_series(
+        "cycles/tuple vs call number",
+        &series,
+        32,
+    ));
     out
 }
 
@@ -129,10 +131,7 @@ fn aph_for_configs(
                 .into_iter()
                 .find(&pick)
                 .unwrap_or_else(|| panic!("Q{query}: no instance matched for {name}"));
-            (
-                name.to_string(),
-                inst.aph.expect("APH collected").series(),
-            )
+            (name.to_string(), inst.aph.expect("APH collected").series())
         })
         .collect()
 }
@@ -142,8 +141,7 @@ type Pick = Box<dyn Fn(&InstanceReport) -> bool>;
 
 /// Fig. 4: compiler-style APHs for five sample primitive instances.
 pub fn fig04(runner: &Runner) -> String {
-    let mut out =
-        String::from("=== Figure 4: compiler-style differences, sample APHs ===\n");
+    let mut out = String::from("=== Figure 4: compiler-style differences, sample APHs ===\n");
     let styles = || -> Vec<(&'static str, ExecConfig)> {
         vec![
             ("gcc", ExecConfig::fixed("gcc")),
@@ -188,9 +186,8 @@ pub fn fig04(runner: &Runner) -> String {
 /// Whether an instance belongs to the flavor set of `axis` (mirrors the
 /// registry's flavor registration).
 pub fn affected(axis: FlavorAxis, sig: &str) -> bool {
-    let is_numeric_sel = sig.starts_with("sel_")
-        && !sig.contains("str")
-        && sig != "sel_bloomfilter";
+    let is_numeric_sel =
+        sig.starts_with("sel_") && !sig.contains("str") && sig != "sel_bloomfilter";
     let is_arith_map = ["map_add_", "map_sub_", "map_mul_", "map_div_"]
         .iter()
         .any(|p| sig.starts_with(p));
@@ -213,8 +210,10 @@ pub fn affected(axis: FlavorAxis, sig: &str) -> bool {
         FlavorAxis::FullComputation => {
             is_arith_map && (!sig.starts_with("map_div_") || sig.contains("f64"))
         }
-        FlavorAxis::Unrolling => (is_arith_map || is_numeric_sel) && sig.contains("col_val")
-            || is_arith_map && sig.contains("col_col"),
+        FlavorAxis::Unrolling => {
+            (is_arith_map || is_numeric_sel) && sig.contains("col_val")
+                || is_arith_map && sig.contains("col_col")
+        }
         FlavorAxis::Default | FlavorAxis::All => true,
     }
 }
@@ -242,10 +241,8 @@ pub fn flavor_set_table(
             .collect()
     };
     let base_runs = run_fixed(baseline);
-    let alt_runs: Vec<(&str, Vec<Vec<InstanceReport>>)> = alternatives
-        .iter()
-        .map(|&a| (a, run_fixed(a)))
-        .collect();
+    let alt_runs: Vec<(&str, Vec<Vec<InstanceReport>>)> =
+        alternatives.iter().map(|&a| (a, run_fixed(a))).collect();
     let adaptive_runs: Vec<Vec<InstanceReport>> = queries
         .iter()
         .map(|&q| {
@@ -302,7 +299,10 @@ pub fn flavor_set_table(
     let mut factors: Vec<(String, f64)> = Vec::new();
     for (name, runs) in &alt_runs {
         let t = affected_ticks(runs);
-        factors.push((format!("Always {name}"), base_ticks as f64 / t.max(1) as f64));
+        factors.push((
+            format!("Always {name}"),
+            base_ticks as f64 / t.max(1) as f64,
+        ));
     }
     factors.push((
         "Micro Adaptive".into(),
@@ -322,9 +322,8 @@ pub fn flavor_set_table(
 /// Table 11: per-query improvement of Heuristics and Micro Adaptivity over
 /// the stock engine, plus the geometric mean.
 pub fn table11(runner: &Runner, queries: &[usize]) -> String {
-    let mut out = String::from(
-        "=== Table 11: TPC-H per query — heuristics vs Micro Adaptivity ===\n",
-    );
+    let mut out =
+        String::from("=== Table 11: TPC-H per query — heuristics vs Micro Adaptivity ===\n");
     out.push_str(&format!(
         "{:<6} {:>14} {:>12} {:>14}\n",
         "query", "base Mticks", "Heuristics", "MicroAdaptive"
@@ -418,10 +417,8 @@ pub fn fig11(runner: &Runner) -> String {
         ),
     ];
     for (title, q, axis, flavors, pick) in cases {
-        let mut configs: Vec<(&str, ExecConfig)> = flavors
-            .iter()
-            .map(|&f| (f, ExecConfig::fixed(f)))
-            .collect();
+        let mut configs: Vec<(&str, ExecConfig)> =
+            flavors.iter().map(|&f| (f, ExecConfig::fixed(f))).collect();
         configs.push(("micro adaptive", ExecConfig::adaptive(axis)));
         let series = aph_for_configs(runner, q, &configs, pick);
         out.push_str(&render_aph_series(title, &series, 24));
@@ -462,7 +459,10 @@ mod tests {
         assert!(affected(FlavorAxis::Fission, "sel_bloomfilter"));
         assert!(!affected(FlavorAxis::Fission, "sel_lt_i32_col_val"));
         assert!(affected(FlavorAxis::FullComputation, "map_mul_i64_col_col"));
-        assert!(!affected(FlavorAxis::FullComputation, "map_div_i64_col_col"));
+        assert!(!affected(
+            FlavorAxis::FullComputation,
+            "map_div_i64_col_col"
+        ));
         assert!(affected(FlavorAxis::FullComputation, "map_div_f64_col_col"));
         assert!(affected(FlavorAxis::Compiler, "mergejoin_i64_col_i64_col"));
         assert!(!affected(FlavorAxis::Compiler, "map_cast_i32_i64"));

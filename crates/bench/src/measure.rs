@@ -26,7 +26,9 @@ pub fn ticks_per_tuple(tuples: u64, reps: usize, mut f: impl FnMut()) -> f64 {
 /// below the returned threshold — uniform data for selection sweeps.
 pub fn selective_data(n: usize, selectivity: f64, seed: u64) -> (Vec<i32>, i32) {
     let mut rng = SplitMix64::new(seed);
-    let data: Vec<i32> = (0..n).map(|_| (rng.next_u64() % 1_000_000) as i32).collect();
+    let data: Vec<i32> = (0..n)
+        .map(|_| (rng.next_u64() % 1_000_000) as i32)
+        .collect();
     let threshold = (1_000_000.0 * selectivity) as i32;
     (data, threshold)
 }
@@ -35,9 +37,7 @@ pub fn selective_data(n: usize, selectivity: f64, seed: u64) -> (Vec<i32>, i32) 
 /// positions.
 pub fn sel_vector(n: usize, density: f64, seed: u64) -> Vec<u32> {
     let mut rng = SplitMix64::new(seed);
-    (0..n as u32)
-        .filter(|_| rng.next_f64() < density)
-        .collect()
+    (0..n as u32).filter(|_| rng.next_f64() < density).collect()
 }
 
 #[cfg(test)]

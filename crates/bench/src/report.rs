@@ -146,7 +146,10 @@ mod tests {
             "Always Branching",
             57_000_000_000,
             8.58,
-            &[("No-Branching".into(), 1.12), ("Micro Adaptive".into(), 1.22)],
+            &[
+                ("No-Branching".into(), 1.12),
+                ("Micro Adaptive".into(), 1.22),
+            ],
         );
         assert!(txt.contains("57.0 bn"));
         let small = render_factor_table("T", "base", 5_000_000, 1.0, &[]);

@@ -103,7 +103,10 @@ mod tests {
             FlavorInfo::new("loop", FlavorSource::Default),
             sum_loop as SumFn,
         );
-        s.register(FlavorInfo::new("iter", FlavorSource::CompilerStyle), sum_iter);
+        s.register(
+            FlavorInfo::new("iter", FlavorSource::CompilerStyle),
+            sum_iter,
+        );
         s
     }
 

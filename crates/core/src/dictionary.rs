@@ -15,12 +15,20 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::flavor::FlavorSet;
+use crate::flavor::{FlavorInfo, FlavorSet};
+
+/// One dictionary entry: the type-erased flavor set plus an untyped copy
+/// of its metadata, so reporting/introspection code can enumerate flavors
+/// without knowing the concrete function type `F`.
+struct Entry {
+    set: Box<dyn Any + Send + Sync>,
+    infos: Vec<FlavorInfo>,
+}
 
 /// Maps primitive signature strings to flavor sets.
 #[derive(Default)]
 pub struct PrimitiveDictionary {
-    entries: HashMap<String, Box<dyn Any + Send + Sync>>,
+    entries: HashMap<String, Entry>,
 }
 
 impl PrimitiveDictionary {
@@ -37,8 +45,14 @@ impl PrimitiveDictionary {
     where
         F: Copy + Send + Sync + 'static,
     {
-        self.entries
-            .insert(set.signature().to_string(), Box::new(Arc::new(set)));
+        let infos = set.infos().to_vec();
+        self.entries.insert(
+            set.signature().to_string(),
+            Entry {
+                set: Box::new(Arc::new(set)),
+                infos,
+            },
+        );
     }
 
     /// Looks up the flavor set for `signature` with concrete function type
@@ -52,7 +66,8 @@ impl PrimitiveDictionary {
         F: Copy + Send + Sync + 'static,
     {
         self.entries.get(signature).map(|e| {
-            e.downcast_ref::<Arc<FlavorSet<F>>>()
+            e.set
+                .downcast_ref::<Arc<FlavorSet<F>>>()
                 .unwrap_or_else(|| {
                     panic!("primitive {signature} registered with a different function type")
                 })
@@ -63,6 +78,18 @@ impl PrimitiveDictionary {
     /// Whether a signature is registered.
     pub fn contains(&self, signature: &str) -> bool {
         self.entries.contains_key(signature)
+    }
+
+    /// Flavor metadata for `signature`, without needing the concrete
+    /// function type. Returns `None` for unknown signatures.
+    pub fn flavor_infos(&self, signature: &str) -> Option<&[FlavorInfo]> {
+        self.entries.get(signature).map(|e| e.infos.as_slice())
+    }
+
+    /// Flavor names for `signature`, index-aligned with the set's flavors.
+    pub fn flavor_names(&self, signature: &str) -> Option<Vec<&'static str>> {
+        self.flavor_infos(signature)
+            .map(|infos| infos.iter().map(|i| i.name).collect())
     }
 
     /// All registered signatures (unordered).
@@ -137,10 +164,34 @@ mod tests {
             count_lt,
         );
         d.register(set.clone());
-        set.register(FlavorInfo::new("nobranch", FlavorSource::Algorithmic), count_lt);
+        set.register(
+            FlavorInfo::new("nobranch", FlavorSource::Algorithmic),
+            count_lt,
+        );
         d.register(set);
         assert_eq!(d.lookup::<SelFn>("sel_lt_i32").unwrap().len(), 2);
         assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn flavor_metadata_is_accessible_untyped() {
+        let mut d = PrimitiveDictionary::new();
+        let mut set = FlavorSet::<SelFn>::new(
+            "sel_lt_i32",
+            FlavorInfo::new("branching", FlavorSource::Default),
+            count_lt,
+        );
+        set.register(
+            FlavorInfo::new("no_branching", FlavorSource::Algorithmic),
+            count_lt,
+        );
+        d.register(set);
+        assert_eq!(
+            d.flavor_names("sel_lt_i32").unwrap(),
+            vec!["branching", "no_branching"]
+        );
+        assert_eq!(d.flavor_infos("sel_lt_i32").unwrap().len(), 2);
+        assert!(d.flavor_names("missing").is_none());
     }
 
     #[test]

@@ -76,11 +76,7 @@ impl<F: Copy> FlavorSet<F> {
     ///
     /// # Panics
     /// If the lists are empty or of different lengths.
-    pub fn from_parts(
-        signature: impl Into<String>,
-        infos: Vec<FlavorInfo>,
-        funcs: Vec<F>,
-    ) -> Self {
+    pub fn from_parts(signature: impl Into<String>, infos: Vec<FlavorInfo>, funcs: Vec<F>) -> Self {
         assert!(!infos.is_empty(), "a flavor set needs at least one flavor");
         assert_eq!(infos.len(), funcs.len());
         FlavorSet {
@@ -207,7 +203,10 @@ mod tests {
             FlavorInfo::new("mul", FlavorSource::Default),
             double,
         );
-        s.register(FlavorInfo::new("shift", FlavorSource::Algorithmic), double_shift);
+        s.register(
+            FlavorInfo::new("shift", FlavorSource::Algorithmic),
+            double_shift,
+        );
         assert_eq!(s.len(), 2);
         assert_eq!(s.index_of("shift"), Some(1));
         assert_eq!((s.flavor(1))(21), 42);
@@ -238,8 +237,14 @@ mod tests {
             FlavorInfo::new("branching", FlavorSource::Default),
             double,
         );
-        s.register(FlavorInfo::new("no_branching", FlavorSource::Algorithmic), double_shift);
-        s.register(FlavorInfo::alias("gcc", FlavorSource::CompilerStyle), double);
+        s.register(
+            FlavorInfo::new("no_branching", FlavorSource::Algorithmic),
+            double_shift,
+        );
+        s.register(
+            FlavorInfo::alias("gcc", FlavorSource::CompilerStyle),
+            double,
+        );
         let c = s.canonical_subset();
         assert_eq!(c.len(), 2);
         assert!(c.index_of("gcc").is_none());

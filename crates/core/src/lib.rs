@@ -36,7 +36,7 @@ pub mod trace;
 
 pub use adaptive::AdaptiveDispatch;
 pub use aph::{Aph, AphBucket};
-pub use cycles::ticks_now;
+pub use cycles::{instant_ticks, ticks_now};
 pub use dictionary::PrimitiveDictionary;
 pub use flavor::{FlavorInfo, FlavorSet, FlavorSource};
 pub use policy::{Policy, PolicyKind, VwGreedyParams};

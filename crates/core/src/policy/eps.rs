@@ -221,8 +221,7 @@ mod tests {
     fn eps_decreasing_converges() {
         let mut p = EpsDecreasing::new(3, 5.0, SplitMix64::new(11));
         let chosen = drive(&mut p, 20_000, &[4, 7, 2]);
-        let tail_best =
-            chosen[10_000..].iter().filter(|&&f| f == 2).count() as f64 / 10_000.0;
+        let tail_best = chosen[10_000..].iter().filter(|&&f| f == 2).count() as f64 / 10_000.0;
         assert!(tail_best > 0.97, "exploration should die out: {tail_best}");
     }
 

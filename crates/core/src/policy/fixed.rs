@@ -16,7 +16,10 @@ pub struct FixedPolicy {
 impl FixedPolicy {
     /// Creates a fixed policy. `index` must be a valid flavor index.
     pub fn new(arms: usize, index: usize) -> Self {
-        assert!(index < arms, "fixed flavor {index} out of range ({arms} arms)");
+        assert!(
+            index < arms,
+            "fixed flavor {index} out of range ({arms} arms)"
+        );
         FixedPolicy { arms, index }
     }
 }

@@ -87,12 +87,8 @@ impl PolicyKind {
             PolicyKind::Fixed(i) => Box::new(FixedPolicy::new(arms, i)),
             PolicyKind::VwGreedy(p) => Box::new(VwGreedy::new(arms, p, rng)),
             PolicyKind::EpsGreedy { eps } => Box::new(EpsGreedy::new(arms, eps, rng)),
-            PolicyKind::EpsFirst { explore_calls } => {
-                Box::new(EpsFirst::new(arms, explore_calls))
-            }
-            PolicyKind::EpsDecreasing { eps0 } => {
-                Box::new(EpsDecreasing::new(arms, eps0, rng))
-            }
+            PolicyKind::EpsFirst { explore_calls } => Box::new(EpsFirst::new(arms, explore_calls)),
+            PolicyKind::EpsDecreasing { eps0 } => Box::new(EpsDecreasing::new(arms, eps0, rng)),
             PolicyKind::Ucb1 => Box::new(Ucb1::new(arms)),
         }
     }

@@ -100,9 +100,11 @@ mod tests {
             chosen.push(f);
             p.observe(f, 1000, costs[f] * 1000);
         }
-        let tail_best =
-            chosen[10_000..].iter().filter(|&&f| f == 1).count() as f64 / 10_000.0;
-        assert!(tail_best > 0.9, "UCB1 should exploit the best arm: {tail_best}");
+        let tail_best = chosen[10_000..].iter().filter(|&&f| f == 1).count() as f64 / 10_000.0;
+        assert!(
+            tail_best > 0.9,
+            "UCB1 should exploit the best arm: {tail_best}"
+        );
     }
 
     #[test]

@@ -174,8 +174,7 @@ impl Policy for VwGreedy {
             // flavor that ran it.
             let dt = self.tot_tuples - self.prev_tuples;
             if dt > 0 {
-                self.avg_cost[self.current] =
-                    (self.tot_ticks - self.prev_ticks) as f64 / dt as f64;
+                self.avg_cost[self.current] = (self.tot_ticks - self.prev_ticks) as f64 / dt as f64;
             }
             let phase_len = if self.sweep_next < self.k {
                 // Initial sweep: test every flavor once, EXPLORE_LENGTH each.
@@ -284,8 +283,14 @@ mod tests {
         let late = &chosen[16_384..];
         let early_f0 = early.iter().filter(|&&f| f == 0).count() as f64 / early.len() as f64;
         let late_f1 = late.iter().filter(|&&f| f == 1).count() as f64 / late.len() as f64;
-        assert!(early_f0 > 0.85, "early phase should prefer flavor 0: {early_f0}");
-        assert!(late_f1 > 0.85, "late phase should prefer flavor 1: {late_f1}");
+        assert!(
+            early_f0 > 0.85,
+            "early phase should prefer flavor 0: {early_f0}"
+        );
+        assert!(
+            late_f1 > 0.85,
+            "late phase should prefer flavor 1: {late_f1}"
+        );
     }
 
     #[test]
@@ -322,7 +327,10 @@ mod tests {
         // ~ EXPLORE_LENGTH * (2/3) per EXPLORE_PERIOD of calls.
         assert!(explored > 0, "exploration must continue in steady state");
         let frac = explored as f64 / tail.len() as f64;
-        assert!(frac < 0.15, "exploration overhead should be bounded: {frac}");
+        assert!(
+            frac < 0.15,
+            "exploration overhead should be bounded: {frac}"
+        );
     }
 
     #[test]

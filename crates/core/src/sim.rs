@@ -60,11 +60,7 @@ pub fn simulate_instance(trace: &InstanceTrace, policy: &mut dyn Policy) -> SimR
 /// Replays a policy *kind* over a whole workload of instance traces, building
 /// a fresh policy per instance (as the real system keeps independent state
 /// per primitive instance). Seeds are derived per instance for determinism.
-pub fn simulate_workload(
-    traces: &[InstanceTrace],
-    kind: PolicyKind,
-    seed: u64,
-) -> Vec<SimResult> {
+pub fn simulate_workload(traces: &[InstanceTrace], kind: PolicyKind, seed: u64) -> Vec<SimResult> {
     traces
         .iter()
         .enumerate()

@@ -163,7 +163,9 @@ impl QueryContext {
 
     fn fresh_seed(&self) -> u64 {
         let mut s = self.next_seed.borrow_mut();
-        *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *s
     }
 

@@ -260,11 +260,7 @@ fn compile_node(
                 (DataType::I64, DataType::F64) => {
                     CastInst::I64F64(ctx.instance(&sig, lbl, HeurKind::None)?)
                 }
-                _ => {
-                    return Err(ExecError::Plan(format!(
-                        "unsupported cast {from} -> {to}"
-                    )))
-                }
+                _ => return Err(ExecError::Plan(format!("unsupported cast {from} -> {to}"))),
             };
             nodes.push(Node::Cast { inst, child });
             Ok((nodes.len() - 1, *to))
@@ -459,8 +455,7 @@ impl CompiledPred {
                                     v.data_type()
                                 )));
                             }
-                            let sig =
-                                format!("sel_{}_{}_col_val", op.sig_name(), cty.sig_name());
+                            let sig = format!("sel_{}_{}_col_val", op.sig_name(), cty.sig_name());
                             let lbl = format!("{label}/{sig}");
                             match v {
                                 Value::I16(c) => PredNode::CvI16 {
@@ -661,10 +656,7 @@ impl CompiledPred {
             PredNode::And(ps) => {
                 let mut cur: Option<SelVec> = None;
                 for p in ps {
-                    let s = p.apply(
-                        chunk,
-                        cur.as_ref().map(SelVec::as_slice).or(sel_in),
-                    );
+                    let s = p.apply(chunk, cur.as_ref().map(SelVec::as_slice).or(sel_in));
                     if s.is_empty() {
                         return s;
                     }

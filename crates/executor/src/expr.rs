@@ -274,10 +274,7 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let e = Expr::mul(
-            Expr::col(0),
-            Expr::sub(Expr::i64(100), Expr::col(1)),
-        );
+        let e = Expr::mul(Expr::col(0), Expr::sub(Expr::i64(100), Expr::col(1)));
         match e {
             Expr::Arith {
                 op: ArithKind::Mul,
@@ -285,7 +282,13 @@ mod tests {
                 rhs,
             } => {
                 assert_eq!(*lhs, Expr::Col(0));
-                assert!(matches!(*rhs, Expr::Arith { op: ArithKind::Sub, .. }));
+                assert!(matches!(
+                    *rhs,
+                    Expr::Arith {
+                        op: ArithKind::Sub,
+                        ..
+                    }
+                ));
             }
             _ => panic!("wrong shape"),
         }
@@ -297,8 +300,20 @@ mod tests {
         match p {
             Pred::And(v) => {
                 assert_eq!(v.len(), 2);
-                assert!(matches!(v[0], Pred::Cmp { op: CmpKind::Ge, .. }));
-                assert!(matches!(v[1], Pred::Cmp { op: CmpKind::Le, .. }));
+                assert!(matches!(
+                    v[0],
+                    Pred::Cmp {
+                        op: CmpKind::Ge,
+                        ..
+                    }
+                ));
+                assert!(matches!(
+                    v[1],
+                    Pred::Cmp {
+                        op: CmpKind::Le,
+                        ..
+                    }
+                ));
             }
             _ => panic!("wrong shape"),
         }

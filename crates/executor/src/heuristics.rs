@@ -125,7 +125,9 @@ pub mod tuned {
 
     /// Fission for bloom filters beyond 1 MB (machine 1's cross-over,
     /// Fig. 6).
-    pub const FISSION: HeuristicRule = HeuristicRule::Fission { bytes: (1 << 20) as f64 };
+    pub const FISSION: HeuristicRule = HeuristicRule::Fission {
+        bytes: (1 << 20) as f64,
+    };
 }
 
 #[cfg(test)]

@@ -304,7 +304,11 @@ impl HashAggregate {
             let is_str = in_types[c] == DataType::Str;
             let step = match (k == 0, is_str) {
                 (true, false) => HashStep::HashI64(
-                    ctx.instance("map_hash_i64_col", format!("{label}/map_hash"), HeurKind::None)?,
+                    ctx.instance(
+                        "map_hash_i64_col",
+                        format!("{label}/map_hash"),
+                        HeurKind::None,
+                    )?,
                     c,
                 ),
                 (false, false) => HashStep::RehashI64(
@@ -731,12 +735,8 @@ impl Operator for StreamAggregate {
                     }
                     Acc0::SumF64 { acc, .. } => Vector::F64(vec![*acc]),
                     Acc0::Count { acc } => Vector::I64(vec![*acc]),
-                    Acc0::MinI64 { acc, .. } | Acc0::MaxI64 { acc, .. } => {
-                        Vector::I64(vec![*acc])
-                    }
-                    Acc0::MinF64 { acc, .. } | Acc0::MaxF64 { acc, .. } => {
-                        Vector::F64(vec![*acc])
-                    }
+                    Acc0::MinI64 { acc, .. } | Acc0::MaxI64 { acc, .. } => Vector::I64(vec![*acc]),
+                    Acc0::MinF64 { acc, .. } | Acc0::MaxF64 { acc, .. } => Vector::F64(vec![*acc]),
                 })
             })
             .collect();

@@ -165,7 +165,11 @@ impl HashJoin {
         for (k, &c) in probe_keys.iter().enumerate() {
             probe_hash_steps.push(if k == 0 {
                 ProbeHashStep::First(
-                    ctx.instance("map_hash_i64_col", format!("{label}/map_hash"), HeurKind::None)?,
+                    ctx.instance(
+                        "map_hash_i64_col",
+                        format!("{label}/map_hash"),
+                        HeurKind::None,
+                    )?,
                     c,
                 )
             } else {
@@ -403,7 +407,9 @@ impl HashJoin {
                         .copied()
                         .filter(|&i| matched[i as usize] == want)
                         .collect(),
-                    None => (0..n as u32).filter(|&i| matched[i as usize] == want).collect(),
+                    None => (0..n as u32)
+                        .filter(|&i| matched[i as usize] == want)
+                        .collect(),
                 };
                 if positions.is_empty() {
                     return None;
@@ -527,7 +533,11 @@ mod tests {
             s.push_str(&format!("n{i}"));
         }
         let t = Arc::new(
-            Table::new("d", vec![("k".into(), k.finish()), ("s".into(), s.finish())]).unwrap(),
+            Table::new(
+                "d",
+                vec![("k".into(), k.finish()), ("s".into(), s.finish())],
+            )
+            .unwrap(),
         );
         Box::new(Scan::new(t, &["k", "s"], 128).unwrap())
     }
@@ -541,7 +551,11 @@ mod tests {
             v.push_i64(i as i64);
         }
         let t = Arc::new(
-            Table::new("f", vec![("fk".into(), fk.finish()), ("v".into(), v.finish())]).unwrap(),
+            Table::new(
+                "f",
+                vec![("fk".into(), fk.finish()), ("v".into(), v.finish())],
+            )
+            .unwrap(),
         );
         Box::new(Scan::new(t, &["fk", "v"], 128).unwrap())
     }
@@ -596,7 +610,11 @@ mod tests {
         let sum = |chunks: &[DataChunk]| -> i64 {
             chunks
                 .iter()
-                .flat_map(|c| c.live_positions().into_iter().map(move |p| c.column(1).as_i64()[p]))
+                .flat_map(|c| {
+                    c.live_positions()
+                        .into_iter()
+                        .map(move |p| c.column(1).as_i64()[p])
+                })
                 .sum()
         };
         assert_eq!(sum(&plain), sum(&bloom));
@@ -640,7 +658,11 @@ mod tests {
             s.push_str(name);
         }
         let t = Arc::new(
-            Table::new("d", vec![("k".into(), k.finish()), ("s".into(), s.finish())]).unwrap(),
+            Table::new(
+                "d",
+                vec![("k".into(), k.finish()), ("s".into(), s.finish())],
+            )
+            .unwrap(),
         );
         let build: BoxOp = Box::new(Scan::new(t, &["k", "s"], 128).unwrap());
         let mut j = HashJoin::new(
@@ -672,7 +694,11 @@ mod tests {
             cnt.push_i64(i as i64 * 100);
         }
         let t = Arc::new(
-            Table::new("b", vec![("k".into(), k.finish()), ("c".into(), cnt.finish())]).unwrap(),
+            Table::new(
+                "b",
+                vec![("k".into(), k.finish()), ("c".into(), cnt.finish())],
+            )
+            .unwrap(),
         );
         let build: BoxOp = Box::new(Scan::new(t, &["k", "c"], 128).unwrap());
         let mut j = HashJoin::new(
@@ -709,7 +735,11 @@ mod tests {
         k.push_i32(0);
         s.push_str("only");
         let t = Arc::new(
-            Table::new("d", vec![("k".into(), k.finish()), ("s".into(), s.finish())]).unwrap(),
+            Table::new(
+                "d",
+                vec![("k".into(), k.finish()), ("s".into(), s.finish())],
+            )
+            .unwrap(),
         );
         let build: BoxOp = Box::new(Scan::new(t, &["k", "s"], 128).unwrap());
         let mut j = HashJoin::new(

@@ -115,10 +115,7 @@ impl MergeJoin {
             for &p in &positions {
                 let k = scratch[p];
                 if let Some(prev) = last {
-                    debug_assert!(
-                        prev < k,
-                        "merge join left keys must be sorted and unique"
-                    );
+                    debug_assert!(prev < k, "merge join left keys must be sorted and unique");
                 }
                 last = Some(k);
                 self.lkeys.push(k);
@@ -201,7 +198,11 @@ mod tests {
             p.push_i64((i * 20) as i64);
         }
         let t = Arc::new(
-            Table::new("l", vec![("k".into(), k.finish()), ("p".into(), p.finish())]).unwrap(),
+            Table::new(
+                "l",
+                vec![("k".into(), k.finish()), ("p".into(), p.finish())],
+            )
+            .unwrap(),
         );
         Box::new(Scan::new(t, &["k", "p"], 64).unwrap())
     }
@@ -215,7 +216,11 @@ mod tests {
             v.push_i32(i as i32);
         }
         let t = Arc::new(
-            Table::new("r", vec![("k".into(), k.finish()), ("v".into(), v.finish())]).unwrap(),
+            Table::new(
+                "r",
+                vec![("k".into(), k.finish()), ("v".into(), v.finish())],
+            )
+            .unwrap(),
         );
         Box::new(Scan::new(t, &["k", "v"], 64).unwrap())
     }

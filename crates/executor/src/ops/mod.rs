@@ -67,7 +67,10 @@ enum StoreCol {
     I32(Vec<i32>),
     I64(Vec<i64>),
     F64(Vec<f64>),
-    Str { bytes: Vec<u8>, views: Vec<(u32, u32)> },
+    Str {
+        bytes: Vec<u8>,
+        views: Vec<(u32, u32)>,
+    },
 }
 
 impl RowStore {

@@ -109,7 +109,11 @@ mod tests {
             b.push_i64((i * 2) as i64);
         }
         let t = Arc::new(
-            Table::new("t", vec![("a".into(), a.finish()), ("b".into(), b.finish())]).unwrap(),
+            Table::new(
+                "t",
+                vec![("a".into(), a.finish()), ("b".into(), b.finish())],
+            )
+            .unwrap(),
         );
         Box::new(Scan::new(t, &["a", "b"], 128).unwrap())
     }

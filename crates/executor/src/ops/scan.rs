@@ -21,11 +21,7 @@ pub struct Scan {
 
 impl Scan {
     /// Builds a scan of `columns` (by name, output order as given).
-    pub fn new(
-        table: Arc<Table>,
-        columns: &[&str],
-        vector_size: usize,
-    ) -> Result<Self, ExecError> {
+    pub fn new(table: Arc<Table>, columns: &[&str], vector_size: usize) -> Result<Self, ExecError> {
         let mut col_idx = Vec::with_capacity(columns.len());
         let mut types = Vec::with_capacity(columns.len());
         for name in columns {
@@ -117,16 +113,8 @@ mod tests {
 
     #[test]
     fn empty_table_yields_no_chunks() {
-        let t = Arc::new(
-            Table::new(
-                "e",
-                vec![(
-                    "a".into(),
-                    Column::I32(Arc::new(vec![])),
-                )],
-            )
-            .unwrap(),
-        );
+        let t =
+            Arc::new(Table::new("e", vec![("a".into(), Column::I32(Arc::new(vec![])))]).unwrap());
         let mut scan = Scan::new(t, &["a"], 16).unwrap();
         assert!(scan.next().unwrap().is_none());
     }

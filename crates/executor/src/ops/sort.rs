@@ -165,7 +165,9 @@ impl Operator for Limit {
             .map(|p| p as u32)
             .collect();
         self.remaining = 0;
-        Ok(Some(chunk.with_sel(Some(ma_vector::SelVec::from_positions(keep)))))
+        Ok(Some(
+            chunk.with_sel(Some(ma_vector::SelVec::from_positions(keep))),
+        ))
     }
 
     fn out_types(&self) -> &[DataType] {
@@ -202,15 +204,19 @@ mod tests {
             s.push_str(names[i]);
         }
         let t = Arc::new(
-            Table::new("t", vec![("v".into(), v.finish()), ("s".into(), s.finish())]).unwrap(),
+            Table::new(
+                "t",
+                vec![("v".into(), v.finish()), ("s".into(), s.finish())],
+            )
+            .unwrap(),
         );
         Box::new(Scan::new(t, &["v", "s"], 4).unwrap())
     }
 
     #[test]
     fn sorts_ascending_with_tiebreak() {
-        let mut sort = Sort::new(scan(), vec![SortKey::asc(0), SortKey::asc(1)], None, 1024)
-            .unwrap();
+        let mut sort =
+            Sort::new(scan(), vec![SortKey::asc(0), SortKey::asc(1)], None, 1024).unwrap();
         let chunks = collect(&mut sort).unwrap();
         assert_eq!(total_rows(&chunks), 6);
         let ch = &chunks[0];

@@ -196,7 +196,10 @@ mod tests {
     fn crossovers_differ_between_machines() {
         let (l1, _) = branching_crossovers(&MACHINE1);
         let (l3, _) = branching_crossovers(&MACHINE3);
-        assert!((l1 - l3).abs() > 0.005, "crossovers should move: {l1} vs {l3}");
+        assert!(
+            (l1 - l3).abs() > 0.005,
+            "crossovers should move: {l1} vs {l3}"
+        );
     }
 
     #[test]
@@ -205,7 +208,11 @@ mod tests {
             let small = fission_speedup(m, 4 << 10);
             let large = fission_speedup(m, 128 << 20);
             assert!(small < 1.0, "{}: small-filter speedup {small}", m.name);
-            assert!(small > 0.6, "{}: not catastrophically slower {small}", m.name);
+            assert!(
+                small > 0.6,
+                "{}: not catastrophically slower {small}",
+                m.name
+            );
             assert!(large > 1.5, "{}: large-filter speedup {large}", m.name);
         }
     }

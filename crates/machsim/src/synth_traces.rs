@@ -87,12 +87,7 @@ pub fn stationary_trace(
 
 /// A trace with one cross-over at `switch_at` (fraction of the query):
 /// flavor 0 best before, flavor 1 best after — the Fig. 2 / Q12 pattern.
-pub fn switching_trace(
-    calls: usize,
-    tuples: u64,
-    switch_at: f64,
-    seed: u64,
-) -> InstanceTrace {
+pub fn switching_trace(calls: usize, tuples: u64, switch_at: f64, seed: u64) -> InstanceTrace {
     let mut rng = SplitMix64::new(seed);
     let mut costs: Vec<Vec<u64>> = (0..2).map(|_| Vec::with_capacity(calls)).collect();
     let sw = (calls as f64 * switch_at) as usize;

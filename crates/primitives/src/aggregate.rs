@@ -286,7 +286,10 @@ pub fn aggr0_max_i64(col: &[i64], sel: Option<&[u32]>) -> i64 {
 /// Ungrouped f64 min (identity `+∞`).
 pub fn aggr0_min_f64(col: &[f64], sel: Option<&[u32]>) -> f64 {
     match sel {
-        Some(s) => s.iter().map(|&i| col[i as usize]).fold(f64::INFINITY, f64::min),
+        Some(s) => s
+            .iter()
+            .map(|&i| col[i as usize])
+            .fold(f64::INFINITY, f64::min),
         None => col.iter().copied().fold(f64::INFINITY, f64::min),
     }
 }

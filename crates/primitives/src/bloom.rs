@@ -77,7 +77,8 @@ impl BloomFilter {
 
 /// Bloom-filter selection primitive: emits positions whose hash may be in
 /// the filter.
-pub type SelBloom = fn(res: &mut [u32], bloom: &BloomFilter, hashes: &[u64], sel: Option<&[u32]>) -> usize;
+pub type SelBloom =
+    fn(res: &mut [u32], bloom: &BloomFilter, hashes: &[u64], sel: Option<&[u32]>) -> usize;
 
 /// Fused flavor (paper Listing 5): membership check and selection-vector
 /// construction in one loop with a loop-carried dependency.

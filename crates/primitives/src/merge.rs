@@ -149,12 +149,7 @@ mod tests {
         ("clang", mergejoin_i64_clang),
     ];
 
-    fn run(
-        f: MergeJoinFn,
-        lkeys: &[i64],
-        rkeys: &[i64],
-        sel: Option<&[u32]>,
-    ) -> Vec<(u32, u32)> {
+    fn run(f: MergeJoinFn, lkeys: &[i64], rkeys: &[i64], sel: Option<&[u32]>) -> Vec<(u32, u32)> {
         let cap = sel.map_or(rkeys.len(), <[u32]>::len);
         let mut rpos = vec![0u32; cap];
         let mut lidx = vec![0u32; cap];

@@ -18,7 +18,9 @@
 use ma_core::{FlavorInfo, FlavorSet, FlavorSource, PrimitiveDictionary};
 
 use crate::aggregate::*;
-use crate::bloom::{sel_bloomfilter_fission, sel_bloomfilter_fused, sel_bloomfilter_prefetch, SelBloom};
+use crate::bloom::{
+    sel_bloomfilter_fission, sel_bloomfilter_fused, sel_bloomfilter_prefetch, SelBloom,
+};
 use crate::group_table::*;
 use crate::hashing::*;
 use crate::like::{sel_like, sel_not_like, SelLike};
@@ -152,10 +154,50 @@ pub fn build_dictionary() -> PrimitiveDictionary {
     let mut d = PrimitiveDictionary::new();
 
     // --- selection: 6 comparison ops × {i16,i32,i64,f64} × {val,col} -------
-    reg_sel!(d, i16, "i16", (Lt, "lt"), (Le, "le"), (Gt, "gt"), (Ge, "ge"), (EqOp, "eq"), (NeOp, "ne"));
-    reg_sel!(d, i32, "i32", (Lt, "lt"), (Le, "le"), (Gt, "gt"), (Ge, "ge"), (EqOp, "eq"), (NeOp, "ne"));
-    reg_sel!(d, i64, "i64", (Lt, "lt"), (Le, "le"), (Gt, "gt"), (Ge, "ge"), (EqOp, "eq"), (NeOp, "ne"));
-    reg_sel!(d, f64, "f64", (Lt, "lt"), (Le, "le"), (Gt, "gt"), (Ge, "ge"), (EqOp, "eq"), (NeOp, "ne"));
+    reg_sel!(
+        d,
+        i16,
+        "i16",
+        (Lt, "lt"),
+        (Le, "le"),
+        (Gt, "gt"),
+        (Ge, "ge"),
+        (EqOp, "eq"),
+        (NeOp, "ne")
+    );
+    reg_sel!(
+        d,
+        i32,
+        "i32",
+        (Lt, "lt"),
+        (Le, "le"),
+        (Gt, "gt"),
+        (Ge, "ge"),
+        (EqOp, "eq"),
+        (NeOp, "ne")
+    );
+    reg_sel!(
+        d,
+        i64,
+        "i64",
+        (Lt, "lt"),
+        (Le, "le"),
+        (Gt, "gt"),
+        (Ge, "ge"),
+        (EqOp, "eq"),
+        (NeOp, "ne")
+    );
+    reg_sel!(
+        d,
+        f64,
+        "f64",
+        (Lt, "lt"),
+        (Le, "le"),
+        (Gt, "gt"),
+        (Ge, "ge"),
+        (EqOp, "eq"),
+        (NeOp, "ne")
+    );
 
     // --- string selections --------------------------------------------------
     d.register(FlavorSet::from_parts(
@@ -186,8 +228,24 @@ pub fn build_dictionary() -> PrimitiveDictionary {
     ));
 
     // --- map arithmetic: 4 ops × {i64,f64} × {col,val} ----------------------
-    reg_map!(d, i64, "i64", (Add, "add"), (Sub, "sub"), (Mul, "mul"), (Div, "div"));
-    reg_map!(d, f64, "f64", (Add, "add"), (Sub, "sub"), (Mul, "mul"), (Div, "div"));
+    reg_map!(
+        d,
+        i64,
+        "i64",
+        (Add, "add"),
+        (Sub, "sub"),
+        (Mul, "mul"),
+        (Div, "div")
+    );
+    reg_map!(
+        d,
+        f64,
+        "f64",
+        (Add, "add"),
+        (Sub, "sub"),
+        (Mul, "mul"),
+        (Div, "div")
+    );
     // i16/i32 multiplication exist for the Table 4 / Fig. 8 micro-benchmarks
     // (data-type axis of the full-computation experiment).
     reg_map!(d, i16, "i16", (Mul, "mul"), (Add, "add"));
@@ -458,7 +516,15 @@ mod tests {
     fn selection_flavor_sets_have_all_axes() {
         let d = build_dictionary();
         let s = d.lookup::<SelColVal<i32>>("sel_lt_i32_col_val").unwrap();
-        for name in ["branching", "no_branching", "gcc", "icc", "clang", "unroll8", "no_unroll"] {
+        for name in [
+            "branching",
+            "no_branching",
+            "gcc",
+            "icc",
+            "clang",
+            "unroll8",
+            "no_unroll",
+        ] {
             assert!(s.index_of(name).is_some(), "missing flavor {name}");
         }
         assert_eq!(s.info(0).name, "branching", "default must be branching");

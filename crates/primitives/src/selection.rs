@@ -537,10 +537,7 @@ mod tests {
     fn all_comparison_ops() {
         let col = [3i32, 1, 4, 1, 5];
         let mut res = [0u32; 5];
-        assert_eq!(
-            sel_col_val_branching::<i32, Le>(&mut res, &col, 3, None),
-            3
-        );
+        assert_eq!(sel_col_val_branching::<i32, Le>(&mut res, &col, 3, None), 3);
         assert_eq!(sel_col_val_branching::<i32, Gt>(&mut res, &col, 3, None), 2);
         assert_eq!(sel_col_val_branching::<i32, Ge>(&mut res, &col, 3, None), 3);
         assert_eq!(

@@ -503,10 +503,18 @@ mod tests {
     #[test]
     fn orders_sorted_by_key_and_date_clustered() {
         let db = small();
-        let keys = db.orders.column("o_orderkey").unwrap().slice_vector(0, 3000);
+        let keys = db
+            .orders
+            .column("o_orderkey")
+            .unwrap()
+            .slice_vector(0, 3000);
         let keys = keys.as_i32();
         assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys sorted unique");
-        let dates_col = db.orders.column("o_orderdate").unwrap().slice_vector(0, 3000);
+        let dates_col = db
+            .orders
+            .column("o_orderdate")
+            .unwrap()
+            .slice_vector(0, 3000);
         let d = dates_col.as_i32();
         // Clustering: the first decile's mean date far below the last's.
         let head: f64 = d[..300].iter().map(|&x| x as f64).sum::<f64>() / 300.0;
@@ -533,7 +541,11 @@ mod tests {
         let tax = db.lineitem.column("l_tax").unwrap().slice_vector(0, n);
         assert!(tax.as_i64().iter().all(|&t| (0..=8).contains(&t)));
         let sd = db.lineitem.column("l_shipdate").unwrap().slice_vector(0, n);
-        let rd = db.lineitem.column("l_receiptdate").unwrap().slice_vector(0, n);
+        let rd = db
+            .lineitem
+            .column("l_receiptdate")
+            .unwrap()
+            .slice_vector(0, n);
         for (s, r) in sd.as_i32().iter().zip(rd.as_i32()) {
             assert!(r > s, "receipt after ship");
         }
@@ -598,7 +610,11 @@ mod tests {
         for s in sm.as_str_vec().iter() {
             assert!(SHIP_MODES.contains(&s), "bad shipmode {s}");
         }
-        let pr = db.orders.column("o_orderpriority").unwrap().slice_vector(0, 3000);
+        let pr = db
+            .orders
+            .column("o_orderpriority")
+            .unwrap()
+            .slice_vector(0, 3000);
         for p in pr.as_str_vec().iter() {
             assert!(PRIORITIES.contains(&p), "bad priority {p}");
         }

@@ -10,12 +10,61 @@ use ma_core::SplitMix64;
 
 /// The spec's P_NAME color vocabulary (55 words, 5 chosen per part).
 pub const COLORS: [&str; 55] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
-    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime",
-    "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
 ];
 
 /// TYPE_SYLLABLE_1 through _3 (spec 4.2.2.13).
@@ -45,7 +94,13 @@ pub const SHIP_INSTRUCT: [&str; 4] = [
 ];
 
 /// Market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// The 25 nations with their region keys (spec A-1).
 pub const NATIONS: [(&str, i32); 25] = [
@@ -81,10 +136,38 @@ pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE E
 
 /// Filler vocabulary for comments.
 const WORDS: [&str; 32] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "final", "ironic", "regular",
-    "express", "bold", "pending", "even", "silent", "unusual", "packages", "deposits", "accounts",
-    "instructions", "theodolites", "dependencies", "foxes", "pinto", "beans", "ideas", "platelets",
-    "requests", "realms", "courts", "epitaphs", "somas", "asymptotes", "dugouts",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "final",
+    "ironic",
+    "regular",
+    "express",
+    "bold",
+    "pending",
+    "even",
+    "silent",
+    "unusual",
+    "packages",
+    "deposits",
+    "accounts",
+    "instructions",
+    "theodolites",
+    "dependencies",
+    "foxes",
+    "pinto",
+    "beans",
+    "ideas",
+    "platelets",
+    "requests",
+    "realms",
+    "courts",
+    "epitaphs",
+    "somas",
+    "asymptotes",
+    "dugouts",
 ];
 
 /// Generates a comment of `words` random words, optionally injecting a

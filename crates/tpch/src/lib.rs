@@ -20,4 +20,3 @@ pub use dbgen::TpchData;
 pub use params::Params;
 pub use queries::run_query;
 pub use runner::{geometric_mean, QueryResult, Runner};
-

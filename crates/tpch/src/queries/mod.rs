@@ -106,10 +106,7 @@ pub(crate) fn one_plus(e: Expr) -> Expr {
 
 /// Percent column (`l_discount`/`l_tax`, stored 0–10) as an f64 fraction.
 pub(crate) fn pct_frac(col: usize) -> Expr {
-    Expr::mul(
-        Expr::cast(DataType::F64, Expr::col(col)),
-        Expr::f64(0.01),
-    )
+    Expr::mul(Expr::cast(DataType::F64, Expr::col(col)), Expr::f64(0.01))
 }
 
 /// `l_extendedprice * (1 - l_discount)` in f64 cents.

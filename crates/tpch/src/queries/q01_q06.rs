@@ -13,11 +13,7 @@ use crate::dbgen::TpchData;
 use crate::params::Params;
 
 /// Q1: pricing summary report.
-pub(crate) fn q01(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q01(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // [0 shipdate, 1 returnflag, 2 linestatus, 3 qty, 4 extprice, 5 disc, 6 tax]
     let li = scan(
         db,
@@ -104,11 +100,7 @@ pub(crate) fn q01(
 }
 
 /// Q2: minimum-cost supplier.
-pub(crate) fn q02(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q02(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // europe nations: nation [0 nk, 1 name, 2 rk] semi region(EUROPE)
     let region = scan(db, "region", &["r_regionkey", "r_name"], ctx)?;
     let region_sel = Select::new(region, &Pred::str_eq(1, p.q2_region), ctx, "Q2/sel_region")?;
@@ -174,7 +166,12 @@ pub(crate) fn q02(
         "Q2/join_supplier",
     )?;
     // parts: size = 15 AND type LIKE %BRASS
-    let part = scan(db, "part", &["p_partkey", "p_mfgr", "p_size", "p_type"], ctx)?;
+    let part = scan(
+        db,
+        "part",
+        &["p_partkey", "p_mfgr", "p_size", "p_type"],
+        ctx,
+    )?;
     let part_sel = Select::new(
         part,
         &Pred::And(vec![
@@ -280,11 +277,7 @@ pub(crate) fn q02(
 }
 
 /// Q3: shipping priority.
-pub(crate) fn q03(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q03(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let customer = scan(db, "customer", &["c_custkey", "c_mktsegment"], ctx)?;
     let cust = Select::new(customer, &Pred::str_eq(1, p.q3_segment), ctx, "Q3/sel_cust")?;
     let orders = scan(
@@ -378,11 +371,7 @@ pub(crate) fn q03(
 }
 
 /// Q4: order priority checking.
-pub(crate) fn q04(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q04(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let orders = scan(
         db,
         "orders",
@@ -404,12 +393,7 @@ pub(crate) fn q04(
         &["l_orderkey", "l_commitdate", "l_receiptdate"],
         ctx,
     )?;
-    let li_late = Select::new(
-        li,
-        &Pred::cmp_col(1, CmpKind::Lt, 2),
-        ctx,
-        "Q4/sel_late",
-    )?;
+    let li_late = Select::new(li, &Pred::cmp_col(1, CmpKind::Lt, 2), ctx, "Q4/sel_late")?;
     // EXISTS: semi-join orders against late lineitems.
     let semi = HashJoin::new(
         Box::new(li_late),
@@ -440,11 +424,7 @@ pub(crate) fn q04(
 }
 
 /// Q5: local supplier volume.
-pub(crate) fn q05(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q05(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let region = scan(db, "region", &["r_regionkey", "r_name"], ctx)?;
     let region_sel = Select::new(region, &Pred::str_eq(1, p.q5_region), ctx, "Q5/sel_region")?;
     let nation = scan(db, "nation", &["n_nationkey", "n_name", "n_regionkey"], ctx)?;
@@ -475,7 +455,12 @@ pub(crate) fn q05(
         "Q5/join_cust_nation",
     )?;
     // orders in year: [0 okey, 1 ockey, 2 odate, 3 cnk, 4 nname]
-    let orders = scan(db, "orders", &["o_orderkey", "o_custkey", "o_orderdate"], ctx)?;
+    let orders = scan(
+        db,
+        "orders",
+        &["o_orderkey", "o_custkey", "o_orderdate"],
+        ctx,
+    )?;
     let ord_sel = Select::new(
         orders,
         &Pred::And(vec![
@@ -553,11 +538,7 @@ pub(crate) fn q05(
 }
 
 /// Q6: forecasting revenue change.
-pub(crate) fn q06(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q06(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // [0 shipdate, 1 discount, 2 quantity, 3 extprice]
     let li = scan(
         db,

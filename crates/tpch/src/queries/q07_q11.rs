@@ -13,11 +13,7 @@ use crate::dbgen::TpchData;
 use crate::params::Params;
 
 /// Q7: volume shipping between two nations.
-pub(crate) fn q07(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q07(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let two_nations = |label: &str| -> Result<BoxOp, ExecError> {
         let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
         Ok(Box::new(Select::new(
@@ -126,8 +122,14 @@ pub(crate) fn q07(
     let pairs = Select::new(
         Box::new(all),
         &Pred::Or(vec![
-            Pred::And(vec![Pred::str_eq(6, p.q7_nation1), Pred::str_eq(7, p.q7_nation2)]),
-            Pred::And(vec![Pred::str_eq(6, p.q7_nation2), Pred::str_eq(7, p.q7_nation1)]),
+            Pred::And(vec![
+                Pred::str_eq(6, p.q7_nation1),
+                Pred::str_eq(7, p.q7_nation2),
+            ]),
+            Pred::And(vec![
+                Pred::str_eq(6, p.q7_nation2),
+                Pred::str_eq(7, p.q7_nation1),
+            ]),
         ]),
         ctx,
         "Q7/sel_pairs",
@@ -162,11 +164,7 @@ pub(crate) fn q07(
 
 /// Q8: national market share. The CASE arithmetic of the SQL is folded in a
 /// post-step over the (per year × nation) aggregate.
-pub(crate) fn q08(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // region → nations of the region
     let region = scan(db, "region", &["r_regionkey", "r_name"], ctx)?;
     let region_sel = Select::new(region, &Pred::str_eq(1, p.q8_region), ctx, "Q8/sel_region")?;
@@ -317,7 +315,8 @@ pub(crate) fn q08(
     // Post-step (CASE folding): share(year) = vol(nation)/vol(all).
     let years = store.col(0).as_i32();
     let vols = store.col(2).as_f64();
-    let mut by_year: std::collections::BTreeMap<i32, (f64, f64)> = std::collections::BTreeMap::new();
+    let mut by_year: std::collections::BTreeMap<i32, (f64, f64)> =
+        std::collections::BTreeMap::new();
     for i in 0..store.rows() {
         let e = by_year.entry(years[i]).or_insert((0.0, 0.0));
         e.1 += vols[i];
@@ -345,11 +344,7 @@ pub(crate) fn q08(
 }
 
 /// Q9: product-type profit measure.
-pub(crate) fn q09(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q09(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // parts with the color in the name
     let part = scan(db, "part", &["p_partkey", "p_name"], ctx)?;
     let part_sel = Select::new(
@@ -478,17 +473,22 @@ pub(crate) fn q09(
 }
 
 /// Q10: returned-item reporting.
-pub(crate) fn q10(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
-    let orders = scan(db, "orders", &["o_orderkey", "o_custkey", "o_orderdate"], ctx)?;
+pub(crate) fn q10(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    let orders = scan(
+        db,
+        "orders",
+        &["o_orderkey", "o_custkey", "o_orderdate"],
+        ctx,
+    )?;
     let ord = Select::new(
         orders,
         &Pred::And(vec![
             Pred::cmp_val(2, CmpKind::Ge, Value::I32(p.q10_date)),
-            Pred::cmp_val(2, CmpKind::Lt, Value::I32(crate::dates::add_months(p.q10_date, 3))),
+            Pred::cmp_val(
+                2,
+                CmpKind::Lt,
+                Value::I32(crate::dates::add_months(p.q10_date, 3)),
+            ),
         ]),
         ctx,
         "Q10/sel_orders",
@@ -496,7 +496,12 @@ pub(crate) fn q10(
     let li = scan(
         db,
         "lineitem",
-        &["l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"],
+        &[
+            "l_orderkey",
+            "l_returnflag",
+            "l_extendedprice",
+            "l_discount",
+        ],
         ctx,
     )?;
     let li_r = Select::new(li, &Pred::str_eq(1, "R"), ctx, "Q10/sel_returned")?;
@@ -595,14 +600,15 @@ pub(crate) fn q10(
 }
 
 /// Q11: important stock identification (two-phase: total then threshold).
-pub(crate) fn q11(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q11(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let german_partsupp = |label: &str| -> Result<BoxOp, ExecError> {
         let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
-        let nat = Select::new(nation, &Pred::str_eq(1, p.q11_nation), ctx, "Q11/sel_nation")?;
+        let nat = Select::new(
+            nation,
+            &Pred::str_eq(1, p.q11_nation),
+            ctx,
+            "Q11/sel_nation",
+        )?;
         let supplier = scan(db, "supplier", &["s_suppkey", "s_nationkey"], ctx)?;
         let sup = HashJoin::new(
             Box::new(nat),

@@ -16,11 +16,7 @@ use crate::params::Params;
 /// sides arrive sorted by order key) — the operator of Fig. 4(c)/4(d):
 /// lineitem's selection vectors shrink in the border regions of the date
 /// range thanks to the date clustering.
-pub(crate) fn q12(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q12(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // left: orders sorted by key (unique)
     let orders = scan(db, "orders", &["o_orderkey", "o_orderpriority"], ctx)?;
     // right: filtered lineitem, sorted by orderkey
@@ -53,7 +49,15 @@ pub(crate) fn q12(
         "Q12/sel_li",
     )?;
     // [0 lokey, 1 shipmode, 2 sdate, 3 cdate, 4 rdate, 5 opriority]
-    let mj = MergeJoin::new(orders, Box::new(li_sel), 0, 0, vec![1], ctx, "Q12/mergejoin")?;
+    let mj = MergeJoin::new(
+        orders,
+        Box::new(li_sel),
+        0,
+        0,
+        vec![1],
+        ctx,
+        "Q12/mergejoin",
+    )?;
     // count by (shipmode, priority); the CASE high/low split is a tiny
     // post-step over ≤ 2×5 groups.
     let agg = HashAggregate::new(
@@ -102,11 +106,7 @@ pub(crate) fn q12(
 }
 
 /// Q13: customer distribution (LEFT OUTER JOIN via LeftSingle).
-pub(crate) fn q13(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q13(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let orders = scan(db, "orders", &["o_orderkey", "o_custkey", "o_comment"], ctx)?;
     let ord = Select::new(
         orders,
@@ -158,11 +158,7 @@ pub(crate) fn q13(
 
 /// Q14: promotion effect. PROMO share folded in a post-step over the
 /// per-type aggregate.
-pub(crate) fn q14(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q14(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // [0 lpk, 1 sdate, 2 ep, 3 disc]
     let li = scan(
         db,
@@ -217,7 +213,11 @@ pub(crate) fn q14(
             promo += rev;
         }
     }
-    let share = if total > 0.0 { 100.0 * promo / total } else { 0.0 };
+    let share = if total > 0.0 {
+        100.0 * promo / total
+    } else {
+        0.0
+    };
     let mut b = ColumnBuilder::with_capacity(DataType::F64, 1);
     b.push_f64(share);
     let table = Table::new("q14out", vec![("promo_revenue".into(), b.finish())])?;
@@ -230,11 +230,7 @@ pub(crate) fn q14(
 }
 
 /// Q15: top supplier (revenue view materialized as a temp table).
-pub(crate) fn q15(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q15(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // revenue per supplier over the quarter
     let li = scan(
         db,
@@ -309,12 +305,13 @@ pub(crate) fn q15(
 }
 
 /// Q16: parts/supplier relationship (distinct via two-level aggregation).
-pub(crate) fn q16(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
-    let part = scan(db, "part", &["p_partkey", "p_brand", "p_type", "p_size"], ctx)?;
+pub(crate) fn q16(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    let part = scan(
+        db,
+        "part",
+        &["p_partkey", "p_brand", "p_type", "p_size"],
+        ctx,
+    )?;
     let size_in = Pred::Or(
         p.q16_sizes
             .iter()
@@ -402,11 +399,7 @@ pub(crate) fn q16(
 
 /// Q17: small-quantity-order revenue (per-part average via temp table; the
 /// `0.2·avg` comparison is done in integers: `5·qty·cnt < sum`).
-pub(crate) fn q17(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q17(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let part_sel = |label: &str| -> Result<BoxOp, ExecError> {
         let part = scan(db, "part", &["p_partkey", "p_brand", "p_container"], ctx)?;
         Ok(Box::new(Select::new(
@@ -539,7 +532,10 @@ mod tests {
         assert!(out.rows > 1);
         // custdist sums to number of customers
         let total: i64 = out.store.col(1).as_i64().iter().sum();
-        assert_eq!(total as usize, super::super::test_support::test_db().customer.rows());
+        assert_eq!(
+            total as usize,
+            super::super::test_support::test_db().customer.rows()
+        );
         // some customers have zero orders at this scale (orders ≈ 10/cust,
         // but comment filter keeps most) — just assert sorted by custdist desc
         let d = out.store.col(1).as_i64();

@@ -13,11 +13,7 @@ use crate::dbgen::TpchData;
 use crate::params::Params;
 
 /// Q18: large-volume customers.
-pub(crate) fn q18(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q18(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // per-order quantity
     let li = scan(db, "lineitem", &["l_orderkey", "l_quantity"], ctx)?;
     let proj = Project::new(
@@ -99,11 +95,7 @@ pub(crate) fn q18(
 }
 
 /// Q19: discounted revenue (the three-branch OR of ANDs).
-pub(crate) fn q19(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q19(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // [0 lpk, 1 qty, 2 ep, 3 disc, 4 instr, 5 mode]
     let li = scan(
         db,
@@ -131,7 +123,12 @@ pub(crate) fn q19(
         "Q19/sel_common",
     )?;
     // part attrs: [0..5, 6 brand, 7 container, 8 size]
-    let part = scan(db, "part", &["p_partkey", "p_brand", "p_container", "p_size"], ctx)?;
+    let part = scan(
+        db,
+        "part",
+        &["p_partkey", "p_brand", "p_container", "p_size"],
+        ctx,
+    )?;
     let joined = HashJoin::new(
         part,
         Box::new(li_common),
@@ -193,11 +190,7 @@ pub(crate) fn q19(
 }
 
 /// Q20: potential part promotion.
-pub(crate) fn q20(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q20(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // forest% parts
     let part = scan(db, "part", &["p_partkey", "p_name"], ctx)?;
     let part_sel = Select::new(
@@ -324,7 +317,12 @@ pub(crate) fn q20(
         "Q20/semi_supp",
     )?;
     let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
-    let nat = Select::new(nation, &Pred::str_eq(1, p.q20_nation), ctx, "Q20/sel_nation")?;
+    let nat = Select::new(
+        nation,
+        &Pred::str_eq(1, p.q20_nation),
+        ctx,
+        "Q20/sel_nation",
+    )?;
     let sup_nat = HashJoin::new(
         Box::new(nat),
         Box::new(sup),
@@ -356,11 +354,7 @@ pub(crate) fn q20(
 /// rewritten over per-order min/max supplier aggregates (see DESIGN.md):
 /// another supplier exists ⟺ min ≠ max among all lines; no *other* late
 /// supplier ⟺ min = max among late lines.
-pub(crate) fn q21(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q21(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let li_minmax = |late_only: bool, label: &str| -> Result<BoxOp, ExecError> {
         let li = scan(
             db,
@@ -397,7 +391,12 @@ pub(crate) fn q21(
     };
     // main stream: Saudi suppliers' late lines on F orders
     let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
-    let nat = Select::new(nation, &Pred::str_eq(1, p.q21_nation), ctx, "Q21/sel_nation")?;
+    let nat = Select::new(
+        nation,
+        &Pred::str_eq(1, p.q21_nation),
+        ctx,
+        "Q21/sel_nation",
+    )?;
     let supplier = scan(db, "supplier", &["s_suppkey", "s_name", "s_nationkey"], ctx)?;
     let sup = HashJoin::new(
         Box::new(nat),
@@ -500,11 +499,7 @@ pub(crate) fn q21(
 
 /// Q22: global sales opportunity (two-phase: average balance, then the
 /// anti-join against orders).
-pub(crate) fn q22(
-    db: &TpchData,
-    ctx: &QueryContext,
-    p: &Params,
-) -> Result<QueryOutput, ExecError> {
+pub(crate) fn q22(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let codes: Vec<String> = p.q22_codes.iter().map(|s| s.to_string()).collect();
     let cust_with_code = |label: &str| -> Result<BoxOp, ExecError> {
         // [0 ck, 1 cc, 2 acctf]
@@ -636,7 +631,10 @@ mod tests {
     #[test]
     fn q22_codes_sorted_with_positive_balances() {
         let out = run(22);
-        assert!(out.rows >= 1, "some codes should have rich no-order customers");
+        assert!(
+            out.rows >= 1,
+            "some codes should have rich no-order customers"
+        );
         let codes: Vec<String> = (0..out.rows)
             .map(|g| out.store.col(0).as_str_vec().get(g).to_string())
             .collect();

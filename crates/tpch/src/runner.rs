@@ -154,9 +154,10 @@ mod tests {
             .run(1, ExecConfig::adaptive(FlavorAxis::All).with_seed(3))
             .unwrap();
         // At least one instance with >1 flavor should have spread calls.
-        let spread = r.instances.iter().any(|i| {
-            i.flavor_calls.iter().filter(|(_, c)| *c > 0).count() > 1
-        });
+        let spread = r
+            .instances
+            .iter()
+            .any(|i| i.flavor_calls.iter().filter(|(_, c)| *c > 0).count() > 1);
         assert!(spread, "adaptive run should exercise multiple flavors");
     }
 

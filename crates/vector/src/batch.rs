@@ -90,9 +90,7 @@ impl DataChunk {
 
     /// Replaces the selection vector.
     pub fn set_sel(&mut self, sel: Option<SelVec>) {
-        debug_assert!(sel
-            .as_ref()
-            .is_none_or(|s| s.iter().all(|p| p < self.len)));
+        debug_assert!(sel.as_ref().is_none_or(|s| s.iter().all(|p| p < self.len)));
         self.sel = sel;
     }
 
@@ -116,7 +114,10 @@ impl DataChunk {
     /// Keeps only the columns at `indices`, in that order (projection).
     pub fn project(&self, indices: &[usize]) -> DataChunk {
         DataChunk {
-            columns: indices.iter().map(|&i| Arc::clone(&self.columns[i])).collect(),
+            columns: indices
+                .iter()
+                .map(|&i| Arc::clone(&self.columns[i]))
+                .collect(),
             sel: self.sel.clone(),
             len: self.len,
         }

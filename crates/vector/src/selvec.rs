@@ -93,11 +93,7 @@ impl SelVec {
     pub fn compose(&self, outer: &SelVec) -> SelVec {
         let inner = &self.positions;
         SelVec {
-            positions: outer
-                .positions
-                .iter()
-                .map(|&i| inner[i as usize])
-                .collect(),
+            positions: outer.positions.iter().map(|&i| inner[i as usize]).collect(),
         }
     }
 

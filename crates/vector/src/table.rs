@@ -28,10 +28,11 @@ impl std::fmt::Display for TableError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TableError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
-            TableError::LengthMismatch { column, expected, got } => write!(
-                f,
-                "column {column} has {got} rows, table has {expected}"
-            ),
+            TableError::LengthMismatch {
+                column,
+                expected,
+                got,
+            } => write!(f, "column {column} has {got} rows, table has {expected}"),
             TableError::DuplicateColumn(c) => write!(f, "duplicate column: {c}"),
         }
     }
@@ -136,10 +137,7 @@ pub struct Table {
 impl Table {
     /// Builds a table from `(name, column)` pairs. All columns must have the
     /// same row count and distinct names.
-    pub fn new(
-        name: impl Into<String>,
-        cols: Vec<(String, Column)>,
-    ) -> Result<Self, TableError> {
+    pub fn new(name: impl Into<String>, cols: Vec<(String, Column)>) -> Result<Self, TableError> {
         let rows = cols.first().map_or(0, |(_, c)| c.len());
         let mut column_names = Vec::with_capacity(cols.len());
         let mut by_name = HashMap::with_capacity(cols.len());
@@ -211,16 +209,13 @@ mod tests {
             vec![
                 ("a".into(), Column::I32(Arc::new(vec![1, 2, 3]))),
                 ("b".into(), Column::F64(Arc::new(vec![0.5, 1.5, 2.5]))),
-                (
-                    "s".into(),
-                    {
-                        let sv = StrVec::from_strings(&["x", "yy", "zzz"]);
-                        Column::Str {
-                            arena: Arc::clone(sv.arena()),
-                            views: Arc::new(sv.views().to_vec()),
-                        }
-                    },
-                ),
+                ("s".into(), {
+                    let sv = StrVec::from_strings(&["x", "yy", "zzz"]);
+                    Column::Str {
+                        arena: Arc::clone(sv.arena()),
+                        views: Arc::new(sv.views().to_vec()),
+                    }
+                }),
             ],
         )
         .unwrap()

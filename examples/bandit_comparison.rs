@@ -16,7 +16,14 @@ fn main() {
     let traces = vec![
         fig10_trace(&Fig10Spec::default(), 1),
         stationary_trace("stationary-easy", 32 * 1024, 1024, &[4.0, 6.0, 8.0], 0.2, 2),
-        stationary_trace("stationary-close", 32 * 1024, 1024, &[5.0, 5.2, 5.4], 0.2, 3),
+        stationary_trace(
+            "stationary-close",
+            32 * 1024,
+            1024,
+            &[5.0, 5.2, 5.4],
+            0.2,
+            3,
+        ),
         switching_trace(32 * 1024, 1024, 0.6, 4),
     ];
     println!("traces:");

@@ -30,13 +30,7 @@ fn main() {
             let flavors: Vec<String> = set
                 .infos()
                 .iter()
-                .map(|i| {
-                    format!(
-                        "{}{}",
-                        i.name,
-                        if i.alias { " (alias)" } else { "" }
-                    )
-                })
+                .map(|i| format!("{}{}", i.name, if i.alias { " (alias)" } else { "" }))
                 .collect();
             println!("{sig}:\n  {}", flavors.join(", "));
         } else {
@@ -85,7 +79,11 @@ fn main() {
             (p + 1) * 1000 - 1,
             c[0],
             c[1],
-            if p < 2 { "99% selectivity" } else { "50% selectivity" }
+            if p < 2 {
+                "99% selectivity"
+            } else {
+                "50% selectivity"
+            }
         );
     }
     let profile = dispatch.profile();

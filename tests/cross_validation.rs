@@ -37,7 +37,11 @@ fn left_table(n: usize, seed: u64) -> (Arc<Table>, Vec<(i64, i64)>) {
         kb.push_i64(k);
         pb.push_i64(p);
     }
-    let t = Table::new("l", vec![("k".into(), kb.finish()), ("p".into(), pb.finish())]).unwrap();
+    let t = Table::new(
+        "l",
+        vec![("k".into(), kb.finish()), ("p".into(), pb.finish())],
+    )
+    .unwrap();
     (Arc::new(t), rows)
 }
 
@@ -54,7 +58,11 @@ fn right_table(n: usize, key_range: i64, seed: u64) -> (Arc<Table>, Vec<(i64, i6
         kb.push_i64(k);
         vb.push_i64(v);
     }
-    let t = Table::new("r", vec![("k".into(), kb.finish()), ("v".into(), vb.finish())]).unwrap();
+    let t = Table::new(
+        "r",
+        vec![("k".into(), kb.finish()), ("v".into(), vb.finish())],
+    )
+    .unwrap();
     (Arc::new(t), rows)
 }
 

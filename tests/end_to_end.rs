@@ -117,8 +117,16 @@ fn instance_profiles_cover_primitive_families() {
         let r = runner().run(q, ExecConfig::fixed_default()).unwrap();
         for i in &r.instances {
             for fam in [
-                "sel_", "map_add", "map_mul", "map_fetch", "map_hash", "aggr_", "aggr0_",
-                "hash_insertcheck", "mergejoin", "sel_bloomfilter",
+                "sel_",
+                "map_add",
+                "map_mul",
+                "map_fetch",
+                "map_hash",
+                "aggr_",
+                "aggr0_",
+                "hash_insertcheck",
+                "mergejoin",
+                "sel_bloomfilter",
             ] {
                 if i.signature.starts_with(fam) && !seen_families.contains(&fam) {
                     seen_families.push(fam);

@@ -4,11 +4,6 @@
 
 use micro_adaptivity::core::policy::{Policy, VwGreedy, VwGreedyParams};
 use micro_adaptivity::core::{Aph, SplitMix64};
-use micro_adaptivity::primitives::ops::{EqOp, Ge, Gt, Le, Lt, NeOp};
-use micro_adaptivity::primitives::selection::{
-    sel_col_val_branching, sel_col_val_clang, sel_col_val_icc, sel_col_val_no_branching,
-    sel_col_val_unroll8,
-};
 use micro_adaptivity::primitives::map_arith::{
     map_col_col_clang, map_col_col_full, map_col_col_icc, map_col_col_selective,
     map_col_col_unroll8,
@@ -17,6 +12,11 @@ use micro_adaptivity::primitives::merge::{
     mergejoin_i64_clang, mergejoin_i64_gcc, mergejoin_i64_icc,
 };
 use micro_adaptivity::primitives::ops::{Add, Mul, Sub};
+use micro_adaptivity::primitives::ops::{EqOp, Ge, Gt, Le, Lt, NeOp};
+use micro_adaptivity::primitives::selection::{
+    sel_col_val_branching, sel_col_val_clang, sel_col_val_icc, sel_col_val_no_branching,
+    sel_col_val_unroll8,
+};
 use micro_adaptivity::primitives::LikePattern;
 use micro_adaptivity::vector::SelVec;
 use proptest::prelude::*;

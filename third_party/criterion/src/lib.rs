@@ -1,0 +1,390 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion 0.5's API that this workspace's
+//! benches use: `Criterion::benchmark_group`, group configuration
+//! (`throughput`, `sample_size`, `measurement_time`, `warm_up_time`),
+//! `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a plain wall-clock loop:
+//! warm up for the configured duration, then collect `sample_size`
+//! samples (batches of iterations) within the measurement budget and
+//! report mean/min per-iteration time (plus element throughput when a
+//! `Throughput::Elements` is set).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many bytes per iteration (decimal multiple).
+    BytesDecimal(u64),
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`]; lets `bench_function` accept both
+/// string names and full ids, mirroring criterion's `IntoBenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            full: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self }
+    }
+}
+
+/// Timing loop handle passed to benchmark routines.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    target_iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` `target_iters` times, recording total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.target_iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = self.target_iters;
+    }
+
+    /// Like [`Bencher::iter`], with a per-sample setup closure whose cost is
+    /// excluded from the measurement (criterion's `iter_batched` with
+    /// `BatchSize::PerIteration` semantics, simplified).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.target_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters_done = self.target_iters;
+    }
+}
+
+/// Batch sizing hint for `iter_batched` (ignored by the stand-in).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small input batches.
+    SmallInput,
+    /// Large input batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(150),
+            measurement_time: Duration::from_millis(400),
+            throughput: None,
+        }
+    }
+}
+
+/// The benchmark manager. Created by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration: the first non-flag argument is a
+    /// substring filter on benchmark labels (as in `cargo bench -- <name>`);
+    /// harness probe flags (`--bench`, `--test`, ...) are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let filter = self.filter.clone();
+        BenchmarkGroup {
+            _parent: self,
+            name: group_name.into(),
+            config: GroupConfig::default(),
+            filter,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let filter = self.filter.clone();
+        let mut group = BenchmarkGroup {
+            _parent: self,
+            name: String::new(),
+            config: GroupConfig::default(),
+            filter,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+    filter: Option<String>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.config.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.config.warm_up_time = dur;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.config.measurement_time = dur;
+        self
+    }
+
+    /// Benchmarks a routine under this group's configuration.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let label = if self.name.is_empty() {
+            id.full
+        } else {
+            format!("{}/{}", self.name, id.full)
+        };
+        if self.matches(&label) {
+            run_benchmark(&label, &self.config, |b| f(b));
+        }
+        self
+    }
+
+    /// Benchmarks a routine that takes a reference to a per-case input.
+    pub fn bench_with_input<ID: IntoBenchmarkId, I: ?Sized, F>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let label = if self.name.is_empty() {
+            id.full
+        } else {
+            format!("{}/{}", self.name, id.full)
+        };
+        if self.matches(&label) {
+            run_benchmark(&label, &self.config, |b| f(b, input));
+        }
+        self
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Ends the group (reports are emitted eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, config: &GroupConfig, mut routine: F) {
+    // Warm-up: also discovers how many iterations fit in the budget.
+    let mut bencher = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        target_iters: 1,
+    };
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut warm_elapsed = Duration::ZERO;
+    while warm_start.elapsed() < config.warm_up_time {
+        routine(&mut bencher);
+        warm_iters += bencher.iters_done.max(1);
+        warm_elapsed += bencher.elapsed;
+        bencher.target_iters = bencher.target_iters.saturating_mul(2).min(1 << 20);
+    }
+    let per_iter = if warm_iters > 0 && !warm_elapsed.is_zero() {
+        warm_elapsed.as_secs_f64() / warm_iters as f64
+    } else {
+        1e-6
+    };
+
+    // Measurement: `sample_size` samples splitting the measurement budget.
+    let budget = config.measurement_time.as_secs_f64();
+    let iters_per_sample = ((budget / config.sample_size as f64 / per_iter).ceil() as u64).max(1);
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        bencher.target_iters = iters_per_sample;
+        routine(&mut bencher);
+        if bencher.iters_done > 0 {
+            samples.push(bencher.elapsed.as_secs_f64() / bencher.iters_done as f64);
+        }
+    }
+    if samples.is_empty() {
+        println!("{label:<48} (no measurement: routine never called iter)");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut line = format!(
+        "{label:<48} mean {:>12}  min {:>12}  ({} samples x {} iters)",
+        fmt_time(mean),
+        fmt_time(min),
+        samples.len(),
+        iters_per_sample
+    );
+    if let Some(Throughput::Elements(n)) = config.throughput {
+        let rate = n as f64 / mean;
+        line.push_str(&format!("  thrpt {:.3} Melem/s", rate / 1e6));
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).into_benchmark_id().full, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").full, "x");
+    }
+
+    #[test]
+    fn group_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            calls += 1;
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

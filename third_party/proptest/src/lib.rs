@@ -1,0 +1,411 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! Implements the subset used by this workspace's `tests/props.rs`:
+//! the `proptest!` test-declaration macro, `prop_assert!` /
+//! `prop_assert_eq!`, `any::<T>()` for primitives, integer-range
+//! strategies, tuple strategies, `prop::collection::vec`, and string
+//! strategies given as simple character-class regexes like
+//! `"[a-c%_]{0,12}"`.
+//!
+//! Each test runs `PROPTEST_CASES` (default 64) cases. Values are drawn
+//! from a SplitMix64 generator seeded deterministically from the case
+//! index, so every run explores the same inputs and failures are
+//! reproducible without persistence files. Failing inputs are not
+//! shrunk: the panic message carries the case seed instead.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value using `rng`.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                Strategy::sample(&self.len, rng)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `&str` strategies are simple regexes: a sequence of literal
+    /// characters and character classes, each optionally repeated with
+    /// `{m,n}`, `*`, `+`, or `?`.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_regex(self, rng)
+        }
+    }
+
+    enum Atom {
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut members = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated character class in regex strategy"));
+            match c {
+                ']' => break,
+                '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let lo = prev.take().unwrap();
+                    let hi = chars.next().unwrap();
+                    assert!(lo <= hi, "invalid range {lo}-{hi} in regex strategy");
+                    members.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                }
+                c => {
+                    if let Some(p) = prev.replace(c) {
+                        members.push(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = prev {
+            members.push(p);
+        }
+        assert!(
+            !members.is_empty(),
+            "empty character class in regex strategy"
+        );
+        members
+    }
+
+    fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => Atom::Literal(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in regex strategy")),
+                ),
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                    panic!("unsupported regex construct {c:?} in strategy {pattern:?}")
+                }
+                c => Atom::Literal(c),
+            };
+            // Optional repetition suffix.
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    let (lo, hi) = match spec.split_once(',') {
+                        Some((lo, "")) => (lo.parse().unwrap(), usize::MAX),
+                        Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                        None => {
+                            let n = spec.parse().unwrap();
+                            (n, n)
+                        }
+                    };
+                    (lo, if hi == usize::MAX { lo + 8 } else { hi })
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            let count = if lo == hi {
+                lo
+            } else {
+                lo + (rng.next_u64() as usize) % (hi - lo + 1)
+            };
+            for _ in 0..count {
+                match &atom {
+                    Atom::Class(members) => {
+                        out.push(members[(rng.next_u64() as usize) % members.len()]);
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the [`Arbitrary`] trait backing it.
+
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value of `Self`.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, roughly unit-scale values: good enough for properties.
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('a')
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Strategy for vectors whose length is drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic RNG and runner configuration.
+
+    /// SplitMix64: tiny, fast, and plenty random for test-case generation.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a seed.
+        pub fn with_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Number of cases each `proptest!` test runs (`PROPTEST_CASES`,
+    /// default 64).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias so `prop::collection::vec` resolves as upstream.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::test_runner::cases() {
+                    // Distinct odd multiplier per case: consecutive seeds
+                    // would otherwise overlap SplitMix64 streams.
+                    let mut rng = $crate::test_runner::TestRng::with_seed(
+                        (case + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::with_seed(7);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(-5i32..17), &mut rng);
+            assert!((-5..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = TestRng::with_seed(9);
+        for _ in 0..200 {
+            let v = Strategy::sample(&prop::collection::vec(any::<bool>(), 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn regex_strategy_generates_class_strings() {
+        let mut rng = TestRng::with_seed(11);
+        for _ in 0..500 {
+            let s = Strategy::sample(&"[a-c%_]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '%' | '_')));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a in 0i64..10, b in any::<u64>(), v in prop::collection::vec(0u32..3, 0..4)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert_eq!(b, b);
+            prop_assert!(v.len() < 4);
+        }
+    }
+}
