@@ -1,24 +1,29 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment|all> [--sf F] [--seed S]
+//! repro <experiment|all> [--sf F] [--seed S] [--json PATH]
 //!
 //! experiments: table1 fig1 fig2 fig4 fig5 fig6 table4 fig8 fig10 table5
-//!              tables6-10 table11 fig11
+//!              tables6-10 table11 fig11 ablation scaling
 //! ```
 //!
 //! TPC-H experiments default to scale factor 0.05 (≈300K lineitems); the
 //! micro-benchmarks run on fixed synthetic data. Output goes to stdout;
 //! absolute tick counts are host-specific, shapes and factors are the
-//! reproduction targets (see EXPERIMENTS.md).
+//! reproduction targets (see EXPERIMENTS.md). `--json` additionally writes
+//! a machine-readable report (per-experiment wall ticks + metrics) — the
+//! artifact the CI bench-smoke job uploads as the bench baseline.
 
-use ma_bench::experiments::{make_runner, run_experiment, ALL_EXPERIMENTS};
+use ma_bench::experiments::{make_runner, run_experiment_with_metrics, ALL_EXPERIMENTS};
+use ma_bench::report::{json_report, JsonEntry};
+use ma_core::cycles::ticks_now;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut sf = 0.05f64;
     let mut seed = 0xC0FFEEu64;
+    let mut json_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -36,6 +41,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--json needs a path")),
+                );
+            }
             "--help" | "-h" => usage(""),
             other => ids.push(other.to_string()),
         }
@@ -50,10 +63,14 @@ fn main() {
 
     eprintln!("generating TPC-H data at SF {sf} (seed {seed:#x}) ...");
     let runner = make_runner(sf, seed);
+    let mut entries: Vec<JsonEntry> = Vec::new();
     for id in &ids {
-        match run_experiment(id, &runner, seed) {
-            Some(report) => {
+        let t0 = ticks_now();
+        match run_experiment_with_metrics(id, &runner, seed) {
+            Some((report, metrics)) => {
+                let wall = ticks_now().saturating_sub(t0);
                 println!("{report}");
+                entries.push((id.clone(), wall, metrics));
             }
             None => {
                 eprintln!("unknown experiment: {id}");
@@ -61,13 +78,21 @@ fn main() {
             }
         }
     }
+    if let Some(path) = json_path {
+        let doc = json_report(sf, seed, &entries);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote JSON report to {path}");
+    }
 }
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: repro <experiment|all> [--sf F] [--seed S]");
+    eprintln!("usage: repro <experiment|all> [--sf F] [--seed S] [--json PATH]");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
 }

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod demo;
 pub mod micro;
+pub mod scaling;
 pub mod tpch_exp;
 
 use std::sync::Arc;
@@ -10,8 +11,9 @@ use std::sync::Arc;
 use ma_executor::FlavorAxis;
 use ma_tpch::{Runner, TpchData};
 
-/// All experiment identifiers, in paper order.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
+/// All experiment identifiers, in paper order ("scaling" is ours, not the
+/// paper's: the parallel-executor thread sweep).
+pub const ALL_EXPERIMENTS: [&str; 15] = [
     "table1",
     "fig1",
     "fig2",
@@ -26,6 +28,7 @@ pub const ALL_EXPERIMENTS: [&str; 14] = [
     "table11",
     "fig11",
     "ablation",
+    "scaling",
 ];
 
 /// Runs one experiment by id, returning its report text.
@@ -95,6 +98,7 @@ pub fn run_experiment(id: &str, runner: &Runner, seed: u64) -> Option<String> {
         }
         "table11" => tpch_exp::table11(runner, &all_queries),
         "fig11" => tpch_exp::fig11(runner),
+        "scaling" => scaling::scaling(runner),
         "ablation" => {
             let mut out = ablation::vector_size(runner);
             out.push('\n');
@@ -105,6 +109,26 @@ pub fn run_experiment(id: &str, runner: &Runner, seed: u64) -> Option<String> {
         }
         _ => return None,
     })
+}
+
+/// Like [`run_experiment`], additionally returning numeric metrics for
+/// machine-readable reports. Most experiments expose no metrics; "scaling"
+/// exposes its per-worker-count power-run ticks.
+pub fn run_experiment_with_metrics(
+    id: &str,
+    runner: &Runner,
+    seed: u64,
+) -> Option<(String, Vec<(String, f64)>)> {
+    if id == "scaling" {
+        let points = scaling::measure(runner, &scaling::DEFAULT_THREADS);
+        let metrics = points
+            .iter()
+            .map(|p| (format!("power_ticks_workers_{}", p.threads), p.ticks as f64))
+            .collect();
+        Some((scaling::render(&points), metrics))
+    } else {
+        run_experiment(id, runner, seed).map(|text| (text, Vec::new()))
+    }
 }
 
 /// Builds the shared runner at a scale factor.

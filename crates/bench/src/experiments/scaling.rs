@@ -1,0 +1,114 @@
+//! Thread-scaling experiment: the TPC-H power run swept over scan worker
+//! counts. Not a paper figure — it seeds the bench-baseline trajectory for
+//! the parallel executor (sharded morsel scans + per-worker bandit state).
+
+use ma_core::cycles::ticks_now;
+use ma_executor::ExecConfig;
+use ma_tpch::Runner;
+
+/// One swept point: worker count and power-run wall ticks.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Scan worker threads.
+    pub threads: usize,
+    /// Wall ticks for the full 22-query power run.
+    pub ticks: u64,
+    /// Result checksum folded over all queries (cross-count validation).
+    pub checksum: f64,
+}
+
+/// Worker counts swept by default.
+pub const DEFAULT_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Runs one power run per worker count, returning `(threads, ticks)`
+/// points. The first sweep entry is run once extra as warmup so data is
+/// paged in before anything is timed.
+pub fn measure(runner: &Runner, thread_counts: &[usize]) -> Vec<ScalingPoint> {
+    let mut out = Vec::with_capacity(thread_counts.len());
+    let mut warmed = false;
+    for &threads in thread_counts {
+        let config = ExecConfig::fixed_default().with_workers(threads);
+        if !warmed {
+            runner.power_run(&config).expect("warmup power run");
+            warmed = true;
+        }
+        let t0 = ticks_now();
+        let results = runner.power_run(&config).expect("power run");
+        let ticks = ticks_now().saturating_sub(t0);
+        let checksum = results.iter().map(|r| r.checksum).sum();
+        out.push(ScalingPoint {
+            threads,
+            ticks,
+            checksum,
+        });
+    }
+    out
+}
+
+/// Renders the sweep with speedups relative to 1 worker.
+pub fn scaling(runner: &Runner) -> String {
+    let points = measure(runner, &DEFAULT_THREADS);
+    render(&points)
+}
+
+/// Text table for a measured sweep.
+pub fn render(points: &[ScalingPoint]) -> String {
+    let mut out = String::from("--- Scaling: power-run wall ticks by scan workers ---\n");
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("host hardware threads: {hw}\n"));
+    if points.iter().any(|p| p.threads > hw) {
+        out.push_str(
+            "note: worker counts above the hardware thread count measure \
+             oversubscription overhead, not speedup\n",
+        );
+    }
+    let base = points.first().map_or(0, |p| p.ticks);
+    out.push_str(&format!(
+        "{:>8} {:>16} {:>9}\n",
+        "workers", "wall ticks", "speedup"
+    ));
+    for p in points {
+        let speedup = if p.ticks > 0 {
+            base as f64 / p.ticks as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:>8} {:>16} {:>8.2}x\n",
+            p.threads, p.ticks, speedup
+        ));
+    }
+    if points.len() > 1 {
+        let all_match = points
+            .windows(2)
+            .all(|w| (w[0].checksum - w[1].checksum).abs() <= 1e-6 * w[0].checksum.abs().max(1.0));
+        out.push_str(if all_match {
+            "checksums: identical across worker counts\n"
+        } else {
+            "checksums: MISMATCH across worker counts\n"
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::make_runner;
+
+    #[test]
+    fn sweep_measures_and_validates() {
+        let runner = make_runner(0.005, 0x5CA1E);
+        let points = measure(&runner, &[1, 2]);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| p.ticks > 0));
+        assert!(
+            (points[0].checksum - points[1].checksum).abs()
+                <= 1e-6 * points[0].checksum.abs().max(1.0),
+            "worker counts must agree on results"
+        );
+        let txt = render(&points);
+        assert!(txt.contains("workers"));
+        assert!(txt.contains("identical"));
+    }
+}

@@ -54,6 +54,9 @@ pub fn table1(runner: &Runner) -> String {
     let rows: usize = chunks.iter().map(ma_vector::DataChunk::live_count).sum();
     let postprocess = ticks_now().saturating_sub(t2);
 
+    // Instance stats publish at batch granularity; drop the plan so the
+    // final partial batch lands before the primitive-tick readout.
+    drop(proj);
     let stages = StageProfile {
         preprocess,
         execute,
@@ -98,6 +101,9 @@ pub fn fig02(runner: &Runner) -> String {
         .expect("predicate");
         let mut op: BoxOp = Box::new(sel);
         while op.next().expect("run").is_some() {}
+        // Instance stats publish at batch granularity; drop the plan so
+        // the final partial batch lands before reading reports.
+        drop(op);
         let report = ctx
             .reports()
             .into_iter()

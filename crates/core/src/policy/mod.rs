@@ -15,11 +15,13 @@
 //!   because §3.2 discusses why stationary-optimal algorithms may fail here.
 //! * [`FixedPolicy`] — always one flavor; models a non-adaptive build.
 
+mod clamp;
 mod eps;
 mod fixed;
 mod ucb;
 mod vw_greedy;
 
+pub use clamp::{ClampedPolicy, RunningMedian};
 pub use eps::{EpsDecreasing, EpsFirst, EpsGreedy};
 pub use fixed::FixedPolicy;
 pub use ucb::Ucb1;

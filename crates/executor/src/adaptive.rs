@@ -1,24 +1,34 @@
 //! Per-query adaptive dispatch: instance creation, flavor-subset resolution
 //! and profiling registry.
 //!
-//! A [`QueryContext`] is created per query execution. Operators ask it for
-//! typed [`PrimInstance`]s by signature; the context resolves the flavor
-//! subset according to the configured [`FlavorMode`], builds the bandit (or
-//! fixed/heuristic) policy, and registers the instance for post-query
-//! reporting (per-instance profiles and APHs — the data behind Tables 6–11
-//! and Figures 2/4/11).
+//! A [`QueryContext`] is created per query execution and is `Send + Sync` —
+//! cloning it is cheap (one `Arc`) and every clone shares the same instance
+//! registry, so parallel scan workers each build their *own* primitive
+//! instances (per-worker bandit state, the Cuttlefish design) while all
+//! stats land in one place. The hot path takes no locks: each
+//! [`PrimInstance`] accumulates into private stats and publishes them into
+//! its registry slot at batch granularity ([`FLUSH_EVERY`] calls) and on
+//! drop. See DESIGN.md, "Per-worker statistics merge".
+//!
+//! Operators ask the context for typed [`PrimInstance`]s by signature; the
+//! context resolves the flavor subset according to the configured
+//! [`FlavorMode`], builds the bandit (or fixed/heuristic) policy, and
+//! registers the instance for post-query reporting (per-instance profiles
+//! and APHs — the data behind Tables 6–11 and Figures 2/4/11).
 
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use ma_core::cycles::ticks_now;
-use ma_core::policy::{FixedPolicy, Policy};
+use ma_core::policy::{ClampedPolicy, FixedPolicy, Policy};
 use ma_core::{Aph, FlavorSet, PrimitiveDictionary, PrimitiveProfile};
 
 use crate::config::{ExecConfig, FlavorMode};
 use crate::heuristics::{tuned, HeuristicPolicy, HeuristicRule};
 use crate::ExecError;
+
+/// Calls between hot-path stats publications into the shared registry slot.
+pub const FLUSH_EVERY: u32 = 64;
 
 /// Family hint used to pick the right hard-coded heuristic in
 /// [`FlavorMode::Heuristic`] mode.
@@ -39,8 +49,10 @@ pub enum HeurKind {
     None,
 }
 
-/// Shared per-instance statistics, visible to the registry after the run.
-#[derive(Debug)]
+/// Per-instance statistics. Each live [`PrimInstance`] owns a private copy
+/// it updates lock-free; the registry holds a periodically refreshed
+/// snapshot behind a mutex.
+#[derive(Debug, Clone)]
 pub struct InstanceStats {
     /// Operator-assigned label, e.g. `"Q12/sel_ge"`.
     pub label: String,
@@ -55,10 +67,15 @@ pub struct InstanceStats {
 }
 
 /// A typed primitive instance: flavor set + policy + stats.
+///
+/// Not `Sync` (the policy mutates on every call) but `Send`: a whole
+/// operator pipeline, instances included, can move to a worker thread.
 pub struct PrimInstance<F: Copy> {
     set: Arc<FlavorSet<F>>,
     policy: Box<dyn Policy>,
-    stats: Rc<RefCell<InstanceStats>>,
+    local: InstanceStats,
+    shared: Arc<Mutex<InstanceStats>>,
+    unflushed: u32,
     last: usize,
 }
 
@@ -73,10 +90,24 @@ impl<F: Copy> PrimInstance<F> {
         let out = call(f);
         let ticks = ticks_now().saturating_sub(t0);
         self.policy.observe(fi, tuples, ticks);
-        let mut stats = self.stats.borrow_mut();
-        stats.profile.record(tuples, ticks);
-        stats.flavor_calls[fi] += 1;
+        self.local.profile.record(tuples, ticks);
+        self.local.flavor_calls[fi] += 1;
+        self.unflushed += 1;
+        if self.unflushed >= FLUSH_EVERY {
+            self.flush();
+        }
         out
+    }
+
+    /// Publishes the private stats into the shared registry slot. Called
+    /// automatically every [`FLUSH_EVERY`] calls and on drop; call it
+    /// manually only when reading [`QueryContext::reports`] while the
+    /// instance is still live.
+    pub fn flush(&mut self) {
+        let mut shared = self.shared.lock().expect("stats slot poisoned");
+        shared.profile = self.local.profile.clone();
+        shared.flavor_calls.clone_from(&self.local.flavor_calls);
+        self.unflushed = 0;
     }
 
     /// Supplies a context hint to the policy (used by heuristics mode).
@@ -98,6 +129,14 @@ impl<F: Copy> PrimInstance<F> {
     /// The (possibly subsetted) flavor set of this instance.
     pub fn set(&self) -> &Arc<FlavorSet<F>> {
         &self.set
+    }
+}
+
+impl<F: Copy> Drop for PrimInstance<F> {
+    fn drop(&mut self) {
+        if self.unflushed > 0 {
+            self.flush();
+        }
     }
 }
 
@@ -131,12 +170,20 @@ impl InstanceReport {
     }
 }
 
-/// Per-query context: dictionary + config + instance registry.
-pub struct QueryContext {
+struct CtxInner {
     dict: Arc<PrimitiveDictionary>,
     config: ExecConfig,
-    registry: Rc<RefCell<Vec<Rc<RefCell<InstanceStats>>>>>,
-    next_seed: RefCell<u64>,
+    registry: Mutex<Vec<Arc<Mutex<InstanceStats>>>>,
+    next_seed: AtomicU64,
+}
+
+/// Per-query context: dictionary + config + instance registry.
+///
+/// Cloning shares everything (`Arc` inside); parallel fragments clone the
+/// context into their factory so per-worker instances register centrally.
+#[derive(Clone)]
+pub struct QueryContext {
+    inner: Arc<CtxInner>,
 }
 
 impl QueryContext {
@@ -144,29 +191,42 @@ impl QueryContext {
     pub fn new(dict: Arc<PrimitiveDictionary>, config: ExecConfig) -> Self {
         let seed = config.seed;
         QueryContext {
-            dict,
-            config,
-            registry: Rc::new(RefCell::new(Vec::new())),
-            next_seed: RefCell::new(seed),
+            inner: Arc::new(CtxInner {
+                dict,
+                config,
+                registry: Mutex::new(Vec::new()),
+                next_seed: AtomicU64::new(seed),
+            }),
         }
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &ExecConfig {
-        &self.config
+        &self.inner.config
     }
 
     /// The vector size used by operators.
     pub fn vector_size(&self) -> usize {
-        self.config.vector_size
+        self.inner.config.vector_size
+    }
+
+    /// Worker threads for sharded scans (≥ 1).
+    pub fn worker_threads(&self) -> usize {
+        self.inner.config.worker_threads.max(1)
     }
 
     fn fresh_seed(&self) -> u64 {
-        let mut s = self.next_seed.borrow_mut();
-        *s = s
+        self.inner
+            .next_seed
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(
+                    s.wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407),
+                )
+            })
+            .expect("fetch_update closure never returns None")
             .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        *s
+            .wrapping_add(1442695040888963407)
     }
 
     /// Creates a typed instance for `signature`.
@@ -182,12 +242,14 @@ impl QueryContext {
     where
         F: Copy + Send + Sync + 'static,
     {
+        let config = &self.inner.config;
         let master = self
+            .inner
             .dict
             .lookup::<F>(signature)
             .ok_or_else(|| ExecError::UnknownPrimitive(signature.to_string()))?;
 
-        let (set, policy): (Arc<FlavorSet<F>>, Box<dyn Policy>) = match &self.config.flavors {
+        let (set, policy): (Arc<FlavorSet<F>>, Box<dyn Policy>) = match &config.flavors {
             FlavorMode::Fixed(name) => {
                 let idx = name.and_then(|n| master.index_of(n)).unwrap_or(0);
                 let arms = master.len();
@@ -211,7 +273,11 @@ impl QueryContext {
                 let pol: Box<dyn Policy> = if arms == 1 {
                     Box::new(FixedPolicy::new(1, 0))
                 } else {
-                    policy.build(arms, self.fresh_seed())
+                    let inner = policy.build(arms, self.fresh_seed());
+                    match config.reward_clamp {
+                        Some(k) => Box::new(ClampedPolicy::new(inner, k)),
+                        None => inner,
+                    }
                 };
                 (Arc::new(sub), pol)
             }
@@ -234,34 +300,45 @@ impl QueryContext {
             }
         };
 
-        let profile = if self.config.collect_aph {
+        let profile = if config.collect_aph {
             PrimitiveProfile::with_aph()
         } else {
             PrimitiveProfile::totals_only()
         };
-        let stats = Rc::new(RefCell::new(InstanceStats {
+        let local = InstanceStats {
             label: label.into(),
             signature: signature.to_string(),
             flavor_names: set.infos().iter().map(|i| i.name.to_string()).collect(),
             profile,
             flavor_calls: vec![0; set.len()],
-        }));
-        self.registry.borrow_mut().push(Rc::clone(&stats));
+        };
+        let shared = Arc::new(Mutex::new(local.clone()));
+        self.inner
+            .registry
+            .lock()
+            .expect("registry poisoned")
+            .push(Arc::clone(&shared));
         Ok(PrimInstance {
             set,
             policy,
-            stats,
+            local,
+            shared,
+            unflushed: 0,
             last: 0,
         })
     }
 
-    /// Reports of all instances created so far (including live ones).
+    /// Reports of all instances created so far. Numbers for still-live
+    /// instances lag by up to [`FLUSH_EVERY`] calls unless
+    /// [`PrimInstance::flush`] is called first; dropped instances are exact.
     pub fn reports(&self) -> Vec<InstanceReport> {
-        self.registry
-            .borrow()
+        self.inner
+            .registry
+            .lock()
+            .expect("registry poisoned")
             .iter()
             .map(|s| {
-                let s = s.borrow();
+                let s = s.lock().expect("stats slot poisoned");
                 InstanceReport {
                     label: s.label.clone(),
                     signature: s.signature.clone(),
@@ -280,12 +357,43 @@ impl QueryContext {
             .collect()
     }
 
+    /// Reports merged across workers: instances sharing `(label,
+    /// signature)` — the same plan node built once per scan worker — are
+    /// folded into one report with summed calls/tuples/ticks and
+    /// index-aligned flavor-call sums. APHs are per-worker histories and
+    /// are not merged (the merged report carries none). Sorted by label
+    /// then signature for stable comparisons.
+    pub fn merged_reports(&self) -> Vec<InstanceReport> {
+        let mut merged: Vec<InstanceReport> = Vec::new();
+        for r in self.reports() {
+            match merged
+                .iter_mut()
+                .find(|m| m.label == r.label && m.signature == r.signature)
+            {
+                Some(m) => {
+                    m.calls += r.calls;
+                    m.tuples += r.tuples;
+                    m.ticks += r.ticks;
+                    debug_assert_eq!(m.flavor_calls.len(), r.flavor_calls.len());
+                    for (acc, (_, c)) in m.flavor_calls.iter_mut().zip(&r.flavor_calls) {
+                        acc.1 += c;
+                    }
+                }
+                None => merged.push(InstanceReport { aph: None, ..r }),
+            }
+        }
+        merged.sort_by(|a, b| (&a.label, &a.signature).cmp(&(&b.label, &b.signature)));
+        merged
+    }
+
     /// Sum of ticks spent inside primitives across all instances.
     pub fn total_primitive_ticks(&self) -> u64 {
-        self.registry
-            .borrow()
+        self.inner
+            .registry
+            .lock()
+            .expect("registry poisoned")
             .iter()
-            .map(|s| s.borrow().profile.tot_ticks)
+            .map(|s| s.lock().expect("stats slot poisoned").profile.tot_ticks)
             .sum()
     }
 }
@@ -303,6 +411,36 @@ mod tests {
     fn run_sel(inst: &mut PrimInstance<SelColVal<i32>>, col: &[i32], val: i32) -> usize {
         let mut res = vec![0u32; col.len()];
         inst.invoke(col.len() as u64, |f| f(&mut res, col, val, None))
+    }
+
+    #[test]
+    fn context_is_send_sync_and_clone_shares_registry() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<QueryContext>();
+
+        let c = ctx(ExecConfig::fixed_default());
+        let c2 = c.clone();
+        let mut i = c2
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "t", HeurKind::Selection)
+            .unwrap();
+        run_sel(&mut i, &[1, 2, 3], 2);
+        drop(i);
+        assert_eq!(c.reports().len(), 1, "clone registers into shared registry");
+    }
+
+    #[test]
+    fn instances_are_send() {
+        let c = ctx(ExecConfig::adaptive(FlavorAxis::Branching));
+        let mut i = c
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "t", HeurKind::Selection)
+            .unwrap();
+        let k = std::thread::spawn(move || {
+            let col: Vec<i32> = (0..64).collect();
+            run_sel(&mut i, &col, 32)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(k, 32);
     }
 
     #[test]
@@ -400,6 +538,10 @@ mod tests {
         for _ in 0..100 {
             run_sel(&mut i, &col, 512);
         }
+        // 100 calls = one 64-call flush + 36 pending; the registry lags
+        // until the instance flushes (explicitly or on drop).
+        assert_eq!(c.reports()[0].calls, 64);
+        i.flush();
         let reports = c.reports();
         assert_eq!(reports.len(), 1);
         let r = &reports[0];
@@ -412,5 +554,46 @@ mod tests {
         assert_eq!(total_flavor_calls, 100);
         assert_eq!(c.total_primitive_ticks(), r.ticks);
         assert!(r.aph.is_some());
+    }
+
+    #[test]
+    fn drop_publishes_final_stats() {
+        let c = ctx(ExecConfig::fixed_default());
+        let mut i = c
+            .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "t", HeurKind::Selection)
+            .unwrap();
+        for _ in 0..5 {
+            run_sel(&mut i, &[1, 2, 3, 4], 3);
+        }
+        assert_eq!(c.reports()[0].calls, 0, "below flush granularity");
+        drop(i);
+        let r = c.reports();
+        assert_eq!(r[0].calls, 5);
+        assert_eq!(r[0].tuples, 20);
+    }
+
+    #[test]
+    fn merged_reports_fold_per_worker_instances() {
+        let c = ctx(ExecConfig::fixed_default());
+        for _ in 0..3 {
+            let mut i = c
+                .instance::<SelColVal<i32>>("sel_lt_i32_col_val", "Q/sel", HeurKind::Selection)
+                .unwrap();
+            run_sel(&mut i, &[1, 2, 3, 4], 3);
+        }
+        let mut other = c
+            .instance::<SelColVal<i32>>("sel_gt_i32_col_val", "Q/other", HeurKind::Selection)
+            .unwrap();
+        run_sel(&mut other, &[1, 2], 1);
+        drop(other);
+
+        assert_eq!(c.reports().len(), 4);
+        let merged = c.merged_reports();
+        assert_eq!(merged.len(), 2);
+        let sel = merged.iter().find(|m| m.label == "Q/sel").unwrap();
+        assert_eq!(sel.calls, 3);
+        assert_eq!(sel.tuples, 12);
+        assert_eq!(sel.flavor_calls.iter().map(|(_, c)| c).sum::<u64>(), 3);
+        assert!(sel.aph.is_none(), "merged reports drop per-worker APHs");
     }
 }

@@ -61,6 +61,10 @@ pub enum FlavorMode {
     Heuristic,
 }
 
+/// Default clamp factor for reward observations: costs above `8×` the
+/// running per-tuple median are treated as preemption outliers.
+pub const DEFAULT_REWARD_CLAMP: f64 = 8.0;
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
@@ -72,6 +76,15 @@ pub struct ExecConfig {
     pub vector_size: usize,
     /// Whether instances keep APHs (small overhead; needed for figures).
     pub collect_aph: bool,
+    /// Worker threads for sharded scans. `1` (the default) keeps every
+    /// pipeline single-threaded and bit-identical to the pre-parallel
+    /// engine; `n > 1` splits each large scan into morsels processed by
+    /// `n` workers with per-worker primitive instances.
+    pub worker_threads: usize,
+    /// Clamp factor `k` for bandit reward observations: costs above `k×`
+    /// the instance's running per-tuple median are capped before the
+    /// policy sees them (OS-preemption robustness). `None` disables.
+    pub reward_clamp: Option<f64>,
 }
 
 impl Default for ExecConfig {
@@ -81,6 +94,8 @@ impl Default for ExecConfig {
             seed: 0x5EED,
             vector_size: ma_vector::VECTOR_SIZE,
             collect_aph: true,
+            worker_threads: 1,
+            reward_clamp: Some(DEFAULT_REWARD_CLAMP),
         }
     }
 }
@@ -132,6 +147,18 @@ impl ExecConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns a copy with `n` scan worker threads (clamped to ≥ 1).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.worker_threads = n.max(1);
+        self
+    }
+
+    /// Returns a copy with the reward clamp set (`None` disables).
+    pub fn with_reward_clamp(mut self, k: Option<f64>) -> Self {
+        self.reward_clamp = k;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +194,15 @@ mod tests {
             FlavorMode::Heuristic
         ));
         assert_eq!(ExecConfig::default().with_seed(7).seed, 7);
+    }
+
+    #[test]
+    fn worker_and_clamp_knobs() {
+        let c = ExecConfig::default();
+        assert_eq!(c.worker_threads, 1);
+        assert_eq!(c.reward_clamp, Some(DEFAULT_REWARD_CLAMP));
+        assert_eq!(c.clone().with_workers(4).worker_threads, 4);
+        assert_eq!(c.clone().with_workers(0).worker_threads, 1);
+        assert_eq!(c.with_reward_clamp(None).reward_clamp, None);
     }
 }

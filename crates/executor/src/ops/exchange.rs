@@ -1,0 +1,295 @@
+//! The exchange operator: runs N copies of a plan fragment on worker
+//! threads and streams their union to the parent (Vectorwise's `Xchg`).
+//!
+//! Each fragment is built by a caller-supplied factory — typically a
+//! morsel-driven [`crate::ops::Scan`] over a shared
+//! [`ma_vector::MorselQueue`], optionally topped by per-worker `Select` /
+//! `Project` stages. Because the factory runs once per worker, every worker
+//! owns *its own* primitive instances and therefore its own bandit state;
+//! their statistics merge in the shared [`crate::QueryContext`] registry
+//! (see DESIGN.md, "Per-worker statistics merge").
+//!
+//! Fragments are constructed eagerly on the caller thread, so instance
+//! creation order — and with it policy seeding — is deterministic. Chunks
+//! flow through a bounded channel for backpressure; their arrival *order*
+//! is nondeterministic, which is fine for the blocking operators
+//! (aggregate/sort/join builds) that consume exchange output: results are
+//! order-insensitive, as `tests/parallel_determinism.rs` verifies.
+
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use ma_vector::{DataChunk, DataType};
+
+use crate::ops::{BoxOp, Operator};
+use crate::ExecError;
+
+/// Builds one worker's plan fragment. Arguments: worker index, worker
+/// count.
+pub type FragmentFactory<'a> = dyn Fn(usize, usize) -> Result<BoxOp, ExecError> + 'a;
+
+/// Chunks per channel message. Sending a batch per message amortizes the
+/// futex-backed send/recv (which costs microseconds when the peer sleeps)
+/// over a morsel's worth of chunks — without this, per-chunk channel
+/// overhead eats the parallel gain, and on a single hardware thread (CI
+/// containers) it dominates outright.
+const CHUNKS_PER_MESSAGE: usize = 8;
+
+/// Batches in flight per worker before producers block. Kept tight: chunks
+/// sitting in the channel are chunks evicted from cache, and the
+/// vector-at-a-time model lives on produce-then-consume cache residency.
+const CHANNEL_DEPTH_PER_WORKER: usize = 2;
+
+type Batch = Result<Vec<DataChunk>, ExecError>;
+
+enum State {
+    /// Fragments built, workers not yet started.
+    Pending(Vec<BoxOp>),
+    /// Workers running; chunk batches arrive on the channel.
+    Running {
+        rx: Receiver<Batch>,
+        handles: Vec<JoinHandle<()>>,
+        /// Chunks of the last received batch, drained front to back.
+        buffered: std::collections::VecDeque<DataChunk>,
+    },
+    /// All workers joined.
+    Done,
+}
+
+/// Streaming union over `n` plan-fragment workers.
+pub struct Parallel {
+    state: State,
+    types: Vec<DataType>,
+}
+
+impl Parallel {
+    /// Builds `workers` fragments via `factory` (all on the calling
+    /// thread). Workers start lazily on the first [`Operator::next`] call.
+    pub fn new(workers: usize, factory: &FragmentFactory<'_>) -> Result<Self, ExecError> {
+        let n = workers.max(1);
+        let ops: Vec<BoxOp> = (0..n).map(|w| factory(w, n)).collect::<Result<_, _>>()?;
+        let types = ops[0].out_types().to_vec();
+        for (w, op) in ops.iter().enumerate() {
+            if op.out_types() != types.as_slice() {
+                return Err(ExecError::Plan(format!(
+                    "parallel fragment {w} disagrees on output types"
+                )));
+            }
+        }
+        Ok(Parallel {
+            state: State::Pending(ops),
+            types,
+        })
+    }
+
+    fn start(&mut self, ops: Vec<BoxOp>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Batch>(ops.len() * CHANNEL_DEPTH_PER_WORKER);
+        let handles = ops
+            .into_iter()
+            .map(|op| {
+                let tx = tx.clone();
+                std::thread::spawn(move || run_worker(op, &tx))
+            })
+            .collect();
+        self.state = State::Running {
+            rx,
+            handles,
+            buffered: std::collections::VecDeque::new(),
+        };
+    }
+}
+
+fn run_worker(mut op: BoxOp, tx: &SyncSender<Batch>) {
+    let mut batch = Vec::with_capacity(CHUNKS_PER_MESSAGE);
+    loop {
+        match op.next() {
+            Ok(Some(chunk)) => {
+                batch.push(chunk);
+                if batch.len() >= CHUNKS_PER_MESSAGE {
+                    // A send error means the receiver hung up (parent
+                    // dropped mid-stream, e.g. under a Limit): stop
+                    // producing.
+                    if tx.send(Ok(std::mem::take(&mut batch))).is_err() {
+                        return;
+                    }
+                    batch.reserve(CHUNKS_PER_MESSAGE);
+                }
+            }
+            Ok(None) => {
+                if !batch.is_empty() {
+                    let _ = tx.send(Ok(batch));
+                }
+                return;
+            }
+            Err(e) => {
+                if !batch.is_empty() {
+                    let _ = tx.send(Ok(std::mem::take(&mut batch)));
+                }
+                let _ = tx.send(Err(e));
+                return;
+            }
+        }
+    }
+}
+
+impl Operator for Parallel {
+    fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+        loop {
+            match std::mem::replace(&mut self.state, State::Done) {
+                State::Pending(ops) => self.start(ops),
+                State::Running {
+                    rx,
+                    handles,
+                    mut buffered,
+                } => {
+                    if let Some(chunk) = buffered.pop_front() {
+                        self.state = State::Running {
+                            rx,
+                            handles,
+                            buffered,
+                        };
+                        return Ok(Some(chunk));
+                    }
+                    match rx.recv() {
+                        Ok(Ok(batch)) => {
+                            buffered.extend(batch);
+                            self.state = State::Running {
+                                rx,
+                                handles,
+                                buffered,
+                            };
+                            // Loop: pop from the refilled buffer (a batch
+                            // is never empty, but stay robust).
+                        }
+                        Ok(Err(e)) => return Err(e),
+                        Err(_) => {
+                            // All senders gone: every worker finished.
+                            // Join to reap panics.
+                            for h in handles {
+                                if let Err(payload) = h.join() {
+                                    std::panic::resume_unwind(payload);
+                                }
+                            }
+                            return Ok(None);
+                        }
+                    }
+                }
+                State::Done => return Ok(None),
+            }
+        }
+    }
+
+    fn out_types(&self) -> &[DataType] {
+        &self.types
+    }
+}
+
+impl Drop for Parallel {
+    fn drop(&mut self) {
+        // Dropping the receiver first makes producers blocked on a full
+        // channel fail their send and exit, so the joins below are quick
+        // (bounded by one in-flight batch of work per worker).
+        if let State::Running { rx, handles, .. } = std::mem::replace(&mut self.state, State::Done)
+        {
+            drop(rx);
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{collect, total_rows, Scan};
+    use ma_vector::{ColumnBuilder, MorselQueue, Table, VECTOR_SIZE};
+    use std::sync::Arc;
+
+    fn table(n: usize) -> Arc<Table> {
+        let mut a = ColumnBuilder::with_capacity(DataType::I64, n);
+        for i in 0..n {
+            a.push_i64(i as i64);
+        }
+        Arc::new(Table::new("t", vec![("a".into(), a.finish())]).unwrap())
+    }
+
+    #[test]
+    fn union_covers_every_row_exactly_once() {
+        let t = table(10 * VECTOR_SIZE + 37);
+        let rows = t.rows();
+        let queue = Arc::new(MorselQueue::with_morsel(rows, VECTOR_SIZE));
+        let factory = move |_w: usize, _n: usize| -> Result<BoxOp, ExecError> {
+            Ok(Box::new(Scan::morsel(
+                Arc::clone(&t),
+                &["a"],
+                VECTOR_SIZE,
+                Arc::clone(&queue),
+            )?))
+        };
+        let mut par = Parallel::new(4, &factory).unwrap();
+        assert_eq!(par.out_types(), &[DataType::I64]);
+        let chunks = collect(&mut par).unwrap();
+        assert_eq!(total_rows(&chunks), rows);
+        let mut vals: Vec<i64> = chunks
+            .iter()
+            .flat_map(|c| c.column(0).as_i64().to_vec())
+            .collect();
+        vals.sort_unstable();
+        assert!(vals.iter().enumerate().all(|(i, &v)| v == i as i64));
+    }
+
+    #[test]
+    fn single_worker_matches_plain_scan() {
+        let t = table(3000);
+        let queue = Arc::new(MorselQueue::new(t.rows()));
+        let t2 = Arc::clone(&t);
+        let factory = move |_w: usize, _n: usize| -> Result<BoxOp, ExecError> {
+            Ok(Box::new(Scan::morsel(
+                Arc::clone(&t2),
+                &["a"],
+                1024,
+                Arc::clone(&queue),
+            )?))
+        };
+        let mut par = Parallel::new(1, &factory).unwrap();
+        let got = collect(&mut par).unwrap();
+        let mut plain = Scan::new(t, &["a"], 1024).unwrap();
+        let want = collect(&mut plain).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.column(0).as_i64(), w.column(0).as_i64());
+        }
+    }
+
+    #[test]
+    fn factory_error_surfaces_at_construction() {
+        let t = table(10);
+        let factory = move |w: usize, _n: usize| -> Result<BoxOp, ExecError> {
+            if w == 2 {
+                Err(ExecError::Plan("boom".into()))
+            } else {
+                Ok(Box::new(Scan::new(Arc::clone(&t), &["a"], 16)?))
+            }
+        };
+        assert!(Parallel::new(4, &factory).is_err());
+    }
+
+    #[test]
+    fn drop_mid_stream_does_not_hang() {
+        let t = table(64 * VECTOR_SIZE);
+        let queue = Arc::new(MorselQueue::with_morsel(t.rows(), VECTOR_SIZE));
+        let factory = move |_w: usize, _n: usize| -> Result<BoxOp, ExecError> {
+            Ok(Box::new(Scan::morsel(
+                Arc::clone(&t),
+                &["a"],
+                VECTOR_SIZE,
+                Arc::clone(&queue),
+            )?))
+        };
+        let mut par = Parallel::new(4, &factory).unwrap();
+        let first = par.next().unwrap();
+        assert!(first.is_some());
+        drop(par); // workers blocked on a full channel must unblock
+    }
+}

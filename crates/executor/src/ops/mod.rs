@@ -1,6 +1,7 @@
 //! Physical operators of the vector-at-a-time engine.
 
 mod aggregate;
+mod exchange;
 pub(crate) mod fetch;
 mod hash_join;
 mod merge_join;
@@ -10,6 +11,7 @@ mod select;
 mod sort;
 
 pub use aggregate::{AggSpec, HashAggregate, StreamAggregate};
+pub use exchange::{FragmentFactory, Parallel};
 pub use hash_join::{HashJoin, JoinKind};
 pub use merge_join::MergeJoin;
 pub use project::{ProjItem, Project};
@@ -32,8 +34,9 @@ pub trait Operator {
     fn out_types(&self) -> &[DataType];
 }
 
-/// Boxed operator, the unit plans compose.
-pub type BoxOp = Box<dyn Operator>;
+/// Boxed operator, the unit plans compose. `Send` so whole pipelines can
+/// move to scan worker threads (see [`Parallel`]).
+pub type BoxOp = Box<dyn Operator + Send>;
 
 /// Drains an operator, returning all chunks.
 pub fn collect(op: &mut dyn Operator) -> Result<Vec<DataChunk>, ExecError> {

@@ -2,26 +2,47 @@
 //!
 //! Scan decompression bypasses the expression evaluator in Vectorwise (§4.1
 //! notes this explicitly), so scans use no flavored primitives here either.
+//!
+//! Two cursor modes share one operator: a *sequential* cursor walking the
+//! whole table, and a *morsel* cursor pulling row ranges from a shared
+//! [`MorselQueue`] so several workers shard one table. Because morsels are
+//! vector-aligned, the multiset of chunk boundaries is identical in both
+//! modes — only which worker produces a chunk varies.
 
 use std::sync::Arc;
 
-use ma_vector::{DataChunk, DataType, Table};
+use ma_vector::{DataChunk, DataType, MorselQueue, RowRange, Table};
 
 use crate::ops::Operator;
 use crate::ExecError;
 
-/// Sequential scan over selected columns of a table.
+enum Cursor {
+    /// Walk the whole table front to back.
+    Seq { pos: usize },
+    /// Pull vector-aligned ranges from a queue shared between workers.
+    Morsel {
+        queue: Arc<MorselQueue>,
+        current: Option<RowRange>,
+        off: usize,
+    },
+}
+
+/// Scan over selected columns of a table (sequential or morsel-sharded).
 pub struct Scan {
     table: Arc<Table>,
     col_idx: Vec<usize>,
     types: Vec<DataType>,
     vector_size: usize,
-    pos: usize,
+    cursor: Cursor,
 }
 
 impl Scan {
-    /// Builds a scan of `columns` (by name, output order as given).
-    pub fn new(table: Arc<Table>, columns: &[&str], vector_size: usize) -> Result<Self, ExecError> {
+    fn build(
+        table: Arc<Table>,
+        columns: &[&str],
+        vector_size: usize,
+        cursor: Cursor,
+    ) -> Result<Self, ExecError> {
         let mut col_idx = Vec::with_capacity(columns.len());
         let mut types = Vec::with_capacity(columns.len());
         for name in columns {
@@ -34,24 +55,99 @@ impl Scan {
             col_idx,
             types,
             vector_size,
-            pos: 0,
+            cursor,
         })
+    }
+
+    /// Builds a sequential scan of `columns` (by name, output order as
+    /// given).
+    pub fn new(table: Arc<Table>, columns: &[&str], vector_size: usize) -> Result<Self, ExecError> {
+        Scan::build(table, columns, vector_size, Cursor::Seq { pos: 0 })
+    }
+
+    /// Builds a morsel-sharded scan: ranges come from `queue`, which must
+    /// cover exactly this table's rows and is typically shared with the
+    /// sibling workers of a [`crate::ops::Parallel`]. The morsel size must
+    /// be a multiple of `vector_size` so chunk boundaries coincide with
+    /// the sequential scan's (the worker-count-invariance contract of
+    /// DESIGN.md §5).
+    pub fn morsel(
+        table: Arc<Table>,
+        columns: &[&str],
+        vector_size: usize,
+        queue: Arc<MorselQueue>,
+    ) -> Result<Self, ExecError> {
+        if queue.rows() != table.rows() {
+            return Err(ExecError::Plan(format!(
+                "morsel queue covers {} rows but table {} has {}",
+                queue.rows(),
+                table.name(),
+                table.rows()
+            )));
+        }
+        if vector_size == 0 || !queue.morsel_rows().is_multiple_of(vector_size) {
+            return Err(ExecError::Plan(format!(
+                "morsel size {} is not a multiple of vector size {vector_size}",
+                queue.morsel_rows()
+            )));
+        }
+        Scan::build(
+            table,
+            columns,
+            vector_size,
+            Cursor::Morsel {
+                queue,
+                current: None,
+                off: 0,
+            },
+        )
+    }
+
+    /// The next `(start, len)` slice to emit, advancing the cursor.
+    fn next_slice(&mut self) -> Option<(usize, usize)> {
+        match &mut self.cursor {
+            Cursor::Seq { pos } => {
+                let rows = self.table.rows();
+                if *pos >= rows {
+                    return None;
+                }
+                let n = (rows - *pos).min(self.vector_size);
+                let start = *pos;
+                *pos += n;
+                Some((start, n))
+            }
+            Cursor::Morsel {
+                queue,
+                current,
+                off,
+            } => loop {
+                match current {
+                    Some(r) if *off < r.len => {
+                        let start = r.start + *off;
+                        let n = (r.len - *off).min(self.vector_size);
+                        *off += n;
+                        return Some((start, n));
+                    }
+                    _ => {
+                        *current = Some(queue.claim()?);
+                        *off = 0;
+                    }
+                }
+            },
+        }
     }
 }
 
 impl Operator for Scan {
     fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
-        let rows = self.table.rows();
-        if self.pos >= rows {
+        let Some((start, n)) = self.next_slice() else {
             return Ok(None);
-        }
-        let n = (rows - self.pos).min(self.vector_size);
+        };
         let cols = self
             .col_idx
             .iter()
-            .map(|&i| Arc::new(self.table.column_at(i).slice_vector(self.pos, n)))
+            .map(|&i| Arc::new(self.table.column_at(i).slice_vector(start, n)))
             .collect();
-        self.pos += n;
         Ok(Some(DataChunk::new(cols)))
     }
 
@@ -109,6 +205,37 @@ mod tests {
     fn unknown_column_errors() {
         let t = table(1);
         assert!(Scan::new(t, &["nope"], 16).is_err());
+    }
+
+    #[test]
+    fn morsel_scan_covers_table_with_aligned_boundaries() {
+        let t = table(2500);
+        let queue = Arc::new(ma_vector::MorselQueue::with_morsel(2500, 1024));
+        let mut scan = Scan::morsel(t.clone(), &["a"], 1024, queue).unwrap();
+        let chunks = collect(&mut scan).unwrap();
+        // Same boundary multiset as the sequential scan: 1024, 1024, 452.
+        assert_eq!(
+            chunks.iter().map(|c| c.len()).collect::<Vec<_>>(),
+            vec![1024, 1024, 452]
+        );
+        assert_eq!(total_rows(&chunks), 2500);
+        assert_eq!(chunks[1].column(0).as_i32()[0], 1024);
+    }
+
+    #[test]
+    fn morsel_queue_size_mismatch_rejected() {
+        let t = table(100);
+        let queue = Arc::new(ma_vector::MorselQueue::new(99));
+        assert!(Scan::morsel(t, &["a"], 16, queue).is_err());
+    }
+
+    #[test]
+    fn misaligned_morsel_rejected() {
+        // Morsel of 1000 rows with a vector size of 1024: boundaries would
+        // diverge from the sequential scan's, so construction must fail.
+        let t = table(2500);
+        let queue = Arc::new(ma_vector::MorselQueue::with_morsel(2500, 1000));
+        assert!(Scan::morsel(t, &["a"], 1024, queue).is_err());
     }
 
     #[test]

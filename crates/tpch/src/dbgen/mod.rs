@@ -19,10 +19,98 @@ pub mod text;
 use std::sync::Arc;
 
 use ma_core::SplitMix64;
-use ma_vector::{ColumnBuilder, DataType, Table};
+use ma_vector::{Column, ColumnBuilder, DataType, RowRange, Table};
 
 use crate::dates::{current_date, end_date};
 use text::*;
+
+// ---------------------------------------------------------------------------
+// partition-parallel generation scaffolding
+// ---------------------------------------------------------------------------
+
+/// Rows per generation partition. The data is a pure function of
+/// `(sf, seed)` for ANY thread count because partition boundaries are fixed
+/// and each partition owns an rng seeded by its index — threads only decide
+/// who computes which partition.
+const GEN_PART_ROWS: usize = 32_768;
+
+/// Deterministic per-partition rng seed.
+fn part_seed(seed: u64, part: usize) -> u64 {
+    (seed ^ 0xA076_1D64_78BD_642F)
+        .wrapping_add((part as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Fixed-size partition grid over `rows`.
+fn gen_ranges(rows: usize) -> Vec<RowRange> {
+    (0..rows)
+        .step_by(GEN_PART_ROWS.max(1))
+        .map(|start| RowRange {
+            start,
+            len: GEN_PART_ROWS.min(rows - start),
+        })
+        .collect()
+}
+
+/// Runs `gen(range, part_index)` over the partition grid on up to
+/// `threads` OS threads, returning results in partition order.
+fn gen_partitions<T: Send>(
+    rows: usize,
+    threads: usize,
+    gen: impl Fn(RowRange, usize) -> T + Sync,
+) -> Vec<T> {
+    let ranges = gen_ranges(rows);
+    let threads = threads.clamp(1, ranges.len().max(1));
+    if threads == 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(p, r)| gen(r, p))
+            .collect();
+    }
+    let gen = &gen;
+    let ranges = &ranges;
+    let mut out: Vec<Option<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut p = t;
+                    while p < ranges.len() {
+                        mine.push((p, gen(ranges[p], p)));
+                        p += threads;
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<T>> =
+            std::iter::repeat_with(|| None).take(ranges.len()).collect();
+        for h in handles {
+            for (p, v) in h.join().expect("dbgen worker panicked") {
+                slots[p] = Some(v);
+            }
+        }
+        slots
+    });
+    out.iter_mut()
+        .map(|s| s.take().expect("every partition generated"))
+        .collect()
+}
+
+/// Concatenates per-partition column sets into a table. Each partition
+/// contributes index-aligned columns; `Column` clones are `Arc`-cheap.
+fn table_from_parts(name: &str, col_names: &[&str], parts: Vec<Vec<Column>>) -> Table {
+    assert!(!parts.is_empty());
+    let cols = col_names
+        .iter()
+        .enumerate()
+        .map(|(c, n)| {
+            let slices: Vec<Column> = parts.iter().map(|p| p[c].clone()).collect();
+            (n.to_string(), Column::concat(&slices))
+        })
+        .collect();
+    Table::new(name, cols).expect("static schema")
+}
 
 /// All eight TPC-H tables.
 pub struct TpchData {
@@ -63,24 +151,36 @@ fn retail_price_cents(partkey: i32) -> i64 {
 }
 
 impl TpchData {
-    /// Generates a database at scale factor `sf` with a deterministic seed.
+    /// Generates a database at scale factor `sf` with a deterministic seed,
+    /// using every available core (capped at 8). The data depends only on
+    /// `(sf, seed)`, never on the thread count.
     pub fn generate(sf: f64, seed: u64) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        Self::generate_with_threads(sf, seed, threads)
+    }
+
+    /// [`TpchData::generate`] with an explicit generation thread count.
+    pub fn generate_with_threads(sf: f64, seed: u64, threads: usize) -> Self {
         assert!(sf > 0.0, "scale factor must be positive");
+        let threads = threads.max(1);
         let n_supp = scaled(SF1_SUPPLIER, sf);
         let n_cust = scaled(SF1_CUSTOMER, sf);
         let n_part = scaled(SF1_PART, sf);
         let n_orders = scaled(SF1_ORDERS, sf);
 
-        let (orders, o_dates) = gen_orders(n_orders, n_cust, seed ^ 0x0D);
-        let lineitem = gen_lineitem(&o_dates, n_part, n_supp, seed ^ 0x11);
+        let (orders, o_dates) = gen_orders(n_orders, n_cust, seed ^ 0x0D, threads);
+        let lineitem = gen_lineitem(&o_dates, n_part, n_supp, seed ^ 0x11, threads);
         TpchData {
             sf,
             region: Arc::new(gen_region()),
             nation: Arc::new(gen_nation()),
-            supplier: Arc::new(gen_supplier(n_supp, seed ^ 0x55)),
-            customer: Arc::new(gen_customer(n_cust, seed ^ 0xC0)),
-            part: Arc::new(gen_part(n_part, seed ^ 0x9A)),
-            partsupp: Arc::new(gen_partsupp(n_part, n_supp, seed ^ 0x75)),
+            supplier: Arc::new(gen_supplier(n_supp, seed ^ 0x55, threads)),
+            customer: Arc::new(gen_customer(n_cust, seed ^ 0xC0, threads)),
+            part: Arc::new(gen_part(n_part, seed ^ 0x9A, threads)),
+            partsupp: Arc::new(gen_partsupp(n_part, n_supp, seed ^ 0x75, threads)),
             orders: Arc::new(orders),
             lineitem: Arc::new(lineitem),
         }
@@ -148,320 +248,422 @@ fn gen_nation() -> Table {
     .expect("static schema")
 }
 
-fn gen_supplier(n: usize, seed: u64) -> Table {
-    let mut rng = SplitMix64::new(seed);
-    let mut key = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut name = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut address = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut nationkey = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut phone = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut acctbal = ColumnBuilder::with_capacity(DataType::I64, n);
-    let mut comment = ColumnBuilder::with_capacity(DataType::Str, n);
-    for i in 0..n {
-        let k = (i + 1) as i32;
-        let nk = rng.gen_range(25) as i32;
-        key.push_i32(k);
-        name.push_str(&format!("Supplier#{k:09}"));
-        address.push_str(&format!("addr sup {:06}", rng.gen_range(1_000_000)));
-        nationkey.push_i32(nk);
-        phone.push_str(&text::phone(&mut rng, nk));
-        acctbal.push_i64(-99_999 + rng.gen_range(1_100_000) as i64);
-        // Spec: 5 suppliers per SF1 get "Customer ... Complaints".
-        let inject = rng.gen_range(2000) == 0;
-        comment.push_str(&text::comment(
-            &mut rng,
-            10,
-            inject.then_some(("Customer", "Complaints")),
-        ));
-    }
-    Table::new(
+fn gen_supplier(n: usize, seed: u64, threads: usize) -> Table {
+    let parts = gen_partitions(n, threads, |range, p| {
+        let mut rng = SplitMix64::new(part_seed(seed, p));
+        let rows = range.len;
+        let mut key = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut name = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut address = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut nationkey = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut phone = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut acctbal = ColumnBuilder::with_capacity(DataType::I64, rows);
+        let mut comment = ColumnBuilder::with_capacity(DataType::Str, rows);
+        for i in range.start..range.end() {
+            let k = (i + 1) as i32;
+            let nk = rng.gen_range(25) as i32;
+            key.push_i32(k);
+            name.push_str(&format!("Supplier#{k:09}"));
+            address.push_str(&format!("addr sup {:06}", rng.gen_range(1_000_000)));
+            nationkey.push_i32(nk);
+            phone.push_str(&text::phone(&mut rng, nk));
+            acctbal.push_i64(-99_999 + rng.gen_range(1_100_000) as i64);
+            // Spec: 5 suppliers per SF1 get "Customer ... Complaints".
+            let inject = rng.gen_range(2000) == 0;
+            comment.push_str(&text::comment(
+                &mut rng,
+                10,
+                inject.then_some(("Customer", "Complaints")),
+            ));
+        }
+        vec![
+            key.finish(),
+            name.finish(),
+            address.finish(),
+            nationkey.finish(),
+            phone.finish(),
+            acctbal.finish(),
+            comment.finish(),
+        ]
+    });
+    table_from_parts(
         "supplier",
-        vec![
-            ("s_suppkey".into(), key.finish()),
-            ("s_name".into(), name.finish()),
-            ("s_address".into(), address.finish()),
-            ("s_nationkey".into(), nationkey.finish()),
-            ("s_phone".into(), phone.finish()),
-            ("s_acctbal".into(), acctbal.finish()),
-            ("s_comment".into(), comment.finish()),
+        &[
+            "s_suppkey",
+            "s_name",
+            "s_address",
+            "s_nationkey",
+            "s_phone",
+            "s_acctbal",
+            "s_comment",
         ],
+        parts,
     )
-    .expect("static schema")
 }
 
-fn gen_customer(n: usize, seed: u64) -> Table {
-    let mut rng = SplitMix64::new(seed);
-    let mut key = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut name = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut address = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut nationkey = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut phone = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut acctbal = ColumnBuilder::with_capacity(DataType::I64, n);
-    let mut segment = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut comment = ColumnBuilder::with_capacity(DataType::Str, n);
-    for i in 0..n {
-        let k = (i + 1) as i32;
-        let nk = rng.gen_range(25) as i32;
-        key.push_i32(k);
-        name.push_str(&format!("Customer#{k:09}"));
-        address.push_str(&format!("addr cust {:06}", rng.gen_range(1_000_000)));
-        nationkey.push_i32(nk);
-        phone.push_str(&text::phone(&mut rng, nk));
-        acctbal.push_i64(-99_999 + rng.gen_range(1_100_000) as i64);
-        segment.push_str(SEGMENTS[rng.gen_range(SEGMENTS.len())]);
-        comment.push_str(&text::comment(&mut rng, 12, None));
-    }
-    Table::new(
+fn gen_customer(n: usize, seed: u64, threads: usize) -> Table {
+    let parts = gen_partitions(n, threads, |range, p| {
+        let mut rng = SplitMix64::new(part_seed(seed, p));
+        let rows = range.len;
+        let mut key = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut name = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut address = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut nationkey = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut phone = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut acctbal = ColumnBuilder::with_capacity(DataType::I64, rows);
+        let mut segment = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut comment = ColumnBuilder::with_capacity(DataType::Str, rows);
+        for i in range.start..range.end() {
+            let k = (i + 1) as i32;
+            let nk = rng.gen_range(25) as i32;
+            key.push_i32(k);
+            name.push_str(&format!("Customer#{k:09}"));
+            address.push_str(&format!("addr cust {:06}", rng.gen_range(1_000_000)));
+            nationkey.push_i32(nk);
+            phone.push_str(&text::phone(&mut rng, nk));
+            acctbal.push_i64(-99_999 + rng.gen_range(1_100_000) as i64);
+            segment.push_str(SEGMENTS[rng.gen_range(SEGMENTS.len())]);
+            comment.push_str(&text::comment(&mut rng, 12, None));
+        }
+        vec![
+            key.finish(),
+            name.finish(),
+            address.finish(),
+            nationkey.finish(),
+            phone.finish(),
+            acctbal.finish(),
+            segment.finish(),
+            comment.finish(),
+        ]
+    });
+    table_from_parts(
         "customer",
-        vec![
-            ("c_custkey".into(), key.finish()),
-            ("c_name".into(), name.finish()),
-            ("c_address".into(), address.finish()),
-            ("c_nationkey".into(), nationkey.finish()),
-            ("c_phone".into(), phone.finish()),
-            ("c_acctbal".into(), acctbal.finish()),
-            ("c_mktsegment".into(), segment.finish()),
-            ("c_comment".into(), comment.finish()),
+        &[
+            "c_custkey",
+            "c_name",
+            "c_address",
+            "c_nationkey",
+            "c_phone",
+            "c_acctbal",
+            "c_mktsegment",
+            "c_comment",
         ],
+        parts,
     )
-    .expect("static schema")
 }
 
-fn gen_part(n: usize, seed: u64) -> Table {
-    let mut rng = SplitMix64::new(seed);
-    let mut key = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut name = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut mfgr = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut brand = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut ptype = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut size = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut cont = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut price = ColumnBuilder::with_capacity(DataType::I64, n);
-    let mut comment = ColumnBuilder::with_capacity(DataType::Str, n);
-    for i in 0..n {
-        let k = (i + 1) as i32;
-        let m = 1 + rng.gen_range(5);
-        let b = 10 * m + 1 + rng.gen_range(5);
-        key.push_i32(k);
-        name.push_str(&part_name(&mut rng));
-        mfgr.push_str(&format!("Manufacturer#{m}"));
-        brand.push_str(&format!("Brand#{b}"));
-        ptype.push_str(&part_type(&mut rng));
-        size.push_i32(1 + rng.gen_range(50) as i32);
-        cont.push_str(&container(&mut rng));
-        price.push_i64(retail_price_cents(k));
-        comment.push_str(&text::comment(&mut rng, 6, None));
-    }
-    Table::new(
-        "part",
-        vec![
-            ("p_partkey".into(), key.finish()),
-            ("p_name".into(), name.finish()),
-            ("p_mfgr".into(), mfgr.finish()),
-            ("p_brand".into(), brand.finish()),
-            ("p_type".into(), ptype.finish()),
-            ("p_size".into(), size.finish()),
-            ("p_container".into(), cont.finish()),
-            ("p_retailprice".into(), price.finish()),
-            ("p_comment".into(), comment.finish()),
-        ],
-    )
-    .expect("static schema")
-}
-
-fn gen_partsupp(n_part: usize, n_supp: usize, seed: u64) -> Table {
-    let mut rng = SplitMix64::new(seed);
-    let n = n_part * 4; // upper bound; tiny scale factors may dedupe
-    let mut partkey = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut suppkey = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut availqty = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut cost = ColumnBuilder::with_capacity(DataType::I64, n);
-    let mut comment = ColumnBuilder::with_capacity(DataType::Str, n);
-    for p in 1..=n_part {
-        // Supplier spreading in the spirit of spec 4.2.3: a per-part
-        // rotation plus i·(S/4) spacing. The four values are distinct mod S
-        // whenever S ≥ 4 (the spacing term alone covers four residues);
-        // dedupe handles degenerate S < 4 at minuscule scale factors.
-        let s_cnt = n_supp as i64;
-        let rot = (p as i64 - 1) + (p as i64 - 1) / s_cnt;
-        let mut seen = [0i64; 4];
-        let mut n_seen = 0;
-        for i in 0..4i64 {
-            let sk = (rot + i * (s_cnt / 4).max(1)).rem_euclid(s_cnt) + 1;
-            if seen[..n_seen].contains(&sk) {
-                continue;
-            }
-            seen[n_seen] = sk;
-            n_seen += 1;
-            partkey.push_i32(p as i32);
-            suppkey.push_i32(sk as i32);
-            availqty.push_i32(1 + rng.gen_range(9999) as i32);
-            cost.push_i64(100 + rng.gen_range(99_901) as i64);
+fn gen_part(n: usize, seed: u64, threads: usize) -> Table {
+    let parts = gen_partitions(n, threads, |range, p| {
+        let mut rng = SplitMix64::new(part_seed(seed, p));
+        let rows = range.len;
+        let mut key = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut name = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut mfgr = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut brand = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut ptype = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut size = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut cont = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut price = ColumnBuilder::with_capacity(DataType::I64, rows);
+        let mut comment = ColumnBuilder::with_capacity(DataType::Str, rows);
+        for i in range.start..range.end() {
+            let k = (i + 1) as i32;
+            let m = 1 + rng.gen_range(5);
+            let b = 10 * m + 1 + rng.gen_range(5);
+            key.push_i32(k);
+            name.push_str(&part_name(&mut rng));
+            mfgr.push_str(&format!("Manufacturer#{m}"));
+            brand.push_str(&format!("Brand#{b}"));
+            ptype.push_str(&part_type(&mut rng));
+            size.push_i32(1 + rng.gen_range(50) as i32);
+            cont.push_str(&container(&mut rng));
+            price.push_i64(retail_price_cents(k));
             comment.push_str(&text::comment(&mut rng, 6, None));
         }
-    }
-    Table::new(
-        "partsupp",
         vec![
-            ("ps_partkey".into(), partkey.finish()),
-            ("ps_suppkey".into(), suppkey.finish()),
-            ("ps_availqty".into(), availqty.finish()),
-            ("ps_supplycost".into(), cost.finish()),
-            ("ps_comment".into(), comment.finish()),
+            key.finish(),
+            name.finish(),
+            mfgr.finish(),
+            brand.finish(),
+            ptype.finish(),
+            size.finish(),
+            cont.finish(),
+            price.finish(),
+            comment.finish(),
+        ]
+    });
+    table_from_parts(
+        "part",
+        &[
+            "p_partkey",
+            "p_name",
+            "p_mfgr",
+            "p_brand",
+            "p_type",
+            "p_size",
+            "p_container",
+            "p_retailprice",
+            "p_comment",
         ],
+        parts,
     )
-    .expect("static schema")
+}
+
+fn gen_partsupp(n_part: usize, n_supp: usize, seed: u64, threads: usize) -> Table {
+    // Partitioned over part keys; each part contributes up to 4 rows.
+    let parts = gen_partitions(n_part, threads, |range, pi| {
+        let mut rng = SplitMix64::new(part_seed(seed, pi));
+        let cap = range.len * 4;
+        let mut partkey = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut suppkey = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut availqty = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut cost = ColumnBuilder::with_capacity(DataType::I64, cap);
+        let mut comment = ColumnBuilder::with_capacity(DataType::Str, cap);
+        for p in range.start + 1..=range.end() {
+            // Supplier spreading in the spirit of spec 4.2.3: a per-part
+            // rotation plus i·(S/4) spacing. The four values are distinct
+            // mod S whenever S ≥ 4 (the spacing term alone covers four
+            // residues); dedupe handles degenerate S < 4 at minuscule
+            // scale factors.
+            let s_cnt = n_supp as i64;
+            let rot = (p as i64 - 1) + (p as i64 - 1) / s_cnt;
+            let mut seen = [0i64; 4];
+            let mut n_seen = 0;
+            for i in 0..4i64 {
+                let sk = (rot + i * (s_cnt / 4).max(1)).rem_euclid(s_cnt) + 1;
+                if seen[..n_seen].contains(&sk) {
+                    continue;
+                }
+                seen[n_seen] = sk;
+                n_seen += 1;
+                partkey.push_i32(p as i32);
+                suppkey.push_i32(sk as i32);
+                availqty.push_i32(1 + rng.gen_range(9999) as i32);
+                cost.push_i64(100 + rng.gen_range(99_901) as i64);
+                comment.push_str(&text::comment(&mut rng, 6, None));
+            }
+        }
+        vec![
+            partkey.finish(),
+            suppkey.finish(),
+            availqty.finish(),
+            cost.finish(),
+            comment.finish(),
+        ]
+    });
+    table_from_parts(
+        "partsupp",
+        &[
+            "ps_partkey",
+            "ps_suppkey",
+            "ps_availqty",
+            "ps_supplycost",
+            "ps_comment",
+        ],
+        parts,
+    )
 }
 
 /// Generates orders; also returns `(o_orderdate, o_orderkey)` pairs for
 /// lineitem generation. Orders are *date-clustered*: orderdate grows with
 /// orderkey (see module docs).
-fn gen_orders(n: usize, n_cust: usize, seed: u64) -> (Table, Vec<(i32, i32)>) {
-    let mut rng = SplitMix64::new(seed);
+fn gen_orders(n: usize, n_cust: usize, seed: u64, threads: usize) -> (Table, Vec<(i32, i32)>) {
     let last_order_day = end_date() - 151;
-    let mut key = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut custkey = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut status = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut total = ColumnBuilder::with_capacity(DataType::I64, n);
-    let mut odate = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut oyear = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut prio = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut clerk = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut shipprio = ColumnBuilder::with_capacity(DataType::I32, n);
-    let mut comment = ColumnBuilder::with_capacity(DataType::Str, n);
-    let mut dates = Vec::with_capacity(n);
-    for i in 0..n {
-        let k = (i + 1) as i32;
-        // Date clustering: linear ramp + jitter of ±15 days, clamped.
-        let base = (i as f64 / n as f64 * last_order_day as f64) as i32;
-        let d = (base + rng.gen_range(31) as i32 - 15).clamp(0, last_order_day);
-        let st = if d + 121 < current_date() {
-            "F"
-        } else if d > current_date() {
-            "O"
-        } else {
-            "P"
-        };
-        key.push_i32(k);
-        // Spec 4.2.3: every third customer (custkey ≡ 0 mod 3) gets no
-        // orders — Q13's zero bucket and Q22's anti-join depend on it.
-        let n_allowed = n_cust - n_cust / 3;
-        let j = rng.gen_range(n_allowed.max(1));
-        custkey.push_i32((3 * (j / 2) + 1 + (j % 2)) as i32);
-        status.push_str(st);
-        total.push_i64(100_000 + rng.gen_range(50_000_000) as i64);
-        odate.push_i32(d);
-        oyear.push_i32(crate::dates::year_of(d));
-        prio.push_str(PRIORITIES[rng.gen_range(PRIORITIES.len())]);
-        clerk.push_str(&format!("Clerk#{:09}", 1 + rng.gen_range(1000)));
-        shipprio.push_i32(0);
-        // ~1% of order comments carry the Q13 pattern.
-        let inject = rng.gen_range(100) == 0;
-        comment.push_str(&text::comment(
-            &mut rng,
-            12,
-            inject.then_some(("special", "requests")),
-        ));
-        dates.push((d, k));
+    let parts = gen_partitions(n, threads, |range, pi| {
+        let mut rng = SplitMix64::new(part_seed(seed, pi));
+        let rows = range.len;
+        let mut key = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut custkey = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut status = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut total = ColumnBuilder::with_capacity(DataType::I64, rows);
+        let mut odate = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut oyear = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut prio = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut clerk = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut shipprio = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut comment = ColumnBuilder::with_capacity(DataType::Str, rows);
+        let mut dates = Vec::with_capacity(rows);
+        for i in range.start..range.end() {
+            let k = (i + 1) as i32;
+            // Date clustering: linear ramp + jitter of ±15 days, clamped.
+            // `i` and `n` are global, so the ramp is partition-independent.
+            let base = (i as f64 / n as f64 * last_order_day as f64) as i32;
+            let d = (base + rng.gen_range(31) as i32 - 15).clamp(0, last_order_day);
+            let st = if d + 121 < current_date() {
+                "F"
+            } else if d > current_date() {
+                "O"
+            } else {
+                "P"
+            };
+            key.push_i32(k);
+            // Spec 4.2.3: every third customer (custkey ≡ 0 mod 3) gets no
+            // orders — Q13's zero bucket and Q22's anti-join depend on it.
+            let n_allowed = n_cust - n_cust / 3;
+            let j = rng.gen_range(n_allowed.max(1));
+            custkey.push_i32((3 * (j / 2) + 1 + (j % 2)) as i32);
+            status.push_str(st);
+            total.push_i64(100_000 + rng.gen_range(50_000_000) as i64);
+            odate.push_i32(d);
+            oyear.push_i32(crate::dates::year_of(d));
+            prio.push_str(PRIORITIES[rng.gen_range(PRIORITIES.len())]);
+            clerk.push_str(&format!("Clerk#{:09}", 1 + rng.gen_range(1000)));
+            shipprio.push_i32(0);
+            // ~1% of order comments carry the Q13 pattern.
+            let inject = rng.gen_range(100) == 0;
+            comment.push_str(&text::comment(
+                &mut rng,
+                12,
+                inject.then_some(("special", "requests")),
+            ));
+            dates.push((d, k));
+        }
+        (
+            vec![
+                key.finish(),
+                custkey.finish(),
+                status.finish(),
+                total.finish(),
+                odate.finish(),
+                oyear.finish(),
+                prio.finish(),
+                clerk.finish(),
+                shipprio.finish(),
+                comment.finish(),
+            ],
+            dates,
+        )
+    });
+    let mut all_dates = Vec::with_capacity(n);
+    let mut cols = Vec::with_capacity(parts.len());
+    for (c, dates) in parts {
+        cols.push(c);
+        all_dates.extend(dates);
     }
-    let table = Table::new(
+    let table = table_from_parts(
         "orders",
-        vec![
-            ("o_orderkey".into(), key.finish()),
-            ("o_custkey".into(), custkey.finish()),
-            ("o_orderstatus".into(), status.finish()),
-            ("o_totalprice".into(), total.finish()),
-            ("o_orderdate".into(), odate.finish()),
-            ("o_orderyear".into(), oyear.finish()),
-            ("o_orderpriority".into(), prio.finish()),
-            ("o_clerk".into(), clerk.finish()),
-            ("o_shippriority".into(), shipprio.finish()),
-            ("o_comment".into(), comment.finish()),
+        &[
+            "o_orderkey",
+            "o_custkey",
+            "o_orderstatus",
+            "o_totalprice",
+            "o_orderdate",
+            "o_orderyear",
+            "o_orderpriority",
+            "o_clerk",
+            "o_shippriority",
+            "o_comment",
         ],
-    )
-    .expect("static schema");
-    (table, dates)
+        cols,
+    );
+    (table, all_dates)
 }
 
-fn gen_lineitem(orders: &[(i32, i32)], n_part: usize, n_supp: usize, seed: u64) -> Table {
-    let mut rng = SplitMix64::new(seed);
-    let cap = orders.len() * 4;
-    let mut orderkey = ColumnBuilder::with_capacity(DataType::I32, cap);
-    let mut partkey = ColumnBuilder::with_capacity(DataType::I32, cap);
-    let mut suppkey = ColumnBuilder::with_capacity(DataType::I32, cap);
-    let mut linenumber = ColumnBuilder::with_capacity(DataType::I32, cap);
-    let mut quantity = ColumnBuilder::with_capacity(DataType::I32, cap);
-    let mut extprice = ColumnBuilder::with_capacity(DataType::I64, cap);
-    let mut discount = ColumnBuilder::with_capacity(DataType::I64, cap);
-    let mut tax = ColumnBuilder::with_capacity(DataType::I64, cap);
-    let mut returnflag = ColumnBuilder::with_capacity(DataType::Str, cap);
-    let mut linestatus = ColumnBuilder::with_capacity(DataType::Str, cap);
-    let mut shipdate = ColumnBuilder::with_capacity(DataType::I32, cap);
-    let mut shipyear = ColumnBuilder::with_capacity(DataType::I32, cap);
-    let mut commitdate = ColumnBuilder::with_capacity(DataType::I32, cap);
-    let mut receiptdate = ColumnBuilder::with_capacity(DataType::I32, cap);
-    let mut shipinstruct = ColumnBuilder::with_capacity(DataType::Str, cap);
-    let mut shipmode = ColumnBuilder::with_capacity(DataType::Str, cap);
-    let mut comment = ColumnBuilder::with_capacity(DataType::Str, cap);
+fn gen_lineitem(
+    orders: &[(i32, i32)],
+    n_part: usize,
+    n_supp: usize,
+    seed: u64,
+    threads: usize,
+) -> Table {
     let today = current_date();
-    for &(odate, okey) in orders {
-        let lines = 1 + rng.gen_range(7);
-        for ln in 0..lines {
-            let pk = 1 + rng.gen_range(n_part) as i32;
-            let qty = 1 + rng.gen_range(50) as i64;
-            let sdate = odate + 1 + rng.gen_range(121) as i32;
-            let cdate = odate + 30 + rng.gen_range(61) as i32;
-            let rdate = sdate + 1 + rng.gen_range(30) as i32;
-            orderkey.push_i32(okey);
-            partkey.push_i32(pk);
-            suppkey.push_i32(1 + rng.gen_range(n_supp) as i32);
-            linenumber.push_i32(ln as i32 + 1);
-            quantity.push_i32(qty as i32);
-            extprice.push_i64(qty * retail_price_cents(pk));
-            discount.push_i64(rng.gen_range(11) as i64); // 0..=10 percent
-            tax.push_i64(rng.gen_range(9) as i64); // 0..=8 percent
-            returnflag.push_str(if rdate <= today {
-                if rng.gen_range(2) == 0 {
-                    "R"
+    let parts = gen_partitions(orders.len(), threads, |range, pi| {
+        let mut rng = SplitMix64::new(part_seed(seed, pi));
+        let cap = range.len * 4;
+        let mut orderkey = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut partkey = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut suppkey = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut linenumber = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut quantity = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut extprice = ColumnBuilder::with_capacity(DataType::I64, cap);
+        let mut discount = ColumnBuilder::with_capacity(DataType::I64, cap);
+        let mut tax = ColumnBuilder::with_capacity(DataType::I64, cap);
+        let mut returnflag = ColumnBuilder::with_capacity(DataType::Str, cap);
+        let mut linestatus = ColumnBuilder::with_capacity(DataType::Str, cap);
+        let mut shipdate = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut shipyear = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut commitdate = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut receiptdate = ColumnBuilder::with_capacity(DataType::I32, cap);
+        let mut shipinstruct = ColumnBuilder::with_capacity(DataType::Str, cap);
+        let mut shipmode = ColumnBuilder::with_capacity(DataType::Str, cap);
+        let mut comment = ColumnBuilder::with_capacity(DataType::Str, cap);
+        for &(odate, okey) in &orders[range.start..range.end()] {
+            let lines = 1 + rng.gen_range(7);
+            for ln in 0..lines {
+                let pk = 1 + rng.gen_range(n_part) as i32;
+                let qty = 1 + rng.gen_range(50) as i64;
+                let sdate = odate + 1 + rng.gen_range(121) as i32;
+                let cdate = odate + 30 + rng.gen_range(61) as i32;
+                let rdate = sdate + 1 + rng.gen_range(30) as i32;
+                orderkey.push_i32(okey);
+                partkey.push_i32(pk);
+                suppkey.push_i32(1 + rng.gen_range(n_supp) as i32);
+                linenumber.push_i32(ln as i32 + 1);
+                quantity.push_i32(qty as i32);
+                extprice.push_i64(qty * retail_price_cents(pk));
+                discount.push_i64(rng.gen_range(11) as i64); // 0..=10 percent
+                tax.push_i64(rng.gen_range(9) as i64); // 0..=8 percent
+                returnflag.push_str(if rdate <= today {
+                    if rng.gen_range(2) == 0 {
+                        "R"
+                    } else {
+                        "A"
+                    }
                 } else {
-                    "A"
-                }
-            } else {
-                "N"
-            });
-            linestatus.push_str(if sdate > today { "O" } else { "F" });
-            shipdate.push_i32(sdate);
-            shipyear.push_i32(crate::dates::year_of(sdate));
-            commitdate.push_i32(cdate);
-            receiptdate.push_i32(rdate);
-            shipinstruct.push_str(SHIP_INSTRUCT[rng.gen_range(SHIP_INSTRUCT.len())]);
-            shipmode.push_str(SHIP_MODES[rng.gen_range(SHIP_MODES.len())]);
-            comment.push_str(&text::comment(&mut rng, 6, None));
+                    "N"
+                });
+                linestatus.push_str(if sdate > today { "O" } else { "F" });
+                shipdate.push_i32(sdate);
+                shipyear.push_i32(crate::dates::year_of(sdate));
+                commitdate.push_i32(cdate);
+                receiptdate.push_i32(rdate);
+                shipinstruct.push_str(SHIP_INSTRUCT[rng.gen_range(SHIP_INSTRUCT.len())]);
+                shipmode.push_str(SHIP_MODES[rng.gen_range(SHIP_MODES.len())]);
+                comment.push_str(&text::comment(&mut rng, 6, None));
+            }
         }
-    }
-    Table::new(
-        "lineitem",
         vec![
-            ("l_orderkey".into(), orderkey.finish()),
-            ("l_partkey".into(), partkey.finish()),
-            ("l_suppkey".into(), suppkey.finish()),
-            ("l_linenumber".into(), linenumber.finish()),
-            ("l_quantity".into(), quantity.finish()),
-            ("l_extendedprice".into(), extprice.finish()),
-            ("l_discount".into(), discount.finish()),
-            ("l_tax".into(), tax.finish()),
-            ("l_returnflag".into(), returnflag.finish()),
-            ("l_linestatus".into(), linestatus.finish()),
-            ("l_shipdate".into(), shipdate.finish()),
-            ("l_shipyear".into(), shipyear.finish()),
-            ("l_commitdate".into(), commitdate.finish()),
-            ("l_receiptdate".into(), receiptdate.finish()),
-            ("l_shipinstruct".into(), shipinstruct.finish()),
-            ("l_shipmode".into(), shipmode.finish()),
-            ("l_comment".into(), comment.finish()),
+            orderkey.finish(),
+            partkey.finish(),
+            suppkey.finish(),
+            linenumber.finish(),
+            quantity.finish(),
+            extprice.finish(),
+            discount.finish(),
+            tax.finish(),
+            returnflag.finish(),
+            linestatus.finish(),
+            shipdate.finish(),
+            shipyear.finish(),
+            commitdate.finish(),
+            receiptdate.finish(),
+            shipinstruct.finish(),
+            shipmode.finish(),
+            comment.finish(),
+        ]
+    });
+    table_from_parts(
+        "lineitem",
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_linenumber",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipdate",
+            "l_shipyear",
+            "l_commitdate",
+            "l_receiptdate",
+            "l_shipinstruct",
+            "l_shipmode",
+            "l_comment",
         ],
+        parts,
     )
-    .expect("static schema")
 }
 
 #[cfg(test)]
@@ -498,6 +700,38 @@ mod tests {
         let va = ca.slice_vector(0, 100);
         let vb = cb.slice_vector(0, 100);
         assert_eq!(va.as_i64(), vb.as_i64());
+    }
+
+    #[test]
+    fn generation_is_thread_count_invariant() {
+        // SF 0.1 spans several 32K-row partitions on orders/lineitem, so a
+        // scheduling bug would show up as a column mismatch here.
+        let a = TpchData::generate_with_threads(0.1, 9, 1);
+        let b = TpchData::generate_with_threads(0.1, 9, 4);
+        for t in [
+            "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
+            let ta = a.table(t).unwrap();
+            let tb = b.table(t).unwrap();
+            assert_eq!(ta.rows(), tb.rows(), "{t} rows");
+            for name in ta.column_names() {
+                let ca = ta.column(name).unwrap().slice_vector(0, ta.rows());
+                let cb = tb.column(name).unwrap().slice_vector(0, tb.rows());
+                use ma_vector::Vector;
+                let equal = match (&ca, &cb) {
+                    (Vector::I16(x), Vector::I16(y)) => x == y,
+                    (Vector::I32(x), Vector::I32(y)) => x == y,
+                    (Vector::I64(x), Vector::I64(y)) => x == y,
+                    (Vector::F64(x), Vector::F64(y)) => x == y,
+                    (Vector::Str(x), Vector::Str(y)) => {
+                        x.iter().zip(y.iter()).all(|(a, b)| a == b)
+                            && x.views().len() == y.views().len()
+                    }
+                    _ => false,
+                };
+                assert!(equal, "{t}.{name} differs across thread counts");
+            }
+        }
     }
 
     #[test]

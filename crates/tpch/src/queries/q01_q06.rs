@@ -7,7 +7,7 @@ use ma_executor::ops::{
 use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
 use ma_vector::DataType;
 
-use super::{finish, one_minus, one_plus, pct_frac, revenue, scan, QueryOutput};
+use super::{finish, one_minus, one_plus, pct_frac, revenue, scan, scan_where, QueryOutput};
 use crate::dates::{add_months, add_years};
 use crate::dbgen::TpchData;
 use crate::params::Params;
@@ -15,7 +15,7 @@ use crate::params::Params;
 /// Q1: pricing summary report.
 pub(crate) fn q01(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // [0 shipdate, 1 returnflag, 2 linestatus, 3 qty, 4 extprice, 5 disc, 6 tax]
-    let li = scan(
+    let sel = scan_where(
         db,
         "lineitem",
         &[
@@ -27,10 +27,6 @@ pub(crate) fn q01(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_discount",
             "l_tax",
         ],
-        ctx,
-    )?;
-    let sel = Select::new(
-        li,
         &Pred::cmp_val(0, CmpKind::Le, Value::I32(p.q1_cutoff())),
         ctx,
         "Q1/sel_shipdate",
@@ -42,7 +38,7 @@ pub(crate) fn q01(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     );
     let charge = Expr::mul(disc_price.clone(), one_plus(pct_frac(6)));
     let proj = Project::new(
-        Box::new(sel),
+        sel,
         vec![
             ProjItem::Pass(1),
             ProjItem::Pass(2),
@@ -102,11 +98,17 @@ pub(crate) fn q01(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// Q2: minimum-cost supplier.
 pub(crate) fn q02(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // europe nations: nation [0 nk, 1 name, 2 rk] semi region(EUROPE)
-    let region = scan(db, "region", &["r_regionkey", "r_name"], ctx)?;
-    let region_sel = Select::new(region, &Pred::str_eq(1, p.q2_region), ctx, "Q2/sel_region")?;
+    let region_sel = scan_where(
+        db,
+        "region",
+        &["r_regionkey", "r_name"],
+        &Pred::str_eq(1, p.q2_region),
+        ctx,
+        "Q2/sel_region",
+    )?;
     let nation = scan(db, "nation", &["n_nationkey", "n_name", "n_regionkey"], ctx)?;
     let nation_eu = HashJoin::new(
-        Box::new(region_sel),
+        region_sel,
         nation,
         vec![0],
         vec![2],
@@ -166,14 +168,10 @@ pub(crate) fn q02(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q2/join_supplier",
     )?;
     // parts: size = 15 AND type LIKE %BRASS
-    let part = scan(
+    let part_sel = scan_where(
         db,
         "part",
         &["p_partkey", "p_mfgr", "p_size", "p_type"],
-        ctx,
-    )?;
-    let part_sel = Select::new(
-        part,
         &Pred::And(vec![
             Pred::cmp_val(2, CmpKind::Eq, Value::I32(p.q2_size)),
             Pred::Like {
@@ -186,7 +184,7 @@ pub(crate) fn q02(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     )?;
     // rows: [0..8 ps_eu, 9 mfgr]
     let rows = HashJoin::new(
-        Box::new(part_sel),
+        part_sel,
         Box::new(ps_eu),
         vec![0],
         vec![0],
@@ -278,24 +276,26 @@ pub(crate) fn q02(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 
 /// Q3: shipping priority.
 pub(crate) fn q03(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let customer = scan(db, "customer", &["c_custkey", "c_mktsegment"], ctx)?;
-    let cust = Select::new(customer, &Pred::str_eq(1, p.q3_segment), ctx, "Q3/sel_cust")?;
-    let orders = scan(
+    let cust = scan_where(
+        db,
+        "customer",
+        &["c_custkey", "c_mktsegment"],
+        &Pred::str_eq(1, p.q3_segment),
+        ctx,
+        "Q3/sel_cust",
+    )?;
+    let ord = scan_where(
         db,
         "orders",
         &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
-        ctx,
-    )?;
-    let ord = Select::new(
-        orders,
         &Pred::cmp_val(2, CmpKind::Lt, Value::I32(p.q3_date)),
         ctx,
         "Q3/sel_orders",
     )?;
     // [0 okey, 1 ckey, 2 odate, 3 shipprio]
     let ord_cust = HashJoin::new(
-        Box::new(cust),
-        Box::new(ord),
+        cust,
+        ord,
         vec![0],
         vec![1],
         vec![],
@@ -305,14 +305,10 @@ pub(crate) fn q03(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         ctx,
         "Q3/join_cust",
     )?;
-    let li = scan(
+    let li_sel = scan_where(
         db,
         "lineitem",
         &["l_orderkey", "l_shipdate", "l_extendedprice", "l_discount"],
-        ctx,
-    )?;
-    let li_sel = Select::new(
-        li,
         &Pred::cmp_val(1, CmpKind::Gt, Value::I32(p.q3_date)),
         ctx,
         "Q3/sel_li",
@@ -320,7 +316,7 @@ pub(crate) fn q03(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     // [0 lokey, 1 sdate, 2 ep, 3 disc, 4 odate, 5 shipprio]
     let joined = HashJoin::new(
         Box::new(ord_cust),
-        Box::new(li_sel),
+        li_sel,
         vec![0],
         vec![0],
         vec![2, 3],
@@ -372,14 +368,10 @@ pub(crate) fn q03(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 
 /// Q4: order priority checking.
 pub(crate) fn q04(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let orders = scan(
+    let ord = scan_where(
         db,
         "orders",
         &["o_orderkey", "o_orderdate", "o_orderpriority"],
-        ctx,
-    )?;
-    let ord = Select::new(
-        orders,
         &Pred::And(vec![
             Pred::cmp_val(1, CmpKind::Ge, Value::I32(p.q4_date)),
             Pred::cmp_val(1, CmpKind::Lt, Value::I32(add_months(p.q4_date, 3))),
@@ -387,17 +379,18 @@ pub(crate) fn q04(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         ctx,
         "Q4/sel_orders",
     )?;
-    let li = scan(
+    let li_late = scan_where(
         db,
         "lineitem",
         &["l_orderkey", "l_commitdate", "l_receiptdate"],
+        &Pred::cmp_col(1, CmpKind::Lt, 2),
         ctx,
+        "Q4/sel_late",
     )?;
-    let li_late = Select::new(li, &Pred::cmp_col(1, CmpKind::Lt, 2), ctx, "Q4/sel_late")?;
     // EXISTS: semi-join orders against late lineitems.
     let semi = HashJoin::new(
-        Box::new(li_late),
-        Box::new(ord),
+        li_late,
+        ord,
         vec![0],
         vec![0],
         vec![],
@@ -425,11 +418,17 @@ pub(crate) fn q04(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 
 /// Q5: local supplier volume.
 pub(crate) fn q05(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let region = scan(db, "region", &["r_regionkey", "r_name"], ctx)?;
-    let region_sel = Select::new(region, &Pred::str_eq(1, p.q5_region), ctx, "Q5/sel_region")?;
+    let region_sel = scan_where(
+        db,
+        "region",
+        &["r_regionkey", "r_name"],
+        &Pred::str_eq(1, p.q5_region),
+        ctx,
+        "Q5/sel_region",
+    )?;
     let nation = scan(db, "nation", &["n_nationkey", "n_name", "n_regionkey"], ctx)?;
     let nation_r = HashJoin::new(
-        Box::new(region_sel),
+        region_sel,
         nation,
         vec![0],
         vec![2],
@@ -455,14 +454,10 @@ pub(crate) fn q05(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q5/join_cust_nation",
     )?;
     // orders in year: [0 okey, 1 ockey, 2 odate, 3 cnk, 4 nname]
-    let orders = scan(
+    let ord_sel = scan_where(
         db,
         "orders",
         &["o_orderkey", "o_custkey", "o_orderdate"],
-        ctx,
-    )?;
-    let ord_sel = Select::new(
-        orders,
         &Pred::And(vec![
             Pred::cmp_val(2, CmpKind::Ge, Value::I32(p.q5_date)),
             Pred::cmp_val(2, CmpKind::Lt, Value::I32(add_years(p.q5_date, 1))),
@@ -472,7 +467,7 @@ pub(crate) fn q05(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     )?;
     let ord = HashJoin::new(
         Box::new(cust),
-        Box::new(ord_sel),
+        ord_sel,
         vec![0],
         vec![1],
         vec![1, 2],
@@ -540,14 +535,10 @@ pub(crate) fn q05(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// Q6: forecasting revenue change.
 pub(crate) fn q06(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // [0 shipdate, 1 discount, 2 quantity, 3 extprice]
-    let li = scan(
+    let sel = scan_where(
         db,
         "lineitem",
         &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"],
-        ctx,
-    )?;
-    let sel = Select::new(
-        li,
         &Pred::And(vec![
             Pred::cmp_val(0, CmpKind::Ge, Value::I32(p.q6_date)),
             Pred::cmp_val(0, CmpKind::Lt, Value::I32(add_years(p.q6_date, 1))),
@@ -558,7 +549,7 @@ pub(crate) fn q06(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q6/sel",
     )?;
     let proj = Project::new(
-        Box::new(sel),
+        sel,
         vec![ProjItem::Expr(Expr::mul(
             Expr::cast(DataType::F64, Expr::col(3)),
             pct_frac(1),

@@ -7,7 +7,7 @@ use ma_executor::ops::{
 use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
 use ma_vector::{ColumnBuilder, DataType, Table};
 
-use super::{finish, finish_store, revenue, scan, QueryOutput};
+use super::{finish, finish_store, revenue, scan, scan_where, QueryOutput};
 use crate::dates::date;
 use crate::dbgen::TpchData;
 use crate::params::Params;
@@ -15,16 +15,17 @@ use crate::params::Params;
 /// Q7: volume shipping between two nations.
 pub(crate) fn q07(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let two_nations = |label: &str| -> Result<BoxOp, ExecError> {
-        let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
-        Ok(Box::new(Select::new(
-            nation,
+        scan_where(
+            db,
+            "nation",
+            &["n_nationkey", "n_name"],
             &Pred::InStr {
                 col: 1,
                 values: vec![p.q7_nation1.into(), p.q7_nation2.into()],
             },
             ctx,
             label,
-        )?))
+        )
     };
     // suppliers of the two nations: [0 sk, 1 snk, 2 supp_nation]
     let supplier = scan(db, "supplier", &["s_suppkey", "s_nationkey"], ctx)?;
@@ -42,7 +43,7 @@ pub(crate) fn q07(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     )?;
     // lineitem in the two-year window:
     // [0 lokey, 1 lsk, 2 ep, 3 disc, 4 sdate, 5 syear]
-    let li = scan(
+    let li_sel = scan_where(
         db,
         "lineitem",
         &[
@@ -53,10 +54,6 @@ pub(crate) fn q07(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_shipdate",
             "l_shipyear",
         ],
-        ctx,
-    )?;
-    let li_sel = Select::new(
-        li,
         &Pred::And(vec![
             Pred::cmp_val(4, CmpKind::Ge, Value::I32(date(1995, 1, 1))),
             Pred::cmp_val(4, CmpKind::Le, Value::I32(date(1996, 12, 31))),
@@ -67,7 +64,7 @@ pub(crate) fn q07(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     // [0..5 li, 6 supp_nation]
     let li_s = HashJoin::new(
         Box::new(sup),
-        Box::new(li_sel),
+        li_sel,
         vec![0],
         vec![1],
         vec![2],
@@ -166,11 +163,17 @@ pub(crate) fn q07(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// post-step over the (per year × nation) aggregate.
 pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // region → nations of the region
-    let region = scan(db, "region", &["r_regionkey", "r_name"], ctx)?;
-    let region_sel = Select::new(region, &Pred::str_eq(1, p.q8_region), ctx, "Q8/sel_region")?;
+    let region_sel = scan_where(
+        db,
+        "region",
+        &["r_regionkey", "r_name"],
+        &Pred::str_eq(1, p.q8_region),
+        ctx,
+        "Q8/sel_region",
+    )?;
     let nation = scan(db, "nation", &["n_nationkey"], ctx)?;
     let nation_r = HashJoin::new(
-        Box::new(region_sel),
+        region_sel,
         nation,
         vec![0],
         vec![0],
@@ -196,14 +199,10 @@ pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q8/join_cust_nation",
     )?;
     // orders in the window by those customers: [0 okey, 1 ockey, 2 odate, 3 oyear]
-    let orders = scan(
+    let ord_sel = scan_where(
         db,
         "orders",
         &["o_orderkey", "o_custkey", "o_orderdate", "o_orderyear"],
-        ctx,
-    )?;
-    let ord_sel = Select::new(
-        orders,
         &Pred::And(vec![
             Pred::cmp_val(2, CmpKind::Ge, Value::I32(date(1995, 1, 1))),
             Pred::cmp_val(2, CmpKind::Le, Value::I32(date(1996, 12, 31))),
@@ -213,7 +212,7 @@ pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     )?;
     let ord = HashJoin::new(
         Box::new(cust),
-        Box::new(ord_sel),
+        ord_sel,
         vec![0],
         vec![1],
         vec![],
@@ -224,8 +223,14 @@ pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q8/join_cust",
     )?;
     // parts of the type
-    let part = scan(db, "part", &["p_partkey", "p_type"], ctx)?;
-    let part_sel = Select::new(part, &Pred::str_eq(1, p.q8_type), ctx, "Q8/sel_part")?;
+    let part_sel = scan_where(
+        db,
+        "part",
+        &["p_partkey", "p_type"],
+        &Pred::str_eq(1, p.q8_type),
+        ctx,
+        "Q8/sel_part",
+    )?;
     // lineitem: [0 lokey, 1 lpk, 2 lsk, 3 ep, 4 disc]
     let li = scan(
         db,
@@ -240,7 +245,7 @@ pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         ctx,
     )?;
     let li_p = HashJoin::new(
-        Box::new(part_sel),
+        part_sel,
         li,
         vec![0],
         vec![1],
@@ -346,9 +351,10 @@ pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// Q9: product-type profit measure.
 pub(crate) fn q09(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // parts with the color in the name
-    let part = scan(db, "part", &["p_partkey", "p_name"], ctx)?;
-    let part_sel = Select::new(
-        part,
+    let part_sel = scan_where(
+        db,
+        "part",
+        &["p_partkey", "p_name"],
         &Pred::Like {
             col: 1,
             pattern: format!("%{}%", p.q9_color),
@@ -371,7 +377,7 @@ pub(crate) fn q09(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         ctx,
     )?;
     let li_p = HashJoin::new(
-        Box::new(part_sel),
+        part_sel,
         li,
         vec![0],
         vec![1],
@@ -474,14 +480,10 @@ pub(crate) fn q09(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 
 /// Q10: returned-item reporting.
 pub(crate) fn q10(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let orders = scan(
+    let ord = scan_where(
         db,
         "orders",
         &["o_orderkey", "o_custkey", "o_orderdate"],
-        ctx,
-    )?;
-    let ord = Select::new(
-        orders,
         &Pred::And(vec![
             Pred::cmp_val(2, CmpKind::Ge, Value::I32(p.q10_date)),
             Pred::cmp_val(
@@ -493,7 +495,7 @@ pub(crate) fn q10(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         ctx,
         "Q10/sel_orders",
     )?;
-    let li = scan(
+    let li_r = scan_where(
         db,
         "lineitem",
         &[
@@ -502,13 +504,14 @@ pub(crate) fn q10(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_extendedprice",
             "l_discount",
         ],
+        &Pred::str_eq(1, "R"),
         ctx,
+        "Q10/sel_returned",
     )?;
-    let li_r = Select::new(li, &Pred::str_eq(1, "R"), ctx, "Q10/sel_returned")?;
     // [0 lokey, 1 rf, 2 ep, 3 disc, 4 ockey]
     let joined = HashJoin::new(
-        Box::new(ord),
-        Box::new(li_r),
+        ord,
+        li_r,
         vec![0],
         vec![0],
         vec![1],
@@ -602,16 +605,17 @@ pub(crate) fn q10(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// Q11: important stock identification (two-phase: total then threshold).
 pub(crate) fn q11(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let german_partsupp = |label: &str| -> Result<BoxOp, ExecError> {
-        let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
-        let nat = Select::new(
-            nation,
+        let nat = scan_where(
+            db,
+            "nation",
+            &["n_nationkey", "n_name"],
             &Pred::str_eq(1, p.q11_nation),
             ctx,
             "Q11/sel_nation",
         )?;
         let supplier = scan(db, "supplier", &["s_suppkey", "s_nationkey"], ctx)?;
         let sup = HashJoin::new(
-            Box::new(nat),
+            nat,
             supplier,
             vec![0],
             vec![1],

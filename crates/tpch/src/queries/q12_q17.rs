@@ -7,7 +7,9 @@ use ma_executor::ops::{
 use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
 use ma_vector::{ColumnBuilder, DataType, Table};
 
-use super::{finish, finish_store, revenue, scan, store_to_table, QueryOutput};
+use super::{
+    finish, finish_store, revenue, scan, scan_seq, scan_where, store_to_table, QueryOutput,
+};
 use crate::dates::{add_months, add_years};
 use crate::dbgen::TpchData;
 use crate::params::Params;
@@ -17,11 +19,13 @@ use crate::params::Params;
 /// lineitem's selection vectors shrink in the border regions of the date
 /// range thanks to the date clustering.
 pub(crate) fn q12(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // left: orders sorted by key (unique)
-    let orders = scan(db, "orders", &["o_orderkey", "o_orderpriority"], ctx)?;
+    // Both merge-join inputs must arrive sorted by order key, so these
+    // scans stay sequential even under worker_threads > 1 (a sharded
+    // union interleaves chunks).
+    let orders = scan_seq(db, "orders", &["o_orderkey", "o_orderpriority"], ctx)?;
     // right: filtered lineitem, sorted by orderkey
     // [0 lokey, 1 shipmode, 2 sdate, 3 cdate, 4 rdate]
-    let li = scan(
+    let li = scan_seq(
         db,
         "lineitem",
         &[
@@ -107,9 +111,10 @@ pub(crate) fn q12(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 
 /// Q13: customer distribution (LEFT OUTER JOIN via LeftSingle).
 pub(crate) fn q13(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let orders = scan(db, "orders", &["o_orderkey", "o_custkey", "o_comment"], ctx)?;
-    let ord = Select::new(
-        orders,
+    let ord = scan_where(
+        db,
+        "orders",
+        &["o_orderkey", "o_custkey", "o_comment"],
         &Pred::NotLike {
             col: 2,
             pattern: format!("%{}%{}%", p.q13_word1, p.q13_word2),
@@ -119,7 +124,7 @@ pub(crate) fn q13(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     )?;
     // orders per customer: [ckey, cnt]
     let per_cust = HashAggregate::new(
-        Box::new(ord),
+        ord,
         vec![1],
         vec![AggSpec::CountStar],
         ctx,
@@ -160,14 +165,10 @@ pub(crate) fn q13(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// per-type aggregate.
 pub(crate) fn q14(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // [0 lpk, 1 sdate, 2 ep, 3 disc]
-    let li = scan(
+    let li_sel = scan_where(
         db,
         "lineitem",
         &["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"],
-        ctx,
-    )?;
-    let li_sel = Select::new(
-        li,
         &Pred::And(vec![
             Pred::cmp_val(1, CmpKind::Ge, Value::I32(p.q14_date)),
             Pred::cmp_val(1, CmpKind::Lt, Value::I32(add_months(p.q14_date, 1))),
@@ -179,7 +180,7 @@ pub(crate) fn q14(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     let part = scan(db, "part", &["p_partkey", "p_type"], ctx)?;
     let joined = HashJoin::new(
         part,
-        Box::new(li_sel),
+        li_sel,
         vec![0],
         vec![0],
         vec![1],
@@ -232,14 +233,10 @@ pub(crate) fn q14(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// Q15: top supplier (revenue view materialized as a temp table).
 pub(crate) fn q15(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // revenue per supplier over the quarter
-    let li = scan(
+    let li_sel = scan_where(
         db,
         "lineitem",
         &["l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"],
-        ctx,
-    )?;
-    let li_sel = Select::new(
-        li,
         &Pred::And(vec![
             Pred::cmp_val(1, CmpKind::Ge, Value::I32(p.q15_date)),
             Pred::cmp_val(1, CmpKind::Lt, Value::I32(add_months(p.q15_date, 3))),
@@ -248,7 +245,7 @@ pub(crate) fn q15(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q15/sel_shipdate",
     )?;
     let proj = Project::new(
-        Box::new(li_sel),
+        li_sel,
         vec![ProjItem::Pass(0), ProjItem::Expr(revenue(2, 3))],
         ctx,
         "Q15/rev",
@@ -306,20 +303,16 @@ pub(crate) fn q15(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 
 /// Q16: parts/supplier relationship (distinct via two-level aggregation).
 pub(crate) fn q16(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let part = scan(
-        db,
-        "part",
-        &["p_partkey", "p_brand", "p_type", "p_size"],
-        ctx,
-    )?;
     let size_in = Pred::Or(
         p.q16_sizes
             .iter()
             .map(|&s| Pred::cmp_val(3, CmpKind::Eq, Value::I32(s)))
             .collect(),
     );
-    let part_sel = Select::new(
-        part,
+    let part_sel = scan_where(
+        db,
+        "part",
+        &["p_partkey", "p_brand", "p_type", "p_size"],
         &Pred::And(vec![
             Pred::cmp_val(1, CmpKind::Ne, Value::Str(p.q16_brand.into())),
             Pred::NotLike {
@@ -334,7 +327,7 @@ pub(crate) fn q16(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     // [0 pspk, 1 pssk, 2 brand, 3 ptype, 4 size]
     let partsupp = scan(db, "partsupp", &["ps_partkey", "ps_suppkey"], ctx)?;
     let ps = HashJoin::new(
-        Box::new(part_sel),
+        part_sel,
         partsupp,
         vec![0],
         vec![0],
@@ -346,9 +339,10 @@ pub(crate) fn q16(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q16/join_part",
     )?;
     // exclude suppliers with complaints
-    let supplier = scan(db, "supplier", &["s_suppkey", "s_comment"], ctx)?;
-    let bad = Select::new(
-        supplier,
+    let bad = scan_where(
+        db,
+        "supplier",
+        &["s_suppkey", "s_comment"],
         &Pred::Like {
             col: 1,
             pattern: "%Customer%Complaints%".into(),
@@ -357,7 +351,7 @@ pub(crate) fn q16(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q16/sel_complaints",
     )?;
     let ps_ok = HashJoin::new(
-        Box::new(bad),
+        bad,
         Box::new(ps),
         vec![0],
         vec![1],
@@ -401,16 +395,17 @@ pub(crate) fn q16(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// `0.2·avg` comparison is done in integers: `5·qty·cnt < sum`).
 pub(crate) fn q17(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let part_sel = |label: &str| -> Result<BoxOp, ExecError> {
-        let part = scan(db, "part", &["p_partkey", "p_brand", "p_container"], ctx)?;
-        Ok(Box::new(Select::new(
-            part,
+        scan_where(
+            db,
+            "part",
+            &["p_partkey", "p_brand", "p_container"],
             &Pred::And(vec![
                 Pred::str_eq(1, p.q17_brand),
                 Pred::str_eq(2, p.q17_container),
             ]),
             ctx,
             label,
-        )?))
+        )
     };
     let li_for_parts = |label: &str| -> Result<BoxOp, ExecError> {
         // [0 lpk, 1 qty64, 2 ep]

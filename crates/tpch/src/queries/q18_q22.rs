@@ -7,7 +7,7 @@ use ma_executor::ops::{
 use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
 use ma_vector::DataType;
 
-use super::{finish, revenue, scan, store_to_table, QueryOutput};
+use super::{finish, revenue, scan, scan_where, store_to_table, QueryOutput};
 use crate::dates::add_years;
 use crate::dbgen::TpchData;
 use crate::params::Params;
@@ -97,7 +97,7 @@ pub(crate) fn q18(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// Q19: discounted revenue (the three-branch OR of ANDs).
 pub(crate) fn q19(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // [0 lpk, 1 qty, 2 ep, 3 disc, 4 instr, 5 mode]
-    let li = scan(
+    let li_common = scan_where(
         db,
         "lineitem",
         &[
@@ -108,10 +108,6 @@ pub(crate) fn q19(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_shipinstruct",
             "l_shipmode",
         ],
-        ctx,
-    )?;
-    let li_common = Select::new(
-        li,
         &Pred::And(vec![
             Pred::str_eq(4, "DELIVER IN PERSON"),
             Pred::InStr {
@@ -131,7 +127,7 @@ pub(crate) fn q19(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     )?;
     let joined = HashJoin::new(
         part,
-        Box::new(li_common),
+        li_common,
         vec![0],
         vec![0],
         vec![1, 2, 3],
@@ -192,9 +188,10 @@ pub(crate) fn q19(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// Q20: potential part promotion.
 pub(crate) fn q20(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     // forest% parts
-    let part = scan(db, "part", &["p_partkey", "p_name"], ctx)?;
-    let part_sel = Select::new(
-        part,
+    let part_sel = scan_where(
+        db,
+        "part",
+        &["p_partkey", "p_name"],
         &Pred::Like {
             col: 1,
             pattern: format!("{}%", p.q20_color),
@@ -210,7 +207,7 @@ pub(crate) fn q20(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         ctx,
     )?;
     let ps = HashJoin::new(
-        Box::new(part_sel),
+        part_sel,
         partsupp,
         vec![0],
         vec![0],
@@ -222,14 +219,10 @@ pub(crate) fn q20(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q20/semi_part",
     )?;
     // shipped quantity per (partkey, suppkey) in the year
-    let li = scan(
+    let li_sel = scan_where(
         db,
         "lineitem",
         &["l_partkey", "l_suppkey", "l_quantity", "l_shipdate"],
-        ctx,
-    )?;
-    let li_sel = Select::new(
-        li,
         &Pred::And(vec![
             Pred::cmp_val(3, CmpKind::Ge, Value::I32(p.q20_date)),
             Pred::cmp_val(3, CmpKind::Lt, Value::I32(add_years(p.q20_date, 1))),
@@ -238,7 +231,7 @@ pub(crate) fn q20(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q20/sel_shipdate",
     )?;
     let li_proj = Project::new(
-        Box::new(li_sel),
+        li_sel,
         vec![
             ProjItem::Pass(0),
             ProjItem::Pass(1),
@@ -316,15 +309,16 @@ pub(crate) fn q20(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         ctx,
         "Q20/semi_supp",
     )?;
-    let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
-    let nat = Select::new(
-        nation,
+    let nat = scan_where(
+        db,
+        "nation",
+        &["n_nationkey", "n_name"],
         &Pred::str_eq(1, p.q20_nation),
         ctx,
         "Q20/sel_nation",
     )?;
     let sup_nat = HashJoin::new(
-        Box::new(nat),
+        nat,
         Box::new(sup),
         vec![0],
         vec![3],
@@ -356,21 +350,18 @@ pub(crate) fn q20(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 /// supplier ⟺ min = max among late lines.
 pub(crate) fn q21(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
     let li_minmax = |late_only: bool, label: &str| -> Result<BoxOp, ExecError> {
-        let li = scan(
-            db,
-            "lineitem",
-            &["l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"],
-            ctx,
-        )?;
+        let cols = ["l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"];
         let base: BoxOp = if late_only {
-            Box::new(Select::new(
-                li,
+            scan_where(
+                db,
+                "lineitem",
+                &cols,
                 &Pred::cmp_col(3, CmpKind::Gt, 2),
                 ctx,
                 &format!("{label}/late"),
-            )?)
+            )?
         } else {
-            li
+            scan(db, "lineitem", &cols, ctx)?
         };
         let proj = Project::new(
             base,
@@ -390,16 +381,17 @@ pub(crate) fn q21(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         )?))
     };
     // main stream: Saudi suppliers' late lines on F orders
-    let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
-    let nat = Select::new(
-        nation,
+    let nat = scan_where(
+        db,
+        "nation",
+        &["n_nationkey", "n_name"],
         &Pred::str_eq(1, p.q21_nation),
         ctx,
         "Q21/sel_nation",
     )?;
     let supplier = scan(db, "supplier", &["s_suppkey", "s_name", "s_nationkey"], ctx)?;
     let sup = HashJoin::new(
-        Box::new(nat),
+        nat,
         supplier,
         vec![0],
         vec![2],
@@ -410,17 +402,18 @@ pub(crate) fn q21(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         ctx,
         "Q21/semi_nation",
     )?;
-    let li = scan(
+    let l1 = scan_where(
         db,
         "lineitem",
         &["l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"],
+        &Pred::cmp_col(3, CmpKind::Gt, 2),
         ctx,
+        "Q21/sel_late",
     )?;
-    let l1 = Select::new(li, &Pred::cmp_col(3, CmpKind::Gt, 2), ctx, "Q21/sel_late")?;
     // [0 lokey, 1 lsk, 2 cdate, 3 rdate, 4 sname]
     let l1s = HashJoin::new(
         Box::new(sup),
-        Box::new(l1),
+        l1,
         vec![0],
         vec![1],
         vec![1],
@@ -431,10 +424,16 @@ pub(crate) fn q21(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "Q21/join_supp",
     )?;
     // F orders only
-    let orders = scan(db, "orders", &["o_orderkey", "o_orderstatus"], ctx)?;
-    let ord_f = Select::new(orders, &Pred::str_eq(1, "F"), ctx, "Q21/sel_status")?;
+    let ord_f = scan_where(
+        db,
+        "orders",
+        &["o_orderkey", "o_orderstatus"],
+        &Pred::str_eq(1, "F"),
+        ctx,
+        "Q21/sel_status",
+    )?;
     let l1f = HashJoin::new(
-        Box::new(ord_f),
+        ord_f,
         Box::new(l1s),
         vec![0],
         vec![0],

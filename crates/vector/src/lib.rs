@@ -18,6 +18,7 @@
 
 pub mod batch;
 pub mod builder;
+pub mod partition;
 pub mod selvec;
 pub mod table;
 pub mod types;
@@ -25,6 +26,7 @@ pub mod vector;
 
 pub use batch::DataChunk;
 pub use builder::ColumnBuilder;
+pub use partition::{MorselQueue, RowRange, MORSEL_ROWS, VECTORS_PER_MORSEL};
 pub use selvec::SelVec;
 pub use table::{Column, Table, TableError};
 pub use types::{DataType, VECTOR_SIZE};

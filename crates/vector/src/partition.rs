@@ -1,0 +1,159 @@
+//! Table partitioning for parallel scans: the shared morsel queue that
+//! sharded scans pull from.
+//!
+//! A *morsel* is a fixed-size run of consecutive rows (a small multiple of
+//! the scanning vector size). Worker threads repeatedly grab the next
+//! unclaimed morsel from a shared [`MorselQueue`] — the morsel-driven
+//! scheduling of Leis et al. — so load balances dynamically while every
+//! morsel boundary stays a pure function of the table size. Because the
+//! morsel size is a multiple of the vector size (consumers enforce this;
+//! see `Scan::morsel` in `ma-executor`), the *multiset* of chunk boundaries
+//! produced by any number of workers equals the single-threaded scan's,
+//! which is what makes merged per-worker primitive statistics comparable
+//! across thread counts (see DESIGN.md, "Per-worker statistics merge").
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Vectors per morsel: with the default [`crate::VECTOR_SIZE`] of 1024
+/// this is the default [`MORSEL_ROWS`] grain of 16K rows.
+pub const VECTORS_PER_MORSEL: usize = 16;
+
+/// Default rows per morsel: [`VECTORS_PER_MORSEL`] default-sized vectors.
+pub const MORSEL_ROWS: usize = VECTORS_PER_MORSEL * crate::VECTOR_SIZE;
+
+/// A half-open range of row positions `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowRange {
+    /// First row of the range.
+    pub start: usize,
+    /// Number of rows.
+    pub len: usize,
+}
+
+impl RowRange {
+    /// One past the last row.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// A shared work queue handing out morsels of a table to scan workers.
+///
+/// The queue is just an atomic cursor over the fixed morsel grid, so
+/// claiming a morsel is one `fetch_add` — no locks, no allocation.
+#[derive(Debug)]
+pub struct MorselQueue {
+    rows: usize,
+    morsel: usize,
+    next: AtomicUsize,
+}
+
+impl MorselQueue {
+    /// A queue over `rows` rows with the default [`MORSEL_ROWS`] grain
+    /// (right for scans using the default [`crate::VECTOR_SIZE`]).
+    pub fn new(rows: usize) -> Self {
+        Self::with_morsel(rows, MORSEL_ROWS)
+    }
+
+    /// A queue with an explicit morsel size. Pick a multiple of the
+    /// consuming scan's vector size — scans reject misaligned queues
+    /// because morsel boundaries must coincide with sequential chunk
+    /// boundaries (see the module docs).
+    pub fn with_morsel(rows: usize, morsel: usize) -> Self {
+        assert!(morsel > 0, "morsel size must be positive");
+        MorselQueue {
+            rows,
+            morsel,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total rows covered by the queue.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rows per morsel.
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel
+    }
+
+    /// Claims the next unprocessed morsel, or `None` when the table is
+    /// exhausted. Safe to call from any number of threads; each morsel is
+    /// handed out exactly once.
+    pub fn claim(&self) -> Option<RowRange> {
+        loop {
+            let start = self.next.load(Ordering::Relaxed);
+            if start >= self.rows {
+                return None;
+            }
+            let len = self.morsel.min(self.rows - start);
+            if self
+                .next
+                .compare_exchange_weak(start, start + len, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(RowRange { start, len });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn morsel_queue_hands_out_every_row_once() {
+        let q = MorselQueue::with_morsel(10_000, crate::VECTOR_SIZE);
+        let mut seen = 0;
+        let mut expect_start = 0;
+        while let Some(r) = q.claim() {
+            assert_eq!(r.start, expect_start);
+            seen += r.len;
+            expect_start = r.end();
+        }
+        assert_eq!(seen, 10_000);
+        assert!(q.claim().is_none());
+    }
+
+    #[test]
+    fn morsel_queue_is_race_free_across_threads() {
+        let q = Arc::new(MorselQueue::with_morsel(100 * 1024, crate::VECTOR_SIZE));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut claimed = Vec::new();
+                while let Some(r) = q.claim() {
+                    claimed.push(r);
+                }
+                claimed
+            }));
+        }
+        let mut all: Vec<RowRange> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_by_key(|r| r.start);
+        let total: usize = all.iter().map(|r| r.len).sum();
+        assert_eq!(total, 100 * 1024);
+        for w in all.windows(2) {
+            assert_eq!(w[0].end(), w[1].start, "no gaps, no overlaps");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_morsel_rejected() {
+        MorselQueue::with_morsel(100, 0);
+    }
+
+    #[test]
+    fn default_morsel_is_vector_aligned() {
+        let q = MorselQueue::new(5);
+        assert_eq!(q.morsel_rows() % crate::VECTOR_SIZE, 0);
+        assert_eq!(q.claim(), Some(RowRange { start: 0, len: 5 }));
+    }
+}

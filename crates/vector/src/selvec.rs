@@ -101,6 +101,39 @@ impl SelVec {
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.positions.iter().map(|&p| p as usize)
     }
+
+    /// The positions falling in `[start, end)`, rebased to the range (i.e.
+    /// `start` is subtracted). This is how a selection vector follows its
+    /// data through a sharded range split: each shard sees a local vector
+    /// over its own rows.
+    pub fn slice_range(&self, start: u32, end: u32) -> SelVec {
+        let lo = self.positions.partition_point(|&p| p < start);
+        let hi = self.positions.partition_point(|&p| p < end);
+        SelVec {
+            positions: self.positions[lo..hi].iter().map(|&p| p - start).collect(),
+        }
+    }
+
+    /// A copy with every position shifted up by `delta` (rebasing a
+    /// shard-local vector back into table coordinates).
+    pub fn shifted(&self, delta: u32) -> SelVec {
+        SelVec {
+            positions: self.positions.iter().map(|&p| p + delta).collect(),
+        }
+    }
+
+    /// Concatenates shard-local vectors, shifting each by its shard start.
+    /// `parts` pairs a local vector with the global start of its range;
+    /// ranges must be given in ascending, non-overlapping order so the
+    /// result stays strictly increasing.
+    pub fn concat_shifted(parts: &[(&SelVec, u32)]) -> SelVec {
+        let total = parts.iter().map(|(s, _)| s.len()).sum();
+        let mut positions = Vec::with_capacity(total);
+        for (s, start) in parts {
+            positions.extend(s.positions.iter().map(|&p| p + start));
+        }
+        SelVec::from_positions(positions)
+    }
 }
 
 impl From<Vec<u32>> for SelVec {
@@ -155,6 +188,27 @@ mod tests {
     #[cfg(debug_assertions)]
     fn non_monotonic_panics_in_debug() {
         let _ = SelVec::from_positions(vec![3, 1]);
+    }
+
+    #[test]
+    fn slice_range_rebases() {
+        let s = SelVec::from_positions(vec![1, 4, 6, 9, 12]);
+        assert_eq!(s.slice_range(4, 10).as_slice(), &[0, 2, 5]);
+        assert_eq!(s.slice_range(0, 2).as_slice(), &[1]);
+        assert!(s.slice_range(7, 9).is_empty());
+        assert_eq!(s.slice_range(0, 100), s);
+    }
+
+    #[test]
+    fn split_concat_roundtrip() {
+        let s = SelVec::from_positions(vec![0, 3, 5, 8, 11, 12]);
+        let a = s.slice_range(0, 6);
+        let b = s.slice_range(6, 10);
+        let c = s.slice_range(10, 13);
+        let back = SelVec::concat_shifted(&[(&a, 0), (&b, 6), (&c, 10)]);
+        assert_eq!(back, s);
+        assert_eq!(a.shifted(0), a);
+        assert_eq!(b.shifted(6).as_slice(), &[8]);
     }
 
     #[test]

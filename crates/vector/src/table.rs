@@ -109,6 +109,86 @@ impl Column {
         }
     }
 
+    /// Concatenates same-typed column parts into one column (the merge step
+    /// of partition-parallel table generation). String parts get their
+    /// arenas copied into one buffer with views re-offset.
+    ///
+    /// # Panics
+    /// If `parts` is empty or the parts disagree on type.
+    pub fn concat(parts: &[Column]) -> Column {
+        assert!(!parts.is_empty(), "cannot concat zero column parts");
+        let ty = parts[0].data_type();
+        assert!(
+            parts.iter().all(|p| p.data_type() == ty),
+            "column parts must share one type"
+        );
+        let rows: usize = parts.iter().map(Column::len).sum();
+        match ty {
+            DataType::I16 => {
+                let mut v = Vec::with_capacity(rows);
+                for p in parts {
+                    if let Column::I16(x) = p {
+                        v.extend_from_slice(x);
+                    }
+                }
+                Column::I16(Arc::new(v))
+            }
+            DataType::I32 => {
+                let mut v = Vec::with_capacity(rows);
+                for p in parts {
+                    if let Column::I32(x) = p {
+                        v.extend_from_slice(x);
+                    }
+                }
+                Column::I32(Arc::new(v))
+            }
+            DataType::I64 => {
+                let mut v = Vec::with_capacity(rows);
+                for p in parts {
+                    if let Column::I64(x) = p {
+                        v.extend_from_slice(x);
+                    }
+                }
+                Column::I64(Arc::new(v))
+            }
+            DataType::F64 => {
+                let mut v = Vec::with_capacity(rows);
+                for p in parts {
+                    if let Column::F64(x) = p {
+                        v.extend_from_slice(x);
+                    }
+                }
+                Column::F64(Arc::new(v))
+            }
+            DataType::Str => {
+                let bytes: usize = parts
+                    .iter()
+                    .map(|p| match p {
+                        Column::Str { arena, .. } => arena.len(),
+                        _ => 0,
+                    })
+                    .sum();
+                let mut arena = Vec::with_capacity(bytes);
+                let mut views = Vec::with_capacity(rows);
+                for p in parts {
+                    if let Column::Str {
+                        arena: a,
+                        views: vs,
+                    } = p
+                    {
+                        let base = arena.len() as u32;
+                        arena.extend_from_slice(a);
+                        views.extend(vs.iter().map(|&(off, len)| (off + base, len)));
+                    }
+                }
+                Column::Str {
+                    arena: arena.into(),
+                    views: Arc::new(views),
+                }
+            }
+        }
+    }
+
     /// Materializes arbitrary `rows` (a gather) as a [`Vector`].
     pub fn gather_vector(&self, rows: &[usize]) -> Vector {
         match self {
@@ -277,6 +357,39 @@ mod tests {
         } else {
             panic!("not a string column");
         }
+    }
+
+    #[test]
+    fn concat_fixed_width_and_strings() {
+        let a = Column::I32(Arc::new(vec![1, 2]));
+        let b = Column::I32(Arc::new(vec![3]));
+        let c = Column::concat(&[a, b]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.slice_vector(0, 3).as_i32(), &[1, 2, 3]);
+
+        let mk = |strs: &[&str]| {
+            let sv = StrVec::from_strings(strs);
+            Column::Str {
+                arena: Arc::clone(sv.arena()),
+                views: Arc::new(sv.views().to_vec()),
+            }
+        };
+        let s = Column::concat(&[mk(&["ab", "c"]), mk(&[]), mk(&["defg"])]);
+        assert_eq!(s.len(), 3);
+        let v = s.slice_vector(0, 3);
+        let sv = v.as_str_vec();
+        assert_eq!(sv.get(0), "ab");
+        assert_eq!(sv.get(1), "c");
+        assert_eq!(sv.get(2), "defg");
+    }
+
+    #[test]
+    #[should_panic(expected = "share one type")]
+    fn concat_rejects_mixed_types() {
+        Column::concat(&[
+            Column::I32(Arc::new(vec![1])),
+            Column::I64(Arc::new(vec![1])),
+        ]);
     }
 
     #[test]

@@ -39,6 +39,9 @@ fn main() {
         let mut sel = Select::new(scan, &pred, &ctx, "quickstart").unwrap();
         let chunks = collect(&mut sel).unwrap();
         let rows: usize = chunks.iter().map(|c| c.live_count()).sum();
+        // Stats publish at batch granularity; drop the operator (and its
+        // primitive instance) so the final partial batch lands first.
+        drop(sel);
         let report = &ctx.reports()[0];
         println!(
             "{name:<22} {:>12} ticks  ({} rows, flavors used: {})",

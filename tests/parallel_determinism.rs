@@ -1,0 +1,153 @@
+//! Parallel-execution determinism: every TPC-H query must produce the same
+//! *result set* no matter how many scan workers run it, and per-worker
+//! primitive statistics must merge to the single-threaded totals.
+//!
+//! Chunk *order* is allowed to differ (a morsel union interleaves worker
+//! streams), so rows are compared sort-normalized: each row serialized with
+//! floats rounded well above f64 ulp noise (parallel aggregation reorders
+//! float additions), then the sorted row lists compared exactly.
+
+use std::sync::{Arc, OnceLock};
+
+use micro_adaptivity::executor::{ExecConfig, FlavorAxis, QueryContext};
+use micro_adaptivity::primitives::build_dictionary;
+use micro_adaptivity::tpch::queries::QueryOutput;
+use micro_adaptivity::tpch::{run_query, Params, TpchData};
+use micro_adaptivity::vector::Vector;
+
+const SF: f64 = 0.05;
+
+fn db() -> &'static TpchData {
+    static DB: OnceLock<TpchData> = OnceLock::new();
+    DB.get_or_init(|| TpchData::generate(SF, 0x9A8A11E1))
+}
+
+fn run(q: usize, config: ExecConfig) -> (QueryOutput, QueryContext) {
+    let ctx = QueryContext::new(Arc::new(build_dictionary()), config);
+    let out =
+        run_query(q, db(), &ctx, &Params::default()).unwrap_or_else(|e| panic!("Q{q} failed: {e}"));
+    (out, ctx)
+}
+
+/// Rows of a result store, serialized and sorted. Floats are rounded to 6
+/// significant digits: far coarser than the ulp-level differences parallel
+/// float summation introduces, far finer than any genuine result change.
+fn normalized_rows(out: &QueryOutput) -> Vec<String> {
+    let store = &out.store;
+    let mut rows = Vec::with_capacity(store.rows());
+    for r in 0..store.rows() {
+        let mut row = String::new();
+        for c in 0..store.types().len() {
+            match store.col(c) {
+                Vector::I16(v) => row.push_str(&format!("{}|", v[r])),
+                Vector::I32(v) => row.push_str(&format!("{}|", v[r])),
+                Vector::I64(v) => row.push_str(&format!("{}|", v[r])),
+                Vector::F64(v) => row.push_str(&format!("{:.6e}|", v[r])),
+                Vector::Str(s) => {
+                    row.push_str(s.get(r));
+                    row.push('|');
+                }
+            }
+        }
+        rows.push(row);
+    }
+    rows.sort_unstable();
+    rows
+}
+
+#[test]
+fn every_query_is_worker_count_invariant_under_fixed_flavors() {
+    for q in 1..=22 {
+        let (one, _) = run(q, ExecConfig::fixed_default());
+        let (four, _) = run(q, ExecConfig::fixed_default().with_workers(4));
+        assert_eq!(one.rows, four.rows, "Q{q} row count");
+        let tol = 1e-9 * one.checksum.abs().max(1.0);
+        assert!(
+            (one.checksum - four.checksum).abs() <= tol,
+            "Q{q} checksum: {} vs {}",
+            one.checksum,
+            four.checksum
+        );
+        assert_eq!(
+            normalized_rows(&one),
+            normalized_rows(&four),
+            "Q{q} sort-normalized rows differ between 1 and 4 workers"
+        );
+    }
+}
+
+#[test]
+fn adaptive_runs_are_worker_count_invariant() {
+    // Flavor choices race across workers, but flavors are extensionally
+    // equal — results must not move. Exercise the paper's full flavor set.
+    for q in [1, 3, 6, 9, 12, 18, 21] {
+        let base = ExecConfig::adaptive(FlavorAxis::All).with_seed(q as u64);
+        let (one, _) = run(q, base.clone());
+        let (four, _) = run(q, base.with_workers(4));
+        assert_eq!(one.rows, four.rows, "Q{q} rows");
+        assert_eq!(
+            normalized_rows(&one),
+            normalized_rows(&four),
+            "Q{q} adaptive rows differ between 1 and 4 workers"
+        );
+    }
+}
+
+#[test]
+fn two_parallel_runs_agree_with_each_other() {
+    // Morsel scheduling differs run to run; results must not.
+    for q in [1, 6, 13] {
+        let (a, _) = run(q, ExecConfig::fixed_default().with_workers(4));
+        let (b, _) = run(q, ExecConfig::fixed_default().with_workers(4));
+        assert_eq!(normalized_rows(&a), normalized_rows(&b), "Q{q} unstable");
+    }
+}
+
+/// Per-worker flavor statistics, merged over the shared registry, must
+/// equal the single-threaded totals: vector-aligned morsels make the chunk
+/// boundary multiset thread-count-invariant, and under fixed flavors every
+/// call lands on flavor 0, so calls/tuples/flavor-calls line up exactly.
+#[test]
+fn merged_worker_stats_equal_single_thread_totals() {
+    for q in [1, 4, 6, 10] {
+        let (_, ctx1) = run(q, ExecConfig::fixed_default());
+        let (_, ctx4) = run(q, ExecConfig::fixed_default().with_workers(4));
+        let sel_only = |ctx: &QueryContext| {
+            ctx.merged_reports()
+                .into_iter()
+                .filter(|r| r.signature.starts_with("sel_"))
+                .collect::<Vec<_>>()
+        };
+        let one = sel_only(&ctx1);
+        let four = sel_only(&ctx4);
+        assert_eq!(one.len(), four.len(), "Q{q} instance groups");
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.label, b.label, "Q{q}");
+            assert_eq!(a.signature, b.signature, "Q{q}");
+            assert_eq!(a.calls, b.calls, "Q{q} {} calls", a.label);
+            assert_eq!(a.tuples, b.tuples, "Q{q} {} tuples", a.label);
+            assert_eq!(
+                a.flavor_calls, b.flavor_calls,
+                "Q{q} {} flavor calls",
+                a.label
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_scan_reads_every_lineitem_row_once() {
+    // A raw count(*) through the sharded scan path: Q1-style aggregation
+    // over all of lineitem must see exactly the table's row count.
+    let (out, _) = run(1, ExecConfig::fixed_default().with_workers(4));
+    let counts = out.store.col(9).as_i64();
+    let total: i64 = counts.iter().sum();
+    let expected = db().lineitem.column("l_shipdate").unwrap().len();
+    // Q1 filters by shipdate cutoff, so total ≤ rows but must be > 90%
+    // of the table (the cutoff keeps all but the last ~3 months).
+    assert!(total as usize <= expected);
+    assert!(
+        total as usize > expected * 9 / 10,
+        "Q1 aggregated {total} of {expected} rows"
+    );
+}

@@ -212,6 +212,97 @@ proptest! {
     }
 
     #[test]
+    fn selvec_roundtrips_through_sharded_range_splits(
+        mask in prop::collection::vec(any::<bool>(), 0..400),
+        cut_a in 0usize..400,
+        cut_b in 0usize..400,
+    ) {
+        // Split a selection vector at two arbitrary boundaries, rebase each
+        // shard locally, then concat-shift back: must equal the original.
+        let n = mask.len();
+        let positions: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i as u32))
+            .collect();
+        let s = SelVec::from_positions(positions);
+        let (lo, hi) = if cut_a <= cut_b { (cut_a, cut_b) } else { (cut_b, cut_a) };
+        let (lo, hi) = (lo.min(n) as u32, hi.min(n) as u32);
+        let a = s.slice_range(0, lo);
+        let b = s.slice_range(lo, hi);
+        let c = s.slice_range(hi, n as u32);
+        prop_assert_eq!(a.len() + b.len() + c.len(), s.len());
+        let back = SelVec::concat_shifted(&[(&a, 0), (&b, lo), (&c, hi)]);
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn sharded_selection_equals_unsharded_selection(
+        col in prop::collection::vec(-1000i32..1000, 1..400),
+        val in -1000i32..1000,
+        sel_mask in prop::collection::vec(any::<bool>(), 0..400),
+        cut in 0usize..400,
+    ) {
+        // The parallel-scan contract: applying a selection primitive per
+        // range shard (with the incoming selection vector sliced to the
+        // shard and rebased) and concatenating shard outputs must equal one
+        // unsharded application. Checked for every selection flavor, with
+        // and without an incoming selection vector.
+        let n = col.len();
+        let cut = cut.min(n);
+        let sel: Vec<u32> = sel_mask
+            .iter()
+            .take(n)
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i as u32))
+            .collect();
+        let sel = SelVec::from_positions(sel);
+        let flavors: [micro_adaptivity::primitives::SelColVal<i32>; 5] = [
+            sel_col_val_branching::<i32, Lt>,
+            sel_col_val_no_branching::<i32, Lt>,
+            sel_col_val_icc::<i32, Lt>,
+            sel_col_val_clang::<i32, Lt>,
+            sel_col_val_unroll8::<i32, Lt>,
+        ];
+        for f in flavors {
+            for use_sel in [false, true] {
+                // Unsharded reference.
+                let full_sel = use_sel.then(|| sel.as_slice().to_vec());
+                let cap = full_sel.as_ref().map_or(n, Vec::len);
+                let mut full = vec![0u32; cap];
+                let k = f(&mut full, &col, val, full_sel.as_deref());
+                full.truncate(k);
+
+                // Two shards: [0, cut) and [cut, n), each applied locally.
+                let mut pieces: Vec<(SelVec, u32)> = Vec::new();
+                for (start, end) in [(0u32, cut as u32), (cut as u32, n as u32)] {
+                    if start == end {
+                        continue;
+                    }
+                    let shard_col = &col[start as usize..end as usize];
+                    let local = sel.slice_range(start, end);
+                    let local_sel = use_sel.then(|| local.as_slice().to_vec());
+                    let cap = local_sel.as_ref().map_or(shard_col.len(), Vec::len);
+                    let mut out = vec![0u32; cap];
+                    let k = f(&mut out, shard_col, val, local_sel.as_deref());
+                    out.truncate(k);
+                    pieces.push((SelVec::from_positions(out), start));
+                }
+                let refs: Vec<(&SelVec, u32)> =
+                    pieces.iter().map(|(s, o)| (s, *o)).collect();
+                let merged = SelVec::concat_shifted(&refs);
+                prop_assert_eq!(
+                    merged.as_slice(),
+                    full.as_slice(),
+                    "flavor output diverged at cut {} (use_sel={})",
+                    cut,
+                    use_sel
+                );
+            }
+        }
+    }
+
+    #[test]
     fn like_matches_naive_semantics(
         s in "[a-c%_]{0,12}",
         pat in "[a-c%_]{0,8}",
