@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment|all> [--sf F] [--seed S] [--json PATH]
+//! repro compare OLD.json NEW.json [--threshold PCT]
 //!
 //! experiments: table1 fig1 fig2 fig4 fig5 fig6 table4 fig8 fig10 table5
 //!              tables6-10 table11 fig11 ablation scaling
@@ -13,6 +14,11 @@
 //! reproduction targets (see EXPERIMENTS.md). `--json` additionally writes
 //! a machine-readable report (per-experiment wall ticks + metrics) — the
 //! artifact the CI bench-smoke job uploads as the bench baseline.
+//!
+//! `compare` diffs two such reports: it prints a per-experiment table and
+//! exits nonzero when any experiment's `wall_ticks` regressed more than
+//! the threshold (default 10%) — the CI job feeds it the previous
+//! commit's artifact.
 
 use ma_bench::experiments::{make_runner, run_experiment_with_metrics, ALL_EXPERIMENTS};
 use ma_bench::report::{json_report, JsonEntry};
@@ -20,6 +26,9 @@ use ma_core::cycles::ticks_now;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        compare_main(&args[1..]);
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut sf = 0.05f64;
     let mut seed = 0xC0FFEEu64;
@@ -88,11 +97,73 @@ fn main() {
     }
 }
 
+/// `repro compare OLD.json NEW.json [--threshold PCT]` — never returns.
+fn compare_main(args: &[String]) -> ! {
+    let mut files: Vec<String> = Vec::new();
+    let mut threshold = 0.10f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                let pct: f64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threshold needs a percentage"));
+                threshold = pct / 100.0;
+            }
+            "--help" | "-h" => usage(""),
+            other => files.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if files.len() != 2 {
+        usage("compare needs exactly two report paths");
+    }
+    let load = |path: &str| -> ma_bench::compare::BenchReport {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        ma_bench::compare::parse_report(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = load(&files[0]);
+    let new = load(&files[1]);
+    if !ma_bench::compare::comparable(&old, &new) {
+        // A changed --sf/--seed would make every delta meaningless; treat
+        // it like a missing baseline rather than hard-failing on noise.
+        eprintln!(
+            "note: reports are not comparable (old: sf {} seed {}, new: sf {} seed {}); \
+             skipping regression gate",
+            old.sf, old.seed, new.sf, new.seed
+        );
+        std::process::exit(0);
+    }
+    let cmp = ma_bench::compare::compare(&old, &new, threshold);
+    print!("{}", cmp.render());
+    if cmp.any_regression() {
+        eprintln!(
+            "FAIL: at least one experiment regressed more than {:.0}%",
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: no experiment regressed more than {:.0}%",
+        threshold * 100.0
+    );
+    std::process::exit(0);
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
     eprintln!("usage: repro <experiment|all> [--sf F] [--seed S] [--json PATH]");
+    eprintln!("       repro compare OLD.json NEW.json [--threshold PCT]");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
 }

@@ -1,0 +1,559 @@
+//! Regression comparison between two `ma-bench/v1` JSON reports.
+//!
+//! `repro compare old.json new.json` parses both reports (with a tiny
+//! hand-rolled JSON reader — the tree deliberately has no serde), matches
+//! experiments by id, and flags any whose `wall_ticks` grew by more than
+//! the threshold (default 10%). The CI bench-smoke job runs this against
+//! the previous commit's uploaded artifact.
+
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// minimal JSON reader (objects, arrays, strings, numbers, bools, null)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// Object (insertion order not preserved; reports never rely on it).
+    Object(BTreeMap<String, Json>),
+    /// Array.
+    Array(Vec<Json>),
+    /// String.
+    Str(String),
+    /// Number (all numbers as f64 — tick counts fit exactly below 2^53,
+    /// far beyond any report's magnitude).
+    Num(f64),
+    /// Boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+    /// The value as f64, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? != b {
+            return Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char, self.pos, self.bytes[self.pos] as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut m = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(m));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            m.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(m));
+                }
+                c => return Err(format!("expected ',' or '}}', found '{}'", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut a = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(a));
+        }
+        loop {
+            a.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(a));
+                }
+                c => return Err(format!("expected ',' or ']', found '{}'", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // High surrogate: combine with the following
+                            // \uXXXX low half (standard serializers write
+                            // non-BMP chars as surrogate pairs).
+                            let ch = if (0xD800..=0xDBFF).contains(&code) {
+                                if self.bytes.get(self.pos..self.pos + 2) == Some(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if (0xDC00..=0xDFFF).contains(&low) {
+                                        let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                        char::from_u32(c).unwrap_or('\u{FFFD}')
+                                    } else {
+                                        '\u{FFFD}'
+                                    }
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(code).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(ch);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                other => {
+                    // Multi-byte UTF-8 passes through byte-wise.
+                    let start = self.pos - 1;
+                    let len = utf8_len(other);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+            .map_err(|e| e.to_string())?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ma-bench/v1 report model and comparison
+// ---------------------------------------------------------------------------
+
+/// One experiment of a parsed report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportEntry {
+    /// Experiment id (e.g. `table1`, `scaling`).
+    pub id: String,
+    /// Wall ticks the experiment took.
+    pub wall_ticks: f64,
+    /// Named metrics.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A parsed `ma-bench/v1` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Scale factor of the run.
+    pub sf: f64,
+    /// Data seed of the run. Carried as f64 (the reader's only numeric
+    /// type), so seeds are compared exactly only below 2^53 — any seed a
+    /// human or CI config writes. Pathological ≥2^53 seeds differing only
+    /// in the low bits could alias in [`comparable`].
+    pub seed: f64,
+    /// Per-experiment entries, in file order... (BTreeMap order of ids).
+    pub entries: Vec<ReportEntry>,
+}
+
+/// Parses a report document, checking the schema tag.
+pub fn parse_report(text: &str) -> Result<BenchReport, String> {
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != "ma-bench/v1" {
+        return Err(format!("unsupported schema {schema}"));
+    }
+    let entries = doc
+        .get("experiments")
+        .and_then(Json::as_array)
+        .ok_or("missing experiments array")?
+        .iter()
+        .map(|e| {
+            let id = e
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("experiment without id")?
+                .to_string();
+            let wall_ticks = e
+                .get("wall_ticks")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("experiment {id} without wall_ticks"))?;
+            let metrics = match e.get("metrics") {
+                Some(Json::Object(m)) => m
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x)))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            Ok(ReportEntry {
+                id,
+                wall_ticks,
+                metrics,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(BenchReport {
+        sf: doc.get("sf").and_then(Json::as_f64).unwrap_or(0.0),
+        seed: doc.get("seed").and_then(Json::as_f64).unwrap_or(0.0),
+        entries,
+    })
+}
+
+/// One row of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Experiment id.
+    pub id: String,
+    /// Old wall ticks (`None`: new experiment).
+    pub old: Option<f64>,
+    /// New wall ticks (`None`: experiment disappeared).
+    pub new: Option<f64>,
+    /// `new/old - 1` where both sides exist.
+    pub delta: Option<f64>,
+    /// Whether the row exceeds the regression threshold.
+    pub regressed: bool,
+}
+
+/// Comparison of two reports.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Per-experiment rows (union of ids, old-report order first).
+    pub rows: Vec<CompareRow>,
+    /// The regression threshold used (fraction, e.g. 0.10).
+    pub threshold: f64,
+}
+
+impl Comparison {
+    /// True when any experiment regressed beyond the threshold.
+    pub fn any_regression(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// Renders an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>14} {:>14} {:>9}  {}\n",
+            "experiment", "old ticks", "new ticks", "delta", "verdict"
+        ));
+        for r in &self.rows {
+            let fmt_ticks = |t: Option<f64>| match t {
+                Some(v) => format!("{v:.0}"),
+                None => "-".to_string(),
+            };
+            let delta = match r.delta {
+                Some(d) => format!("{:+.1}%", d * 100.0),
+                None => "-".to_string(),
+            };
+            let verdict = if r.regressed {
+                "REGRESSED"
+            } else if r.delta.is_none() {
+                "unmatched"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<28} {:>14} {:>14} {:>9}  {}\n",
+                r.id,
+                fmt_ticks(r.old),
+                fmt_ticks(r.new),
+                delta,
+                verdict
+            ));
+        }
+        out
+    }
+}
+
+/// True when two reports were produced with the same run parameters —
+/// wall ticks from different scale factors or data seeds are not
+/// comparable, and diffing them would report spurious (or masked)
+/// regressions.
+pub fn comparable(a: &BenchReport, b: &BenchReport) -> bool {
+    a.sf == b.sf && a.seed == b.seed
+}
+
+/// Compares two reports on per-experiment `wall_ticks`. An experiment
+/// regresses when `new > old * (1 + threshold)`. Experiments present in
+/// only one report are listed but never count as regressions (first runs
+/// and renamed experiments must not fail the build).
+pub fn compare(old: &BenchReport, new: &BenchReport, threshold: f64) -> Comparison {
+    let mut rows = Vec::new();
+    let new_by_id: BTreeMap<&str, &ReportEntry> =
+        new.entries.iter().map(|e| (e.id.as_str(), e)).collect();
+    let mut seen: Vec<&str> = Vec::new();
+    for o in &old.entries {
+        seen.push(o.id.as_str());
+        let n = new_by_id.get(o.id.as_str());
+        let delta = n.map(|n| n.wall_ticks / o.wall_ticks - 1.0);
+        rows.push(CompareRow {
+            id: o.id.clone(),
+            old: Some(o.wall_ticks),
+            new: n.map(|n| n.wall_ticks),
+            delta,
+            regressed: delta.is_some_and(|d| d > threshold),
+        });
+    }
+    for n in &new.entries {
+        if !seen.contains(&n.id.as_str()) {
+            rows.push(CompareRow {
+                id: n.id.clone(),
+                old: None,
+                new: Some(n.wall_ticks),
+                delta: None,
+                regressed: false,
+            });
+        }
+    }
+    Comparison { rows, threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::json_report;
+
+    fn report(entries: &[(&str, u64)]) -> BenchReport {
+        let e: Vec<crate::report::JsonEntry> = entries
+            .iter()
+            .map(|(id, w)| (id.to_string(), *w, vec![("m".to_string(), 1.5)]))
+            .collect();
+        parse_report(&json_report(0.05, 7, &e)).unwrap()
+    }
+
+    #[test]
+    fn round_trips_the_writer_output() {
+        let r = report(&[("table1", 100), ("scaling", 2000)]);
+        assert_eq!(r.sf, 0.05);
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[0].id, "table1");
+        assert_eq!(r.entries[0].wall_ticks, 100.0);
+        assert_eq!(r.entries[0].metrics, vec![("m".to_string(), 1.5)]);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v =
+            parse_json(r#"{"a": [1, -2.5e1, "x\ny\"z"], "b": {"c": true, "d": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1], Json::Num(-25.0));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2],
+            Json::Str("x\ny\"z".into())
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_and_control_escapes() {
+        // 😀 is U+1F600 as a serializer-escaped surrogate pair.
+        let v = parse_json(r#""a\ud83d\ude00b\bc\fd""#).unwrap();
+        assert_eq!(v, Json::Str("a\u{1F600}b\u{0008}c\u{000C}d".into()));
+        // Raw (unescaped) multi-byte UTF-8 also passes through.
+        assert_eq!(
+            parse_json("\"\u{1F600}\"").unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+        // Unpaired halves degrade to U+FFFD instead of failing.
+        assert_eq!(
+            parse_json(r#""x\ud83dy""#).unwrap(),
+            Json::Str("x\u{FFFD}y".into())
+        );
+    }
+
+    #[test]
+    fn comparability_requires_matching_run_params() {
+        let a = report(&[("t", 1)]);
+        assert!(comparable(&a, &a));
+        let mut b = a.clone();
+        b.sf = 0.1;
+        assert!(!comparable(&a, &b));
+        let mut c = a.clone();
+        c.seed = 9.0;
+        assert!(!comparable(&a, &c));
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        assert!(parse_report(r#"{"schema": "other/v2", "experiments": []}"#).is_err());
+    }
+
+    #[test]
+    fn regression_detection_at_threshold() {
+        let old = report(&[("a", 1000), ("b", 1000), ("gone", 50)]);
+        let new = report(&[("a", 1099), ("b", 1200), ("fresh", 70)]);
+        let cmp = compare(&old, &new, 0.10);
+        // a: +9.9% — within threshold; b: +20% — regressed.
+        assert!(!cmp.rows[0].regressed);
+        assert!(cmp.rows[1].regressed);
+        assert!(cmp.any_regression());
+        // unmatched rows never regress
+        let gone = cmp.rows.iter().find(|r| r.id == "gone").unwrap();
+        assert!(!gone.regressed && gone.new.is_none());
+        let fresh = cmp.rows.iter().find(|r| r.id == "fresh").unwrap();
+        assert!(!fresh.regressed && fresh.old.is_none());
+        let table = cmp.render();
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("+20.0%"), "{table}");
+        assert!(table.contains("unmatched"), "{table}");
+    }
+
+    #[test]
+    fn improvement_is_never_a_regression() {
+        let old = report(&[("a", 1000)]);
+        let new = report(&[("a", 10)]);
+        assert!(!compare(&old, &new, 0.10).any_regression());
+    }
+}

@@ -44,9 +44,9 @@ impl Default for RunningMedian {
 
 impl RunningMedian {
     /// Records one per-tuple cost; recomputes the cached median every
-    /// [`RECOMPUTE_EVERY`] observations (batch granularity — the sort never
+    /// `RECOMPUTE_EVERY` observations (batch granularity — the sort never
     /// runs on the per-call hot path more than 1/8th of the time, over at
-    /// most [`RING`] elements).
+    /// most `RING` elements).
     pub fn record(&mut self, cost: f64) {
         self.ring[self.next] = cost;
         self.next = (self.next + 1) % RING;

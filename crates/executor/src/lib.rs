@@ -20,6 +20,7 @@ pub mod eval;
 pub mod expr;
 pub mod heuristics;
 pub mod ops;
+pub mod plan;
 pub mod stage;
 
 pub use adaptive::{HeurKind, InstanceReport, PrimInstance, QueryContext};
@@ -27,6 +28,7 @@ pub use config::{ExecConfig, FlavorAxis, FlavorMode};
 pub use eval::{CompiledExpr, CompiledPred};
 pub use expr::{ArithKind, CmpKind, CmpRhs, Expr, Pred, Value};
 pub use ops::{collect, BoxOp, Operator};
+pub use plan::{lower, Catalog, LogicalPlan, PlanBuilder, PlanError};
 pub use stage::StageProfile;
 
 use ma_vector::TableError;

@@ -10,6 +10,7 @@ use crate::ops::{BoxOp, Operator};
 use crate::{ExecError, QueryContext};
 
 /// One output column of a projection.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ProjItem {
     /// Pass an input column through unchanged (shared, not copied).
     Pass(usize),

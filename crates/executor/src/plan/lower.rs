@@ -1,0 +1,411 @@
+//! The physical planner: [`LogicalPlan`] → operator pipeline.
+//!
+//! Lowering is where *all* parallelism decisions live (queries only
+//! declare intent):
+//!
+//! * **Sharding.** A scan under an order-insensitive pipeline with
+//!   `worker_threads > 1` and enough rows to bother becomes `n`
+//!   morsel-driven worker fragments united by a [`Parallel`] exchange.
+//! * **Selection pushdown.** A [`LogicalPlan::Filter`] sitting directly
+//!   on a scan is compiled *into* each worker fragment, so the selection
+//!   primitives parallelize and every worker owns its own bandit state
+//!   for them (per-worker micro adaptivity, DESIGN.md §5).
+//! * **Order sensitivity.** A [`LogicalPlan::MergeJoin`] needs key-sorted
+//!   inputs; a [`Parallel`] union interleaves worker streams in arrival
+//!   order and would break that. The planner therefore lowers everything
+//!   beneath a merge join in *ordered* mode, where scans stay sequential
+//!   — the hazard cannot be expressed, let alone hit.
+
+use std::sync::Arc;
+
+use ma_vector::{MorselQueue, Table, VECTORS_PER_MORSEL};
+
+use crate::expr::Pred;
+use crate::ops::{
+    HashAggregate, HashJoin, MergeJoin, Parallel, Scan, Select, Sort, StreamAggregate,
+};
+use crate::plan::LogicalPlan;
+use crate::{BoxOp, ExecError, QueryContext};
+
+/// Lowers a logical plan to a physical operator pipeline, deciding
+/// sharding, selection pushdown and ordered-scan fallback centrally (see
+/// the [plan module docs](crate::plan)).
+pub fn lower(plan: &LogicalPlan, ctx: &QueryContext) -> Result<BoxOp, ExecError> {
+    lower_node(plan, ctx, false)
+}
+
+/// `ordered`: true when some ancestor consumes its input in key order, so
+/// scans beneath must not shard.
+fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, ordered: bool) -> Result<BoxOp, ExecError> {
+    match plan {
+        LogicalPlan::Scan { table, cols, .. } => lower_scan(table, cols, None, ctx, ordered, ""),
+        LogicalPlan::Filter {
+            input, pred, label, ..
+        } => {
+            // Pushdown: a filter directly over a scan runs inside the scan
+            // workers when the scan shards.
+            if let LogicalPlan::Scan { table, cols, .. } = input.as_ref() {
+                lower_scan(table, cols, Some(pred), ctx, ordered, label)
+            } else {
+                let child = lower_node(input, ctx, ordered)?;
+                Ok(Box::new(Select::new(child, pred, ctx, label)?))
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            items,
+            label,
+            ..
+        } => {
+            let child = lower_node(input, ctx, ordered)?;
+            Ok(Box::new(crate::ops::Project::new(
+                child,
+                items.clone(),
+                ctx,
+                label,
+            )?))
+        }
+        LogicalPlan::HashAgg {
+            input,
+            keys,
+            aggs,
+            label,
+            ..
+        } => {
+            let child = lower_node(input, ctx, ordered)?;
+            Ok(Box::new(HashAggregate::new(
+                child,
+                keys.clone(),
+                aggs.clone(),
+                ctx,
+                label,
+            )?))
+        }
+        LogicalPlan::StreamAgg {
+            input, aggs, label, ..
+        } => {
+            let child = lower_node(input, ctx, ordered)?;
+            Ok(Box::new(StreamAggregate::new(
+                child,
+                aggs.clone(),
+                ctx,
+                label,
+            )?))
+        }
+        LogicalPlan::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            payload,
+            kind,
+            bloom,
+            defaults,
+            label,
+            ..
+        } => {
+            let b = lower_node(build, ctx, ordered)?;
+            let p = lower_node(probe, ctx, ordered)?;
+            Ok(Box::new(HashJoin::new(
+                b,
+                p,
+                build_keys.clone(),
+                probe_keys.clone(),
+                payload.clone(),
+                *kind,
+                *bloom,
+                defaults.clone(),
+                ctx,
+                label,
+            )?))
+        }
+        LogicalPlan::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            payload,
+            label,
+            ..
+        } => {
+            // Both inputs must arrive key-sorted: force sequential scans
+            // underneath regardless of the configured worker count.
+            let l = lower_node(left, ctx, true)?;
+            let r = lower_node(right, ctx, true)?;
+            Ok(Box::new(MergeJoin::new(
+                l,
+                r,
+                *left_key,
+                *right_key,
+                payload.clone(),
+                ctx,
+                label,
+            )?))
+        }
+        LogicalPlan::Sort {
+            input, keys, limit, ..
+        } => {
+            let child = lower_node(input, ctx, ordered)?;
+            Ok(Box::new(Sort::new(
+                child,
+                keys.clone(),
+                *limit,
+                ctx.vector_size(),
+            )?))
+        }
+    }
+}
+
+/// Lowers a (possibly filtered) scan, deciding sequential vs sharded.
+fn lower_scan(
+    table: &Arc<Table>,
+    cols: &[String],
+    pred: Option<&Pred>,
+    ctx: &QueryContext,
+    ordered: bool,
+    label: &str,
+) -> Result<BoxOp, ExecError> {
+    let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let workers = ctx.worker_threads();
+    // Morsels follow the configured vector size so morsel boundaries stay
+    // chunk-aligned for any `vector_size` (the worker-count-invariance
+    // contract, DESIGN.md §5).
+    let morsel_rows = VECTORS_PER_MORSEL * ctx.vector_size();
+    // Sharding a table that yields only a couple of morsels buys nothing;
+    // small scans (and the whole 1-worker engine) take the plain path, and
+    // order-sensitive consumers always do.
+    if ordered || workers == 1 || table.rows() < 2 * morsel_rows {
+        let scan: BoxOp = Box::new(Scan::new(Arc::clone(table), &names, ctx.vector_size())?);
+        return match pred {
+            Some(p) => Ok(Box::new(Select::new(scan, p, ctx, label)?)),
+            None => Ok(scan),
+        };
+    }
+    let queue = Arc::new(MorselQueue::with_morsel(table.rows(), morsel_rows));
+    let factory = |_worker: usize, _n: usize| -> Result<BoxOp, ExecError> {
+        let scan: BoxOp = Box::new(Scan::morsel(
+            Arc::clone(table),
+            &names,
+            ctx.vector_size(),
+            Arc::clone(&queue),
+        )?);
+        match pred {
+            Some(p) => Ok(Box::new(Select::new(scan, p, ctx, label)?)),
+            None => Ok(scan),
+        }
+    };
+    Ok(Box::new(Parallel::new(workers, &factory)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExecConfig;
+    use crate::ops::{collect, total_rows, JoinKind};
+    use crate::plan::expr::{asc, col, count, desc, lit_i64, sum_i64};
+    use crate::plan::{NamedPred, PlanBuilder};
+    use crate::CmpKind;
+    use ma_primitives::build_dictionary;
+    use ma_vector::{ColumnBuilder, DataType};
+    use std::collections::HashMap;
+
+    fn ctx_with_workers(workers: usize) -> QueryContext {
+        let mut cfg = ExecConfig::fixed_default();
+        cfg.worker_threads = workers;
+        QueryContext::new(Arc::new(build_dictionary()), cfg)
+    }
+
+    fn catalog(rows: usize) -> HashMap<String, Arc<Table>> {
+        let mut k = ColumnBuilder::with_capacity(DataType::I32, rows);
+        let mut v = ColumnBuilder::with_capacity(DataType::I64, rows);
+        for i in 0..rows {
+            k.push_i32((i % 7) as i32);
+            v.push_i64(i as i64);
+        }
+        // `v` (the unique, sorted row id) is the first column: the
+        // clustering-key convention the merge-join builder check relies
+        // on.
+        let t = Arc::new(
+            Table::new(
+                "t",
+                vec![("v".into(), v.finish()), ("k".into(), k.finish())],
+            )
+            .unwrap(),
+        );
+        let mut dk = ColumnBuilder::with_capacity(DataType::I32, 3);
+        let mut dv = ColumnBuilder::with_capacity(DataType::I64, 3);
+        for i in 0..3 {
+            dk.push_i32(i);
+            dv.push_i64(i as i64 * 100);
+        }
+        let d = Arc::new(
+            Table::new(
+                "d",
+                vec![("dk".into(), dk.finish()), ("dv".into(), dv.finish())],
+            )
+            .unwrap(),
+        );
+        let mut c = HashMap::new();
+        c.insert("t".to_string(), t);
+        c.insert("d".to_string(), d);
+        c
+    }
+
+    fn agg_totals(workers: usize, rows: usize) -> Vec<(i32, i64)> {
+        let c = catalog(rows);
+        let plan = PlanBuilder::scan(&c, "t", &["k", "v"])
+            .filter(NamedPred::cmp_val("k", CmpKind::Lt, Value::I32(5)), "sel")
+            .hash_agg(&["k"], vec![count(), sum_i64("v")], "agg")
+            .sort(&[asc("k")])
+            .build()
+            .unwrap();
+        let ctx = ctx_with_workers(workers);
+        let mut op = lower(&plan, &ctx).unwrap();
+        let chunks = collect(op.as_mut()).unwrap();
+        let mut out = Vec::new();
+        for ch in &chunks {
+            for p in ch.live_positions() {
+                out.push((ch.column(0).as_i32()[p], ch.column(2).as_i64()[p]));
+            }
+        }
+        out
+    }
+
+    use crate::expr::Value;
+
+    #[test]
+    fn lowering_matches_across_worker_counts() {
+        // Big enough to shard (>= 2 morsels at the default vector size).
+        let rows = 3 * VECTORS_PER_MORSEL * 1024;
+        let seq = agg_totals(1, rows);
+        let par = agg_totals(4, rows);
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 5);
+    }
+
+    #[test]
+    fn filter_over_scan_shards_into_parallel() {
+        let rows = 3 * VECTORS_PER_MORSEL * 1024;
+        let c = catalog(rows);
+        let plan = PlanBuilder::scan(&c, "t", &["k"])
+            .filter(NamedPred::cmp_val("k", CmpKind::Lt, Value::I32(1)), "sel")
+            .build()
+            .unwrap();
+        let ctx = ctx_with_workers(4);
+        let mut op = lower(&plan, &ctx).unwrap();
+        let n = total_rows(&collect(op.as_mut()).unwrap());
+        assert_eq!(n, rows / 7 + usize::from(!rows.is_multiple_of(7)));
+        // The pushed-down selection ran inside the workers: exactly one
+        // instance of the labeled selection primitive per worker (a
+        // non-pushed Select above the exchange would create just one).
+        // `reports()` is the unmerged view — `merged_reports()` would
+        // fold the per-worker instances back into a single entry.
+        drop(op);
+        let sel_instances = ctx
+            .reports()
+            .iter()
+            .filter(|r| r.label.starts_with("sel/"))
+            .count();
+        assert_eq!(
+            sel_instances, 4,
+            "expected one pushed-down selection instance per worker"
+        );
+    }
+
+    #[test]
+    fn merge_join_children_stay_sequential() {
+        // A merge join over a table large enough that a plain scan would
+        // shard: correct (sorted) results prove the planner forced
+        // sequential scans underneath.
+        let rows = 3 * VECTORS_PER_MORSEL * 1024;
+        let c = catalog(rows);
+        // left: unique keys 0..rows (v is unique and sorted); right: same
+        // table filtered — both sorted by v.
+        let left = PlanBuilder::scan(&c, "t", &["v as lv", "k as lk"]);
+        let plan = PlanBuilder::scan(&c, "t", &["v", "k"])
+            .filter(
+                NamedPred::cmp_val("v", CmpKind::Lt, Value::I64(10_000)),
+                "sel",
+            )
+            .merge_join(left, ("v", "lv"), &["lk"], "mj")
+            .build()
+            .unwrap();
+        assert_eq!(plan.schema().names(), vec!["v", "k", "lk"]);
+        let ctx = ctx_with_workers(4);
+        let mut op = lower(&plan, &ctx).unwrap();
+        let chunks = collect(op.as_mut()).unwrap();
+        assert_eq!(total_rows(&chunks), 10_000);
+        let mut last = -1i64;
+        for ch in &chunks {
+            for p in ch.live_positions() {
+                let v = ch.column(0).as_i64()[p];
+                assert!(v > last, "merge join output not in key order");
+                last = v;
+                assert_eq!(ch.column(1).as_i32()[p], ch.column(2).as_i32()[p]);
+            }
+        }
+    }
+
+    #[test]
+    fn join_project_topn_pipeline() {
+        let c = catalog(1000);
+        let build = PlanBuilder::scan(&c, "d", &["dk", "dv"]);
+        let plan = PlanBuilder::scan(&c, "t", &["k", "v"])
+            .hash_join(build, &[("k", "dk")], &["dv"], JoinKind::Inner, true, "j")
+            .project(
+                vec![("k", col("k")), ("score", col("v").add(col("dv")))],
+                "proj",
+            )
+            .top_n(&[desc("score")], 5)
+            .build()
+            .unwrap();
+        let ctx = ctx_with_workers(1);
+        let mut op = lower(&plan, &ctx).unwrap();
+        let chunks = collect(op.as_mut()).unwrap();
+        assert_eq!(total_rows(&chunks), 5);
+        let scores = chunks[0].column(1).as_i64();
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn left_single_join_lowers_with_defaults() {
+        let c = catalog(1000);
+        let plan = PlanBuilder::scan(&c, "t", &["k", "v"])
+            .left_single_join(
+                PlanBuilder::scan(&c, "d", &["dk", "dv"]),
+                &[("k", "dk")],
+                &[("dv", Value::I64(-1))],
+                "ls",
+            )
+            .build()
+            .unwrap();
+        let ctx = ctx_with_workers(1);
+        let mut op = lower(&plan, &ctx).unwrap();
+        let chunks = collect(op.as_mut()).unwrap();
+        assert_eq!(total_rows(&chunks), 1000);
+        for ch in &chunks {
+            for p in ch.live_positions() {
+                let k = ch.column(0).as_i32()[p];
+                let dv = ch.column(2).as_i64()[p];
+                assert_eq!(dv, if k < 3 { k as i64 * 100 } else { -1 });
+            }
+        }
+    }
+
+    #[test]
+    fn stream_agg_and_expr_lowering() {
+        let c = catalog(100);
+        let plan = PlanBuilder::scan(&c, "t", &["v"])
+            .project(vec![("v2", col("v").mul(lit_i64(2)))], "proj")
+            .stream_agg(vec![sum_i64("v2").named("total"), count()], "agg")
+            .build()
+            .unwrap();
+        let ctx = ctx_with_workers(1);
+        let mut op = lower(&plan, &ctx).unwrap();
+        let ch = op.next().unwrap().unwrap();
+        assert_eq!(ch.column(0).as_i64()[0], 99 * 100);
+        assert_eq!(ch.column(1).as_i64()[0], 100);
+    }
+}

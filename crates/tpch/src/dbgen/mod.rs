@@ -202,6 +202,12 @@ impl TpchData {
     }
 }
 
+impl ma_executor::plan::Catalog for TpchData {
+    fn lookup(&self, name: &str) -> Option<Arc<Table>> {
+        self.table(name).cloned()
+    }
+}
+
 fn gen_region() -> Table {
     let mut key = ColumnBuilder::with_capacity(DataType::I32, 5);
     let mut name = ColumnBuilder::with_capacity(DataType::Str, 5);

@@ -1,4 +1,11 @@
-//! The 22 TPC-H queries as physical plans over the `ma-executor` operators.
+//! The 22 TPC-H queries, expressed as named-column logical plans.
+//!
+//! Queries are written against the [`ma_executor::plan::PlanBuilder`] API:
+//! they name columns, never positions, and make **no** parallelism
+//! decisions — the physical planner ([`ma_executor::plan::lower`])
+//! centrally decides which scans shard, where selections push into scan
+//! fragments, and which pipelines must stay sequential because an
+//! order-sensitive consumer (Q12's merge join) sits above them.
 //!
 //! Plans are built by hand (the paper's focus is the executor, not the
 //! optimizer), with join orders a reasonable optimizer would pick. A few
@@ -21,9 +28,10 @@ mod q18_q22;
 
 use std::sync::Arc;
 
-use ma_executor::ops::{FrozenStore, Parallel, Scan, Select};
-use ma_executor::{BoxOp, ExecError, Expr, Pred, QueryContext};
-use ma_vector::{Column, DataType, MorselQueue, Table, Vector, VECTORS_PER_MORSEL};
+use ma_executor::ops::FrozenStore;
+use ma_executor::plan::{lit_f64, lower, NamedExpr, PlanBuilder};
+use ma_executor::{BoxOp, ExecError, QueryContext};
+use ma_vector::{Column, DataType, Table, Vector};
 
 use crate::dbgen::TpchData;
 use crate::params::Params;
@@ -72,118 +80,81 @@ pub fn run_query(
     }
 }
 
-// ---------------------------------------------------------------------------
-// shared plan-building helpers
-// ---------------------------------------------------------------------------
-
-/// Scans named columns of a database table. With `worker_threads > 1` and a
-/// table large enough to bother, the scan is sharded: `n` workers pull
-/// vector-aligned morsels from a shared queue and their streams union in a
-/// [`Parallel`] exchange.
-pub(crate) fn scan(
-    db: &TpchData,
-    table: &str,
-    cols: &[&str],
-    ctx: &QueryContext,
-) -> Result<BoxOp, ExecError> {
-    scan_filtered(db, table, cols, None, ctx, "")
-}
-
-/// Scan + filter: like [`scan`] followed by [`Select`], but under
-/// `worker_threads > 1` the selection runs *inside* each scan worker, so
-/// the paper's hot selection primitives parallelize and every worker owns
-/// its own bandit state for them.
-pub(crate) fn scan_where(
-    db: &TpchData,
-    table: &str,
-    cols: &[&str],
-    pred: &Pred,
-    ctx: &QueryContext,
-    label: &str,
-) -> Result<BoxOp, ExecError> {
-    scan_filtered(db, table, cols, Some(pred), ctx, label)
-}
-
-/// A scan that is *never* sharded, for order-sensitive consumers: a
-/// [`Parallel`] union interleaves worker streams, which would break
-/// merge-join's sorted-input contract (Q12). Selections stacked on top of a
-/// sequential scan preserve order, so `Select::new(scan_seq(..), ..)` stays
-/// safe.
-pub(crate) fn scan_seq(
-    db: &TpchData,
-    table: &str,
-    cols: &[&str],
-    ctx: &QueryContext,
-) -> Result<BoxOp, ExecError> {
-    let t = db
-        .table(table)
-        .ok_or_else(|| ExecError::Plan(format!("unknown table {table}")))?;
-    Ok(Box::new(Scan::new(Arc::clone(t), cols, ctx.vector_size())?))
-}
-
-fn scan_filtered(
-    db: &TpchData,
-    table: &str,
-    cols: &[&str],
-    pred: Option<&Pred>,
-    ctx: &QueryContext,
-    label: &str,
-) -> Result<BoxOp, ExecError> {
-    let t = db
-        .table(table)
-        .ok_or_else(|| ExecError::Plan(format!("unknown table {table}")))?;
-    let workers = ctx.worker_threads();
-    // Morsels follow the configured vector size so morsel boundaries stay
-    // chunk-aligned for any `vector_size` (the worker-count-invariance
-    // contract, DESIGN.md §5).
-    let morsel_rows = VECTORS_PER_MORSEL * ctx.vector_size();
-    // Sharding a table that yields only a couple of morsels buys nothing;
-    // keep small scans (and the whole 1-worker engine) on the plain path.
-    if workers == 1 || t.rows() < 2 * morsel_rows {
-        let scan: BoxOp = Box::new(Scan::new(Arc::clone(t), cols, ctx.vector_size())?);
-        return match pred {
-            Some(p) => Ok(Box::new(Select::new(scan, p, ctx, label)?)),
-            None => Ok(scan),
-        };
-    }
-    let queue = Arc::new(MorselQueue::with_morsel(t.rows(), morsel_rows));
-    let factory = |_worker: usize, _n: usize| -> Result<BoxOp, ExecError> {
-        let scan: BoxOp = Box::new(Scan::morsel(
-            Arc::clone(t),
-            cols,
-            ctx.vector_size(),
-            Arc::clone(&queue),
-        )?);
-        match pred {
-            Some(p) => Ok(Box::new(Select::new(scan, p, ctx, label)?)),
-            None => Ok(scan),
-        }
+/// Renders query `q`'s logical plan as an `EXPLAIN`-style tree (resolved
+/// schemas per node; scans annotated with the planner's ordered-vs-
+/// shardable verdict). For multi-phase queries this is the plan of the
+/// first phase — later phases depend on scalars computed from it.
+pub fn explain_query(q: usize, db: &TpchData, params: &Params) -> Result<String, ExecError> {
+    let pb = match q {
+        1 => q01_q06::q01_plan(db, params),
+        2 => q01_q06::q02_rows_plan(db, params),
+        3 => q01_q06::q03_plan(db, params),
+        4 => q01_q06::q04_plan(db, params),
+        5 => q01_q06::q05_plan(db, params),
+        6 => q01_q06::q06_plan(db, params),
+        7 => q07_q11::q07_plan(db, params),
+        8 => q07_q11::q08_agg_plan(db, params),
+        9 => q07_q11::q09_plan(db, params),
+        10 => q07_q11::q10_plan(db, params),
+        11 => q07_q11::q11_total_plan(db, params),
+        12 => q12_q17::q12_agg_plan(db, params),
+        13 => q12_q17::q13_plan(db, params),
+        14 => q12_q17::q14_agg_plan(db, params),
+        15 => q12_q17::q15_revenue_plan(db, params),
+        16 => q12_q17::q16_plan(db, params),
+        17 => q12_q17::q17_totals_plan(db, params),
+        18 => q18_q22::q18_plan(db, params),
+        19 => q18_q22::q19_plan(db, params),
+        20 => q18_q22::q20_shipped_plan(db, params),
+        21 => q18_q22::q21_plan(db, params),
+        22 => q18_q22::q22_avg_plan(db, params),
+        _ => return Err(ExecError::Plan(format!("no such TPC-H query: {q}"))),
     };
-    Ok(Box::new(Parallel::new(workers, &factory)?))
+    Ok(pb.build()?.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// shared plan helpers
+// ---------------------------------------------------------------------------
+
+/// Builds, lowers and fully executes a plan into a [`QueryOutput`].
+pub(crate) fn run_plan(pb: PlanBuilder, ctx: &QueryContext) -> Result<QueryOutput, ExecError> {
+    finish(lower(&pb.build()?, ctx)?)
+}
+
+/// Builds, lowers and materializes a plan (multi-phase queries feeding one
+/// phase's result into the next).
+pub(crate) fn materialize_plan(
+    pb: PlanBuilder,
+    ctx: &QueryContext,
+) -> Result<FrozenStore, ExecError> {
+    let mut op = lower(&pb.build()?, ctx)?;
+    ma_executor::ops::materialize(op.as_mut())
 }
 
 /// `1 - e` for f64 expressions, built without a constant lhs:
 /// `e*(-1) + 1`.
-pub(crate) fn one_minus(e: Expr) -> Expr {
-    Expr::add(Expr::mul(e, Expr::f64(-1.0)), Expr::f64(1.0))
+pub(crate) fn one_minus(e: NamedExpr) -> NamedExpr {
+    e.mul(lit_f64(-1.0)).add(lit_f64(1.0))
 }
 
 /// `1 + e` for f64 expressions.
-pub(crate) fn one_plus(e: Expr) -> Expr {
-    Expr::add(e, Expr::f64(1.0))
+pub(crate) fn one_plus(e: NamedExpr) -> NamedExpr {
+    e.add(lit_f64(1.0))
 }
 
 /// Percent column (`l_discount`/`l_tax`, stored 0–10) as an f64 fraction.
-pub(crate) fn pct_frac(col: usize) -> Expr {
-    Expr::mul(Expr::cast(DataType::F64, Expr::col(col)), Expr::f64(0.01))
+pub(crate) fn pct_frac(column: &str) -> NamedExpr {
+    ma_executor::plan::col(column)
+        .cast(DataType::F64)
+        .mul(lit_f64(0.01))
 }
 
-/// `l_extendedprice * (1 - l_discount)` in f64 cents.
-pub(crate) fn revenue(ep_col: usize, disc_col: usize) -> Expr {
-    Expr::mul(
-        Expr::cast(DataType::F64, Expr::col(ep_col)),
-        one_minus(pct_frac(disc_col)),
-    )
+/// `extendedprice * (1 - discount)` in f64 cents.
+pub(crate) fn revenue(ep: &str, disc: &str) -> NamedExpr {
+    ma_executor::plan::col(ep)
+        .cast(DataType::F64)
+        .mul(one_minus(pct_frac(disc)))
 }
 
 /// Converts a materialized result into an in-memory [`Table`] (for
@@ -240,11 +211,7 @@ pub(crate) fn checksum(store: &FrozenStore) -> f64 {
 /// Materializes an operator into a [`QueryOutput`].
 pub(crate) fn finish(mut op: BoxOp) -> Result<QueryOutput, ExecError> {
     let store = ma_executor::ops::materialize(op.as_mut())?;
-    Ok(QueryOutput {
-        rows: store.rows(),
-        checksum: checksum(&store),
-        store,
-    })
+    Ok(finish_store(store))
 }
 
 /// Builds a [`QueryOutput`] from an already-materialized store.

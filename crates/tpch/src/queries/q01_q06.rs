@@ -1,21 +1,21 @@
 //! TPC-H Q1–Q6.
 
-use ma_executor::ops::{
-    AggSpec, HashAggregate, HashJoin, JoinKind, ProjItem, Project, Select, Sort, SortKey,
-    StreamAggregate,
-};
-use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
+use ma_executor::ops::JoinKind;
+use ma_executor::plan::{asc, col, count, desc, min_i64, sum_f64, sum_i64, NamedPred, PlanBuilder};
+use ma_executor::{CmpKind, ExecError, QueryContext, Value};
 use ma_vector::DataType;
 
-use super::{finish, one_minus, one_plus, pct_frac, revenue, scan, scan_where, QueryOutput};
+use super::{materialize_plan, one_plus, pct_frac, revenue, run_plan, store_to_table, QueryOutput};
 use crate::dates::{add_months, add_years};
 use crate::dbgen::TpchData;
 use crate::params::Params;
 
-/// Q1: pricing summary report.
-pub(crate) fn q01(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // [0 shipdate, 1 returnflag, 2 linestatus, 3 qty, 4 extprice, 5 disc, 6 tax]
-    let sel = scan_where(
+/// Q1's logical plan: pricing summary report.
+pub(crate) fn q01_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let disc_price = revenue("l_extendedprice", "l_discount");
+    let charge = disc_price.clone().mul(one_plus(pct_frac("l_tax")));
+    let cnt_f = || col("count").cast(DataType::F64);
+    PlanBuilder::scan(
         db,
         "lineitem",
         &[
@@ -27,101 +27,77 @@ pub(crate) fn q01(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_discount",
             "l_tax",
         ],
-        &Pred::cmp_val(0, CmpKind::Le, Value::I32(p.q1_cutoff())),
-        ctx,
+    )
+    .filter(
+        NamedPred::cmp_val("l_shipdate", CmpKind::Le, Value::I32(p.q1_cutoff())),
         "Q1/sel_shipdate",
-    )?;
-    // [0 rf, 1 ls, 2 qty64, 3 ep, 4 disc_price, 5 charge, 6 disc_frac]
-    let disc_price = Expr::mul(
-        Expr::cast(DataType::F64, Expr::col(4)),
-        one_minus(pct_frac(5)),
-    );
-    let charge = Expr::mul(disc_price.clone(), one_plus(pct_frac(6)));
-    let proj = Project::new(
-        sel,
+    )
+    .project(
         vec![
-            ProjItem::Pass(1),
-            ProjItem::Pass(2),
-            ProjItem::Expr(Expr::cast(DataType::I64, Expr::col(3))),
-            ProjItem::Pass(4),
-            ProjItem::Expr(disc_price),
-            ProjItem::Expr(charge),
-            ProjItem::Expr(pct_frac(5)),
+            ("l_returnflag", col("l_returnflag")),
+            ("l_linestatus", col("l_linestatus")),
+            ("qty", col("l_quantity").cast(DataType::I64)),
+            ("base", col("l_extendedprice")),
+            ("disc_price", disc_price),
+            ("charge", charge),
+            ("disc", pct_frac("l_discount")),
         ],
-        ctx,
         "Q1/maps",
-    )?;
-    // [0 rf, 1 ls, 2 sum_qty, 3 sum_base, 4 sum_disc_price, 5 sum_charge,
-    //  6 sum_disc, 7 count]
-    let agg = HashAggregate::new(
-        Box::new(proj),
-        vec![0, 1],
+    )
+    .hash_agg(
+        &["l_returnflag", "l_linestatus"],
         vec![
-            AggSpec::SumI64(2),
-            AggSpec::SumI64(3),
-            AggSpec::SumF64(4),
-            AggSpec::SumF64(5),
-            AggSpec::SumF64(6),
-            AggSpec::CountStar,
+            sum_i64("qty"),
+            sum_i64("base"),
+            sum_f64("disc_price"),
+            sum_f64("charge"),
+            sum_f64("disc"),
+            count(),
         ],
-        ctx,
         "Q1/agg",
-    )?;
-    // append avgs: [..8 avg_qty, 9 avg_price, 10 avg_disc]
-    let cnt_f = || Expr::cast(DataType::F64, Expr::col(7));
-    let post = Project::new(
-        Box::new(agg),
+    )
+    .project(
         vec![
-            ProjItem::Pass(0),
-            ProjItem::Pass(1),
-            ProjItem::Pass(2),
-            ProjItem::Pass(3),
-            ProjItem::Pass(4),
-            ProjItem::Pass(5),
-            ProjItem::Expr(Expr::div(Expr::cast(DataType::F64, Expr::col(2)), cnt_f())),
-            ProjItem::Expr(Expr::div(Expr::cast(DataType::F64, Expr::col(3)), cnt_f())),
-            ProjItem::Expr(Expr::div(Expr::col(6), cnt_f())),
-            ProjItem::Pass(7),
+            ("l_returnflag", col("l_returnflag")),
+            ("l_linestatus", col("l_linestatus")),
+            ("sum_qty", col("sum_qty")),
+            ("sum_base", col("sum_base")),
+            ("sum_disc_price", col("sum_disc_price")),
+            ("sum_charge", col("sum_charge")),
+            ("avg_qty", col("sum_qty").cast(DataType::F64).div(cnt_f())),
+            (
+                "avg_price",
+                col("sum_base").cast(DataType::F64).div(cnt_f()),
+            ),
+            ("avg_disc", col("sum_disc").div(cnt_f())),
+            ("count", col("count")),
         ],
-        ctx,
         "Q1/avgs",
-    )?;
-    let sort = Sort::new(
-        Box::new(post),
-        vec![SortKey::asc(0), SortKey::asc(1)],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+    )
+    .sort(&[asc("l_returnflag"), asc("l_linestatus")])
 }
 
-/// Q2: minimum-cost supplier.
-pub(crate) fn q02(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // europe nations: nation [0 nk, 1 name, 2 rk] semi region(EUROPE)
-    let region_sel = scan_where(
-        db,
-        "region",
-        &["r_regionkey", "r_name"],
-        &Pred::str_eq(1, p.q2_region),
-        ctx,
-        "Q2/sel_region",
-    )?;
-    let nation = scan(db, "nation", &["n_nationkey", "n_name", "n_regionkey"], ctx)?;
-    let nation_eu = HashJoin::new(
-        region_sel,
-        nation,
-        vec![0],
-        vec![2],
-        vec![],
-        JoinKind::Semi,
-        false,
-        vec![],
-        ctx,
-        "Q2/join_region",
-    )?;
-    // supplier joined with nation name:
-    // [0 sk, 1 sname, 2 saddr, 3 snk, 4 sphone, 5 sacct, 6 scomment, 7 nname]
-    let supplier = scan(
+/// Q1: pricing summary report.
+pub(crate) fn q01(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    run_plan(q01_plan(db, p), ctx)
+}
+
+/// Q2 phase A: every candidate (part, EUROPE supplier) row with its cost
+/// and supplier attributes — materialized once, reused for the min-cost
+/// subquery and the final join.
+pub(crate) fn q02_rows_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let region_sel = PlanBuilder::scan(db, "region", &["r_regionkey", "r_name"])
+        .filter(NamedPred::str_eq("r_name", p.q2_region), "Q2/sel_region");
+    let nation_eu = PlanBuilder::scan(db, "nation", &["n_nationkey", "n_name", "n_regionkey"])
+        .hash_join(
+            region_sel,
+            &[("n_regionkey", "r_regionkey")],
+            &[],
+            JoinKind::Semi,
+            false,
+            "Q2/join_region",
+        );
+    let sup_eu = PlanBuilder::scan(
         db,
         "supplier",
         &[
@@ -133,432 +109,317 @@ pub(crate) fn q02(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "s_acctbal",
             "s_comment",
         ],
-        ctx,
-    )?;
-    let sup_eu = HashJoin::new(
-        Box::new(nation_eu),
-        supplier,
-        vec![0],
-        vec![3],
-        vec![1],
+    )
+    .hash_join(
+        nation_eu,
+        &[("s_nationkey", "n_nationkey")],
+        &["n_name"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q2/join_nation",
-    )?;
-    // partsupp enriched:
-    // [0 pspk, 1 pssk, 2 cost, 3 acct, 4 sname, 5 nname, 6 addr, 7 phone, 8 comment]
-    let partsupp = scan(
+    );
+    let ps_eu = PlanBuilder::scan(
         db,
         "partsupp",
         &["ps_partkey", "ps_suppkey", "ps_supplycost"],
-        ctx,
-    )?;
-    let ps_eu = HashJoin::new(
-        Box::new(sup_eu),
-        partsupp,
-        vec![0],
-        vec![1],
-        vec![5, 1, 7, 2, 4, 6],
+    )
+    .hash_join(
+        sup_eu,
+        &[("ps_suppkey", "s_suppkey")],
+        &[
+            "s_acctbal",
+            "s_name",
+            "n_name",
+            "s_address",
+            "s_phone",
+            "s_comment",
+        ],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q2/join_supplier",
-    )?;
-    // parts: size = 15 AND type LIKE %BRASS
-    let part_sel = scan_where(
-        db,
-        "part",
-        &["p_partkey", "p_mfgr", "p_size", "p_type"],
-        &Pred::And(vec![
-            Pred::cmp_val(2, CmpKind::Eq, Value::I32(p.q2_size)),
-            Pred::Like {
-                col: 3,
-                pattern: format!("%{}", p.q2_type_suffix),
-            },
-        ]),
-        ctx,
-        "Q2/sel_part",
-    )?;
-    // rows: [0..8 ps_eu, 9 mfgr]
-    let rows = HashJoin::new(
+    );
+    let part_sel = PlanBuilder::scan(db, "part", &["p_partkey", "p_mfgr", "p_size", "p_type"])
+        .filter(
+            NamedPred::And(vec![
+                NamedPred::cmp_val("p_size", CmpKind::Eq, Value::I32(p.q2_size)),
+                NamedPred::like("p_type", format!("%{}", p.q2_type_suffix)),
+            ]),
+            "Q2/sel_part",
+        );
+    ps_eu.hash_join(
         part_sel,
-        Box::new(ps_eu),
-        vec![0],
-        vec![0],
-        vec![1],
+        &[("ps_partkey", "p_partkey")],
+        &["p_mfgr"],
         JoinKind::Inner,
         true,
-        vec![],
-        ctx,
         "Q2/join_part",
-    )?;
-    // Materialize once; reuse for the min-cost subquery and the final join.
-    let mut rows_op: BoxOp = Box::new(rows);
-    let store = ma_executor::ops::materialize(rows_op.as_mut())?;
-    let rows_t = super::store_to_table(
+    )
+}
+
+/// Q2: minimum-cost supplier.
+pub(crate) fn q02(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    // Phase A: materialize the candidate rows once.
+    let store = materialize_plan(q02_rows_plan(db, p), ctx)?;
+    let rows_t = store_to_table(
         "q2rows",
         &[
             "pk", "sk", "cost", "acct", "sname", "nname", "addr", "phone", "comment", "mfgr",
         ],
         &store,
     )?;
-    let db_rows = |cols: &[&str]| -> Result<BoxOp, ExecError> {
-        Ok(Box::new(ma_executor::ops::Scan::new(
-            std::sync::Arc::clone(&rows_t),
-            cols,
-            ctx.vector_size(),
-        )?))
-    };
-    // min cost per part
-    let minc = HashAggregate::new(
-        db_rows(&["pk", "cost"])?,
-        vec![0],
-        vec![AggSpec::MinI64(1)],
-        ctx,
+    // Phase B: min cost per part, join back, keep the cost == min rows.
+    let minc = PlanBuilder::from_table(std::sync::Arc::clone(&rows_t), &["pk", "cost"]).hash_agg(
+        &["pk"],
+        vec![min_i64("cost")],
         "Q2/agg_min",
-    )?;
-    // join back and filter cost == min
-    // [0 pk, 1 sk, 2 cost, 3 acct, 4 sname, 5 nname, 6 addr, 7 phone,
-    //  8 comment, 9 mfgr, 10 mincost]
-    let all = db_rows(&[
-        "pk", "sk", "cost", "acct", "sname", "nname", "addr", "phone", "comment", "mfgr",
-    ])?;
-    let with_min = HashJoin::new(
-        Box::new(minc),
-        all,
-        vec![0],
-        vec![0],
-        vec![1],
+    );
+    let out = PlanBuilder::from_table(
+        rows_t,
+        &[
+            "pk", "sk", "cost", "acct", "sname", "nname", "addr", "phone", "comment", "mfgr",
+        ],
+    )
+    .hash_join(
+        minc,
+        &[("pk", "pk")],
+        &["min_cost"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q2/join_min",
-    )?;
-    let only_min = Select::new(
-        Box::new(with_min),
-        &Pred::cmp_col(2, CmpKind::Eq, 10),
-        ctx,
+    )
+    .filter(
+        NamedPred::cmp_col("cost", CmpKind::Eq, "min_cost"),
         "Q2/sel_min",
-    )?;
-    // output: [acct, sname, nname, pk, mfgr, addr, phone, comment]
-    let out = Project::new(
-        Box::new(only_min),
+    )
+    .keep(&[
+        "acct", "sname", "nname", "pk", "mfgr", "addr", "phone", "comment",
+    ])
+    .top_n(&[desc("acct"), asc("nname"), asc("sname"), asc("pk")], 100);
+    run_plan(out, ctx)
+}
+
+/// Q3's logical plan: shipping priority.
+pub(crate) fn q03_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let cust = PlanBuilder::scan(db, "customer", &["c_custkey", "c_mktsegment"]).filter(
+        NamedPred::str_eq("c_mktsegment", p.q3_segment),
+        "Q3/sel_cust",
+    );
+    let ord = PlanBuilder::scan(
+        db,
+        "orders",
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+    )
+    .filter(
+        NamedPred::cmp_val("o_orderdate", CmpKind::Lt, Value::I32(p.q3_date)),
+        "Q3/sel_orders",
+    )
+    .hash_join(
+        cust,
+        &[("o_custkey", "c_custkey")],
+        &[],
+        JoinKind::Semi,
+        true,
+        "Q3/join_cust",
+    );
+    PlanBuilder::scan(
+        db,
+        "lineitem",
+        &["l_orderkey", "l_shipdate", "l_extendedprice", "l_discount"],
+    )
+    .filter(
+        NamedPred::cmp_val("l_shipdate", CmpKind::Gt, Value::I32(p.q3_date)),
+        "Q3/sel_li",
+    )
+    .hash_join(
+        ord,
+        &[("l_orderkey", "o_orderkey")],
+        &["o_orderdate", "o_shippriority"],
+        JoinKind::Inner,
+        true,
+        "Q3/join_orders",
+    )
+    .project(
         vec![
-            ProjItem::Pass(3),
-            ProjItem::Pass(4),
-            ProjItem::Pass(5),
-            ProjItem::Pass(0),
-            ProjItem::Pass(9),
-            ProjItem::Pass(6),
-            ProjItem::Pass(7),
-            ProjItem::Pass(8),
+            ("l_orderkey", col("l_orderkey")),
+            ("o_orderdate", col("o_orderdate")),
+            ("o_shippriority", col("o_shippriority")),
+            ("rev", revenue("l_extendedprice", "l_discount")),
         ],
-        ctx,
-        "Q2/out",
-    )?;
-    let sort = Sort::new(
-        Box::new(out),
-        vec![
-            SortKey::desc(0),
-            SortKey::asc(2),
-            SortKey::asc(1),
-            SortKey::asc(3),
-        ],
-        Some(100),
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+        "Q3/rev",
+    )
+    .hash_agg(
+        &["l_orderkey", "o_orderdate", "o_shippriority"],
+        vec![sum_f64("rev")],
+        "Q3/agg",
+    )
+    .keep(&["l_orderkey", "sum_rev", "o_orderdate", "o_shippriority"])
+    .top_n(&[desc("sum_rev"), asc("o_orderdate")], 10)
 }
 
 /// Q3: shipping priority.
 pub(crate) fn q03(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let cust = scan_where(
-        db,
-        "customer",
-        &["c_custkey", "c_mktsegment"],
-        &Pred::str_eq(1, p.q3_segment),
-        ctx,
-        "Q3/sel_cust",
-    )?;
-    let ord = scan_where(
-        db,
-        "orders",
-        &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
-        &Pred::cmp_val(2, CmpKind::Lt, Value::I32(p.q3_date)),
-        ctx,
-        "Q3/sel_orders",
-    )?;
-    // [0 okey, 1 ckey, 2 odate, 3 shipprio]
-    let ord_cust = HashJoin::new(
-        cust,
-        ord,
-        vec![0],
-        vec![1],
-        vec![],
-        JoinKind::Semi,
-        true,
-        vec![],
-        ctx,
-        "Q3/join_cust",
-    )?;
-    let li_sel = scan_where(
+    run_plan(q03_plan(db, p), ctx)
+}
+
+/// Q4's logical plan: order priority checking (EXISTS as a semi join).
+pub(crate) fn q04_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let li_late = PlanBuilder::scan(
         db,
         "lineitem",
-        &["l_orderkey", "l_shipdate", "l_extendedprice", "l_discount"],
-        &Pred::cmp_val(1, CmpKind::Gt, Value::I32(p.q3_date)),
-        ctx,
-        "Q3/sel_li",
-    )?;
-    // [0 lokey, 1 sdate, 2 ep, 3 disc, 4 odate, 5 shipprio]
-    let joined = HashJoin::new(
-        Box::new(ord_cust),
-        li_sel,
-        vec![0],
-        vec![0],
-        vec![2, 3],
-        JoinKind::Inner,
+        &["l_orderkey", "l_commitdate", "l_receiptdate"],
+    )
+    .filter(
+        NamedPred::cmp_col("l_commitdate", CmpKind::Lt, "l_receiptdate"),
+        "Q4/sel_late",
+    );
+    PlanBuilder::scan(
+        db,
+        "orders",
+        &["o_orderkey", "o_orderdate", "o_orderpriority"],
+    )
+    .filter(
+        NamedPred::And(vec![
+            NamedPred::cmp_val("o_orderdate", CmpKind::Ge, Value::I32(p.q4_date)),
+            NamedPred::cmp_val(
+                "o_orderdate",
+                CmpKind::Lt,
+                Value::I32(add_months(p.q4_date, 3)),
+            ),
+        ]),
+        "Q4/sel_orders",
+    )
+    .hash_join(
+        li_late,
+        &[("o_orderkey", "l_orderkey")],
+        &[],
+        JoinKind::Semi,
         true,
-        vec![],
-        ctx,
-        "Q3/join_orders",
-    )?;
-    // [0 okey, 1 odate, 2 shipprio, 3 rev]
-    let proj = Project::new(
-        Box::new(joined),
-        vec![
-            ProjItem::Pass(0),
-            ProjItem::Pass(4),
-            ProjItem::Pass(5),
-            ProjItem::Expr(revenue(2, 3)),
-        ],
-        ctx,
-        "Q3/rev",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(proj),
-        vec![0, 1, 2],
-        vec![AggSpec::SumF64(3)],
-        ctx,
-        "Q3/agg",
-    )?;
-    // output [okey, revenue, odate, shipprio]
-    let out = Project::new(
-        Box::new(agg),
-        vec![
-            ProjItem::Pass(0),
-            ProjItem::Pass(3),
-            ProjItem::Pass(1),
-            ProjItem::Pass(2),
-        ],
-        ctx,
-        "Q3/out",
-    )?;
-    let sort = Sort::new(
-        Box::new(out),
-        vec![SortKey::desc(1), SortKey::asc(2)],
-        Some(10),
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+        "Q4/semi",
+    )
+    .hash_agg(&["o_orderpriority"], vec![count()], "Q4/agg")
+    .sort(&[asc("o_orderpriority")])
 }
 
 /// Q4: order priority checking.
 pub(crate) fn q04(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let ord = scan_where(
-        db,
-        "orders",
-        &["o_orderkey", "o_orderdate", "o_orderpriority"],
-        &Pred::And(vec![
-            Pred::cmp_val(1, CmpKind::Ge, Value::I32(p.q4_date)),
-            Pred::cmp_val(1, CmpKind::Lt, Value::I32(add_months(p.q4_date, 3))),
-        ]),
-        ctx,
-        "Q4/sel_orders",
-    )?;
-    let li_late = scan_where(
+    run_plan(q04_plan(db, p), ctx)
+}
+
+/// Q5's logical plan: local supplier volume.
+pub(crate) fn q05_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let region_sel = PlanBuilder::scan(db, "region", &["r_regionkey", "r_name"])
+        .filter(NamedPred::str_eq("r_name", p.q5_region), "Q5/sel_region");
+    let nation_r = PlanBuilder::scan(db, "nation", &["n_nationkey", "n_name", "n_regionkey"])
+        .hash_join(
+            region_sel,
+            &[("n_regionkey", "r_regionkey")],
+            &[],
+            JoinKind::Semi,
+            false,
+            "Q5/join_region",
+        );
+    let cust = PlanBuilder::scan(db, "customer", &["c_custkey", "c_nationkey"]).hash_join(
+        nation_r,
+        &[("c_nationkey", "n_nationkey")],
+        &["n_name"],
+        JoinKind::Inner,
+        false,
+        "Q5/join_cust_nation",
+    );
+    let ord = PlanBuilder::scan(db, "orders", &["o_orderkey", "o_custkey", "o_orderdate"])
+        .filter(
+            NamedPred::And(vec![
+                NamedPred::cmp_val("o_orderdate", CmpKind::Ge, Value::I32(p.q5_date)),
+                NamedPred::cmp_val(
+                    "o_orderdate",
+                    CmpKind::Lt,
+                    Value::I32(add_years(p.q5_date, 1)),
+                ),
+            ]),
+            "Q5/sel_orders",
+        )
+        .hash_join(
+            cust,
+            &[("o_custkey", "c_custkey")],
+            &["c_nationkey", "n_name"],
+            JoinKind::Inner,
+            true,
+            "Q5/join_cust",
+        );
+    let supplier = PlanBuilder::scan(db, "supplier", &["s_suppkey", "s_nationkey"]);
+    PlanBuilder::scan(
         db,
         "lineitem",
-        &["l_orderkey", "l_commitdate", "l_receiptdate"],
-        &Pred::cmp_col(1, CmpKind::Lt, 2),
-        ctx,
-        "Q4/sel_late",
-    )?;
-    // EXISTS: semi-join orders against late lineitems.
-    let semi = HashJoin::new(
-        li_late,
+        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+    )
+    .hash_join(
         ord,
-        vec![0],
-        vec![0],
-        vec![],
-        JoinKind::Semi,
+        &[("l_orderkey", "o_orderkey")],
+        &["c_nationkey", "n_name"],
+        JoinKind::Inner,
         true,
-        vec![],
-        ctx,
-        "Q4/semi",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(semi),
-        vec![2],
-        vec![AggSpec::CountStar],
-        ctx,
-        "Q4/agg",
-    )?;
-    let sort = Sort::new(
-        Box::new(agg),
-        vec![SortKey::asc(0)],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+        "Q5/join_orders",
+    )
+    // Supplier nation must equal customer nation: composite semi join.
+    .hash_join(
+        supplier,
+        &[("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")],
+        &[],
+        JoinKind::Semi,
+        false,
+        "Q5/join_supp",
+    )
+    .project(
+        vec![
+            ("n_name", col("n_name")),
+            ("rev", revenue("l_extendedprice", "l_discount")),
+        ],
+        "Q5/rev",
+    )
+    .hash_agg(&["n_name"], vec![sum_f64("rev")], "Q5/agg")
+    .sort(&[desc("sum_rev")])
 }
 
 /// Q5: local supplier volume.
 pub(crate) fn q05(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let region_sel = scan_where(
-        db,
-        "region",
-        &["r_regionkey", "r_name"],
-        &Pred::str_eq(1, p.q5_region),
-        ctx,
-        "Q5/sel_region",
-    )?;
-    let nation = scan(db, "nation", &["n_nationkey", "n_name", "n_regionkey"], ctx)?;
-    let nation_r = HashJoin::new(
-        region_sel,
-        nation,
-        vec![0],
-        vec![2],
-        vec![],
-        JoinKind::Semi,
-        false,
-        vec![],
-        ctx,
-        "Q5/join_region",
-    )?;
-    // customer: [0 ckey, 1 cnk, 2 nname]
-    let customer = scan(db, "customer", &["c_custkey", "c_nationkey"], ctx)?;
-    let cust = HashJoin::new(
-        Box::new(nation_r),
-        customer,
-        vec![0],
-        vec![1],
-        vec![1],
-        JoinKind::Inner,
-        false,
-        vec![],
-        ctx,
-        "Q5/join_cust_nation",
-    )?;
-    // orders in year: [0 okey, 1 ockey, 2 odate, 3 cnk, 4 nname]
-    let ord_sel = scan_where(
-        db,
-        "orders",
-        &["o_orderkey", "o_custkey", "o_orderdate"],
-        &Pred::And(vec![
-            Pred::cmp_val(2, CmpKind::Ge, Value::I32(p.q5_date)),
-            Pred::cmp_val(2, CmpKind::Lt, Value::I32(add_years(p.q5_date, 1))),
-        ]),
-        ctx,
-        "Q5/sel_orders",
-    )?;
-    let ord = HashJoin::new(
-        Box::new(cust),
-        ord_sel,
-        vec![0],
-        vec![1],
-        vec![1, 2],
-        JoinKind::Inner,
-        true,
-        vec![],
-        ctx,
-        "Q5/join_cust",
-    )?;
-    // lineitem: [0 lokey, 1 lsk, 2 ep, 3 disc, 4 cnk, 5 nname]
-    let li = scan(
+    run_plan(q05_plan(db, p), ctx)
+}
+
+/// Q6's logical plan: forecasting revenue change.
+pub(crate) fn q06_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    PlanBuilder::scan(
         db,
         "lineitem",
-        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
-        ctx,
-    )?;
-    let li2 = HashJoin::new(
-        Box::new(ord),
-        li,
-        vec![0],
-        vec![0],
-        vec![3, 4],
-        JoinKind::Inner,
-        true,
-        vec![],
-        ctx,
-        "Q5/join_orders",
-    )?;
-    // supplier nation must equal customer nation: composite semi-join.
-    let supplier = scan(db, "supplier", &["s_suppkey", "s_nationkey"], ctx)?;
-    let li3 = HashJoin::new(
-        supplier,
-        Box::new(li2),
-        vec![0, 1],
-        vec![1, 4],
-        vec![],
-        JoinKind::Semi,
-        false,
-        vec![],
-        ctx,
-        "Q5/join_supp",
-    )?;
-    let proj = Project::new(
-        Box::new(li3),
-        vec![ProjItem::Pass(5), ProjItem::Expr(revenue(2, 3))],
-        ctx,
-        "Q5/rev",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(proj),
-        vec![0],
-        vec![AggSpec::SumF64(1)],
-        ctx,
-        "Q5/agg",
-    )?;
-    let sort = Sort::new(
-        Box::new(agg),
-        vec![SortKey::desc(1)],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+        &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"],
+    )
+    .filter(
+        NamedPred::And(vec![
+            NamedPred::cmp_val("l_shipdate", CmpKind::Ge, Value::I32(p.q6_date)),
+            NamedPred::cmp_val(
+                "l_shipdate",
+                CmpKind::Lt,
+                Value::I32(add_years(p.q6_date, 1)),
+            ),
+            NamedPred::between_i64("l_discount", p.q6_discount_pct - 1, p.q6_discount_pct + 1),
+            NamedPred::cmp_val("l_quantity", CmpKind::Lt, Value::I32(p.q6_quantity)),
+        ]),
+        "Q6/sel",
+    )
+    .project(
+        vec![(
+            "rev",
+            col("l_extendedprice")
+                .cast(DataType::F64)
+                .mul(pct_frac("l_discount")),
+        )],
+        "Q6/rev",
+    )
+    .stream_agg(vec![sum_f64("rev")], "Q6/agg")
 }
 
 /// Q6: forecasting revenue change.
 pub(crate) fn q06(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // [0 shipdate, 1 discount, 2 quantity, 3 extprice]
-    let sel = scan_where(
-        db,
-        "lineitem",
-        &["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"],
-        &Pred::And(vec![
-            Pred::cmp_val(0, CmpKind::Ge, Value::I32(p.q6_date)),
-            Pred::cmp_val(0, CmpKind::Lt, Value::I32(add_years(p.q6_date, 1))),
-            Pred::between_i64(1, p.q6_discount_pct - 1, p.q6_discount_pct + 1),
-            Pred::cmp_val(2, CmpKind::Lt, Value::I32(p.q6_quantity)),
-        ]),
-        ctx,
-        "Q6/sel",
-    )?;
-    let proj = Project::new(
-        sel,
-        vec![ProjItem::Expr(Expr::mul(
-            Expr::cast(DataType::F64, Expr::col(3)),
-            pct_frac(1),
-        ))],
-        ctx,
-        "Q6/rev",
-    )?;
-    let agg = StreamAggregate::new(Box::new(proj), vec![AggSpec::SumF64(0)], ctx, "Q6/agg")?;
-    finish(Box::new(agg))
+    run_plan(q06_plan(db, p), ctx)
 }
 
 #[cfg(test)]

@@ -1,49 +1,53 @@
 //! TPC-H Q7–Q11.
 
-use ma_executor::ops::{
-    AggSpec, HashAggregate, HashJoin, JoinKind, ProjItem, Project, Select, Sort, SortKey,
-    StreamAggregate,
-};
-use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
+use ma_executor::ops::JoinKind;
+use ma_executor::plan::{asc, col, desc, sum_f64, NamedPred, PlanBuilder};
+use ma_executor::{CmpKind, ExecError, QueryContext, Value};
 use ma_vector::{ColumnBuilder, DataType, Table};
 
-use super::{finish, finish_store, revenue, scan, scan_where, QueryOutput};
+use super::{finish_store, materialize_plan, revenue, run_plan, QueryOutput};
 use crate::dates::date;
 use crate::dbgen::TpchData;
 use crate::params::Params;
 
-/// Q7: volume shipping between two nations.
-pub(crate) fn q07(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let two_nations = |label: &str| -> Result<BoxOp, ExecError> {
-        scan_where(
+/// Q7's logical plan: volume shipping between two nations.
+pub(crate) fn q07_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let two_nations = |label: &str, alias: &str| -> PlanBuilder {
+        PlanBuilder::scan(
             db,
             "nation",
-            &["n_nationkey", "n_name"],
-            &Pred::InStr {
-                col: 1,
-                values: vec![p.q7_nation1.into(), p.q7_nation2.into()],
-            },
-            ctx,
+            &["n_nationkey", &format!("n_name as {alias}")],
+        )
+        .filter(
+            NamedPred::in_str(alias, [p.q7_nation1, p.q7_nation2]),
             label,
         )
     };
-    // suppliers of the two nations: [0 sk, 1 snk, 2 supp_nation]
-    let supplier = scan(db, "supplier", &["s_suppkey", "s_nationkey"], ctx)?;
-    let sup = HashJoin::new(
-        two_nations("Q7/sel_nation_s")?,
-        supplier,
-        vec![0],
-        vec![1],
-        vec![1],
+    let sup = PlanBuilder::scan(db, "supplier", &["s_suppkey", "s_nationkey"]).hash_join(
+        two_nations("Q7/sel_nation_s", "supp_nation"),
+        &[("s_nationkey", "n_nationkey")],
+        &["supp_nation"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q7/join_supp_nation",
-    )?;
-    // lineitem in the two-year window:
-    // [0 lokey, 1 lsk, 2 ep, 3 disc, 4 sdate, 5 syear]
-    let li_sel = scan_where(
+    );
+    let cust = PlanBuilder::scan(db, "customer", &["c_custkey", "c_nationkey"]).hash_join(
+        two_nations("Q7/sel_nation_c", "cust_nation"),
+        &[("c_nationkey", "n_nationkey")],
+        &["cust_nation"],
+        JoinKind::Inner,
+        false,
+        "Q7/join_cust_nation",
+    );
+    let ord = PlanBuilder::scan(db, "orders", &["o_orderkey", "o_custkey"]).hash_join(
+        cust,
+        &[("o_custkey", "c_custkey")],
+        &["cust_nation"],
+        JoinKind::Inner,
+        true,
+        "Q7/join_cust",
+    );
+    PlanBuilder::scan(
         db,
         "lineitem",
         &[
@@ -54,185 +58,119 @@ pub(crate) fn q07(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_shipdate",
             "l_shipyear",
         ],
-        &Pred::And(vec![
-            Pred::cmp_val(4, CmpKind::Ge, Value::I32(date(1995, 1, 1))),
-            Pred::cmp_val(4, CmpKind::Le, Value::I32(date(1996, 12, 31))),
+    )
+    .filter(
+        NamedPred::And(vec![
+            NamedPred::cmp_val("l_shipdate", CmpKind::Ge, Value::I32(date(1995, 1, 1))),
+            NamedPred::cmp_val("l_shipdate", CmpKind::Le, Value::I32(date(1996, 12, 31))),
         ]),
-        ctx,
         "Q7/sel_shipdate",
-    )?;
-    // [0..5 li, 6 supp_nation]
-    let li_s = HashJoin::new(
-        Box::new(sup),
-        li_sel,
-        vec![0],
-        vec![1],
-        vec![2],
+    )
+    .hash_join(
+        sup,
+        &[("l_suppkey", "s_suppkey")],
+        &["supp_nation"],
         JoinKind::Inner,
         true,
-        vec![],
-        ctx,
         "Q7/join_supp",
-    )?;
-    // customers of the two nations: [0 ckey, 1 cnk, 2 cust_nation]
-    let customer = scan(db, "customer", &["c_custkey", "c_nationkey"], ctx)?;
-    let cust = HashJoin::new(
-        two_nations("Q7/sel_nation_c")?,
-        customer,
-        vec![0],
-        vec![1],
-        vec![1],
-        JoinKind::Inner,
-        false,
-        vec![],
-        ctx,
-        "Q7/join_cust_nation",
-    )?;
-    // orders: [0 okey, 1 ockey, 2 cust_nation]
-    let orders = scan(db, "orders", &["o_orderkey", "o_custkey"], ctx)?;
-    let ord = HashJoin::new(
-        Box::new(cust),
-        orders,
-        vec![0],
-        vec![1],
-        vec![2],
+    )
+    .hash_join(
+        ord,
+        &[("l_orderkey", "o_orderkey")],
+        &["cust_nation"],
         JoinKind::Inner,
         true,
-        vec![],
-        ctx,
-        "Q7/join_cust",
-    )?;
-    // [0..6 li_s, 7 cust_nation]
-    let all = HashJoin::new(
-        Box::new(ord),
-        Box::new(li_s),
-        vec![0],
-        vec![0],
-        vec![2],
-        JoinKind::Inner,
-        true,
-        vec![],
-        ctx,
         "Q7/join_orders",
-    )?;
-    // keep only the two cross pairs
-    let pairs = Select::new(
-        Box::new(all),
-        &Pred::Or(vec![
-            Pred::And(vec![
-                Pred::str_eq(6, p.q7_nation1),
-                Pred::str_eq(7, p.q7_nation2),
+    )
+    // Keep only the two cross pairs.
+    .filter(
+        NamedPred::Or(vec![
+            NamedPred::And(vec![
+                NamedPred::str_eq("supp_nation", p.q7_nation1),
+                NamedPred::str_eq("cust_nation", p.q7_nation2),
             ]),
-            Pred::And(vec![
-                Pred::str_eq(6, p.q7_nation2),
-                Pred::str_eq(7, p.q7_nation1),
+            NamedPred::And(vec![
+                NamedPred::str_eq("supp_nation", p.q7_nation2),
+                NamedPred::str_eq("cust_nation", p.q7_nation1),
             ]),
         ]),
-        ctx,
         "Q7/sel_pairs",
-    )?;
-    // [supp_nation, cust_nation, year, volume]
-    let proj = Project::new(
-        Box::new(pairs),
+    )
+    .project(
         vec![
-            ProjItem::Pass(6),
-            ProjItem::Pass(7),
-            ProjItem::Pass(5),
-            ProjItem::Expr(revenue(2, 3)),
+            ("supp_nation", col("supp_nation")),
+            ("cust_nation", col("cust_nation")),
+            ("l_shipyear", col("l_shipyear")),
+            ("volume", revenue("l_extendedprice", "l_discount")),
         ],
-        ctx,
         "Q7/rev",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(proj),
-        vec![0, 1, 2],
-        vec![AggSpec::SumF64(3)],
-        ctx,
+    )
+    .hash_agg(
+        &["supp_nation", "cust_nation", "l_shipyear"],
+        vec![sum_f64("volume")],
         "Q7/agg",
-    )?;
-    let sort = Sort::new(
-        Box::new(agg),
-        vec![SortKey::asc(0), SortKey::asc(1), SortKey::asc(2)],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+    )
+    .sort(&[asc("supp_nation"), asc("cust_nation"), asc("l_shipyear")])
 }
 
-/// Q8: national market share. The CASE arithmetic of the SQL is folded in a
-/// post-step over the (per year × nation) aggregate.
-pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // region → nations of the region
-    let region_sel = scan_where(
-        db,
-        "region",
-        &["r_regionkey", "r_name"],
-        &Pred::str_eq(1, p.q8_region),
-        ctx,
-        "Q8/sel_region",
-    )?;
-    let nation = scan(db, "nation", &["n_nationkey"], ctx)?;
-    let nation_r = HashJoin::new(
+/// Q7: volume shipping between two nations.
+pub(crate) fn q07(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    run_plan(q07_plan(db, p), ctx)
+}
+
+/// Q8 main plan: volume per (year, supplier nation); the market-share
+/// CASE arithmetic folds in a post-step. (Faithful port of the seed plan,
+/// including its `n_nationkey = r_regionkey` region restriction.)
+pub(crate) fn q08_agg_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let region_sel = PlanBuilder::scan(db, "region", &["r_regionkey", "r_name"])
+        .filter(NamedPred::str_eq("r_name", p.q8_region), "Q8/sel_region");
+    let nation_r = PlanBuilder::scan(db, "nation", &["n_nationkey"]).hash_join(
         region_sel,
-        nation,
-        vec![0],
-        vec![0],
-        vec![],
+        &[("n_nationkey", "r_regionkey")],
+        &[],
         JoinKind::Semi,
         false,
-        vec![],
-        ctx,
         "Q8/join_region",
-    )?;
-    // customers in the region
-    let customer = scan(db, "customer", &["c_custkey", "c_nationkey"], ctx)?;
-    let cust = HashJoin::new(
-        Box::new(nation_r),
-        customer,
-        vec![0],
-        vec![1],
-        vec![],
+    );
+    let cust = PlanBuilder::scan(db, "customer", &["c_custkey", "c_nationkey"]).hash_join(
+        nation_r,
+        &[("c_nationkey", "n_nationkey")],
+        &[],
         JoinKind::Semi,
         false,
-        vec![],
-        ctx,
         "Q8/join_cust_nation",
-    )?;
-    // orders in the window by those customers: [0 okey, 1 ockey, 2 odate, 3 oyear]
-    let ord_sel = scan_where(
+    );
+    let ord = PlanBuilder::scan(
         db,
         "orders",
         &["o_orderkey", "o_custkey", "o_orderdate", "o_orderyear"],
-        &Pred::And(vec![
-            Pred::cmp_val(2, CmpKind::Ge, Value::I32(date(1995, 1, 1))),
-            Pred::cmp_val(2, CmpKind::Le, Value::I32(date(1996, 12, 31))),
+    )
+    .filter(
+        NamedPred::And(vec![
+            NamedPred::cmp_val("o_orderdate", CmpKind::Ge, Value::I32(date(1995, 1, 1))),
+            NamedPred::cmp_val("o_orderdate", CmpKind::Le, Value::I32(date(1996, 12, 31))),
         ]),
-        ctx,
         "Q8/sel_orders",
-    )?;
-    let ord = HashJoin::new(
-        Box::new(cust),
-        ord_sel,
-        vec![0],
-        vec![1],
-        vec![],
+    )
+    .hash_join(
+        cust,
+        &[("o_custkey", "c_custkey")],
+        &[],
         JoinKind::Semi,
         true,
-        vec![],
-        ctx,
         "Q8/join_cust",
-    )?;
-    // parts of the type
-    let part_sel = scan_where(
-        db,
-        "part",
-        &["p_partkey", "p_type"],
-        &Pred::str_eq(1, p.q8_type),
-        ctx,
-        "Q8/sel_part",
-    )?;
-    // lineitem: [0 lokey, 1 lpk, 2 lsk, 3 ep, 4 disc]
-    let li = scan(
+    );
+    let part_sel = PlanBuilder::scan(db, "part", &["p_partkey", "p_type"])
+        .filter(NamedPred::str_eq("p_type", p.q8_type), "Q8/sel_part");
+    let sup = PlanBuilder::scan(db, "supplier", &["s_suppkey", "s_nationkey"]).hash_join(
+        PlanBuilder::scan(db, "nation", &["n_nationkey", "n_name"]),
+        &[("s_nationkey", "n_nationkey")],
+        &["n_name"],
+        JoinKind::Inner,
+        false,
+        "Q8/join_supp_nation",
+    );
+    PlanBuilder::scan(
         db,
         "lineitem",
         &[
@@ -242,81 +180,50 @@ pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_extendedprice",
             "l_discount",
         ],
-        ctx,
-    )?;
-    let li_p = HashJoin::new(
+    )
+    .hash_join(
         part_sel,
-        li,
-        vec![0],
-        vec![1],
-        vec![],
+        &[("l_partkey", "p_partkey")],
+        &[],
         JoinKind::Semi,
         true,
-        vec![],
-        ctx,
         "Q8/join_part",
-    )?;
-    // + o_orderyear: [0..4, 5 oyear]
-    let li_o = HashJoin::new(
-        Box::new(ord),
-        Box::new(li_p),
-        vec![0],
-        vec![0],
-        vec![3],
+    )
+    .hash_join(
+        ord,
+        &[("l_orderkey", "o_orderkey")],
+        &["o_orderyear"],
         JoinKind::Inner,
         true,
-        vec![],
-        ctx,
         "Q8/join_orders",
-    )?;
-    // supplier nation name: [0 sk, 1 snk, 2 nname]
-    let nation2 = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
-    let supplier = scan(db, "supplier", &["s_suppkey", "s_nationkey"], ctx)?;
-    let sup = HashJoin::new(
-        nation2,
-        supplier,
-        vec![0],
-        vec![1],
-        vec![1],
+    )
+    .hash_join(
+        sup,
+        &[("l_suppkey", "s_suppkey")],
+        &["n_name"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
-        "Q8/join_supp_nation",
-    )?;
-    // [0..5 li_o, 6 nname]
-    let all = HashJoin::new(
-        Box::new(sup),
-        Box::new(li_o),
-        vec![0],
-        vec![2],
-        vec![2],
-        JoinKind::Inner,
-        false,
-        vec![],
-        ctx,
         "Q8/join_supp",
-    )?;
-    // [year, nation, volume]
-    let proj = Project::new(
-        Box::new(all),
+    )
+    .project(
         vec![
-            ProjItem::Pass(5),
-            ProjItem::Pass(6),
-            ProjItem::Expr(revenue(3, 4)),
+            ("o_orderyear", col("o_orderyear")),
+            ("n_name", col("n_name")),
+            ("volume", revenue("l_extendedprice", "l_discount")),
         ],
-        ctx,
         "Q8/rev",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(proj),
-        vec![0, 1],
-        vec![AggSpec::SumF64(2)],
-        ctx,
+    )
+    .hash_agg(
+        &["o_orderyear", "n_name"],
+        vec![sum_f64("volume")],
         "Q8/agg",
-    )?;
-    let mut agg_op: BoxOp = Box::new(agg);
-    let store = ma_executor::ops::materialize(agg_op.as_mut())?;
+    )
+}
+
+/// Q8: national market share. The CASE arithmetic of the SQL is folded in
+/// a post-step over the (per year × nation) aggregate.
+pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    let store = materialize_plan(q08_agg_plan(db, p), ctx)?;
     // Post-step (CASE folding): share(year) = vol(nation)/vol(all).
     let years = store.col(0).as_i32();
     let vols = store.col(2).as_f64();
@@ -339,31 +246,38 @@ pub(crate) fn q08(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
         "q8out",
         vec![("year".into(), yb.finish()), ("share".into(), sb.finish())],
     )?;
-    let mut out: BoxOp = Box::new(ma_executor::ops::Scan::new(
-        std::sync::Arc::new(table),
-        &["year", "share"],
-        ctx.vector_size(),
-    )?);
-    let result = ma_executor::ops::materialize(out.as_mut())?;
+    let result = materialize_plan(
+        PlanBuilder::from_table(std::sync::Arc::new(table), &["year", "share"]),
+        ctx,
+    )?;
     Ok(finish_store(result))
 }
 
-/// Q9: product-type profit measure.
-pub(crate) fn q09(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // parts with the color in the name
-    let part_sel = scan_where(
-        db,
-        "part",
-        &["p_partkey", "p_name"],
-        &Pred::Like {
-            col: 1,
-            pattern: format!("%{}%", p.q9_color),
-        },
-        ctx,
+/// Q9's logical plan: product-type profit measure.
+pub(crate) fn q09_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let part_sel = PlanBuilder::scan(db, "part", &["p_partkey", "p_name"]).filter(
+        NamedPred::like("p_name", format!("%{}%", p.q9_color)),
         "Q9/sel_part",
-    )?;
-    // lineitem: [0 lokey, 1 lpk, 2 lsk, 3 ep, 4 disc, 5 qty]
-    let li = scan(
+    );
+    let partsupp = PlanBuilder::scan(
+        db,
+        "partsupp",
+        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    );
+    let sup = PlanBuilder::scan(db, "supplier", &["s_suppkey", "s_nationkey"]).hash_join(
+        PlanBuilder::scan(db, "nation", &["n_nationkey", "n_name"]),
+        &[("s_nationkey", "n_nationkey")],
+        &["n_name"],
+        JoinKind::Inner,
+        false,
+        "Q9/join_supp_nation",
+    );
+    let amount = revenue("l_extendedprice", "l_discount").sub(
+        col("ps_supplycost")
+            .mul(col("l_quantity").cast(DataType::I64))
+            .cast(DataType::F64),
+    );
+    PlanBuilder::scan(
         db,
         "lineitem",
         &[
@@ -374,128 +288,74 @@ pub(crate) fn q09(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_discount",
             "l_quantity",
         ],
-        ctx,
-    )?;
-    let li_p = HashJoin::new(
+    )
+    .hash_join(
         part_sel,
-        li,
-        vec![0],
-        vec![1],
-        vec![],
+        &[("l_partkey", "p_partkey")],
+        &[],
         JoinKind::Semi,
         true,
-        vec![],
-        ctx,
         "Q9/join_part",
-    )?;
-    // partsupp cost on (partkey, suppkey): [0..5, 6 cost]
-    let partsupp = scan(
-        db,
-        "partsupp",
-        &["ps_partkey", "ps_suppkey", "ps_supplycost"],
-        ctx,
-    )?;
-    let li_ps = HashJoin::new(
+    )
+    .hash_join(
         partsupp,
-        Box::new(li_p),
-        vec![0, 1],
-        vec![1, 2],
-        vec![2],
+        &[("l_partkey", "ps_partkey"), ("l_suppkey", "ps_suppkey")],
+        &["ps_supplycost"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q9/join_partsupp",
-    )?;
-    // supplier nation: [0..6, 7 nname]
-    let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
-    let supplier = scan(db, "supplier", &["s_suppkey", "s_nationkey"], ctx)?;
-    let sup = HashJoin::new(
-        nation,
-        supplier,
-        vec![0],
-        vec![1],
-        vec![1],
+    )
+    .hash_join(
+        sup,
+        &[("l_suppkey", "s_suppkey")],
+        &["n_name"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
-        "Q9/join_supp_nation",
-    )?;
-    let li_s = HashJoin::new(
-        Box::new(sup),
-        Box::new(li_ps),
-        vec![0],
-        vec![2],
-        vec![2],
-        JoinKind::Inner,
-        false,
-        vec![],
-        ctx,
         "Q9/join_supp",
-    )?;
-    // order year: [0..7, 8 oyear]
-    let orders = scan(db, "orders", &["o_orderkey", "o_orderyear"], ctx)?;
-    let li_o = HashJoin::new(
-        orders,
-        Box::new(li_s),
-        vec![0],
-        vec![0],
-        vec![1],
+    )
+    .hash_join(
+        PlanBuilder::scan(db, "orders", &["o_orderkey", "o_orderyear"]),
+        &[("l_orderkey", "o_orderkey")],
+        &["o_orderyear"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q9/join_orders",
-    )?;
-    // amount = rev - cost*qty: [nation, year, amount]
-    let amount = Expr::sub(
-        revenue(3, 4),
-        Expr::cast(
-            DataType::F64,
-            Expr::mul(Expr::col(6), Expr::cast(DataType::I64, Expr::col(5))),
-        ),
-    );
-    let proj = Project::new(
-        Box::new(li_o),
-        vec![ProjItem::Pass(7), ProjItem::Pass(8), ProjItem::Expr(amount)],
-        ctx,
+    )
+    .project(
+        vec![
+            ("n_name", col("n_name")),
+            ("o_orderyear", col("o_orderyear")),
+            ("amount", amount),
+        ],
         "Q9/amount",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(proj),
-        vec![0, 1],
-        vec![AggSpec::SumF64(2)],
-        ctx,
+    )
+    .hash_agg(
+        &["n_name", "o_orderyear"],
+        vec![sum_f64("amount")],
         "Q9/agg",
-    )?;
-    let sort = Sort::new(
-        Box::new(agg),
-        vec![SortKey::asc(0), SortKey::desc(1)],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+    )
+    .sort(&[asc("n_name"), desc("o_orderyear")])
 }
 
-/// Q10: returned-item reporting.
-pub(crate) fn q10(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let ord = scan_where(
-        db,
-        "orders",
-        &["o_orderkey", "o_custkey", "o_orderdate"],
-        &Pred::And(vec![
-            Pred::cmp_val(2, CmpKind::Ge, Value::I32(p.q10_date)),
-            Pred::cmp_val(
-                2,
+/// Q9: product-type profit measure.
+pub(crate) fn q09(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    run_plan(q09_plan(db, p), ctx)
+}
+
+/// Q10's logical plan: returned-item reporting.
+pub(crate) fn q10_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let ord = PlanBuilder::scan(db, "orders", &["o_orderkey", "o_custkey", "o_orderdate"]).filter(
+        NamedPred::And(vec![
+            NamedPred::cmp_val("o_orderdate", CmpKind::Ge, Value::I32(p.q10_date)),
+            NamedPred::cmp_val(
+                "o_orderdate",
                 CmpKind::Lt,
                 Value::I32(crate::dates::add_months(p.q10_date, 3)),
             ),
         ]),
-        ctx,
         "Q10/sel_orders",
-    )?;
-    let li_r = scan_where(
+    );
+    let per_cust = PlanBuilder::scan(
         db,
         "lineitem",
         &[
@@ -504,40 +364,25 @@ pub(crate) fn q10(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_extendedprice",
             "l_discount",
         ],
-        &Pred::str_eq(1, "R"),
-        ctx,
-        "Q10/sel_returned",
-    )?;
-    // [0 lokey, 1 rf, 2 ep, 3 disc, 4 ockey]
-    let joined = HashJoin::new(
+    )
+    .filter(NamedPred::str_eq("l_returnflag", "R"), "Q10/sel_returned")
+    .hash_join(
         ord,
-        li_r,
-        vec![0],
-        vec![0],
-        vec![1],
+        &[("l_orderkey", "o_orderkey")],
+        &["o_custkey"],
         JoinKind::Inner,
         true,
-        vec![],
-        ctx,
         "Q10/join_orders",
-    )?;
-    // revenue per customer
-    let proj = Project::new(
-        Box::new(joined),
-        vec![ProjItem::Pass(4), ProjItem::Expr(revenue(2, 3))],
-        ctx,
+    )
+    .project(
+        vec![
+            ("o_custkey", col("o_custkey")),
+            ("rev", revenue("l_extendedprice", "l_discount")),
+        ],
         "Q10/rev",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(proj),
-        vec![0],
-        vec![AggSpec::SumF64(1)],
-        ctx,
-        "Q10/agg",
-    )?;
-    // customer attributes:
-    // [0 ck, 1 name, 2 acct, 3 phone, 4 nk, 5 addr, 6 comment, 7 rev]
-    let customer = scan(
+    )
+    .hash_agg(&["o_custkey"], vec![sum_f64("rev")], "Q10/agg");
+    PlanBuilder::scan(
         db,
         "customer",
         &[
@@ -549,153 +394,100 @@ pub(crate) fn q10(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "c_address",
             "c_comment",
         ],
-        ctx,
-    )?;
-    let cust_rev = HashJoin::new(
-        Box::new(agg),
-        customer,
-        vec![0],
-        vec![0],
-        vec![1],
+    )
+    .hash_join(
+        per_cust,
+        &[("c_custkey", "o_custkey")],
+        &["sum_rev"],
         JoinKind::Inner,
         true,
-        vec![],
-        ctx,
         "Q10/join_cust",
-    )?;
-    // nation name: [0..7, 8 nname]
-    let nation = scan(db, "nation", &["n_nationkey", "n_name"], ctx)?;
-    let with_nation = HashJoin::new(
-        nation,
-        Box::new(cust_rev),
-        vec![0],
-        vec![4],
-        vec![1],
+    )
+    .hash_join(
+        PlanBuilder::scan(db, "nation", &["n_nationkey", "n_name"]),
+        &[("c_nationkey", "n_nationkey")],
+        &["n_name"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q10/join_nation",
-    )?;
-    // output: [ck, name, rev, acct, nname, addr, phone, comment]
-    let out = Project::new(
-        Box::new(with_nation),
+    )
+    .keep(&[
+        "c_custkey",
+        "c_name",
+        "sum_rev",
+        "c_acctbal",
+        "n_name",
+        "c_address",
+        "c_phone",
+        "c_comment",
+    ])
+    .top_n(&[desc("sum_rev")], 20)
+}
+
+/// Q10: returned-item reporting.
+pub(crate) fn q10(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    run_plan(q10_plan(db, p), ctx)
+}
+
+/// The `(partkey, value)` stream Q11 aggregates in both phases: partsupp
+/// of the nation's suppliers with `value = cost * availqty`.
+fn q11_value_plan(db: &TpchData, p: &Params, label: &str) -> PlanBuilder {
+    let nat = PlanBuilder::scan(db, "nation", &["n_nationkey", "n_name"])
+        .filter(NamedPred::str_eq("n_name", p.q11_nation), "Q11/sel_nation");
+    let sup = PlanBuilder::scan(db, "supplier", &["s_suppkey", "s_nationkey"]).hash_join(
+        nat,
+        &[("s_nationkey", "n_nationkey")],
+        &[],
+        JoinKind::Semi,
+        false,
+        "Q11/join_nation",
+    );
+    PlanBuilder::scan(
+        db,
+        "partsupp",
+        &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"],
+    )
+    .hash_join(
+        sup,
+        &[("ps_suppkey", "s_suppkey")],
+        &[],
+        JoinKind::Semi,
+        true,
+        label,
+    )
+    .project(
         vec![
-            ProjItem::Pass(0),
-            ProjItem::Pass(1),
-            ProjItem::Pass(7),
-            ProjItem::Pass(2),
-            ProjItem::Pass(8),
-            ProjItem::Pass(5),
-            ProjItem::Pass(3),
-            ProjItem::Pass(6),
+            ("ps_partkey", col("ps_partkey")),
+            (
+                "value",
+                col("ps_supplycost")
+                    .mul(col("ps_availqty").cast(DataType::I64))
+                    .cast(DataType::F64),
+            ),
         ],
-        ctx,
-        "Q10/out",
-    )?;
-    let sort = Sort::new(
-        Box::new(out),
-        vec![SortKey::desc(2)],
-        Some(20),
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+        "Q11/value",
+    )
+}
+
+/// Q11 phase A: total stock value of the nation.
+pub(crate) fn q11_total_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    q11_value_plan(db, p, "Q11/join_supp_a")
+        .stream_agg(vec![sum_f64("value").named("total")], "Q11/total")
 }
 
 /// Q11: important stock identification (two-phase: total then threshold).
 pub(crate) fn q11(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let german_partsupp = |label: &str| -> Result<BoxOp, ExecError> {
-        let nat = scan_where(
-            db,
-            "nation",
-            &["n_nationkey", "n_name"],
-            &Pred::str_eq(1, p.q11_nation),
-            ctx,
-            "Q11/sel_nation",
-        )?;
-        let supplier = scan(db, "supplier", &["s_suppkey", "s_nationkey"], ctx)?;
-        let sup = HashJoin::new(
-            nat,
-            supplier,
-            vec![0],
-            vec![1],
-            vec![],
-            JoinKind::Semi,
-            false,
-            vec![],
-            ctx,
-            "Q11/join_nation",
-        )?;
-        // [0 pk, 1 sk, 2 cost, 3 qty]
-        let partsupp = scan(
-            db,
-            "partsupp",
-            &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"],
-            ctx,
-        )?;
-        let ps = HashJoin::new(
-            Box::new(sup),
-            partsupp,
-            vec![0],
-            vec![1],
-            vec![],
-            JoinKind::Semi,
-            true,
-            vec![],
-            ctx,
-            label,
-        )?;
-        // [0 pk, 1 value]
-        Ok(Box::new(Project::new(
-            Box::new(ps),
-            vec![
-                ProjItem::Pass(0),
-                ProjItem::Expr(Expr::cast(
-                    DataType::F64,
-                    Expr::mul(Expr::col(2), Expr::cast(DataType::I64, Expr::col(3))),
-                )),
-            ],
-            ctx,
-            "Q11/value",
-        )?))
-    };
-    // phase A: total value
-    let total_agg = StreamAggregate::new(
-        german_partsupp("Q11/join_supp_a")?,
-        vec![AggSpec::SumF64(1)],
-        ctx,
-        "Q11/total",
-    )?;
-    let mut total_op: BoxOp = Box::new(total_agg);
-    let total_store = ma_executor::ops::materialize(total_op.as_mut())?;
+    let total_store = materialize_plan(q11_total_plan(db, p), ctx)?;
     let threshold = total_store.col(0).as_f64()[0] * p.q11_fraction(db.sf);
-    // phase B: per-part value above threshold
-    let agg = HashAggregate::new(
-        german_partsupp("Q11/join_supp_b")?,
-        vec![0],
-        vec![AggSpec::SumF64(1)],
-        ctx,
-        "Q11/agg",
-    )?;
-    let sel = Select::new(
-        Box::new(agg),
-        &Pred::cmp_val(1, CmpKind::Gt, Value::F64(threshold)),
-        ctx,
-        "Q11/sel_threshold",
-    )?;
-    let sort = Sort::new(
-        Box::new(sel),
-        vec![SortKey::desc(1)],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+    let out = q11_value_plan(db, p, "Q11/join_supp_b")
+        .hash_agg(&["ps_partkey"], vec![sum_f64("value")], "Q11/agg")
+        .filter(
+            NamedPred::cmp_val("sum_value", CmpKind::Gt, Value::F64(threshold)),
+            "Q11/sel_threshold",
+        )
+        .sort(&[desc("sum_value")]);
+    run_plan(out, ctx)
 }
-
-// `store_to_table` and `Vector` are used by the sibling modules via super;
-// referenced here to document the shared multi-phase pattern.
-#[allow(unused_imports)]
-use std::sync::Arc as _Arc;
 
 #[cfg(test)]
 mod tests {

@@ -1,31 +1,23 @@
 //! TPC-H Q12–Q17.
 
-use ma_executor::ops::{
-    AggSpec, HashAggregate, HashJoin, JoinKind, MergeJoin, ProjItem, Project, Select, Sort,
-    SortKey, StreamAggregate,
-};
-use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
+use ma_executor::ops::JoinKind;
+use ma_executor::plan::{asc, col, count, desc, lit_i64, sum_f64, sum_i64, NamedPred, PlanBuilder};
+use ma_executor::{CmpKind, ExecError, QueryContext, Value};
 use ma_vector::{ColumnBuilder, DataType, Table};
 
-use super::{
-    finish, finish_store, revenue, scan, scan_seq, scan_where, store_to_table, QueryOutput,
-};
+use super::{finish_store, materialize_plan, revenue, run_plan, store_to_table, QueryOutput};
 use crate::dates::{add_months, add_years};
 use crate::dbgen::TpchData;
 use crate::params::Params;
 
-/// Q12: shipping modes and order priority. Uses the **merge join** (both
-/// sides arrive sorted by order key) — the operator of Fig. 4(c)/4(d):
-/// lineitem's selection vectors shrink in the border regions of the date
-/// range thanks to the date clustering.
-pub(crate) fn q12(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // Both merge-join inputs must arrive sorted by order key, so these
-    // scans stay sequential even under worker_threads > 1 (a sharded
-    // union interleaves chunks).
-    let orders = scan_seq(db, "orders", &["o_orderkey", "o_orderpriority"], ctx)?;
-    // right: filtered lineitem, sorted by orderkey
-    // [0 lokey, 1 shipmode, 2 sdate, 3 cdate, 4 rdate]
-    let li = scan_seq(
+/// Q12 main plan: the **merge join** (both sides arrive sorted by order
+/// key) of Fig. 4(c)/4(d). The query only declares the merge join; the
+/// physical planner sees the order-sensitive consumer and keeps both
+/// scans sequential — the sharded-scan hazard of the old hand-wired plan
+/// is unrepresentable.
+pub(crate) fn q12_agg_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let orders = PlanBuilder::scan(db, "orders", &["o_orderkey", "o_orderpriority"]);
+    PlanBuilder::scan(
         db,
         "lineitem",
         &[
@@ -35,44 +27,36 @@ pub(crate) fn q12(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_commitdate",
             "l_receiptdate",
         ],
-        ctx,
-    )?;
-    let li_sel = Select::new(
-        li,
-        &Pred::And(vec![
-            Pred::InStr {
-                col: 1,
-                values: vec![p.q12_shipmode1.into(), p.q12_shipmode2.into()],
-            },
-            Pred::cmp_val(4, CmpKind::Ge, Value::I32(p.q12_date)),
-            Pred::cmp_val(4, CmpKind::Lt, Value::I32(add_years(p.q12_date, 1))),
-            Pred::cmp_col(3, CmpKind::Lt, 4), // commit < receipt
-            Pred::cmp_col(2, CmpKind::Lt, 3), // ship < commit
+    )
+    .filter(
+        NamedPred::And(vec![
+            NamedPred::in_str("l_shipmode", [p.q12_shipmode1, p.q12_shipmode2]),
+            NamedPred::cmp_val("l_receiptdate", CmpKind::Ge, Value::I32(p.q12_date)),
+            NamedPred::cmp_val(
+                "l_receiptdate",
+                CmpKind::Lt,
+                Value::I32(add_years(p.q12_date, 1)),
+            ),
+            // commit < receipt, ship < commit
+            NamedPred::cmp_col("l_commitdate", CmpKind::Lt, "l_receiptdate"),
+            NamedPred::cmp_col("l_shipdate", CmpKind::Lt, "l_commitdate"),
         ]),
-        ctx,
         "Q12/sel_li",
-    )?;
-    // [0 lokey, 1 shipmode, 2 sdate, 3 cdate, 4 rdate, 5 opriority]
-    let mj = MergeJoin::new(
+    )
+    .merge_join(
         orders,
-        Box::new(li_sel),
-        0,
-        0,
-        vec![1],
-        ctx,
+        ("l_orderkey", "o_orderkey"),
+        &["o_orderpriority"],
         "Q12/mergejoin",
-    )?;
-    // count by (shipmode, priority); the CASE high/low split is a tiny
+    )
+    // Count by (shipmode, priority); the CASE high/low split is a tiny
     // post-step over ≤ 2×5 groups.
-    let agg = HashAggregate::new(
-        Box::new(mj),
-        vec![1, 5],
-        vec![AggSpec::CountStar],
-        ctx,
-        "Q12/agg",
-    )?;
-    let mut agg_op: BoxOp = Box::new(agg);
-    let store = ma_executor::ops::materialize(agg_op.as_mut())?;
+    .hash_agg(&["l_shipmode", "o_orderpriority"], vec![count()], "Q12/agg")
+}
+
+/// Q12: shipping modes and order priority.
+pub(crate) fn q12(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    let store = materialize_plan(q12_agg_plan(db, p), ctx)?;
     let mut by_mode: std::collections::BTreeMap<String, (i64, i64)> = Default::default();
     for g in 0..store.rows() {
         let mode = store.col(0).as_str_vec().get(g).to_string();
@@ -101,110 +85,82 @@ pub(crate) fn q12(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             ("low".into(), low_b.finish()),
         ],
     )?;
-    let mut out: BoxOp = Box::new(ma_executor::ops::Scan::new(
-        std::sync::Arc::new(table),
-        &["shipmode", "high", "low"],
-        ctx.vector_size(),
-    )?);
-    Ok(finish_store(ma_executor::ops::materialize(out.as_mut())?))
+    let store = materialize_plan(
+        PlanBuilder::from_table(std::sync::Arc::new(table), &["shipmode", "high", "low"]),
+        ctx,
+    )?;
+    Ok(finish_store(store))
 }
 
-/// Q13: customer distribution (LEFT OUTER JOIN via LeftSingle).
+/// Q13's logical plan: customer distribution (LEFT OUTER JOIN via
+/// left-single).
+pub(crate) fn q13_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let per_cust = PlanBuilder::scan(db, "orders", &["o_orderkey", "o_custkey", "o_comment"])
+        .filter(
+            NamedPred::not_like("o_comment", format!("%{}%{}%", p.q13_word1, p.q13_word2)),
+            "Q13/sel_comment",
+        )
+        .hash_agg(&["o_custkey"], vec![count()], "Q13/agg_orders");
+    PlanBuilder::scan(db, "customer", &["c_custkey"])
+        .left_single_join(
+            per_cust,
+            &[("c_custkey", "o_custkey")],
+            &[("count as c_count", Value::I64(0))],
+            "Q13/left_join",
+        )
+        .hash_agg(
+            &["c_count"],
+            vec![count().named("custdist")],
+            "Q13/agg_dist",
+        )
+        .sort(&[desc("custdist"), desc("c_count")])
+}
+
+/// Q13: customer distribution.
 pub(crate) fn q13(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let ord = scan_where(
+    run_plan(q13_plan(db, p), ctx)
+}
+
+/// Q14 main plan: revenue per part type in the month.
+pub(crate) fn q14_agg_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    PlanBuilder::scan(
         db,
-        "orders",
-        &["o_orderkey", "o_custkey", "o_comment"],
-        &Pred::NotLike {
-            col: 2,
-            pattern: format!("%{}%{}%", p.q13_word1, p.q13_word2),
-        },
-        ctx,
-        "Q13/sel_comment",
-    )?;
-    // orders per customer: [ckey, cnt]
-    let per_cust = HashAggregate::new(
-        ord,
-        vec![1],
-        vec![AggSpec::CountStar],
-        ctx,
-        "Q13/agg_orders",
-    )?;
-    // customer ⟕ counts: [ck, c_count]
-    let customer = scan(db, "customer", &["c_custkey"], ctx)?;
-    let left = HashJoin::new(
-        Box::new(per_cust),
-        customer,
-        vec![0],
-        vec![0],
-        vec![1],
-        JoinKind::LeftSingle,
+        "lineitem",
+        &["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"],
+    )
+    .filter(
+        NamedPred::And(vec![
+            NamedPred::cmp_val("l_shipdate", CmpKind::Ge, Value::I32(p.q14_date)),
+            NamedPred::cmp_val(
+                "l_shipdate",
+                CmpKind::Lt,
+                Value::I32(add_months(p.q14_date, 1)),
+            ),
+        ]),
+        "Q14/sel_shipdate",
+    )
+    .hash_join(
+        PlanBuilder::scan(db, "part", &["p_partkey", "p_type"]),
+        &[("l_partkey", "p_partkey")],
+        &["p_type"],
+        JoinKind::Inner,
         false,
-        vec![Value::I64(0)],
-        ctx,
-        "Q13/left_join",
-    )?;
-    // distribution: [c_count, custdist]
-    let dist = HashAggregate::new(
-        Box::new(left),
-        vec![1],
-        vec![AggSpec::CountStar],
-        ctx,
-        "Q13/agg_dist",
-    )?;
-    let sort = Sort::new(
-        Box::new(dist),
-        vec![SortKey::desc(1), SortKey::desc(0)],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+        "Q14/join_part",
+    )
+    .project(
+        vec![
+            ("p_type", col("p_type")),
+            ("rev", revenue("l_extendedprice", "l_discount")),
+        ],
+        "Q14/rev",
+    )
+    .hash_agg(&["p_type"], vec![sum_f64("rev")], "Q14/agg")
 }
 
 /// Q14: promotion effect. PROMO share folded in a post-step over the
 /// per-type aggregate.
 pub(crate) fn q14(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // [0 lpk, 1 sdate, 2 ep, 3 disc]
-    let li_sel = scan_where(
-        db,
-        "lineitem",
-        &["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"],
-        &Pred::And(vec![
-            Pred::cmp_val(1, CmpKind::Ge, Value::I32(p.q14_date)),
-            Pred::cmp_val(1, CmpKind::Lt, Value::I32(add_months(p.q14_date, 1))),
-        ]),
-        ctx,
-        "Q14/sel_shipdate",
-    )?;
-    // [0..3, 4 ptype]
-    let part = scan(db, "part", &["p_partkey", "p_type"], ctx)?;
-    let joined = HashJoin::new(
-        part,
-        li_sel,
-        vec![0],
-        vec![0],
-        vec![1],
-        JoinKind::Inner,
-        false,
-        vec![],
-        ctx,
-        "Q14/join_part",
-    )?;
-    let proj = Project::new(
-        Box::new(joined),
-        vec![ProjItem::Pass(4), ProjItem::Expr(revenue(2, 3))],
-        ctx,
-        "Q14/rev",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(proj),
-        vec![0],
-        vec![AggSpec::SumF64(1)],
-        ctx,
-        "Q14/agg",
-    )?;
-    let mut agg_op: BoxOp = Box::new(agg);
-    let store = ma_executor::ops::materialize(agg_op.as_mut())?;
+    let store = materialize_plan(q14_agg_plan(db, p), ctx)?;
     let mut promo = 0.0;
     let mut total = 0.0;
     for g in 0..store.rows() {
@@ -222,286 +178,210 @@ pub(crate) fn q14(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
     let mut b = ColumnBuilder::with_capacity(DataType::F64, 1);
     b.push_f64(share);
     let table = Table::new("q14out", vec![("promo_revenue".into(), b.finish())])?;
-    let mut out: BoxOp = Box::new(ma_executor::ops::Scan::new(
-        std::sync::Arc::new(table),
-        &["promo_revenue"],
-        ctx.vector_size(),
-    )?);
-    Ok(finish_store(ma_executor::ops::materialize(out.as_mut())?))
+    let store = materialize_plan(
+        PlanBuilder::from_table(std::sync::Arc::new(table), &["promo_revenue"]),
+        ctx,
+    )?;
+    Ok(finish_store(store))
+}
+
+/// Q15 phase A: revenue per supplier over the quarter.
+pub(crate) fn q15_revenue_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    PlanBuilder::scan(
+        db,
+        "lineitem",
+        &["l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"],
+    )
+    .filter(
+        NamedPred::And(vec![
+            NamedPred::cmp_val("l_shipdate", CmpKind::Ge, Value::I32(p.q15_date)),
+            NamedPred::cmp_val(
+                "l_shipdate",
+                CmpKind::Lt,
+                Value::I32(add_months(p.q15_date, 3)),
+            ),
+        ]),
+        "Q15/sel_shipdate",
+    )
+    .project(
+        vec![
+            ("l_suppkey", col("l_suppkey")),
+            ("rev", revenue("l_extendedprice", "l_discount")),
+        ],
+        "Q15/rev",
+    )
+    .hash_agg(&["l_suppkey"], vec![sum_f64("rev")], "Q15/agg")
 }
 
 /// Q15: top supplier (revenue view materialized as a temp table).
 pub(crate) fn q15(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // revenue per supplier over the quarter
-    let li_sel = scan_where(
-        db,
-        "lineitem",
-        &["l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"],
-        &Pred::And(vec![
-            Pred::cmp_val(1, CmpKind::Ge, Value::I32(p.q15_date)),
-            Pred::cmp_val(1, CmpKind::Lt, Value::I32(add_months(p.q15_date, 3))),
-        ]),
-        ctx,
-        "Q15/sel_shipdate",
-    )?;
-    let proj = Project::new(
-        li_sel,
-        vec![ProjItem::Pass(0), ProjItem::Expr(revenue(2, 3))],
-        ctx,
-        "Q15/rev",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(proj),
-        vec![0],
-        vec![AggSpec::SumF64(1)],
-        ctx,
-        "Q15/agg",
-    )?;
-    let mut agg_op: BoxOp = Box::new(agg);
-    let store = ma_executor::ops::materialize(agg_op.as_mut())?;
+    let store = materialize_plan(q15_revenue_plan(db, p), ctx)?;
     let max_rev = store.col(1).as_f64().iter().copied().fold(0.0f64, f64::max);
     let revenue_t = store_to_table("revenue0", &["supplier_no", "total_revenue"], &store)?;
-    // suppliers achieving the max
-    let rev_scan: BoxOp = Box::new(ma_executor::ops::Scan::new(
-        std::sync::Arc::clone(&revenue_t),
-        &["supplier_no", "total_revenue"],
-        ctx.vector_size(),
-    )?);
-    let top = Select::new(
-        rev_scan,
-        &Pred::cmp_val(1, CmpKind::Ge, Value::F64(max_rev - 1e-6)),
-        ctx,
+    let top = PlanBuilder::from_table(revenue_t, &["supplier_no", "total_revenue"]).filter(
+        NamedPred::cmp_val("total_revenue", CmpKind::Ge, Value::F64(max_rev - 1e-6)),
         "Q15/sel_max",
-    )?;
-    // [0 sk, 1 name, 2 addr, 3 phone, 4 rev]
-    let supplier = scan(
+    );
+    let out = PlanBuilder::scan(
         db,
         "supplier",
         &["s_suppkey", "s_name", "s_address", "s_phone"],
-        ctx,
-    )?;
-    let joined = HashJoin::new(
-        Box::new(top),
-        supplier,
-        vec![0],
-        vec![0],
-        vec![1],
+    )
+    .hash_join(
+        top,
+        &[("s_suppkey", "supplier_no")],
+        &["total_revenue"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q15/join_supp",
-    )?;
-    let sort = Sort::new(
-        Box::new(joined),
-        vec![SortKey::asc(0)],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+    )
+    .sort(&[asc("s_suppkey")]);
+    run_plan(out, ctx)
 }
 
-/// Q16: parts/supplier relationship (distinct via two-level aggregation).
-pub(crate) fn q16(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let size_in = Pred::Or(
+/// Q16's logical plan: parts/supplier relationship (distinct via two-level
+/// aggregation).
+pub(crate) fn q16_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let size_in = NamedPred::Or(
         p.q16_sizes
             .iter()
-            .map(|&s| Pred::cmp_val(3, CmpKind::Eq, Value::I32(s)))
+            .map(|&s| NamedPred::cmp_val("p_size", CmpKind::Eq, Value::I32(s)))
             .collect(),
     );
-    let part_sel = scan_where(
-        db,
-        "part",
-        &["p_partkey", "p_brand", "p_type", "p_size"],
-        &Pred::And(vec![
-            Pred::cmp_val(1, CmpKind::Ne, Value::Str(p.q16_brand.into())),
-            Pred::NotLike {
-                col: 2,
-                pattern: format!("{}%", p.q16_type_prefix),
-            },
-            size_in,
-        ]),
-        ctx,
-        "Q16/sel_part",
-    )?;
-    // [0 pspk, 1 pssk, 2 brand, 3 ptype, 4 size]
-    let partsupp = scan(db, "partsupp", &["ps_partkey", "ps_suppkey"], ctx)?;
-    let ps = HashJoin::new(
-        part_sel,
-        partsupp,
-        vec![0],
-        vec![0],
-        vec![1, 2, 3],
-        JoinKind::Inner,
-        true,
-        vec![],
-        ctx,
-        "Q16/join_part",
-    )?;
-    // exclude suppliers with complaints
-    let bad = scan_where(
-        db,
-        "supplier",
-        &["s_suppkey", "s_comment"],
-        &Pred::Like {
-            col: 1,
-            pattern: "%Customer%Complaints%".into(),
-        },
-        ctx,
+    let part_sel = PlanBuilder::scan(db, "part", &["p_partkey", "p_brand", "p_type", "p_size"])
+        .filter(
+            NamedPred::And(vec![
+                NamedPred::cmp_val("p_brand", CmpKind::Ne, Value::Str(p.q16_brand.into())),
+                NamedPred::not_like("p_type", format!("{}%", p.q16_type_prefix)),
+                size_in,
+            ]),
+            "Q16/sel_part",
+        );
+    let bad = PlanBuilder::scan(db, "supplier", &["s_suppkey", "s_comment"]).filter(
+        NamedPred::like("s_comment", "%Customer%Complaints%"),
         "Q16/sel_complaints",
-    )?;
-    let ps_ok = HashJoin::new(
-        bad,
-        Box::new(ps),
-        vec![0],
-        vec![1],
-        vec![],
-        JoinKind::Anti,
-        false,
-        vec![],
-        ctx,
-        "Q16/anti_supp",
-    )?;
-    // distinct (brand, type, size, suppkey), then count per (brand, type, size)
-    let distinct = HashAggregate::new(
-        Box::new(ps_ok),
-        vec![2, 3, 4, 1],
-        vec![],
-        ctx,
-        "Q16/distinct",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(distinct),
-        vec![0, 1, 2],
-        vec![AggSpec::CountStar],
-        ctx,
-        "Q16/agg",
-    )?;
-    let sort = Sort::new(
-        Box::new(agg),
+    );
+    PlanBuilder::scan(db, "partsupp", &["ps_partkey", "ps_suppkey"])
+        .hash_join(
+            part_sel,
+            &[("ps_partkey", "p_partkey")],
+            &["p_brand", "p_type", "p_size"],
+            JoinKind::Inner,
+            true,
+            "Q16/join_part",
+        )
+        .hash_join(
+            bad,
+            &[("ps_suppkey", "s_suppkey")],
+            &[],
+            JoinKind::Anti,
+            false,
+            "Q16/anti_supp",
+        )
+        // distinct (brand, type, size, suppkey), then count per (brand,
+        // type, size)
+        .hash_agg(
+            &["p_brand", "p_type", "p_size", "ps_suppkey"],
+            vec![],
+            "Q16/distinct",
+        )
+        .hash_agg(
+            &["p_brand", "p_type", "p_size"],
+            vec![count().named("supplier_cnt")],
+            "Q16/agg",
+        )
+        .sort(&[
+            desc("supplier_cnt"),
+            asc("p_brand"),
+            asc("p_type"),
+            asc("p_size"),
+        ])
+}
+
+/// Q16: parts/supplier relationship.
+pub(crate) fn q16(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    run_plan(q16_plan(db, p), ctx)
+}
+
+/// The filtered-part lineitem stream both Q17 phases aggregate.
+fn q17_lineitem_plan(db: &TpchData, p: &Params, label: &str) -> PlanBuilder {
+    let part_sel = PlanBuilder::scan(db, "part", &["p_partkey", "p_brand", "p_container"]).filter(
+        NamedPred::And(vec![
+            NamedPred::str_eq("p_brand", p.q17_brand),
+            NamedPred::str_eq("p_container", p.q17_container),
+        ]),
+        &format!("{label}/part"),
+    );
+    PlanBuilder::scan(
+        db,
+        "lineitem",
+        &["l_partkey", "l_quantity", "l_extendedprice"],
+    )
+    .hash_join(
+        part_sel,
+        &[("l_partkey", "p_partkey")],
+        &[],
+        JoinKind::Semi,
+        true,
+        label,
+    )
+    .project(
         vec![
-            SortKey::desc(3),
-            SortKey::asc(0),
-            SortKey::asc(1),
-            SortKey::asc(2),
+            ("l_partkey", col("l_partkey")),
+            ("qty", col("l_quantity").cast(DataType::I64)),
+            ("l_extendedprice", col("l_extendedprice")),
         ],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+        "Q17/proj",
+    )
+}
+
+/// Q17 phase A: per-part sum(qty) and count.
+pub(crate) fn q17_totals_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    q17_lineitem_plan(db, p, "Q17/semi_a").hash_agg(
+        &["l_partkey"],
+        vec![sum_i64("qty").named("sumqty"), count().named("cnt")],
+        "Q17/agg_totals",
+    )
 }
 
 /// Q17: small-quantity-order revenue (per-part average via temp table; the
 /// `0.2·avg` comparison is done in integers: `5·qty·cnt < sum`).
 pub(crate) fn q17(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let part_sel = |label: &str| -> Result<BoxOp, ExecError> {
-        scan_where(
-            db,
-            "part",
-            &["p_partkey", "p_brand", "p_container"],
-            &Pred::And(vec![
-                Pred::str_eq(1, p.q17_brand),
-                Pred::str_eq(2, p.q17_container),
-            ]),
-            ctx,
-            label,
-        )
-    };
-    let li_for_parts = |label: &str| -> Result<BoxOp, ExecError> {
-        // [0 lpk, 1 qty64, 2 ep]
-        let li = scan(
-            db,
-            "lineitem",
-            &["l_partkey", "l_quantity", "l_extendedprice"],
-            ctx,
-        )?;
-        let semi = HashJoin::new(
-            part_sel(&format!("{label}/part"))?,
-            li,
-            vec![0],
-            vec![0],
-            vec![],
-            JoinKind::Semi,
-            true,
-            vec![],
-            ctx,
-            label,
-        )?;
-        Ok(Box::new(Project::new(
-            Box::new(semi),
-            vec![
-                ProjItem::Pass(0),
-                ProjItem::Expr(Expr::cast(DataType::I64, Expr::col(1))),
-                ProjItem::Pass(2),
-            ],
-            ctx,
-            "Q17/proj",
-        )?))
-    };
-    // phase A: per-part sum(qty), count
-    let totals = HashAggregate::new(
-        li_for_parts("Q17/semi_a")?,
-        vec![0],
-        vec![AggSpec::SumI64(1), AggSpec::CountStar],
-        ctx,
-        "Q17/agg_totals",
-    )?;
-    let mut totals_op: BoxOp = Box::new(totals);
-    let totals_store = ma_executor::ops::materialize(totals_op.as_mut())?;
+    let totals_store = materialize_plan(q17_totals_plan(db, p), ctx)?;
     let totals_t = store_to_table("q17totals", &["pk", "sumqty", "cnt"], &totals_store)?;
-    // phase B: join back, select 5*qty*cnt < sumqty
-    let totals_scan: BoxOp = Box::new(ma_executor::ops::Scan::new(
-        std::sync::Arc::clone(&totals_t),
-        &["pk", "sumqty", "cnt"],
-        ctx.vector_size(),
-    )?);
-    // [0 pk, 1 qty64, 2 ep, 3 sumqty, 4 cnt]
-    let joined = HashJoin::new(
-        totals_scan,
-        li_for_parts("Q17/semi_b")?,
-        vec![0],
-        vec![0],
-        vec![1, 2],
-        JoinKind::Inner,
-        false,
-        vec![],
-        ctx,
-        "Q17/join_totals",
-    )?;
-    // [0 lhs = 5*qty*cnt, 1 sumqty, 2 ep]
-    let cmp_proj = Project::new(
-        Box::new(joined),
-        vec![
-            ProjItem::Expr(Expr::mul(
-                Expr::mul(Expr::col(1), Expr::i64(5)),
-                Expr::col(4),
-            )),
-            ProjItem::Pass(3),
-            ProjItem::Pass(2),
-        ],
-        ctx,
-        "Q17/cmp",
-    )?;
-    let small = Select::new(
-        Box::new(cmp_proj),
-        &Pred::cmp_col(0, CmpKind::Lt, 1),
-        ctx,
-        "Q17/sel_small",
-    )?;
-    let agg = StreamAggregate::new(Box::new(small), vec![AggSpec::SumI64(2)], ctx, "Q17/agg")?;
-    let mut agg_op: BoxOp = Box::new(agg);
-    let store = ma_executor::ops::materialize(agg_op.as_mut())?;
+    let small = q17_lineitem_plan(db, p, "Q17/semi_b")
+        .hash_join(
+            PlanBuilder::from_table(totals_t, &["pk", "sumqty", "cnt"]),
+            &[("l_partkey", "pk")],
+            &["sumqty", "cnt"],
+            JoinKind::Inner,
+            false,
+            "Q17/join_totals",
+        )
+        .project(
+            vec![
+                ("lhs", col("qty").mul(lit_i64(5)).mul(col("cnt"))),
+                ("sumqty", col("sumqty")),
+                ("l_extendedprice", col("l_extendedprice")),
+            ],
+            "Q17/cmp",
+        )
+        .filter(
+            NamedPred::cmp_col("lhs", CmpKind::Lt, "sumqty"),
+            "Q17/sel_small",
+        )
+        .stream_agg(vec![sum_i64("l_extendedprice")], "Q17/agg");
+    let store = materialize_plan(small, ctx)?;
     // avg_yearly = sum(extendedprice)/7, in dollars.
     let avg_yearly = store.col(0).as_i64()[0] as f64 / 7.0 / 100.0;
     let mut b = ColumnBuilder::with_capacity(DataType::F64, 1);
     b.push_f64(avg_yearly);
     let table = Table::new("q17out", vec![("avg_yearly".into(), b.finish())])?;
-    let mut out: BoxOp = Box::new(ma_executor::ops::Scan::new(
-        std::sync::Arc::new(table),
-        &["avg_yearly"],
-        ctx.vector_size(),
-    )?);
-    Ok(finish_store(ma_executor::ops::materialize(out.as_mut())?))
+    let store = materialize_plan(
+        PlanBuilder::from_table(std::sync::Arc::new(table), &["avg_yearly"]),
+        ctx,
+    )?;
+    Ok(finish_store(store))
 }
 
 #[cfg(test)]

@@ -1,103 +1,86 @@
 //! TPC-H Q18–Q22.
 
-use ma_executor::ops::{
-    AggSpec, HashAggregate, HashJoin, JoinKind, ProjItem, Project, Select, Sort, SortKey,
-    StreamAggregate,
+use ma_executor::ops::JoinKind;
+use ma_executor::plan::{
+    asc, col, count, desc, max_i64, min_i64, substr, sum_f64, sum_i64, NamedPred, PlanBuilder,
 };
-use ma_executor::{BoxOp, CmpKind, ExecError, Expr, Pred, QueryContext, Value};
+use ma_executor::{CmpKind, ExecError, QueryContext, Value};
 use ma_vector::DataType;
 
-use super::{finish, revenue, scan, scan_where, store_to_table, QueryOutput};
+use super::{materialize_plan, revenue, run_plan, store_to_table, QueryOutput};
 use crate::dates::add_years;
 use crate::dbgen::TpchData;
 use crate::params::Params;
 
-/// Q18: large-volume customers.
-pub(crate) fn q18(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // per-order quantity
-    let li = scan(db, "lineitem", &["l_orderkey", "l_quantity"], ctx)?;
-    let proj = Project::new(
-        li,
-        vec![
-            ProjItem::Pass(0),
-            ProjItem::Expr(Expr::cast(DataType::I64, Expr::col(1))),
-        ],
-        ctx,
-        "Q18/qty64",
-    )?;
-    let per_order = HashAggregate::new(
-        Box::new(proj),
-        vec![0],
-        vec![AggSpec::SumI64(1)],
-        ctx,
-        "Q18/agg_qty",
-    )?;
-    let big = Select::new(
-        Box::new(per_order),
-        &Pred::cmp_val(1, CmpKind::Gt, Value::I64(p.q18_quantity)),
-        ctx,
-        "Q18/sel_big",
-    )?;
-    // orders of those keys: [0 okey, 1 ockey, 2 odate, 3 total, 4 sumqty]
-    let orders = scan(
+/// Q18's logical plan: large-volume customers.
+pub(crate) fn q18_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let big = PlanBuilder::scan(db, "lineitem", &["l_orderkey", "l_quantity"])
+        .project(
+            vec![
+                ("l_orderkey", col("l_orderkey")),
+                ("qty", col("l_quantity").cast(DataType::I64)),
+            ],
+            "Q18/qty64",
+        )
+        .hash_agg(
+            &["l_orderkey"],
+            vec![sum_i64("qty").named("sumqty")],
+            "Q18/agg_qty",
+        )
+        .filter(
+            NamedPred::cmp_val("sumqty", CmpKind::Gt, Value::I64(p.q18_quantity)),
+            "Q18/sel_big",
+        );
+    PlanBuilder::scan(
         db,
         "orders",
         &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"],
-        ctx,
-    )?;
-    let ord = HashJoin::new(
-        Box::new(big),
-        orders,
-        vec![0],
-        vec![0],
-        vec![1],
+    )
+    .hash_join(
+        big,
+        &[("o_orderkey", "l_orderkey")],
+        &["sumqty"],
         JoinKind::Inner,
         true,
-        vec![],
-        ctx,
         "Q18/join_orders",
-    )?;
-    // customer name: [0..4, 5 cname]
-    let customer = scan(db, "customer", &["c_custkey", "c_name"], ctx)?;
-    let with_cust = HashJoin::new(
-        customer,
-        Box::new(ord),
-        vec![0],
-        vec![1],
-        vec![1],
+    )
+    .hash_join(
+        PlanBuilder::scan(db, "customer", &["c_custkey", "c_name"]),
+        &[("o_custkey", "c_custkey")],
+        &["c_name"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q18/join_cust",
-    )?;
-    // output: [cname, ckey, okey, odate, totalprice, sumqty]
-    let out = Project::new(
-        Box::new(with_cust),
-        vec![
-            ProjItem::Pass(5),
-            ProjItem::Pass(1),
-            ProjItem::Pass(0),
-            ProjItem::Pass(2),
-            ProjItem::Pass(3),
-            ProjItem::Pass(4),
-        ],
-        ctx,
-        "Q18/out",
-    )?;
-    let sort = Sort::new(
-        Box::new(out),
-        vec![SortKey::desc(4), SortKey::asc(3)],
-        Some(100),
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+    )
+    .keep(&[
+        "c_name",
+        "o_custkey",
+        "o_orderkey",
+        "o_orderdate",
+        "o_totalprice",
+        "sumqty",
+    ])
+    .top_n(&[desc("o_totalprice"), asc("o_orderdate")], 100)
 }
 
-/// Q19: discounted revenue (the three-branch OR of ANDs).
-pub(crate) fn q19(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // [0 lpk, 1 qty, 2 ep, 3 disc, 4 instr, 5 mode]
-    let li_common = scan_where(
+/// Q18: large-volume customers.
+pub(crate) fn q18(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    run_plan(q18_plan(db, p), ctx)
+}
+
+/// Q19's logical plan: discounted revenue (the three-branch OR of ANDs).
+pub(crate) fn q19_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let branch = |brand: &str, containers: &[&str], qlo: i32, smax: i32| -> NamedPred {
+        NamedPred::And(vec![
+            NamedPred::str_eq("p_brand", brand),
+            NamedPred::in_str("p_container", containers.iter().copied()),
+            NamedPred::cmp_val("l_quantity", CmpKind::Ge, Value::I32(qlo)),
+            NamedPred::cmp_val("l_quantity", CmpKind::Le, Value::I32(qlo + 10)),
+            NamedPred::cmp_val("p_size", CmpKind::Ge, Value::I32(1)),
+            NamedPred::cmp_val("p_size", CmpKind::Le, Value::I32(smax)),
+        ])
+    };
+    PlanBuilder::scan(
         db,
         "lineitem",
         &[
@@ -108,51 +91,28 @@ pub(crate) fn q19(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
             "l_shipinstruct",
             "l_shipmode",
         ],
-        &Pred::And(vec![
-            Pred::str_eq(4, "DELIVER IN PERSON"),
-            Pred::InStr {
-                col: 5,
-                values: vec!["AIR".into(), "REG AIR".into()],
-            },
+    )
+    .filter(
+        NamedPred::And(vec![
+            NamedPred::str_eq("l_shipinstruct", "DELIVER IN PERSON"),
+            NamedPred::in_str("l_shipmode", ["AIR", "REG AIR"]),
         ]),
-        ctx,
         "Q19/sel_common",
-    )?;
-    // part attrs: [0..5, 6 brand, 7 container, 8 size]
-    let part = scan(
-        db,
-        "part",
-        &["p_partkey", "p_brand", "p_container", "p_size"],
-        ctx,
-    )?;
-    let joined = HashJoin::new(
-        part,
-        li_common,
-        vec![0],
-        vec![0],
-        vec![1, 2, 3],
+    )
+    .hash_join(
+        PlanBuilder::scan(
+            db,
+            "part",
+            &["p_partkey", "p_brand", "p_container", "p_size"],
+        ),
+        &[("l_partkey", "p_partkey")],
+        &["p_brand", "p_container", "p_size"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q19/join_part",
-    )?;
-    let branch = |brand: &str, containers: &[&str], qlo: i32, smax: i32| -> Pred {
-        Pred::And(vec![
-            Pred::str_eq(6, brand),
-            Pred::InStr {
-                col: 7,
-                values: containers.iter().map(|s| s.to_string()).collect(),
-            },
-            Pred::cmp_val(1, CmpKind::Ge, Value::I32(qlo)),
-            Pred::cmp_val(1, CmpKind::Le, Value::I32(qlo + 10)),
-            Pred::cmp_val(8, CmpKind::Ge, Value::I32(1)),
-            Pred::cmp_val(8, CmpKind::Le, Value::I32(smax)),
-        ])
-    };
-    let sel = Select::new(
-        Box::new(joined),
-        &Pred::Or(vec![
+    )
+    .filter(
+        NamedPred::Or(vec![
             branch(
                 p.q19_brand1,
                 &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
@@ -172,414 +132,278 @@ pub(crate) fn q19(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
                 15,
             ),
         ]),
-        ctx,
         "Q19/sel_branches",
-    )?;
-    let proj = Project::new(
-        Box::new(sel),
-        vec![ProjItem::Expr(revenue(2, 3))],
-        ctx,
+    )
+    .project(
+        vec![("rev", revenue("l_extendedprice", "l_discount"))],
         "Q19/rev",
-    )?;
-    let agg = StreamAggregate::new(Box::new(proj), vec![AggSpec::SumF64(0)], ctx, "Q19/agg")?;
-    finish(Box::new(agg))
+    )
+    .stream_agg(vec![sum_f64("rev")], "Q19/agg")
+}
+
+/// Q19: discounted revenue.
+pub(crate) fn q19(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    run_plan(q19_plan(db, p), ctx)
+}
+
+/// Q20 phase A: quantity shipped per (partkey, suppkey) in the year.
+pub(crate) fn q20_shipped_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    PlanBuilder::scan(
+        db,
+        "lineitem",
+        &["l_partkey", "l_suppkey", "l_quantity", "l_shipdate"],
+    )
+    .filter(
+        NamedPred::And(vec![
+            NamedPred::cmp_val("l_shipdate", CmpKind::Ge, Value::I32(p.q20_date)),
+            NamedPred::cmp_val(
+                "l_shipdate",
+                CmpKind::Lt,
+                Value::I32(add_years(p.q20_date, 1)),
+            ),
+        ]),
+        "Q20/sel_shipdate",
+    )
+    .project(
+        vec![
+            ("l_partkey", col("l_partkey")),
+            ("l_suppkey", col("l_suppkey")),
+            ("qty", col("l_quantity").cast(DataType::I64)),
+        ],
+        "Q20/qty64",
+    )
+    .hash_agg(
+        &["l_partkey", "l_suppkey"],
+        vec![sum_i64("qty").named("sumqty")],
+        "Q20/agg_shipped",
+    )
 }
 
 /// Q20: potential part promotion.
 pub(crate) fn q20(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    // forest% parts
-    let part_sel = scan_where(
-        db,
-        "part",
-        &["p_partkey", "p_name"],
-        &Pred::Like {
-            col: 1,
-            pattern: format!("{}%", p.q20_color),
-        },
-        ctx,
-        "Q20/sel_part",
-    )?;
-    // partsupp for those parts: [0 pspk, 1 pssk, 2 avail]
-    let partsupp = scan(
-        db,
-        "partsupp",
-        &["ps_partkey", "ps_suppkey", "ps_availqty"],
-        ctx,
-    )?;
-    let ps = HashJoin::new(
-        part_sel,
-        partsupp,
-        vec![0],
-        vec![0],
-        vec![],
-        JoinKind::Semi,
-        true,
-        vec![],
-        ctx,
-        "Q20/semi_part",
-    )?;
-    // shipped quantity per (partkey, suppkey) in the year
-    let li_sel = scan_where(
-        db,
-        "lineitem",
-        &["l_partkey", "l_suppkey", "l_quantity", "l_shipdate"],
-        &Pred::And(vec![
-            Pred::cmp_val(3, CmpKind::Ge, Value::I32(p.q20_date)),
-            Pred::cmp_val(3, CmpKind::Lt, Value::I32(add_years(p.q20_date, 1))),
-        ]),
-        ctx,
-        "Q20/sel_shipdate",
-    )?;
-    let li_proj = Project::new(
-        li_sel,
-        vec![
-            ProjItem::Pass(0),
-            ProjItem::Pass(1),
-            ProjItem::Expr(Expr::cast(DataType::I64, Expr::col(2))),
-        ],
-        ctx,
-        "Q20/qty64",
-    )?;
-    let li_agg = HashAggregate::new(
-        Box::new(li_proj),
-        vec![0, 1],
-        vec![AggSpec::SumI64(2)],
-        ctx,
-        "Q20/agg_shipped",
-    )?;
-    let mut li_agg_op: BoxOp = Box::new(li_agg);
-    let shipped_store = ma_executor::ops::materialize(li_agg_op.as_mut())?;
+    let shipped_store = materialize_plan(q20_shipped_plan(db, p), ctx)?;
     let shipped_t = store_to_table("q20shipped", &["pk", "sk", "sumqty"], &shipped_store)?;
-    let shipped: BoxOp = Box::new(ma_executor::ops::Scan::new(
-        std::sync::Arc::clone(&shipped_t),
-        &["pk", "sk", "sumqty"],
-        ctx.vector_size(),
-    )?);
-    // [0 pspk, 1 pssk, 2 avail, 3 sumqty]
-    let with_qty = HashJoin::new(
-        shipped,
-        Box::new(ps),
-        vec![0, 1],
-        vec![0, 1],
-        vec![2],
-        JoinKind::Inner,
-        false,
-        vec![],
-        ctx,
-        "Q20/join_shipped",
-    )?;
-    // availqty > 0.5 * sumqty  ⟺  2*avail > sumqty
-    // [0 pssk, 1 lhs, 2 sumqty]
-    let cmp = Project::new(
-        Box::new(with_qty),
-        vec![
-            ProjItem::Pass(1),
-            ProjItem::Expr(Expr::mul(
-                Expr::cast(DataType::I64, Expr::col(2)),
-                Expr::i64(2),
-            )),
-            ProjItem::Pass(3),
-        ],
-        ctx,
-        "Q20/cmp",
-    )?;
-    let excess = Select::new(
-        Box::new(cmp),
-        &Pred::cmp_col(1, CmpKind::Gt, 2),
-        ctx,
-        "Q20/sel_excess",
-    )?;
-    // suppliers with excess stock, in the nation
-    // [0 sk, 1 sname, 2 saddr, 3 snk]
-    let supplier = scan(
+    let part_sel = PlanBuilder::scan(db, "part", &["p_partkey", "p_name"]).filter(
+        NamedPred::like("p_name", format!("{}%", p.q20_color)),
+        "Q20/sel_part",
+    );
+    let excess = PlanBuilder::scan(db, "partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty"])
+        .hash_join(
+            part_sel,
+            &[("ps_partkey", "p_partkey")],
+            &[],
+            JoinKind::Semi,
+            true,
+            "Q20/semi_part",
+        )
+        .hash_join(
+            PlanBuilder::from_table(shipped_t, &["pk", "sk", "sumqty"]),
+            &[("ps_partkey", "pk"), ("ps_suppkey", "sk")],
+            &["sumqty"],
+            JoinKind::Inner,
+            false,
+            "Q20/join_shipped",
+        )
+        // availqty > 0.5 * sumqty  ⟺  2*avail > sumqty
+        .project(
+            vec![
+                ("ps_suppkey", col("ps_suppkey")),
+                (
+                    "lhs",
+                    col("ps_availqty")
+                        .cast(DataType::I64)
+                        .mul(ma_executor::plan::lit_i64(2)),
+                ),
+                ("sumqty", col("sumqty")),
+            ],
+            "Q20/cmp",
+        )
+        .filter(
+            NamedPred::cmp_col("lhs", CmpKind::Gt, "sumqty"),
+            "Q20/sel_excess",
+        );
+    let nat = PlanBuilder::scan(db, "nation", &["n_nationkey", "n_name"])
+        .filter(NamedPred::str_eq("n_name", p.q20_nation), "Q20/sel_nation");
+    let out = PlanBuilder::scan(
         db,
         "supplier",
         &["s_suppkey", "s_name", "s_address", "s_nationkey"],
-        ctx,
-    )?;
-    let sup = HashJoin::new(
-        Box::new(excess),
-        supplier,
-        vec![0],
-        vec![0],
-        vec![],
+    )
+    .hash_join(
+        excess,
+        &[("s_suppkey", "ps_suppkey")],
+        &[],
         JoinKind::Semi,
         false,
-        vec![],
-        ctx,
         "Q20/semi_supp",
-    )?;
-    let nat = scan_where(
-        db,
-        "nation",
-        &["n_nationkey", "n_name"],
-        &Pred::str_eq(1, p.q20_nation),
-        ctx,
-        "Q20/sel_nation",
-    )?;
-    let sup_nat = HashJoin::new(
+    )
+    .hash_join(
         nat,
-        Box::new(sup),
-        vec![0],
-        vec![3],
-        vec![],
+        &[("s_nationkey", "n_nationkey")],
+        &[],
         JoinKind::Semi,
         false,
-        vec![],
-        ctx,
         "Q20/semi_nation",
-    )?;
-    let out = Project::new(
-        Box::new(sup_nat),
-        vec![ProjItem::Pass(1), ProjItem::Pass(2)],
-        ctx,
-        "Q20/out",
-    )?;
-    let sort = Sort::new(
-        Box::new(out),
-        vec![SortKey::asc(0)],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+    )
+    .keep(&["s_name", "s_address"])
+    .sort(&[asc("s_name")]);
+    run_plan(out, ctx)
 }
 
-/// Q21: suppliers who kept orders waiting. The EXISTS/NOT EXISTS pair is
-/// rewritten over per-order min/max supplier aggregates (see DESIGN.md):
-/// another supplier exists ⟺ min ≠ max among all lines; no *other* late
-/// supplier ⟺ min = max among late lines.
-pub(crate) fn q21(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let li_minmax = |late_only: bool, label: &str| -> Result<BoxOp, ExecError> {
+/// Q21's logical plan: suppliers who kept orders waiting. The EXISTS/NOT
+/// EXISTS pair is rewritten over per-order min/max supplier aggregates
+/// (see DESIGN.md): another supplier exists ⟺ min ≠ max among all lines;
+/// no *other* late supplier ⟺ min = max among late lines.
+pub(crate) fn q21_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    let li_minmax = |late_only: bool, label: &str, min_name: &str, max_name: &str| -> PlanBuilder {
         let cols = ["l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"];
-        let base: BoxOp = if late_only {
-            scan_where(
-                db,
-                "lineitem",
-                &cols,
-                &Pred::cmp_col(3, CmpKind::Gt, 2),
-                ctx,
+        let base = PlanBuilder::scan(db, "lineitem", &cols);
+        let base = if late_only {
+            base.filter(
+                NamedPred::cmp_col("l_receiptdate", CmpKind::Gt, "l_commitdate"),
                 &format!("{label}/late"),
-            )?
+            )
         } else {
-            scan(db, "lineitem", &cols, ctx)?
+            base
         };
-        let proj = Project::new(
-            base,
+        base.project(
             vec![
-                ProjItem::Pass(0),
-                ProjItem::Expr(Expr::cast(DataType::I64, Expr::col(1))),
+                ("l_orderkey", col("l_orderkey")),
+                ("sk", col("l_suppkey").cast(DataType::I64)),
             ],
-            ctx,
             &format!("{label}/sk64"),
-        )?;
-        Ok(Box::new(HashAggregate::new(
-            Box::new(proj),
-            vec![0],
-            vec![AggSpec::MinI64(1), AggSpec::MaxI64(1)],
-            ctx,
+        )
+        .hash_agg(
+            &["l_orderkey"],
+            vec![min_i64("sk").named(min_name), max_i64("sk").named(max_name)],
             label,
-        )?))
+        )
     };
-    // main stream: Saudi suppliers' late lines on F orders
-    let nat = scan_where(
-        db,
-        "nation",
-        &["n_nationkey", "n_name"],
-        &Pred::str_eq(1, p.q21_nation),
-        ctx,
-        "Q21/sel_nation",
-    )?;
-    let supplier = scan(db, "supplier", &["s_suppkey", "s_name", "s_nationkey"], ctx)?;
-    let sup = HashJoin::new(
+    let nat = PlanBuilder::scan(db, "nation", &["n_nationkey", "n_name"])
+        .filter(NamedPred::str_eq("n_name", p.q21_nation), "Q21/sel_nation");
+    let sup = PlanBuilder::scan(db, "supplier", &["s_suppkey", "s_name", "s_nationkey"]).hash_join(
         nat,
-        supplier,
-        vec![0],
-        vec![2],
-        vec![],
+        &[("s_nationkey", "n_nationkey")],
+        &[],
         JoinKind::Semi,
         false,
-        vec![],
-        ctx,
         "Q21/semi_nation",
-    )?;
-    let l1 = scan_where(
+    );
+    let ord_f = PlanBuilder::scan(db, "orders", &["o_orderkey", "o_orderstatus"])
+        .filter(NamedPred::str_eq("o_orderstatus", "F"), "Q21/sel_status");
+    PlanBuilder::scan(
         db,
         "lineitem",
         &["l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"],
-        &Pred::cmp_col(3, CmpKind::Gt, 2),
-        ctx,
+    )
+    .filter(
+        NamedPred::cmp_col("l_receiptdate", CmpKind::Gt, "l_commitdate"),
         "Q21/sel_late",
-    )?;
-    // [0 lokey, 1 lsk, 2 cdate, 3 rdate, 4 sname]
-    let l1s = HashJoin::new(
-        Box::new(sup),
-        l1,
-        vec![0],
-        vec![1],
-        vec![1],
+    )
+    .hash_join(
+        sup,
+        &[("l_suppkey", "s_suppkey")],
+        &["s_name"],
         JoinKind::Inner,
         true,
-        vec![],
-        ctx,
         "Q21/join_supp",
-    )?;
-    // F orders only
-    let ord_f = scan_where(
-        db,
-        "orders",
-        &["o_orderkey", "o_orderstatus"],
-        &Pred::str_eq(1, "F"),
-        ctx,
-        "Q21/sel_status",
-    )?;
-    let l1f = HashJoin::new(
+    )
+    .hash_join(
         ord_f,
-        Box::new(l1s),
-        vec![0],
-        vec![0],
-        vec![],
+        &[("l_orderkey", "o_orderkey")],
+        &[],
         JoinKind::Semi,
         true,
-        vec![],
-        ctx,
         "Q21/semi_orders",
-    )?;
-    // attach per-order min/max over all lines: [0..4, 5 min_a, 6 max_a]
-    let with_all = HashJoin::new(
-        li_minmax(false, "Q21/agg_all")?,
-        Box::new(l1f),
-        vec![0],
-        vec![0],
-        vec![1, 2],
+    )
+    .hash_join(
+        li_minmax(false, "Q21/agg_all", "min_all", "max_all"),
+        &[("l_orderkey", "l_orderkey")],
+        &["min_all", "max_all"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q21/join_all",
-    )?;
-    // attach per-order min/max over late lines: [0..6, 7 min_l, 8 max_l]
-    let with_late = HashJoin::new(
-        li_minmax(true, "Q21/agg_late")?,
-        Box::new(with_all),
-        vec![0],
-        vec![0],
-        vec![1, 2],
+    )
+    .hash_join(
+        li_minmax(true, "Q21/agg_late", "min_late", "max_late"),
+        &[("l_orderkey", "l_orderkey")],
+        &["min_late", "max_late"],
         JoinKind::Inner,
         false,
-        vec![],
-        ctx,
         "Q21/join_late",
-    )?;
+    )
     // exists other supplier ∧ no other late supplier
-    let sel = Select::new(
-        Box::new(with_late),
-        &Pred::And(vec![
-            Pred::cmp_col(5, CmpKind::Ne, 6),
-            Pred::cmp_col(7, CmpKind::Eq, 8),
+    .filter(
+        NamedPred::And(vec![
+            NamedPred::cmp_col("min_all", CmpKind::Ne, "max_all"),
+            NamedPred::cmp_col("min_late", CmpKind::Eq, "max_late"),
         ]),
-        ctx,
         "Q21/sel_exists",
-    )?;
-    let agg = HashAggregate::new(
-        Box::new(sel),
-        vec![4],
-        vec![AggSpec::CountStar],
-        ctx,
-        "Q21/agg",
-    )?;
-    let sort = Sort::new(
-        Box::new(agg),
-        vec![SortKey::desc(1), SortKey::asc(0)],
-        Some(100),
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+    )
+    .hash_agg(&["s_name"], vec![count()], "Q21/agg")
+    .top_n(&[desc("count"), asc("s_name")], 100)
+}
+
+/// Q21: suppliers who kept orders waiting.
+pub(crate) fn q21(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
+    run_plan(q21_plan(db, p), ctx)
+}
+
+/// The country-coded customer stream both Q22 phases read.
+fn q22_customers_plan(db: &TpchData, p: &Params, label: &str) -> PlanBuilder {
+    let codes: Vec<String> = p.q22_codes.iter().map(|s| s.to_string()).collect();
+    PlanBuilder::scan(db, "customer", &["c_custkey", "c_phone", "c_acctbal"])
+        .project(
+            vec![
+                ("c_custkey", col("c_custkey")),
+                ("cc", substr("c_phone", 0, 2)),
+                ("acct", col("c_acctbal").cast(DataType::F64)),
+            ],
+            &format!("{label}/proj"),
+        )
+        .filter(NamedPred::in_str("cc", codes), label)
+}
+
+/// Q22 phase A: sum/count of positive balances among coded customers.
+pub(crate) fn q22_avg_plan(db: &TpchData, p: &Params) -> PlanBuilder {
+    q22_customers_plan(db, p, "Q22/codes_a")
+        .filter(
+            NamedPred::cmp_val("acct", CmpKind::Gt, Value::F64(0.0)),
+            "Q22/sel_positive",
+        )
+        .stream_agg(vec![sum_f64("acct"), count()], "Q22/avg")
 }
 
 /// Q22: global sales opportunity (two-phase: average balance, then the
 /// anti-join against orders).
 pub(crate) fn q22(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<QueryOutput, ExecError> {
-    let codes: Vec<String> = p.q22_codes.iter().map(|s| s.to_string()).collect();
-    let cust_with_code = |label: &str| -> Result<BoxOp, ExecError> {
-        // [0 ck, 1 cc, 2 acctf]
-        let customer = scan(db, "customer", &["c_custkey", "c_phone", "c_acctbal"], ctx)?;
-        let proj = Project::new(
-            customer,
-            vec![
-                ProjItem::Pass(0),
-                ProjItem::Expr(Expr::Substr {
-                    col: 1,
-                    start: 0,
-                    len: 2,
-                }),
-                ProjItem::Expr(Expr::cast(DataType::F64, Expr::col(2))),
-            ],
-            ctx,
-            &format!("{label}/proj"),
-        )?;
-        Ok(Box::new(Select::new(
-            Box::new(proj),
-            &Pred::InStr {
-                col: 1,
-                values: codes.clone(),
-            },
-            ctx,
-            label,
-        )?))
-    };
-    // phase A: avg positive balance among those customers
-    let positive = Select::new(
-        cust_with_code("Q22/codes_a")?,
-        &Pred::cmp_val(2, CmpKind::Gt, Value::F64(0.0)),
-        ctx,
-        "Q22/sel_positive",
-    )?;
-    let avg_agg = StreamAggregate::new(
-        Box::new(positive),
-        vec![AggSpec::SumF64(2), AggSpec::CountStar],
-        ctx,
-        "Q22/avg",
-    )?;
-    let mut avg_op: BoxOp = Box::new(avg_agg);
-    let avg_store = ma_executor::ops::materialize(avg_op.as_mut())?;
+    let avg_store = materialize_plan(q22_avg_plan(db, p), ctx)?;
     let sum = avg_store.col(0).as_f64()[0];
     let cnt = avg_store.col(1).as_i64()[0].max(1);
     let avgbal = sum / cnt as f64;
-    // phase B: above-average customers with no orders
-    let rich = Select::new(
-        cust_with_code("Q22/codes_b")?,
-        &Pred::cmp_val(2, CmpKind::Gt, Value::F64(avgbal)),
-        ctx,
-        "Q22/sel_rich",
-    )?;
-    let orders = scan(db, "orders", &["o_custkey"], ctx)?;
-    let no_orders = HashJoin::new(
-        orders,
-        Box::new(rich),
-        vec![0],
-        vec![0],
-        vec![],
-        JoinKind::Anti,
-        true,
-        vec![],
-        ctx,
-        "Q22/anti_orders",
-    )?;
-    // [cc, numcust, totacctbal]
-    let agg = HashAggregate::new(
-        Box::new(no_orders),
-        vec![1],
-        vec![AggSpec::CountStar, AggSpec::SumF64(2)],
-        ctx,
-        "Q22/agg",
-    )?;
-    let sort = Sort::new(
-        Box::new(agg),
-        vec![SortKey::asc(0)],
-        None,
-        ctx.vector_size(),
-    )?;
-    finish(Box::new(sort))
+    let out = q22_customers_plan(db, p, "Q22/codes_b")
+        .filter(
+            NamedPred::cmp_val("acct", CmpKind::Gt, Value::F64(avgbal)),
+            "Q22/sel_rich",
+        )
+        .hash_join(
+            PlanBuilder::scan(db, "orders", &["o_custkey"]),
+            &[("c_custkey", "o_custkey")],
+            &[],
+            JoinKind::Anti,
+            true,
+            "Q22/anti_orders",
+        )
+        .hash_agg(
+            &["cc"],
+            vec![
+                count().named("numcust"),
+                sum_f64("acct").named("totacctbal"),
+            ],
+            "Q22/agg",
+        )
+        .sort(&[asc("cc")]);
+    run_plan(out, ctx)
 }
 
 #[cfg(test)]

@@ -1,0 +1,65 @@
+//! Golden tests for the EXPLAIN rendering of the TPC-H logical plans.
+//!
+//! These pin two properties of the plan layer:
+//!
+//! * the tree/schema rendering is stable (Q1, the widest single-phase
+//!   pipeline), and
+//! * **the planner, not the query, decides ordered-vs-sharded scans**:
+//!   Q12's merge join must mark both scans `(ordered)` — the sharded-scan
+//!   hazard the old hand-wired plans had to dodge by calling a special
+//!   `scan_seq` helper is now a planner decision, visible in EXPLAIN.
+
+use ma_tpch::dbgen::TpchData;
+use ma_tpch::params::Params;
+use ma_tpch::queries::explain_query;
+
+/// Plan shapes are data-independent; the smallest database keeps the test
+/// fast.
+fn db() -> TpchData {
+    TpchData::generate(0.001, 0xDBD1)
+}
+
+#[test]
+fn q01_explain_golden() {
+    let text = explain_query(1, &db(), &Params::default()).unwrap();
+    let expected = "\
+Sort [l_returnflag asc, l_linestatus asc] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, avg_qty:f64, avg_price:f64, avg_disc:f64, count:i64)
+  Project [l_returnflag, l_linestatus, sum_qty, sum_base, sum_disc_price, sum_charge, avg_qty=(f64(sum_qty) / f64(count)), avg_price=(f64(sum_base) / f64(count)), avg_disc=(sum_disc / f64(count)), count] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, avg_qty:f64, avg_price:f64, avg_disc:f64, count:i64)
+    HashAgg keys=[l_returnflag, l_linestatus] aggs=[sum_qty=sum_i64(qty), sum_base=sum_i64(base), sum_disc_price=sum_f64(disc_price), sum_charge=sum_f64(charge), sum_disc=sum_f64(disc), count=count(*)] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, sum_disc:f64, count:i64)
+      Project [l_returnflag, l_linestatus, qty=i64(l_quantity), base=l_extendedprice, disc_price=(f64(l_extendedprice) * (((f64(l_discount) * 0.01) * -1) + 1)), charge=((f64(l_extendedprice) * (((f64(l_discount) * 0.01) * -1) + 1)) * ((f64(l_tax) * 0.01) + 1)), disc=(f64(l_discount) * 0.01)] -> (l_returnflag:str, l_linestatus:str, qty:i64, base:i64, disc_price:f64, charge:f64, disc:f64)
+        Filter l_shipdate <= 2436 -> (l_shipdate:i32, l_returnflag:str, l_linestatus:str, l_quantity:i32, l_extendedprice:i64, l_discount:i64, l_tax:i64)
+          Scan lineitem (shardable) -> (l_shipdate:i32, l_returnflag:str, l_linestatus:str, l_quantity:i32, l_extendedprice:i64, l_discount:i64, l_tax:i64)
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn q12_explain_shows_planner_chose_ordered_scans() {
+    let text = explain_query(12, &db(), &Params::default()).unwrap();
+    let expected = "\
+HashAgg keys=[l_shipmode, o_orderpriority] aggs=[count=count(*)] -> (l_shipmode:str, o_orderpriority:str, count:i64)
+  MergeJoin on (l_orderkey = o_orderkey) payload=[o_orderpriority] -> (l_orderkey:i32, l_shipmode:str, l_shipdate:i32, l_commitdate:i32, l_receiptdate:i32, o_orderpriority:str)
+    left: Scan orders (ordered) -> (o_orderkey:i32, o_orderpriority:str)
+    right: Filter l_shipmode IN ('MAIL', 'SHIP') AND l_receiptdate >= 731 AND l_receiptdate < 1096 AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate -> (l_orderkey:i32, l_shipmode:str, l_shipdate:i32, l_commitdate:i32, l_receiptdate:i32)
+      Scan lineitem (ordered) -> (l_orderkey:i32, l_shipmode:str, l_shipdate:i32, l_commitdate:i32, l_receiptdate:i32)
+";
+    assert_eq!(text, expected);
+    // The property the golden string encodes, asserted directly too:
+    // every scan under the merge join is ordered, none shardable.
+    assert_eq!(text.matches("(ordered)").count(), 2);
+    assert!(!text.contains("(shardable)"));
+}
+
+#[test]
+fn all_22_queries_explain_without_error() {
+    let db = db();
+    let p = Params::default();
+    for q in 1..=22 {
+        let text = explain_query(q, &db, &p).unwrap_or_else(|e| panic!("EXPLAIN Q{q} failed: {e}"));
+        assert!(text.contains("Scan"), "Q{q} explain has no scan:\n{text}");
+        assert!(
+            text.contains(" -> ("),
+            "Q{q} explain has no schema:\n{text}"
+        );
+    }
+}

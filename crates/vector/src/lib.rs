@@ -19,6 +19,7 @@
 pub mod batch;
 pub mod builder;
 pub mod partition;
+pub mod schema;
 pub mod selvec;
 pub mod table;
 pub mod types;
@@ -27,6 +28,7 @@ pub mod vector;
 pub use batch::DataChunk;
 pub use builder::ColumnBuilder;
 pub use partition::{MorselQueue, RowRange, MORSEL_ROWS, VECTORS_PER_MORSEL};
+pub use schema::{Field, Schema};
 pub use selvec::SelVec;
 pub use table::{Column, Table, TableError};
 pub use types::{DataType, VECTOR_SIZE};

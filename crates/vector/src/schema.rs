@@ -1,0 +1,138 @@
+//! Named, typed column schemas.
+//!
+//! A [`Schema`] describes the columns a plan node produces: an ordered list
+//! of [`Field`]s (name + [`DataType`]). The executor's plan builder resolves
+//! column *names* against schemas at plan-build time, so physical operators
+//! keep working purely on positional indices while query authors never
+//! write one.
+
+use crate::types::DataType;
+
+/// One named, typed column of a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column value type.
+    pub ty: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of named, typed columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields (duplicate names are permitted here;
+    /// the plan builder rejects them with a typed error where ambiguity
+    /// would make name resolution unsound).
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Position of the column named `name`, if any (first match wins).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// True when two distinct columns share `name` (name resolution would
+    /// be ambiguous).
+    pub fn is_ambiguous(&self, name: &str) -> bool {
+        self.fields.iter().filter(|f| f.name == name).count() > 1
+    }
+
+    /// Column names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Column types, in order.
+    pub fn types(&self) -> Vec<DataType> {
+        self.fields.iter().map(|f| f.ty).collect()
+    }
+}
+
+impl std::fmt::Display for Schema {
+    /// Renders as `(name:type, ...)` — the form EXPLAIN output uses.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", field.name, field.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::I32),
+            Field::new("b", DataType::Str),
+            Field::new("c", DataType::F64),
+        ])
+    }
+
+    #[test]
+    fn index_and_field_lookup() {
+        let s = abc();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.field(2).ty, DataType::F64);
+        assert_eq!(s.names(), vec!["a", "b", "c"]);
+        assert_eq!(s.types(), vec![DataType::I32, DataType::Str, DataType::F64]);
+    }
+
+    #[test]
+    fn ambiguity_detection() {
+        let s = Schema::new(vec![
+            Field::new("x", DataType::I64),
+            Field::new("x", DataType::I64),
+        ]);
+        assert!(s.is_ambiguous("x"));
+        assert!(!abc().is_ambiguous("a"));
+    }
+
+    #[test]
+    fn display_renders_name_type_pairs() {
+        assert_eq!(abc().to_string(), "(a:i32, b:str, c:f64)");
+        assert_eq!(Schema::default().to_string(), "()");
+    }
+}

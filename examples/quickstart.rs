@@ -1,8 +1,9 @@
 //! Quickstart: Micro Adaptivity in ~60 lines.
 //!
 //! Builds a table whose value distribution *changes mid-scan* (the paper's
-//! Fig. 2 situation), runs the same selection query with each fixed flavor
-//! and with Micro Adaptivity, and prints the cost each strategy paid.
+//! Fig. 2 situation), runs the same selection query — written once against
+//! the named-column `PlanBuilder` API — with each fixed flavor and with
+//! Micro Adaptivity, and prints the cost each strategy paid.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -10,10 +11,8 @@
 
 use std::sync::Arc;
 
-use micro_adaptivity::executor::ops::{collect, Scan, Select};
-use micro_adaptivity::executor::{
-    BoxOp, CmpKind, ExecConfig, FlavorAxis, Pred, QueryContext, Value,
-};
+use micro_adaptivity::executor::plan::{lower, NamedPred, PlanBuilder};
+use micro_adaptivity::executor::{CmpKind, ExecConfig, FlavorAxis, QueryContext, Value};
 use micro_adaptivity::primitives::build_dictionary;
 use micro_adaptivity::vector::{ColumnBuilder, DataType, Table};
 
@@ -32,16 +31,26 @@ fn main() {
     let table = Arc::new(Table::new("t", vec![("v".into(), col.finish())]).unwrap());
     let dict = Arc::new(build_dictionary());
 
+    // The query names its column; the physical planner (`lower`) decides
+    // everything physical — operator choice, sharding, pushdown.
+    let plan = PlanBuilder::from_table(Arc::clone(&table), &["v"])
+        .filter(
+            NamedPred::cmp_val("v", CmpKind::Lt, Value::I32(500)),
+            "quickstart",
+        )
+        .build()
+        .unwrap();
+
     let run = |name: &str, config: ExecConfig| {
         let ctx = QueryContext::new(Arc::clone(&dict), config);
-        let scan: BoxOp = Box::new(Scan::new(Arc::clone(&table), &["v"], 1024).unwrap());
-        let pred = Pred::cmp_val(0, CmpKind::Lt, Value::I32(500));
-        let mut sel = Select::new(scan, &pred, &ctx, "quickstart").unwrap();
-        let chunks = collect(&mut sel).unwrap();
-        let rows: usize = chunks.iter().map(|c| c.live_count()).sum();
-        // Stats publish at batch granularity; drop the operator (and its
+        let mut op = lower(&plan, &ctx).unwrap();
+        let mut rows = 0usize;
+        while let Some(chunk) = op.next().unwrap() {
+            rows += chunk.live_count();
+        }
+        // Stats publish at batch granularity; drop the pipeline (and its
         // primitive instance) so the final partial batch lands first.
-        drop(sel);
+        drop(op);
         let report = &ctx.reports()[0];
         println!(
             "{name:<22} {:>12} ticks  ({} rows, flavors used: {})",
