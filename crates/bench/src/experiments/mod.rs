@@ -1,6 +1,7 @@
 //! Experiment registry: one entry per paper table/figure.
 
 pub mod ablation;
+pub mod agg_scaling;
 pub mod demo;
 pub mod micro;
 pub mod scaling;
@@ -11,9 +12,10 @@ use std::sync::Arc;
 use ma_executor::FlavorAxis;
 use ma_tpch::{Runner, TpchData};
 
-/// All experiment identifiers, in paper order ("scaling" is ours, not the
-/// paper's: the parallel-executor thread sweep).
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+/// All experiment identifiers, in paper order ("scaling" and "agg-scaling"
+/// are ours, not the paper's: the parallel-executor thread sweep and the
+/// partitioned-aggregation sweep).
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "table1",
     "fig1",
     "fig2",
@@ -29,6 +31,7 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "fig11",
     "ablation",
     "scaling",
+    "agg-scaling",
 ];
 
 /// Runs one experiment by id, returning its report text.
@@ -99,6 +102,7 @@ pub fn run_experiment(id: &str, runner: &Runner, seed: u64) -> Option<String> {
         "table11" => tpch_exp::table11(runner, &all_queries),
         "fig11" => tpch_exp::fig11(runner),
         "scaling" => scaling::scaling(runner),
+        "agg-scaling" => agg_scaling::agg_scaling(runner),
         "ablation" => {
             let mut out = ablation::vector_size(runner);
             out.push('\n');
@@ -119,19 +123,41 @@ pub fn run_experiment_with_metrics(
     runner: &Runner,
     seed: u64,
 ) -> Option<(String, Vec<(String, f64)>)> {
-    if id == "scaling" {
-        let points = scaling::measure(runner, &scaling::DEFAULT_THREADS);
-        let metrics = points
-            .iter()
-            .map(|p| (format!("power_ticks_workers_{}", p.threads), p.ticks as f64))
-            .collect();
-        Some((scaling::render(&points), metrics))
-    } else {
-        run_experiment(id, runner, seed).map(|text| (text, Vec::new()))
+    match id {
+        "scaling" => {
+            let points = scaling::measure(runner, &scaling::DEFAULT_THREADS);
+            let metrics = points
+                .iter()
+                .map(|p| (format!("power_ticks_workers_{}", p.threads), p.ticks as f64))
+                .collect();
+            Some((scaling::render(&points), metrics))
+        }
+        "agg-scaling" => {
+            let points = agg_scaling::measure(runner, &agg_scaling::DEFAULT_THREADS);
+            let metrics = points
+                .iter()
+                .map(|p| {
+                    let mode = if p.partitioned { "part" } else { "single" };
+                    (
+                        format!("agg_ticks_workers_{}_{mode}", p.threads),
+                        p.ticks as f64,
+                    )
+                })
+                .collect();
+            Some((agg_scaling::render(&points), metrics))
+        }
+        _ => run_experiment(id, runner, seed).map(|text| (text, Vec::new())),
     }
 }
 
 /// Builds the shared runner at a scale factor.
 pub fn make_runner(sf: f64, seed: u64) -> Runner {
     Runner::new(Arc::new(TpchData::generate(sf, seed)))
+}
+
+/// True when two result checksums agree up to float-reassociation noise
+/// (parallel execution reorders f64 additions). The single tolerance every
+/// sweep's cross-validation uses.
+pub fn checksums_match(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(1.0)
 }

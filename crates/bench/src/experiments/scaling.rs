@@ -42,6 +42,19 @@ pub fn measure(runner: &Runner, thread_counts: &[usize]) -> Vec<ScalingPoint> {
             checksum,
         });
     }
+    // Hard cross-validation: worker counts disagreeing on results at
+    // bench scale must fail the run (and CI), not just print a note.
+    if let Some(first) = out.first() {
+        for p in &out[1..] {
+            assert!(
+                crate::experiments::checksums_match(first.checksum, p.checksum),
+                "scaling checksum mismatch: {} workers gave {}, baseline {}",
+                p.threads,
+                p.checksum,
+                first.checksum
+            );
+        }
+    }
     out
 }
 
@@ -81,7 +94,7 @@ pub fn render(points: &[ScalingPoint]) -> String {
     if points.len() > 1 {
         let all_match = points
             .windows(2)
-            .all(|w| (w[0].checksum - w[1].checksum).abs() <= 1e-6 * w[0].checksum.abs().max(1.0));
+            .all(|w| crate::experiments::checksums_match(w[0].checksum, w[1].checksum));
         out.push_str(if all_match {
             "checksums: identical across worker counts\n"
         } else {
@@ -103,8 +116,7 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert!(points.iter().all(|p| p.ticks > 0));
         assert!(
-            (points[0].checksum - points[1].checksum).abs()
-                <= 1e-6 * points[0].checksum.abs().max(1.0),
+            crate::experiments::checksums_match(points[0].checksum, points[1].checksum),
             "worker counts must agree on results"
         );
         let txt = render(&points);

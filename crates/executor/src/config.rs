@@ -65,6 +65,12 @@ pub enum FlavorMode {
 /// running per-tuple median are treated as preemption outliers.
 pub const DEFAULT_REWARD_CLAMP: f64 = 8.0;
 
+/// Default minimum *estimated group count* for partitioning a hash
+/// aggregation whose input is not itself a sharded scan. The planner has
+/// no distinct-value statistics yet, so a crude input-row estimate stands
+/// in — partitioning a small aggregate buys nothing and costs routing.
+pub const DEFAULT_AGG_MIN_PARTITION_GROUPS: usize = 32 * 1024;
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
@@ -85,6 +91,21 @@ pub struct ExecConfig {
     /// the instance's running per-tuple median are capped before the
     /// policy sees them (OS-preemption robustness). `None` disables.
     pub reward_clamp: Option<f64>,
+    /// Consumer partitions for partitioned hash aggregation. `0` (the
+    /// default) follows [`ExecConfig::worker_threads`]; `1` disables
+    /// partitioning outright (every aggregate runs as a single instance);
+    /// `n > 1` forces `n` partitions even on a single-worker pipeline.
+    /// The *decision* to partition a given aggregate stays with the
+    /// physical planner (`ma_executor::plan::lower`). Note a partitioned
+    /// aggregate runs its producers and consumers concurrently — up to
+    /// `worker_threads + partitions` runnable threads while it drains.
+    pub agg_partitions: usize,
+    /// Minimum estimated group count before the planner partitions a hash
+    /// aggregation whose input is *not* a sharded scan (a sharded-scan
+    /// input always partitions: the producers are already parallel).
+    /// Without distinct-value statistics, a crude input-row estimate
+    /// stands in for the group count.
+    pub agg_min_partition_groups: usize,
 }
 
 impl Default for ExecConfig {
@@ -96,6 +117,8 @@ impl Default for ExecConfig {
             collect_aph: true,
             worker_threads: 1,
             reward_clamp: Some(DEFAULT_REWARD_CLAMP),
+            agg_partitions: 0,
+            agg_min_partition_groups: DEFAULT_AGG_MIN_PARTITION_GROUPS,
         }
     }
 }
@@ -159,6 +182,20 @@ impl ExecConfig {
         self.reward_clamp = k;
         self
     }
+
+    /// Returns a copy with an explicit aggregate partition count
+    /// (`0` = follow worker threads, `1` = never partition).
+    pub fn with_agg_partitions(mut self, n: usize) -> Self {
+        self.agg_partitions = n;
+        self
+    }
+
+    /// Returns a copy with the estimated-group threshold for partitioning
+    /// aggregates over non-sharded inputs.
+    pub fn with_agg_min_groups(mut self, n: usize) -> Self {
+        self.agg_min_partition_groups = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +241,14 @@ mod tests {
         assert_eq!(c.clone().with_workers(4).worker_threads, 4);
         assert_eq!(c.clone().with_workers(0).worker_threads, 1);
         assert_eq!(c.with_reward_clamp(None).reward_clamp, None);
+    }
+
+    #[test]
+    fn agg_partition_knobs() {
+        let c = ExecConfig::default();
+        assert_eq!(c.agg_partitions, 0);
+        assert_eq!(c.agg_min_partition_groups, DEFAULT_AGG_MIN_PARTITION_GROUPS);
+        assert_eq!(c.clone().with_agg_partitions(1).agg_partitions, 1);
+        assert_eq!(c.with_agg_min_groups(10).agg_min_partition_groups, 10);
     }
 }

@@ -1,5 +1,8 @@
-//! The exchange operator: runs N copies of a plan fragment on worker
-//! threads and streams their union to the parent (Vectorwise's `Xchg`).
+//! The exchange operators: [`Parallel`] runs N copies of a plan fragment
+//! on worker threads and streams their union to the parent (Vectorwise's
+//! `Xchg`); [`PartitionedExchange`] additionally *repartitions* the
+//! producers' tuples by a key hash so that P consumer pipelines each see a
+//! disjoint, complete key range (Vectorwise's `XchgHashSplit`).
 //!
 //! Each fragment is built by a caller-supplied factory — typically a
 //! morsel-driven [`crate::ops::Scan`] over a shared
@@ -19,7 +22,7 @@
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::thread::JoinHandle;
 
-use ma_vector::{DataChunk, DataType};
+use ma_vector::{DataChunk, DataType, SelVec, Vector};
 
 use crate::ops::{BoxOp, Operator};
 use crate::ExecError;
@@ -42,18 +45,116 @@ const CHANNEL_DEPTH_PER_WORKER: usize = 2;
 
 type Batch = Result<Vec<DataChunk>, ExecError>;
 
+/// The receiving half every exchange shares: a bounded batch channel plus
+/// the worker threads feeding it.
+///
+/// `next()` streams buffered chunks, refills from the channel, and — when
+/// every sender is gone — joins the workers to reap panics. Dropping a
+/// `Union` mid-stream closes the receiver *first*, so workers blocked on a
+/// full channel fail their send and exit before the joins run (bounded by
+/// one in-flight batch of work per worker).
+struct Union {
+    /// `None` once the stream ended (workers joined) — further `next()`
+    /// calls return `None`.
+    rx: Option<Receiver<Batch>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Chunks of the last received batch, drained front to back.
+    buffered: std::collections::VecDeque<DataChunk>,
+}
+
+impl Union {
+    /// Spawns one worker per operator, all feeding a bounded channel.
+    fn spawn(ops: Vec<BoxOp>) -> Union {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Batch>(ops.len() * CHANNEL_DEPTH_PER_WORKER);
+        let handles = ops
+            .into_iter()
+            .map(|op| {
+                let tx = tx.clone();
+                std::thread::spawn(move || run_worker(op, &tx))
+            })
+            .collect();
+        Union::over(rx, handles)
+    }
+
+    /// A union over an existing channel and worker set.
+    fn over(rx: Receiver<Batch>, handles: Vec<JoinHandle<()>>) -> Union {
+        Union {
+            rx: Some(rx),
+            handles,
+            buffered: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// An already-exhausted union (placeholder during state swaps).
+    fn done() -> Union {
+        Union {
+            rx: None,
+            handles: Vec::new(),
+            buffered: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+        loop {
+            if let Some(chunk) = self.buffered.pop_front() {
+                return Ok(Some(chunk));
+            }
+            let Some(rx) = &self.rx else {
+                return Ok(None);
+            };
+            match rx.recv() {
+                Ok(Ok(batch)) => self.buffered.extend(batch),
+                Ok(Err(e)) => {
+                    // An error is terminal: close the channel (unblocking
+                    // the remaining workers) and reap them, so a caller
+                    // that polls again sees end-of-stream rather than the
+                    // surviving workers' output resuming as if nothing
+                    // happened. A concurrent worker *panic* outranks the
+                    // error — it is the stronger defect signal.
+                    self.rx = None;
+                    self.buffered.clear();
+                    let mut panic_payload = None;
+                    for h in self.handles.drain(..) {
+                        if let Err(payload) = h.join() {
+                            panic_payload.get_or_insert(payload);
+                        }
+                    }
+                    if let Some(payload) = panic_payload {
+                        std::panic::resume_unwind(payload);
+                    }
+                    return Err(e);
+                }
+                Err(_) => {
+                    // All senders gone: every worker finished. Join to
+                    // reap panics.
+                    self.rx = None;
+                    for h in self.handles.drain(..) {
+                        if let Err(payload) = h.join() {
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Union {
+    fn drop(&mut self) {
+        // Close the receiver before joining: blocked senders unblock.
+        self.rx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 enum State {
     /// Fragments built, workers not yet started.
     Pending(Vec<BoxOp>),
-    /// Workers running; chunk batches arrive on the channel.
-    Running {
-        rx: Receiver<Batch>,
-        handles: Vec<JoinHandle<()>>,
-        /// Chunks of the last received batch, drained front to back.
-        buffered: std::collections::VecDeque<DataChunk>,
-    },
-    /// All workers joined.
-    Done,
+    /// Workers running (or finished).
+    Running(Union),
 }
 
 /// Streaming union over `n` plan-fragment workers.
@@ -80,22 +181,6 @@ impl Parallel {
             state: State::Pending(ops),
             types,
         })
-    }
-
-    fn start(&mut self, ops: Vec<BoxOp>) {
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Batch>(ops.len() * CHANNEL_DEPTH_PER_WORKER);
-        let handles = ops
-            .into_iter()
-            .map(|op| {
-                let tx = tx.clone();
-                std::thread::spawn(move || run_worker(op, &tx))
-            })
-            .collect();
-        self.state = State::Running {
-            rx,
-            handles,
-            buffered: std::collections::VecDeque::new(),
-        };
     }
 }
 
@@ -134,49 +219,18 @@ fn run_worker(mut op: BoxOp, tx: &SyncSender<Batch>) {
 
 impl Operator for Parallel {
     fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
-        loop {
-            match std::mem::replace(&mut self.state, State::Done) {
-                State::Pending(ops) => self.start(ops),
-                State::Running {
-                    rx,
-                    handles,
-                    mut buffered,
-                } => {
-                    if let Some(chunk) = buffered.pop_front() {
-                        self.state = State::Running {
-                            rx,
-                            handles,
-                            buffered,
-                        };
-                        return Ok(Some(chunk));
-                    }
-                    match rx.recv() {
-                        Ok(Ok(batch)) => {
-                            buffered.extend(batch);
-                            self.state = State::Running {
-                                rx,
-                                handles,
-                                buffered,
-                            };
-                            // Loop: pop from the refilled buffer (a batch
-                            // is never empty, but stay robust).
-                        }
-                        Ok(Err(e)) => return Err(e),
-                        Err(_) => {
-                            // All senders gone: every worker finished.
-                            // Join to reap panics.
-                            for h in handles {
-                                if let Err(payload) = h.join() {
-                                    std::panic::resume_unwind(payload);
-                                }
-                            }
-                            return Ok(None);
-                        }
-                    }
-                }
-                State::Done => return Ok(None),
-            }
+        if let State::Pending(_) = self.state {
+            let State::Pending(ops) =
+                std::mem::replace(&mut self.state, State::Running(Union::done()))
+            else {
+                unreachable!()
+            };
+            self.state = State::Running(Union::spawn(ops));
         }
+        let State::Running(union) = &mut self.state else {
+            unreachable!()
+        };
+        union.next()
     }
 
     fn out_types(&self) -> &[DataType] {
@@ -184,18 +238,336 @@ impl Operator for Parallel {
     }
 }
 
-impl Drop for Parallel {
-    fn drop(&mut self) {
-        // Dropping the receiver first makes producers blocked on a full
-        // channel fail their send and exit, so the joins below are quick
-        // (bounded by one in-flight batch of work per worker).
-        if let State::Running { rx, handles, .. } = std::mem::replace(&mut self.state, State::Done)
-        {
-            drop(rx);
-            for h in handles {
-                let _ = h.join();
+// ---------------------------------------------------------------------------
+// hash-partitioning exchange
+// ---------------------------------------------------------------------------
+
+/// Builds one partition's consumer pipeline over its tuple stream.
+/// Arguments: the partition's source operator, partition index.
+pub type ConsumerFactory<'a> = dyn Fn(BoxOp, usize) -> Result<BoxOp, ExecError> + 'a;
+
+/// Finalizer of splitmix64: cheap, well-mixed 64-bit hash for routing.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Folds one key column into the per-tuple routing hashes at `positions`.
+///
+/// The routing hash is deliberately *not* an adaptive primitive: every
+/// producer must route a given key to the same partition, and the split
+/// must stay identical run to run, so a fixed function is the simple,
+/// correct choice. Integer widths normalize through `i64` (consistent with
+/// the group tables' key normalization).
+fn fold_key_hashes(v: &Vector, positions: &[usize], hashes: &mut [u64]) {
+    match v {
+        Vector::I16(c) => {
+            for &p in positions {
+                hashes[p] = splitmix64(hashes[p] ^ (c[p] as i64 as u64));
             }
         }
+        Vector::I32(c) => {
+            for &p in positions {
+                hashes[p] = splitmix64(hashes[p] ^ (c[p] as i64 as u64));
+            }
+        }
+        Vector::I64(c) => {
+            for &p in positions {
+                hashes[p] = splitmix64(hashes[p] ^ (c[p] as u64));
+            }
+        }
+        Vector::Str(c) => {
+            for &p in positions {
+                hashes[p] = splitmix64(hashes[p] ^ fnv1a(c.get(p)));
+            }
+        }
+        // Rejected at construction (`PartitionedExchange::new`).
+        Vector::F64(_) => unreachable!("f64 partition keys rejected at construction"),
+    }
+}
+
+/// Splits `chunk`'s live positions by key hash into `routed` (one ascending
+/// position list per partition).
+fn route_chunk(
+    chunk: &DataChunk,
+    key_cols: &[usize],
+    hashes: &mut Vec<u64>,
+    routed: &mut [Vec<u32>],
+) {
+    let positions = chunk.live_positions();
+    hashes.clear();
+    hashes.resize(chunk.len(), 0);
+    for &c in key_cols {
+        fold_key_hashes(chunk.column(c), &positions, hashes);
+    }
+    let nparts = routed.len() as u64;
+    for &p in &positions {
+        routed[(hashes[p] % nparts) as usize].push(p as u32);
+    }
+}
+
+/// A producer worker that routes every output tuple to its key partition.
+///
+/// Tuples are split with *selection vectors* over the producer's chunks —
+/// columns are `Arc`-shared, never copied — and batched per partition with
+/// the same channel discipline as [`Parallel`] workers.
+///
+/// A consumer may stop before draining its partition (the public
+/// [`ConsumerFactory`] contract doesn't forbid it — think a future
+/// limit-style consumer): its slot goes *dead* and the worker keeps
+/// feeding the live partitions. Only when every partition is dead (parent
+/// hung up) does the worker stop early.
+fn run_partitioning_worker(mut op: BoxOp, key_cols: &[usize], txs: Vec<SyncSender<Batch>>) {
+    let nparts = txs.len();
+    let mut txs: Vec<Option<SyncSender<Batch>>> = txs.into_iter().map(Some).collect();
+    let mut batches: Vec<Vec<DataChunk>> = (0..nparts)
+        .map(|_| Vec::with_capacity(CHUNKS_PER_MESSAGE))
+        .collect();
+    let mut hashes: Vec<u64> = Vec::new();
+    let mut routed: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+    loop {
+        match op.next() {
+            Ok(Some(chunk)) => {
+                route_chunk(&chunk, key_cols, &mut hashes, &mut routed);
+                for (pid, positions) in routed.iter_mut().enumerate() {
+                    let sel = SelVec::from_positions(std::mem::take(positions));
+                    if sel.is_empty() || txs[pid].is_none() {
+                        continue;
+                    }
+                    batches[pid].push(chunk.with_sel(Some(sel)));
+                    if batches[pid].len() >= CHUNKS_PER_MESSAGE {
+                        send_or_kill(&mut txs, pid, Ok(std::mem::take(&mut batches[pid])));
+                    }
+                }
+                if txs.iter().all(Option::is_none) {
+                    return;
+                }
+            }
+            Ok(None) => {
+                for (pid, batch) in batches.into_iter().enumerate() {
+                    if !batch.is_empty() {
+                        send_or_kill(&mut txs, pid, Ok(batch));
+                    }
+                }
+                return;
+            }
+            Err(e) => {
+                // Deliver the error to the first live partition — its
+                // consumer forwards it to the union; the others just see
+                // their channels close. If every send fails, all consumers
+                // are gone and the error is moot.
+                let mut payload: Batch = Err(e);
+                for tx in txs.iter().flatten() {
+                    match tx.send(payload) {
+                        Ok(()) => return,
+                        Err(std::sync::mpsc::SendError(p)) => payload = p,
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Sends to partition `pid`; a failed send (receiver gone) marks the slot
+/// dead so routing skips it from then on.
+fn send_or_kill(txs: &mut [Option<SyncSender<Batch>>], pid: usize, msg: Batch) {
+    if let Some(tx) = &txs[pid] {
+        if tx.send(msg).is_err() {
+            txs[pid] = None;
+        }
+    }
+}
+
+/// Source operator of one partition's consumer pipeline: streams the chunk
+/// batches the producers routed to this partition (a [`Union`] with no
+/// worker handles of its own — the exchange joins the producers).
+struct PartitionSource {
+    union: Union,
+    types: Vec<DataType>,
+}
+
+impl Operator for PartitionSource {
+    fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+        self.union.next()
+    }
+
+    fn out_types(&self) -> &[DataType] {
+        &self.types
+    }
+}
+
+enum PartState {
+    /// Everything built, no thread started yet.
+    Pending {
+        producers: Vec<BoxOp>,
+        part_txs: Vec<SyncSender<Batch>>,
+        consumers: Vec<BoxOp>,
+        key_cols: Vec<usize>,
+    },
+    /// Producers and consumers running (or finished); consumer outputs
+    /// union in arrival order.
+    Running(Union),
+}
+
+/// Hash-partitioning exchange: N producer fragments route tuples by
+/// `hash(key columns) % P` to P consumer pipelines whose outputs union in
+/// arrival order.
+///
+/// Because a key value lands in exactly one partition, a *blocking,
+/// key-partitionable* consumer (hash aggregation today; a partitioned hash
+/// join build tomorrow) computes its full answer per partition with no
+/// final merge step — the union of the P outputs is the result. Each
+/// consumer is built by the factory on the caller thread and owns private
+/// primitive instances, so bandit state stays per-partition and merges
+/// through the registry exactly like per-worker scan state.
+pub struct PartitionedExchange {
+    state: PartState,
+    types: Vec<DataType>,
+}
+
+impl PartitionedExchange {
+    /// Builds the exchange: `producers` are drained concurrently, their
+    /// tuples routed by `key_cols` into `partitions` consumer pipelines
+    /// built by `consumer` (all construction on the calling thread).
+    pub fn new(
+        producers: Vec<BoxOp>,
+        key_cols: &[usize],
+        partitions: usize,
+        consumer: &ConsumerFactory<'_>,
+    ) -> Result<Self, ExecError> {
+        if producers.is_empty() {
+            return Err(ExecError::Plan(
+                "partitioned exchange needs producers".into(),
+            ));
+        }
+        if key_cols.is_empty() {
+            return Err(ExecError::Plan(
+                "partitioned exchange needs partition key columns".into(),
+            ));
+        }
+        let in_types = producers[0].out_types().to_vec();
+        for (w, op) in producers.iter().enumerate() {
+            if op.out_types() != in_types.as_slice() {
+                return Err(ExecError::Plan(format!(
+                    "partition producer {w} disagrees on output types"
+                )));
+            }
+        }
+        for &c in key_cols {
+            match in_types.get(c) {
+                None => {
+                    return Err(ExecError::Plan(format!(
+                        "partition key column {c} out of range"
+                    )))
+                }
+                Some(DataType::F64) => {
+                    return Err(ExecError::Plan(
+                        "f64 partition keys unsupported (no hashable equality)".into(),
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        let nparts = partitions.max(1);
+        let mut part_txs = Vec::with_capacity(nparts);
+        let mut consumers = Vec::with_capacity(nparts);
+        for p in 0..nparts {
+            let (tx, rx) =
+                std::sync::mpsc::sync_channel::<Batch>(producers.len() * CHANNEL_DEPTH_PER_WORKER);
+            let source: BoxOp = Box::new(PartitionSource {
+                union: Union::over(rx, Vec::new()),
+                types: in_types.clone(),
+            });
+            consumers.push(consumer(source, p)?);
+            part_txs.push(tx);
+        }
+        let types = consumers[0].out_types().to_vec();
+        for (p, op) in consumers.iter().enumerate() {
+            if op.out_types() != types.as_slice() {
+                return Err(ExecError::Plan(format!(
+                    "partition consumer {p} disagrees on output types"
+                )));
+            }
+        }
+        Ok(PartitionedExchange {
+            state: PartState::Pending {
+                producers,
+                part_txs,
+                consumers,
+                key_cols: key_cols.to_vec(),
+            },
+            types,
+        })
+    }
+
+    /// Spawns producers (routing) and consumers, returning their union.
+    ///
+    /// On drop, the [`Union`] closes the consumer-output receiver first:
+    /// consumers blocked sending fail and exit, dropping their partition
+    /// receivers, which in turn unblocks any producer mid-send — the joins
+    /// are bounded by in-flight batches.
+    fn start(
+        producers: Vec<BoxOp>,
+        part_txs: Vec<SyncSender<Batch>>,
+        consumers: Vec<BoxOp>,
+        key_cols: Vec<usize>,
+    ) -> Union {
+        let (union_tx, union_rx) =
+            std::sync::mpsc::sync_channel::<Batch>(consumers.len() * CHANNEL_DEPTH_PER_WORKER);
+        let mut handles = Vec::with_capacity(producers.len() + consumers.len());
+        for op in producers {
+            let txs = part_txs.clone();
+            let keys = key_cols.clone();
+            handles.push(std::thread::spawn(move || {
+                run_partitioning_worker(op, &keys, txs)
+            }));
+        }
+        // Drop the construction-time senders so partition channels close
+        // once every producer finishes.
+        drop(part_txs);
+        for op in consumers {
+            let tx = union_tx.clone();
+            handles.push(std::thread::spawn(move || run_worker(op, &tx)));
+        }
+        Union::over(union_rx, handles)
+    }
+}
+
+impl Operator for PartitionedExchange {
+    fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+        if let PartState::Pending { .. } = self.state {
+            let PartState::Pending {
+                producers,
+                part_txs,
+                consumers,
+                key_cols,
+            } = std::mem::replace(&mut self.state, PartState::Running(Union::done()))
+            else {
+                unreachable!()
+            };
+            self.state = PartState::Running(PartitionedExchange::start(
+                producers, part_txs, consumers, key_cols,
+            ));
+        }
+        let PartState::Running(union) = &mut self.state else {
+            unreachable!()
+        };
+        union.next()
+    }
+
+    fn out_types(&self) -> &[DataType] {
+        &self.types
     }
 }
 
@@ -291,5 +663,241 @@ mod tests {
         let first = par.next().unwrap();
         assert!(first.is_some());
         drop(par); // workers blocked on a full channel must unblock
+    }
+
+    // --- PartitionedExchange ------------------------------------------------
+
+    /// A consumer that counts its partition's tuples into one output row
+    /// `(partition, count, keymod_sum)` — enough to check routing without
+    /// dragging the aggregate operator into exchange tests.
+    struct CountConsumer {
+        child: BoxOp,
+        partition: i64,
+        types: Vec<DataType>,
+        done: bool,
+    }
+
+    impl Operator for CountConsumer {
+        fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+            if self.done {
+                return Ok(None);
+            }
+            let mut count = 0i64;
+            let mut sum = 0i64;
+            while let Some(chunk) = self.child.next()? {
+                for p in chunk.live_positions() {
+                    count += 1;
+                    sum += chunk.column(0).as_i64()[p];
+                }
+            }
+            self.done = true;
+            Ok(Some(DataChunk::new(vec![
+                Arc::new(Vector::I64(vec![self.partition])),
+                Arc::new(Vector::I64(vec![count])),
+                Arc::new(Vector::I64(vec![sum])),
+            ])))
+        }
+
+        fn out_types(&self) -> &[DataType] {
+            &self.types
+        }
+    }
+
+    fn partitioned_counts(workers: usize, partitions: usize, rows: usize) -> Vec<(i64, i64, i64)> {
+        let t = table(rows);
+        let queue = Arc::new(MorselQueue::with_morsel(rows, VECTOR_SIZE));
+        let producers: Vec<BoxOp> = (0..workers)
+            .map(|_| -> Result<BoxOp, ExecError> {
+                Ok(Box::new(Scan::morsel(
+                    Arc::clone(&t),
+                    &["a"],
+                    VECTOR_SIZE,
+                    Arc::clone(&queue),
+                )?))
+            })
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let consumer = |src: BoxOp, p: usize| -> Result<BoxOp, ExecError> {
+            Ok(Box::new(CountConsumer {
+                child: src,
+                partition: p as i64,
+                types: vec![DataType::I64; 3],
+                done: false,
+            }))
+        };
+        let mut ex = PartitionedExchange::new(producers, &[0], partitions, &consumer).unwrap();
+        let chunks = collect(&mut ex).unwrap();
+        let mut out: Vec<(i64, i64, i64)> = chunks
+            .iter()
+            .map(|c| {
+                (
+                    c.column(0).as_i64()[0],
+                    c.column(1).as_i64()[0],
+                    c.column(2).as_i64()[0],
+                )
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn partitions_cover_every_tuple_exactly_once() {
+        let rows = 7 * VECTOR_SIZE + 13;
+        let got = partitioned_counts(3, 4, rows);
+        assert_eq!(got.len(), 4);
+        let total: i64 = got.iter().map(|&(_, c, _)| c).sum();
+        assert_eq!(total as usize, rows);
+        let sum: i64 = got.iter().map(|&(_, _, s)| s).sum();
+        assert_eq!(sum as usize, rows * (rows - 1) / 2);
+        // With unique keys and a mixing hash, no partition should be empty.
+        assert!(got.iter().all(|&(_, c, _)| c > 0));
+    }
+
+    #[test]
+    fn routing_is_producer_count_invariant() {
+        // The per-partition tuple multiset depends only on the key hash,
+        // never on which producer saw the tuple.
+        let rows = 5 * VECTOR_SIZE + 99;
+        assert_eq!(
+            partitioned_counts(1, 4, rows),
+            partitioned_counts(4, 4, rows)
+        );
+    }
+
+    #[test]
+    fn partitioned_exchange_rejects_bad_keys() {
+        let t = table(16);
+        let mk =
+            || -> Vec<BoxOp> { vec![Box::new(Scan::new(Arc::clone(&t), &["a"], 16).unwrap())] };
+        let consumer = |src: BoxOp, _p: usize| -> Result<BoxOp, ExecError> { Ok(src) };
+        assert!(PartitionedExchange::new(mk(), &[], 2, &consumer).is_err());
+        assert!(PartitionedExchange::new(mk(), &[3], 2, &consumer).is_err());
+        assert!(PartitionedExchange::new(Vec::new(), &[0], 2, &consumer).is_err());
+    }
+
+    #[test]
+    fn partitioned_drop_mid_stream_does_not_hang() {
+        let rows = 64 * VECTOR_SIZE;
+        let t = table(rows);
+        let queue = Arc::new(MorselQueue::with_morsel(rows, VECTOR_SIZE));
+        let producers: Vec<BoxOp> = (0..2)
+            .map(|_| -> Result<BoxOp, ExecError> {
+                Ok(Box::new(Scan::morsel(
+                    Arc::clone(&t),
+                    &["a"],
+                    VECTOR_SIZE,
+                    Arc::clone(&queue),
+                )?))
+            })
+            .collect::<Result<_, _>>()
+            .unwrap();
+        // Pass-through consumers so chunks stream (not block) to the union.
+        let consumer = |src: BoxOp, _p: usize| -> Result<BoxOp, ExecError> { Ok(src) };
+        let mut ex = PartitionedExchange::new(producers, &[0], 2, &consumer).unwrap();
+        assert!(ex.next().unwrap().is_some());
+        drop(ex); // blocked producers/consumers must unblock
+    }
+
+    #[test]
+    fn early_exiting_consumer_does_not_truncate_other_partitions() {
+        // A consumer may stop before draining its partition; the producers
+        // must keep feeding the remaining partitions in full.
+        let rows = 9 * VECTOR_SIZE + 5;
+        let reference = partitioned_counts(2, 4, rows);
+        let t = table(rows);
+        let queue = Arc::new(MorselQueue::with_morsel(rows, VECTOR_SIZE));
+        let producers: Vec<BoxOp> = (0..2)
+            .map(|_| -> Result<BoxOp, ExecError> {
+                Ok(Box::new(Scan::morsel(
+                    Arc::clone(&t),
+                    &["a"],
+                    VECTOR_SIZE,
+                    Arc::clone(&queue),
+                )?))
+            })
+            .collect::<Result<_, _>>()
+            .unwrap();
+        /// Immediately reports end-of-stream without draining its input.
+        struct EarlyExit(Vec<DataType>);
+        impl Operator for EarlyExit {
+            fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+                Ok(None)
+            }
+            fn out_types(&self) -> &[DataType] {
+                &self.0
+            }
+        }
+        let consumer = |src: BoxOp, p: usize| -> Result<BoxOp, ExecError> {
+            if p == 0 {
+                Ok(Box::new(EarlyExit(vec![DataType::I64; 3])))
+            } else {
+                Ok(Box::new(CountConsumer {
+                    child: src,
+                    partition: p as i64,
+                    types: vec![DataType::I64; 3],
+                    done: false,
+                }))
+            }
+        };
+        let mut ex = PartitionedExchange::new(producers, &[0], 4, &consumer).unwrap();
+        let chunks = collect(&mut ex).unwrap();
+        let mut got: Vec<(i64, i64, i64)> = chunks
+            .iter()
+            .map(|c| {
+                (
+                    c.column(0).as_i64()[0],
+                    c.column(1).as_i64()[0],
+                    c.column(2).as_i64()[0],
+                )
+            })
+            .collect();
+        got.sort_unstable();
+        // Partitions 1..3 must match the all-consumers reference exactly
+        // (routing is deterministic); partition 0's tuples are dropped by
+        // its consumer, not rerouted.
+        assert_eq!(got, reference[1..].to_vec());
+    }
+
+    #[test]
+    fn error_terminates_stream_for_good() {
+        // After a fragment error surfaces, further polling must report
+        // end-of-stream, not resume the surviving workers' output.
+        struct FailAfter(usize, Vec<DataType>);
+        impl Operator for FailAfter {
+            fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+                if self.0 == 0 {
+                    return Err(ExecError::Plan("injected".into()));
+                }
+                self.0 -= 1;
+                Ok(Some(DataChunk::new(vec![Arc::new(Vector::I64(vec![1]))])))
+            }
+            fn out_types(&self) -> &[DataType] {
+                &self.1
+            }
+        }
+        let factory = |w: usize, _n: usize| -> Result<BoxOp, ExecError> {
+            // Worker 0 fails fast; the others would happily stream forever.
+            let budget = if w == 0 { 2 } else { usize::MAX };
+            Ok(Box::new(FailAfter(budget, vec![DataType::I64])))
+        };
+        let mut par = Parallel::new(3, &factory).unwrap();
+        let err = loop {
+            match par.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("stream ended without surfacing the error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(err.to_string().contains("injected"));
+        assert!(par.next().unwrap().is_none(), "stream must stay terminated");
+        assert!(par.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn splitmix_mixes_and_fnv_differs() {
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+        assert_eq!(fnv1a("abc"), fnv1a("abc"));
     }
 }

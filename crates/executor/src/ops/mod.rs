@@ -11,7 +11,7 @@ mod select;
 mod sort;
 
 pub use aggregate::{AggSpec, HashAggregate, StreamAggregate};
-pub use exchange::{FragmentFactory, Parallel};
+pub use exchange::{ConsumerFactory, FragmentFactory, Parallel, PartitionedExchange};
 pub use hash_join::{HashJoin, JoinKind};
 pub use merge_join::MergeJoin;
 pub use project::{ProjItem, Project};

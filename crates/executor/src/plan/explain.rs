@@ -7,19 +7,40 @@
 //! order-insensitive (so [`crate::plan::lower`] may shard it across
 //! workers), `(ordered)` when an ancestor merge join pins it to a
 //! sequential scan.
+//!
+//! [`explain_physical`] renders the same tree against a concrete
+//! [`ExecConfig`], additionally annotating each hash aggregation with the
+//! planner's partitioning verdict — `(partitioned ×P)` when
+//! [`crate::plan::lower`] will route it through a hash-partitioning
+//! exchange. The verdict is computed by the *same* decision function
+//! lowering uses, so EXPLAIN shows what will execute.
 
 use std::fmt;
 
 use ma_vector::Schema;
 
+use crate::config::ExecConfig;
 use crate::expr::{CmpKind, CmpRhs, Expr, Pred, Value};
 use crate::ops::{AggSpec, JoinKind, ProjItem, SortKey};
 use crate::plan::LogicalPlan;
 
 impl fmt::Display for LogicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt_node(f, self, 0, None, false)
+        fmt_node(f, self, 0, None, false, None)
     }
+}
+
+/// Renders `plan` with the physical planner's verdicts for `config`
+/// (worker count, partition knobs): hash aggregations the planner will
+/// partition are annotated `(partitioned ×P)`.
+pub fn explain_physical(plan: &LogicalPlan, config: &ExecConfig) -> String {
+    struct Physical<'a>(&'a LogicalPlan, &'a ExecConfig);
+    impl fmt::Display for Physical<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt_node(f, self.0, 0, None, false, Some(self.1))
+        }
+    }
+    Physical(plan, config).to_string()
 }
 
 fn fmt_node(
@@ -28,6 +49,7 @@ fn fmt_node(
     indent: usize,
     tag: Option<&str>,
     ordered: bool,
+    config: Option<&ExecConfig>,
 ) -> fmt::Result {
     write!(f, "{:indent$}", "", indent = indent * 2)?;
     if let Some(t) = tag {
@@ -49,7 +71,14 @@ fn fmt_node(
                 "Filter {} -> {schema}",
                 render_pred(pred, input.schema())
             )?;
-            fmt_node(f, input, indent + 1, None, ordered)
+            fmt_node(
+                f,
+                input,
+                indent + 1,
+                None,
+                super::lower::child_ordered(plan, 0, ordered),
+                config,
+            )
         }
         LogicalPlan::Project {
             input,
@@ -73,7 +102,14 @@ fn fmt_node(
                 })
                 .collect();
             writeln!(f, "Project [{}] -> {schema}", parts.join(", "))?;
-            fmt_node(f, input, indent + 1, None, ordered)
+            fmt_node(
+                f,
+                input,
+                indent + 1,
+                None,
+                super::lower::child_ordered(plan, 0, ordered),
+                config,
+            )
         }
         LogicalPlan::HashAgg {
             input,
@@ -86,13 +122,31 @@ fn fmt_node(
                 .iter()
                 .map(|&i| input.schema().field(i).name.as_str())
                 .collect();
+            // Physical rendering: the partitioning verdict, from the same
+            // decision function lowering uses.
+            let partitions = match config {
+                Some(cfg) if !ordered => super::lower::agg_partition_count(input, cfg),
+                _ => 1,
+            };
+            if partitions >= 2 {
+                write!(f, "HashAgg (partitioned \u{d7}{partitions}) ")?;
+            } else {
+                write!(f, "HashAgg ")?;
+            }
             writeln!(
                 f,
-                "HashAgg keys=[{}] aggs=[{}] -> {schema}",
+                "keys=[{}] aggs=[{}] -> {schema}",
                 key_names.join(", "),
                 render_aggs(aggs, keys.len(), input.schema(), schema)
             )?;
-            fmt_node(f, input, indent + 1, None, ordered)
+            fmt_node(
+                f,
+                input,
+                indent + 1,
+                None,
+                super::lower::child_ordered(plan, 0, ordered),
+                config,
+            )
         }
         LogicalPlan::StreamAgg {
             input,
@@ -105,7 +159,14 @@ fn fmt_node(
                 "StreamAgg [{}] -> {schema}",
                 render_aggs(aggs, 0, input.schema(), schema)
             )?;
-            fmt_node(f, input, indent + 1, None, ordered)
+            fmt_node(
+                f,
+                input,
+                indent + 1,
+                None,
+                super::lower::child_ordered(plan, 0, ordered),
+                config,
+            )
         }
         LogicalPlan::HashJoin {
             build,
@@ -147,8 +208,23 @@ fn fmt_node(
                 write!(f, " bloom")?;
             }
             writeln!(f, " -> {schema}")?;
-            fmt_node(f, build, indent + 1, Some("build"), ordered)?;
-            fmt_node(f, probe, indent + 1, Some("probe"), ordered)
+            // Build materializes (resets order); probe streams (inherits).
+            fmt_node(
+                f,
+                build,
+                indent + 1,
+                Some("build"),
+                super::lower::child_ordered(plan, 0, ordered),
+                config,
+            )?;
+            fmt_node(
+                f,
+                probe,
+                indent + 1,
+                Some("probe"),
+                super::lower::child_ordered(plan, 1, ordered),
+                config,
+            )
         }
         LogicalPlan::MergeJoin {
             left,
@@ -174,9 +250,23 @@ fn fmt_node(
             }
             writeln!(f, " -> {schema}")?;
             // Order-sensitive: everything beneath renders (and lowers) as
-            // ordered.
-            fmt_node(f, left, indent + 1, Some("left"), true)?;
-            fmt_node(f, right, indent + 1, Some("right"), true)
+            // ordered, until an order-resetting node drops the constraint.
+            fmt_node(
+                f,
+                left,
+                indent + 1,
+                Some("left"),
+                super::lower::child_ordered(plan, 0, ordered),
+                config,
+            )?;
+            fmt_node(
+                f,
+                right,
+                indent + 1,
+                Some("right"),
+                super::lower::child_ordered(plan, 1, ordered),
+                config,
+            )
         }
         LogicalPlan::Sort {
             input,
@@ -199,7 +289,14 @@ fn fmt_node(
                 write!(f, " limit={l}")?;
             }
             writeln!(f, " -> {schema}")?;
-            fmt_node(f, input, indent + 1, None, ordered)
+            fmt_node(
+                f,
+                input,
+                indent + 1,
+                None,
+                super::lower::child_ordered(plan, 0, ordered),
+                config,
+            )
         }
     }
 }
@@ -396,6 +493,30 @@ Sort [s asc] -> (s:str, count:i64, sum_y:f64)
         assert!(text.contains("left: Scan d (ordered)"), "{text}");
         assert!(text.contains("right: Scan t (ordered)"), "{text}");
         assert!(!text.contains("shardable"), "{text}");
+    }
+
+    #[test]
+    fn physical_rendering_shows_partition_verdict() {
+        use crate::config::ExecConfig;
+        let c = catalog();
+        let plan = PlanBuilder::scan(&c, "t", &["k", "x"])
+            .hash_agg(&["k"], vec![count(), sum_f64("x")], "agg")
+            .build()
+            .unwrap();
+        // Structural rendering carries no physical verdict.
+        assert!(!plan.to_string().contains("partitioned"), "{plan}");
+        // 4 workers + a trivial group threshold: the planner partitions.
+        let mut cfg = ExecConfig::fixed_default();
+        cfg.worker_threads = 4;
+        cfg.agg_min_partition_groups = 1;
+        let text = super::explain_physical(&plan, &cfg);
+        assert!(
+            text.contains("HashAgg (partitioned \u{d7}4) keys=[k]"),
+            "{text}"
+        );
+        // A single-worker config renders the same tree unannotated.
+        let text1 = super::explain_physical(&plan, &ExecConfig::fixed_default());
+        assert_eq!(text1, plan.to_string());
     }
 
     #[test]

@@ -34,6 +34,7 @@ mod lower;
 
 pub use builder::PlanBuilder;
 pub use error::PlanError;
+pub use explain::explain_physical;
 pub use expr::{
     asc, col, count, desc, lit_f64, lit_i64, max_f64, max_i64, min_f64, min_i64, substr, sum_f64,
     sum_i64, Agg, NamedCmpRhs, NamedExpr, NamedPred, SortSpec,

@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use ma_executor::ops::FrozenStore;
 use ma_executor::plan::{lit_f64, lower, NamedExpr, PlanBuilder};
-use ma_executor::{BoxOp, ExecError, QueryContext};
+use ma_executor::{BoxOp, ExecConfig, ExecError, QueryContext};
 use ma_vector::{Column, DataType, Table, Vector};
 
 use crate::dbgen::TpchData;
@@ -85,6 +85,27 @@ pub fn run_query(
 /// shardable verdict). For multi-phase queries this is the plan of the
 /// first phase — later phases depend on scalars computed from it.
 pub fn explain_query(q: usize, db: &TpchData, params: &Params) -> Result<String, ExecError> {
+    Ok(query_plan(q, db, params)?.build()?.to_string())
+}
+
+/// Like [`explain_query`], but rendered against a concrete [`ExecConfig`]:
+/// hash aggregations the physical planner will partition are annotated
+/// `(partitioned ×P)` — the verdict comes from the same decision function
+/// `lower` uses.
+pub fn explain_query_with(
+    q: usize,
+    db: &TpchData,
+    params: &Params,
+    config: &ExecConfig,
+) -> Result<String, ExecError> {
+    Ok(ma_executor::plan::explain_physical(
+        &query_plan(q, db, params)?.build()?,
+        config,
+    ))
+}
+
+/// The (first-phase) logical plan of query `q`.
+fn query_plan(q: usize, db: &TpchData, params: &Params) -> Result<PlanBuilder, ExecError> {
     let pb = match q {
         1 => q01_q06::q01_plan(db, params),
         2 => q01_q06::q02_rows_plan(db, params),
@@ -110,7 +131,7 @@ pub fn explain_query(q: usize, db: &TpchData, params: &Params) -> Result<String,
         22 => q18_q22::q22_avg_plan(db, params),
         _ => return Err(ExecError::Plan(format!("no such TPC-H query: {q}"))),
     };
-    Ok(pb.build()?.to_string())
+    Ok(pb)
 }
 
 // ---------------------------------------------------------------------------

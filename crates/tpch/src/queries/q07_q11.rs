@@ -119,14 +119,16 @@ pub(crate) fn q07(db: &TpchData, ctx: &QueryContext, p: &Params) -> Result<Query
 }
 
 /// Q8 main plan: volume per (year, supplier nation); the market-share
-/// CASE arithmetic folds in a post-step. (Faithful port of the seed plan,
-/// including its `n_nationkey = r_regionkey` region restriction.)
+/// CASE arithmetic folds in a post-step. (The seed plan semi-joined
+/// `n_nationkey = r_regionkey`, silently restricting to nations whose
+/// *key* collides with the region's key — fixed to the spec's
+/// `n_regionkey = r_regionkey`.)
 pub(crate) fn q08_agg_plan(db: &TpchData, p: &Params) -> PlanBuilder {
     let region_sel = PlanBuilder::scan(db, "region", &["r_regionkey", "r_name"])
         .filter(NamedPred::str_eq("r_name", p.q8_region), "Q8/sel_region");
-    let nation_r = PlanBuilder::scan(db, "nation", &["n_nationkey"]).hash_join(
+    let nation_r = PlanBuilder::scan(db, "nation", &["n_nationkey", "n_regionkey"]).hash_join(
         region_sel,
-        &[("n_nationkey", "r_regionkey")],
+        &[("n_regionkey", "r_regionkey")],
         &[],
         JoinKind::Semi,
         false,
@@ -517,6 +519,26 @@ mod tests {
             let share = out.store.col(1).as_f64()[g];
             assert!((0.0..=1.0).contains(&share), "share {share}");
         }
+    }
+
+    #[test]
+    fn q08_restricts_nations_by_region_key() {
+        // Regression test for the seed's `n_nationkey = r_regionkey`
+        // semi-join (which kept only the nation whose *key* collided with
+        // the region key). The answer golden at sf 0.01 cannot catch a
+        // relapse — BRAZIL's share is 0 there under both plans — so pin
+        // the join predicate at the plan level.
+        let txt = super::super::explain_query(
+            8,
+            super::super::test_support::test_db(),
+            &crate::params::Params::default(),
+        )
+        .unwrap();
+        assert!(
+            txt.contains("semi on (n_regionkey = r_regionkey)"),
+            "Q8 must semi-join nation to region on the region key:\n{txt}"
+        );
+        assert!(!txt.contains("n_nationkey = r_regionkey"), "{txt}");
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //!   hazard the old hand-wired plans had to dodge by calling a special
 //!   `scan_seq` helper is now a planner decision, visible in EXPLAIN.
 
+use ma_executor::ExecConfig;
 use ma_tpch::dbgen::TpchData;
 use ma_tpch::params::Params;
-use ma_tpch::queries::explain_query;
+use ma_tpch::queries::{explain_query, explain_query_with};
 
 /// Plan shapes are data-independent; the smallest database keeps the test
 /// fast.
@@ -31,6 +32,33 @@ Sort [l_returnflag asc, l_linestatus asc] -> (l_returnflag:str, l_linestatus:str
           Scan lineitem (shardable) -> (l_shipdate:i32, l_returnflag:str, l_linestatus:str, l_quantity:i32, l_extendedprice:i64, l_discount:i64, l_tax:i64)
 ";
     assert_eq!(text, expected);
+}
+
+#[test]
+fn q01_physical_explain_shows_partitioned_aggregate() {
+    // The physical rendering must carry the planner's partitioning verdict
+    // (computed by the same decision function `lower` uses). The tiny test
+    // database is below the scan-sharding cutoff, so the group-estimate
+    // trigger is lowered to engage partitioning.
+    let cfg = ExecConfig::fixed_default()
+        .with_workers(4)
+        .with_agg_min_groups(1024);
+    let text = explain_query_with(1, &db(), &Params::default(), &cfg).unwrap();
+    let expected = "\
+Sort [l_returnflag asc, l_linestatus asc] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, avg_qty:f64, avg_price:f64, avg_disc:f64, count:i64)
+  Project [l_returnflag, l_linestatus, sum_qty, sum_base, sum_disc_price, sum_charge, avg_qty=(f64(sum_qty) / f64(count)), avg_price=(f64(sum_base) / f64(count)), avg_disc=(sum_disc / f64(count)), count] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, avg_qty:f64, avg_price:f64, avg_disc:f64, count:i64)
+    HashAgg (partitioned \u{d7}4) keys=[l_returnflag, l_linestatus] aggs=[sum_qty=sum_i64(qty), sum_base=sum_i64(base), sum_disc_price=sum_f64(disc_price), sum_charge=sum_f64(charge), sum_disc=sum_f64(disc), count=count(*)] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, sum_disc:f64, count:i64)
+      Project [l_returnflag, l_linestatus, qty=i64(l_quantity), base=l_extendedprice, disc_price=(f64(l_extendedprice) * (((f64(l_discount) * 0.01) * -1) + 1)), charge=((f64(l_extendedprice) * (((f64(l_discount) * 0.01) * -1) + 1)) * ((f64(l_tax) * 0.01) + 1)), disc=(f64(l_discount) * 0.01)] -> (l_returnflag:str, l_linestatus:str, qty:i64, base:i64, disc_price:f64, charge:f64, disc:f64)
+        Filter l_shipdate <= 2436 -> (l_shipdate:i32, l_returnflag:str, l_linestatus:str, l_quantity:i32, l_extendedprice:i64, l_discount:i64, l_tax:i64)
+          Scan lineitem (shardable) -> (l_shipdate:i32, l_returnflag:str, l_linestatus:str, l_quantity:i32, l_extendedprice:i64, l_discount:i64, l_tax:i64)
+";
+    assert_eq!(text, expected);
+    // A single-worker config renders structurally (no partition verdict).
+    let plain = explain_query_with(1, &db(), &Params::default(), &ExecConfig::fixed_default());
+    assert_eq!(
+        plain.unwrap(),
+        explain_query(1, &db(), &Params::default()).unwrap()
+    );
 }
 
 #[test]

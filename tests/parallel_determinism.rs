@@ -57,22 +57,85 @@ fn normalized_rows(out: &QueryOutput) -> Vec<String> {
 
 #[test]
 fn every_query_is_worker_count_invariant_under_fixed_flavors() {
+    // 1 worker runs single aggregate instances; 2 and 4 workers run
+    // hash-partitioned aggregation (the planner's default when workers
+    // shard) — results must be identical either way.
     for q in 1..=22 {
         let (one, _) = run(q, ExecConfig::fixed_default());
-        let (four, _) = run(q, ExecConfig::fixed_default().with_workers(4));
-        assert_eq!(one.rows, four.rows, "Q{q} row count");
-        let tol = 1e-9 * one.checksum.abs().max(1.0);
-        assert!(
-            (one.checksum - four.checksum).abs() <= tol,
-            "Q{q} checksum: {} vs {}",
-            one.checksum,
-            four.checksum
+        for workers in [2, 4] {
+            let (par, _) = run(q, ExecConfig::fixed_default().with_workers(workers));
+            assert_eq!(one.rows, par.rows, "Q{q} row count at {workers} workers");
+            let tol = 1e-9 * one.checksum.abs().max(1.0);
+            assert!(
+                (one.checksum - par.checksum).abs() <= tol,
+                "Q{q} checksum at {workers} workers: {} vs {}",
+                one.checksum,
+                par.checksum
+            );
+            assert_eq!(
+                normalized_rows(&one),
+                normalized_rows(&par),
+                "Q{q} sort-normalized rows differ between 1 and {workers} workers"
+            );
+        }
+    }
+}
+
+/// The planner must actually engage partitioned aggregation on the
+/// aggregation-heavy queries (one private `HashAggregate` per partition,
+/// all under the plan node's label), and per-partition statistics must
+/// merge to the single-thread totals for tuple counts (call counts differ:
+/// routing splits chunks).
+#[test]
+fn partitioned_aggregation_engages_with_private_instances() {
+    let (_, ctx1) = run(1, ExecConfig::fixed_default());
+    let (_, ctx4) = run(1, ExecConfig::fixed_default().with_workers(4));
+    let count_instances =
+        |ctx: &QueryContext, label: &str| ctx.reports().iter().filter(|r| r.label == label).count();
+    assert_eq!(count_instances(&ctx1, "Q1/agg/aggr_count"), 1);
+    assert_eq!(
+        count_instances(&ctx4, "Q1/agg/aggr_count"),
+        4,
+        "Q1's aggregate should run one instance per partition"
+    );
+    let agg_tuples = |ctx: &QueryContext| {
+        ctx.merged_reports()
+            .into_iter()
+            .filter(|r| r.signature.starts_with("aggr_") || r.signature.starts_with("hash_"))
+            .map(|r| (r.label, r.signature, r.tuples))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        agg_tuples(&ctx1),
+        agg_tuples(&ctx4),
+        "merged per-partition aggregate tuple totals must equal single-thread totals"
+    );
+}
+
+/// Forcing `agg_partitions = 1` disables partitioning even on sharded
+/// scans — and the results still match, so the partitioned and single
+/// paths are interchangeable.
+#[test]
+fn partitioning_can_be_disabled_per_config() {
+    for (q, probe_label) in [(1, "Q1/agg/aggr_count"), (10, "Q10/agg/aggr_sum_f64")] {
+        let (single, ctx_s) = run(
+            q,
+            ExecConfig::fixed_default()
+                .with_workers(4)
+                .with_agg_partitions(1),
         );
+        let (part, _) = run(q, ExecConfig::fixed_default().with_workers(4));
         assert_eq!(
-            normalized_rows(&one),
-            normalized_rows(&four),
-            "Q{q} sort-normalized rows differ between 1 and 4 workers"
+            normalized_rows(&single),
+            normalized_rows(&part),
+            "Q{q} partitioned vs single aggregation"
         );
+        let agg_instances = ctx_s
+            .reports()
+            .iter()
+            .filter(|r| r.label == probe_label)
+            .count();
+        assert_eq!(agg_instances, 1, "Q{q} should run a single aggregate");
     }
 }
 
