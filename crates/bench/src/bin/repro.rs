@@ -6,6 +6,7 @@
 //!
 //! experiments: table1 fig1 fig2 fig4 fig5 fig6 table4 fig8 fig10 table5
 //!              tables6-10 table11 fig11 ablation scaling agg-scaling
+//!              join-scaling
 //! ```
 //!
 //! TPC-H experiments default to scale factor 0.05 (≈300K lineitems); the

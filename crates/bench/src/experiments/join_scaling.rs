@@ -1,0 +1,171 @@
+//! Join-scaling experiment: join-heavy TPC-H queries swept over worker
+//! counts, with partitioned hash-join builds on and off. Not a paper
+//! figure — it tracks the second Amdahl gap the unified exchange closes:
+//! with `single` builds every hash join serializes its build (and its
+//! probe stream) behind one instance; with `partitioned` builds the
+//! two-lane hash-partitioning exchange runs P private build tables whose
+//! probe work scales with the workers.
+//!
+//! **Hardware caveat:** on a 1-hardware-thread container (the CI runner)
+//! this sweep measures routing/oversubscription overhead, not speedup —
+//! the render notes the host's thread count; re-run on a multi-core box
+//! for the real curve (EXPERIMENTS.md).
+
+use ma_core::cycles::ticks_now;
+use ma_executor::ExecConfig;
+use ma_tpch::Runner;
+
+/// Join-heavy queries swept (multi-join pipelines over large inputs).
+pub const JOIN_QUERIES: [usize; 4] = [3, 9, 10, 18];
+
+/// Worker counts swept by default.
+pub const DEFAULT_THREADS: [usize; 3] = [1, 2, 4];
+
+/// One swept point.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinScalingPoint {
+    /// Scan worker threads.
+    pub threads: usize,
+    /// Whether hash-join builds were allowed to partition.
+    pub partitioned: bool,
+    /// Wall ticks for the query subset.
+    pub ticks: u64,
+    /// Result checksum folded over the subset (cross-config validation).
+    pub checksum: f64,
+}
+
+/// Runs the query subset per `(worker count, partitioning)` combination.
+/// The first combination runs once extra as warmup so data is paged in
+/// before anything is timed.
+pub fn measure(runner: &Runner, thread_counts: &[usize]) -> Vec<JoinScalingPoint> {
+    let mut out = Vec::with_capacity(2 * thread_counts.len());
+    let mut warmed = false;
+    for &threads in thread_counts {
+        for partitioned in [false, true] {
+            // `join_partitions = 1` pins every join to a single instance;
+            // `0` lets the planner partition to the worker count.
+            // Aggregation keeps its default in both modes so the only
+            // delta between the curves is the join strategy.
+            let config = ExecConfig::fixed_default()
+                .with_workers(threads)
+                .with_join_partitions(if partitioned { 0 } else { 1 });
+            if !warmed {
+                run_subset(runner, &config).expect("warmup run");
+                warmed = true;
+            }
+            let t0 = ticks_now();
+            let checksum = run_subset(runner, &config).expect("join-scaling run");
+            let ticks = ticks_now().saturating_sub(t0);
+            out.push(JoinScalingPoint {
+                threads,
+                partitioned,
+                ticks,
+                checksum,
+            });
+        }
+    }
+    // Hard cross-validation: a partitioned-vs-single result divergence at
+    // bench scale must fail the run (and CI), not just print a note — no
+    // correctness test runs at these scale factors.
+    if let Some(first) = out.first() {
+        for p in &out[1..] {
+            assert!(
+                crate::experiments::checksums_match(first.checksum, p.checksum),
+                "join-scaling checksum mismatch: {} workers {} gave {}, baseline {}",
+                p.threads,
+                if p.partitioned {
+                    "partitioned"
+                } else {
+                    "single"
+                },
+                p.checksum,
+                first.checksum
+            );
+        }
+    }
+    out
+}
+
+fn run_subset(runner: &Runner, config: &ExecConfig) -> Result<f64, ma_executor::ExecError> {
+    let mut checksum = 0.0;
+    for &q in &JOIN_QUERIES {
+        checksum += runner.run(q, config.clone())?.checksum;
+    }
+    Ok(checksum)
+}
+
+/// Renders the sweep with speedups relative to 1-worker single builds.
+pub fn render(points: &[JoinScalingPoint]) -> String {
+    let mut out =
+        String::from("--- Join scaling: join-heavy queries (Q3, Q9, Q10, Q18) by workers ---\n");
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("host hardware threads: {hw}\n"));
+    if points.iter().any(|p| p.threads > hw) {
+        out.push_str(
+            "note: worker counts above the hardware thread count measure \
+             oversubscription overhead, not speedup\n",
+        );
+    }
+    let base = points.first().map_or(0, |p| p.ticks);
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>16} {:>9}\n",
+        "workers", "join builds", "wall ticks", "speedup"
+    ));
+    for p in points {
+        let speedup = if p.ticks > 0 {
+            base as f64 / p.ticks as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:>8} {:>12} {:>16} {:>8.2}x\n",
+            p.threads,
+            if p.partitioned {
+                "partitioned"
+            } else {
+                "single"
+            },
+            p.ticks,
+            speedup
+        ));
+    }
+    if points.len() > 1 {
+        let all_match = points
+            .windows(2)
+            .all(|w| crate::experiments::checksums_match(w[0].checksum, w[1].checksum));
+        out.push_str(if all_match {
+            "checksums: identical across worker counts and join-build modes\n"
+        } else {
+            "checksums: MISMATCH across configurations\n"
+        });
+    }
+    out
+}
+
+/// Runs the default sweep and renders it.
+pub fn join_scaling(runner: &Runner) -> String {
+    render(&measure(runner, &DEFAULT_THREADS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::make_runner;
+
+    #[test]
+    fn sweep_measures_and_validates() {
+        let runner = make_runner(0.005, 0x5CA1E);
+        let points = measure(&runner, &[1, 2]);
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.ticks > 0));
+        for w in points.windows(2) {
+            assert!(
+                crate::experiments::checksums_match(w[0].checksum, w[1].checksum),
+                "configurations must agree on results"
+            );
+        }
+        let txt = render(&points);
+        assert!(txt.contains("partitioned"));
+        assert!(txt.contains("identical"));
+    }
+}

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod agg_scaling;
 pub mod demo;
+pub mod join_scaling;
 pub mod micro;
 pub mod scaling;
 pub mod tpch_exp;
@@ -12,10 +13,11 @@ use std::sync::Arc;
 use ma_executor::FlavorAxis;
 use ma_tpch::{Runner, TpchData};
 
-/// All experiment identifiers, in paper order ("scaling" and "agg-scaling"
-/// are ours, not the paper's: the parallel-executor thread sweep and the
-/// partitioned-aggregation sweep).
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+/// All experiment identifiers, in paper order ("scaling", "agg-scaling"
+/// and "join-scaling" are ours, not the paper's: the parallel-executor
+/// thread sweep, the partitioned-aggregation sweep and the partitioned-
+/// join-build sweep).
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "table1",
     "fig1",
     "fig2",
@@ -32,6 +34,7 @@ pub const ALL_EXPERIMENTS: [&str; 16] = [
     "ablation",
     "scaling",
     "agg-scaling",
+    "join-scaling",
 ];
 
 /// Runs one experiment by id, returning its report text.
@@ -103,6 +106,7 @@ pub fn run_experiment(id: &str, runner: &Runner, seed: u64) -> Option<String> {
         "fig11" => tpch_exp::fig11(runner),
         "scaling" => scaling::scaling(runner),
         "agg-scaling" => agg_scaling::agg_scaling(runner),
+        "join-scaling" => join_scaling::join_scaling(runner),
         "ablation" => {
             let mut out = ablation::vector_size(runner);
             out.push('\n');
@@ -145,6 +149,20 @@ pub fn run_experiment_with_metrics(
                 })
                 .collect();
             Some((agg_scaling::render(&points), metrics))
+        }
+        "join-scaling" => {
+            let points = join_scaling::measure(runner, &join_scaling::DEFAULT_THREADS);
+            let metrics = points
+                .iter()
+                .map(|p| {
+                    let mode = if p.partitioned { "part" } else { "single" };
+                    (
+                        format!("join_ticks_workers_{}_{mode}", p.threads),
+                        p.ticks as f64,
+                    )
+                })
+                .collect();
+            Some((join_scaling::render(&points), metrics))
         }
         _ => run_experiment(id, runner, seed).map(|text| (text, Vec::new())),
     }

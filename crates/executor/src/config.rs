@@ -71,6 +71,13 @@ pub const DEFAULT_REWARD_CLAMP: f64 = 8.0;
 /// in — partitioning a small aggregate buys nothing and costs routing.
 pub const DEFAULT_AGG_MIN_PARTITION_GROUPS: usize = 32 * 1024;
 
+/// Default minimum estimated row count (larger of the two join sides)
+/// before the planner partitions a hash join whose sides are not sharded
+/// scans. Row estimates come from exact base-table counts
+/// ([`crate::plan::Catalog::row_count`]); partitioning a small join costs
+/// more in routing than the build parallelism returns.
+pub const DEFAULT_JOIN_MIN_PARTITION_ROWS: usize = 64 * 1024;
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
@@ -106,6 +113,18 @@ pub struct ExecConfig {
     /// Without distinct-value statistics, a crude input-row estimate
     /// stands in for the group count.
     pub agg_min_partition_groups: usize,
+    /// Consumer partitions for partitioned hash-join builds. `0` (the
+    /// default) follows [`ExecConfig::worker_threads`]; `1` disables join
+    /// partitioning outright; `n > 1` forces `n` partitions. As with
+    /// aggregation, the *decision* to partition a given join stays with
+    /// the physical planner (`ma_executor::plan::lower`), which never
+    /// partitions under an ordered ancestor.
+    pub join_partitions: usize,
+    /// Minimum estimated row count (max of build and probe side) before
+    /// the planner partitions a hash join whose sides are not sharded
+    /// scans (a sharded-scan side always partitions: its producers are
+    /// already parallel).
+    pub join_min_partition_rows: usize,
 }
 
 impl Default for ExecConfig {
@@ -119,6 +138,8 @@ impl Default for ExecConfig {
             reward_clamp: Some(DEFAULT_REWARD_CLAMP),
             agg_partitions: 0,
             agg_min_partition_groups: DEFAULT_AGG_MIN_PARTITION_GROUPS,
+            join_partitions: 0,
+            join_min_partition_rows: DEFAULT_JOIN_MIN_PARTITION_ROWS,
         }
     }
 }
@@ -196,6 +217,20 @@ impl ExecConfig {
         self.agg_min_partition_groups = n;
         self
     }
+
+    /// Returns a copy with an explicit join partition count
+    /// (`0` = follow worker threads, `1` = never partition).
+    pub fn with_join_partitions(mut self, n: usize) -> Self {
+        self.join_partitions = n;
+        self
+    }
+
+    /// Returns a copy with the estimated-row threshold for partitioning
+    /// hash joins over non-sharded inputs.
+    pub fn with_join_min_rows(mut self, n: usize) -> Self {
+        self.join_min_partition_rows = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -250,5 +285,14 @@ mod tests {
         assert_eq!(c.agg_min_partition_groups, DEFAULT_AGG_MIN_PARTITION_GROUPS);
         assert_eq!(c.clone().with_agg_partitions(1).agg_partitions, 1);
         assert_eq!(c.with_agg_min_groups(10).agg_min_partition_groups, 10);
+    }
+
+    #[test]
+    fn join_partition_knobs() {
+        let c = ExecConfig::default();
+        assert_eq!(c.join_partitions, 0);
+        assert_eq!(c.join_min_partition_rows, DEFAULT_JOIN_MIN_PARTITION_ROWS);
+        assert_eq!(c.clone().with_join_partitions(1).join_partitions, 1);
+        assert_eq!(c.with_join_min_rows(10).join_min_partition_rows, 10);
     }
 }

@@ -1,8 +1,16 @@
-//! The exchange operators: [`Parallel`] runs N copies of a plan fragment
-//! on worker threads and streams their union to the parent (Vectorwise's
-//! `Xchg`); [`PartitionedExchange`] additionally *repartitions* the
-//! producers' tuples by a key hash so that P consumer pipelines each see a
-//! disjoint, complete key range (Vectorwise's `XchgHashSplit`).
+//! The unified exchange layer: every operator that moves tuples between
+//! threads lives here, built on one routing/channel/teardown core.
+//!
+//! * [`Parallel`] runs N copies of a plan fragment on worker threads and
+//!   streams their union to the parent (Vectorwise's `Xchg`);
+//! * [`HashPartitionExchange`] *repartitions* one or more producer streams
+//!   ("lanes") by a key hash so that P consumer pipelines each see a
+//!   disjoint, complete key range (Vectorwise's `XchgHashSplit`). One lane
+//!   feeds a partitioned aggregation; a hash join partitions both its
+//!   build and probe streams as two lanes of the same exchange;
+//! * [`MergeExchange`] K-way-merges key-sorted worker streams back into
+//!   one globally sorted stream, so ordered pipelines (merge-join inputs)
+//!   can shard too.
 //!
 //! Each fragment is built by a caller-supplied factory — typically a
 //! morsel-driven [`crate::ops::Scan`] over a shared
@@ -14,17 +22,21 @@
 //!
 //! Fragments are constructed eagerly on the caller thread, so instance
 //! creation order — and with it policy seeding — is deterministic. Chunks
-//! flow through a bounded channel for backpressure; their arrival *order*
+//! flow through bounded channels for backpressure; their arrival *order*
 //! is nondeterministic, which is fine for the blocking operators
-//! (aggregate/sort/join builds) that consume exchange output: results are
-//! order-insensitive, as `tests/parallel_determinism.rs` verifies.
+//! (aggregate/sort/join builds) that consume `Parallel` or
+//! `HashPartitionExchange` output: results are order-insensitive, as
+//! `tests/parallel_determinism.rs` verifies. [`MergeExchange`] is the one
+//! exchange that *restores* an order: it keeps one channel per producer
+//! (so each producer's internal order survives) and interleaves runs by
+//! key on the consuming thread.
 
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::thread::JoinHandle;
 
 use ma_vector::{DataChunk, DataType, SelVec, Vector};
 
-use crate::ops::{BoxOp, Operator};
+use crate::ops::{normalize_keys_i64, BoxOp, Operator};
 use crate::ExecError;
 
 /// Builds one worker's plan fragment. Arguments: worker index, worker
@@ -169,19 +181,29 @@ impl Parallel {
     pub fn new(workers: usize, factory: &FragmentFactory<'_>) -> Result<Self, ExecError> {
         let n = workers.max(1);
         let ops: Vec<BoxOp> = (0..n).map(|w| factory(w, n)).collect::<Result<_, _>>()?;
-        let types = ops[0].out_types().to_vec();
-        for (w, op) in ops.iter().enumerate() {
-            if op.out_types() != types.as_slice() {
-                return Err(ExecError::Plan(format!(
-                    "parallel fragment {w} disagrees on output types"
-                )));
-            }
-        }
+        let types = same_out_types(&ops, "parallel fragment")?;
         Ok(Parallel {
             state: State::Pending(ops),
             types,
         })
     }
+}
+
+/// Output types shared by a non-empty operator set (a typed error names
+/// the first disagreeing operator).
+fn same_out_types(ops: &[BoxOp], what: &str) -> Result<Vec<DataType>, ExecError> {
+    let Some(first) = ops.first() else {
+        return Err(ExecError::Plan(format!("{what} set is empty")));
+    };
+    let types = first.out_types().to_vec();
+    for (w, op) in ops.iter().enumerate().skip(1) {
+        if op.out_types() != types.as_slice() {
+            return Err(ExecError::Plan(format!(
+                "{what} {w} disagrees on output types"
+            )));
+        }
+    }
+    Ok(types)
 }
 
 fn run_worker(mut op: BoxOp, tx: &SyncSender<Batch>) {
@@ -242,9 +264,23 @@ impl Operator for Parallel {
 // hash-partitioning exchange
 // ---------------------------------------------------------------------------
 
-/// Builds one partition's consumer pipeline over its tuple stream.
-/// Arguments: the partition's source operator, partition index.
-pub type ConsumerFactory<'a> = dyn Fn(BoxOp, usize) -> Result<BoxOp, ExecError> + 'a;
+/// One routed input of a [`HashPartitionExchange`]: a set of producer
+/// fragments whose tuples are split by `hash(key_cols) % P`. All lanes of
+/// an exchange route with the same hash, so equal key values land in the
+/// same partition across lanes — the property a partitioned join build
+/// relies on.
+pub struct RoutedLane {
+    /// Producer fragments, drained concurrently.
+    pub producers: Vec<BoxOp>,
+    /// Key columns (in the producers' output schema) the routing hash
+    /// folds, in order.
+    pub key_cols: Vec<usize>,
+}
+
+/// Builds one partition's consumer pipeline over its per-lane tuple
+/// streams. Arguments: one source operator per lane (in lane order), the
+/// partition index.
+pub type ConsumerFactory<'a> = dyn Fn(Vec<BoxOp>, usize) -> Result<BoxOp, ExecError> + 'a;
 
 /// Finalizer of splitmix64: cheap, well-mixed 64-bit hash for routing.
 fn splitmix64(mut z: u64) -> u64 {
@@ -268,7 +304,8 @@ fn fnv1a(s: &str) -> u64 {
 /// producer must route a given key to the same partition, and the split
 /// must stay identical run to run, so a fixed function is the simple,
 /// correct choice. Integer widths normalize through `i64` (consistent with
-/// the group tables' key normalization).
+/// the group tables' key normalization), so an `i32` build key and an
+/// `i64` probe key hash identically.
 fn fold_key_hashes(v: &Vector, positions: &[usize], hashes: &mut [u64]) {
     match v {
         Vector::I16(c) => {
@@ -291,7 +328,7 @@ fn fold_key_hashes(v: &Vector, positions: &[usize], hashes: &mut [u64]) {
                 hashes[p] = splitmix64(hashes[p] ^ fnv1a(c.get(p)));
             }
         }
-        // Rejected at construction (`PartitionedExchange::new`).
+        // Rejected at construction (`HashPartitionExchange::new`).
         Vector::F64(_) => unreachable!("f64 partition keys rejected at construction"),
     }
 }
@@ -407,135 +444,145 @@ impl Operator for PartitionSource {
     }
 }
 
+/// A lane whose channels are wired but whose producers haven't started.
+struct PendingLane {
+    producers: Vec<BoxOp>,
+    /// One sender per partition.
+    part_txs: Vec<SyncSender<Batch>>,
+    key_cols: Vec<usize>,
+}
+
 enum PartState {
     /// Everything built, no thread started yet.
     Pending {
-        producers: Vec<BoxOp>,
-        part_txs: Vec<SyncSender<Batch>>,
+        lanes: Vec<PendingLane>,
         consumers: Vec<BoxOp>,
-        key_cols: Vec<usize>,
     },
     /// Producers and consumers running (or finished); consumer outputs
     /// union in arrival order.
     Running(Union),
 }
 
-/// Hash-partitioning exchange: N producer fragments route tuples by
-/// `hash(key columns) % P` to P consumer pipelines whose outputs union in
-/// arrival order.
+/// Hash-partitioning exchange: per lane, N producer fragments route tuples
+/// by `hash(key columns) % P` to P consumer pipelines whose outputs union
+/// in arrival order.
 ///
-/// Because a key value lands in exactly one partition, a *blocking,
-/// key-partitionable* consumer (hash aggregation today; a partitioned hash
-/// join build tomorrow) computes its full answer per partition with no
-/// final merge step — the union of the P outputs is the result. Each
-/// consumer is built by the factory on the caller thread and owns private
-/// primitive instances, so bandit state stays per-partition and merges
-/// through the registry exactly like per-worker scan state.
-pub struct PartitionedExchange {
+/// Because a key value lands in exactly one partition — and in the *same*
+/// partition for every lane — a *blocking, key-partitionable* consumer
+/// computes its full answer per partition with no final merge step: the
+/// union of the P outputs is the result. A hash aggregation is one lane
+/// feeding P private `HashAggregate` instances (disjoint complete groups);
+/// a hash join is two lanes (build, probe) feeding P private `HashJoin`
+/// instances (every build row with a probe tuple's key lives in that
+/// tuple's partition, so per-partition joins are exact for inner, semi,
+/// anti and left-single semantics alike). Each consumer is built by the
+/// factory on the caller thread and owns private primitive instances, so
+/// bandit state stays per-partition and merges through the registry
+/// exactly like per-worker scan state.
+pub struct HashPartitionExchange {
     state: PartState,
     types: Vec<DataType>,
 }
 
-impl PartitionedExchange {
-    /// Builds the exchange: `producers` are drained concurrently, their
-    /// tuples routed by `key_cols` into `partitions` consumer pipelines
-    /// built by `consumer` (all construction on the calling thread).
+impl HashPartitionExchange {
+    /// Builds the exchange: each lane's `producers` are drained
+    /// concurrently, their tuples routed by the lane's `key_cols` into
+    /// `partitions` consumer pipelines built by `consumer` (all
+    /// construction on the calling thread; consumers receive one source
+    /// per lane, in lane order).
     pub fn new(
-        producers: Vec<BoxOp>,
-        key_cols: &[usize],
+        lanes: Vec<RoutedLane>,
         partitions: usize,
         consumer: &ConsumerFactory<'_>,
     ) -> Result<Self, ExecError> {
-        if producers.is_empty() {
-            return Err(ExecError::Plan(
-                "partitioned exchange needs producers".into(),
-            ));
+        if lanes.is_empty() {
+            return Err(ExecError::Plan("partitioning exchange needs lanes".into()));
         }
-        if key_cols.is_empty() {
-            return Err(ExecError::Plan(
-                "partitioned exchange needs partition key columns".into(),
-            ));
-        }
-        let in_types = producers[0].out_types().to_vec();
-        for (w, op) in producers.iter().enumerate() {
-            if op.out_types() != in_types.as_slice() {
+        let mut lane_types = Vec::with_capacity(lanes.len());
+        for (l, lane) in lanes.iter().enumerate() {
+            if lane.producers.is_empty() {
+                return Err(ExecError::Plan(format!("lane {l} needs producers")));
+            }
+            if lane.key_cols.is_empty() {
                 return Err(ExecError::Plan(format!(
-                    "partition producer {w} disagrees on output types"
+                    "lane {l} needs partition key columns"
                 )));
             }
-        }
-        for &c in key_cols {
-            match in_types.get(c) {
-                None => {
-                    return Err(ExecError::Plan(format!(
-                        "partition key column {c} out of range"
-                    )))
+            let in_types = same_out_types(&lane.producers, "partition producer")?;
+            for &c in &lane.key_cols {
+                match in_types.get(c) {
+                    None => {
+                        return Err(ExecError::Plan(format!(
+                            "lane {l} partition key column {c} out of range"
+                        )))
+                    }
+                    Some(DataType::F64) => {
+                        return Err(ExecError::Plan(
+                            "f64 partition keys unsupported (no hashable equality)".into(),
+                        ))
+                    }
+                    Some(_) => {}
                 }
-                Some(DataType::F64) => {
-                    return Err(ExecError::Plan(
-                        "f64 partition keys unsupported (no hashable equality)".into(),
-                    ))
-                }
-                Some(_) => {}
             }
+            lane_types.push(in_types);
         }
         let nparts = partitions.max(1);
-        let mut part_txs = Vec::with_capacity(nparts);
+        let mut pending: Vec<PendingLane> = lanes
+            .into_iter()
+            .map(|lane| PendingLane {
+                producers: lane.producers,
+                part_txs: Vec::with_capacity(nparts),
+                key_cols: lane.key_cols,
+            })
+            .collect();
         let mut consumers = Vec::with_capacity(nparts);
         for p in 0..nparts {
-            let (tx, rx) =
-                std::sync::mpsc::sync_channel::<Batch>(producers.len() * CHANNEL_DEPTH_PER_WORKER);
-            let source: BoxOp = Box::new(PartitionSource {
-                union: Union::over(rx, Vec::new()),
-                types: in_types.clone(),
-            });
-            consumers.push(consumer(source, p)?);
-            part_txs.push(tx);
-        }
-        let types = consumers[0].out_types().to_vec();
-        for (p, op) in consumers.iter().enumerate() {
-            if op.out_types() != types.as_slice() {
-                return Err(ExecError::Plan(format!(
-                    "partition consumer {p} disagrees on output types"
-                )));
+            let mut sources: Vec<BoxOp> = Vec::with_capacity(pending.len());
+            for (lane, types) in pending.iter_mut().zip(&lane_types) {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<Batch>(
+                    lane.producers.len() * CHANNEL_DEPTH_PER_WORKER,
+                );
+                sources.push(Box::new(PartitionSource {
+                    union: Union::over(rx, Vec::new()),
+                    types: types.clone(),
+                }));
+                lane.part_txs.push(tx);
             }
+            consumers.push(consumer(sources, p)?);
         }
-        Ok(PartitionedExchange {
+        let types = same_out_types(&consumers, "partition consumer")?;
+        Ok(HashPartitionExchange {
             state: PartState::Pending {
-                producers,
-                part_txs,
+                lanes: pending,
                 consumers,
-                key_cols: key_cols.to_vec(),
             },
             types,
         })
     }
 
-    /// Spawns producers (routing) and consumers, returning their union.
+    /// Spawns every lane's producers (routing) and the consumers,
+    /// returning their union.
     ///
     /// On drop, the [`Union`] closes the consumer-output receiver first:
     /// consumers blocked sending fail and exit, dropping their partition
     /// receivers, which in turn unblocks any producer mid-send — the joins
     /// are bounded by in-flight batches.
-    fn start(
-        producers: Vec<BoxOp>,
-        part_txs: Vec<SyncSender<Batch>>,
-        consumers: Vec<BoxOp>,
-        key_cols: Vec<usize>,
-    ) -> Union {
+    fn start(lanes: Vec<PendingLane>, consumers: Vec<BoxOp>) -> Union {
         let (union_tx, union_rx) =
             std::sync::mpsc::sync_channel::<Batch>(consumers.len() * CHANNEL_DEPTH_PER_WORKER);
-        let mut handles = Vec::with_capacity(producers.len() + consumers.len());
-        for op in producers {
-            let txs = part_txs.clone();
-            let keys = key_cols.clone();
-            handles.push(std::thread::spawn(move || {
-                run_partitioning_worker(op, &keys, txs)
-            }));
+        let mut handles = Vec::new();
+        for lane in lanes {
+            for op in lane.producers {
+                let txs = lane.part_txs.clone();
+                let keys = lane.key_cols.clone();
+                handles.push(std::thread::spawn(move || {
+                    run_partitioning_worker(op, &keys, txs)
+                }));
+            }
+            // Drop the construction-time senders so a lane's partition
+            // channels close once every producer of that lane finishes.
+            drop(lane.part_txs);
         }
-        // Drop the construction-time senders so partition channels close
-        // once every producer finishes.
-        drop(part_txs);
         for op in consumers {
             let tx = union_tx.clone();
             handles.push(std::thread::spawn(move || run_worker(op, &tx)));
@@ -544,26 +591,229 @@ impl PartitionedExchange {
     }
 }
 
-impl Operator for PartitionedExchange {
+impl Operator for HashPartitionExchange {
     fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
         if let PartState::Pending { .. } = self.state {
-            let PartState::Pending {
-                producers,
-                part_txs,
-                consumers,
-                key_cols,
-            } = std::mem::replace(&mut self.state, PartState::Running(Union::done()))
+            let PartState::Pending { lanes, consumers } =
+                std::mem::replace(&mut self.state, PartState::Running(Union::done()))
             else {
                 unreachable!()
             };
-            self.state = PartState::Running(PartitionedExchange::start(
-                producers, part_txs, consumers, key_cols,
-            ));
+            self.state = PartState::Running(HashPartitionExchange::start(lanes, consumers));
         }
         let PartState::Running(union) = &mut self.state else {
             unreachable!()
         };
         union.next()
+    }
+
+    fn out_types(&self) -> &[DataType] {
+        &self.types
+    }
+}
+
+// ---------------------------------------------------------------------------
+// merging exchange
+// ---------------------------------------------------------------------------
+
+/// One producer's stream state inside a [`MergeExchange`]: its private
+/// channel/worker (a one-handle [`Union`], so the channel and teardown
+/// discipline is the shared one) plus the head chunk being merged.
+struct MergeSource {
+    union: Union,
+    head: Option<MergeHead>,
+    done: bool,
+}
+
+/// The front chunk of one producer stream.
+struct MergeHead {
+    chunk: DataChunk,
+    /// Live positions of `chunk`, ascending.
+    positions: Vec<u32>,
+    /// Normalized key per *row* of `chunk` (indexed by position).
+    keys: Vec<i64>,
+    /// Next position index to emit.
+    idx: usize,
+}
+
+impl MergeHead {
+    fn key_at(&self, i: usize) -> i64 {
+        self.keys[self.positions[i] as usize]
+    }
+
+    fn head_key(&self) -> i64 {
+        self.key_at(self.idx)
+    }
+}
+
+enum MergeState {
+    Pending(Vec<BoxOp>),
+    Running(Vec<MergeSource>),
+    /// Terminal (exhausted or failed): further `next()` returns `None`.
+    Done,
+}
+
+/// Merging exchange: K-way-merges `n` *key-sorted* producer streams into
+/// one globally sorted stream.
+///
+/// Each producer keeps a private channel so its internal order survives
+/// transport (a shared arrival-order union would destroy it). The merge
+/// runs on the consuming thread: among the current head chunks it picks
+/// the source with the smallest key and emits that source's maximal *run*
+/// of positions whose keys don't exceed any other head's key — one
+/// selection vector over the `Arc`-shared source chunk, no copying. With
+/// morsel-sharded scans over a clustering-key-ordered table each worker
+/// stream is a sequence of disjoint ascending ranges, so runs are long
+/// (typically whole morsels) and the merge is cheap.
+///
+/// Keys may repeat across producers (the right side of a merge join);
+/// equal keys are emitted source-by-source, which keeps the output
+/// non-decreasing — all any order-sensitive consumer requires. Producers
+/// must each be internally sorted ascending by the key column; the planner
+/// only builds this exchange over chains whose key traces to the scanned
+/// table's clustering column (see `plan::lower::merge_workers`).
+pub struct MergeExchange {
+    state: MergeState,
+    key_col: usize,
+    types: Vec<DataType>,
+}
+
+impl MergeExchange {
+    /// Builds the exchange over `producers`, merging on the integer column
+    /// `key_col` (ascending). Workers start lazily on the first
+    /// [`Operator::next`] call.
+    pub fn new(producers: Vec<BoxOp>, key_col: usize) -> Result<Self, ExecError> {
+        let types = same_out_types(&producers, "merge producer")?;
+        match types.get(key_col) {
+            None => {
+                return Err(ExecError::Plan(format!(
+                    "merge key column {key_col} out of range"
+                )))
+            }
+            Some(DataType::I16 | DataType::I32 | DataType::I64) => {}
+            Some(other) => {
+                return Err(ExecError::Plan(format!(
+                    "merge key must be an integer column, got {other}"
+                )))
+            }
+        }
+        Ok(MergeExchange {
+            state: MergeState::Pending(producers),
+            key_col,
+            types,
+        })
+    }
+
+    /// Spawns one worker (and private channel) per producer.
+    fn start(producers: Vec<BoxOp>) -> Vec<MergeSource> {
+        producers
+            .into_iter()
+            .map(|op| {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<Batch>(CHANNEL_DEPTH_PER_WORKER);
+                let handle = std::thread::spawn(move || run_worker(op, &tx));
+                MergeSource {
+                    union: Union::over(rx, vec![handle]),
+                    head: None,
+                    done: false,
+                }
+            })
+            .collect()
+    }
+
+    /// Pulls the next run from the merged streams (`None` when all
+    /// producers are exhausted).
+    fn merge_next(
+        sources: &mut [MergeSource],
+        key_col: usize,
+    ) -> Result<Option<DataChunk>, ExecError> {
+        // Refill: every non-finished source must expose a head before any
+        // run is chosen — without its next key, no bound on the run is
+        // known. The blocking recv is safe: producers run independently.
+        for s in sources.iter_mut() {
+            while s.head.is_none() && !s.done {
+                match s.union.next()? {
+                    Some(chunk) => {
+                        if chunk.live_count() == 0 {
+                            continue;
+                        }
+                        let positions: Vec<u32> =
+                            chunk.live_positions().iter().map(|&p| p as u32).collect();
+                        let mut keys = Vec::new();
+                        normalize_keys_i64(chunk.column(key_col), &mut keys);
+                        s.head = Some(MergeHead {
+                            chunk,
+                            positions,
+                            keys,
+                            idx: 0,
+                        });
+                    }
+                    None => s.done = true,
+                }
+            }
+        }
+        // The source with the smallest head key emits; its run may extend
+        // while its keys don't exceed any other head's key.
+        let mut best: Option<(i64, usize)> = None;
+        let mut limit = i64::MAX;
+        for (i, s) in sources.iter().enumerate() {
+            if let Some(h) = &s.head {
+                let k = h.head_key();
+                match best {
+                    Some((bk, _)) if bk <= k => limit = limit.min(k),
+                    _ => {
+                        if let Some((bk, _)) = best {
+                            limit = limit.min(bk);
+                        }
+                        best = Some((k, i));
+                    }
+                }
+            }
+        }
+        let Some((_, si)) = best else {
+            return Ok(None);
+        };
+        let s = &mut sources[si];
+        let h = s.head.as_mut().expect("best source has a head");
+        let start = h.idx;
+        while h.idx < h.positions.len() && h.key_at(h.idx) <= limit {
+            h.idx += 1;
+        }
+        let run = h.positions[start..h.idx].to_vec();
+        let out = h.chunk.with_sel(Some(SelVec::from_positions(run)));
+        if h.idx >= h.positions.len() {
+            s.head = None;
+        }
+        Ok(Some(out))
+    }
+}
+
+impl Operator for MergeExchange {
+    fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+        if let MergeState::Pending(_) = self.state {
+            let MergeState::Pending(producers) =
+                std::mem::replace(&mut self.state, MergeState::Done)
+            else {
+                unreachable!()
+            };
+            self.state = MergeState::Running(MergeExchange::start(producers));
+        }
+        let MergeState::Running(sources) = &mut self.state else {
+            return Ok(None);
+        };
+        match MergeExchange::merge_next(sources, self.key_col) {
+            Ok(Some(chunk)) => Ok(Some(chunk)),
+            Ok(None) => {
+                self.state = MergeState::Done;
+                Ok(None)
+            }
+            Err(e) => {
+                // Terminal, like the union's error discipline: further
+                // polling reports end-of-stream. Dropping the sources
+                // closes the surviving producers' channels.
+                self.state = MergeState::Done;
+                Err(e)
+            }
+        }
     }
 
     fn out_types(&self) -> &[DataType] {
@@ -665,7 +915,7 @@ mod tests {
         drop(par); // workers blocked on a full channel must unblock
     }
 
-    // --- PartitionedExchange ------------------------------------------------
+    // --- HashPartitionExchange ---------------------------------------------
 
     /// A consumer that counts its partition's tuples into one output row
     /// `(partition, count, keymod_sum)` — enough to check routing without
@@ -703,29 +953,41 @@ mod tests {
         }
     }
 
-    fn partitioned_counts(workers: usize, partitions: usize, rows: usize) -> Vec<(i64, i64, i64)> {
-        let t = table(rows);
-        let queue = Arc::new(MorselQueue::with_morsel(rows, VECTOR_SIZE));
-        let producers: Vec<BoxOp> = (0..workers)
+    fn morsel_producers(t: &Arc<Table>, workers: usize) -> Vec<BoxOp> {
+        let queue = Arc::new(MorselQueue::with_morsel(t.rows(), VECTOR_SIZE));
+        (0..workers)
             .map(|_| -> Result<BoxOp, ExecError> {
                 Ok(Box::new(Scan::morsel(
-                    Arc::clone(&t),
+                    Arc::clone(t),
                     &["a"],
                     VECTOR_SIZE,
                     Arc::clone(&queue),
                 )?))
             })
             .collect::<Result<_, _>>()
-            .unwrap();
-        let consumer = |src: BoxOp, p: usize| -> Result<BoxOp, ExecError> {
+            .unwrap()
+    }
+
+    fn single_lane(producers: Vec<BoxOp>) -> Vec<RoutedLane> {
+        vec![RoutedLane {
+            producers,
+            key_cols: vec![0],
+        }]
+    }
+
+    fn partitioned_counts(workers: usize, partitions: usize, rows: usize) -> Vec<(i64, i64, i64)> {
+        let t = table(rows);
+        let producers = morsel_producers(&t, workers);
+        let consumer = |mut src: Vec<BoxOp>, p: usize| -> Result<BoxOp, ExecError> {
             Ok(Box::new(CountConsumer {
-                child: src,
+                child: src.pop().unwrap(),
                 partition: p as i64,
                 types: vec![DataType::I64; 3],
                 done: false,
             }))
         };
-        let mut ex = PartitionedExchange::new(producers, &[0], partitions, &consumer).unwrap();
+        let mut ex =
+            HashPartitionExchange::new(single_lane(producers), partitions, &consumer).unwrap();
         let chunks = collect(&mut ex).unwrap();
         let mut out: Vec<(i64, i64, i64)> = chunks
             .iter()
@@ -765,36 +1027,124 @@ mod tests {
         );
     }
 
+    /// Drains two lane sources and emits one row per partition:
+    /// `(partition, keysets_equal, count0, count1)` where `keysets_equal`
+    /// is 1 when both lanes saw exactly the same set of distinct keys.
+    struct KeySetConsumer {
+        lanes: Vec<BoxOp>,
+        partition: i64,
+        types: Vec<DataType>,
+        done: bool,
+    }
+
+    impl Operator for KeySetConsumer {
+        fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+            if self.done {
+                return Ok(None);
+            }
+            let mut sets = Vec::new();
+            let mut counts = Vec::new();
+            for lane in &mut self.lanes {
+                let mut set = std::collections::BTreeSet::new();
+                let mut count = 0i64;
+                while let Some(chunk) = lane.next()? {
+                    for p in chunk.live_positions() {
+                        set.insert(chunk.column(0).as_i64()[p]);
+                        count += 1;
+                    }
+                }
+                sets.push(set);
+                counts.push(count);
+            }
+            self.done = true;
+            Ok(Some(DataChunk::new(vec![
+                Arc::new(Vector::I64(vec![self.partition])),
+                Arc::new(Vector::I64(vec![i64::from(sets[0] == sets[1])])),
+                Arc::new(Vector::I64(vec![counts[0]])),
+                Arc::new(Vector::I64(vec![counts[1]])),
+            ])))
+        }
+
+        fn out_types(&self) -> &[DataType] {
+            &self.types
+        }
+    }
+
+    #[test]
+    fn two_lanes_route_equal_keys_to_the_same_partition() {
+        // Build-lane and probe-lane streams over the same key domain must
+        // agree partition-by-partition on the key sets they see — the
+        // invariant a partitioned hash join build rests on.
+        let rows = 6 * VECTOR_SIZE + 17;
+        let t = table(rows);
+        let lanes = vec![
+            RoutedLane {
+                producers: morsel_producers(&t, 2),
+                key_cols: vec![0],
+            },
+            RoutedLane {
+                producers: morsel_producers(&t, 3),
+                key_cols: vec![0],
+            },
+        ];
+        let consumer = |src: Vec<BoxOp>, p: usize| -> Result<BoxOp, ExecError> {
+            Ok(Box::new(KeySetConsumer {
+                lanes: src,
+                partition: p as i64,
+                types: vec![DataType::I64; 4],
+                done: false,
+            }))
+        };
+        let mut ex = HashPartitionExchange::new(lanes, 4, &consumer).unwrap();
+        let chunks = collect(&mut ex).unwrap();
+        assert_eq!(chunks.len(), 4);
+        let mut total0 = 0;
+        let mut total1 = 0;
+        for c in &chunks {
+            assert_eq!(c.column(1).as_i64()[0], 1, "lane key sets must agree");
+            total0 += c.column(2).as_i64()[0];
+            total1 += c.column(3).as_i64()[0];
+        }
+        assert_eq!(total0 as usize, rows);
+        assert_eq!(total1 as usize, rows);
+    }
+
     #[test]
     fn partitioned_exchange_rejects_bad_keys() {
         let t = table(16);
         let mk =
             || -> Vec<BoxOp> { vec![Box::new(Scan::new(Arc::clone(&t), &["a"], 16).unwrap())] };
-        let consumer = |src: BoxOp, _p: usize| -> Result<BoxOp, ExecError> { Ok(src) };
-        assert!(PartitionedExchange::new(mk(), &[], 2, &consumer).is_err());
-        assert!(PartitionedExchange::new(mk(), &[3], 2, &consumer).is_err());
-        assert!(PartitionedExchange::new(Vec::new(), &[0], 2, &consumer).is_err());
+        let consumer =
+            |mut src: Vec<BoxOp>, _p: usize| -> Result<BoxOp, ExecError> { Ok(src.pop().unwrap()) };
+        let lane = |key_cols: Vec<usize>| {
+            vec![RoutedLane {
+                producers: mk(),
+                key_cols,
+            }]
+        };
+        assert!(HashPartitionExchange::new(lane(vec![]), 2, &consumer).is_err());
+        assert!(HashPartitionExchange::new(lane(vec![3]), 2, &consumer).is_err());
+        assert!(HashPartitionExchange::new(
+            vec![RoutedLane {
+                producers: Vec::new(),
+                key_cols: vec![0],
+            }],
+            2,
+            &consumer
+        )
+        .is_err());
+        assert!(HashPartitionExchange::new(Vec::new(), 2, &consumer).is_err());
     }
 
     #[test]
     fn partitioned_drop_mid_stream_does_not_hang() {
         let rows = 64 * VECTOR_SIZE;
         let t = table(rows);
-        let queue = Arc::new(MorselQueue::with_morsel(rows, VECTOR_SIZE));
-        let producers: Vec<BoxOp> = (0..2)
-            .map(|_| -> Result<BoxOp, ExecError> {
-                Ok(Box::new(Scan::morsel(
-                    Arc::clone(&t),
-                    &["a"],
-                    VECTOR_SIZE,
-                    Arc::clone(&queue),
-                )?))
-            })
-            .collect::<Result<_, _>>()
-            .unwrap();
+        let producers = morsel_producers(&t, 2);
         // Pass-through consumers so chunks stream (not block) to the union.
-        let consumer = |src: BoxOp, _p: usize| -> Result<BoxOp, ExecError> { Ok(src) };
-        let mut ex = PartitionedExchange::new(producers, &[0], 2, &consumer).unwrap();
+        let consumer =
+            |mut src: Vec<BoxOp>, _p: usize| -> Result<BoxOp, ExecError> { Ok(src.pop().unwrap()) };
+        let mut ex = HashPartitionExchange::new(single_lane(producers), 2, &consumer).unwrap();
         assert!(ex.next().unwrap().is_some());
         drop(ex); // blocked producers/consumers must unblock
     }
@@ -806,18 +1156,7 @@ mod tests {
         let rows = 9 * VECTOR_SIZE + 5;
         let reference = partitioned_counts(2, 4, rows);
         let t = table(rows);
-        let queue = Arc::new(MorselQueue::with_morsel(rows, VECTOR_SIZE));
-        let producers: Vec<BoxOp> = (0..2)
-            .map(|_| -> Result<BoxOp, ExecError> {
-                Ok(Box::new(Scan::morsel(
-                    Arc::clone(&t),
-                    &["a"],
-                    VECTOR_SIZE,
-                    Arc::clone(&queue),
-                )?))
-            })
-            .collect::<Result<_, _>>()
-            .unwrap();
+        let producers = morsel_producers(&t, 2);
         /// Immediately reports end-of-stream without draining its input.
         struct EarlyExit(Vec<DataType>);
         impl Operator for EarlyExit {
@@ -828,19 +1167,19 @@ mod tests {
                 &self.0
             }
         }
-        let consumer = |src: BoxOp, p: usize| -> Result<BoxOp, ExecError> {
+        let consumer = |mut src: Vec<BoxOp>, p: usize| -> Result<BoxOp, ExecError> {
             if p == 0 {
                 Ok(Box::new(EarlyExit(vec![DataType::I64; 3])))
             } else {
                 Ok(Box::new(CountConsumer {
-                    child: src,
+                    child: src.pop().unwrap(),
                     partition: p as i64,
                     types: vec![DataType::I64; 3],
                     done: false,
                 }))
             }
         };
-        let mut ex = PartitionedExchange::new(producers, &[0], 4, &consumer).unwrap();
+        let mut ex = HashPartitionExchange::new(single_lane(producers), 4, &consumer).unwrap();
         let chunks = collect(&mut ex).unwrap();
         let mut got: Vec<(i64, i64, i64)> = chunks
             .iter()
@@ -899,5 +1238,191 @@ mod tests {
         assert_ne!(splitmix64(0), splitmix64(1));
         assert_ne!(fnv1a("a"), fnv1a("b"));
         assert_eq!(fnv1a("abc"), fnv1a("abc"));
+    }
+
+    // --- MergeExchange ------------------------------------------------------
+
+    /// Replays a fixed chunk list (a stand-in for a sorted worker stream).
+    struct Replay {
+        chunks: std::collections::VecDeque<DataChunk>,
+        types: Vec<DataType>,
+    }
+
+    impl Replay {
+        fn over(values: &[i64], chunk_rows: usize) -> Replay {
+            let chunks = values
+                .chunks(chunk_rows.max(1))
+                .map(|c| DataChunk::new(vec![Arc::new(Vector::I64(c.to_vec()))]))
+                .collect();
+            Replay {
+                chunks,
+                types: vec![DataType::I64],
+            }
+        }
+    }
+
+    impl Operator for Replay {
+        fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+            Ok(self.chunks.pop_front())
+        }
+        fn out_types(&self) -> &[DataType] {
+            &self.types
+        }
+    }
+
+    fn merged_values(streams: &[Vec<i64>], chunk_rows: usize) -> Vec<i64> {
+        let producers: Vec<BoxOp> = streams
+            .iter()
+            .map(|s| Box::new(Replay::over(s, chunk_rows)) as BoxOp)
+            .collect();
+        let mut ex = MergeExchange::new(producers, 0).unwrap();
+        let chunks = collect(&mut ex).unwrap();
+        chunks
+            .iter()
+            .flat_map(|c| {
+                c.live_positions()
+                    .into_iter()
+                    .map(|p| c.column(0).as_i64()[p])
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_interleaves_disjoint_ranges() {
+        // Morsel-style streams: each producer holds disjoint ascending
+        // ranges of a globally sorted table.
+        let streams = vec![
+            vec![0, 1, 2, 10, 11, 12, 30, 31],
+            vec![3, 4, 5, 20, 21, 22],
+            vec![6, 7, 8, 9, 23, 24, 25],
+        ];
+        let got = merged_values(&streams, 3);
+        let mut want: Vec<i64> = streams.iter().flatten().copied().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_handles_duplicates_across_producers() {
+        // Equal keys straddling producer boundaries (a duplicate-key run
+        // split across morsels) must merge into a non-decreasing stream
+        // with nothing lost.
+        let streams = vec![vec![1, 2, 2, 2, 5, 5], vec![2, 2, 3, 5, 7], vec![2, 5, 5]];
+        let got = merged_values(&streams, 2);
+        let mut want: Vec<i64> = streams.iter().flatten().copied().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_single_producer_passes_through() {
+        let streams = vec![vec![1, 3, 5, 7, 9]];
+        assert_eq!(merged_values(&streams, 2), streams[0]);
+    }
+
+    #[test]
+    fn merge_with_empty_streams() {
+        let streams = vec![vec![], vec![4, 5, 6], vec![]];
+        assert_eq!(merged_values(&streams, 2), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_respects_selection_vectors() {
+        // Dead positions of a producer chunk must not surface in the merge.
+        let mut c1 = DataChunk::new(vec![Arc::new(Vector::I64(vec![1, 100, 3, 200, 5]))]);
+        c1.set_sel(Some(SelVec::from_positions(vec![0, 2, 4])));
+        let r1 = Replay {
+            chunks: [c1].into_iter().collect(),
+            types: vec![DataType::I64],
+        };
+        let r2 = Replay::over(&[2, 4, 6], 2);
+        let mut ex = MergeExchange::new(vec![Box::new(r1) as BoxOp, Box::new(r2)], 0).unwrap();
+        let chunks = collect(&mut ex).unwrap();
+        let got: Vec<i64> = chunks
+            .iter()
+            .flat_map(|c| {
+                c.live_positions()
+                    .into_iter()
+                    .map(|p| c.column(0).as_i64()[p])
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_over_morsel_scans_matches_sequential_scan() {
+        // The planner's actual shape: sharded morsel scans over a table
+        // sorted by its first column, merged back on that column — the
+        // result must be the sequential scan, row for row.
+        let rows = 13 * VECTOR_SIZE + 271;
+        let t = table(rows);
+        for workers in [1, 2, 4] {
+            let producers = morsel_producers(&t, workers);
+            let mut ex = MergeExchange::new(producers, 0).unwrap();
+            let chunks = collect(&mut ex).unwrap();
+            assert_eq!(total_rows(&chunks), rows);
+            let vals: Vec<i64> = chunks
+                .iter()
+                .flat_map(|c| {
+                    c.live_positions()
+                        .into_iter()
+                        .map(|p| c.column(0).as_i64()[p])
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            assert!(
+                vals.iter().enumerate().all(|(i, &v)| v == i as i64),
+                "{workers}-producer merge is not the identity scan"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_rejects_bad_keys() {
+        let mk = || Box::new(Replay::over(&[1, 2], 2)) as BoxOp;
+        assert!(MergeExchange::new(vec![mk()], 3).is_err());
+        assert!(MergeExchange::new(Vec::new(), 0).is_err());
+        let strs = Box::new(Replay {
+            chunks: Default::default(),
+            types: vec![DataType::Str],
+        }) as BoxOp;
+        assert!(MergeExchange::new(vec![strs], 0).is_err());
+    }
+
+    #[test]
+    fn merge_drop_mid_stream_does_not_hang() {
+        let rows = 64 * VECTOR_SIZE;
+        let t = table(rows);
+        let producers = morsel_producers(&t, 4);
+        let mut ex = MergeExchange::new(producers, 0).unwrap();
+        assert!(ex.next().unwrap().is_some());
+        drop(ex); // producers blocked on full channels must unblock
+    }
+
+    #[test]
+    fn merge_error_terminates_stream() {
+        struct Fail;
+        impl Operator for Fail {
+            fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+                Err(ExecError::Plan("injected".into()))
+            }
+            fn out_types(&self) -> &[DataType] {
+                const T: [DataType; 1] = [DataType::I64];
+                &T
+            }
+        }
+        let producers: Vec<BoxOp> = vec![Box::new(Replay::over(&[1, 2, 3], 2)), Box::new(Fail)];
+        let mut ex = MergeExchange::new(producers, 0).unwrap();
+        let err = loop {
+            match ex.next() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("stream ended without surfacing the error"),
+                Err(e) => break e,
+            }
+        };
+        assert!(err.to_string().contains("injected"));
+        assert!(ex.next().unwrap().is_none(), "stream must stay terminated");
     }
 }

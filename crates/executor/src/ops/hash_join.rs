@@ -52,6 +52,90 @@ struct BuildSide {
 
 const NIL: u32 = u32::MAX;
 
+/// The *build phase* of a hash join, separated from probing: accumulates
+/// build-side chunks into normalized key columns plus a payload row store,
+/// then freezes them into the chained hash table a probe phase walks.
+///
+/// The split keeps the phases independently composable: a plain
+/// [`HashJoin`] drains its build child through one `JoinBuild`, and a
+/// *partitioned* join (see `plan::lower`) runs one `JoinBuild`-backed
+/// [`HashJoin`] per key partition behind a
+/// [`crate::ops::HashPartitionExchange`] — P private build tables, no
+/// shared-state contention.
+struct JoinBuild {
+    key_idx: Vec<usize>,
+    payload_idx: Vec<usize>,
+    keys: Vec<Vec<i64>>,
+    payload: RowStore,
+    scratch: Vec<i64>,
+}
+
+impl JoinBuild {
+    fn new(key_idx: Vec<usize>, payload_idx: Vec<usize>, payload_types: Vec<DataType>) -> Self {
+        let nkeys = key_idx.len();
+        JoinBuild {
+            key_idx,
+            payload_idx,
+            keys: vec![Vec::new(); nkeys],
+            payload: RowStore::new(payload_types),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Appends one build-side chunk (live rows only).
+    fn add(&mut self, chunk: &DataChunk) {
+        let positions = chunk.live_positions();
+        for (kv, &ci) in self.keys.iter_mut().zip(&self.key_idx) {
+            normalize_keys_i64(chunk.column(ci), &mut self.scratch);
+            kv.extend(positions.iter().map(|&p| self.scratch[p]));
+        }
+        self.payload.append(chunk, &self.payload_idx);
+    }
+
+    /// Freezes the accumulated rows into a chained hash table (plus an
+    /// optional bloom filter over the row hashes). The build side bypasses
+    /// the expression evaluator, like Vectorwise (§4.1).
+    fn finish(self, want_bloom: bool) -> BuildSide {
+        let rows = self.keys[0].len();
+        let mut row_hashes = vec![0u64; rows];
+        for (k, kv) in self.keys.iter().enumerate() {
+            if k == 0 {
+                for (h, &v) in row_hashes.iter_mut().zip(kv) {
+                    *h = hash_u64(v as u64);
+                }
+            } else {
+                for (h, &v) in row_hashes.iter_mut().zip(kv) {
+                    *h = combine_hash(*h, v as u64);
+                }
+            }
+        }
+        let slots = (rows * 2).next_power_of_two().max(64);
+        let mut heads = vec![NIL; slots];
+        let mut chain = vec![NIL; rows];
+        let mask = slots as u64 - 1;
+        for (r, &h) in row_hashes.iter().enumerate() {
+            let s = (h & mask) as usize;
+            chain[r] = heads[s];
+            heads[s] = r as u32;
+        }
+        let bloom = want_bloom.then(|| {
+            let mut bf = BloomFilter::for_keys(rows);
+            for &h in &row_hashes {
+                bf.insert_hash(h);
+            }
+            bf
+        });
+        BuildSide {
+            keys: self.keys,
+            payload: self.payload.freeze(),
+            heads,
+            chain,
+            mask,
+            bloom,
+        }
+    }
+}
+
 impl BuildSide {
     fn probe_chain(&self, hash: u64) -> u32 {
         self.heads[(hash & self.mask) as usize]
@@ -232,60 +316,21 @@ impl HashJoin {
         })
     }
 
+    /// Drains the build child through the build phase.
     fn do_build(&mut self) -> Result<(), ExecError> {
         let mut child = self.build.take().expect("build called once");
         let build_types = child.out_types().to_vec();
         let payload_types: Vec<DataType> =
             self.payload_idx.iter().map(|&i| build_types[i]).collect();
-        let mut keys: Vec<Vec<i64>> = vec![Vec::new(); self.build_key_idx.len()];
-        let mut payload = RowStore::new(payload_types);
-        let mut scratch = Vec::new();
+        let mut build = JoinBuild::new(
+            self.build_key_idx.clone(),
+            self.payload_idx.clone(),
+            payload_types,
+        );
         while let Some(chunk) = child.next()? {
-            let positions = chunk.live_positions();
-            for (kv, &ci) in keys.iter_mut().zip(&self.build_key_idx) {
-                normalize_keys_i64(chunk.column(ci), &mut scratch);
-                kv.extend(positions.iter().map(|&p| scratch[p]));
-            }
-            payload.append(&chunk, &self.payload_idx);
+            build.add(&chunk);
         }
-        let rows = keys[0].len();
-        // Row hashes (build side bypasses the evaluator, like Vectorwise).
-        let mut row_hashes = vec![0u64; rows];
-        for (k, kv) in keys.iter().enumerate() {
-            if k == 0 {
-                for (h, &v) in row_hashes.iter_mut().zip(kv) {
-                    *h = hash_u64(v as u64);
-                }
-            } else {
-                for (h, &v) in row_hashes.iter_mut().zip(kv) {
-                    *h = combine_hash(*h, v as u64);
-                }
-            }
-        }
-        let slots = (rows * 2).next_power_of_two().max(64);
-        let mut heads = vec![NIL; slots];
-        let mut chain = vec![NIL; rows];
-        let mask = slots as u64 - 1;
-        for (r, &h) in row_hashes.iter().enumerate() {
-            let s = (h & mask) as usize;
-            chain[r] = heads[s];
-            heads[s] = r as u32;
-        }
-        let bloom = self.bloom_inst.as_ref().map(|_| {
-            let mut bf = BloomFilter::for_keys(rows);
-            for &h in &row_hashes {
-                bf.insert_hash(h);
-            }
-            bf
-        });
-        self.built = Some(BuildSide {
-            keys,
-            payload: payload.freeze(),
-            heads,
-            chain,
-            mask,
-            bloom,
-        });
+        self.built = Some(build.finish(self.bloom_inst.is_some()));
         Ok(())
     }
 

@@ -11,7 +11,9 @@ mod select;
 mod sort;
 
 pub use aggregate::{AggSpec, HashAggregate, StreamAggregate};
-pub use exchange::{ConsumerFactory, FragmentFactory, Parallel, PartitionedExchange};
+pub use exchange::{
+    ConsumerFactory, FragmentFactory, HashPartitionExchange, MergeExchange, Parallel, RoutedLane,
+};
 pub use hash_join::{HashJoin, JoinKind};
 pub use merge_join::MergeJoin;
 pub use project::{ProjItem, Project};

@@ -41,9 +41,12 @@ fn integer(ty: DataType) -> bool {
 /// through unchanged) — to the base table's **first column**, which is by
 /// convention its clustering key (every table this engine generates or
 /// materializes is stored in first-column order). Such a chain emits the
-/// key in sorted order, and the physical planner protects that order by
-/// keeping the chain's scan sequential.
-fn clustered_key_chain(plan: &LogicalPlan, key: usize) -> bool {
+/// key in sorted order, and the physical planner protects that order:
+/// either with a sequential scan, or by sharding into morsel fragments
+/// (each internally key-sorted) re-merged by a
+/// [`crate::ops::MergeExchange`] — the same structural test gates both
+/// (`plan::lower::merge_workers`).
+pub(crate) fn clustered_key_chain(plan: &LogicalPlan, key: usize) -> bool {
     match plan {
         LogicalPlan::Scan { table, cols, .. } => {
             cols.get(key).map(String::as_str) == table.column_names().first().map(String::as_str)
@@ -90,19 +93,28 @@ fn check_unique(fields: &[Field]) -> Result<(), PlanError> {
 }
 
 impl PlanBuilder {
-    /// Starts a plan by scanning `table` from `catalog`.
+    /// Starts a plan by scanning `table` from `catalog`. The catalog's
+    /// [`Catalog::row_count`] is captured on the scan node as the
+    /// planner's cardinality anchor — a metadata-backed catalog can
+    /// answer it without materializing the table.
     pub fn scan(catalog: &dyn Catalog, table: &str, cols: &[&str]) -> PlanBuilder {
-        let Some(t) = catalog.lookup(table) else {
+        let (Some(t), Some(rows)) = (catalog.lookup(table), catalog.row_count(table)) else {
             return PlanBuilder {
                 state: Err(PlanError::UnknownTable(table.to_string())),
             };
         };
-        Self::from_table(t, cols)
+        Self::scan_table(t, rows, cols)
     }
 
     /// Starts a plan by scanning an in-memory table directly (temporary
-    /// tables of multi-phase queries).
+    /// tables of multi-phase queries) — the table itself supplies the
+    /// row count a catalog would.
     pub fn from_table(table: Arc<Table>, cols: &[&str]) -> PlanBuilder {
+        let rows = table.rows();
+        Self::scan_table(table, rows, cols)
+    }
+
+    fn scan_table(table: Arc<Table>, base_rows: usize, cols: &[&str]) -> PlanBuilder {
         let state = (|| {
             let mut src = Vec::with_capacity(cols.len());
             let mut fields = Vec::with_capacity(cols.len());
@@ -119,6 +131,7 @@ impl PlanBuilder {
             Ok(LogicalPlan::Scan {
                 table,
                 cols: src,
+                base_rows,
                 schema: Schema::new(fields),
             })
         })();

@@ -5,15 +5,16 @@
 //! *names*, and the resolved output schema. Scans additionally carry the
 //! planner's structural verdict: `(shardable)` when the pipeline above is
 //! order-insensitive (so [`crate::plan::lower`] may shard it across
-//! workers), `(ordered)` when an ancestor merge join pins it to a
-//! sequential scan.
+//! workers), `(ordered)` when an ancestor merge join constrains it.
 //!
 //! [`explain_physical`] renders the same tree against a concrete
-//! [`ExecConfig`], additionally annotating each hash aggregation with the
-//! planner's partitioning verdict — `(partitioned ×P)` when
-//! [`crate::plan::lower`] will route it through a hash-partitioning
-//! exchange. The verdict is computed by the *same* decision function
-//! lowering uses, so EXPLAIN shows what will execute.
+//! [`ExecConfig`], additionally annotating the planner's physical
+//! verdicts: `HashAgg (partitioned ×P)` / `HashJoin (partitioned ×P)`
+//! when [`crate::plan::lower`] will route the operator through a
+//! hash-partitioning exchange, and a `Merge ×N` node above each ordered
+//! chain that shards into `(morsel)` scans re-merged by a
+//! [`crate::ops::MergeExchange`]. Every verdict is computed by the *same*
+//! decision function lowering uses, so EXPLAIN shows what will execute.
 
 use std::fmt;
 
@@ -22,25 +23,65 @@ use ma_vector::Schema;
 use crate::config::ExecConfig;
 use crate::expr::{CmpKind, CmpRhs, Expr, Pred, Value};
 use crate::ops::{AggSpec, JoinKind, ProjItem, SortKey};
+use crate::plan::lower::OrderCtx;
 use crate::plan::LogicalPlan;
 
 impl fmt::Display for LogicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt_node(f, self, 0, None, false, None)
+        fmt_node(f, self, 0, None, RenderCtx::Free, None)
     }
 }
 
 /// Renders `plan` with the physical planner's verdicts for `config`
-/// (worker count, partition knobs): hash aggregations the planner will
-/// partition are annotated `(partitioned ×P)`.
+/// (worker count, partition knobs): operators the planner will partition
+/// are annotated `(partitioned ×P)`, and ordered chains it will shard
+/// render under a `Merge ×N` node with `(morsel)` scans.
 pub fn explain_physical(plan: &LogicalPlan, config: &ExecConfig) -> String {
     struct Physical<'a>(&'a LogicalPlan, &'a ExecConfig);
     impl fmt::Display for Physical<'_> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            fmt_node(f, self.0, 0, None, false, Some(self.1))
+            fmt_node(f, self.0, 0, None, RenderCtx::Free, Some(self.1))
         }
     }
     Physical(plan, config).to_string()
+}
+
+/// The rendering-side ordering context: the planner's [`OrderCtx`] plus
+/// one extra state for subtrees already placed under a `Merge ×N` node
+/// (whose scans render `(morsel)` and never re-trigger a merge).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RenderCtx {
+    Free,
+    Key(usize),
+    Pinned,
+    Morsel,
+}
+
+impl RenderCtx {
+    fn from_order(o: OrderCtx) -> RenderCtx {
+        match o {
+            OrderCtx::Free => RenderCtx::Free,
+            OrderCtx::Key(k) => RenderCtx::Key(k),
+            OrderCtx::Pinned => RenderCtx::Pinned,
+        }
+    }
+
+    /// The context for `plan`'s child at `idx`, via the planner's own
+    /// propagation rule.
+    fn child(self, plan: &LogicalPlan, idx: usize) -> RenderCtx {
+        match self {
+            RenderCtx::Morsel => RenderCtx::Morsel,
+            RenderCtx::Free => {
+                RenderCtx::from_order(super::lower::child_order(plan, idx, OrderCtx::Free))
+            }
+            RenderCtx::Key(k) => {
+                RenderCtx::from_order(super::lower::child_order(plan, idx, OrderCtx::Key(k)))
+            }
+            RenderCtx::Pinned => {
+                RenderCtx::from_order(super::lower::child_order(plan, idx, OrderCtx::Pinned))
+            }
+        }
+    }
 }
 
 fn fmt_node(
@@ -48,16 +89,38 @@ fn fmt_node(
     plan: &LogicalPlan,
     indent: usize,
     tag: Option<&str>,
-    ordered: bool,
+    ctx: RenderCtx,
     config: Option<&ExecConfig>,
 ) -> fmt::Result {
+    // Physical rendering: an ordered chain the planner will shard renders
+    // under a merging-exchange node (same decision function as lowering).
+    if let (RenderCtx::Key(key), Some(cfg)) = (ctx, config) {
+        let workers = super::lower::merge_workers(plan, key, cfg);
+        if workers >= 2 {
+            write!(f, "{:indent$}", "", indent = indent * 2)?;
+            if let Some(t) = tag {
+                write!(f, "{t}: ")?;
+            }
+            let schema = plan.schema();
+            writeln!(
+                f,
+                "Merge \u{d7}{workers} on {} -> {schema}",
+                schema.field(key).name
+            )?;
+            return fmt_node(f, plan, indent + 1, None, RenderCtx::Morsel, config);
+        }
+    }
     write!(f, "{:indent$}", "", indent = indent * 2)?;
     if let Some(t) = tag {
         write!(f, "{t}: ")?;
     }
     match plan {
         LogicalPlan::Scan { table, schema, .. } => {
-            let mode = if ordered { "ordered" } else { "shardable" };
+            let mode = match ctx {
+                RenderCtx::Free => "shardable",
+                RenderCtx::Key(_) | RenderCtx::Pinned => "ordered",
+                RenderCtx::Morsel => "morsel",
+            };
             writeln!(f, "Scan {} ({mode}) -> {schema}", table.name())
         }
         LogicalPlan::Filter {
@@ -71,14 +134,7 @@ fn fmt_node(
                 "Filter {} -> {schema}",
                 render_pred(pred, input.schema())
             )?;
-            fmt_node(
-                f,
-                input,
-                indent + 1,
-                None,
-                super::lower::child_ordered(plan, 0, ordered),
-                config,
-            )
+            fmt_node(f, input, indent + 1, None, ctx.child(plan, 0), config)
         }
         LogicalPlan::Project {
             input,
@@ -102,14 +158,7 @@ fn fmt_node(
                 })
                 .collect();
             writeln!(f, "Project [{}] -> {schema}", parts.join(", "))?;
-            fmt_node(
-                f,
-                input,
-                indent + 1,
-                None,
-                super::lower::child_ordered(plan, 0, ordered),
-                config,
-            )
+            fmt_node(f, input, indent + 1, None, ctx.child(plan, 0), config)
         }
         LogicalPlan::HashAgg {
             input,
@@ -125,7 +174,9 @@ fn fmt_node(
             // Physical rendering: the partitioning verdict, from the same
             // decision function lowering uses.
             let partitions = match config {
-                Some(cfg) if !ordered => super::lower::agg_partition_count(input, cfg),
+                Some(cfg) if ctx == RenderCtx::Free => {
+                    super::lower::agg_partition_count(input, cfg)
+                }
                 _ => 1,
             };
             if partitions >= 2 {
@@ -139,14 +190,7 @@ fn fmt_node(
                 key_names.join(", "),
                 render_aggs(aggs, keys.len(), input.schema(), schema)
             )?;
-            fmt_node(
-                f,
-                input,
-                indent + 1,
-                None,
-                super::lower::child_ordered(plan, 0, ordered),
-                config,
-            )
+            fmt_node(f, input, indent + 1, None, ctx.child(plan, 0), config)
         }
         LogicalPlan::StreamAgg {
             input,
@@ -159,14 +203,7 @@ fn fmt_node(
                 "StreamAgg [{}] -> {schema}",
                 render_aggs(aggs, 0, input.schema(), schema)
             )?;
-            fmt_node(
-                f,
-                input,
-                indent + 1,
-                None,
-                super::lower::child_ordered(plan, 0, ordered),
-                config,
-            )
+            fmt_node(f, input, indent + 1, None, ctx.child(plan, 0), config)
         }
         LogicalPlan::HashJoin {
             build,
@@ -200,7 +237,20 @@ fn fmt_node(
                 .iter()
                 .map(|&i| build.schema().field(i).name.as_str())
                 .collect();
-            write!(f, "HashJoin {kind_name} on ({})", on.join(", "))?;
+            // Physical rendering: the join-partitioning verdict, from the
+            // same decision function lowering uses.
+            let partitions = match config {
+                Some(cfg) if ctx == RenderCtx::Free => {
+                    super::lower::join_partition_count(build, probe, cfg)
+                }
+                _ => 1,
+            };
+            if partitions >= 2 {
+                write!(f, "HashJoin (partitioned \u{d7}{partitions}) ")?;
+            } else {
+                write!(f, "HashJoin ")?;
+            }
+            write!(f, "{kind_name} on ({})", on.join(", "))?;
             if !pay.is_empty() {
                 write!(f, " payload=[{}]", pay.join(", "))?;
             }
@@ -214,7 +264,7 @@ fn fmt_node(
                 build,
                 indent + 1,
                 Some("build"),
-                super::lower::child_ordered(plan, 0, ordered),
+                ctx.child(plan, 0),
                 config,
             )?;
             fmt_node(
@@ -222,7 +272,7 @@ fn fmt_node(
                 probe,
                 indent + 1,
                 Some("probe"),
-                super::lower::child_ordered(plan, 1, ordered),
+                ctx.child(plan, 1),
                 config,
             )
         }
@@ -249,14 +299,15 @@ fn fmt_node(
                 write!(f, " payload=[{}]", pay.join(", "))?;
             }
             writeln!(f, " -> {schema}")?;
-            // Order-sensitive: everything beneath renders (and lowers) as
-            // ordered, until an order-resetting node drops the constraint.
+            // Order-sensitive: the key constraint threads down, until an
+            // order-resetting node drops it — physically, a clustering-key
+            // chain shards under a `Merge ×N` node instead.
             fmt_node(
                 f,
                 left,
                 indent + 1,
                 Some("left"),
-                super::lower::child_ordered(plan, 0, ordered),
+                ctx.child(plan, 0),
                 config,
             )?;
             fmt_node(
@@ -264,7 +315,7 @@ fn fmt_node(
                 right,
                 indent + 1,
                 Some("right"),
-                super::lower::child_ordered(plan, 1, ordered),
+                ctx.child(plan, 1),
                 config,
             )
         }
@@ -289,14 +340,7 @@ fn fmt_node(
                 write!(f, " limit={l}")?;
             }
             writeln!(f, " -> {schema}")?;
-            fmt_node(
-                f,
-                input,
-                indent + 1,
-                None,
-                super::lower::child_ordered(plan, 0, ordered),
-                config,
-            )
+            fmt_node(f, input, indent + 1, None, ctx.child(plan, 0), config)
         }
     }
 }

@@ -13,17 +13,26 @@
 //!   adaptivity, DESIGN.md §5).
 //! * **Partitioned aggregation.** A [`LogicalPlan::HashAgg`] over a
 //!   sharded scan — or over any input with enough estimated groups —
-//!   becomes a [`PartitionedExchange`]: producers route tuples by
+//!   becomes a [`HashPartitionExchange`]: producers route tuples by
 //!   `hash(group keys) % P` to `P` private [`HashAggregate`] instances
 //!   whose disjoint results union in arrival order (DESIGN.md §7).
+//! * **Partitioned join builds.** A [`LogicalPlan::HashJoin`] over big
+//!   enough inputs becomes a *two-lane* [`HashPartitionExchange`]: both
+//!   sides route by `hash(join keys) % P` into `P` private [`HashJoin`]
+//!   instances, each building its own hash table — equal keys land in the
+//!   same partition on both lanes, so the arrival-order union of the
+//!   per-partition join outputs is exact for every join kind
+//!   (DESIGN.md §8).
 //! * **Order sensitivity.** A [`LogicalPlan::MergeJoin`] needs key-sorted
 //!   inputs; a [`Parallel`] union interleaves worker streams in arrival
-//!   order and would break that. The planner therefore lowers everything
-//!   beneath a merge join in *ordered* mode, where scans stay sequential
-//!   — the hazard cannot be expressed, let alone hit. Nodes that *reset*
-//!   order (Sort re-sorts; aggregates and hash-join builds are
-//!   order-insensitive) drop back to unordered mode for their inputs, so
-//!   an order-resetting subtree under a merge join still shards.
+//!   order and would break that. The planner threads the required key
+//!   down as an [`OrderCtx`]: a Filter/Project chain over a scan whose
+//!   key traces to the table's clustering (first) column still shards —
+//!   its morsel fragments are each internally sorted, and a
+//!   [`MergeExchange`] K-way-merges them back into one sorted stream.
+//!   Chains that can't prove the key's order stay sequential, and nodes
+//!   that *reset* order (Sort re-sorts; aggregates and hash-join builds
+//!   are order-insensitive) drop back to unordered mode for their inputs.
 
 use std::sync::Arc;
 
@@ -32,65 +41,117 @@ use ma_vector::{MorselQueue, Table, VECTORS_PER_MORSEL};
 use crate::config::ExecConfig;
 use crate::ops::{AggSpec, ProjItem};
 use crate::ops::{
-    HashAggregate, HashJoin, MergeJoin, Parallel, PartitionedExchange, Scan, Select, Sort,
-    StreamAggregate,
+    HashAggregate, HashJoin, HashPartitionExchange, MergeExchange, MergeJoin, Parallel, RoutedLane,
+    Scan, Select, Sort, StreamAggregate,
 };
+use crate::plan::builder::clustered_key_chain;
 use crate::plan::LogicalPlan;
 use crate::{BoxOp, ExecError, QueryContext};
 
 /// Lowers a logical plan to a physical operator pipeline, deciding
-/// sharding, pipeline pushdown, aggregate partitioning and ordered-scan
-/// fallback centrally (see the [plan module docs](crate::plan)).
+/// sharding, pipeline pushdown, aggregate/join partitioning and the
+/// ordered-pipeline strategy centrally (see the
+/// [plan module docs](crate::plan)).
 pub fn lower(plan: &LogicalPlan, ctx: &QueryContext) -> Result<BoxOp, ExecError> {
-    lower_node(plan, ctx, false)
+    lower_node(plan, ctx, OrderCtx::Free)
+}
+
+/// The ordering constraint an ancestor imposes on a node's output stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OrderCtx {
+    /// No order-sensitive ancestor: scans may shard freely.
+    Free,
+    /// An ancestor consumes the output sorted ascending by this output
+    /// column. Scans may still shard — behind a [`MergeExchange`] on the
+    /// key — when the key provably carries the table's clustering order.
+    Key(usize),
+    /// Ordered, but the key doesn't survive the mapping to this node's
+    /// schema (e.g. a computed projection): sequential scans only.
+    Pinned,
 }
 
 /// Ordered-mode propagation from `plan` to its child at `idx` (0 = input/
-/// build/left, 1 = probe/right), given the node's own `ordered` flag.
+/// build/left, 1 = probe/right), given the constraint on the node itself.
 ///
 /// One function, used by both lowering and the physical EXPLAIN traversal,
 /// so the rendered verdict can never drift from the executed one:
 ///
-/// * Filter/Project stream through — the constraint passes;
+/// * Filter streams through — the constraint (and its key index) passes;
+/// * Project passes the constraint through pass-through items, mapping
+///   the key index; a computed key pins the subtree sequential;
 /// * Sort re-sorts and aggregates materialize — order *resets*, the
 ///   subtree may shard even under a merge join;
 /// * a hash join's build side materializes (resets) while its probe side
-///   streams (inherits);
-/// * a merge join *pins* both children to ordered mode.
-pub(crate) fn child_ordered(plan: &LogicalPlan, idx: usize, ordered: bool) -> bool {
+///   streams (inherits; a key pointing at a build payload column pins);
+/// * a merge join imposes its key on both children.
+pub(crate) fn child_order(plan: &LogicalPlan, idx: usize, order: OrderCtx) -> OrderCtx {
     match plan {
-        LogicalPlan::Scan { .. } | LogicalPlan::Filter { .. } | LogicalPlan::Project { .. } => {
-            ordered
-        }
+        LogicalPlan::Scan { .. } | LogicalPlan::Filter { .. } => order,
+        LogicalPlan::Project { items, .. } => match order {
+            OrderCtx::Key(k) => match items.get(k) {
+                Some(ProjItem::Pass(i)) => OrderCtx::Key(*i),
+                _ => OrderCtx::Pinned,
+            },
+            other => other,
+        },
         LogicalPlan::HashAgg { .. } | LogicalPlan::StreamAgg { .. } | LogicalPlan::Sort { .. } => {
-            false
+            OrderCtx::Free
         }
-        LogicalPlan::HashJoin { .. } => idx != 0 && ordered,
-        LogicalPlan::MergeJoin { .. } => true,
+        LogicalPlan::HashJoin { probe, .. } => {
+            if idx == 0 {
+                OrderCtx::Free
+            } else {
+                match order {
+                    OrderCtx::Key(k) if k >= probe.schema().fields().len() => OrderCtx::Pinned,
+                    other => other,
+                }
+            }
+        }
+        LogicalPlan::MergeJoin {
+            left_key,
+            right_key,
+            ..
+        } => OrderCtx::Key(if idx == 0 { *left_key } else { *right_key }),
     }
 }
 
-/// `ordered`: true when some ancestor consumes its input in key order, so
-/// scans beneath must not shard.
-fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, ordered: bool) -> Result<BoxOp, ExecError> {
-    // Any Filter/Project chain over a big-enough scan shards into worker
-    // fragments, unless an order-sensitive ancestor forbids it.
-    if !ordered {
-        if let Some(chain) = shardable_chain(plan, ctx.config()) {
-            let queue = morsel_queue(&chain, ctx);
-            let workers = ctx.worker_threads();
-            let factory = |_worker: usize, _n: usize| -> Result<BoxOp, ExecError> {
-                build_chain_fragment(&chain, &queue, ctx)
-            };
-            return Ok(Box::new(Parallel::new(workers, &factory)?));
+/// `order`: the constraint some ancestor imposes on this node's output.
+fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, order: OrderCtx) -> Result<BoxOp, ExecError> {
+    match order {
+        // Any Filter/Project chain over a big-enough scan shards into
+        // worker fragments united in arrival order.
+        OrderCtx::Free => {
+            if let Some(chain) = shardable_chain(plan, ctx.config()) {
+                let queue = morsel_queue(&chain, ctx);
+                let workers = ctx.worker_threads();
+                let factory = |_worker: usize, _n: usize| -> Result<BoxOp, ExecError> {
+                    build_chain_fragment(&chain, &queue, ctx)
+                };
+                return Ok(Box::new(Parallel::new(workers, &factory)?));
+            }
         }
+        // Under an ordered ancestor the same chain shards behind a
+        // merging exchange — if the key provably carries the clustering
+        // order (each morsel fragment is then internally sorted).
+        OrderCtx::Key(key) => {
+            let workers = merge_workers(plan, key, ctx.config());
+            if workers >= 2 {
+                let chain = shardable_chain(plan, ctx.config()).expect("merge_workers checked");
+                let queue = morsel_queue(&chain, ctx);
+                let producers: Vec<BoxOp> = (0..workers)
+                    .map(|_| build_chain_fragment(&chain, &queue, ctx))
+                    .collect::<Result<_, _>>()?;
+                return Ok(Box::new(MergeExchange::new(producers, key)?));
+            }
+        }
+        OrderCtx::Pinned => {}
     }
     match plan {
         LogicalPlan::Scan { table, cols, .. } => lower_scan_seq(table, cols, ctx),
         LogicalPlan::Filter {
             input, pred, label, ..
         } => {
-            let child = lower_node(input, ctx, child_ordered(plan, 0, ordered))?;
+            let child = lower_node(input, ctx, child_order(plan, 0, order))?;
             Ok(Box::new(Select::new(child, pred, ctx, label)?))
         }
         LogicalPlan::Project {
@@ -99,7 +160,7 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, ordered: bool) -> Result<B
             label,
             ..
         } => {
-            let child = lower_node(input, ctx, child_ordered(plan, 0, ordered))?;
+            let child = lower_node(input, ctx, child_order(plan, 0, order))?;
             Ok(Box::new(crate::ops::Project::new(
                 child,
                 items.clone(),
@@ -114,18 +175,18 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, ordered: bool) -> Result<B
             label,
             ..
         } => {
-            // Aggregation resets order for its input (`child_ordered`), but
+            // Aggregation resets order for its input (`child_order`), but
             // an ordered *ancestor* still pins the aggregate itself to a
             // single (deterministically ordered) instance.
-            let partitions = if ordered {
-                1
-            } else {
+            let partitions = if order == OrderCtx::Free {
                 agg_partition_count(input, ctx.config())
+            } else {
+                1
             };
             if partitions >= 2 {
                 return lower_partitioned_agg(input, keys, aggs, partitions, ctx, label);
             }
-            let child = lower_node(input, ctx, child_ordered(plan, 0, ordered))?;
+            let child = lower_node(input, ctx, child_order(plan, 0, order))?;
             Ok(Box::new(HashAggregate::new(
                 child,
                 keys.clone(),
@@ -137,7 +198,7 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, ordered: bool) -> Result<B
         LogicalPlan::StreamAgg {
             input, aggs, label, ..
         } => {
-            let child = lower_node(input, ctx, child_ordered(plan, 0, ordered))?;
+            let child = lower_node(input, ctx, child_order(plan, 0, order))?;
             Ok(Box::new(StreamAggregate::new(
                 child,
                 aggs.clone(),
@@ -157,8 +218,18 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, ordered: bool) -> Result<B
             label,
             ..
         } => {
-            let b = lower_node(build, ctx, child_ordered(plan, 0, ordered))?;
-            let p = lower_node(probe, ctx, child_ordered(plan, 1, ordered))?;
+            // A partitioned join's outputs union in arrival order, so an
+            // ordered ancestor pins the join to a single instance.
+            let partitions = if order == OrderCtx::Free {
+                join_partition_count(build, probe, ctx.config())
+            } else {
+                1
+            };
+            if partitions >= 2 {
+                return lower_partitioned_join(plan, partitions, ctx);
+            }
+            let b = lower_node(build, ctx, child_order(plan, 0, order))?;
+            let p = lower_node(probe, ctx, child_order(plan, 1, order))?;
             Ok(Box::new(HashJoin::new(
                 b,
                 p,
@@ -181,11 +252,11 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, ordered: bool) -> Result<B
             label,
             ..
         } => {
-            // Both inputs must arrive key-sorted (`child_ordered` pins
-            // them): sequential scans underneath regardless of the
-            // configured worker count.
-            let l = lower_node(left, ctx, child_ordered(plan, 0, ordered))?;
-            let r = lower_node(right, ctx, child_ordered(plan, 1, ordered))?;
+            // Both inputs must arrive key-sorted: `child_order` threads
+            // the key down, so each input either shards behind a merging
+            // exchange (clustering-key chains) or stays sequential.
+            let l = lower_node(left, ctx, child_order(plan, 0, order))?;
+            let r = lower_node(right, ctx, child_order(plan, 1, order))?;
             Ok(Box::new(MergeJoin::new(
                 l,
                 r,
@@ -199,7 +270,7 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, ordered: bool) -> Result<B
         LogicalPlan::Sort {
             input, keys, limit, ..
         } => {
-            let child = lower_node(input, ctx, child_ordered(plan, 0, ordered))?;
+            let child = lower_node(input, ctx, child_order(plan, 0, order))?;
             Ok(Box::new(Sort::new(
                 child,
                 keys.clone(),
@@ -312,7 +383,7 @@ fn build_chain_fragment(
     Ok(op)
 }
 
-/// Plain sequential scan (the 1-worker engine, small tables, ordered mode).
+/// Plain sequential scan (the 1-worker engine, small tables, pinned mode).
 fn lower_scan_seq(
     table: &Arc<Table>,
     cols: &[String],
@@ -324,6 +395,32 @@ fn lower_scan_seq(
         &names,
         ctx.vector_size(),
     )?))
+}
+
+// ---------------------------------------------------------------------------
+// ordered sharding (merging exchange)
+// ---------------------------------------------------------------------------
+
+/// The planner's verdict for sharding an *ordered* pipeline: the producer
+/// count behind a [`MergeExchange`] on output column `key` (`< 2` means a
+/// sequential scan).
+///
+/// Shards when the node is a shardable Filter/Project chain over a scan
+/// *and* the key provably carries the scanned table's clustering (first-
+/// column) order — the same structural test the plan builder applies to
+/// merge-join inputs ([`clustered_key_chain`]). Each morsel fragment then
+/// emits disjoint ascending key ranges (workers claim morsels in
+/// increasing row order), so the K-way merge restores the global order
+/// exactly. Also used by the physical EXPLAIN rendering, so the verdict
+/// shown is the verdict executed.
+pub(crate) fn merge_workers(plan: &LogicalPlan, key: usize, cfg: &ExecConfig) -> usize {
+    if shardable_chain(plan, cfg).is_none() {
+        return 1;
+    }
+    if !clustered_key_chain(plan, key) {
+        return 1;
+    }
+    cfg.worker_threads.max(1)
 }
 
 // ---------------------------------------------------------------------------
@@ -353,24 +450,25 @@ pub(crate) fn agg_partition_count(input: &LogicalPlan, cfg: &ExecConfig) -> usiz
         return partitions;
     }
     // Group-count stand-in: the input row estimate (groups ≤ rows holds
-    // per input tuple, though the estimate itself is approximate — see
-    // `estimated_rows`).
+    // per input tuple; see `estimated_rows`).
     if estimated_rows(input) >= cfg.agg_min_partition_groups {
         return partitions;
     }
     1
 }
 
-/// Crude row estimate for a plan's output: scans report table rows,
-/// filters and joins pass their streamed side through undiminished. The
-/// planner has no cardinality statistics yet (ROADMAP), so this can err
-/// in *both* directions — filters shrink below it, N:M joins can fan out
-/// above it. It only gates the serial-producer partitioning verdict
-/// (standing in for a group-count estimate), where a miss costs
-/// parallelism, never correctness.
-fn estimated_rows(plan: &LogicalPlan) -> usize {
+/// Row estimate for a plan's output, anchored on **exact base-table row
+/// counts**: scans report the catalog's [`crate::plan::Catalog::row_count`]
+/// answer, captured on the node at plan-build time (`base_rows`), so the
+/// estimate never over-triggers a partitioning verdict on a small base
+/// table. Above the scans the estimate is an upper bound: filters shrink
+/// below it (selectivity unknown), semi/anti/left-single joins are
+/// bounded by their probe side exactly, and only N:M inner joins can fan
+/// out past it (no NDV statistics yet — ROADMAP). A miss costs
+/// parallelism or routing overhead, never correctness.
+pub(crate) fn estimated_rows(plan: &LogicalPlan) -> usize {
     match plan {
-        LogicalPlan::Scan { table, .. } => table.rows(),
+        LogicalPlan::Scan { base_rows, .. } => *base_rows,
         LogicalPlan::Filter { input, .. }
         | LogicalPlan::Project { input, .. }
         | LogicalPlan::Sort { input, .. }
@@ -381,9 +479,23 @@ fn estimated_rows(plan: &LogicalPlan) -> usize {
     }
 }
 
-/// Lowers a hash aggregation as a [`PartitionedExchange`]: producers
-/// (sharded scan fragments when the input decomposes, the serially lowered
-/// input otherwise) route tuples by group-key hash to `partitions` private
+/// Producer fragments for one partitioned-exchange input: the worker
+/// fragments themselves when the input decomposes into a sharded scan
+/// chain (no double exchange), the serially lowered input otherwise.
+fn lane_producers(input: &LogicalPlan, ctx: &QueryContext) -> Result<Vec<BoxOp>, ExecError> {
+    match shardable_chain(input, ctx.config()) {
+        Some(chain) => {
+            let queue = morsel_queue(&chain, ctx);
+            (0..ctx.worker_threads())
+                .map(|_| build_chain_fragment(&chain, &queue, ctx))
+                .collect()
+        }
+        None => Ok(vec![lower_node(input, ctx, OrderCtx::Free)?]),
+    }
+}
+
+/// Lowers a hash aggregation as a single-lane [`HashPartitionExchange`]:
+/// producers route tuples by group-key hash to `partitions` private
 /// [`HashAggregate`] instances. Group keys are disjoint across partitions,
 /// so the arrival-order union of partition outputs *is* the aggregate —
 /// no merge step. All instances share the plan node's label, so
@@ -397,16 +509,12 @@ fn lower_partitioned_agg(
     ctx: &QueryContext,
     label: &str,
 ) -> Result<BoxOp, ExecError> {
-    let producers: Vec<BoxOp> = match shardable_chain(input, ctx.config()) {
-        Some(chain) => {
-            let queue = morsel_queue(&chain, ctx);
-            (0..ctx.worker_threads())
-                .map(|_| build_chain_fragment(&chain, &queue, ctx))
-                .collect::<Result<_, _>>()?
-        }
-        None => vec![lower_node(input, ctx, false)?],
+    let lane = RoutedLane {
+        producers: lane_producers(input, ctx)?,
+        key_cols: keys.to_vec(),
     };
-    let consumer = |source: BoxOp, _p: usize| -> Result<BoxOp, ExecError> {
+    let consumer = |mut sources: Vec<BoxOp>, _p: usize| -> Result<BoxOp, ExecError> {
+        let source = sources.pop().expect("one lane");
         Ok(Box::new(HashAggregate::new(
             source,
             keys.to_vec(),
@@ -415,8 +523,105 @@ fn lower_partitioned_agg(
             label,
         )?))
     };
-    Ok(Box::new(PartitionedExchange::new(
-        producers, keys, partitions, &consumer,
+    Ok(Box::new(HashPartitionExchange::new(
+        vec![lane],
+        partitions,
+        &consumer,
+    )?))
+}
+
+// ---------------------------------------------------------------------------
+// partitioned hash-join builds
+// ---------------------------------------------------------------------------
+
+/// The planner's partitioning verdict for a hash join: the partition count
+/// (`< 2` means one join instance with a single shared build table).
+///
+/// Partition when either side is itself a sharded scan chain (its
+/// producers are already parallel; a single build would serialize them),
+/// or when the larger side's estimated rows reach
+/// [`ExecConfig::join_min_partition_rows`]. Equal keys route to the same
+/// partition on both lanes, so per-partition joins are exact — but their
+/// outputs union in arrival order, so the caller must not partition under
+/// an ordered ancestor. Also used by the physical EXPLAIN rendering.
+pub(crate) fn join_partition_count(
+    build: &LogicalPlan,
+    probe: &LogicalPlan,
+    cfg: &ExecConfig,
+) -> usize {
+    let partitions = if cfg.join_partitions == 0 {
+        cfg.worker_threads.max(1)
+    } else {
+        cfg.join_partitions
+    };
+    if partitions < 2 {
+        return 1;
+    }
+    if shardable_chain(probe, cfg).is_some() || shardable_chain(build, cfg).is_some() {
+        return partitions;
+    }
+    if estimated_rows(build).max(estimated_rows(probe)) >= cfg.join_min_partition_rows {
+        return partitions;
+    }
+    1
+}
+
+/// Lowers a hash join as a two-lane [`HashPartitionExchange`]: the build
+/// side and the probe side each route by their join keys into `partitions`
+/// private [`HashJoin`] instances (P private build tables — no shared
+/// state). Key equality across lanes routes to the same partition, making
+/// the per-partition joins exact for inner, semi, anti and left-single
+/// semantics; the disjoint outputs union in arrival order. All join
+/// instances share the plan node's label, so per-partition bandit
+/// statistics fold through [`QueryContext::merged_reports`].
+fn lower_partitioned_join(
+    plan: &LogicalPlan,
+    partitions: usize,
+    ctx: &QueryContext,
+) -> Result<BoxOp, ExecError> {
+    let LogicalPlan::HashJoin {
+        build,
+        probe,
+        build_keys,
+        probe_keys,
+        payload,
+        kind,
+        bloom,
+        defaults,
+        label,
+        ..
+    } = plan
+    else {
+        unreachable!("lower_partitioned_join is only called on HashJoin nodes");
+    };
+    let lanes = vec![
+        RoutedLane {
+            producers: lane_producers(build, ctx)?,
+            key_cols: build_keys.clone(),
+        },
+        RoutedLane {
+            producers: lane_producers(probe, ctx)?,
+            key_cols: probe_keys.clone(),
+        },
+    ];
+    let consumer = |mut sources: Vec<BoxOp>, _p: usize| -> Result<BoxOp, ExecError> {
+        let probe_src = sources.pop().expect("probe lane");
+        let build_src = sources.pop().expect("build lane");
+        Ok(Box::new(HashJoin::new(
+            build_src,
+            probe_src,
+            build_keys.clone(),
+            probe_keys.clone(),
+            payload.clone(),
+            *kind,
+            *bloom,
+            defaults.clone(),
+            ctx,
+            label,
+        )?))
+    };
+    Ok(Box::new(HashPartitionExchange::new(
+        lanes, partitions, &consumer,
     )?))
 }
 
@@ -640,10 +845,233 @@ mod tests {
     }
 
     #[test]
+    fn verdicts_flip_exactly_at_the_row_count_threshold() {
+        // Scan estimates are exact base-table row counts (the
+        // `Catalog::row_count` contract), so a threshold equal to the
+        // table's count partitions and one past it does not — no slack in
+        // either direction.
+        let rows = 1000;
+        let c = catalog(rows);
+        let plan = PlanBuilder::scan(&c, "t", &["k", "v"])
+            .hash_agg(&["k"], vec![count()], "agg")
+            .build()
+            .unwrap();
+        let agg_input = match &plan {
+            LogicalPlan::HashAgg { input, .. } => input.as_ref(),
+            other => panic!("expected HashAgg root, got {other}"),
+        };
+        let mut cfg = ExecConfig::fixed_default();
+        cfg.worker_threads = 4;
+        cfg.agg_min_partition_groups = rows;
+        assert_eq!(agg_partition_count(agg_input, &cfg), 4);
+        cfg.agg_min_partition_groups = rows + 1;
+        assert_eq!(agg_partition_count(agg_input, &cfg), 1);
+
+        // Join verdict: the larger side (the probe scan, 1000 exact rows)
+        // gates identically.
+        let join = PlanBuilder::scan(&c, "t", &["k", "v"])
+            .hash_join(
+                PlanBuilder::scan(&c, "d", &["dk", "dv"]),
+                &[("k", "dk")],
+                &["dv"],
+                JoinKind::Inner,
+                false,
+                "j",
+            )
+            .build()
+            .unwrap();
+        let LogicalPlan::HashJoin { build, probe, .. } = &join else {
+            panic!("expected HashJoin root");
+        };
+        let mut cfg = ExecConfig::fixed_default();
+        cfg.worker_threads = 4;
+        cfg.join_min_partition_rows = rows;
+        assert_eq!(join_partition_count(build, probe, &cfg), 4);
+        cfg.join_min_partition_rows = rows + 1;
+        assert_eq!(join_partition_count(build, probe, &cfg), 1);
+        // Explicit partition count overrides worker-following; `1`
+        // disables outright.
+        cfg.join_min_partition_rows = rows;
+        cfg.join_partitions = 2;
+        assert_eq!(join_partition_count(build, probe, &cfg), 2);
+        cfg.join_partitions = 1;
+        assert_eq!(join_partition_count(build, probe, &cfg), 1);
+    }
+
+    #[test]
+    fn catalog_row_count_is_the_estimate_source() {
+        // The scan's row estimate comes from `Catalog::row_count`,
+        // captured at plan-build time — not from the materialized table.
+        // A metadata-backed catalog that answers a different count must
+        // shift the estimate (and with it the partitioning verdicts).
+        struct MetaCatalog(HashMap<String, Arc<Table>>);
+        impl crate::plan::Catalog for MetaCatalog {
+            fn lookup(&self, name: &str) -> Option<Arc<Table>> {
+                self.0.get(name).cloned()
+            }
+            fn row_count(&self, name: &str) -> Option<usize> {
+                // Pretend the stored table is a 10-row sample of a
+                // metadata-known cardinality.
+                self.0.get(name).map(|_| 500_000)
+            }
+        }
+        let c = MetaCatalog(catalog(1000));
+        let plan = PlanBuilder::scan(&c, "t", &["k", "v"]).build().unwrap();
+        assert_eq!(estimated_rows(&plan), 500_000);
+        // The default-impl path (HashMap catalog) reports the exact
+        // materialized count, as does `from_table`.
+        let default_c = catalog(1000);
+        let plan = PlanBuilder::scan(&default_c, "t", &["k", "v"])
+            .build()
+            .unwrap();
+        assert_eq!(estimated_rows(&plan), 1000);
+        let t = default_c.get("t").unwrap().clone();
+        let plan = PlanBuilder::from_table(t, &["k", "v"]).build().unwrap();
+        assert_eq!(estimated_rows(&plan), 1000);
+    }
+
+    #[test]
+    fn partitioned_join_runs_one_instance_per_partition() {
+        // The probe side is a sharded scan chain, so the planner must
+        // partition the join: 4 private HashJoin instances (visible as 4
+        // probe-hash instances under the plan node's label), results
+        // identical to the single-instance join.
+        let rows = 3 * VECTORS_PER_MORSEL * 1024;
+        let c = catalog(rows);
+        let mk_plan = |c: &HashMap<String, Arc<Table>>| {
+            PlanBuilder::scan(c, "t", &["k", "v"])
+                .hash_join(
+                    PlanBuilder::scan(c, "d", &["dk", "dv"]),
+                    &[("k", "dk")],
+                    &["dv"],
+                    JoinKind::Inner,
+                    false,
+                    "j",
+                )
+                .build()
+                .unwrap()
+        };
+        let run = |workers: usize| {
+            let plan = mk_plan(&c);
+            let ctx = ctx_with_workers(workers);
+            let mut op = lower(&plan, &ctx).unwrap();
+            let chunks = collect(op.as_mut()).unwrap();
+            drop(op);
+            let mut out: Vec<(i32, i64, i64)> = chunks
+                .iter()
+                .flat_map(|ch| {
+                    ch.live_positions()
+                        .into_iter()
+                        .map(|p| {
+                            (
+                                ch.column(0).as_i32()[p],
+                                ch.column(1).as_i64()[p],
+                                ch.column(2).as_i64()[p],
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            out.sort_unstable();
+            (out, ctx)
+        };
+        let (seq, ctx1) = run(1);
+        let (par, ctx4) = run(4);
+        assert_eq!(seq, par, "partitioned join must match the single join");
+        assert_eq!(seq.len(), (0..rows).filter(|i| i % 7 < 3).count());
+        for &(k, _, dv) in &seq {
+            assert_eq!(dv, k as i64 * 100);
+        }
+        let hash_instances = |ctx: &QueryContext| {
+            ctx.reports()
+                .iter()
+                .filter(|r| r.label == "j/map_hash")
+                .count()
+        };
+        assert_eq!(hash_instances(&ctx1), 1);
+        assert_eq!(
+            hash_instances(&ctx4),
+            4,
+            "expected one join instance per partition"
+        );
+    }
+
+    #[test]
+    fn semi_anti_and_left_single_joins_partition_exactly() {
+        // Every key lands in one partition on both lanes, so the
+        // partitioned union must be exact for all join kinds — including
+        // the ones that depend on *absence* of matches.
+        let rows = 3 * VECTORS_PER_MORSEL * 1024;
+        let c = catalog(rows);
+        for kind in [JoinKind::Semi, JoinKind::Anti] {
+            let run = |workers: usize| {
+                let plan = PlanBuilder::scan(&c, "t", &["k", "v"])
+                    .hash_join(
+                        PlanBuilder::scan(&c, "d", &["dk"]),
+                        &[("k", "dk")],
+                        &[],
+                        kind,
+                        false,
+                        "j",
+                    )
+                    .build()
+                    .unwrap();
+                let ctx = ctx_with_workers(workers);
+                let mut op = lower(&plan, &ctx).unwrap();
+                let mut vals: Vec<i64> = collect(op.as_mut())
+                    .unwrap()
+                    .iter()
+                    .flat_map(|ch| {
+                        ch.live_positions()
+                            .into_iter()
+                            .map(|p| ch.column(1).as_i64()[p])
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                vals.sort_unstable();
+                vals
+            };
+            assert_eq!(run(1), run(4), "{kind:?} join not partition-exact");
+        }
+        // LeftSingle: unmatched probe tuples must get defaults in their
+        // partition, exactly once.
+        let run_ls = |workers: usize| {
+            let plan = PlanBuilder::scan(&c, "t", &["k", "v"])
+                .left_single_join(
+                    PlanBuilder::scan(&c, "d", &["dk", "dv"]),
+                    &[("k", "dk")],
+                    &[("dv", Value::I64(-1))],
+                    "ls",
+                )
+                .build()
+                .unwrap();
+            let ctx = ctx_with_workers(workers);
+            let mut op = lower(&plan, &ctx).unwrap();
+            let mut vals: Vec<(i64, i64)> = collect(op.as_mut())
+                .unwrap()
+                .iter()
+                .flat_map(|ch| {
+                    ch.live_positions()
+                        .into_iter()
+                        .map(|p| (ch.column(1).as_i64()[p], ch.column(2).as_i64()[p]))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            vals.sort_unstable();
+            vals
+        };
+        let (one, four) = (run_ls(1), run_ls(4));
+        assert_eq!(one.len(), rows, "left-single keeps every probe tuple");
+        assert_eq!(one, four);
+    }
+
+    #[test]
     fn sort_resets_order_under_merge_join() {
         // The left input of a merge join is explicitly sorted: everything
-        // beneath the Sort is order-insensitive and must shard, while the
-        // right (streaming) side stays sequential.
+        // beneath the Sort is order-insensitive and shards into an
+        // arrival-order Parallel union. The right (streaming) side is a
+        // clustering-key chain, so it *also* shards — behind a merging
+        // exchange that restores key order.
         let rows = 3 * VECTORS_PER_MORSEL * 1024;
         let c = catalog(rows);
         let left = PlanBuilder::scan(&c, "t", &["v as lv", "k as lk"])
@@ -686,16 +1114,17 @@ mod tests {
         );
         assert_eq!(
             count_label("rsel/"),
-            1,
-            "streaming merge-join input must stay sequential"
+            4,
+            "clustering-key merge-join input should shard behind a merging exchange"
         );
     }
 
     #[test]
-    fn merge_join_children_stay_sequential() {
-        // A merge join over a table large enough that a plain scan would
-        // shard: correct (sorted) results prove the planner forced
-        // sequential scans underneath.
+    fn merge_join_inputs_shard_behind_merging_exchange() {
+        // A merge join over a table large enough to shard: both inputs
+        // are clustering-key chains, so the planner shards them behind
+        // merging exchanges — correct, *sorted* results prove the merge
+        // restored the order the join needs.
         let rows = 3 * VECTORS_PER_MORSEL * 1024;
         let c = catalog(rows);
         // left: unique keys 0..rows (v is unique and sorted); right: same
@@ -713,6 +1142,7 @@ mod tests {
         let ctx = ctx_with_workers(4);
         let mut op = lower(&plan, &ctx).unwrap();
         let chunks = collect(op.as_mut()).unwrap();
+        drop(op);
         assert_eq!(total_rows(&chunks), 10_000);
         let mut last = -1i64;
         for ch in &chunks {
@@ -723,6 +1153,34 @@ mod tests {
                 assert_eq!(ch.column(1).as_i32()[p], ch.column(2).as_i32()[p]);
             }
         }
+        // Both sides ran sharded: one filter instance per worker on the
+        // right, and the kernel still saw sorted streams (asserted above).
+        let sel_instances = ctx
+            .reports()
+            .iter()
+            .filter(|r| r.label.starts_with("sel/"))
+            .count();
+        assert_eq!(sel_instances, 4);
+    }
+
+    #[test]
+    fn non_clustering_merge_key_stays_sequential() {
+        // The planner's merge verdict mirrors the builder's structural
+        // check: only a key that traces to the scanned table's clustering
+        // (first) column shards behind a merging exchange; any other key
+        // has no stored order to merge by and stays sequential.
+        let rows = 3 * VECTORS_PER_MORSEL * 1024;
+        let c = catalog(rows);
+        let plan = PlanBuilder::scan(&c, "t", &["v", "k"]).build().unwrap();
+        let mut cfg = ExecConfig::fixed_default();
+        cfg.worker_threads = 4;
+        // Key 0 (`v`) is the clustering column: shards behind a merge.
+        assert_eq!(merge_workers(&plan, 0, &cfg), 4);
+        // Key 1 (`k`) has no stored order: sequential.
+        assert_eq!(merge_workers(&plan, 1, &cfg), 1);
+        // Single-worker engines never merge-shard.
+        cfg.worker_threads = 1;
+        assert_eq!(merge_workers(&plan, 0, &cfg), 1);
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //! * selections sitting directly on a scan are pushed *into* the scan
 //!   fragments, so the paper's hot selection primitives parallelize with
 //!   per-worker bandit state;
-//! * pipelines feeding order-sensitive consumers (merge join) fall back
-//!   to sequential scans **by construction** — a query author can no
-//!   longer wire a sharded scan under a merge join by accident.
+//! * pipelines feeding order-sensitive consumers (merge join) are safe
+//!   **by construction**: the planner threads the required key down, and
+//!   a chain whose key carries the table's clustering order shards into
+//!   morsel fragments re-merged by a [`crate::ops::MergeExchange`] —
+//!   anything else stays sequential. A query author can no longer wire an
+//!   order-destroying exchange under a merge join by accident.
 //!
 //! [`LogicalPlan`] implements [`std::fmt::Display`] as an `EXPLAIN`-style
 //! indented tree with resolved schemas and the planner's ordered-vs-
@@ -52,6 +55,18 @@ use crate::ops::{AggSpec, JoinKind, ProjItem, SortKey};
 pub trait Catalog {
     /// Looks up a table by name.
     fn lookup(&self, name: &str) -> Option<Arc<Table>>;
+
+    /// The **exact** row count of a base table, or `None` when the table
+    /// doesn't exist. This is the planner's cardinality anchor: scan
+    /// nodes report it as their row estimate, so partitioning verdicts
+    /// (`ExecConfig::agg_min_partition_groups`,
+    /// `ExecConfig::join_min_partition_rows`) never over-trigger on small
+    /// base tables. Implementations backed by materialized tables get it
+    /// for free; a future disk-backed catalog must answer from metadata
+    /// without loading the table.
+    fn row_count(&self, name: &str) -> Option<usize> {
+        self.lookup(name).map(|t| t.rows())
+    }
 }
 
 /// A resolved logical operator tree.
@@ -66,6 +81,11 @@ pub enum LogicalPlan {
         table: Arc<Table>,
         /// Source column names, in output order (pre-alias).
         cols: Vec<String>,
+        /// The catalog's exact row count for the table
+        /// ([`Catalog::row_count`], captured at plan-build time): the
+        /// cardinality anchor the physical planner's partitioning
+        /// verdicts read (`plan::lower::estimated_rows`).
+        base_rows: usize,
         /// Output schema (post-alias names).
         schema: Schema,
     },
@@ -140,8 +160,9 @@ pub enum LogicalPlan {
         schema: Schema,
     },
     /// Merge join over key-sorted inputs; output = right columns ++ left
-    /// payload. Both children are order-sensitive: the planner keeps
-    /// every scan beneath them sequential.
+    /// payload. Both children are order-sensitive: the planner shards
+    /// them behind a merging exchange when the key carries the table's
+    /// clustering order, and keeps them sequential otherwise.
     MergeJoin {
         /// Left (unique-key) plan, materialized.
         left: Box<LogicalPlan>,
@@ -198,5 +219,9 @@ impl std::fmt::Debug for LogicalPlan {
 impl Catalog for std::collections::HashMap<String, Arc<Table>> {
     fn lookup(&self, name: &str) -> Option<Arc<Table>> {
         self.get(name).cloned()
+    }
+
+    fn row_count(&self, name: &str) -> Option<usize> {
+        self.get(name).map(|t| t.rows())
     }
 }

@@ -206,6 +206,13 @@ impl ma_executor::plan::Catalog for TpchData {
     fn lookup(&self, name: &str) -> Option<Arc<Table>> {
         self.table(name).cloned()
     }
+
+    /// Exact row counts straight from the materialized tables — the
+    /// cardinality anchor the physical planner's partitioning verdicts
+    /// rest on (no `Arc` clone, unlike the default implementation).
+    fn row_count(&self, name: &str) -> Option<usize> {
+        self.table(name).map(|t| t.rows())
+    }
 }
 
 fn gen_region() -> Table {

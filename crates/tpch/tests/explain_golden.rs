@@ -4,10 +4,12 @@
 //!
 //! * the tree/schema rendering is stable (Q1, the widest single-phase
 //!   pipeline), and
-//! * **the planner, not the query, decides ordered-vs-sharded scans**:
-//!   Q12's merge join must mark both scans `(ordered)` — the sharded-scan
-//!   hazard the old hand-wired plans had to dodge by calling a special
-//!   `scan_seq` helper is now a planner decision, visible in EXPLAIN.
+//! * **the planner, not the query, decides how ordered pipelines and
+//!   joins parallelize**: Q12's physical plan must show sharded
+//!   `(morsel)` scans feeding `Merge ×N` exchanges — the retired PR-3
+//!   golden pinned both scans `(ordered)` (fully sequential), and this
+//!   golden is the regression canary replacing it — and Q3's joins must
+//!   carry the `HashJoin (partitioned ×P)` verdict.
 
 use ma_executor::ExecConfig;
 use ma_tpch::dbgen::TpchData;
@@ -62,20 +64,79 @@ Sort [l_returnflag asc, l_linestatus asc] -> (l_returnflag:str, l_linestatus:str
 }
 
 #[test]
-fn q12_explain_shows_planner_chose_ordered_scans() {
-    let text = explain_query(12, &db(), &Params::default()).unwrap();
+fn q12_physical_explain_shows_merging_exchanges() {
+    // Both merge-join inputs are clustering-key chains, so the physical
+    // planner shards them into `(morsel)` scans re-merged by a `Merge ×N`
+    // exchange — Q12 parallelizes for the first time. The tiny golden
+    // database is below the default 2-morsel sharding cutoff, so the
+    // vector size is shrunk (morsels follow it) to let the verdict
+    // engage, the same trick the Q1 golden plays with its group
+    // threshold.
+    let mut cfg = ExecConfig::fixed_default().with_workers(4);
+    cfg.vector_size = 32;
+    let text = explain_query_with(12, &db(), &Params::default(), &cfg).unwrap();
     let expected = "\
 HashAgg keys=[l_shipmode, o_orderpriority] aggs=[count=count(*)] -> (l_shipmode:str, o_orderpriority:str, count:i64)
   MergeJoin on (l_orderkey = o_orderkey) payload=[o_orderpriority] -> (l_orderkey:i32, l_shipmode:str, l_shipdate:i32, l_commitdate:i32, l_receiptdate:i32, o_orderpriority:str)
-    left: Scan orders (ordered) -> (o_orderkey:i32, o_orderpriority:str)
-    right: Filter l_shipmode IN ('MAIL', 'SHIP') AND l_receiptdate >= 731 AND l_receiptdate < 1096 AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate -> (l_orderkey:i32, l_shipmode:str, l_shipdate:i32, l_commitdate:i32, l_receiptdate:i32)
-      Scan lineitem (ordered) -> (l_orderkey:i32, l_shipmode:str, l_shipdate:i32, l_commitdate:i32, l_receiptdate:i32)
+    left: Merge \u{d7}4 on o_orderkey -> (o_orderkey:i32, o_orderpriority:str)
+      Scan orders (morsel) -> (o_orderkey:i32, o_orderpriority:str)
+    right: Merge \u{d7}4 on l_orderkey -> (l_orderkey:i32, l_shipmode:str, l_shipdate:i32, l_commitdate:i32, l_receiptdate:i32)
+      Filter l_shipmode IN ('MAIL', 'SHIP') AND l_receiptdate >= 731 AND l_receiptdate < 1096 AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate -> (l_orderkey:i32, l_shipmode:str, l_shipdate:i32, l_commitdate:i32, l_receiptdate:i32)
+        Scan lineitem (morsel) -> (l_orderkey:i32, l_shipmode:str, l_shipdate:i32, l_commitdate:i32, l_receiptdate:i32)
 ";
     assert_eq!(text, expected);
-    // The property the golden string encodes, asserted directly too:
-    // every scan under the merge join is ordered, none shardable.
+    // The properties the golden string encodes, asserted directly too:
+    // both scans shard, each under its own merging exchange, and nothing
+    // is left fully sequential.
+    assert_eq!(text.matches("(morsel)").count(), 2);
+    assert_eq!(text.matches("Merge \u{d7}4").count(), 2);
+    assert!(!text.contains("(ordered)"));
+}
+
+#[test]
+fn q12_structural_explain_keeps_order_constraint_visible() {
+    // Without a physical config the rendering stays structural: the merge
+    // join's order constraint marks both scans `(ordered)`, and a
+    // single-worker config (nothing to shard) renders identically.
+    let text = explain_query(12, &db(), &Params::default()).unwrap();
     assert_eq!(text.matches("(ordered)").count(), 2);
     assert!(!text.contains("(shardable)"));
+    assert!(!text.contains("Merge \u{d7}"));
+    let plain = explain_query_with(12, &db(), &Params::default(), &ExecConfig::fixed_default());
+    assert_eq!(plain.unwrap(), text);
+}
+
+#[test]
+fn q03_physical_explain_shows_partitioned_joins() {
+    // Join partitioning renders from the same decision function lowering
+    // uses. The golden database is below the scan-sharding cutoff, so the
+    // row-estimate trigger is lowered to engage the verdict: both of
+    // Q3's joins split into P private build tables.
+    let cfg = ExecConfig::fixed_default()
+        .with_workers(4)
+        .with_join_min_rows(1024);
+    let text = explain_query_with(3, &db(), &Params::default(), &cfg).unwrap();
+    let expected = "\
+Sort [sum_rev desc, o_orderdate asc] limit=10 -> (l_orderkey:i32, sum_rev:f64, o_orderdate:i32, o_shippriority:i32)
+  Project [l_orderkey, sum_rev, o_orderdate, o_shippriority] -> (l_orderkey:i32, sum_rev:f64, o_orderdate:i32, o_shippriority:i32)
+    HashAgg keys=[l_orderkey, o_orderdate, o_shippriority] aggs=[sum_rev=sum_f64(rev)] -> (l_orderkey:i32, o_orderdate:i32, o_shippriority:i32, sum_rev:f64)
+      Project [l_orderkey, o_orderdate, o_shippriority, rev=(f64(l_extendedprice) * (((f64(l_discount) * 0.01) * -1) + 1))] -> (l_orderkey:i32, o_orderdate:i32, o_shippriority:i32, rev:f64)
+        HashJoin (partitioned \u{d7}4) inner on (l_orderkey = o_orderkey) payload=[o_orderdate, o_shippriority] bloom -> (l_orderkey:i32, l_shipdate:i32, l_extendedprice:i64, l_discount:i64, o_orderdate:i32, o_shippriority:i32)
+          build: HashJoin (partitioned \u{d7}4) semi on (o_custkey = c_custkey) bloom -> (o_orderkey:i32, o_custkey:i32, o_orderdate:i32, o_shippriority:i32)
+            build: Filter c_mktsegment = 'BUILDING' -> (c_custkey:i32, c_mktsegment:str)
+              Scan customer (shardable) -> (c_custkey:i32, c_mktsegment:str)
+            probe: Filter o_orderdate < 1169 -> (o_orderkey:i32, o_custkey:i32, o_orderdate:i32, o_shippriority:i32)
+              Scan orders (shardable) -> (o_orderkey:i32, o_custkey:i32, o_orderdate:i32, o_shippriority:i32)
+          probe: Filter l_shipdate > 1169 -> (l_orderkey:i32, l_shipdate:i32, l_extendedprice:i64, l_discount:i64)
+            Scan lineitem (shardable) -> (l_orderkey:i32, l_shipdate:i32, l_extendedprice:i64, l_discount:i64)
+";
+    assert_eq!(text, expected);
+    // A single-worker config renders structurally (no partition verdict).
+    let plain = explain_query_with(3, &db(), &Params::default(), &ExecConfig::fixed_default());
+    assert_eq!(
+        plain.unwrap(),
+        explain_query(3, &db(), &Params::default()).unwrap()
+    );
 }
 
 #[test]
