@@ -19,9 +19,12 @@ pub mod config;
 pub mod eval;
 pub mod expr;
 pub mod heuristics;
+#[cfg(test)]
+mod model_check;
 pub mod ops;
 pub mod plan;
 pub mod stage;
+pub mod verify;
 
 pub use adaptive::{HeurKind, InstanceReport, PrimInstance, QueryContext};
 pub use config::{ExecConfig, FlavorAxis, FlavorMode};
@@ -30,6 +33,7 @@ pub use expr::{ArithKind, CmpKind, CmpRhs, Expr, Pred, Value};
 pub use ops::{collect, BoxOp, Operator};
 pub use plan::{lower, Catalog, LogicalPlan, PlanBuilder, PlanError};
 pub use stage::StageProfile;
+pub use verify::{sketch, verify, verify_sketch, LaneSketch, PhysSketch, VerifyError};
 
 use ma_vector::TableError;
 

@@ -31,12 +31,13 @@
 //! (so each producer's internal order survives) and interleaves runs by
 //! key on the consuming thread.
 
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::thread::JoinHandle;
+use std::sync::mpsc::SyncSender;
 
 use ma_vector::{DataChunk, DataType, SelVec, Vector};
 
+use crate::ops::xrt::{Rt, RtJoinHandle, RtReceiver, RtSender, StdRt};
 use crate::ops::{normalize_keys_i64, BoxOp, Operator};
+use crate::plan::PlanError;
 use crate::ExecError;
 
 /// Builds one worker's plan fragment. Arguments: worker index, worker
@@ -55,42 +56,47 @@ const CHUNKS_PER_MESSAGE: usize = 8;
 /// vector-at-a-time model lives on produce-then-consume cache residency.
 const CHANNEL_DEPTH_PER_WORKER: usize = 2;
 
-type Batch = Result<Vec<DataChunk>, ExecError>;
+pub(crate) type Batch = Result<Vec<DataChunk>, ExecError>;
+
+/// The production union: [`UnionCore`] on OS threads and std channels.
+type Union = UnionCore<StdRt>;
 
 /// The receiving half every exchange shares: a bounded batch channel plus
-/// the worker threads feeding it.
+/// the worker threads feeding it. Generic over the [`Rt`] runtime so the
+/// model checker (`ops::model_check`) can run the *identical*
+/// channel/teardown logic under exhaustively explored schedules.
 ///
 /// `next()` streams buffered chunks, refills from the channel, and — when
 /// every sender is gone — joins the workers to reap panics. Dropping a
 /// `Union` mid-stream closes the receiver *first*, so workers blocked on a
 /// full channel fail their send and exit before the joins run (bounded by
 /// one in-flight batch of work per worker).
-struct Union {
+pub(crate) struct UnionCore<R: Rt> {
     /// `None` once the stream ended (workers joined) — further `next()`
     /// calls return `None`.
-    rx: Option<Receiver<Batch>>,
-    handles: Vec<JoinHandle<()>>,
+    rx: Option<R::Receiver<Batch>>,
+    handles: Vec<R::JoinHandle>,
     /// Chunks of the last received batch, drained front to back.
     buffered: std::collections::VecDeque<DataChunk>,
 }
 
-impl Union {
+impl<R: Rt> UnionCore<R> {
     /// Spawns one worker per operator, all feeding a bounded channel.
-    fn spawn(ops: Vec<BoxOp>) -> Union {
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Batch>(ops.len() * CHANNEL_DEPTH_PER_WORKER);
+    pub(crate) fn spawn(ops: Vec<BoxOp>) -> UnionCore<R> {
+        let (tx, rx) = R::sync_channel::<Batch>(ops.len() * CHANNEL_DEPTH_PER_WORKER);
         let handles = ops
             .into_iter()
             .map(|op| {
                 let tx = tx.clone();
-                std::thread::spawn(move || run_worker(op, &tx))
+                R::spawn(move || run_worker(op, &tx))
             })
             .collect();
-        Union::over(rx, handles)
+        UnionCore::over(rx, handles)
     }
 
     /// A union over an existing channel and worker set.
-    fn over(rx: Receiver<Batch>, handles: Vec<JoinHandle<()>>) -> Union {
-        Union {
+    pub(crate) fn over(rx: R::Receiver<Batch>, handles: Vec<R::JoinHandle>) -> UnionCore<R> {
+        UnionCore {
             rx: Some(rx),
             handles,
             buffered: std::collections::VecDeque::new(),
@@ -98,15 +104,15 @@ impl Union {
     }
 
     /// An already-exhausted union (placeholder during state swaps).
-    fn done() -> Union {
-        Union {
+    fn done() -> UnionCore<R> {
+        UnionCore {
             rx: None,
             handles: Vec::new(),
             buffered: std::collections::VecDeque::new(),
         }
     }
 
-    fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
+    pub(crate) fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
         loop {
             if let Some(chunk) = self.buffered.pop_front() {
                 return Ok(Some(chunk));
@@ -136,7 +142,7 @@ impl Union {
                     }
                     return Err(e);
                 }
-                Err(_) => {
+                Err(()) => {
                     // All senders gone: every worker finished. Join to
                     // reap panics.
                     self.rx = None;
@@ -152,7 +158,7 @@ impl Union {
     }
 }
 
-impl Drop for Union {
+impl<R: Rt> Drop for UnionCore<R> {
     fn drop(&mut self) {
         // Close the receiver before joining: blocked senders unblock.
         self.rx = None;
@@ -206,7 +212,7 @@ fn same_out_types(ops: &[BoxOp], what: &str) -> Result<Vec<DataType>, ExecError>
     Ok(types)
 }
 
-fn run_worker(mut op: BoxOp, tx: &SyncSender<Batch>) {
+pub(crate) fn run_worker<S: RtSender<Batch>>(mut op: BoxOp, tx: &S) {
     let mut batch = Vec::with_capacity(CHUNKS_PER_MESSAGE);
     loop {
         match op.next() {
@@ -364,9 +370,9 @@ fn route_chunk(
 /// limit-style consumer): its slot goes *dead* and the worker keeps
 /// feeding the live partitions. Only when every partition is dead (parent
 /// hung up) does the worker stop early.
-fn run_partitioning_worker(mut op: BoxOp, key_cols: &[usize], txs: Vec<SyncSender<Batch>>) {
+fn run_partitioning_worker<S: RtSender<Batch>>(mut op: BoxOp, key_cols: &[usize], txs: Vec<S>) {
     let nparts = txs.len();
-    let mut txs: Vec<Option<SyncSender<Batch>>> = txs.into_iter().map(Some).collect();
+    let mut txs: Vec<Option<S>> = txs.into_iter().map(Some).collect();
     let mut batches: Vec<Vec<DataChunk>> = (0..nparts)
         .map(|_| Vec::with_capacity(CHUNKS_PER_MESSAGE))
         .collect();
@@ -407,7 +413,7 @@ fn run_partitioning_worker(mut op: BoxOp, key_cols: &[usize], txs: Vec<SyncSende
                 for tx in txs.iter().flatten() {
                     match tx.send(payload) {
                         Ok(()) => return,
-                        Err(std::sync::mpsc::SendError(p)) => payload = p,
+                        Err(p) => payload = p,
                     }
                 }
                 return;
@@ -418,7 +424,7 @@ fn run_partitioning_worker(mut op: BoxOp, key_cols: &[usize], txs: Vec<SyncSende
 
 /// Sends to partition `pid`; a failed send (receiver gone) marks the slot
 /// dead so routing skips it from then on.
-fn send_or_kill(txs: &mut [Option<SyncSender<Batch>>], pid: usize, msg: Batch) {
+fn send_or_kill<S: RtSender<Batch>>(txs: &mut [Option<S>], pid: usize, msg: Batch) {
     if let Some(tx) = &txs[pid] {
         if tx.send(msg).is_err() {
             txs[pid] = None;
@@ -517,9 +523,15 @@ impl HashPartitionExchange {
                         )))
                     }
                     Some(DataType::F64) => {
-                        return Err(ExecError::Plan(
-                            "f64 partition keys unsupported (no hashable equality)".into(),
-                        ))
+                        // Typed, not stringly: hand-built plans that smuggle
+                        // a float key past the builder get the same error
+                        // shape the builder and verifier report.
+                        return Err(PlanError::TypeMismatch {
+                            context: format!("lane {l} partition key column {c}"),
+                            expected: "hashable key (integer or string)".into(),
+                            found: DataType::F64,
+                        }
+                        .into());
                     }
                     Some(_) => {}
                 }
@@ -1134,6 +1146,33 @@ mod tests {
         )
         .is_err());
         assert!(HashPartitionExchange::new(Vec::new(), 2, &consumer).is_err());
+    }
+
+    /// An f64 partition key is a *typed* construction-time error
+    /// (`PlanError::TypeMismatch`), not a key-normalization panic on a
+    /// worker thread mid-query.
+    #[test]
+    fn partitioned_exchange_rejects_float_key_with_typed_error() {
+        let n = 16;
+        let mut f = ColumnBuilder::with_capacity(DataType::F64, n);
+        for i in 0..n {
+            f.push_f64(i as f64);
+        }
+        let t = Arc::new(Table::new("tf", vec![("f".into(), f.finish())]).unwrap());
+        let consumer =
+            |mut src: Vec<BoxOp>, _p: usize| -> Result<BoxOp, ExecError> { Ok(src.pop().unwrap()) };
+        let lanes = vec![RoutedLane {
+            producers: vec![Box::new(Scan::new(t, &["f"], 16).unwrap()) as BoxOp],
+            key_cols: vec![0],
+        }];
+        match HashPartitionExchange::new(lanes, 2, &consumer) {
+            Err(ExecError::Plan(msg)) => {
+                assert!(msg.contains("hashable key"), "unexpected message: {msg}");
+                assert!(msg.contains("f64"), "unexpected message: {msg}");
+            }
+            Ok(_) => panic!("f64 partition key must be rejected"),
+            Err(other) => panic!("expected a plan error, got {other}"),
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Physical operators of the vector-at-a-time engine.
 
 mod aggregate;
-mod exchange;
+pub(crate) mod exchange;
 pub(crate) mod fetch;
 mod hash_join;
 mod merge_join;
@@ -9,6 +9,7 @@ mod project;
 mod scan;
 mod select;
 mod sort;
+pub(crate) mod xrt;
 
 pub use aggregate::{AggSpec, HashAggregate, StreamAggregate};
 pub use exchange::{

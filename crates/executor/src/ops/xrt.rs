@@ -1,0 +1,93 @@
+//! The exchange runtime seam: channels and threads behind a trait.
+//!
+//! Every thread-crossing operation the exchange layer performs — spawning
+//! a worker, sending/receiving a batch on a bounded channel, joining a
+//! handle — goes through [`Rt`], so the *same* union/teardown code runs
+//! on two runtimes:
+//!
+//! * [`StdRt`] — `std::thread` + `std::sync::mpsc`, the production
+//!   runtime (zero-cost: the trait methods inline to the std calls);
+//! * the model runtime (`ops::model_check`, test builds only) — a
+//!   cooperative scheduler that serializes the same operations and
+//!   explores their interleavings exhaustively, proving the teardown
+//!   protocol (no deadlock, no lost wakeup, no tuple loss) under every
+//!   bounded schedule rather than the few a live run happens to hit.
+//!
+//! The trait is deliberately *thin*: exactly the operations
+//! `ops::exchange` uses, with `std`'s semantics (bounded rendezvous
+//! channel, send fails once the receiver is gone, recv fails once all
+//! senders are gone). Anything richer would let the model drift from
+//! what production executes.
+
+/// Sending half of a bounded channel ([`std::sync::mpsc::SyncSender`]
+/// semantics: `send` blocks while the channel is full and fails — giving
+/// the value back — once the receiver is gone).
+pub(crate) trait RtSender<T>: Clone + Send + 'static {
+    /// Blocking send; `Err(msg)` means the receiving half was dropped.
+    fn send(&self, msg: T) -> Result<(), T>;
+}
+
+/// Receiving half of a bounded channel (`recv` blocks while the channel
+/// is empty and fails once every sender is gone).
+pub(crate) trait RtReceiver<T>: Send + 'static {
+    /// Blocking receive; `Err(())` means all senders hung up.
+    fn recv(&self) -> Result<T, ()>;
+}
+
+/// A worker-thread handle; joining reaps the worker's panic payload.
+pub(crate) trait RtJoinHandle {
+    /// Blocks until the worker exits.
+    fn join(self) -> std::thread::Result<()>;
+}
+
+/// A runtime the exchange layer can run on: bounded channels plus worker
+/// threads.
+pub(crate) trait Rt: 'static {
+    /// Sender type for a channel of `T`.
+    type Sender<T: Send + 'static>: RtSender<T>;
+    /// Receiver type for a channel of `T`.
+    type Receiver<T: Send + 'static>: RtReceiver<T>;
+    /// Worker handle type.
+    type JoinHandle: RtJoinHandle;
+
+    /// A bounded channel with capacity `bound`.
+    fn sync_channel<T: Send + 'static>(bound: usize) -> (Self::Sender<T>, Self::Receiver<T>);
+
+    /// Spawns a worker.
+    fn spawn<F: FnOnce() + Send + 'static>(f: F) -> Self::JoinHandle;
+}
+
+/// The production runtime: OS threads and `std::sync::mpsc` channels.
+pub(crate) struct StdRt;
+
+impl<T: Send + 'static> RtSender<T> for std::sync::mpsc::SyncSender<T> {
+    fn send(&self, msg: T) -> Result<(), T> {
+        std::sync::mpsc::SyncSender::send(self, msg).map_err(|e| e.0)
+    }
+}
+
+impl<T: Send + 'static> RtReceiver<T> for std::sync::mpsc::Receiver<T> {
+    fn recv(&self) -> Result<T, ()> {
+        std::sync::mpsc::Receiver::recv(self).map_err(|_| ())
+    }
+}
+
+impl RtJoinHandle for std::thread::JoinHandle<()> {
+    fn join(self) -> std::thread::Result<()> {
+        std::thread::JoinHandle::join(self)
+    }
+}
+
+impl Rt for StdRt {
+    type Sender<T: Send + 'static> = std::sync::mpsc::SyncSender<T>;
+    type Receiver<T: Send + 'static> = std::sync::mpsc::Receiver<T>;
+    type JoinHandle = std::thread::JoinHandle<()>;
+
+    fn sync_channel<T: Send + 'static>(bound: usize) -> (Self::Sender<T>, Self::Receiver<T>) {
+        std::sync::mpsc::sync_channel(bound)
+    }
+
+    fn spawn<F: FnOnce() + Send + 'static>(f: F) -> Self::JoinHandle {
+        std::thread::spawn(f)
+    }
+}

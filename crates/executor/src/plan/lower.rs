@@ -53,6 +53,14 @@ use crate::{BoxOp, ExecError, QueryContext};
 /// ordered-pipeline strategy centrally (see the
 /// [plan module docs](crate::plan)).
 pub fn lower(plan: &LogicalPlan, ctx: &QueryContext) -> Result<BoxOp, ExecError> {
+    // Debug builds re-check every invariant lowering relies on through
+    // the independent verifier (`crate::verify`), so any test that
+    // executes a query also proves its plan well-formed. Release builds
+    // skip the walk; CI additionally sweeps all queries across a
+    // worker/partition/vector-size matrix (crates/tpch/tests).
+    #[cfg(debug_assertions)]
+    crate::verify::verify(plan, ctx.config())
+        .map_err(|e| ExecError::Plan(format!("plan verification failed: {e}")))?;
     lower_node(plan, ctx, OrderCtx::Free)
 }
 
@@ -421,6 +429,18 @@ pub(crate) fn merge_workers(plan: &LogicalPlan, key: usize, cfg: &ExecConfig) ->
         return 1;
     }
     cfg.worker_threads.max(1)
+}
+
+/// The planner's sharding verdict for an order-*insensitive* pipeline:
+/// the worker count behind a [`Parallel`] union (`< 2` means a
+/// sequential scan). Mirrored by the plan verifier's physical sketch
+/// (`crate::verify`), which re-checks exchange placement independently.
+pub(crate) fn shard_workers(plan: &LogicalPlan, cfg: &ExecConfig) -> usize {
+    if shardable_chain(plan, cfg).is_some() {
+        cfg.worker_threads.max(1)
+    } else {
+        1
+    }
 }
 
 // ---------------------------------------------------------------------------

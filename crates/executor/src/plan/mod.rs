@@ -29,11 +29,11 @@
 //! indented tree with resolved schemas and the planner's ordered-vs-
 //! shardable verdict per scan.
 
-mod builder;
+pub(crate) mod builder;
 mod error;
 mod explain;
 mod expr;
-mod lower;
+pub(crate) mod lower;
 
 pub use builder::PlanBuilder;
 pub use error::PlanError;

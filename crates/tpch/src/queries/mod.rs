@@ -105,7 +105,13 @@ pub fn explain_query_with(
 }
 
 /// The (first-phase) logical plan of query `q`.
-fn query_plan(q: usize, db: &TpchData, params: &Params) -> Result<PlanBuilder, ExecError> {
+///
+/// Public so out-of-tree checks — notably the plan-verifier matrix sweep
+/// in `tests/verify_matrix.rs` — can inspect every query's plan without
+/// executing it. Multi-phase queries expose their first (and by far
+/// largest) phase; later phases are built against materialized
+/// intermediates inside [`run_query`].
+pub fn query_plan(q: usize, db: &TpchData, params: &Params) -> Result<PlanBuilder, ExecError> {
     let pb = match q {
         1 => q01_q06::q01_plan(db, params),
         2 => q01_q06::q02_rows_plan(db, params),

@@ -1,0 +1,181 @@
+//! Plan-verifier sweep: every TPC-H query × a worker/partition/vector-size
+//! configuration matrix.
+//!
+//! The verifier (`ma_executor::verify`) re-checks, independently of
+//! lowering, that each plan is schema-consistent, label-unique and places
+//! its exchanges legally under the given configuration. This sweep proves
+//! those invariants hold for all 22 queries across every parallelism
+//! shape the planner can take: sequential, sharded, merge-sharded,
+//! partition-follows-workers, partitioning disabled, and fixed odd
+//! partition counts that disagree with the worker count.
+//!
+//! It also pins the global stats-label discipline: labels are unique
+//! *within* each plan (a duplicate would silently merge two nodes'
+//! adaptive statistics — `verify` rejects it) and, thanks to the `QN/`
+//! prefix convention, unique *across* queries too, so a whole-benchmark
+//! stats dump never aliases two primitives.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use ma_executor::{sketch, verify, ExecConfig, LogicalPlan, PhysSketch};
+use ma_tpch::queries::query_plan;
+use ma_tpch::{Params, TpchData};
+
+/// Shared database: big enough (scale 0.01 ≈ 60k lineitem rows) that the
+/// sharding and partitioning verdicts actually fire under the matrix's
+/// multi-worker configurations.
+fn db() -> &'static TpchData {
+    static DB: OnceLock<TpchData> = OnceLock::new();
+    DB.get_or_init(|| TpchData::generate(0.01, 0xDBD1))
+}
+
+fn config(workers: usize, agg_p: usize, join_p: usize, vsize: usize) -> ExecConfig {
+    let mut cfg = ExecConfig::fixed_default();
+    cfg.worker_threads = workers;
+    cfg.agg_partitions = agg_p;
+    cfg.join_partitions = join_p;
+    cfg.vector_size = vsize;
+    cfg
+}
+
+/// Counts exchange nodes in a sketch so the sweep can prove it exercised
+/// non-sequential shapes (a vacuously-sequential sweep would pass
+/// trivially).
+fn count_exchanges(s: &PhysSketch, tally: &mut (usize, usize, usize)) {
+    match s {
+        PhysSketch::Seq { children }
+        | PhysSketch::Materialize { children }
+        | PhysSketch::Ordered { children } => {
+            for c in children {
+                count_exchanges(c, tally);
+            }
+        }
+        PhysSketch::Parallel { .. } => tally.0 += 1,
+        PhysSketch::Merge { .. } => tally.1 += 1,
+        PhysSketch::HashPartition { lanes, .. } => {
+            tally.2 += 1;
+            for lane in lanes {
+                count_exchanges(&lane.input, tally);
+            }
+        }
+    }
+}
+
+/// Collects every *registry-visible* stats label in a plan: the labels of
+/// nodes that instantiate primitives. Pass-only projections compile to
+/// zero instances, so their labels never reach the stats registry and are
+/// skipped — the same rule `verify` applies for its per-plan uniqueness
+/// check.
+fn collect_labels(plan: &LogicalPlan, out: &mut Vec<String>) {
+    use ma_executor::ops::ProjItem;
+    match plan {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Project {
+            input,
+            items,
+            label,
+            ..
+        } => {
+            if items.iter().any(|i| matches!(i, ProjItem::Expr(_))) {
+                out.push(label.clone());
+            }
+            collect_labels(input, out);
+        }
+        LogicalPlan::Filter { input, label, .. }
+        | LogicalPlan::HashAgg { input, label, .. }
+        | LogicalPlan::StreamAgg { input, label, .. } => {
+            out.push(label.clone());
+            collect_labels(input, out);
+        }
+        LogicalPlan::HashJoin {
+            build,
+            probe,
+            label,
+            ..
+        } => {
+            out.push(label.clone());
+            collect_labels(build, out);
+            collect_labels(probe, out);
+        }
+        LogicalPlan::MergeJoin {
+            left, right, label, ..
+        } => {
+            out.push(label.clone());
+            collect_labels(left, out);
+            collect_labels(right, out);
+        }
+        LogicalPlan::Sort { input, .. } => collect_labels(input, out),
+    }
+}
+
+/// All 22 queries verify under every configuration in the matrix, and the
+/// matrix provably exercises all three exchange kinds.
+#[test]
+fn all_queries_verify_across_config_matrix() {
+    let db = db();
+    let params = Params::default();
+    let mut tally = (0usize, 0usize, 0usize);
+    let mut checked = 0usize;
+    for q in 1..=22 {
+        let plan = query_plan(q, db, &params)
+            .unwrap_or_else(|e| panic!("Q{q}: plan construction failed: {e}"))
+            .build()
+            .unwrap_or_else(|e| panic!("Q{q}: build failed: {e}"));
+        for workers in [1, 2, 4] {
+            for (agg_p, join_p) in [(0, 0), (1, 1), (3, 2)] {
+                for vsize in [64, 1024] {
+                    let cfg = config(workers, agg_p, join_p, vsize);
+                    verify(&plan, &cfg).unwrap_or_else(|e| {
+                        panic!(
+                            "Q{q} failed verification (workers={workers}, \
+                             agg_partitions={agg_p}, join_partitions={join_p}, \
+                             vector_size={vsize}): {e}"
+                        )
+                    });
+                    count_exchanges(&sketch(&plan, &cfg), &mut tally);
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 22 * 3 * 3 * 2);
+    let (parallel, merge, partition) = tally;
+    assert!(parallel > 0, "matrix never produced a Parallel exchange");
+    assert!(merge > 0, "matrix never produced a Merge exchange");
+    assert!(
+        partition > 0,
+        "matrix never produced a HashPartition exchange"
+    );
+}
+
+/// Stats labels are globally unique across all 22 first-phase plans: the
+/// `QN/` prefix convention means a whole-benchmark stats dump can never
+/// alias two different primitives. (Within-plan uniqueness of
+/// instantiating nodes is `verify`'s job, covered by the matrix sweep.)
+#[test]
+fn stats_labels_unique_across_all_queries() {
+    let db = db();
+    let params = Params::default();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut total = 0usize;
+    for q in 1..=22 {
+        let plan = query_plan(q, db, &params)
+            .unwrap_or_else(|e| panic!("Q{q}: {e}"))
+            .build()
+            .unwrap_or_else(|e| panic!("Q{q}: {e}"));
+        let mut labels = Vec::new();
+        collect_labels(&plan, &mut labels);
+        assert!(!labels.is_empty(), "Q{q} has no labeled nodes");
+        for l in labels {
+            let prefix = format!("Q{q}/");
+            assert!(
+                l.starts_with(&prefix),
+                "Q{q} label {l:?} missing its {prefix:?} namespace prefix"
+            );
+            assert!(seen.insert(l.clone()), "label {l:?} reused across queries");
+            total += 1;
+        }
+    }
+    assert!(total >= 100, "expected a rich label set, found {total}");
+}
