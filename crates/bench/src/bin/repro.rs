@@ -3,11 +3,20 @@
 //! ```text
 //! repro <experiment|all> [--sf F] [--seed S] [--json PATH]
 //! repro compare OLD.json NEW.json [--threshold PCT]
+//! repro query "<dsl>" [--sf F] [--limit N]
+//! repro fuzz [--cases N] [--seed S] [--sf F]
 //!
 //! experiments: table1 fig1 fig2 fig4 fig5 fig6 table4 fig8 fig10 table5
 //!              tables6-10 table11 fig11 ablation scaling agg-scaling
 //!              join-scaling
 //! ```
+//!
+//! `query` runs one DSL pipeline (see DESIGN.md §10) against freshly
+//! generated TPC-H data and prints the result table. `fuzz` runs the
+//! differential plan fuzzer — random well-typed queries executed under
+//! every worker/partition/vector-size configuration, results compared —
+//! and exits nonzero on any divergence, printing the shrunk reproduction
+//! and its `(seed, case)` line.
 //!
 //! TPC-H experiments default to scale factor 0.05 (≈300K lineitems); the
 //! micro-benchmarks run on fixed synthetic data. Output goes to stdout;
@@ -29,6 +38,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("compare") {
         compare_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("query") {
+        query_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        fuzz_main(&args[1..]);
     }
     let mut ids: Vec<String> = Vec::new();
     let mut sf = 0.05f64;
@@ -159,12 +174,149 @@ fn compare_main(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `repro query "<dsl>" [--sf F] [--limit N]` — never returns.
+fn query_main(args: &[String]) -> ! {
+    use ma_vector::Vector;
+    let mut text: Option<String> = None;
+    let mut sf = 0.01f64;
+    let mut limit = 20usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sf needs a number"));
+            }
+            "--limit" => {
+                i += 1;
+                limit = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--limit needs an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other if text.is_none() => text = Some(other.to_string()),
+            _ => usage("query takes exactly one DSL string"),
+        }
+        i += 1;
+    }
+    let text = text.unwrap_or_else(|| usage("query needs a DSL string"));
+    eprintln!("generating TPC-H data at SF {sf} ...");
+    let db = ma_tpch::TpchData::generate(sf, 0xDBD1);
+    let plan = match ma_executor::frontend::plan_text(&text, &db) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let ctx = ma_executor::QueryContext::new(
+        std::sync::Arc::new(ma_primitives::build_dictionary()),
+        ma_executor::ExecConfig::fixed_default(),
+    );
+    let store = ma_executor::lower(&plan, &ctx)
+        .and_then(|mut op| ma_executor::ops::materialize(op.as_mut()))
+        .unwrap_or_else(|e| {
+            eprintln!("execution error: {e}");
+            std::process::exit(1);
+        });
+    let names: Vec<&str> = plan
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    println!("{}", names.join("\t"));
+    let shown = store.rows().min(limit);
+    for r in 0..shown {
+        let row: Vec<String> = (0..names.len())
+            .map(|c| match store.col(c) {
+                Vector::I16(v) => v[r].to_string(),
+                Vector::I32(v) => v[r].to_string(),
+                Vector::I64(v) => v[r].to_string(),
+                Vector::F64(v) => format!("{:.4}", v[r]),
+                Vector::Str(s) => s.get(r).to_string(),
+            })
+            .collect();
+        println!("{}", row.join("\t"));
+    }
+    if shown < store.rows() {
+        println!("... ({} more rows)", store.rows() - shown);
+    }
+    eprintln!("{} rows", store.rows());
+    std::process::exit(0);
+}
+
+/// `repro fuzz [--cases N] [--seed S] [--sf F]` — never returns.
+fn fuzz_main(args: &[String]) -> ! {
+    let mut cases = 500u64;
+    let mut seed = 0xF022u64;
+    let mut sf = 0.01f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cases" => {
+                i += 1;
+                cases = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--cases needs an integer"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--sf" => {
+                i += 1;
+                sf = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sf needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown fuzz option: {other}")),
+        }
+        i += 1;
+    }
+    eprintln!("generating TPC-H data at SF {sf} ...");
+    let db = std::sync::Arc::new(ma_tpch::TpchData::generate(sf, 0xDBD1));
+    let fuzzer = ma_tpch::fuzz::Fuzzer::new(db);
+    eprintln!("fuzzing {cases} cases from seed {seed:#x} ...");
+    let t0 = ticks_now();
+    let report = fuzzer.run(seed, cases, |done, fails| {
+        if done % 50 == 0 || done == cases {
+            eprintln!("  {done}/{cases} cases, {fails} failure(s)");
+        }
+    });
+    let _ = ticks_now().saturating_sub(t0);
+    for f in &report.failures {
+        println!("FAIL case {} (seed {:#x})", f.case, f.seed);
+        println!("  query:     {}", f.query);
+        println!("  minimized: {}", f.minimized);
+        println!("  detail:    {}", f.detail);
+    }
+    if report.ok() {
+        println!("OK: {cases} cases, all configurations agree");
+        std::process::exit(0);
+    }
+    eprintln!("FAIL: {} of {cases} cases diverged", report.failures.len());
+    std::process::exit(1);
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
     eprintln!("usage: repro <experiment|all> [--sf F] [--seed S] [--json PATH]");
     eprintln!("       repro compare OLD.json NEW.json [--threshold PCT]");
+    eprintln!("       repro query \"<dsl>\" [--sf F] [--limit N]");
+    eprintln!("       repro fuzz [--cases N] [--seed S] [--sf F]");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
 }

@@ -1,0 +1,720 @@
+//! The typed abstract syntax tree of the query DSL.
+//!
+//! Every node that can fail resolution carries the [`Span`] of the text it
+//! came from, so both parse errors and plan errors point at the offending
+//! characters. Spans are **diagnostic only**: they deliberately compare
+//! equal (`PartialEq` on [`Span`] is vacuous) so the parser round-trip
+//! property — `parse(display(ast)) == ast` — holds structurally even
+//! though re-rendered text has different offsets.
+//!
+//! [`Display`](std::fmt::Display) renders the canonical single-line form
+//! of a query; the parser accepts exactly that form back (plus redundant
+//! whitespace, parentheses, explicit `asc`, and the `==`/`<>` comparison
+//! spellings, all of which normalize away).
+
+use ma_vector::DataType;
+
+use crate::expr::{ArithKind, CmpKind};
+
+/// A half-open byte range `start..end` into the query text.
+#[derive(Debug, Clone, Copy, Default, Eq)]
+pub struct Span {
+    /// First byte of the spanned text.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The union of two spans (smallest span covering both).
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Spans are diagnostics, not semantics: two ASTs that differ only in
+/// source offsets are the same query, which is exactly what the
+/// round-trip property needs.
+impl PartialEq for Span {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+/// An identifier with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The name as written.
+    pub name: String,
+    /// Where it was written.
+    pub span: Span,
+}
+
+impl Ident {
+    /// An identifier with a synthetic (empty) span, for programmatically
+    /// built ASTs (the fuzzer's generator).
+    pub fn synth(name: impl Into<String>) -> Ident {
+        Ident {
+            name: name.into(),
+            span: Span::default(),
+        }
+    }
+}
+
+impl std::fmt::Display for Ident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A column reference with an optional `as` alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColSpec {
+    /// Source column name.
+    pub name: Ident,
+    /// Output alias (`None` keeps the source name).
+    pub alias: Option<Ident>,
+}
+
+impl ColSpec {
+    /// `name` (no alias) with a synthetic span.
+    pub fn synth(name: impl Into<String>) -> ColSpec {
+        ColSpec {
+            name: Ident::synth(name),
+            alias: None,
+        }
+    }
+
+    /// `name as alias` with synthetic spans.
+    pub fn synth_as(name: impl Into<String>, alias: impl Into<String>) -> ColSpec {
+        ColSpec {
+            name: Ident::synth(name),
+            alias: Some(Ident::synth(alias)),
+        }
+    }
+
+    /// The builder-facing `"source as alias"` spec string.
+    pub(crate) fn spec(&self) -> String {
+        match &self.alias {
+            Some(a) => format!("{} as {}", self.name.name, a.name),
+            None => self.name.name.clone(),
+        }
+    }
+
+    /// The output column name (alias if present).
+    pub fn out_name(&self) -> &str {
+        match &self.alias {
+            Some(a) => &a.name,
+            None => &self.name.name,
+        }
+    }
+}
+
+impl std::fmt::Display for ColSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} as {}", self.name, a),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// A literal value as written (type assignment happens at resolution,
+/// where integer literals coerce to the column type they meet).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// Integer literal (any width; coerced at resolution).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lit::Int(v) => write!(f, "{v}"),
+            // `{:?}` prints the shortest digits that round-trip, and
+            // always marks the value as a float ("1.0", "1e-5").
+            Lit::Float(v) => write!(f, "{v:?}"),
+            Lit::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        _ => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+        }
+    }
+}
+
+/// A scalar expression (the `select` surface).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// Column reference.
+    Col(Ident),
+    /// Literal (valid only as the right operand of arithmetic).
+    Lit(Lit, Span),
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: ArithKind,
+        /// Left operand.
+        lhs: Box<ExprAst>,
+        /// Right operand.
+        rhs: Box<ExprAst>,
+    },
+    /// Widening cast, written `i32(e)` / `i64(e)` / `f64(e)`.
+    Cast {
+        /// Target type.
+        to: DataType,
+        /// Operand.
+        inner: Box<ExprAst>,
+        /// Span of the whole cast call.
+        span: Span,
+    },
+    /// `substr(col, start, len)`.
+    Substr {
+        /// String column.
+        col: Ident,
+        /// 0-based byte offset.
+        start: u64,
+        /// Byte length.
+        len: u64,
+        /// Span of the whole call.
+        span: Span,
+    },
+}
+
+impl ExprAst {
+    /// The span of the expression's text.
+    pub fn span(&self) -> Span {
+        match self {
+            ExprAst::Col(id) => id.span,
+            ExprAst::Lit(_, s) => *s,
+            ExprAst::Binary { lhs, rhs, .. } => lhs.span().to(rhs.span()),
+            ExprAst::Cast { span, .. } | ExprAst::Substr { span, .. } => *span,
+        }
+    }
+
+    fn prec(&self) -> u8 {
+        match self {
+            ExprAst::Binary {
+                op: ArithKind::Add | ArithKind::Sub,
+                ..
+            } => 1,
+            ExprAst::Binary {
+                op: ArithKind::Mul | ArithKind::Div,
+                ..
+            } => 2,
+            _ => 3,
+        }
+    }
+}
+
+fn arith_sym(op: ArithKind) -> &'static str {
+    match op {
+        ArithKind::Add => "+",
+        ArithKind::Sub => "-",
+        ArithKind::Mul => "*",
+        ArithKind::Div => "/",
+    }
+}
+
+impl std::fmt::Display for ExprAst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExprAst::Col(id) => write!(f, "{id}"),
+            ExprAst::Lit(l, _) => write!(f, "{l}"),
+            ExprAst::Binary { op, lhs, rhs } => {
+                // Minimal parens: the tree is left-leaning after parsing,
+                // so the left child may share this precedence but the
+                // right child needs parens at equal precedence.
+                let p = self.prec();
+                if lhs.prec() < p {
+                    write!(f, "({lhs})")?;
+                } else {
+                    write!(f, "{lhs}")?;
+                }
+                write!(f, " {} ", arith_sym(*op))?;
+                if rhs.prec() <= p {
+                    write!(f, "({rhs})")
+                } else {
+                    write!(f, "{rhs}")
+                }
+            }
+            ExprAst::Cast { to, inner, .. } => {
+                let name = match to {
+                    DataType::I16 => "i16",
+                    DataType::I32 => "i32",
+                    DataType::I64 => "i64",
+                    DataType::F64 => "f64",
+                    DataType::Str => "str",
+                };
+                write!(f, "{name}({inner})")
+            }
+            ExprAst::Substr {
+                col, start, len, ..
+            } => {
+                write!(f, "substr({col}, {start}, {len})")
+            }
+        }
+    }
+}
+
+/// The right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmpRhsAst {
+    /// Literal, coerced to the column's type at resolution.
+    Lit(Lit, Span),
+    /// Another column (same type required).
+    Col(Ident),
+}
+
+impl std::fmt::Display for CmpRhsAst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmpRhsAst::Lit(l, _) => write!(f, "{l}"),
+            CmpRhsAst::Col(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// A filter predicate (the `where` surface).
+///
+/// `And`/`Or` hold **two or more** branches and never nest the same
+/// variant directly (the parser flattens chains); the canonical rendering
+/// relies on both invariants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredAst {
+    /// `col op rhs`.
+    Cmp {
+        /// Column.
+        col: Ident,
+        /// Comparison operator.
+        op: CmpKind,
+        /// Literal or column.
+        rhs: CmpRhsAst,
+    },
+    /// `col like "pat"` / `col not like "pat"` (`%` and `_` wildcards).
+    Like {
+        /// String column.
+        col: Ident,
+        /// Pattern.
+        pattern: String,
+        /// `not like`.
+        negated: bool,
+    },
+    /// `col in ("a", "b", ...)`.
+    InStr {
+        /// String column.
+        col: Ident,
+        /// Accepted values.
+        values: Vec<String>,
+    },
+    /// Conjunction.
+    And(Vec<PredAst>),
+    /// Disjunction.
+    Or(Vec<PredAst>),
+}
+
+impl PredAst {
+    /// The span of the predicate's text (anchored at column idents).
+    pub fn span(&self) -> Span {
+        match self {
+            PredAst::Cmp { col, rhs, .. } => match rhs {
+                CmpRhsAst::Lit(_, s) => col.span.to(*s),
+                CmpRhsAst::Col(c) => col.span.to(c.span),
+            },
+            PredAst::Like { col, .. } | PredAst::InStr { col, .. } => col.span,
+            PredAst::And(ps) | PredAst::Or(ps) => ps
+                .iter()
+                .map(PredAst::span)
+                .reduce(Span::to)
+                .unwrap_or_default(),
+        }
+    }
+}
+
+fn cmp_sym(op: CmpKind) -> &'static str {
+    match op {
+        CmpKind::Lt => "<",
+        CmpKind::Le => "<=",
+        CmpKind::Gt => ">",
+        CmpKind::Ge => ">=",
+        CmpKind::Eq => "=",
+        CmpKind::Ne => "!=",
+    }
+}
+
+impl std::fmt::Display for PredAst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredAst::Cmp { col, op, rhs } => write!(f, "{col} {} {rhs}", cmp_sym(*op)),
+            PredAst::Like {
+                col,
+                pattern,
+                negated,
+            } => {
+                let not = if *negated { "not " } else { "" };
+                write!(f, "{col} {not}like {}", Lit::Str(pattern.clone()))
+            }
+            PredAst::InStr { col, values } => {
+                write!(f, "{col} in (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}", Lit::Str(v.clone()))?;
+                }
+                f.write_str(")")
+            }
+            PredAst::And(ps) => {
+                // `and` binds tighter than `or`: direct `or` children need
+                // parens, atoms don't.
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" and ")?;
+                    }
+                    if matches!(p, PredAst::Or(_)) {
+                        write!(f, "({p})")?;
+                    } else {
+                        write!(f, "{p}")?;
+                    }
+                }
+                Ok(())
+            }
+            PredAst::Or(ps) => {
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" or ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One `name = expr` item of a `select` stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// Output column name.
+    pub name: Ident,
+    /// Defining expression.
+    pub expr: ExprAst,
+}
+
+impl std::fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} = {}", self.name, self.expr)
+    }
+}
+
+/// An aggregate function name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count`.
+    Count,
+    /// `sum(col)`.
+    Sum,
+    /// `min(col)`.
+    Min,
+    /// `max(col)`.
+    Max,
+}
+
+/// One aggregate of an `agg` stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// Function.
+    pub func: AggFunc,
+    /// Input column (`None` for `count`).
+    pub col: Option<Ident>,
+    /// Output alias (`None` uses the builder default, e.g. `sum_<col>`).
+    pub alias: Option<Ident>,
+}
+
+impl std::fmt::Display for AggItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.func, &self.col) {
+            (AggFunc::Count, _) => f.write_str("count")?,
+            (AggFunc::Sum, Some(c)) => write!(f, "sum({c})")?,
+            (AggFunc::Min, Some(c)) => write!(f, "min({c})")?,
+            (AggFunc::Max, Some(c)) => write!(f, "max({c})")?,
+            // Unreachable from the parser; render something parseable.
+            (_, None) => f.write_str("count")?,
+        }
+        if let Some(a) = &self.alias {
+            write!(f, " as {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sort key with direction (`asc` is the default and not rendered).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKeyAst {
+    /// Column.
+    pub col: Ident,
+    /// Descending order.
+    pub desc: bool,
+}
+
+impl std::fmt::Display for SortKeyAst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.col)?;
+        if self.desc {
+            f.write_str(" desc")?;
+        }
+        Ok(())
+    }
+}
+
+/// Hash-join semantics selectable in the DSL (`left single` joins have
+/// their own stage because they carry defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKindAst {
+    /// Inner join.
+    Inner,
+    /// Semi join (filter to probe rows with a match).
+    Semi,
+    /// Anti join (filter to probe rows without a match).
+    Anti,
+}
+
+impl std::fmt::Display for JoinKindAst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            JoinKindAst::Inner => "inner",
+            JoinKindAst::Semi => "semi",
+            JoinKindAst::Anti => "anti",
+        })
+    }
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// `where <pred>`.
+    Where(PredAst),
+    /// `select name = expr, ...`.
+    Select(Vec<SelectItem>),
+    /// `keep [col, ...]` — reorder/drop/rename without computing.
+    Keep(Vec<ColSpec>),
+    /// `agg [aggs]` (stream) or `agg by [keys] [aggs]` (hash).
+    Agg {
+        /// Group keys (empty = single-group stream aggregate).
+        keys: Vec<ColSpec>,
+        /// Aggregates.
+        aggs: Vec<AggItem>,
+    },
+    /// `join <kind> (<query>) on probe = build, ... payload [cols] bloom?`.
+    Join {
+        /// Join semantics.
+        kind: JoinKindAst,
+        /// Build-side query.
+        query: Box<Query>,
+        /// `(probe, build)` key pairs.
+        on: Vec<(Ident, Ident)>,
+        /// Build columns carried into the output (inner only).
+        payload: Vec<ColSpec>,
+        /// Bloom-filter probe acceleration.
+        bloom: bool,
+    },
+    /// `join single (<query>) on ... payload [col default lit, ...]`.
+    JoinSingle {
+        /// Build-side query (unique keys required).
+        query: Box<Query>,
+        /// `(probe, build)` key pairs.
+        on: Vec<(Ident, Ident)>,
+        /// Payload columns with per-column defaults for unmatched rows.
+        payload: Vec<(ColSpec, Lit)>,
+    },
+    /// `merge join (<query>) on right_key = left_key payload [cols]`.
+    MergeJoin {
+        /// Left (unique-key, materialized) query.
+        query: Box<Query>,
+        /// `(right, left)` key pair.
+        on: (Ident, Ident),
+        /// Left columns appended to the output.
+        payload: Vec<ColSpec>,
+    },
+    /// `order by key dir, ...`.
+    Order(Vec<SortKeyAst>),
+    /// `top N by key dir, ...`.
+    Top {
+        /// Row limit.
+        n: u64,
+        /// Sort keys.
+        keys: Vec<SortKeyAst>,
+    },
+}
+
+fn write_collist<T: std::fmt::Display>(
+    f: &mut std::fmt::Formatter<'_>,
+    items: &[T],
+) -> std::fmt::Result {
+    f.write_str("[")?;
+    for (i, c) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{c}")?;
+    }
+    f.write_str("]")
+}
+
+fn write_on(f: &mut std::fmt::Formatter<'_>, on: &[(Ident, Ident)]) -> std::fmt::Result {
+    for (i, (p, b)) in on.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{p} = {b}")?;
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Where(p) => write!(f, "where {p}"),
+            Stage::Select(items) => {
+                f.write_str("select ")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                Ok(())
+            }
+            Stage::Keep(cols) => {
+                f.write_str("keep ")?;
+                write_collist(f, cols)
+            }
+            Stage::Agg { keys, aggs } => {
+                f.write_str("agg ")?;
+                if !keys.is_empty() {
+                    f.write_str("by ")?;
+                    write_collist(f, keys)?;
+                    f.write_str(" ")?;
+                }
+                write_collist(f, aggs)
+            }
+            Stage::Join {
+                kind,
+                query,
+                on,
+                payload,
+                bloom,
+            } => {
+                write!(f, "join {kind} ({query}) on ")?;
+                write_on(f, on)?;
+                if !payload.is_empty() {
+                    f.write_str(" payload ")?;
+                    write_collist(f, payload)?;
+                }
+                if *bloom {
+                    f.write_str(" bloom")?;
+                }
+                Ok(())
+            }
+            Stage::JoinSingle { query, on, payload } => {
+                write!(f, "join single ({query}) on ")?;
+                write_on(f, on)?;
+                f.write_str(" payload [")?;
+                for (i, (c, d)) in payload.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{c} default {d}")?;
+                }
+                f.write_str("]")
+            }
+            Stage::MergeJoin { query, on, payload } => {
+                write!(f, "merge join ({query}) on {} = {}", on.0, on.1)?;
+                if !payload.is_empty() {
+                    f.write_str(" payload ")?;
+                    write_collist(f, payload)?;
+                }
+                Ok(())
+            }
+            Stage::Order(keys) => {
+                f.write_str("order by ")?;
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                Ok(())
+            }
+            Stage::Top { n, keys } => {
+                write!(f, "top {n} by ")?;
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Stage {
+    /// A coarse span for the stage (used when a plan error has no finer
+    /// anchor): the span of the first identifier-ish token inside it.
+    pub fn span(&self) -> Span {
+        match self {
+            Stage::Where(p) => p.span(),
+            Stage::Select(items) => items.first().map(|i| i.name.span).unwrap_or_default(),
+            Stage::Keep(cols) => cols.first().map(|c| c.name.span).unwrap_or_default(),
+            Stage::Agg { keys, aggs } => keys
+                .first()
+                .map(|c| c.name.span)
+                .or_else(|| aggs.first().and_then(|a| a.col.as_ref()).map(|c| c.span))
+                .unwrap_or_default(),
+            Stage::Join { on, .. } | Stage::JoinSingle { on, .. } => {
+                on.first().map(|(p, _)| p.span).unwrap_or_default()
+            }
+            Stage::MergeJoin { on, .. } => on.0.span,
+            Stage::Order(keys) | Stage::Top { keys, .. } => {
+                keys.first().map(|k| k.col.span).unwrap_or_default()
+            }
+        }
+    }
+}
+
+/// A whole query: a source scan plus a pipeline of stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Scanned table.
+    pub table: Ident,
+    /// Scanned columns (with optional aliases).
+    pub cols: Vec<ColSpec>,
+    /// Pipeline stages, applied in order.
+    pub stages: Vec<Stage>,
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "from {} ", self.table)?;
+        write_collist(f, &self.cols)?;
+        for s in &self.stages {
+            write!(f, " | {s}")?;
+        }
+        Ok(())
+    }
+}

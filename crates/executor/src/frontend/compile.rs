@@ -1,0 +1,467 @@
+//! AST → [`PlanBuilder`] compilation (name/type resolution).
+//!
+//! The compiler walks the parsed [`Query`] stage by stage, peeking at the
+//! builder's schema between stages to:
+//!
+//! * coerce integer literals to the column type they meet (`l_shipdate <=
+//!   19980902` compares an `i32` column against an `i32` value, with a
+//!   range check — the builder itself requires exact [`Value`] types);
+//! * pick the typed aggregate (`sum` over an `i64` column is `sum_i64`,
+//!   over `f64` is `sum_f64`);
+//! * attach a [`Span`] to every resolution failure, so a
+//!   [`FrontendError::Plan`] points at the offending text just like a
+//!   parse error does.
+//!
+//! Stats labels are generated automatically (`f0`, `p1`, `a2`, ... in
+//! stage order, one shared counter across subqueries) so DSL text stays
+//! label-free while every primitive-instantiating node still gets the
+//! unique label the verifier and the stats registry demand.
+
+use ma_vector::{DataType, Schema};
+
+use super::ast::{
+    AggFunc, AggItem, CmpRhsAst, ExprAst, JoinKindAst, Lit, PredAst, Query, SortKeyAst, Span, Stage,
+};
+use super::FrontendError;
+use crate::expr::{CmpKind, Value};
+use crate::ops::JoinKind;
+use crate::plan::expr::resolve_col;
+use crate::plan::{
+    asc, col, count, desc, lit_f64, lit_i64, max_f64, max_i64, min_f64, min_i64, substr, sum_f64,
+    sum_i64, Agg, Catalog, NamedExpr, NamedPred, PlanBuilder, PlanError, SortSpec,
+};
+
+/// Compiles a parsed query against `catalog` into a finished
+/// [`crate::plan::LogicalPlan`] builder. Resolution failures carry the
+/// span of the stage (or finer: the literal/column) that caused them.
+pub fn compile(q: &Query, catalog: &dyn Catalog) -> Result<PlanBuilder, FrontendError> {
+    let mut labels = 0usize;
+    compile_query(q, catalog, &mut labels)
+}
+
+fn plan_err<T>(err: PlanError, span: Span) -> Result<T, FrontendError> {
+    Err(FrontendError::Plan { err, span })
+}
+
+/// Surfaces a builder-recorded error with `span`, or passes the builder
+/// through untouched.
+fn check(pb: PlanBuilder, span: Span) -> Result<PlanBuilder, FrontendError> {
+    if pb.peek_schema().is_some() {
+        return Ok(pb);
+    }
+    match pb.build() {
+        Err(err) => plan_err(err, span),
+        Ok(_) => plan_err(
+            PlanError::Invalid("builder lost its schema without an error".into()),
+            span,
+        ),
+    }
+}
+
+fn schema_or(pb: &PlanBuilder) -> Schema {
+    // `check` runs after every stage, so the schema is always present
+    // here; an empty schema only feeds a later, better-spanned error.
+    pb.peek_schema()
+        .cloned()
+        .unwrap_or_else(|| Schema::new(vec![]))
+}
+
+fn next_label(labels: &mut usize, prefix: &str) -> String {
+    let l = format!("{prefix}{labels}");
+    *labels += 1;
+    l
+}
+
+fn compile_query(
+    q: &Query,
+    catalog: &dyn Catalog,
+    labels: &mut usize,
+) -> Result<PlanBuilder, FrontendError> {
+    let specs: Vec<String> = q.cols.iter().map(|c| c.spec()).collect();
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let mut pb = check(
+        PlanBuilder::scan(catalog, &q.table.name, &spec_refs),
+        q.table.span,
+    )?;
+    for stage in &q.stages {
+        pb = compile_stage(pb, stage, catalog, labels)?;
+    }
+    Ok(pb)
+}
+
+fn compile_stage(
+    pb: PlanBuilder,
+    stage: &Stage,
+    catalog: &dyn Catalog,
+    labels: &mut usize,
+) -> Result<PlanBuilder, FrontendError> {
+    let span = stage.span();
+    let schema = schema_or(&pb);
+    match stage {
+        Stage::Where(p) => {
+            let pred = compile_pred(p, &schema)?;
+            let label = next_label(labels, "f");
+            check(pb.filter(pred, &label), span)
+        }
+        Stage::Select(items) => {
+            let mut out: Vec<(&str, NamedExpr)> = Vec::with_capacity(items.len());
+            for it in items {
+                out.push((&it.name.name, compile_expr(&it.expr, &schema)?));
+            }
+            let label = next_label(labels, "p");
+            check(pb.project(out, &label), span)
+        }
+        Stage::Keep(cols) => {
+            let specs: Vec<String> = cols.iter().map(|c| c.spec()).collect();
+            let refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+            check(pb.keep(&refs), span)
+        }
+        Stage::Agg { keys, aggs } => {
+            let compiled: Vec<Agg> = aggs
+                .iter()
+                .map(|a| compile_agg(a, &schema))
+                .collect::<Result<_, _>>()?;
+            let label = next_label(labels, "a");
+            if keys.is_empty() {
+                check(pb.stream_agg(compiled, &label), span)
+            } else {
+                let specs: Vec<String> = keys.iter().map(|c| c.spec()).collect();
+                let refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+                check(pb.hash_agg(&refs, compiled, &label), span)
+            }
+        }
+        Stage::Join {
+            kind,
+            query,
+            on,
+            payload,
+            bloom,
+        } => {
+            let build = compile_query(query, catalog, labels)?;
+            let pairs: Vec<(&str, &str)> = on
+                .iter()
+                .map(|(p, b)| (p.name.as_str(), b.name.as_str()))
+                .collect();
+            let specs: Vec<String> = payload.iter().map(|c| c.spec()).collect();
+            let refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+            let kind = match kind {
+                JoinKindAst::Inner => JoinKind::Inner,
+                JoinKindAst::Semi => JoinKind::Semi,
+                JoinKindAst::Anti => JoinKind::Anti,
+            };
+            let label = next_label(labels, "j");
+            check(
+                pb.hash_join(build, &pairs, &refs, kind, *bloom, &label),
+                span,
+            )
+        }
+        Stage::JoinSingle { query, on, payload } => {
+            let build = compile_query(query, catalog, labels)?;
+            let build_schema = schema_or(&build);
+            let pairs: Vec<(&str, &str)> = on
+                .iter()
+                .map(|(p, b)| (p.name.as_str(), b.name.as_str()))
+                .collect();
+            let mut specs: Vec<(String, Value)> = Vec::with_capacity(payload.len());
+            for (c, d) in payload {
+                let i = resolve_col(&build_schema, &c.name.name).map_err(|err| {
+                    FrontendError::Plan {
+                        err,
+                        span: c.name.span,
+                    }
+                })?;
+                let ty = build_schema.field(i).ty;
+                let v = coerce_lit(d, ty, c.name.span, "left-single default")?;
+                specs.push((c.spec(), v));
+            }
+            let refs: Vec<(&str, Value)> =
+                specs.iter().map(|(s, v)| (s.as_str(), v.clone())).collect();
+            let label = next_label(labels, "j");
+            check(pb.left_single_join(build, &pairs, &refs, &label), span)
+        }
+        Stage::MergeJoin { query, on, payload } => {
+            let left = compile_query(query, catalog, labels)?;
+            let specs: Vec<String> = payload.iter().map(|c| c.spec()).collect();
+            let refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+            let label = next_label(labels, "m");
+            check(
+                pb.merge_join(left, (&on.0.name, &on.1.name), &refs, &label),
+                span,
+            )
+        }
+        Stage::Order(keys) => check(pb.sort(&sort_specs(keys)), span),
+        Stage::Top { n, keys } => check(pb.top_n(&sort_specs(keys), *n as usize), span),
+    }
+}
+
+fn sort_specs(keys: &[SortKeyAst]) -> Vec<SortSpec> {
+    keys.iter()
+        .map(|k| {
+            if k.desc {
+                desc(&k.col.name)
+            } else {
+                asc(&k.col.name)
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// literals
+// ---------------------------------------------------------------------------
+
+/// Coerces a written literal to the column type it meets. Integer
+/// literals narrow with a range check; everything else must match.
+fn coerce_lit(lit: &Lit, ty: DataType, span: Span, ctx: &str) -> Result<Value, FrontendError> {
+    let mismatch = |found: DataType| {
+        plan_err(
+            PlanError::TypeMismatch {
+                context: ctx.to_string(),
+                expected: ty.to_string(),
+                found,
+            },
+            span,
+        )
+    };
+    match (lit, ty) {
+        (Lit::Int(v), DataType::I16) => match i16::try_from(*v) {
+            Ok(x) => Ok(Value::I16(x)),
+            Err(_) => plan_err(
+                PlanError::Invalid(format!(
+                    "literal {v} out of range for an i16 column ({ctx})"
+                )),
+                span,
+            ),
+        },
+        (Lit::Int(v), DataType::I32) => match i32::try_from(*v) {
+            Ok(x) => Ok(Value::I32(x)),
+            Err(_) => plan_err(
+                PlanError::Invalid(format!(
+                    "literal {v} out of range for an i32 column ({ctx})"
+                )),
+                span,
+            ),
+        },
+        (Lit::Int(v), DataType::I64) => Ok(Value::I64(*v)),
+        (Lit::Int(v), DataType::F64) => Ok(Value::F64(*v as f64)),
+        (Lit::Int(_), DataType::Str) => mismatch(DataType::I64),
+        (Lit::Float(v), DataType::F64) => Ok(Value::F64(*v)),
+        (Lit::Float(_), _) => mismatch(DataType::F64),
+        (Lit::Str(s), DataType::Str) => Ok(Value::Str(s.clone())),
+        (Lit::Str(_), _) => mismatch(DataType::Str),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// predicates
+// ---------------------------------------------------------------------------
+
+fn compile_pred(p: &PredAst, schema: &Schema) -> Result<NamedPred, FrontendError> {
+    match p {
+        PredAst::Cmp { col, op, rhs } => {
+            let i = resolve_col(schema, &col.name).map_err(|err| FrontendError::Plan {
+                err,
+                span: col.span,
+            })?;
+            let ty = schema.field(i).ty;
+            match rhs {
+                CmpRhsAst::Lit(lit, lspan) => {
+                    if ty == DataType::Str && !matches!(op, CmpKind::Eq | CmpKind::Ne) {
+                        return plan_err(
+                            PlanError::TypeMismatch {
+                                context: format!("ordering comparison on {}", col.name),
+                                expected: "a numeric column (strings support only = and !=)".into(),
+                                found: DataType::Str,
+                            },
+                            col.span.to(*lspan),
+                        );
+                    }
+                    let v = coerce_lit(
+                        lit,
+                        ty,
+                        col.span.to(*lspan),
+                        &format!("comparison on {}", col.name),
+                    )?;
+                    Ok(NamedPred::cmp_val(&col.name, *op, v))
+                }
+                CmpRhsAst::Col(other) => {
+                    let j =
+                        resolve_col(schema, &other.name).map_err(|err| FrontendError::Plan {
+                            err,
+                            span: other.span,
+                        })?;
+                    let oty = schema.field(j).ty;
+                    if oty != ty {
+                        return plan_err(
+                            PlanError::TypeMismatch {
+                                context: format!("comparison {} vs {}", col.name, other.name),
+                                expected: ty.to_string(),
+                                found: oty,
+                            },
+                            col.span.to(other.span),
+                        );
+                    }
+                    Ok(NamedPred::cmp_col(&col.name, *op, &other.name))
+                }
+            }
+        }
+        PredAst::Like {
+            col,
+            pattern,
+            negated,
+        } => {
+            if *negated {
+                Ok(NamedPred::not_like(&col.name, pattern))
+            } else {
+                Ok(NamedPred::like(&col.name, pattern))
+            }
+        }
+        PredAst::InStr { col, values } => Ok(NamedPred::in_str(&col.name, values.iter().cloned())),
+        PredAst::And(ps) => Ok(NamedPred::And(
+            ps.iter()
+                .map(|p| compile_pred(p, schema))
+                .collect::<Result<_, _>>()?,
+        )),
+        PredAst::Or(ps) => Ok(NamedPred::Or(
+            ps.iter()
+                .map(|p| compile_pred(p, schema))
+                .collect::<Result<_, _>>()?,
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// expressions
+// ---------------------------------------------------------------------------
+
+/// Best-effort type of an expression (`None` defers the failure to the
+/// builder's own resolution). Mirrors the evaluator's rules: arithmetic
+/// carries its left operand's type, casts their target, `substr` is a
+/// string.
+fn infer_ty(e: &ExprAst, schema: &Schema) -> Option<DataType> {
+    match e {
+        ExprAst::Col(id) => schema.index_of(&id.name).map(|i| schema.field(i).ty),
+        ExprAst::Lit(Lit::Int(_), _) => Some(DataType::I64),
+        ExprAst::Lit(Lit::Float(_), _) => Some(DataType::F64),
+        ExprAst::Lit(Lit::Str(_), _) => Some(DataType::Str),
+        ExprAst::Binary { lhs, .. } => infer_ty(lhs, schema),
+        ExprAst::Cast { to, .. } => Some(*to),
+        ExprAst::Substr { .. } => Some(DataType::Str),
+    }
+}
+
+fn compile_expr(e: &ExprAst, schema: &Schema) -> Result<NamedExpr, FrontendError> {
+    match e {
+        ExprAst::Col(id) => {
+            // Pre-resolve for the span; the builder will resolve again.
+            resolve_col(schema, &id.name)
+                .map_err(|err| FrontendError::Plan { err, span: id.span })?;
+            Ok(col(&id.name))
+        }
+        ExprAst::Lit(_, span) => plan_err(
+            PlanError::Invalid(
+                "a bare literal is not a projection; combine it with a column".into(),
+            ),
+            *span,
+        ),
+        ExprAst::Binary { op, lhs, rhs } => {
+            if let ExprAst::Lit(_, lspan) = lhs.as_ref() {
+                return plan_err(
+                    PlanError::Invalid(
+                        "a literal may only be the right operand of arithmetic".into(),
+                    ),
+                    *lspan,
+                );
+            }
+            let l = compile_expr(lhs, schema)?;
+            let r = match rhs.as_ref() {
+                ExprAst::Lit(lit, lspan) => {
+                    // The evaluator needs both operands the same type:
+                    // coerce the literal to the left side's type.
+                    let lty = infer_ty(lhs, schema).unwrap_or(DataType::I64);
+                    match (lit, lty) {
+                        (Lit::Int(v), DataType::I64) => lit_i64(*v),
+                        (Lit::Int(v), DataType::F64) => lit_f64(*v as f64),
+                        (Lit::Float(v), DataType::F64) => lit_f64(*v),
+                        _ => {
+                            return plan_err(
+                                PlanError::TypeMismatch {
+                                    context: "arithmetic literal".into(),
+                                    expected: format!(
+                                        "a {lty} literal (arithmetic runs on i64/f64; cast first)"
+                                    ),
+                                    found: match lit {
+                                        Lit::Float(_) => DataType::F64,
+                                        Lit::Str(_) => DataType::Str,
+                                        Lit::Int(_) => DataType::I64,
+                                    },
+                                },
+                                *lspan,
+                            )
+                        }
+                    }
+                }
+                other => compile_expr(other, schema)?,
+            };
+            Ok(match op {
+                crate::expr::ArithKind::Add => l.add(r),
+                crate::expr::ArithKind::Sub => l.sub(r),
+                crate::expr::ArithKind::Mul => l.mul(r),
+                crate::expr::ArithKind::Div => l.div(r),
+            })
+        }
+        ExprAst::Cast { to, inner, .. } => Ok(compile_expr(inner, schema)?.cast(*to)),
+        ExprAst::Substr {
+            col: c, start, len, ..
+        } => Ok(substr(&c.name, *start as usize, *len as usize)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// aggregates
+// ---------------------------------------------------------------------------
+
+fn compile_agg(a: &AggItem, schema: &Schema) -> Result<Agg, FrontendError> {
+    let agg = match (a.func, &a.col) {
+        (AggFunc::Count, _) => count(),
+        (f, Some(c)) => {
+            let i = resolve_col(schema, &c.name)
+                .map_err(|err| FrontendError::Plan { err, span: c.span })?;
+            let ty = schema.field(i).ty;
+            let name = match f {
+                AggFunc::Sum => "sum",
+                AggFunc::Min => "min",
+                AggFunc::Max => "max",
+                AggFunc::Count => unreachable!("count handled above"),
+            };
+            match (f, ty) {
+                (AggFunc::Sum, DataType::I64) => sum_i64(&c.name),
+                (AggFunc::Sum, DataType::F64) => sum_f64(&c.name),
+                (AggFunc::Min, DataType::I64) => min_i64(&c.name),
+                (AggFunc::Min, DataType::F64) => min_f64(&c.name),
+                (AggFunc::Max, DataType::I64) => max_i64(&c.name),
+                (AggFunc::Max, DataType::F64) => max_f64(&c.name),
+                _ => {
+                    return plan_err(
+                        PlanError::TypeMismatch {
+                            context: format!("{name}({})", c.name),
+                            expected: "an i64 or f64 column (cast first)".into(),
+                            found: ty,
+                        },
+                        c.span,
+                    )
+                }
+            }
+        }
+        (_, None) => {
+            return plan_err(
+                PlanError::Invalid("sum/min/max need a column argument".into()),
+                Span::default(),
+            )
+        }
+    };
+    Ok(match &a.alias {
+        Some(al) => agg.named(&al.name),
+        None => agg,
+    })
+}

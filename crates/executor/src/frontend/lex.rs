@@ -1,0 +1,281 @@
+//! Tokenizer for the query DSL.
+//!
+//! Produces a flat token stream with byte spans. Keywords are reserved:
+//! an identifier spelled like a keyword is a [`ParseErrorKind::ReservedWord`]
+//! wherever a plain identifier is required, which keeps the grammar LL(1)
+//! and the canonical rendering unambiguous.
+
+use super::ast::Span;
+
+/// A lexical or syntactic error, anchored to the offending bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Where.
+    pub span: Span,
+}
+
+/// The kinds of parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// A character the lexer has no token for.
+    UnexpectedChar(char),
+    /// A string literal with no closing quote.
+    UnterminatedString,
+    /// A numeric literal that does not fit its type.
+    BadNumber(String),
+    /// The parser needed one thing and saw another.
+    UnexpectedToken {
+        /// What the grammar required at this point.
+        expected: &'static str,
+        /// What was actually there.
+        found: String,
+    },
+    /// A keyword used where a plain identifier is required.
+    ReservedWord(String),
+    /// Well-formed query followed by extra tokens.
+    TrailingInput,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}..{}: ", self.span.start, self.span.end)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::UnterminatedString => f.write_str("unterminated string literal"),
+            ParseErrorKind::BadNumber(s) => write!(f, "bad numeric literal `{s}`"),
+            ParseErrorKind::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::ReservedWord(w) => {
+                write!(f, "`{w}` is a reserved word and cannot be an identifier")
+            }
+            ParseErrorKind::TrailingInput => f.write_str("trailing input after query"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Every reserved word of the DSL grammar.
+pub const KEYWORDS: &[&str] = &[
+    "from", "where", "select", "keep", "agg", "by", "count", "sum", "min", "max", "join", "inner",
+    "semi", "anti", "single", "merge", "on", "payload", "default", "bloom", "order", "top", "asc",
+    "desc", "and", "or", "not", "like", "in", "as", "i16", "i32", "i64", "f64", "substr",
+];
+
+/// One token with its span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind + payload.
+    pub kind: TokenKind,
+    /// Source bytes.
+    pub span: Span,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Plain identifier (not a keyword).
+    Ident(String),
+    /// Reserved word (one of [`KEYWORDS`]).
+    Keyword(&'static str),
+    /// Integer literal (always non-negative; `-` is a separate token).
+    Int(i64),
+    /// Float literal (non-negative, same deal).
+    Float(f64),
+    /// String literal, unescaped.
+    Str(String),
+    /// Punctuation / operator, normalized (`==` → `=`, `<>` → `!=`).
+    Sym(&'static str),
+    /// End of input (span at the end of the text).
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Keyword(k) => format!("`{k}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v:?}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Sym(s) => format!("`{s}`"),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+fn keyword(word: &str) -> Option<&'static str> {
+    KEYWORDS.iter().find(|k| **k == word).copied()
+}
+
+/// Tokenizes `text` (ending with an [`TokenKind::Eof`] token).
+pub fn lex(text: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &text[start..i];
+                let span = Span { start, end: i };
+                let kind = match keyword(word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word.to_string()),
+                };
+                toks.push(Token { kind, span });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut float = false;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    // Only a well-formed exponent makes this a float;
+                    // `12e` would otherwise swallow an identifier head.
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let lit = &text[start..i];
+                let span = Span { start, end: i };
+                let kind = if float {
+                    match lit.parse::<f64>() {
+                        Ok(v) => TokenKind::Float(v),
+                        Err(_) => {
+                            return Err(ParseError {
+                                kind: ParseErrorKind::BadNumber(lit.to_string()),
+                                span,
+                            })
+                        }
+                    }
+                } else {
+                    match lit.parse::<i64>() {
+                        Ok(v) => TokenKind::Int(v),
+                        Err(_) => {
+                            return Err(ParseError {
+                                kind: ParseErrorKind::BadNumber(lit.to_string()),
+                                span,
+                            })
+                        }
+                    }
+                };
+                toks.push(Token { kind, span });
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            s.push(bytes[i + 1] as char);
+                            i += 2;
+                        }
+                        _ => {
+                            // Strings are treated as bytes; the DSL only
+                            // meets ASCII TPC-H data.
+                            s.push(bytes[i] as char);
+                            i += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(ParseError {
+                        kind: ParseErrorKind::UnterminatedString,
+                        span: Span { start, end: i },
+                    });
+                }
+                toks.push(Token {
+                    kind: TokenKind::Str(s),
+                    span: Span { start, end: i },
+                });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &text[i..i + 2]
+                } else {
+                    ""
+                };
+                let (sym, w): (&'static str, usize) = match two {
+                    "<=" => ("<=", 2),
+                    ">=" => (">=", 2),
+                    "!=" => ("!=", 2),
+                    "<>" => ("!=", 2),
+                    "==" => ("=", 2),
+                    _ => match b {
+                        b'|' => ("|", 1),
+                        b'[' => ("[", 1),
+                        b']' => ("]", 1),
+                        b'(' => ("(", 1),
+                        b')' => (")", 1),
+                        b',' => (",", 1),
+                        b'=' => ("=", 1),
+                        b'<' => ("<", 1),
+                        b'>' => (">", 1),
+                        b'+' => ("+", 1),
+                        b'-' => ("-", 1),
+                        b'*' => ("*", 1),
+                        b'/' => ("/", 1),
+                        other => {
+                            return Err(ParseError {
+                                kind: ParseErrorKind::UnexpectedChar(other as char),
+                                span: Span {
+                                    start: i,
+                                    end: i + 1,
+                                },
+                            })
+                        }
+                    },
+                };
+                toks.push(Token {
+                    kind: TokenKind::Sym(sym),
+                    span: Span {
+                        start: i,
+                        end: i + w,
+                    },
+                });
+                i += w;
+            }
+        }
+    }
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        span: Span {
+            start: bytes.len(),
+            end: bytes.len(),
+        },
+    });
+    Ok(toks)
+}

@@ -1,0 +1,91 @@
+//! Text query front end: a small SQL-ish pipeline DSL.
+//!
+//! Queries are written as a source scan followed by `|`-separated stages,
+//! compiled through the same [`PlanBuilder`] the hand-written TPC-H
+//! queries use — the front end adds **no** new execution semantics, only
+//! text:
+//!
+//! ```text
+//! from lineitem [l_orderkey, l_shipdate, l_extendedprice, l_discount]
+//!   | where l_shipdate > 19950315
+//!   | select l_orderkey = l_orderkey,
+//!            rev = f64(l_extendedprice) * (f64(l_discount) * 0.01 * -1.0 + 1.0)
+//!   | agg by [l_orderkey] [sum(rev) as revenue, count as cnt]
+//!   | top 10 by revenue desc, l_orderkey
+//! ```
+//!
+//! The pipeline surface maps 1:1 onto [`PlanBuilder`]: `where` → filter,
+//! `select` → project, `keep`, `agg [by]` → stream/hash aggregation,
+//! `join inner|semi|anti ... [bloom]`, `join single ... payload [col
+//! default v]`, `merge join`, `order by`, and `top N by`. See DESIGN.md
+//! §10 for the grammar (EBNF), the resolution rules, and the literal
+//! coercion story.
+//!
+//! Errors are typed and spanned: [`ParseError`] for text that doesn't
+//! parse, [`FrontendError::Plan`] wrapping the planner's own
+//! [`PlanError`] (unknown column, type mismatch, ...) with the span of
+//! the offending stage or token.
+
+pub mod ast;
+mod compile;
+mod lex;
+mod parse;
+
+pub use ast::{Query, Span};
+pub use compile::compile;
+pub use lex::{ParseError, ParseErrorKind};
+pub use parse::parse;
+
+use crate::plan::{Catalog, LogicalPlan, PlanBuilder, PlanError};
+
+/// Any failure between query text and a finished logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// The text does not parse.
+    Parse(ParseError),
+    /// The text parses but does not resolve against the catalog.
+    Plan {
+        /// The planner's typed error.
+        err: PlanError,
+        /// The text that caused it.
+        span: Span,
+    },
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "{e}"),
+            FrontendError::Plan { err, span } => {
+                write!(f, "plan error at {}..{}: {err}", span.start, span.end)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+/// Parses and compiles `text` against `catalog`, returning the builder
+/// (callers can keep chaining or `build()` it).
+pub fn compile_text(text: &str, catalog: &dyn Catalog) -> Result<PlanBuilder, FrontendError> {
+    let ast = parse(text)?;
+    compile(&ast, catalog)
+}
+
+/// Parses, compiles and builds `text` into a [`LogicalPlan`].
+pub fn plan_text(text: &str, catalog: &dyn Catalog) -> Result<LogicalPlan, FrontendError> {
+    compile_text(text, catalog)?.build().map_err(|err| {
+        // Residual builder errors (those without a finer anchor) point at
+        // the whole query.
+        FrontendError::Plan {
+            err,
+            span: Span::default(),
+        }
+    })
+}

@@ -18,6 +18,7 @@ pub mod adaptive;
 pub mod config;
 pub mod eval;
 pub mod expr;
+pub mod frontend;
 pub mod heuristics;
 #[cfg(test)]
 mod model_check;

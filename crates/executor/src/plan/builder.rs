@@ -526,6 +526,14 @@ impl PlanBuilder {
         })
     }
 
+    /// The current node's output schema, or `None` once an error has been
+    /// recorded. The text front end peeks at this between stages to coerce
+    /// integer literals to the column type they meet (the builder itself
+    /// requires exact [`crate::expr::Value`] types).
+    pub fn peek_schema(&self) -> Option<&Schema> {
+        self.state.as_ref().ok().map(|p| p.schema())
+    }
+
     /// Finishes the plan, surfacing the first recorded error.
     pub fn build(self) -> Result<LogicalPlan, PlanError> {
         self.state

@@ -39,7 +39,7 @@ use std::sync::Arc;
 use ma_vector::{MorselQueue, Table, VECTORS_PER_MORSEL};
 
 use crate::config::ExecConfig;
-use crate::ops::{AggSpec, ProjItem};
+use crate::ops::{AggSpec, JoinKind, ProjItem};
 use crate::ops::{
     HashAggregate, HashJoin, HashPartitionExchange, MergeExchange, MergeJoin, Parallel, RoutedLane,
     Scan, Select, Sort, StreamAggregate,
@@ -482,9 +482,13 @@ pub(crate) fn agg_partition_count(input: &LogicalPlan, cfg: &ExecConfig) -> usiz
 /// answer, captured on the node at plan-build time (`base_rows`), so the
 /// estimate never over-triggers a partitioning verdict on a small base
 /// table. Above the scans the estimate is an upper bound: filters shrink
-/// below it (selectivity unknown), semi/anti/left-single joins are
-/// bounded by their probe side exactly, and only N:M inner joins can fan
-/// out past it (no NDV statistics yet — ROADMAP). A miss costs
+/// below it (selectivity unknown), and semi/anti/left-single joins are
+/// bounded by their probe side exactly (they emit at most one row per
+/// probe tuple). Inner joins — hash or merge — take the **larger** of
+/// their two sides: a 1:N inner join emits at most N rows per distinct
+/// key side, so `max(build, probe)` keeps the bound honest when the big
+/// table sits on the build side; only a genuinely N:M key fan-out can
+/// still exceed it (no NDV statistics yet — ROADMAP). A miss costs
 /// parallelism or routing overhead, never correctness.
 pub(crate) fn estimated_rows(plan: &LogicalPlan) -> usize {
     match plan {
@@ -493,8 +497,15 @@ pub(crate) fn estimated_rows(plan: &LogicalPlan) -> usize {
         | LogicalPlan::Project { input, .. }
         | LogicalPlan::Sort { input, .. }
         | LogicalPlan::HashAgg { input, .. } => estimated_rows(input),
-        LogicalPlan::HashJoin { probe, .. } => estimated_rows(probe),
-        LogicalPlan::MergeJoin { right, .. } => estimated_rows(right),
+        LogicalPlan::HashJoin {
+            build, probe, kind, ..
+        } => match kind {
+            JoinKind::Inner => estimated_rows(build).max(estimated_rows(probe)),
+            JoinKind::Semi | JoinKind::Anti | JoinKind::LeftSingle => estimated_rows(probe),
+        },
+        LogicalPlan::MergeJoin { left, right, .. } => {
+            estimated_rows(left).max(estimated_rows(right))
+        }
         LogicalPlan::StreamAgg { .. } => 1,
     }
 }
@@ -916,6 +927,64 @@ mod tests {
         assert_eq!(join_partition_count(build, probe, &cfg), 2);
         cfg.join_partitions = 1;
         assert_eq!(join_partition_count(build, probe, &cfg), 1);
+    }
+
+    #[test]
+    fn inner_join_estimate_takes_the_larger_side() {
+        // A big build table under a small probe: a 1:N inner join can
+        // emit up to one row per build tuple, so the estimate must not
+        // collapse to the 3-row probe side (it used to, silently
+        // under-firing every verdict above the join).
+        let rows = 1000;
+        let c = catalog(rows);
+        let join = PlanBuilder::scan(&c, "d", &["dk", "dv"])
+            .hash_join(
+                PlanBuilder::scan(&c, "t", &["k", "v"]),
+                &[("dk", "k")],
+                &["v"],
+                JoinKind::Inner,
+                false,
+                "j",
+            )
+            .build()
+            .unwrap();
+        assert_eq!(estimated_rows(&join), rows);
+        // The aggregation verdict directly above the join flips exactly
+        // on the build-side count, not the probe-side one.
+        let mut cfg = ExecConfig::fixed_default();
+        cfg.worker_threads = 4;
+        cfg.agg_min_partition_groups = rows;
+        assert_eq!(agg_partition_count(&join, &cfg), 4);
+        cfg.agg_min_partition_groups = rows + 1;
+        assert_eq!(agg_partition_count(&join, &cfg), 1);
+
+        // Semi joins stay probe-bounded exactly: at most one output row
+        // per probe tuple, regardless of the build side's size.
+        let semi = PlanBuilder::scan(&c, "d", &["dk", "dv"])
+            .hash_join(
+                PlanBuilder::scan(&c, "t", &["k", "v"]),
+                &[("dk", "k")],
+                &[],
+                JoinKind::Semi,
+                false,
+                "s",
+            )
+            .build()
+            .unwrap();
+        assert_eq!(estimated_rows(&semi), 3);
+
+        // Merge join likewise takes the larger side ("t" clusters on its
+        // unique first column `v`, "d" on `dk`).
+        let mj = PlanBuilder::scan(&c, "d", &["dk", "dv"])
+            .merge_join(
+                PlanBuilder::scan(&c, "t", &["v", "k"]),
+                ("dk", "v"),
+                &["k"],
+                "mj",
+            )
+            .build()
+            .unwrap();
+        assert_eq!(estimated_rows(&mj), rows);
     }
 
     #[test]

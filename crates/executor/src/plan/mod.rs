@@ -32,7 +32,7 @@
 pub(crate) mod builder;
 mod error;
 mod explain;
-mod expr;
+pub(crate) mod expr;
 pub(crate) mod lower;
 
 pub use builder::PlanBuilder;

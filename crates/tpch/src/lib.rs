@@ -12,6 +12,7 @@
 
 pub mod dates;
 pub mod dbgen;
+pub mod fuzz;
 pub mod params;
 pub mod queries;
 pub mod runner;
