@@ -5,6 +5,7 @@
 //! repro compare OLD.json NEW.json [--threshold PCT]
 //! repro query "<dsl>" [--sf F] [--limit N]
 //! repro fuzz [--cases N] [--seed S] [--sf F]
+//! repro analyze <query|all|"dsl"> [--sf F]
 //!
 //! experiments: table1 fig1 fig2 fig4 fig5 fig6 table4 fig8 fig10 table5
 //!              tables6-10 table11 fig11 ablation scaling agg-scaling
@@ -44,6 +45,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         fuzz_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("analyze") {
+        analyze_main(&args[1..]);
     }
     let mut ids: Vec<String> = Vec::new();
     let mut sf = 0.05f64;
@@ -309,6 +313,83 @@ fn fuzz_main(args: &[String]) -> ! {
     std::process::exit(1);
 }
 
+/// `repro analyze <query|all|"dsl">` — runs the abstract-interpretation
+/// pass over a plan and prints the derived per-node facts (row bounds,
+/// column intervals, NDV caps, distinctness proofs) plus any findings.
+/// Exits nonzero when a finding is a *hazard* (a reachable runtime trap,
+/// the same class `verify` rejects). Never returns.
+fn analyze_main(args: &[String]) -> ! {
+    let mut target: Option<String> = None;
+    let mut sf = 0.01f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--sf needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            other if target.is_none() => target = Some(other.to_string()),
+            _ => usage("analyze takes one query number, 'all', or a DSL string"),
+        }
+        i += 1;
+    }
+    let target =
+        target.unwrap_or_else(|| usage("analyze needs a query number, 'all', or a DSL string"));
+    eprintln!("generating TPC-H data at SF {sf} ...");
+    let db = ma_tpch::TpchData::generate(sf, 0xDBD1);
+    let queries: Vec<usize> = if target == "all" {
+        (1..=22).collect()
+    } else if let Ok(q) = target.parse::<usize>() {
+        vec![q]
+    } else {
+        Vec::new()
+    };
+    let mut hazards = 0usize;
+    let mut analyze_one = |title: &str, plan: &ma_executor::LogicalPlan| {
+        println!("-- {title} --");
+        println!("{}", ma_executor::analyze::render(plan));
+        let a = ma_executor::analyze(plan);
+        if a.errors.is_empty() {
+            println!("analysis clean: no findings\n");
+            return;
+        }
+        for e in &a.errors {
+            let sev = if e.is_hazard() { "HAZARD" } else { "warning" };
+            println!("{sev}: {e}");
+        }
+        println!();
+        hazards += a.errors.iter().filter(|e| e.is_hazard()).count();
+    };
+    if queries.is_empty() {
+        let plan = match ma_executor::frontend::plan_text(&target, &db) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+        analyze_one("query", &plan);
+    } else {
+        let params = ma_tpch::Params::default();
+        for q in queries {
+            let pb = ma_tpch::queries::query_plan(q, &db, &params).unwrap_or_else(|e| {
+                eprintln!("Q{q}: {e}");
+                std::process::exit(1);
+            });
+            let plan = pb.build().unwrap_or_else(|e| {
+                eprintln!("Q{q}: {e}");
+                std::process::exit(1);
+            });
+            analyze_one(&format!("Q{q}"), &plan);
+        }
+    }
+    std::process::exit(if hazards > 0 { 1 } else { 0 });
+}
+
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
@@ -317,6 +398,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("       repro compare OLD.json NEW.json [--threshold PCT]");
     eprintln!("       repro query \"<dsl>\" [--sf F] [--limit N]");
     eprintln!("       repro fuzz [--cases N] [--seed S] [--sf F]");
+    eprintln!("       repro analyze <query|all|\"dsl\"> [--sf F]");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
     std::process::exit(2);
 }

@@ -15,6 +15,7 @@
 //! [`ops::StreamAggregate`], [`ops::Sort`], [`ops::Limit`].
 
 pub mod adaptive;
+pub mod analyze;
 pub mod config;
 pub mod eval;
 pub mod expr;
@@ -28,6 +29,7 @@ pub mod stage;
 pub mod verify;
 
 pub use adaptive::{HeurKind, InstanceReport, PrimInstance, QueryContext};
+pub use analyze::{analyze, AbsDomain, Analysis, AnalysisError, ColFact, Facts};
 pub use config::{ExecConfig, FlavorAxis, FlavorMode};
 pub use eval::{CompiledExpr, CompiledPred};
 pub use expr::{ArithKind, CmpKind, CmpRhs, Expr, Pred, Value};

@@ -109,7 +109,7 @@ impl JoinBuild {
                 }
             }
         }
-        let slots = (rows * 2).next_power_of_two().max(64);
+        let slots = rows.saturating_mul(2).next_power_of_two().max(64);
         let mut heads = vec![NIL; slots];
         let mut chain = vec![NIL; rows];
         let mask = slots as u64 - 1;
@@ -342,8 +342,8 @@ impl HashJoin {
             self.pending = None;
             return None;
         }
-        let pp = &ppos[*offset..*offset + n];
-        let bb = &brow[*offset..*offset + n];
+        let pp = &ppos[*offset..][..n];
+        let bb = &brow[*offset..][..n];
         let built = self.built.as_ref().expect("built");
         let mut cols: Vec<Arc<Vector>> = Vec::with_capacity(self.types.len());
         for (ci, inst) in self.probe_fetch.iter_mut().enumerate() {

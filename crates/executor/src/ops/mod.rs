@@ -216,7 +216,7 @@ impl FrozenStore {
         let mut start = 0;
         while start < self.rows {
             let n = (self.rows - start).min(vector_size);
-            let rows: Vec<u32> = (start as u32..(start + n) as u32).collect();
+            let rows: Vec<u32> = (start as u32..start.saturating_add(n) as u32).collect();
             let cols = (0..self.cols.len())
                 .map(|i| Arc::new(self.gather(i, &rows)))
                 .collect();

@@ -90,7 +90,7 @@ impl Sort {
         let mut start = 0;
         while start < idx.len() {
             let n = (idx.len() - start).min(self.vector_size);
-            let rows = &idx[start..start + n];
+            let rows = &idx[start..][..n];
             let cols = (0..self.types.len())
                 .map(|i| std::sync::Arc::new(frozen.gather(i, rows)))
                 .collect();

@@ -175,7 +175,7 @@ fn fmt_node(
             // decision function lowering uses.
             let partitions = match config {
                 Some(cfg) if ctx == RenderCtx::Free => {
-                    super::lower::agg_partition_count(input, cfg)
+                    super::lower::agg_partition_count(input, keys, cfg)
                 }
                 _ => 1,
             };

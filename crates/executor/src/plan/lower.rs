@@ -39,7 +39,7 @@ use std::sync::Arc;
 use ma_vector::{MorselQueue, Table, VECTORS_PER_MORSEL};
 
 use crate::config::ExecConfig;
-use crate::ops::{AggSpec, JoinKind, ProjItem};
+use crate::ops::{AggSpec, ProjItem};
 use crate::ops::{
     HashAggregate, HashJoin, HashPartitionExchange, MergeExchange, MergeJoin, Parallel, RoutedLane,
     Scan, Select, Sort, StreamAggregate,
@@ -187,7 +187,7 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, order: OrderCtx) -> Result
             // an ordered *ancestor* still pins the aggregate itself to a
             // single (deterministically ordered) instance.
             let partitions = if order == OrderCtx::Free {
-                agg_partition_count(input, ctx.config())
+                agg_partition_count(input, keys, ctx.config())
             } else {
                 1
             };
@@ -453,11 +453,16 @@ pub(crate) fn shard_workers(plan: &LogicalPlan, cfg: &ExecConfig) -> usize {
 /// Partition when the input is itself a sharded scan chain (the producers
 /// are already parallel — serializing them behind one aggregate would be
 /// the Amdahl bottleneck this exchange exists to remove), or when the
-/// estimated group count exceeds [`ExecConfig::agg_min_partition_groups`]
-/// (a heavy aggregate behind a serial producer still parallelizes its
-/// hash-table work). Also used by the physical EXPLAIN rendering, so the
-/// verdict shown is the verdict executed.
-pub(crate) fn agg_partition_count(input: &LogicalPlan, cfg: &ExecConfig) -> usize {
+/// **proven group-count bound** reaches
+/// [`ExecConfig::agg_min_partition_groups`] (a heavy aggregate behind a
+/// serial producer still parallelizes its hash-table work). The bound is
+/// the abstract interpreter's `min(row bound, Π key NDV)`
+/// ([`crate::analyze::group_bound`]) — a low-NDV key (e.g. a flag column)
+/// now provably caps the group count, so the aggregate stays single where
+/// the raw row estimate used to over-trigger partitioning. Also used by
+/// the physical EXPLAIN rendering, so the verdict shown is the verdict
+/// executed.
+pub(crate) fn agg_partition_count(input: &LogicalPlan, keys: &[usize], cfg: &ExecConfig) -> usize {
     let partitions = if cfg.agg_partitions == 0 {
         cfg.worker_threads.max(1)
     } else {
@@ -469,45 +474,24 @@ pub(crate) fn agg_partition_count(input: &LogicalPlan, cfg: &ExecConfig) -> usiz
     if shardable_chain(input, cfg).is_some() {
         return partitions;
     }
-    // Group-count stand-in: the input row estimate (groups ≤ rows holds
-    // per input tuple; see `estimated_rows`).
-    if estimated_rows(input) >= cfg.agg_min_partition_groups {
+    if crate::analyze::group_bound(input, keys) >= cfg.agg_min_partition_groups {
         return partitions;
     }
     1
 }
 
-/// Row estimate for a plan's output, anchored on **exact base-table row
-/// counts**: scans report the catalog's [`crate::plan::Catalog::row_count`]
-/// answer, captured on the node at plan-build time (`base_rows`), so the
-/// estimate never over-triggers a partitioning verdict on a small base
-/// table. Above the scans the estimate is an upper bound: filters shrink
-/// below it (selectivity unknown), and semi/anti/left-single joins are
-/// bounded by their probe side exactly (they emit at most one row per
-/// probe tuple). Inner joins — hash or merge — take the **larger** of
-/// their two sides: a 1:N inner join emits at most N rows per distinct
-/// key side, so `max(build, probe)` keeps the bound honest when the big
-/// table sits on the build side; only a genuinely N:M key fan-out can
-/// still exceed it (no NDV statistics yet — ROADMAP). A miss costs
-/// parallelism or routing overhead, never correctness.
+/// Row-count upper bound for a plan's output: the abstract interpreter's
+/// derived bound ([`crate::analyze::row_bound`]), anchored on **exact
+/// base-table row counts** (scans report the catalog's
+/// [`crate::plan::Catalog::row_count`] answer, captured on the node at
+/// plan-build time as `base_rows`) and tightened by per-column statistics
+/// above them: contradictory filters drop to zero, aggregates are bounded
+/// by the product of their key NDVs, and joins whose build key is *proven*
+/// all-distinct stay bounded by their probe side. Joins without that proof
+/// use the sound N:M product bound — deliberately pessimistic, since a
+/// miss costs parallelism or routing overhead, never correctness.
 pub(crate) fn estimated_rows(plan: &LogicalPlan) -> usize {
-    match plan {
-        LogicalPlan::Scan { base_rows, .. } => *base_rows,
-        LogicalPlan::Filter { input, .. }
-        | LogicalPlan::Project { input, .. }
-        | LogicalPlan::Sort { input, .. }
-        | LogicalPlan::HashAgg { input, .. } => estimated_rows(input),
-        LogicalPlan::HashJoin {
-            build, probe, kind, ..
-        } => match kind {
-            JoinKind::Inner => estimated_rows(build).max(estimated_rows(probe)),
-            JoinKind::Semi | JoinKind::Anti | JoinKind::LeftSingle => estimated_rows(probe),
-        },
-        LogicalPlan::MergeJoin { left, right, .. } => {
-            estimated_rows(left).max(estimated_rows(right))
-        }
-        LogicalPlan::StreamAgg { .. } => 1,
-    }
+    crate::analyze::row_bound(plan)
 }
 
 /// Producer fragments for one partitioned-exchange input: the worker
@@ -820,8 +804,10 @@ mod tests {
     #[test]
     fn agg_over_serial_input_partitions_by_group_estimate() {
         // An aggregate whose input is NOT a shardable scan chain (a hash
-        // join intervenes) partitions only when the estimated group count
-        // clears the threshold.
+        // join intervenes) partitions only when the *proven group bound*
+        // clears the threshold. Group key `k` has exactly 7 distinct
+        // values, and the equi-join against `dk ∈ [0, 2]` narrows it to
+        // NDV ≤ 3 — so the bound is 3, not the 1000-row input estimate.
         let c = catalog(1000);
         let build = PlanBuilder::scan(&c, "d", &["dk", "dv"]);
         let plan = PlanBuilder::scan(&c, "t", &["k", "v"])
@@ -829,26 +815,34 @@ mod tests {
             .hash_agg(&["k"], vec![count()], "agg")
             .build()
             .unwrap();
-        let agg_input = match &plan {
-            crate::plan::LogicalPlan::HashAgg { input, .. } => input.as_ref(),
+        let (agg_input, agg_keys) = match &plan {
+            crate::plan::LogicalPlan::HashAgg { input, keys, .. } => (input.as_ref(), &keys[..]),
             other => panic!("expected HashAgg root, got {other}"),
         };
         let mut cfg = ExecConfig::fixed_default();
         cfg.worker_threads = 4;
-        // 1000 estimated rows is below the default threshold: single.
-        assert_eq!(agg_partition_count(agg_input, &cfg), 1);
-        // Lowering the threshold flips the verdict.
+        // Below the default threshold: single.
+        assert_eq!(agg_partition_count(agg_input, agg_keys, &cfg), 1);
+        // Verdict flip vs the raw row estimate: 1000 input rows used to
+        // clear a threshold of 100, but at most 3 groups can exist.
         cfg.agg_min_partition_groups = 100;
-        assert_eq!(agg_partition_count(agg_input, &cfg), 4);
+        assert_eq!(agg_partition_count(agg_input, agg_keys, &cfg), 1);
+        // The bound itself gates exactly: threshold == 3 partitions...
+        cfg.agg_min_partition_groups = 3;
+        assert_eq!(agg_partition_count(agg_input, agg_keys, &cfg), 4);
+        // ... one past it does not.
+        cfg.agg_min_partition_groups = 4;
+        assert_eq!(agg_partition_count(agg_input, agg_keys, &cfg), 1);
         // An explicit partition count overrides worker-following...
+        cfg.agg_min_partition_groups = 3;
         cfg.agg_partitions = 2;
-        assert_eq!(agg_partition_count(agg_input, &cfg), 2);
+        assert_eq!(agg_partition_count(agg_input, agg_keys, &cfg), 2);
         // ... and `1` disables partitioning outright.
         cfg.agg_partitions = 1;
-        assert_eq!(agg_partition_count(agg_input, &cfg), 1);
+        assert_eq!(agg_partition_count(agg_input, agg_keys, &cfg), 1);
         // Execution with a forced partition count still matches.
         let mut cfg = ExecConfig::fixed_default();
-        cfg.agg_min_partition_groups = 100;
+        cfg.agg_min_partition_groups = 3;
         cfg.agg_partitions = 3;
         let ctx = QueryContext::new(Arc::new(build_dictionary()), cfg);
         let mut op = lower(&plan, &ctx).unwrap();
@@ -878,25 +872,35 @@ mod tests {
     #[test]
     fn verdicts_flip_exactly_at_the_row_count_threshold() {
         // Scan estimates are exact base-table row counts (the
-        // `Catalog::row_count` contract), so a threshold equal to the
-        // table's count partitions and one past it does not — no slack in
-        // either direction.
+        // `Catalog::row_count` contract), and `v` is unique, so the group
+        // bound for a group-by-`v` aggregate is exactly the row count: a
+        // threshold equal to it partitions and one past it does not — no
+        // slack in either direction.
         let rows = 1000;
         let c = catalog(rows);
         let plan = PlanBuilder::scan(&c, "t", &["k", "v"])
-            .hash_agg(&["k"], vec![count()], "agg")
+            .hash_agg(&["v"], vec![count()], "agg")
             .build()
             .unwrap();
-        let agg_input = match &plan {
-            LogicalPlan::HashAgg { input, .. } => input.as_ref(),
+        let (agg_input, agg_keys) = match &plan {
+            LogicalPlan::HashAgg { input, keys, .. } => (input.as_ref(), keys.clone()),
             other => panic!("expected HashAgg root, got {other}"),
         };
         let mut cfg = ExecConfig::fixed_default();
         cfg.worker_threads = 4;
         cfg.agg_min_partition_groups = rows;
-        assert_eq!(agg_partition_count(agg_input, &cfg), 4);
+        assert_eq!(agg_partition_count(agg_input, &agg_keys, &cfg), 4);
         cfg.agg_min_partition_groups = rows + 1;
-        assert_eq!(agg_partition_count(agg_input, &cfg), 1);
+        assert_eq!(agg_partition_count(agg_input, &agg_keys, &cfg), 1);
+
+        // Grouping by `k` (exactly 7 distinct values) instead caps the
+        // bound at the key's NDV, not the 1000-row input: the verdict
+        // flips at 7/8 even though every threshold below 1000 used to
+        // partition.
+        cfg.agg_min_partition_groups = 7;
+        assert_eq!(agg_partition_count(agg_input, &[0], &cfg), 4);
+        cfg.agg_min_partition_groups = 8;
+        assert_eq!(agg_partition_count(agg_input, &[0], &cfg), 1);
 
         // Join verdict: the larger side (the probe scan, 1000 exact rows)
         // gates identically.
@@ -931,10 +935,11 @@ mod tests {
 
     #[test]
     fn inner_join_estimate_takes_the_larger_side() {
-        // A big build table under a small probe: a 1:N inner join can
-        // emit up to one row per build tuple, so the estimate must not
-        // collapse to the 3-row probe side (it used to, silently
-        // under-firing every verdict above the join).
+        // A big build table under a small probe: the build key `k` is NOT
+        // distinct (7 values over 1000 rows), so each probe tuple can
+        // match many build rows and the sound bound is the N·M product —
+        // the estimate must not collapse to the 3-row probe side (it used
+        // to, silently under-firing every verdict above the join).
         let rows = 1000;
         let c = catalog(rows);
         let join = PlanBuilder::scan(&c, "d", &["dk", "dv"])
@@ -948,15 +953,16 @@ mod tests {
             )
             .build()
             .unwrap();
-        assert_eq!(estimated_rows(&join), rows);
-        // The aggregation verdict directly above the join flips exactly
-        // on the build-side count, not the probe-side one.
+        assert_eq!(estimated_rows(&join), 3 * rows);
+        // The aggregation verdict directly above the join gates on the
+        // payload key's NDV (`v` is unique over 1000 build rows), not the
+        // 3000-row product estimate.
         let mut cfg = ExecConfig::fixed_default();
         cfg.worker_threads = 4;
         cfg.agg_min_partition_groups = rows;
-        assert_eq!(agg_partition_count(&join, &cfg), 4);
+        assert_eq!(agg_partition_count(&join, &[2], &cfg), 4);
         cfg.agg_min_partition_groups = rows + 1;
-        assert_eq!(agg_partition_count(&join, &cfg), 1);
+        assert_eq!(agg_partition_count(&join, &[2], &cfg), 1);
 
         // Semi joins stay probe-bounded exactly: at most one output row
         // per probe tuple, regardless of the build side's size.
@@ -973,8 +979,9 @@ mod tests {
             .unwrap();
         assert_eq!(estimated_rows(&semi), 3);
 
-        // Merge join likewise takes the larger side ("t" clusters on its
-        // unique first column `v`, "d" on `dk`).
+        // Merge join: the left key `v` is provably all-distinct (NDV ==
+        // row count), so the unique-key contract is proven and the bound
+        // is the streaming right side's 3 rows — not the 1000-row left.
         let mj = PlanBuilder::scan(&c, "d", &["dk", "dv"])
             .merge_join(
                 PlanBuilder::scan(&c, "t", &["v", "k"]),
@@ -984,7 +991,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        assert_eq!(estimated_rows(&mj), rows);
+        assert_eq!(estimated_rows(&mj), 3);
     }
 
     #[test]

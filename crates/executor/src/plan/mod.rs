@@ -67,6 +67,17 @@ pub trait Catalog {
     fn row_count(&self, name: &str) -> Option<usize> {
         self.lookup(name).map(|t| t.rows())
     }
+
+    /// Exact statistics for one column of a base table (the abstract
+    /// interpreter's base facts; see `crate::analyze`), or `None` when
+    /// the table or column doesn't exist. The default computes (and
+    /// memoizes) them from the materialized table; a metadata-backed
+    /// catalog can answer from stored stats instead.
+    fn column_stats(&self, table: &str, column: &str) -> Option<ma_vector::ColumnStats> {
+        let t = self.lookup(table)?;
+        let i = t.column_index(column).ok()?;
+        Some(t.stats()[i].clone())
+    }
 }
 
 /// A resolved logical operator tree.

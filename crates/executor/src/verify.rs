@@ -176,6 +176,13 @@ pub enum VerifyError {
         /// The offending sketch node.
         node: &'static str,
     },
+    /// The abstract interpreter (phase 3, [`mod@crate::analyze`]) proved a
+    /// runtime trap reachable — e.g. an integer division whose divisor
+    /// interval contains zero.
+    Analysis {
+        /// The underlying hazard finding.
+        err: crate::analyze::AnalysisError,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -277,6 +284,7 @@ impl std::fmt::Display for VerifyError {
             VerifyError::EmptyExchange { node } => {
                 write!(f, "{node} exchange with zero workers/partitions")
             }
+            VerifyError::Analysis { err } => write!(f, "analysis: {err}"),
         }
     }
 }
@@ -291,7 +299,16 @@ impl std::error::Error for VerifyError {}
 pub fn verify(plan: &LogicalPlan, cfg: &ExecConfig) -> Result<(), VerifyError> {
     let mut labels = HashSet::new();
     check_plan(plan, &mut labels)?;
-    verify_sketch(&sketch(plan, cfg))
+    verify_sketch(&sketch(plan, cfg))?;
+    // Phase 3: abstract interpretation. Only *hazards* (reachable traps)
+    // fail verification; warnings (possible wraps, checked-panic sum
+    // bounds, contradictions) are reported by `crate::analyze::analyze`
+    // and the `repro analyze` CLI instead — see
+    // `AnalysisError::is_hazard` for the rationale.
+    match crate::analyze::analyze(plan).first_hazard() {
+        Some(err) => Err(VerifyError::Analysis { err: err.clone() }),
+        None => Ok(()),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -893,7 +910,7 @@ fn sketch_node(plan: &LogicalPlan, cfg: &ExecConfig, order: OrderCtx) -> PhysSke
         },
         LogicalPlan::HashAgg { input, keys, .. } => {
             let partitions = if order == OrderCtx::Free {
-                agg_partition_count(input, cfg)
+                agg_partition_count(input, keys, cfg)
             } else {
                 1
             };

@@ -1,11 +1,11 @@
 //! Differential plan fuzzer over the TPC-H schema.
 //!
 //! Property-based testing for the whole query stack: a seeded generator
-//! emits random **well-typed** DSL queries ([`generate`]), each of which
+//! emits random **well-typed** DSL queries ([`Fuzzer::generate`]), each of which
 //! is
 //!
 //! 1. rendered and re-parsed (the parser round-trip property),
-//! 2. compiled and checked with [`ma_executor::verify`] under every
+//! 2. compiled and checked with [`ma_executor::verify()`] under every
 //!    configuration of the differential matrix, and
 //! 3. executed under every configuration — 1/2/4 workers, partitioned vs
 //!    single-partition aggregation and joins, small vs large vectors —
@@ -14,7 +14,7 @@
 //!
 //! Any disagreement is a bug by construction: the configurations differ
 //! only in *how* work is scheduled, never in *what* is computed. Failing
-//! queries are shrunk structurally ([`shrink`]) — drop a stage, a
+//! queries are shrunk structurally ([`Fuzzer::shrink`]) — drop a stage, a
 //! predicate branch, a projection item, a scan column — to the smallest
 //! query that still disagrees, which is what lands in
 //! `crates/tpch/tests/fuzz_regressions.rs` as a pinned test.
@@ -125,7 +125,7 @@ fn floats_close(x: f64, y: f64) -> bool {
 }
 
 /// Compares two materialized results as row multisets: discrete columns
-/// exactly, float columns within [`FLOAT_RTOL`] relative tolerance
+/// exactly, float columns within a fixed relative tolerance
 /// (bucketed by the discrete columns, sorted within each bucket).
 /// Multiset — not ordered — comparison: the engine's sort is not stable
 /// across exchange layouts, and the generator makes every ordering-
@@ -188,6 +188,102 @@ pub fn compare_stores(
     Ok(())
 }
 
+/// Checks a materialized result against the abstract interpreter's
+/// derived facts: row count within the bound, every value inside its
+/// column's interval, distinct counts within the NDV cap, and
+/// all-distinct proofs honored. Runs on **every** fuzz execution, so the
+/// 10k-case sweeps double as a soundness property test for
+/// [`ma_executor::analyze()`]. (Executions that trap never reach this
+/// check — trapped runs are exempt from the soundness contract.)
+pub fn check_soundness(facts: &ma_executor::Facts, store: &FrozenStore) -> Result<(), String> {
+    use ma_executor::AbsDomain;
+    use std::collections::HashSet;
+    if store.rows() > facts.rows {
+        return Err(format!(
+            "row bound violated: materialized {} rows, proved ≤ {}",
+            store.rows(),
+            facts.rows
+        ));
+    }
+    if store.types().len() != facts.cols.len() {
+        return Err(format!(
+            "fact arity {} != result arity {}",
+            facts.cols.len(),
+            store.types().len()
+        ));
+    }
+    for (i, fact) in facts.cols.iter().enumerate() {
+        let (distinct, oob): (usize, Option<String>) = match store.col(i) {
+            Vector::I16(v) => int_soundness(v.iter().map(|&x| i64::from(x)), &fact.domain),
+            Vector::I32(v) => int_soundness(v.iter().map(|&x| i64::from(x)), &fact.domain),
+            Vector::I64(v) => int_soundness(v.iter().copied(), &fact.domain),
+            Vector::F64(v) => {
+                let AbsDomain::Float { lo, hi, finite } = fact.domain else {
+                    return Err(format!("col {i}: f64 result under {} fact", fact.domain));
+                };
+                let mut seen = HashSet::new();
+                let mut bad = None;
+                for &x in v.iter() {
+                    seen.insert(x.to_bits());
+                    if x.is_finite() {
+                        if x < lo || x > hi {
+                            bad = bad.or(Some(format!("{x} ∉ [{lo}, {hi}]")));
+                        }
+                    } else if finite {
+                        bad = bad.or(Some(format!("{x} in a proven-finite column")));
+                    }
+                }
+                (seen.len(), bad)
+            }
+            Vector::Str(v) => {
+                let mut seen = HashSet::new();
+                for j in 0..store.rows() {
+                    seen.insert(v.get(j).as_bytes().to_vec());
+                }
+                (seen.len(), None)
+            }
+        };
+        if let Some(detail) = oob {
+            return Err(format!("col {i}: value escaped its interval: {detail}"));
+        }
+        if distinct > fact.ndv {
+            return Err(format!(
+                "col {i}: {} distinct values, proved ≤ {}",
+                distinct, fact.ndv
+            ));
+        }
+        if fact.distinct && distinct < store.rows() {
+            return Err(format!(
+                "col {i}: proven all-distinct but only {} distinct over {} rows",
+                distinct,
+                store.rows()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Interval + NDV walk for an integer column (i16/i32 widened to i64).
+fn int_soundness(
+    values: impl Iterator<Item = i64>,
+    domain: &ma_executor::AbsDomain,
+) -> (usize, Option<String>) {
+    use ma_executor::AbsDomain;
+    use std::collections::HashSet;
+    let AbsDomain::Int { lo, hi } = *domain else {
+        return (0, Some(format!("integer result under {domain} fact")));
+    };
+    let mut seen = HashSet::new();
+    let mut bad = None;
+    for x in values {
+        seen.insert(x);
+        if x < lo || x > hi {
+            bad = bad.or(Some(format!("{x} ∉ [{lo}, {hi}]")));
+        }
+    }
+    (seen.len(), bad)
+}
+
 // ---------------------------------------------------------------------------
 // failures and reports
 // ---------------------------------------------------------------------------
@@ -201,12 +297,18 @@ pub enum CheckFailKind {
     RoundTrip,
     /// The generated query did not compile — a generator bug.
     Compile,
-    /// [`ma_executor::verify`] rejected a lowered configuration.
+    /// [`ma_executor::verify()`] rejected a lowered configuration.
     Verify,
     /// A configuration failed at runtime.
     Exec,
     /// Two configurations disagreed on the result.
     Divergence,
+    /// A materialized result escaped the abstract interpreter's derived
+    /// facts — a value outside its interval, more rows than the bound,
+    /// more distinct values than the NDV cap, or a duplicate in a
+    /// proven-distinct column. Always an analyzer bug: bounds may widen,
+    /// never lie.
+    Unsound,
 }
 
 /// A failed differential check.
@@ -310,10 +412,19 @@ impl Fuzzer {
             kind: CheckFailKind::Exec,
             detail: e.to_string(),
         })?;
-        ma_executor::ops::materialize(op.as_mut()).map_err(|e| CheckFail {
+        let store = ma_executor::ops::materialize(op.as_mut()).map_err(|e| CheckFail {
             kind: CheckFailKind::Exec,
             detail: e.to_string(),
-        })
+        })?;
+        // Soundness property: the materialized result must sit inside the
+        // abstract interpreter's derived facts for this plan.
+        check_soundness(&ma_executor::analyze(&plan).facts, &store).map_err(|detail| {
+            CheckFail {
+                kind: CheckFailKind::Unsound,
+                detail,
+            }
+        })?;
+        Ok(store)
     }
 
     /// The full differential check for one query: round-trip, compile,

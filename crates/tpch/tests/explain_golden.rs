@@ -39,12 +39,13 @@ Sort [l_returnflag asc, l_linestatus asc] -> (l_returnflag:str, l_linestatus:str
 #[test]
 fn q01_physical_explain_shows_partitioned_aggregate() {
     // The physical rendering must carry the planner's partitioning verdict
-    // (computed by the same decision function `lower` uses). The tiny test
-    // database is below the scan-sharding cutoff, so the group-estimate
-    // trigger is lowered to engage partitioning.
+    // (computed by the same decision function `lower` uses). Q1 groups by
+    // (l_returnflag, l_linestatus) with exactly 3 × 2 distinct values, so
+    // the analysis-derived group bound is 6 — the trigger must be lowered
+    // to 6 to engage partitioning.
     let cfg = ExecConfig::fixed_default()
         .with_workers(4)
-        .with_agg_min_groups(1024);
+        .with_agg_min_groups(6);
     let text = explain_query_with(1, &db(), &Params::default(), &cfg).unwrap();
     let expected = "\
 Sort [l_returnflag asc, l_linestatus asc] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, avg_qty:f64, avg_price:f64, avg_disc:f64, count:i64)
@@ -55,6 +56,22 @@ Sort [l_returnflag asc, l_linestatus asc] -> (l_returnflag:str, l_linestatus:str
           Scan lineitem (shardable) -> (l_shipdate:i32, l_returnflag:str, l_linestatus:str, l_quantity:i32, l_extendedprice:i64, l_discount:i64, l_tax:i64)
 ";
     assert_eq!(text, expected);
+    // The stats-tightened verdict flip, pinned on a real TPC-H plan: a
+    // threshold of 1024 used to partition (the lineitem scan feeds ~6k
+    // rows into the aggregate at this scale), but the abstract
+    // interpreter proves at most 6 groups can exist, so the same config
+    // now stays single.
+    let flipped = ExecConfig::fixed_default()
+        .with_workers(4)
+        .with_agg_min_groups(1024);
+    let text = explain_query_with(1, &db(), &Params::default(), &flipped).unwrap();
+    assert!(!text.contains("partitioned"), "NDV bound must veto: {text}");
+    // One past the proven bound must not partition either.
+    let past = ExecConfig::fixed_default()
+        .with_workers(4)
+        .with_agg_min_groups(7);
+    let text = explain_query_with(1, &db(), &Params::default(), &past).unwrap();
+    assert!(!text.contains("partitioned"));
     // A single-worker config renders structurally (no partition verdict).
     let plain = explain_query_with(1, &db(), &Params::default(), &ExecConfig::fixed_default());
     assert_eq!(

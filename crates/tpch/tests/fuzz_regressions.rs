@@ -90,6 +90,59 @@ fn equal_infinities_are_not_a_divergence() {
     }
 }
 
+/// Seed 0xBC8F cases 799 and 1617 (third 10k-case sweep, the first
+/// with the bounds-soundness oracle): the analyzer's `Or` transfer
+/// function combined branch NDV caps with `max()`, but rows surviving
+/// an OR are the *union* of the branch row-sets, so value sets add —
+/// an equality (NDV ≤ 1) OR'd with a two-element in-list (NDV ≤ 2)
+/// passed three distinct values while the analysis claimed ≤ 2, and
+/// the post-execution soundness check flagged both cases (`Unsound`).
+/// The transfer now sums branch caps (clamped to the input's own cap).
+#[test]
+fn or_branches_sum_their_ndv_caps() {
+    let db = Arc::new(TpchData::generate(0.002, 0xDBD1));
+    let fz = Fuzzer::new(Arc::clone(&db));
+    // The shrunk reproductions: three distinct values survive each OR.
+    let text = "from nation [n_comment] \
+                | where n_comment = \"platelets regular platelets deposits dependencies courts deposits silent\" \
+                  or n_comment in (\"bold even final dugouts packages pinto bold quickly\", \
+                                   \"dependencies requests slyly courts ideas unusual somas platelets\")";
+    fz.check_text(text)
+        .unwrap_or_else(|f| panic!("{text}\n  {f}"));
+    let truck = "from lineitem [l_shipmode] \
+                 | where l_shipmode = \"TRUCK\" or l_shipmode in (\"MAIL\", \"RAIL\")";
+    fz.check_text(truck)
+        .unwrap_or_else(|f| panic!("{truck}\n  {f}"));
+    // The analysis itself must now claim a cap of at least 3 here …
+    let plan = frontend::compile(&parse(text).expect("parses"), db.as_ref())
+        .expect("compiles")
+        .build()
+        .expect("builds");
+    let a = ma_executor::analyze(&plan);
+    assert!(a.errors.is_empty(), "{:?}", a.errors);
+    assert!(
+        a.facts.cols[0].ndv >= 3,
+        "OR of =const and a 2-element in-list must cap NDV at 1 + 2, got {}",
+        a.facts.cols[0].ndv
+    );
+    // … and the same addition applies to integer equality branches,
+    // while staying clamped to the width of the hulled interval.
+    let plan = frontend::compile(
+        &parse("from nation [n_nationkey] | where n_nationkey = 1 or n_nationkey = 2")
+            .expect("parses"),
+        db.as_ref(),
+    )
+    .expect("compiles")
+    .build()
+    .expect("builds");
+    let a = ma_executor::analyze(&plan);
+    assert!(a.errors.is_empty(), "{:?}", a.errors);
+    assert_eq!(
+        a.facts.cols[0].ndv, 2,
+        "k = 1 OR k = 2 passes exactly two distinct values"
+    );
+}
+
 /// A small deterministic differential sweep on every `cargo test` run.
 /// The heavy sweeps (500 release-mode cases in CI, 10k+ in triage) use
 /// the same code at bigger scale.

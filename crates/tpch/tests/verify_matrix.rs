@@ -149,6 +149,34 @@ fn all_queries_verify_across_config_matrix() {
     );
 }
 
+/// All 22 TPC-H plans must pass the abstract-interpretation pass with
+/// **zero findings** — not just zero hazards. The only division in the
+/// workload (Q1's averages) divides by a count that is provably ≥ 1, and
+/// every sum's statically-derived bound fits the i64 accumulator at this
+/// scale, so any error here is an analyzer regression (an unsound
+/// transfer function or lost narrowing), not a workload property.
+#[test]
+fn all_queries_analyze_cleanly() {
+    let db = db();
+    let params = Params::default();
+    for q in 1..=22 {
+        let plan = query_plan(q, db, &params)
+            .unwrap_or_else(|e| panic!("Q{q}: {e}"))
+            .build()
+            .unwrap_or_else(|e| panic!("Q{q}: {e}"));
+        let a = ma_executor::analyze(&plan);
+        assert!(
+            a.errors.is_empty(),
+            "Q{q} analysis reported findings: {:?}",
+            a.errors
+        );
+        // The derived facts must be non-degenerate: a real row bound and
+        // a fact per output column.
+        assert_eq!(a.facts.cols.len(), plan.schema().len(), "Q{q}");
+        assert!(a.facts.rows > 0, "Q{q} proved itself empty");
+    }
+}
+
 /// Stats labels are globally unique across all 22 first-phase plans: the
 /// `QN/` prefix convention means a whole-benchmark stats dump can never
 /// alias two different primitives. (Within-plan uniqueness of

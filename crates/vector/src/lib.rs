@@ -21,6 +21,7 @@ pub mod builder;
 pub mod partition;
 pub mod schema;
 pub mod selvec;
+pub mod stats;
 pub mod table;
 pub mod types;
 pub mod vector;
@@ -30,6 +31,7 @@ pub use builder::ColumnBuilder;
 pub use partition::{MorselQueue, RowRange, MORSEL_ROWS, VECTORS_PER_MORSEL};
 pub use schema::{Field, Schema};
 pub use selvec::SelVec;
+pub use stats::{ColumnStats, StatsDomain};
 pub use table::{Column, Table, TableError};
 pub use types::{DataType, VECTOR_SIZE};
 pub use vector::{StrVec, Vector};

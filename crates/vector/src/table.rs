@@ -1,8 +1,9 @@
 //! In-memory columnar tables: the storage substrate scans read from.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use crate::stats::ColumnStats;
 use crate::types::DataType;
 use crate::vector::{StrVec, Vector};
 
@@ -212,6 +213,8 @@ pub struct Table {
     by_name: HashMap<String, usize>,
     columns: Vec<Column>,
     rows: usize,
+    /// Lazily computed per-column statistics (see [`Table::stats`]).
+    stats: OnceLock<Vec<ColumnStats>>,
 }
 
 impl Table {
@@ -242,7 +245,18 @@ impl Table {
             by_name,
             columns,
             rows,
+            stats: OnceLock::new(),
         })
+    }
+
+    /// Exact per-column statistics, in declaration order.
+    ///
+    /// Computed by one full scan per column on first access and memoized
+    /// for the table's lifetime (the table is immutable, so the stats never
+    /// go stale). Tables that are never analyzed never pay the scan.
+    pub fn stats(&self) -> &[ColumnStats] {
+        self.stats
+            .get_or_init(|| self.columns.iter().map(ColumnStats::compute).collect())
     }
 
     /// The table name.

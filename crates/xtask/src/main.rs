@@ -1,7 +1,7 @@
 //! In-tree repo lints, run as `cargo xtask lint` (aliased in
 //! `.cargo/config.toml`) and as a standalone CI job.
 //!
-//! Three rules, each with an explicit, justified allowlist rather than a
+//! Four rules, each with an explicit, justified allowlist rather than a
 //! blanket escape hatch:
 //!
 //! 1. **Hot-path unwrap discipline.** `.unwrap()` / `.expect(` are
@@ -21,6 +21,13 @@
 //!    `CompiledPred`) so micro-adaptivity statistics cover it. Pure
 //!    data-movement operators (exchanges, scans, sort/materialize) are
 //!    exempt and listed as such.
+//! 4. **Numeric-width and row-arithmetic discipline.** In the kernel
+//!    crates (`crates/primitives`, `crates/executor/src/ops`), narrowing
+//!    `as` casts and bare `+`/`*` on row-count/offset lines are pinned by
+//!    exact per-file counts — the abstract interpreter
+//!    (`ma_executor::analyze`) vouches for expression safety, so width
+//!    truncations and offset wraps below it must be individually
+//!    provable.
 //!
 //! No dependencies: a plain recursive walker over the repo's own sources
 //! keeps the lint runnable in offline builds and fast enough for CI.
@@ -89,6 +96,76 @@ const STATS_EXEMPT: &[(&str, &str)] = &[
     ),
 ];
 
+/// Rule 4a allowlist: exact count of narrowing `as` casts (`as i8/u8/
+/// i16/u16/i32/u32`) in the non-test region of each kernel/ops file,
+/// keyed by workspace-relative path. A narrowing cast silently truncates;
+/// every survivor must be provably in-range at the cast site.
+const NARROW_CAST_ALLOWLIST: &[(&str, usize, &str)] = &[
+    (
+        "crates/primitives/src/selection.rs",
+        24,
+        "selection-vector writes: positions are < vector_size (max 2^16) by \
+         the DataChunk contract, so usize -> u32 row ids cannot truncate",
+    ),
+    (
+        "crates/primitives/src/bloom.rs",
+        5,
+        "u32 selection-vector writes plus bool -> u8 hit flags (0/1 by \
+         definition)",
+    ),
+    (
+        "crates/primitives/src/group_table.rs",
+        3,
+        "arena offsets/lengths stored as (u32, u32) views — the arena is \
+         bounded far below 4 GiB by the vector-at-a-time memory model",
+    ),
+    (
+        "crates/primitives/src/like.rs",
+        2,
+        "u32 selection-vector writes, positions < vector_size",
+    ),
+    (
+        "crates/primitives/src/merge.rs",
+        4,
+        "u32 row-id emission over per-vector key slices (< vector_size rows)",
+    ),
+    (
+        "crates/executor/src/ops/aggregate.rs",
+        3,
+        "bit-exact hex encoding of group keys: i16/i32 reinterpreted at the \
+         same width, plus a u16 length tag over vector-bounded strings",
+    ),
+    (
+        "crates/executor/src/ops/exchange.rs",
+        2,
+        "u32 row routing: positions come from live_positions(), bounded by \
+         the vector size",
+    ),
+    (
+        "crates/executor/src/ops/hash_join.rs",
+        3,
+        "u32 build-row chain links and probe ranges, bounded by the \
+         materialized build size (row stores index with u32 by design)",
+    ),
+    (
+        "crates/executor/src/ops/mod.rs",
+        4,
+        "row-store (offset, len) string views and u32 chunk row ranges, both \
+         bounded by the store's u32 row-id design width",
+    ),
+    (
+        "crates/executor/src/ops/sort.rs",
+        2,
+        "u32 sort-index construction over a frozen store (u32 row-id width)",
+    ),
+];
+
+/// Rule 4b allowlist: exact count of bare `+`/`*` on lines manipulating
+/// row counts or offsets in kernel/ops non-test code. Row math must use
+/// `saturating_*`/`checked_*` (or prove the bound locally): a silent wrap
+/// in an offset computation is an out-of-bounds gather waiting to happen.
+const ROW_ARITH_ALLOWLIST: &[(&str, usize, &str)] = &[];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -106,6 +183,7 @@ fn lint() -> ExitCode {
     lint_ops_unwraps(&root, &mut violations);
     lint_test_sleeps(&root, &mut violations);
     lint_operator_stats(&root, &mut violations);
+    lint_narrowing_and_row_arith(&root, &mut violations);
     if violations.is_empty() {
         println!("xtask lint: all checks passed");
         ExitCode::SUCCESS
@@ -259,6 +337,95 @@ fn lint_operator_stats(root: &Path, violations: &mut Vec<String>) {
                 file.display()
             ));
         }
+    }
+}
+
+/// Rule 4: numeric-width and row-arithmetic discipline in the kernel
+/// crates (`crates/primitives`, `crates/executor/src/ops`) — the code
+/// the abstract interpreter's safety verdicts ultimately vouch for.
+/// Two sub-rules over non-test, non-comment lines:
+///
+/// * **4a** — narrowing `as` casts truncate silently; each one must be
+///   provably in-range and is pinned by exact count.
+/// * **4b** — bare `+`/`*` on lines handling row counts or offsets must
+///   instead use `saturating_*`/`checked_*` (wrap in an offset is an
+///   out-of-bounds gather); in-range survivors are pinned by exact count.
+fn lint_narrowing_and_row_arith(root: &Path, violations: &mut Vec<String>) {
+    const NARROWING: &[&str] = &["as i8", "as u8", "as i16", "as u16", "as i32", "as u32"];
+    for dir in ["crates/primitives/src", "crates/executor/src/ops"] {
+        for file in rust_files(&root.join(dir)) {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = match fs::read_to_string(&file) {
+                Ok(s) => s,
+                Err(e) => {
+                    violations.push(format!("{rel}: unreadable: {e}"));
+                    continue;
+                }
+            };
+            let code_lines: Vec<&str> = non_test_region(&src)
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("//"))
+                .collect();
+            let casts: usize = code_lines.iter().map(|l| count_matches(l, NARROWING)).sum();
+            check_exact(
+                &rel,
+                "narrowing `as` cast(s)",
+                casts,
+                NARROW_CAST_ALLOWLIST,
+                "casts truncate silently — widen, use try_from, or justify an \
+                 exact NARROW_CAST_ALLOWLIST entry",
+                violations,
+            );
+            let row_arith = code_lines
+                .iter()
+                .filter(|l| {
+                    (l.contains("rows") || l.contains("offset"))
+                        && (l.contains(" + ") || l.contains(" * "))
+                        && !l.contains("saturating_")
+                        && !l.contains("checked_")
+                })
+                .count();
+            check_exact(
+                &rel,
+                "bare +/* on row/offset line(s)",
+                row_arith,
+                ROW_ARITH_ALLOWLIST,
+                "row/offset arithmetic must be saturating_/checked_ or earn an \
+                 exact ROW_ARITH_ALLOWLIST entry proving the bound",
+                violations,
+            );
+        }
+    }
+}
+
+/// Compares a measured count against an exact-count allowlist entry
+/// (default 0), reporting both overshoot and stale-allowlist undershoot.
+fn check_exact(
+    rel: &str,
+    what: &str,
+    count: usize,
+    allowlist: &[(&str, usize, &str)],
+    advice: &str,
+    violations: &mut Vec<String>,
+) {
+    let allowed = allowlist
+        .iter()
+        .find(|(f, _, _)| *f == rel)
+        .map(|(_, n, _)| *n)
+        .unwrap_or(0);
+    if count > allowed {
+        violations.push(format!(
+            "{rel}: {count} {what} in non-test code, allowlist permits {allowed}; {advice}"
+        ));
+    } else if count < allowed {
+        violations.push(format!(
+            "{rel}: {count} {what} but the allowlist still records {allowed}; \
+             shrink its entry so the list stays exact"
+        ));
     }
 }
 
