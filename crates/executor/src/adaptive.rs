@@ -174,7 +174,53 @@ struct CtxInner {
     dict: Arc<PrimitiveDictionary>,
     config: ExecConfig,
     registry: Mutex<Vec<Arc<Mutex<InstanceStats>>>>,
+    mem: Mutex<Vec<Arc<MemSlot>>>,
     next_seed: AtomicU64,
+}
+
+struct MemSlot {
+    label: String,
+    bound: u64,
+    high: AtomicU64,
+}
+
+/// A byte-accounting handle for one allocation-heavy operator instance.
+///
+/// Created by [`QueryContext::mem_tracker`] with the *proven* peak-byte
+/// bound the static cost pass derived for the instance; the operator calls
+/// [`MemTracker::record`] with its current live-data byte count at the
+/// points where that count peaks (table growth, build finish, sort
+/// materialization, chunk receipt). Records are `fetch_max`, so the slot
+/// ends up holding the high-water mark, which
+/// [`QueryContext::mem_reports`] pairs with the bound — the fuzzer's
+/// actual-≤-bound oracle and `repro mem` both read that pairing.
+#[derive(Clone)]
+pub struct MemTracker {
+    slot: Arc<MemSlot>,
+}
+
+impl MemTracker {
+    /// Records a live-byte observation (keeps the maximum seen).
+    #[inline]
+    pub fn record(&self, bytes: u64) {
+        self.slot.high.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// The proven bound this tracker was registered with.
+    pub fn bound(&self) -> u64 {
+        self.slot.bound
+    }
+}
+
+/// One operator instance's predicted-vs-actual memory pairing.
+#[derive(Debug, Clone)]
+pub struct MemReport {
+    /// Operator-assigned label (plan-node label, shared across partitions).
+    pub label: String,
+    /// Proven peak-byte bound from the static cost pass.
+    pub bound: u64,
+    /// High-water live bytes actually recorded during execution.
+    pub high_water: u64,
 }
 
 /// Per-query context: dictionary + config + instance registry.
@@ -195,6 +241,7 @@ impl QueryContext {
                 dict,
                 config,
                 registry: Mutex::new(Vec::new()),
+                mem: Mutex::new(Vec::new()),
                 next_seed: AtomicU64::new(seed),
             }),
         }
@@ -386,6 +433,41 @@ impl QueryContext {
         merged
     }
 
+    /// Registers a byte-accounting slot for one operator instance and
+    /// returns its recording handle. `bound` is the proven peak-byte bound
+    /// the planner computed for this instance while lowering; pairing bound
+    /// and recordings in one slot is what lets the fuzz oracle check
+    /// actual ≤ bound per instance without any label matching.
+    pub fn mem_tracker(&self, label: impl Into<String>, bound: u64) -> MemTracker {
+        let slot = Arc::new(MemSlot {
+            label: label.into(),
+            bound,
+            high: AtomicU64::new(0),
+        });
+        self.inner
+            .mem
+            .lock()
+            .expect("mem registry poisoned")
+            .push(Arc::clone(&slot));
+        MemTracker { slot }
+    }
+
+    /// Predicted-vs-actual memory reports for every registered slot, in
+    /// registration order.
+    pub fn mem_reports(&self) -> Vec<MemReport> {
+        self.inner
+            .mem
+            .lock()
+            .expect("mem registry poisoned")
+            .iter()
+            .map(|s| MemReport {
+                label: s.label.clone(),
+                bound: s.bound,
+                high_water: s.high.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
     /// Sum of ticks spent inside primitives across all instances.
     pub fn total_primitive_ticks(&self) -> u64 {
         self.inner
@@ -570,6 +652,29 @@ mod tests {
         let r = c.reports();
         assert_eq!(r[0].calls, 5);
         assert_eq!(r[0].tuples, 20);
+    }
+
+    #[test]
+    fn mem_tracker_keeps_high_water_per_slot() {
+        let c = ctx(ExecConfig::fixed_default());
+        let t1 = c.mem_tracker("Q/agg", 4096);
+        let t2 = c.mem_tracker("Q/join", 1 << 20);
+        t1.record(100);
+        t1.record(700);
+        t1.record(300); // lower than the high-water mark: ignored
+        t2.clone().record(99); // clones share the slot
+        assert_eq!(t1.bound(), 4096);
+        let reports = c.mem_reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(
+            (reports[0].label.as_str(), reports[0].high_water),
+            ("Q/agg", 700)
+        );
+        assert_eq!(reports[0].bound, 4096);
+        assert_eq!(
+            (reports[1].label.as_str(), reports[1].high_water),
+            ("Q/join", 99)
+        );
     }
 
     #[test]

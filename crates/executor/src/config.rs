@@ -78,6 +78,12 @@ pub const DEFAULT_AGG_MIN_PARTITION_GROUPS: usize = 32 * 1024;
 /// more in routing than the build parallelism returns.
 pub const DEFAULT_JOIN_MIN_PARTITION_ROWS: usize = 64 * 1024;
 
+/// Default per-query memory budget (1 GiB) the static cost pass checks the
+/// proven peak-byte roll-up against. Exceeding it is a warning finding by
+/// default and a [`crate::verify::VerifyError::MemoryBudget`] rejection
+/// when [`ExecConfig::strict_memory`] is set.
+pub const DEFAULT_MEMORY_BUDGET: u64 = 1 << 30;
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
@@ -125,6 +131,14 @@ pub struct ExecConfig {
     /// scans (a sharded-scan side always partitions: its producers are
     /// already parallel).
     pub join_min_partition_rows: usize,
+    /// Per-query memory budget in bytes for the static cost pass
+    /// (`ma_executor::cost`): a proven peak-byte roll-up above this is a
+    /// warning finding, or a `verify()` rejection under
+    /// [`ExecConfig::strict_memory`].
+    pub memory_budget: u64,
+    /// When set, `verify()` rejects plans whose proven peak-byte bound
+    /// exceeds [`ExecConfig::memory_budget`] instead of merely warning.
+    pub strict_memory: bool,
 }
 
 impl Default for ExecConfig {
@@ -140,6 +154,8 @@ impl Default for ExecConfig {
             agg_min_partition_groups: DEFAULT_AGG_MIN_PARTITION_GROUPS,
             join_partitions: 0,
             join_min_partition_rows: DEFAULT_JOIN_MIN_PARTITION_ROWS,
+            memory_budget: DEFAULT_MEMORY_BUDGET,
+            strict_memory: false,
         }
     }
 }
@@ -231,6 +247,19 @@ impl ExecConfig {
         self.join_min_partition_rows = n;
         self
     }
+
+    /// Returns a copy with the per-query memory budget (bytes).
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Returns a copy with strict memory mode on or off (strict mode turns
+    /// budget-exceeded findings into `verify()` rejections).
+    pub fn with_strict_memory(mut self, strict: bool) -> Self {
+        self.strict_memory = strict;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -294,5 +323,14 @@ mod tests {
         assert_eq!(c.join_min_partition_rows, DEFAULT_JOIN_MIN_PARTITION_ROWS);
         assert_eq!(c.clone().with_join_partitions(1).join_partitions, 1);
         assert_eq!(c.with_join_min_rows(10).join_min_partition_rows, 10);
+    }
+
+    #[test]
+    fn memory_budget_knobs() {
+        let c = ExecConfig::default();
+        assert_eq!(c.memory_budget, DEFAULT_MEMORY_BUDGET);
+        assert!(!c.strict_memory);
+        assert_eq!(c.clone().with_memory_budget(4096).memory_budget, 4096);
+        assert!(c.with_strict_memory(true).strict_memory);
     }
 }

@@ -17,6 +17,7 @@
 pub mod adaptive;
 pub mod analyze;
 pub mod config;
+pub mod cost;
 pub mod eval;
 pub mod expr;
 pub mod frontend;
@@ -28,9 +29,10 @@ pub mod plan;
 pub mod stage;
 pub mod verify;
 
-pub use adaptive::{HeurKind, InstanceReport, PrimInstance, QueryContext};
+pub use adaptive::{HeurKind, InstanceReport, MemReport, MemTracker, PrimInstance, QueryContext};
 pub use analyze::{analyze, AbsDomain, Analysis, AnalysisError, ColFact, Facts};
 pub use config::{ExecConfig, FlavorAxis, FlavorMode};
+pub use cost::{cost, CostFinding, CostReport, OpCost};
 pub use eval::{CompiledExpr, CompiledPred};
 pub use expr::{ArithKind, CmpKind, CmpRhs, Expr, Pred, Value};
 pub use ops::{collect, BoxOp, Operator};

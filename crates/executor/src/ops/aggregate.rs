@@ -90,6 +90,21 @@ enum AccBuf {
 }
 
 impl AccBuf {
+    /// Live accumulator bytes (length-based): 16 per group for the
+    /// 128-bit sums, 8 otherwise. Reported by the byte-accounting facade.
+    fn bytes(&self) -> u64 {
+        match self {
+            AccBuf::SumI64 { accs, .. } => (accs.len() as u64).saturating_mul(16),
+            AccBuf::SumF64 { accs, .. }
+            | AccBuf::MinF64 { accs, .. }
+            | AccBuf::MaxF64 { accs, .. } => (accs.len() as u64).saturating_mul(8),
+            AccBuf::Count { accs, .. } => (accs.len() as u64).saturating_mul(8),
+            AccBuf::MinI64 { accs, .. } | AccBuf::MaxI64 { accs, .. } => {
+                (accs.len() as u64).saturating_mul(8)
+            }
+        }
+    }
+
     fn create(spec: AggSpec, ctx: &QueryContext, label: &str) -> Result<Self, ExecError> {
         Ok(match spec {
             AggSpec::SumI64(col) => AccBuf::SumI64 {
@@ -234,6 +249,23 @@ enum KeyTable {
     },
 }
 
+/// How many new groups to reserve room for before an insertcheck pass:
+/// `live` (every live tuple may open a group) clamped to the groups a
+/// proven bound still permits — a sound bound guarantees at most
+/// `hint - groups` further distinct keys, so the clamp never
+/// under-reserves (the group tables never rehash inside `find_or_insert`,
+/// and probing a *present* key terminates at any load factor, so a
+/// zero-room pass over already-seen keys is safe). An unsound bound is
+/// caught by the post-pass group-count guard in `consume_chunk`: the
+/// table's ≤50% load invariant leaves at least `hint` free slots of
+/// headroom, so the offending pass still terminates and errors out.
+fn clamped_reserve(live: usize, groups: usize, hint: Option<usize>) -> usize {
+    match hint {
+        Some(h) => live.min(h.saturating_sub(groups)),
+        None => live,
+    }
+}
+
 /// Serializes one tuple's group-key columns into a scratch string.
 /// Integers are fixed-width hex (order-irrelevant, collision-free);
 /// strings are length-prefixed to keep the encoding injective.
@@ -269,6 +301,11 @@ pub struct HashAggregate {
     types: Vec<DataType>,
     vector_size: usize,
     done: Option<std::vec::IntoIter<DataChunk>>,
+    /// The analyzer's proven distinct-group bound, when lowered from a
+    /// plan: clamps speculative reservations (`with_group_bound`).
+    group_hint: Option<usize>,
+    /// Byte-accounting slot recording this instance's high-water mark.
+    tracker: Option<crate::adaptive::MemTracker>,
     // scratch
     hashes: Vec<u64>,
     gids: Vec<u32>,
@@ -389,19 +426,61 @@ impl HashAggregate {
             types,
             vector_size: ctx.vector_size(),
             done: None,
+            group_hint: None,
+            tracker: None,
             hashes: Vec::new(),
             gids: Vec::new(),
             keyscratch: Vec::new(),
         })
     }
 
-    fn consume_chunk(&mut self, chunk: &DataChunk) {
+    /// Clamps speculative reservations to the analyzer's proven
+    /// distinct-group bound: key builders pre-allocate `min(1024, bound)`
+    /// rows, and per-chunk group-table reserves never exceed the groups
+    /// the bound still permits. Call before the first chunk is consumed.
+    pub fn with_group_bound(mut self, bound: usize) -> Self {
+        self.group_hint = Some(bound);
+        let cap = bound.min(1024);
+        self.key_builders = self
+            .group_cols
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ColumnBuilder::with_capacity(self.types[i], cap))
+            .collect();
+        self
+    }
+
+    /// Attaches a byte-accounting slot; the operator records its live
+    /// table + builder + accumulator bytes after every consumed chunk.
+    pub fn with_tracker(mut self, tracker: crate::adaptive::MemTracker) -> Self {
+        self.tracker = Some(tracker);
+        self
+    }
+
+    /// Live resident bytes of the aggregation state (length-based).
+    fn resident_bytes(&self) -> u64 {
+        let table = match &self.key_table {
+            KeyTable::Int { table, .. } => table.bytes(),
+            KeyTable::Str { table, .. } => table.bytes(),
+        };
+        let builders = self
+            .key_builders
+            .iter()
+            .fold(0u64, |a, b| a.saturating_add(b.bytes() as u64));
+        let accs = self
+            .accs
+            .iter()
+            .fold(0u64, |a, b| a.saturating_add(b.bytes()));
+        table.saturating_add(builders).saturating_add(accs)
+    }
+
+    fn consume_chunk(&mut self, chunk: &DataChunk) -> Result<(), ExecError> {
         let n = chunk.len();
         let sel_owned = chunk.sel().cloned();
         let sel = sel_owned.as_ref().map(SelVec::as_slice);
         let live = chunk.live_count() as u64;
         if live == 0 {
-            return;
+            return Ok(());
         }
         self.hashes.resize(n.max(self.hashes.len()), 0);
         self.gids.resize(n.max(self.gids.len()), 0);
@@ -440,7 +519,11 @@ impl HashAggregate {
                 prev_groups = table.groups();
                 normalize_keys_i64(chunk.column(self.group_cols[0]), &mut self.keyscratch);
                 let keys_u64: Vec<u64> = self.keyscratch.iter().map(|&k| k as u64).collect();
-                table.reserve(live as usize);
+                table.reserve(clamped_reserve(
+                    live as usize,
+                    table.groups() as usize,
+                    self.group_hint,
+                ));
                 groups_now = insert.invoke(live, |f| f(table, hashes, &keys_u64, gids, sel));
             }
             KeyTable::Str {
@@ -449,7 +532,11 @@ impl HashAggregate {
                 serialize,
             } => {
                 prev_groups = table.groups();
-                table.reserve(live as usize);
+                table.reserve(clamped_reserve(
+                    live as usize,
+                    table.groups() as usize,
+                    self.group_hint,
+                ));
                 match serialize {
                     None => {
                         let keys = chunk.column(self.group_cols[0]).as_str_vec();
@@ -483,6 +570,18 @@ impl HashAggregate {
             }
         }
 
+        // The clamped reservation above leans on the proven bound; verify
+        // it held rather than trusting the analyzer blindly. (The ≤50%
+        // load invariant guarantees the pass itself terminated.)
+        if let Some(h) = self.group_hint {
+            if groups_now as usize > h {
+                return Err(ExecError::Plan(format!(
+                    "proven group bound violated: {groups_now} groups exceed \
+                     the analyzer's bound of {h} (unsound analysis)"
+                )));
+            }
+        }
+
         // 3. record representative key values for new groups, in gid order
         // (insertcheck assigns fresh gids densely, in position order).
         if groups_now > prev_groups {
@@ -513,6 +612,11 @@ impl HashAggregate {
             acc.grow(groups_now as usize);
             acc.update(chunk, gids, sel, live);
         }
+
+        if let Some(t) = &self.tracker {
+            t.record(self.resident_bytes());
+        }
+        Ok(())
     }
 
     fn finalize(&mut self) -> Vec<DataChunk> {
@@ -539,6 +643,16 @@ impl HashAggregate {
         }
         let chunk = DataChunk::new(cols);
         store.append(&chunk, &(0..self.types.len()).collect::<Vec<_>>());
+        if let Some(t) = &self.tracker {
+            // Emission phase: the table is still resident alongside the
+            // materialized output copy (covered by the bound's output
+            // term).
+            let table = match &self.key_table {
+                KeyTable::Int { table, .. } => table.bytes(),
+                KeyTable::Str { table, .. } => table.bytes(),
+            };
+            t.record(table.saturating_add(store.bytes()));
+        }
         store.freeze().to_chunks(self.vector_size)
     }
 }
@@ -547,7 +661,7 @@ impl Operator for HashAggregate {
     fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
         if self.done.is_none() {
             while let Some(chunk) = self.child.next()? {
-                self.consume_chunk(&chunk);
+                self.consume_chunk(&chunk)?;
             }
             self.done = Some(self.finalize().into_iter());
         }

@@ -49,12 +49,12 @@ pub type FragmentFactory<'a> = dyn Fn(usize, usize) -> Result<BoxOp, ExecError> 
 /// over a morsel's worth of chunks — without this, per-chunk channel
 /// overhead eats the parallel gain, and on a single hardware thread (CI
 /// containers) it dominates outright.
-const CHUNKS_PER_MESSAGE: usize = 8;
+pub(crate) const CHUNKS_PER_MESSAGE: usize = 8;
 
 /// Batches in flight per worker before producers block. Kept tight: chunks
 /// sitting in the channel are chunks evicted from cache, and the
 /// vector-at-a-time model lives on produce-then-consume cache residency.
-const CHANNEL_DEPTH_PER_WORKER: usize = 2;
+pub(crate) const CHANNEL_DEPTH_PER_WORKER: usize = 2;
 
 pub(crate) type Batch = Result<Vec<DataChunk>, ExecError>;
 
@@ -179,6 +179,7 @@ enum State {
 pub struct Parallel {
     state: State,
     types: Vec<DataType>,
+    tracker: Option<crate::adaptive::MemTracker>,
 }
 
 impl Parallel {
@@ -191,7 +192,16 @@ impl Parallel {
         Ok(Parallel {
             state: State::Pending(ops),
             types,
+            tracker: None,
         })
+    }
+
+    /// Attaches a byte-accounting tracker recording the size of every
+    /// chunk this exchange yields (the per-chunk channel-buffer unit the
+    /// planner's exchange bound is stated in).
+    pub(crate) fn tracked(mut self, tracker: crate::adaptive::MemTracker) -> Self {
+        self.tracker = Some(tracker);
+        self
     }
 }
 
@@ -258,7 +268,11 @@ impl Operator for Parallel {
         let State::Running(union) = &mut self.state else {
             unreachable!()
         };
-        union.next()
+        let out = union.next()?;
+        if let (Some(t), Some(chunk)) = (&self.tracker, &out) {
+            t.record(crate::ops::chunk_bytes(chunk));
+        }
+        Ok(out)
     }
 
     fn out_types(&self) -> &[DataType] {
@@ -488,6 +502,7 @@ enum PartState {
 pub struct HashPartitionExchange {
     state: PartState,
     types: Vec<DataType>,
+    tracker: Option<crate::adaptive::MemTracker>,
 }
 
 impl HashPartitionExchange {
@@ -569,7 +584,16 @@ impl HashPartitionExchange {
                 consumers,
             },
             types,
+            tracker: None,
         })
+    }
+
+    /// Attaches a byte-accounting tracker recording the size of every
+    /// chunk this exchange yields (the per-chunk channel-buffer unit the
+    /// planner's exchange bound is stated in).
+    pub(crate) fn tracked(mut self, tracker: crate::adaptive::MemTracker) -> Self {
+        self.tracker = Some(tracker);
+        self
     }
 
     /// Spawns every lane's producers (routing) and the consumers,
@@ -616,7 +640,11 @@ impl Operator for HashPartitionExchange {
         let PartState::Running(union) = &mut self.state else {
             unreachable!()
         };
-        union.next()
+        let out = union.next()?;
+        if let (Some(t), Some(chunk)) = (&self.tracker, &out) {
+            t.record(crate::ops::chunk_bytes(chunk));
+        }
+        Ok(out)
     }
 
     fn out_types(&self) -> &[DataType] {
@@ -688,6 +716,7 @@ pub struct MergeExchange {
     state: MergeState,
     key_col: usize,
     types: Vec<DataType>,
+    tracker: Option<crate::adaptive::MemTracker>,
 }
 
 impl MergeExchange {
@@ -713,7 +742,16 @@ impl MergeExchange {
             state: MergeState::Pending(producers),
             key_col,
             types,
+            tracker: None,
         })
+    }
+
+    /// Attaches a byte-accounting tracker recording the size of every
+    /// chunk this exchange yields (the per-chunk channel-buffer unit the
+    /// planner's exchange bound is stated in).
+    pub(crate) fn tracked(mut self, tracker: crate::adaptive::MemTracker) -> Self {
+        self.tracker = Some(tracker);
+        self
     }
 
     /// Spawns one worker (and private channel) per producer.
@@ -813,7 +851,12 @@ impl Operator for MergeExchange {
             return Ok(None);
         };
         match MergeExchange::merge_next(sources, self.key_col) {
-            Ok(Some(chunk)) => Ok(Some(chunk)),
+            Ok(Some(chunk)) => {
+                if let Some(t) = &self.tracker {
+                    t.record(crate::ops::chunk_bytes(&chunk));
+                }
+                Ok(Some(chunk))
+            }
             Ok(None) => {
                 self.state = MergeState::Done;
                 Ok(None)

@@ -71,12 +71,21 @@ struct JoinBuild {
 }
 
 impl JoinBuild {
-    fn new(key_idx: Vec<usize>, payload_idx: Vec<usize>, payload_types: Vec<DataType>) -> Self {
+    fn new(
+        key_idx: Vec<usize>,
+        payload_idx: Vec<usize>,
+        payload_types: Vec<DataType>,
+        row_hint: Option<usize>,
+    ) -> Self {
         let nkeys = key_idx.len();
+        // Pre-reserve the key vectors to the planner's proven build-row
+        // bound — clamped so a wild estimate can't allocate unbounded
+        // memory up front (the vectors still grow on demand past it).
+        let cap = row_hint.map_or(0, |h| h.min(1 << 16));
         JoinBuild {
             key_idx,
             payload_idx,
-            keys: vec![Vec::new(); nkeys],
+            keys: vec![Vec::with_capacity(cap); nkeys],
             payload: RowStore::new(payload_types),
             scratch: Vec::new(),
         }
@@ -95,7 +104,7 @@ impl JoinBuild {
     /// Freezes the accumulated rows into a chained hash table (plus an
     /// optional bloom filter over the row hashes). The build side bypasses
     /// the expression evaluator, like Vectorwise (§4.1).
-    fn finish(self, want_bloom: bool) -> BuildSide {
+    fn finish(self, want_bloom: bool, tracker: Option<&crate::adaptive::MemTracker>) -> BuildSide {
         let rows = self.keys[0].len();
         let mut row_hashes = vec![0u64; rows];
         for (k, kv) in self.keys.iter().enumerate() {
@@ -125,6 +134,21 @@ impl JoinBuild {
             }
             bf
         });
+        if let Some(t) = tracker {
+            // Live bytes at the build's high-water point: normalized keys,
+            // payload rows, the transient hash column, and the chained
+            // table (heads + chain) plus the optional bloom filter.
+            let key_bytes: u64 = self.keys.iter().map(|k| (k.len() * 8) as u64).sum();
+            let table = (row_hashes.len() * 8) as u64
+                + (heads.len() * 4) as u64
+                + (chain.len() * 4) as u64
+                + bloom.as_ref().map_or(0, |b| b.bytes() as u64);
+            t.record(
+                key_bytes
+                    .saturating_add(self.payload.bytes())
+                    .saturating_add(table),
+            );
+        }
         BuildSide {
             keys: self.keys,
             payload: self.payload.freeze(),
@@ -167,6 +191,10 @@ pub struct HashJoin {
     defaults: Vec<Value>,
 
     built: Option<BuildSide>,
+    /// Planner-proven build-row bound, used to pre-size build allocations.
+    build_hint: Option<usize>,
+    /// Byte-accounting slot the build phase reports its high-water to.
+    tracker: Option<crate::adaptive::MemTracker>,
     /// Pending inner-join matches: source chunk + (probe pos, build row).
     pending: Option<(DataChunk, Vec<u32>, Vec<u32>, usize)>,
     // scratch
@@ -310,10 +338,25 @@ impl HashJoin {
             payload_fetch,
             defaults,
             built: None,
+            build_hint: None,
+            tracker: None,
             pending: None,
             hashes: Vec::new(),
             probe_keys: vec![Vec::new(); nkeys],
         })
+    }
+
+    /// Sets the planner-proven build-row bound, pre-sizing build
+    /// allocations (clamped inside `JoinBuild::new`).
+    pub fn with_build_rows(mut self, rows: usize) -> Self {
+        self.build_hint = Some(rows);
+        self
+    }
+
+    /// Attaches a byte-accounting tracker the build phase reports to.
+    pub fn with_tracker(mut self, tracker: crate::adaptive::MemTracker) -> Self {
+        self.tracker = Some(tracker);
+        self
     }
 
     /// Drains the build child through the build phase.
@@ -326,11 +369,12 @@ impl HashJoin {
             self.build_key_idx.clone(),
             self.payload_idx.clone(),
             payload_types,
+            self.build_hint,
         );
         while let Some(chunk) = child.next()? {
             build.add(&chunk);
         }
-        self.built = Some(build.finish(self.bloom_inst.is_some()));
+        self.built = Some(build.finish(self.bloom_inst.is_some(), self.tracker.as_ref()));
         Ok(())
     }
 

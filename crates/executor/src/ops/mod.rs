@@ -112,6 +112,22 @@ impl RowStore {
         self.rows
     }
 
+    /// Bytes of live stored data (length-based, not capacity): scalar width
+    /// × rows per numeric column, packed bytes + 8 bytes per view for `Str`.
+    /// Reported by the byte-accounting facade against proven bounds.
+    pub fn bytes(&self) -> u64 {
+        self.cols
+            .iter()
+            .map(|c| match c {
+                StoreCol::I16(v) => v.len() as u64 * 2,
+                StoreCol::I32(v) => v.len() as u64 * 4,
+                StoreCol::I64(v) => v.len() as u64 * 8,
+                StoreCol::F64(v) => v.len() as u64 * 8,
+                StoreCol::Str { bytes, views } => bytes.len() as u64 + views.len() as u64 * 8,
+            })
+            .sum()
+    }
+
     /// Appends the live rows of `chunk`, taking columns `col_idx` in order.
     pub fn append(&mut self, chunk: &DataChunk, col_idx: &[usize]) {
         debug_assert_eq!(col_idx.len(), self.cols.len());
@@ -225,6 +241,29 @@ impl FrozenStore {
         }
         out
     }
+}
+
+/// Length-based data bytes of one chunk: scalar width × length per numeric
+/// column; per-view string byte lengths plus 8 bytes per view for `Str`
+/// (arena bytes actually referenced, not the shared arena's full size).
+/// The exchange operators report this per received chunk against the
+/// analyzer's chunk bound.
+pub fn chunk_bytes(chunk: &DataChunk) -> u64 {
+    chunk
+        .columns()
+        .iter()
+        .map(|c| match c.as_ref() {
+            Vector::I16(v) => v.len() as u64 * 2,
+            Vector::I32(v) => v.len() as u64 * 4,
+            Vector::I64(v) => v.len() as u64 * 8,
+            Vector::F64(v) => v.len() as u64 * 8,
+            Vector::Str(sv) => sv
+                .views()
+                .iter()
+                .map(|&(_, len)| u64::from(len) + 8)
+                .sum::<u64>(),
+        })
+        .sum()
 }
 
 /// Extracts a column's live values as `i64` (key normalization for joins

@@ -36,6 +36,7 @@ pub struct Sort {
     types: Vec<DataType>,
     vector_size: usize,
     out: Option<std::vec::IntoIter<DataChunk>>,
+    tracker: Option<crate::adaptive::MemTracker>,
 }
 
 impl Sort {
@@ -59,7 +60,15 @@ impl Sort {
             types,
             vector_size,
             out: None,
+            tracker: None,
         })
+    }
+
+    /// Attaches a byte-accounting tracker the sort reports its buffered
+    /// bytes to.
+    pub fn with_tracker(mut self, tracker: crate::adaptive::MemTracker) -> Self {
+        self.tracker = Some(tracker);
+        self
     }
 
     fn run(&mut self) -> Result<Vec<DataChunk>, ExecError> {
@@ -69,6 +78,7 @@ impl Sort {
         while let Some(chunk) = child.next()? {
             store.append(&chunk, &all);
         }
+        let store_bytes = store.bytes();
         let frozen = store.freeze();
         let mut idx: Vec<u32> = (0..frozen.rows() as u32).collect();
         let keys = &self.keys;
@@ -96,6 +106,16 @@ impl Sort {
                 .collect();
             chunks.push(DataChunk::new(cols));
             start += n;
+        }
+        if let Some(t) = &self.tracker {
+            // High-water point: the buffered input, the permutation index,
+            // and the re-gathered output chunks all live at once.
+            let out_bytes: u64 = chunks.iter().map(crate::ops::chunk_bytes).sum();
+            t.record(
+                store_bytes
+                    .saturating_add((idx.len() * 4) as u64)
+                    .saturating_add(out_bytes),
+            );
         }
         Ok(chunks)
     }

@@ -135,7 +135,11 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, order: OrderCtx) -> Result
                 let factory = |_worker: usize, _n: usize| -> Result<BoxOp, ExecError> {
                     build_chain_fragment(&chain, &queue, ctx)
                 };
-                return Ok(Box::new(Parallel::new(workers, &factory)?));
+                let chunk = crate::cost::chunk_bound(plan, ctx.vector_size());
+                return Ok(Box::new(
+                    Parallel::new(workers, &factory)?
+                        .tracked(ctx.mem_tracker("exchange/parallel", chunk)),
+                ));
             }
         }
         // Under an ordered ancestor the same chain shards behind a
@@ -149,7 +153,11 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, order: OrderCtx) -> Result
                 let producers: Vec<BoxOp> = (0..workers)
                     .map(|_| build_chain_fragment(&chain, &queue, ctx))
                     .collect::<Result<_, _>>()?;
-                return Ok(Box::new(MergeExchange::new(producers, key)?));
+                let chunk = crate::cost::chunk_bound(plan, ctx.vector_size());
+                return Ok(Box::new(
+                    MergeExchange::new(producers, key)?
+                        .tracked(ctx.mem_tracker("exchange/merge", chunk)),
+                ));
             }
         }
         OrderCtx::Pinned => {}
@@ -195,13 +203,12 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, order: OrderCtx) -> Result
                 return lower_partitioned_agg(input, keys, aggs, partitions, ctx, label);
             }
             let child = lower_node(input, ctx, child_order(plan, 0, order))?;
-            Ok(Box::new(HashAggregate::new(
-                child,
-                keys.clone(),
-                aggs.clone(),
-                ctx,
-                label,
-            )?))
+            let bound = crate::cost::agg_instance_bound(input, keys, aggs);
+            Ok(Box::new(
+                HashAggregate::new(child, keys.clone(), aggs.clone(), ctx, label)?
+                    .with_group_bound(crate::analyze::group_bound(input, keys))
+                    .with_tracker(ctx.mem_tracker(label, bound)),
+            ))
         }
         LogicalPlan::StreamAgg {
             input, aggs, label, ..
@@ -238,18 +245,23 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, order: OrderCtx) -> Result
             }
             let b = lower_node(build, ctx, child_order(plan, 0, order))?;
             let p = lower_node(probe, ctx, child_order(plan, 1, order))?;
-            Ok(Box::new(HashJoin::new(
-                b,
-                p,
-                build_keys.clone(),
-                probe_keys.clone(),
-                payload.clone(),
-                *kind,
-                *bloom,
-                defaults.clone(),
-                ctx,
-                label,
-            )?))
+            let bound = crate::cost::join_build_bound(build, build_keys, payload);
+            Ok(Box::new(
+                HashJoin::new(
+                    b,
+                    p,
+                    build_keys.clone(),
+                    probe_keys.clone(),
+                    payload.clone(),
+                    *kind,
+                    *bloom,
+                    defaults.clone(),
+                    ctx,
+                    label,
+                )?
+                .with_build_rows(estimated_rows(build))
+                .with_tracker(ctx.mem_tracker(label, bound)),
+            ))
         }
         LogicalPlan::MergeJoin {
             left,
@@ -279,12 +291,11 @@ fn lower_node(plan: &LogicalPlan, ctx: &QueryContext, order: OrderCtx) -> Result
             input, keys, limit, ..
         } => {
             let child = lower_node(input, ctx, child_order(plan, 0, order))?;
-            Ok(Box::new(Sort::new(
-                child,
-                keys.clone(),
-                *limit,
-                ctx.vector_size(),
-            )?))
+            let bound = crate::cost::sort_bound(input);
+            Ok(Box::new(
+                Sort::new(child, keys.clone(), *limit, ctx.vector_size())?
+                    .with_tracker(ctx.mem_tracker("sort", bound)),
+            ))
         }
     }
 }
@@ -306,7 +317,7 @@ enum ChainStage<'a> {
 }
 
 /// A Filter/Project chain over a scan big enough to shard.
-struct ShardableChain<'a> {
+pub(crate) struct ShardableChain<'a> {
     table: &'a Arc<Table>,
     cols: &'a [String],
     /// Stages above the scan, bottom-up.
@@ -315,8 +326,12 @@ struct ShardableChain<'a> {
 
 /// Decomposes `plan` into a per-worker-compilable chain, or `None` when the
 /// pipeline contains a blocking/join node, the engine is single-threaded,
-/// or the table yields too few morsels to bother.
-fn shardable_chain<'a>(plan: &'a LogicalPlan, cfg: &ExecConfig) -> Option<ShardableChain<'a>> {
+/// or the table yields too few morsels to bother. Shared with
+/// [`crate::cost`], whose exchange bounds mirror this sharding verdict.
+pub(crate) fn shardable_chain<'a>(
+    plan: &'a LogicalPlan,
+    cfg: &ExecConfig,
+) -> Option<ShardableChain<'a>> {
     if cfg.worker_threads.max(1) == 1 {
         return None;
     }
@@ -474,8 +489,16 @@ pub(crate) fn agg_partition_count(input: &LogicalPlan, keys: &[usize], cfg: &Exe
     if shardable_chain(input, cfg).is_some() {
         return partitions;
     }
-    if crate::analyze::group_bound(input, keys) >= cfg.agg_min_partition_groups {
-        return partitions;
+    let demand = crate::analyze::group_bound(input, keys);
+    if demand >= cfg.agg_min_partition_groups {
+        // An explicit `agg_partitions` knob is an exact override; in auto
+        // mode the cost model sizes the partition count to the proven
+        // demand instead of fanning out to every worker unconditionally.
+        return if cfg.agg_partitions != 0 {
+            partitions
+        } else {
+            crate::cost::pick_partitions(demand, cfg.agg_min_partition_groups, partitions)
+        };
     }
     1
 }
@@ -528,21 +551,26 @@ fn lower_partitioned_agg(
         producers: lane_producers(input, ctx)?,
         key_cols: keys.to_vec(),
     };
+    // Hash routing makes no distribution promise, so every partition gets
+    // the full proven bound: in the worst case one consumer sees all
+    // groups.
+    let bound = crate::cost::agg_instance_bound(input, keys, aggs);
+    let group_hint = crate::analyze::group_bound(input, keys);
     let consumer = |mut sources: Vec<BoxOp>, _p: usize| -> Result<BoxOp, ExecError> {
         let source = sources.pop().expect("one lane");
-        Ok(Box::new(HashAggregate::new(
-            source,
-            keys.to_vec(),
-            aggs.to_vec(),
-            ctx,
-            label,
-        )?))
+        Ok(Box::new(
+            HashAggregate::new(source, keys.to_vec(), aggs.to_vec(), ctx, label)?
+                .with_group_bound(group_hint)
+                .with_tracker(ctx.mem_tracker(label, bound)),
+        ))
     };
-    Ok(Box::new(HashPartitionExchange::new(
-        vec![lane],
-        partitions,
-        &consumer,
-    )?))
+    let chunk = crate::cost::chunk_bound(input, ctx.vector_size()).max(
+        crate::cost::agg_out_chunk_bound(input, keys, aggs, ctx.vector_size()),
+    );
+    Ok(Box::new(
+        HashPartitionExchange::new(vec![lane], partitions, &consumer)?
+            .tracked(ctx.mem_tracker(format!("{label}/exchange"), chunk)),
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -575,8 +603,15 @@ pub(crate) fn join_partition_count(
     if shardable_chain(probe, cfg).is_some() || shardable_chain(build, cfg).is_some() {
         return partitions;
     }
-    if estimated_rows(build).max(estimated_rows(probe)) >= cfg.join_min_partition_rows {
-        return partitions;
+    let demand = estimated_rows(build).max(estimated_rows(probe));
+    if demand >= cfg.join_min_partition_rows {
+        // Explicit `join_partitions` overrides; auto mode lets the cost
+        // model size the fan-out to the proven demand.
+        return if cfg.join_partitions != 0 {
+            partitions
+        } else {
+            crate::cost::pick_partitions(demand, cfg.join_min_partition_rows, partitions)
+        };
     }
     1
 }
@@ -619,25 +654,37 @@ fn lower_partitioned_join(
             key_cols: probe_keys.clone(),
         },
     ];
+    // Worst case a single partition receives the whole build side, so
+    // each instance carries the full proven bound.
+    let bound = crate::cost::join_build_bound(build, build_keys, payload);
+    let rows_hint = estimated_rows(build);
     let consumer = |mut sources: Vec<BoxOp>, _p: usize| -> Result<BoxOp, ExecError> {
         let probe_src = sources.pop().expect("probe lane");
         let build_src = sources.pop().expect("build lane");
-        Ok(Box::new(HashJoin::new(
-            build_src,
-            probe_src,
-            build_keys.clone(),
-            probe_keys.clone(),
-            payload.clone(),
-            *kind,
-            *bloom,
-            defaults.clone(),
-            ctx,
-            label,
-        )?))
+        Ok(Box::new(
+            HashJoin::new(
+                build_src,
+                probe_src,
+                build_keys.clone(),
+                probe_keys.clone(),
+                payload.clone(),
+                *kind,
+                *bloom,
+                defaults.clone(),
+                ctx,
+                label,
+            )?
+            .with_build_rows(rows_hint)
+            .with_tracker(ctx.mem_tracker(label, bound)),
+        ))
     };
-    Ok(Box::new(HashPartitionExchange::new(
-        lanes, partitions, &consumer,
-    )?))
+    let chunk = crate::cost::chunk_bound(build, ctx.vector_size())
+        .max(crate::cost::chunk_bound(probe, ctx.vector_size()))
+        .max(crate::cost::chunk_bound(plan, ctx.vector_size()));
+    Ok(Box::new(
+        HashPartitionExchange::new(lanes, partitions, &consumer)?
+            .tracked(ctx.mem_tracker(format!("{label}/exchange"), chunk)),
+    ))
 }
 
 #[cfg(test)]
@@ -827,9 +874,11 @@ mod tests {
         // clear a threshold of 100, but at most 3 groups can exist.
         cfg.agg_min_partition_groups = 100;
         assert_eq!(agg_partition_count(agg_input, agg_keys, &cfg), 1);
-        // The bound itself gates exactly: threshold == 3 partitions...
+        // The bound itself gates exactly: threshold == 3 partitions. The
+        // cost model sizes P to the demand/threshold ratio (here 1,
+        // clamped to the 2-partition minimum), not the worker count.
         cfg.agg_min_partition_groups = 3;
-        assert_eq!(agg_partition_count(agg_input, agg_keys, &cfg), 4);
+        assert_eq!(agg_partition_count(agg_input, agg_keys, &cfg), 2);
         // ... one past it does not.
         cfg.agg_min_partition_groups = 4;
         assert_eq!(agg_partition_count(agg_input, agg_keys, &cfg), 1);
@@ -889,7 +938,7 @@ mod tests {
         let mut cfg = ExecConfig::fixed_default();
         cfg.worker_threads = 4;
         cfg.agg_min_partition_groups = rows;
-        assert_eq!(agg_partition_count(agg_input, &agg_keys, &cfg), 4);
+        assert_eq!(agg_partition_count(agg_input, &agg_keys, &cfg), 2);
         cfg.agg_min_partition_groups = rows + 1;
         assert_eq!(agg_partition_count(agg_input, &agg_keys, &cfg), 1);
 
@@ -898,7 +947,7 @@ mod tests {
         // flips at 7/8 even though every threshold below 1000 used to
         // partition.
         cfg.agg_min_partition_groups = 7;
-        assert_eq!(agg_partition_count(agg_input, &[0], &cfg), 4);
+        assert_eq!(agg_partition_count(agg_input, &[0], &cfg), 2);
         cfg.agg_min_partition_groups = 8;
         assert_eq!(agg_partition_count(agg_input, &[0], &cfg), 1);
 
@@ -921,7 +970,7 @@ mod tests {
         let mut cfg = ExecConfig::fixed_default();
         cfg.worker_threads = 4;
         cfg.join_min_partition_rows = rows;
-        assert_eq!(join_partition_count(build, probe, &cfg), 4);
+        assert_eq!(join_partition_count(build, probe, &cfg), 2);
         cfg.join_min_partition_rows = rows + 1;
         assert_eq!(join_partition_count(build, probe, &cfg), 1);
         // Explicit partition count overrides worker-following; `1`
@@ -960,7 +1009,7 @@ mod tests {
         let mut cfg = ExecConfig::fixed_default();
         cfg.worker_threads = 4;
         cfg.agg_min_partition_groups = rows;
-        assert_eq!(agg_partition_count(&join, &[2], &cfg), 4);
+        assert_eq!(agg_partition_count(&join, &[2], &cfg), 2);
         cfg.agg_min_partition_groups = rows + 1;
         assert_eq!(agg_partition_count(&join, &[2], &cfg), 1);
 

@@ -183,6 +183,16 @@ pub enum VerifyError {
         /// The underlying hazard finding.
         err: crate::analyze::AnalysisError,
     },
+    /// The memory/cost pass (phase 4, [`mod@crate::cost`]) proved the
+    /// plan's peak resident bytes exceed the configured budget, and
+    /// [`crate::ExecConfig::strict_memory`] promotes that finding from a
+    /// warning to a rejection.
+    MemoryBudget {
+        /// Proven whole-query peak bytes.
+        peak_bytes: u64,
+        /// The configured [`crate::ExecConfig::memory_budget`].
+        budget: u64,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -285,6 +295,11 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "{node} exchange with zero workers/partitions")
             }
             VerifyError::Analysis { err } => write!(f, "analysis: {err}"),
+            VerifyError::MemoryBudget { peak_bytes, budget } => write!(
+                f,
+                "proven peak of {peak_bytes} resident bytes exceeds the {budget}-byte \
+                 memory budget (strict_memory)"
+            ),
         }
     }
 }
@@ -305,10 +320,23 @@ pub fn verify(plan: &LogicalPlan, cfg: &ExecConfig) -> Result<(), VerifyError> {
     // bounds, contradictions) are reported by `crate::analyze::analyze`
     // and the `repro analyze` CLI instead — see
     // `AnalysisError::is_hazard` for the rationale.
-    match crate::analyze::analyze(plan).first_hazard() {
-        Some(err) => Err(VerifyError::Analysis { err: err.clone() }),
-        None => Ok(()),
+    if let Some(err) = crate::analyze::analyze(plan).first_hazard() {
+        return Err(VerifyError::Analysis { err: err.clone() });
     }
+    // Phase 4: memory/cost bounds. Budget findings are warnings by
+    // default (surfaced by `repro analyze` / `repro mem`); under
+    // `strict_memory` a plan whose proven peak exceeds the budget is
+    // rejected before any operator allocates.
+    if cfg.strict_memory {
+        let report = crate::cost::cost(plan, cfg);
+        if report.peak_bytes > cfg.memory_budget {
+            return Err(VerifyError::MemoryBudget {
+                peak_bytes: report.peak_bytes,
+                budget: cfg.memory_budget,
+            });
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

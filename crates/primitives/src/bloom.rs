@@ -46,6 +46,14 @@ impl BloomFilter {
         self.words.len() * 8
     }
 
+    /// Closed form of `for_keys(n).bytes()` without building the filter:
+    /// the byte size a filter sized for `n` keys will occupy. The static
+    /// cost analyzer uses this to bound join build memory; a pinned test
+    /// keeps it exactly equal to the constructor's sizing.
+    pub fn bytes_for_keys(n: usize) -> usize {
+        (n.max(8).max(64) / 8).next_power_of_two() * 8
+    }
+
     #[inline(always)]
     pub(crate) fn bit_positions(&self, hash: u64) -> (u64, u64) {
         // Two probes derived from disjoint hash halves.
@@ -251,6 +259,17 @@ mod tests {
         assert_eq!(BloomFilter::with_bytes(4096).bytes(), 4096);
         assert_eq!(BloomFilter::with_bytes(5000).bytes(), 8192);
         assert!(BloomFilter::with_bytes(1).bytes() >= 64);
+    }
+
+    #[test]
+    fn bytes_for_keys_matches_constructor() {
+        for n in [0, 1, 7, 8, 63, 64, 65, 100, 512, 513, 4096, 100_000] {
+            assert_eq!(
+                BloomFilter::bytes_for_keys(n),
+                BloomFilter::for_keys(n).bytes(),
+                "n = {n}"
+            );
+        }
     }
 
     #[test]

@@ -51,6 +51,13 @@ impl GroupTable {
         self.slots.len()
     }
 
+    /// Resident bytes of the slot array (the table's only allocation).
+    /// Reported by the executor's byte-accounting facade against the
+    /// memory analyzer's proven per-operator bounds.
+    pub fn bytes(&self) -> u64 {
+        (self.slots.len() * std::mem::size_of::<(u64, u32)>()) as u64
+    }
+
     /// Ensures the table can absorb `additional` new groups while staying
     /// under 50% load, growing (rehashing) if needed. Group ids are stable
     /// across growth.
@@ -226,6 +233,14 @@ impl StrGroupTable {
     /// Number of distinct groups.
     pub fn groups(&self) -> u32 {
         self.groups
+    }
+
+    /// Resident bytes: the slot array plus stored key bytes and views.
+    /// Reported by the executor's byte-accounting facade against the
+    /// memory analyzer's proven per-operator bounds.
+    pub fn bytes(&self) -> u64 {
+        let slots = self.slots.len() * std::mem::size_of::<(u64, u32, u32)>();
+        (slots + self.key_bytes.len() + self.key_views.len() * 8) as u64
     }
 
     /// The group key for `gid` (valid for all assigned gids).

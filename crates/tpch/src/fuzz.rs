@@ -309,6 +309,11 @@ pub enum CheckFailKind {
     /// proven-distinct column. Always an analyzer bug: bounds may widen,
     /// never lie.
     Unsound,
+    /// An operator's recorded high-water resident bytes exceeded the
+    /// planner's proven peak-byte bound for that instance — a cost-model
+    /// bug (`ma_executor::cost`): byte bounds may overshoot, never
+    /// undershoot.
+    MemBound,
 }
 
 /// A failed differential check.
@@ -424,6 +429,19 @@ impl Fuzzer {
                 detail,
             }
         })?;
+        // Byte-accounting oracle: every tracked operator instance must
+        // stay within the peak-byte bound the planner proved for it.
+        for r in ctx.mem_reports() {
+            if r.high_water > r.bound {
+                return Err(CheckFail {
+                    kind: CheckFailKind::MemBound,
+                    detail: format!(
+                        "{}: recorded {} resident bytes, proved \u{2264} {}",
+                        r.label, r.high_water, r.bound
+                    ),
+                });
+            }
+        }
         Ok(store)
     }
 

@@ -42,7 +42,9 @@ fn q01_physical_explain_shows_partitioned_aggregate() {
     // (computed by the same decision function `lower` uses). Q1 groups by
     // (l_returnflag, l_linestatus) with exactly 3 × 2 distinct values, so
     // the analysis-derived group bound is 6 — the trigger must be lowered
-    // to 6 to engage partitioning.
+    // to 6 to engage partitioning. The cost model then sizes P to the
+    // demand/threshold ratio (6/6 = 1, clamped to the 2-partition
+    // minimum), not the 4-worker cap.
     let cfg = ExecConfig::fixed_default()
         .with_workers(4)
         .with_agg_min_groups(6);
@@ -50,7 +52,7 @@ fn q01_physical_explain_shows_partitioned_aggregate() {
     let expected = "\
 Sort [l_returnflag asc, l_linestatus asc] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, avg_qty:f64, avg_price:f64, avg_disc:f64, count:i64)
   Project [l_returnflag, l_linestatus, sum_qty, sum_base, sum_disc_price, sum_charge, avg_qty=(f64(sum_qty) / f64(count)), avg_price=(f64(sum_base) / f64(count)), avg_disc=(sum_disc / f64(count)), count] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, avg_qty:f64, avg_price:f64, avg_disc:f64, count:i64)
-    HashAgg (partitioned \u{d7}4) keys=[l_returnflag, l_linestatus] aggs=[sum_qty=sum_i64(qty), sum_base=sum_i64(base), sum_disc_price=sum_f64(disc_price), sum_charge=sum_f64(charge), sum_disc=sum_f64(disc), count=count(*)] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, sum_disc:f64, count:i64)
+    HashAgg (partitioned \u{d7}2) keys=[l_returnflag, l_linestatus] aggs=[sum_qty=sum_i64(qty), sum_base=sum_i64(base), sum_disc_price=sum_f64(disc_price), sum_charge=sum_f64(charge), sum_disc=sum_f64(disc), count=count(*)] -> (l_returnflag:str, l_linestatus:str, sum_qty:i64, sum_base:i64, sum_disc_price:f64, sum_charge:f64, sum_disc:f64, count:i64)
       Project [l_returnflag, l_linestatus, qty=i64(l_quantity), base=l_extendedprice, disc_price=(f64(l_extendedprice) * (((f64(l_discount) * 0.01) * -1) + 1)), charge=((f64(l_extendedprice) * (((f64(l_discount) * 0.01) * -1) + 1)) * ((f64(l_tax) * 0.01) + 1)), disc=(f64(l_discount) * 0.01)] -> (l_returnflag:str, l_linestatus:str, qty:i64, base:i64, disc_price:f64, charge:f64, disc:f64)
         Filter l_shipdate <= 2436 -> (l_shipdate:i32, l_returnflag:str, l_linestatus:str, l_quantity:i32, l_extendedprice:i64, l_discount:i64, l_tax:i64)
           Scan lineitem (shardable) -> (l_shipdate:i32, l_returnflag:str, l_linestatus:str, l_quantity:i32, l_extendedprice:i64, l_discount:i64, l_tax:i64)
@@ -128,7 +130,10 @@ fn q03_physical_explain_shows_partitioned_joins() {
     // Join partitioning renders from the same decision function lowering
     // uses. The golden database is below the scan-sharding cutoff, so the
     // row-estimate trigger is lowered to engage the verdict: both of
-    // Q3's joins split into P private build tables.
+    // Q3's joins split into P private build tables. The outer join sits
+    // on shardable scan chains (P follows the 4-worker cap); the semi
+    // join engages on the row-estimate trigger alone, so the cost model
+    // sizes it to the demand/threshold ratio (clamped to 2).
     let cfg = ExecConfig::fixed_default()
         .with_workers(4)
         .with_join_min_rows(1024);
@@ -139,7 +144,7 @@ Sort [sum_rev desc, o_orderdate asc] limit=10 -> (l_orderkey:i32, sum_rev:f64, o
     HashAgg keys=[l_orderkey, o_orderdate, o_shippriority] aggs=[sum_rev=sum_f64(rev)] -> (l_orderkey:i32, o_orderdate:i32, o_shippriority:i32, sum_rev:f64)
       Project [l_orderkey, o_orderdate, o_shippriority, rev=(f64(l_extendedprice) * (((f64(l_discount) * 0.01) * -1) + 1))] -> (l_orderkey:i32, o_orderdate:i32, o_shippriority:i32, rev:f64)
         HashJoin (partitioned \u{d7}4) inner on (l_orderkey = o_orderkey) payload=[o_orderdate, o_shippriority] bloom -> (l_orderkey:i32, l_shipdate:i32, l_extendedprice:i64, l_discount:i64, o_orderdate:i32, o_shippriority:i32)
-          build: HashJoin (partitioned \u{d7}4) semi on (o_custkey = c_custkey) bloom -> (o_orderkey:i32, o_custkey:i32, o_orderdate:i32, o_shippriority:i32)
+          build: HashJoin (partitioned \u{d7}2) semi on (o_custkey = c_custkey) bloom -> (o_orderkey:i32, o_custkey:i32, o_orderdate:i32, o_shippriority:i32)
             build: Filter c_mktsegment = 'BUILDING' -> (c_custkey:i32, c_mktsegment:str)
               Scan customer (shardable) -> (c_custkey:i32, c_mktsegment:str)
             probe: Filter o_orderdate < 1169 -> (o_orderkey:i32, o_custkey:i32, o_orderdate:i32, o_shippriority:i32)

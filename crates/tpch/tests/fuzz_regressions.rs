@@ -143,6 +143,31 @@ fn or_branches_sum_their_ndv_caps() {
     );
 }
 
+/// Seed 0xBEEF cases 78 and 131 (fourth 10k-case sweep, the first with
+/// the byte-accounting oracle): aggregations whose group count *exactly
+/// reaches* the analyzer's proven bound — NDV stats are exact, so this
+/// is the common case, not a corner — tripped `MemBound`. The clamped
+/// reservation treated zero remaining room as "bound might be unsound,
+/// reserve for every live tuple", ballooning a 64-slot group table to
+/// 4096 slots (65 KiB recorded against a 1.4 KiB proven bound) from the
+/// second chunk on. Zero room now reserves zero (probing only *present*
+/// keys terminates at any load factor), and a typed post-pass guard
+/// rejects the query if the group count ever exceeds the proven bound.
+#[test]
+fn exactly_reached_group_bound_keeps_the_clamped_reservation() {
+    let fz = fuzzer(0.01);
+    // Shrunk reproductions: low-NDV group keys (5 market segments,
+    // 7 order years) that all appear within the first vector, so every
+    // later chunk runs an insertcheck pass with zero remaining room.
+    for text in [
+        "from customer [c_mktsegment] | agg by [c_mktsegment] [count as a1]",
+        "from orders [o_orderyear] | agg by [o_orderyear] [count as a3]",
+    ] {
+        fz.check_text(text)
+            .unwrap_or_else(|f| panic!("{text}\n  {f}"));
+    }
+}
+
 /// A small deterministic differential sweep on every `cargo test` run.
 /// The heavy sweeps (500 release-mode cases in CI, 10k+ in triage) use
 /// the same code at bigger scale.

@@ -177,6 +177,54 @@ fn all_queries_analyze_cleanly() {
     }
 }
 
+/// All 22 plans get a *finite* proven peak-byte bound from the memory/
+/// cost pass under every matrix configuration, with zero findings under
+/// the default 1 GiB budget. Finiteness is the load-bearing half: the
+/// pass saturates to "unbounded" when a width or cardinality estimate
+/// escapes it, and an unbounded plan would make the byte-accounting
+/// oracle (`actual ≤ proven`) vacuously true. The work bound must be
+/// finite and positive for the same reason.
+#[test]
+fn all_queries_get_finite_byte_bounds() {
+    // Saturation sentinel mirrored from `ma_executor::cost` (rendered as
+    // "unbounded"); anything at or above it means the pass gave up.
+    const SAT: u64 = u64::MAX >> 8;
+    let db = db();
+    let params = Params::default();
+    for q in 1..=22 {
+        let plan = query_plan(q, db, &params)
+            .unwrap_or_else(|e| panic!("Q{q}: {e}"))
+            .build()
+            .unwrap_or_else(|e| panic!("Q{q}: {e}"));
+        for workers in [1, 2, 4] {
+            for (agg_p, join_p) in [(0, 0), (1, 1), (3, 2)] {
+                for vsize in [64, 1024] {
+                    let cfg = config(workers, agg_p, join_p, vsize);
+                    let report = ma_executor::cost(&plan, &cfg);
+                    assert!(
+                        report.peak_bytes > 0 && report.peak_bytes < SAT,
+                        "Q{q} peak bound degenerate (workers={workers}, \
+                         agg_partitions={agg_p}, join_partitions={join_p}, \
+                         vector_size={vsize}): {} ({})",
+                        report.peak_bytes,
+                        ma_executor::cost::fmt_bytes(report.peak_bytes)
+                    );
+                    assert!(
+                        report.total_work > 0 && report.total_work < SAT,
+                        "Q{q} work bound degenerate: {}",
+                        report.total_work
+                    );
+                    assert!(
+                        report.findings.is_empty(),
+                        "Q{q} over default budget (workers={workers}): {:?}",
+                        report.findings
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Stats labels are globally unique across all 22 first-phase plans: the
 /// `QN/` prefix convention means a whole-benchmark stats dump can never
 /// alias two different primitives. (Within-plan uniqueness of

@@ -59,6 +59,23 @@ impl ColumnBuilder {
         self.len() == 0
     }
 
+    /// Bytes of *live* accumulated data (length-based, not capacity): the
+    /// scalar width times the row count for numeric builders; packed string
+    /// bytes plus 8 bytes per `(offset, len)` view for `Str`. This is the
+    /// figure the byte-accounting facade reports against the analyzer's
+    /// proven per-operator bounds.
+    pub fn bytes(&self) -> usize {
+        match self {
+            ColumnBuilder::I16(v) => v.len().saturating_mul(2),
+            ColumnBuilder::I32(v) => v.len().saturating_mul(4),
+            ColumnBuilder::I64(v) => v.len().saturating_mul(8),
+            ColumnBuilder::F64(v) => v.len().saturating_mul(8),
+            ColumnBuilder::Str { bytes, views } => {
+                bytes.len().saturating_add(views.len().saturating_mul(8))
+            }
+        }
+    }
+
     /// `push_i16`.
     pub fn push_i16(&mut self, v: i16) {
         match self {
@@ -137,6 +154,7 @@ mod tests {
         b.push_str("");
         b.push_str("cde");
         assert_eq!(b.len(), 3);
+        assert_eq!(b.bytes(), 5 + 3 * 8); // "ab" + "" + "cde" bytes + views
         let col = b.finish();
         let v = col.slice_vector(0, 3);
         let sv = v.as_str_vec();

@@ -27,6 +27,11 @@ pub struct ColumnStats {
     pub distinct: usize,
     /// Type-specific value domain.
     pub domain: StatsDomain,
+    /// Widest single value in bytes: the scalar width for numeric columns
+    /// (2/4/8), the longest string's byte length for `Str`. Zero for an
+    /// empty column. The memory/cost analyzer multiplies this by row
+    /// bounds to bound string-storage bytes.
+    pub max_bytes: usize,
 }
 
 /// The value domain of a column, by scalar type.
@@ -60,9 +65,9 @@ impl ColumnStats {
     /// Computes exact statistics for `col` in one pass.
     pub fn compute(col: &Column) -> ColumnStats {
         match col {
-            Column::I16(v) => int_stats(v.iter().map(|&x| i64::from(x))),
-            Column::I32(v) => int_stats(v.iter().map(|&x| i64::from(x))),
-            Column::I64(v) => int_stats(v.iter().copied()),
+            Column::I16(v) => int_stats(v.iter().map(|&x| i64::from(x)), 2, v.len()),
+            Column::I32(v) => int_stats(v.iter().map(|&x| i64::from(x)), 4, v.len()),
+            Column::I64(v) => int_stats(v.iter().copied(), 8, v.len()),
             Column::F64(v) => {
                 let mut seen = HashSet::with_capacity(v.len().min(1 << 16));
                 let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -84,23 +89,27 @@ impl ColumnStats {
                         max,
                         all_finite,
                     },
+                    max_bytes: if v.is_empty() { 0 } else { 8 },
                 }
             }
             Column::Str { arena, views } => {
                 let mut seen: HashSet<&[u8]> = HashSet::with_capacity(views.len().min(1 << 16));
+                let mut max_bytes = 0usize;
                 for &(off, len) in views.iter() {
                     seen.insert(&arena[off as usize..(off + len) as usize]);
+                    max_bytes = max_bytes.max(len as usize);
                 }
                 ColumnStats {
                     distinct: seen.len(),
                     domain: StatsDomain::Str,
+                    max_bytes,
                 }
             }
         }
     }
 }
 
-fn int_stats(values: impl Iterator<Item = i64>) -> ColumnStats {
+fn int_stats(values: impl Iterator<Item = i64>, width: usize, rows: usize) -> ColumnStats {
     let mut seen = HashSet::new();
     let (mut min, mut max) = (i64::MAX, i64::MIN);
     for x in values {
@@ -111,6 +120,7 @@ fn int_stats(values: impl Iterator<Item = i64>) -> ColumnStats {
     ColumnStats {
         distinct: seen.len(),
         domain: StatsDomain::Int { min, max },
+        max_bytes: if rows == 0 { 0 } else { width },
     }
 }
 
@@ -125,6 +135,7 @@ mod tests {
         let s = ColumnStats::compute(&col);
         assert_eq!(s.distinct, 4);
         assert_eq!(s.domain, StatsDomain::Int { min: -7, max: 42 });
+        assert_eq!(s.max_bytes, 4);
     }
 
     #[test]
@@ -139,6 +150,7 @@ mod tests {
                 max: i64::MIN
             }
         );
+        assert_eq!(s.max_bytes, 0);
     }
 
     #[test]
@@ -168,5 +180,6 @@ mod tests {
         let s = ColumnStats::compute(&col);
         assert_eq!(s.distinct, 2); // "ab", "ab", "bx"
         assert_eq!(s.domain, StatsDomain::Str);
+        assert_eq!(s.max_bytes, 2);
     }
 }

@@ -1,7 +1,7 @@
 //! In-tree repo lints, run as `cargo xtask lint` (aliased in
 //! `.cargo/config.toml`) and as a standalone CI job.
 //!
-//! Four rules, each with an explicit, justified allowlist rather than a
+//! Five rules, each with an explicit, justified allowlist rather than a
 //! blanket escape hatch:
 //!
 //! 1. **Hot-path unwrap discipline.** `.unwrap()` / `.expect(` are
@@ -28,6 +28,13 @@
 //!    (`ma_executor::analyze`) vouches for expression safety, so width
 //!    truncations and offset wraps below it must be individually
 //!    provable.
+//! 5. **Memory-facade registration.** Every operator in
+//!    `crates/executor/src/ops/` that can hold data across chunks must
+//!    report its resident bytes through the `MemTracker` facade so the
+//!    byte-accounting oracle (`ma_executor::cost`) can check recorded
+//!    high-water marks against the proven static bounds. Streaming
+//!    operators with no cross-chunk state are exempt and listed as such;
+//!    stale exemptions are flagged just like rule 3.
 //!
 //! No dependencies: a plain recursive walker over the repo's own sources
 //! keeps the lint runnable in offline builds and fast enough for CI.
@@ -160,6 +167,33 @@ const NARROW_CAST_ALLOWLIST: &[(&str, usize, &str)] = &[
     ),
 ];
 
+/// Rule 5 exemptions: ops files implementing `Operator` that legitimately
+/// hold no cross-chunk state worth metering — nothing resident beyond the
+/// single chunk in flight, which the exchanges above them already meter.
+const MEM_EXEMPT: &[(&str, &str)] = &[
+    (
+        "merge_join.rs",
+        "materializes only the sorted left side, whose exact len-based size \
+         the cost pass proves directly from input cardinality; the operator \
+         is serial-only, so no partitioned instance can drift from the bound",
+    ),
+    (
+        "project.rs",
+        "streaming: transforms the chunk in flight, retains nothing across \
+         next() calls",
+    ),
+    (
+        "scan.rs",
+        "streaming: emits borrowed views of stored vectors, allocates no \
+         resident state",
+    ),
+    (
+        "select.rs",
+        "streaming: filters the chunk in flight via selection vectors, \
+         retains nothing across next() calls",
+    ),
+];
+
 /// Rule 4b allowlist: exact count of bare `+`/`*` on lines manipulating
 /// row counts or offsets in kernel/ops non-test code. Row math must use
 /// `saturating_*`/`checked_*` (or prove the bound locally): a silent wrap
@@ -184,6 +218,7 @@ fn lint() -> ExitCode {
     lint_test_sleeps(&root, &mut violations);
     lint_operator_stats(&root, &mut violations);
     lint_narrowing_and_row_arith(&root, &mut violations);
+    lint_mem_facade(&root, &mut violations);
     if violations.is_empty() {
         println!("xtask lint: all checks passed");
         ExitCode::SUCCESS
@@ -340,6 +375,46 @@ fn lint_operator_stats(root: &Path, violations: &mut Vec<String>) {
     }
 }
 
+/// Rule 5: ops files implementing `Operator` must meter resident bytes
+/// through the `MemTracker` facade unless exempt as streaming/covered.
+/// Without registration the byte-accounting oracle silently skips the
+/// operator, and "actual ≤ proven bound" degrades to vacuous truth.
+fn lint_mem_facade(root: &Path, violations: &mut Vec<String>) {
+    let ops_dir = root.join("crates/executor/src/ops");
+    for file in rust_files(&ops_dir) {
+        let name = file
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let src = match fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let body = non_test_region(&src);
+        if !body.contains("impl Operator for") {
+            continue;
+        }
+        let registered = body.contains("MemTracker");
+        let exempt = MEM_EXEMPT.iter().any(|(f, _)| *f == name);
+        if !registered && !exempt {
+            violations.push(format!(
+                "{}: implements Operator without registering with the \
+                 MemTracker facade; the byte-accounting oracle cannot check \
+                 its resident bytes against the proven bound — wire a tracker \
+                 or add a MEM_EXEMPT entry with a justification",
+                file.display()
+            ));
+        } else if registered && exempt {
+            violations.push(format!(
+                "{}: listed in MEM_EXEMPT but now registers with the \
+                 MemTracker facade; drop the stale exemption",
+                file.display()
+            ));
+        }
+    }
+}
+
 /// Rule 4: numeric-width and row-arithmetic discipline in the kernel
 /// crates (`crates/primitives`, `crates/executor/src/ops`) — the code
 /// the abstract interpreter's safety verdicts ultimately vouch for.
@@ -481,6 +556,7 @@ mod tests {
         lint_ops_unwraps(&root, &mut violations);
         lint_test_sleeps(&root, &mut violations);
         lint_operator_stats(&root, &mut violations);
+        lint_mem_facade(&root, &mut violations);
         assert!(violations.is_empty(), "lint violations: {violations:#?}");
     }
 }
