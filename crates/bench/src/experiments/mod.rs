@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod agg_scaling;
+pub mod compress;
 pub mod demo;
 pub mod join_scaling;
 pub mod micro;
@@ -13,11 +14,12 @@ use std::sync::Arc;
 use ma_executor::FlavorAxis;
 use ma_tpch::{Runner, TpchData};
 
-/// All experiment identifiers, in paper order ("scaling", "agg-scaling"
-/// and "join-scaling" are ours, not the paper's: the parallel-executor
-/// thread sweep, the partitioned-aggregation sweep and the partitioned-
-/// join-build sweep).
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+/// All experiment identifiers, in paper order ("scaling", "agg-scaling",
+/// "join-scaling" and "compress" are ours, not the paper's: the
+/// parallel-executor thread sweep, the partitioned-aggregation sweep,
+/// the partitioned-join-build sweep, and the compressed-storage
+/// byte/tick comparison).
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "table1",
     "fig1",
     "fig2",
@@ -35,6 +37,7 @@ pub const ALL_EXPERIMENTS: [&str; 17] = [
     "scaling",
     "agg-scaling",
     "join-scaling",
+    "compress",
 ];
 
 /// Runs one experiment by id, returning its report text.
@@ -107,6 +110,7 @@ pub fn run_experiment(id: &str, runner: &Runner, seed: u64) -> Option<String> {
         "scaling" => scaling::scaling(runner),
         "agg-scaling" => agg_scaling::agg_scaling(runner),
         "join-scaling" => join_scaling::join_scaling(runner),
+        "compress" => compress::compress(runner),
         "ablation" => {
             let mut out = ablation::vector_size(runner);
             out.push('\n');

@@ -61,6 +61,23 @@ pub enum FlavorMode {
     Heuristic,
 }
 
+/// How scans decode compressed (encoded) columns.
+///
+/// Both paths are bit-for-bit equivalent — the differential fuzzer
+/// cross-checks them — so this knob only moves the work between the
+/// flavored primitive library and the reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodeMode {
+    /// Flavored `decode_*` primitives with per-morsel bandit instances
+    /// (the micro-adaptive path; the default).
+    #[default]
+    Primitive,
+    /// The reference decode path in `ma_vector::encode` — no primitive
+    /// instances, no adaptivity. For differential testing and as the
+    /// baseline the flavor equivalence argument anchors on.
+    Reference,
+}
+
 /// Default clamp factor for reward observations: costs above `8×` the
 /// running per-tuple median are treated as preemption outliers.
 pub const DEFAULT_REWARD_CLAMP: f64 = 8.0;
@@ -139,6 +156,9 @@ pub struct ExecConfig {
     /// When set, `verify()` rejects plans whose proven peak-byte bound
     /// exceeds [`ExecConfig::memory_budget`] instead of merely warning.
     pub strict_memory: bool,
+    /// How scans decode compressed columns: flavored primitives (the
+    /// adaptive default) or the reference path (differential baseline).
+    pub decode: DecodeMode,
 }
 
 impl Default for ExecConfig {
@@ -156,6 +176,7 @@ impl Default for ExecConfig {
             join_min_partition_rows: DEFAULT_JOIN_MIN_PARTITION_ROWS,
             memory_budget: DEFAULT_MEMORY_BUDGET,
             strict_memory: false,
+            decode: DecodeMode::default(),
         }
     }
 }
@@ -260,6 +281,13 @@ impl ExecConfig {
         self.strict_memory = strict;
         self
     }
+
+    /// Returns a copy with the scan decode path set (primitive flavors vs
+    /// the reference implementation).
+    pub fn with_decode(mut self, mode: DecodeMode) -> Self {
+        self.decode = mode;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -323,6 +351,16 @@ mod tests {
         assert_eq!(c.join_min_partition_rows, DEFAULT_JOIN_MIN_PARTITION_ROWS);
         assert_eq!(c.clone().with_join_partitions(1).join_partitions, 1);
         assert_eq!(c.with_join_min_rows(10).join_min_partition_rows, 10);
+    }
+
+    #[test]
+    fn decode_mode_knob() {
+        let c = ExecConfig::default();
+        assert_eq!(c.decode, DecodeMode::Primitive);
+        assert_eq!(
+            c.with_decode(DecodeMode::Reference).decode,
+            DecodeMode::Reference
+        );
     }
 
     #[test]

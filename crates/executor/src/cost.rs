@@ -36,7 +36,7 @@
 //! rejection under `strict_memory`.
 
 use ma_primitives::BloomFilter;
-use ma_vector::DataType;
+use ma_vector::{Column, DataType, EncColumn, Encoding, Table};
 
 use crate::analyze;
 use crate::config::ExecConfig;
@@ -237,6 +237,22 @@ pub(crate) fn pick_partitions(demand: usize, threshold: usize, cap: usize) -> us
 /// byte length plus an 8-byte view, anchored at scans by
 /// [`ma_vector::ColumnStats::max_bytes`] and carried structurally.
 pub(crate) fn col_widths(plan: &LogicalPlan) -> Vec<u64> {
+    col_widths_with(plan, false)
+}
+
+/// [`col_widths`] as the *consumers of decoded vectors* see it: identical
+/// except at scans of dictionary-coded `Str` columns, whose decoded form
+/// is an 8-byte view into the shared dictionary arena (the scan never
+/// re-materializes the string bytes), so their effective row width is 8
+/// rather than `max_bytes + 8`. Integer codecs decode to full-width
+/// values and keep their raw width. Used only to *weight partition
+/// demand* (DESIGN.md §13); the soundness-critical byte bounds keep the
+/// conservative raw widths.
+pub(crate) fn enc_col_widths(plan: &LogicalPlan) -> Vec<u64> {
+    col_widths_with(plan, true)
+}
+
+fn col_widths_with(plan: &LogicalPlan, enc: bool) -> Vec<u64> {
     match plan {
         LogicalPlan::Scan {
             table,
@@ -252,18 +268,24 @@ pub(crate) fn col_widths(plan: &LogicalPlan) -> Vec<u64> {
                     let i = table
                         .column_index(name)
                         .expect("scan columns resolve at plan build time");
-                    (table.stats()[i].max_bytes as u64).saturating_add(8)
+                    if enc && table.column_at(i).encoding() == Some(Encoding::Dict) {
+                        8
+                    } else {
+                        (table.stats()[i].max_bytes as u64).saturating_add(8)
+                    }
                 }
             })
             .collect(),
-        LogicalPlan::Filter { input, .. } | LogicalPlan::Sort { input, .. } => col_widths(input),
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Sort { input, .. } => {
+            col_widths_with(input, enc)
+        }
         LogicalPlan::Project {
             input,
             items,
             schema,
             ..
         } => {
-            let w_in = col_widths(input);
+            let w_in = col_widths_with(input, enc);
             // A computed Str expression (substr) never yields a longer
             // string than some input Str column.
             let max_str = input
@@ -290,7 +312,7 @@ pub(crate) fn col_widths(plan: &LogicalPlan) -> Vec<u64> {
         LogicalPlan::HashAgg {
             input, keys, aggs, ..
         } => {
-            let w_in = col_widths(input);
+            let w_in = col_widths_with(input, enc);
             let mut w: Vec<u64> = keys.iter().map(|&k| w_in[k]).collect();
             w.extend((0..aggs.len()).map(|_| 8u64));
             w
@@ -303,9 +325,9 @@ pub(crate) fn col_widths(plan: &LogicalPlan) -> Vec<u64> {
             schema,
             ..
         } => {
-            let mut w = col_widths(probe);
+            let mut w = col_widths_with(probe, enc);
             if schema.len() > w.len() {
-                let w_b = col_widths(build);
+                let w_b = col_widths_with(build, enc);
                 w.extend(payload.iter().map(|&i| w_b[i]));
             }
             w
@@ -316,8 +338,8 @@ pub(crate) fn col_widths(plan: &LogicalPlan) -> Vec<u64> {
             payload,
             ..
         } => {
-            let mut w = col_widths(right);
-            let w_l = col_widths(left);
+            let mut w = col_widths_with(right, enc);
+            let w_l = col_widths_with(left, enc);
             w.extend(payload.iter().map(|&i| w_l[i]));
             w
         }
@@ -329,6 +351,37 @@ pub(crate) fn row_width(plan: &LogicalPlan) -> u64 {
     col_widths(plan)
         .iter()
         .fold(0u64, |a, &b| a.saturating_add(b))
+}
+
+/// Scales a partition-verdict demand by the encoded/raw width ratio of
+/// the columns the partitioned consumer holds (`cols`, or the whole row
+/// when `None`): `ceil(demand × enc_width / raw_width)`. The partition
+/// thresholds are calibrated in raw-width units, so when a consumer's
+/// rows arrive dictionary-coded (8-byte views into a shared arena) the
+/// same logical demand occupies proportionally fewer resident bytes and
+/// the verdict discounts it. A no-op when nothing is dict-coded
+/// (`enc == raw`). Verdict-only: the sound byte bounds stay raw.
+pub(crate) fn enc_weighted_demand(
+    demand: usize,
+    plan: &LogicalPlan,
+    cols: Option<&[usize]>,
+) -> usize {
+    let raw_w = col_widths(plan);
+    let enc_w = enc_col_widths(plan);
+    let sum = |w: &[u64]| -> u64 {
+        match cols {
+            Some(ks) => ks.iter().fold(0u64, |a, &k| a.saturating_add(w[k])),
+            None => w.iter().fold(0u64, |a, &b| a.saturating_add(b)),
+        }
+    };
+    let (raw, enc) = (sum(&raw_w), sum(&enc_w));
+    if enc >= raw || raw == 0 {
+        return demand;
+    }
+    let scaled = (demand.min(SAT as usize) as u128)
+        .saturating_mul(u128::from(enc))
+        .div_ceil(u128::from(raw));
+    usize::try_from(scaled).unwrap_or(usize::MAX)
 }
 
 // ---------------------------------------------------------------------------
@@ -505,6 +558,35 @@ fn tuples(plan: &LogicalPlan) -> u64 {
     analyze::row_bound(plan).min(usize::MAX >> 8) as u64
 }
 
+/// Resident bytes a scan stage holds: the *stored* representation of the
+/// scanned columns (the packed words + metadata for encoded columns, the
+/// raw vectors/arena otherwise — [`ma_vector::table::Column::resident_bytes`])
+/// plus one vector's worth of decode scratch per encoded column (the
+/// decoded output vector the flavored decode kernels fill). This is the
+/// term the `repro compress` experiment compares across storage modes:
+/// encoding shrinks the stored bytes while adding only `vector_size ×
+/// decoded-width` scratch.
+fn scan_resident_bytes(table: &Table, cols: &[String], vector_size: usize) -> u64 {
+    cols.iter().fold(0u64, |acc, name| {
+        let i = table
+            .column_index(name)
+            .expect("scan columns resolve at plan build time");
+        let col = table.column_at(i);
+        let mut b = col.resident_bytes() as u64;
+        if let Column::Enc(e) = col {
+            // Decoded element width: full-width values for the integer
+            // codecs, an 8-byte view + 4-byte code for dictionary strings.
+            let w = match &**e {
+                EncColumn::For(c) => c.dt.fixed_width().unwrap_or(8) as u64,
+                EncColumn::Delta(_) => 4,
+                EncColumn::Dict(_) => 12,
+            };
+            b = b.saturating_add((vector_size as u64).saturating_mul(w));
+        }
+        acc.saturating_add(b)
+    })
+}
+
 /// Recursive bound derivation mirroring `plan::lower`'s decisions.
 /// `ordered` tracks whether an order-sensitive ancestor pins this
 /// subtree sequential (partition verdicts disengage, as in lowering);
@@ -518,7 +600,7 @@ fn walk(
     ops: &mut Vec<OpCost>,
 ) {
     match plan {
-        LogicalPlan::Scan { table, .. } => {
+        LogicalPlan::Scan { table, cols, .. } => {
             if boundary {
                 chain_exchange(plan, cfg, ops);
             }
@@ -527,7 +609,7 @@ fn walk(
                 table.name(),
                 "scan",
                 1,
-                0,
+                scan_resident_bytes(table, cols, cfg.vector_size),
                 tuples(plan).saturating_mul(W_SCAN),
             );
         }

@@ -389,6 +389,13 @@ enum PredNode {
     },
     StrCmp {
         inst: PrimInstance<SelStrColVal>,
+        /// Code-comparison rewrite used when the input vector arrives
+        /// dictionary-coded: codes index the *sorted* dictionary, so
+        /// `=`/`<>` against a literal becomes an i32 selection over the
+        /// codes — the string bytes are never touched. Boxed to keep the
+        /// rewrite from bloating every other `PredNode` variant.
+        code_inst: Box<PrimInstance<SelColVal<i32>>>,
+        eq: bool,
         col: usize,
         v: String,
     },
@@ -430,9 +437,13 @@ impl CompiledPred {
                                     ))
                                 }
                             };
-                            let sig = match op {
-                                crate::expr::CmpKind::Eq => "sel_eq_str_col_val",
-                                crate::expr::CmpKind::Ne => "sel_ne_str_col_val",
+                            let (sig, code_sig, eq) = match op {
+                                crate::expr::CmpKind::Eq => {
+                                    ("sel_eq_str_col_val", "sel_eq_i32_col_val", true)
+                                }
+                                crate::expr::CmpKind::Ne => {
+                                    ("sel_ne_str_col_val", "sel_ne_i32_col_val", false)
+                                }
                                 other => {
                                     return Err(ExecError::Plan(format!(
                                         "string comparison {other:?} unsupported"
@@ -445,6 +456,12 @@ impl CompiledPred {
                                     format!("{label}/{sig}"),
                                     HeurKind::Selection,
                                 )?,
+                                code_inst: Box::new(ctx.instance(
+                                    code_sig,
+                                    format!("{label}/{code_sig}/dict"),
+                                    HeurKind::Selection,
+                                )?),
+                                eq,
                                 col: *col,
                                 v: val,
                             }
@@ -641,8 +658,36 @@ impl CompiledPred {
                 leaf!(inst, |buf: &mut Vec<u32>| inst
                     .invoke(candidates as u64, |f| f(buf, ca, cb, sel_in)))
             }
-            PredNode::StrCmp { inst, col, v } => {
+            PredNode::StrCmp {
+                inst,
+                code_inst,
+                eq,
+                col,
+                v,
+            } => {
                 let c = chunk.column(*col).as_str_vec();
+                if let Some((dict_views, codes)) = c.dict_codes() {
+                    // Dictionary-coded vector: rewrite to a code
+                    // comparison (codes index the sorted dictionary, so
+                    // code equality is string equality). A literal absent
+                    // from the dictionary decides the predicate outright.
+                    let arena = c.arena();
+                    let pos = dict_views.binary_search_by(|&(o, l)| {
+                        arena[o as usize..o as usize + l as usize].cmp(v.as_bytes())
+                    });
+                    return match pos {
+                        Ok(code) => {
+                            let code = code as i32;
+                            leaf!(code_inst, |buf: &mut Vec<u32>| code_inst
+                                .invoke(candidates as u64, |f| f(buf, codes, code, sel_in)))
+                        }
+                        Err(_) if *eq => SelVec::from_positions(Vec::new()),
+                        Err(_) => match sel_in {
+                            Some(s) => SelVec::from_positions(s.to_vec()),
+                            None => SelVec::from_positions((0..chunk.len() as u32).collect()),
+                        },
+                    };
+                }
                 let v = v.clone();
                 leaf!(inst, |buf: &mut Vec<u32>| inst
                     .invoke(candidates as u64, |f| f(buf, c, &v, sel_in)))

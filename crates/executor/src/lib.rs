@@ -31,7 +31,7 @@ pub mod verify;
 
 pub use adaptive::{HeurKind, InstanceReport, MemReport, MemTracker, PrimInstance, QueryContext};
 pub use analyze::{analyze, AbsDomain, Analysis, AnalysisError, ColFact, Facts};
-pub use config::{ExecConfig, FlavorAxis, FlavorMode};
+pub use config::{DecodeMode, ExecConfig, FlavorAxis, FlavorMode};
 pub use cost::{cost, CostFinding, CostReport, OpCost};
 pub use eval::{CompiledExpr, CompiledPred};
 pub use expr::{ArithKind, CmpKind, CmpRhs, Expr, Pred, Value};

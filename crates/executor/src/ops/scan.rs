@@ -1,7 +1,14 @@
 //! Table scan: materializes chunks from an in-memory columnar table.
 //!
-//! Scan decompression bypasses the expression evaluator in Vectorwise (§4.1
-//! notes this explicitly), so scans use no flavored primitives here either.
+//! Scan decompression runs *inside* the scan, bypassing the expression
+//! evaluator (§4.1 notes Vectorwise does the same) — but the decode loops
+//! themselves are flavored primitives: a scan built
+//! [`Scan::with_context`] decodes each compressed column partition
+//! through a [`PrimInstance`], so the per-morsel bandit picks the
+//! fastest unpack variant exactly like any selection or map primitive.
+//! Without a context (or under [`crate::config::DecodeMode::Reference`])
+//! encoded columns decode through the bit-for-bit reference path in
+//! [`ma_vector::encode`].
 //!
 //! Two cursor modes share one operator: a *sequential* cursor walking the
 //! whole table, and a *morsel* cursor pulling row ranges from a shared
@@ -11,8 +18,11 @@
 
 use std::sync::Arc;
 
-use ma_vector::{DataChunk, DataType, MorselQueue, RowRange, Table};
+use ma_primitives::{DecodeDeltaCol, DecodeDictCol, DecodeForCol};
+use ma_vector::encode::{part_ranges, DictStr, EncColumn, ENC_PART_ROWS, SYNC_ROWS};
+use ma_vector::{Column, DataChunk, DataType, MorselQueue, RowRange, StrVec, Table, Vector};
 
+use crate::adaptive::{HeurKind, PrimInstance, QueryContext};
 use crate::ops::Operator;
 use crate::ExecError;
 
@@ -27,6 +37,21 @@ enum Cursor {
     },
 }
 
+/// How one scanned column turns encoded partitions into value vectors.
+enum ColDecoder {
+    /// Raw column, or encoded without a context: `Column::slice_vector`
+    /// (the reference decode path for encoded columns).
+    Reference,
+    /// Frame-of-reference `i32` through a flavored decode instance.
+    ForI32(PrimInstance<DecodeForCol<i32>>),
+    /// Frame-of-reference `i64` through a flavored decode instance.
+    ForI64(PrimInstance<DecodeForCol<i64>>),
+    /// Delta-coded `i32` through a flavored decode instance.
+    DeltaI32(PrimInstance<DecodeDeltaCol>),
+    /// Dictionary-coded strings through a flavored decode instance.
+    DictStr(PrimInstance<DecodeDictCol>),
+}
+
 /// Scan over selected columns of a table (sequential or morsel-sharded).
 pub struct Scan {
     table: Arc<Table>,
@@ -34,6 +59,7 @@ pub struct Scan {
     types: Vec<DataType>,
     vector_size: usize,
     cursor: Cursor,
+    decoders: Vec<ColDecoder>,
 }
 
 impl Scan {
@@ -50,13 +76,53 @@ impl Scan {
             col_idx.push(i);
             types.push(table.column_at(i).data_type());
         }
+        let decoders = col_idx.iter().map(|_| ColDecoder::Reference).collect();
         Ok(Scan {
             table,
             col_idx,
             types,
             vector_size,
             cursor,
+            decoders,
         })
+    }
+
+    /// Attaches flavored decode instances for every encoded column, one
+    /// [`PrimInstance`] per column so each compressed stream gets its own
+    /// bandit state (labels fold per column in
+    /// [`QueryContext::merged_reports`]). Columns without a codec — and
+    /// every column when the table is raw — keep the reference decoder,
+    /// so this is always safe to call.
+    pub fn with_context(mut self, ctx: &QueryContext, label: &str) -> Result<Self, ExecError> {
+        for (k, &i) in self.col_idx.iter().enumerate() {
+            let Column::Enc(e) = self.table.column_at(i) else {
+                continue;
+            };
+            let col_name = &self.table.column_names()[i];
+            let lbl = |sig: &str| format!("{label}/{col_name}/{sig}");
+            self.decoders[k] =
+                match &**e {
+                    EncColumn::For(c) if c.dt == DataType::I32 => ColDecoder::ForI32(
+                        ctx.instance("decode_for_i32", lbl("decode_for_i32"), HeurKind::None)?,
+                    ),
+                    EncColumn::For(_) => ColDecoder::ForI64(ctx.instance(
+                        "decode_for_i64",
+                        lbl("decode_for_i64"),
+                        HeurKind::None,
+                    )?),
+                    EncColumn::Delta(_) => ColDecoder::DeltaI32(ctx.instance(
+                        "decode_delta_i32",
+                        lbl("decode_delta_i32"),
+                        HeurKind::None,
+                    )?),
+                    EncColumn::Dict(_) => ColDecoder::DictStr(ctx.instance(
+                        "decode_dict_str",
+                        lbl("decode_dict_str"),
+                        HeurKind::None,
+                    )?),
+                };
+        }
+        Ok(self)
     }
 
     /// Builds a sequential scan of `columns` (by name, output order as
@@ -138,16 +204,133 @@ impl Scan {
     }
 }
 
+/// Decodes dict partitions overlapping `[start, start + n)` through the
+/// flavor chosen for this call, assembling a code-carrying [`StrVec`].
+fn decode_dict_slice(
+    inst: &mut PrimInstance<DecodeDictCol>,
+    c: &DictStr,
+    start: usize,
+    n: usize,
+) -> Vector {
+    let mut views = vec![(0u32, 0u32); n];
+    let mut codes = vec![0i32; n];
+    inst.invoke(n as u64, |f| {
+        let mut o = 0;
+        for (p, lo, m) in part_ranges(start, n) {
+            let part = &c.parts[p];
+            f(
+                &mut views[o..],
+                &mut codes[o..],
+                &c.words,
+                (part.word0 as u64) * 64,
+                c.width,
+                &c.views,
+                lo,
+                m,
+            );
+            o += m;
+        }
+    });
+    Vector::Str(StrVec::from_dict(
+        Arc::clone(&c.arena),
+        Arc::clone(&c.views),
+        views,
+        codes,
+    ))
+}
+
 impl Operator for Scan {
     fn next(&mut self) -> Result<Option<DataChunk>, ExecError> {
         let Some((start, n)) = self.next_slice() else {
             return Ok(None);
         };
-        let cols = self
-            .col_idx
-            .iter()
-            .map(|&i| Arc::new(self.table.column_at(i).slice_vector(start, n)))
-            .collect();
+        let mut cols = Vec::with_capacity(self.col_idx.len());
+        for (k, &i) in self.col_idx.iter().enumerate() {
+            let col = self.table.column_at(i);
+            // One `invoke` per vector: the decode instance observes each
+            // morsel's chunks individually, the unit the bandit adapts.
+            let v = match (&mut self.decoders[k], col) {
+                (ColDecoder::Reference, col) => col.slice_vector(start, n),
+                (ColDecoder::ForI32(inst), Column::Enc(e)) => {
+                    let EncColumn::For(c) = &**e else {
+                        unreachable!("decoder built from this column");
+                    };
+                    let mut out = vec![0i32; n];
+                    inst.invoke(n as u64, |f| {
+                        let mut o = 0;
+                        for (p, lo, m) in part_ranges(start, n) {
+                            let part = &c.parts[p];
+                            f(
+                                &mut out[o..],
+                                &c.words,
+                                (part.word0 as u64) * 64,
+                                part.width,
+                                part.base,
+                                lo,
+                                m,
+                            );
+                            o += m;
+                        }
+                    });
+                    Vector::I32(out)
+                }
+                (ColDecoder::ForI64(inst), Column::Enc(e)) => {
+                    let EncColumn::For(c) = &**e else {
+                        unreachable!("decoder built from this column");
+                    };
+                    let mut out = vec![0i64; n];
+                    inst.invoke(n as u64, |f| {
+                        let mut o = 0;
+                        for (p, lo, m) in part_ranges(start, n) {
+                            let part = &c.parts[p];
+                            f(
+                                &mut out[o..],
+                                &c.words,
+                                (part.word0 as u64) * 64,
+                                part.width,
+                                part.base,
+                                lo,
+                                m,
+                            );
+                            o += m;
+                        }
+                    });
+                    Vector::I64(out)
+                }
+                (ColDecoder::DeltaI32(inst), Column::Enc(e)) => {
+                    let EncColumn::Delta(c) = &**e else {
+                        unreachable!("decoder built from this column");
+                    };
+                    let mut out = vec![0i32; n];
+                    inst.invoke(n as u64, |f| {
+                        let mut o = 0;
+                        for (p, lo, m) in part_ranges(start, n) {
+                            let part = &c.parts[p];
+                            let bases = &c.sync[p * (ENC_PART_ROWS / SYNC_ROWS)..];
+                            f(
+                                &mut out[o..],
+                                &c.words,
+                                (part.word0 as u64) * 64,
+                                part.width,
+                                bases,
+                                lo,
+                                m,
+                            );
+                            o += m;
+                        }
+                    });
+                    Vector::I32(out)
+                }
+                (ColDecoder::DictStr(inst), Column::Enc(e)) => {
+                    let EncColumn::Dict(c) = &**e else {
+                        unreachable!("decoder built from this column");
+                    };
+                    decode_dict_slice(inst, c, start, n)
+                }
+                (_, col) => col.slice_vector(start, n),
+            };
+            cols.push(Arc::new(v));
+        }
         Ok(Some(DataChunk::new(cols)))
     }
 
@@ -244,5 +427,125 @@ mod tests {
             Arc::new(Table::new("e", vec![("a".into(), Column::I32(Arc::new(vec![])))]).unwrap());
         let mut scan = Scan::new(t, &["a"], 16).unwrap();
         assert!(scan.next().unwrap().is_none());
+    }
+
+    fn ctx() -> crate::QueryContext {
+        crate::QueryContext::new(
+            Arc::new(ma_primitives::build_dictionary()),
+            crate::ExecConfig::fixed_default(),
+        )
+    }
+
+    /// A table whose three columns each pick a different codec: `key` is
+    /// nondecreasing i32 (delta), `cat` is low-NDV strings (dict), `qty`
+    /// is bounded i64 (frame-of-reference).
+    fn encoded_pair(n: usize) -> (Arc<Table>, Arc<Table>) {
+        let mut key = ColumnBuilder::with_capacity(DataType::I32, n);
+        let mut cat = ColumnBuilder::with_capacity(DataType::Str, n);
+        let mut qty = ColumnBuilder::with_capacity(DataType::I64, n);
+        for i in 0..n {
+            key.push_i32((i / 3) as i32);
+            cat.push_str(&format!("cat{}", i % 13));
+            qty.push_i64((i % 50) as i64 + 1);
+        }
+        let raw = Arc::new(
+            Table::new(
+                "t",
+                vec![
+                    ("key".into(), key.finish()),
+                    ("cat".into(), cat.finish()),
+                    ("qty".into(), qty.finish()),
+                ],
+            )
+            .unwrap(),
+        );
+        let enc = Arc::new(ma_vector::encode_table(&raw));
+        (raw, enc)
+    }
+
+    #[test]
+    fn encoded_scan_with_context_matches_raw_scan() {
+        let n = 2 * ENC_PART_ROWS + 777; // straddle a partition boundary
+        let (raw, enc) = encoded_pair(n);
+        for i in 0..3 {
+            assert!(matches!(enc.column_at(i), Column::Enc(_)), "column {i}");
+        }
+        let ctx = ctx();
+        let mut raw_scan = Scan::new(raw, &["key", "cat", "qty"], 1024).unwrap();
+        let mut enc_scan = Scan::new(enc, &["key", "cat", "qty"], 1024)
+            .unwrap()
+            .with_context(&ctx, "scan_t")
+            .unwrap();
+        loop {
+            match (raw_scan.next().unwrap(), enc_scan.next().unwrap()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    assert_eq!(a.column(0).as_i32(), b.column(0).as_i32());
+                    assert_eq!(a.column(2).as_i64(), b.column(2).as_i64());
+                    let (sa, sb) = (a.column(1).as_str_vec(), b.column(1).as_str_vec());
+                    assert!(sa.iter().eq(sb.iter()));
+                    // The decoded dict vector carries codes for pushdown.
+                    assert!(sb.dict_codes().is_some());
+                }
+                (a, b) => panic!(
+                    "chunk count diverged: {:?} vs {:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+        drop(enc_scan);
+        // One decode instance per encoded column, visible under its label.
+        let reports = ctx.reports();
+        for sig in ["decode_delta_i32", "decode_dict_str", "decode_for_i64"] {
+            assert_eq!(
+                reports
+                    .iter()
+                    .filter(|r| r.signature == sig && r.label.starts_with("scan_t/"))
+                    .count(),
+                1,
+                "{sig}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_context_on_raw_table_keeps_reference_decoders() {
+        let t = table(100);
+        let ctx = ctx();
+        let mut scan = Scan::new(t, &["a", "s"], 64)
+            .unwrap()
+            .with_context(&ctx, "scan_t")
+            .unwrap();
+        let c = scan.next().unwrap().unwrap();
+        assert_eq!(c.column(0).as_i32()[5], 5);
+        drop(scan);
+        assert!(ctx
+            .reports()
+            .iter()
+            .all(|r| !r.signature.starts_with("decode_")));
+    }
+
+    #[test]
+    fn morsel_scan_decodes_encoded_partitions() {
+        let n = 2 * ENC_PART_ROWS;
+        let (raw, enc) = encoded_pair(n);
+        let queue = Arc::new(ma_vector::MorselQueue::with_morsel(n, 8 * 1024));
+        let ctx = ctx();
+        let mut scan = Scan::morsel(enc, &["qty", "key"], 1024, queue)
+            .unwrap()
+            .with_context(&ctx, "scan_t")
+            .unwrap();
+        let chunks = collect(&mut scan).unwrap();
+        assert_eq!(total_rows(&chunks), n);
+        let raw_qty = raw.column_at(2).slice_vector(0, n);
+        let mut row = 0;
+        for ch in &chunks {
+            for j in 0..ch.len() {
+                assert_eq!(ch.column(0).as_i64()[j], raw_qty.as_i64()[row + j]);
+            }
+            row += ch.len();
+        }
     }
 }

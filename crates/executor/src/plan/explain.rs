@@ -115,13 +115,37 @@ fn fmt_node(
         write!(f, "{t}: ")?;
     }
     match plan {
-        LogicalPlan::Scan { table, schema, .. } => {
+        LogicalPlan::Scan {
+            table,
+            cols,
+            schema,
+            ..
+        } => {
             let mode = match ctx {
                 RenderCtx::Free => "shardable",
                 RenderCtx::Key(_) | RenderCtx::Pinned => "ordered",
                 RenderCtx::Morsel => "morsel",
             };
-            writeln!(f, "Scan {} ({mode}) -> {schema}", table.name())
+            // Per-column storage codecs, so the plan shows which scans
+            // decode through flavored primitives (`enc=[col:codec, ..]`).
+            let encs: Vec<String> = cols
+                .iter()
+                .filter_map(|name| {
+                    let i = table.column_index(name).ok()?;
+                    let e = table.column_at(i).encoding()?;
+                    Some(format!("{name}:{e}"))
+                })
+                .collect();
+            if encs.is_empty() {
+                writeln!(f, "Scan {} ({mode}) -> {schema}", table.name())
+            } else {
+                writeln!(
+                    f,
+                    "Scan {} ({mode}) enc=[{}] -> {schema}",
+                    table.name(),
+                    encs.join(", ")
+                )
+            }
         }
         LogicalPlan::Filter {
             input,

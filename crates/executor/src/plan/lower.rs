@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use ma_vector::{MorselQueue, Table, VECTORS_PER_MORSEL};
 
-use crate::config::ExecConfig;
+use crate::config::{DecodeMode, ExecConfig};
 use crate::ops::{AggSpec, ProjItem};
 use crate::ops::{
     HashAggregate, HashJoin, HashPartitionExchange, MergeExchange, MergeJoin, Parallel, RoutedLane,
@@ -389,12 +389,13 @@ fn build_chain_fragment(
     ctx: &QueryContext,
 ) -> Result<BoxOp, ExecError> {
     let names: Vec<&str> = chain.cols.iter().map(String::as_str).collect();
-    let mut op: BoxOp = Box::new(Scan::morsel(
+    let scan = Scan::morsel(
         Arc::clone(chain.table),
         &names,
         ctx.vector_size(),
         Arc::clone(queue),
-    )?);
+    )?;
+    let mut op: BoxOp = Box::new(wire_decoders(scan, chain.table, ctx)?);
     for stage in &chain.stages {
         op = match stage {
             ChainStage::Filter { pred, label } => Box::new(Select::new(op, pred, ctx, label)?),
@@ -413,11 +414,21 @@ fn lower_scan_seq(
     ctx: &QueryContext,
 ) -> Result<BoxOp, ExecError> {
     let names: Vec<&str> = cols.iter().map(String::as_str).collect();
-    Ok(Box::new(Scan::new(
-        Arc::clone(table),
-        &names,
-        ctx.vector_size(),
-    )?))
+    let scan = Scan::new(Arc::clone(table), &names, ctx.vector_size())?;
+    Ok(Box::new(wire_decoders(scan, table, ctx)?))
+}
+
+/// Attaches flavored decode primitives to a scan over encoded columns
+/// (one bandit-adapted [`crate::PrimInstance`] per encoded column, labeled
+/// `scan_<table>/<column>/<signature>` so per-worker statistics fold in
+/// [`QueryContext::merged_reports`]). Under [`DecodeMode::Reference`] the
+/// scan keeps its built-in reference decoders — the differential fuzzer
+/// cross-checks the two paths.
+fn wire_decoders(scan: Scan, table: &Arc<Table>, ctx: &QueryContext) -> Result<Scan, ExecError> {
+    if ctx.config().decode == DecodeMode::Reference {
+        return Ok(scan);
+    }
+    scan.with_context(ctx, &format!("scan_{}", table.name()))
 }
 
 // ---------------------------------------------------------------------------
@@ -489,7 +500,15 @@ pub(crate) fn agg_partition_count(input: &LogicalPlan, keys: &[usize], cfg: &Exe
     if shardable_chain(input, cfg).is_some() {
         return partitions;
     }
-    let demand = crate::analyze::group_bound(input, keys);
+    // Group demand in raw-width units, discounted when the key columns
+    // arrive dictionary-coded (DESIGN.md §13): the per-group resident
+    // footprint shrinks with the keys, so fewer partitions are needed to
+    // keep each under the threshold.
+    let demand = crate::cost::enc_weighted_demand(
+        crate::analyze::group_bound(input, keys),
+        input,
+        Some(keys),
+    );
     if demand >= cfg.agg_min_partition_groups {
         // An explicit `agg_partitions` knob is an exact override; in auto
         // mode the cost model sizes the partition count to the proven
@@ -603,7 +622,11 @@ pub(crate) fn join_partition_count(
     if shardable_chain(probe, cfg).is_some() || shardable_chain(build, cfg).is_some() {
         return partitions;
     }
-    let demand = estimated_rows(build).max(estimated_rows(probe));
+    // Each side's row demand, discounted by its encoded/raw row-width
+    // ratio when its columns arrive dictionary-coded (DESIGN.md §13).
+    let demand = crate::cost::enc_weighted_demand(estimated_rows(build), build, None).max(
+        crate::cost::enc_weighted_demand(estimated_rows(probe), probe, None),
+    );
     if demand >= cfg.join_min_partition_rows {
         // Explicit `join_partitions` overrides; auto mode lets the cost
         // model size the fan-out to the proven demand.

@@ -1,0 +1,561 @@
+//! Decode primitives (`decode_*`): unpack compressed column partitions
+//! into plain value vectors (see `ma_vector::encode` for the codecs and
+//! the packed-word layout).
+//!
+//! Decode is a primitive like any other — a tight loop over a vector —
+//! so it gets a flavor set and the per-morsel bandit picks among:
+//!
+//! * `branching` — scalar bit extraction with a word-boundary branch;
+//!   cheap when values rarely straddle words (small widths).
+//! * `no_branching` — always reads two adjacent words through a `u128`
+//!   blend (the per-partition padding word makes this safe at the tail);
+//!   data-independent cost, SIMD-friendly shape.
+//! * `unroll8` — the no-branching read with the paper's hand-unroll
+//!   factor 8.
+//! * dictionary decode trades `fused` (unpack + gather in one loop)
+//!   against `fission` (unpack all codes, then gather all views) —
+//!   the same loop-fission axis as the bloom-filter kernels.
+//!
+//! All flavors of a signature are extensionally equivalent to the
+//! reference path `ma_vector::encode::read_packed`; the property tests
+//! below check byte-identical output across flavors.
+//!
+//! Argument conventions shared by all kernels: `pbit0` is the absolute
+//! bit position where the partition's packed region starts (always a
+//! multiple of 64), `width` the packed bit width, `first` the first
+//! partition-relative tuple to decode, `n` the tuple count. `out` holds
+//! at least `n` elements.
+
+// The dict/delta kernel families take 8 arguments by contract: every
+// flavor of a signature must share the exact fn type the dictionary
+// dispatches on.
+#![allow(clippy::too_many_arguments)]
+
+use ma_vector::encode::SYNC_ROWS;
+
+/// Frame-of-reference decode: `out[i] = base + unpack(first + i)`.
+pub type DecodeForCol<T> =
+    fn(out: &mut [T], words: &[u64], pbit0: u64, width: u32, base: i64, first: usize, n: usize);
+
+/// Delta decode: `out[i] = value(first + i)` reconstructed from per-row
+/// deltas plus one absolute base per [`SYNC_ROWS`] block (`bases` is
+/// indexed by partition-relative block number).
+pub type DecodeDeltaCol = fn(
+    out: &mut [i32],
+    words: &[u64],
+    pbit0: u64,
+    width: u32,
+    bases: &[i64],
+    first: usize,
+    n: usize,
+);
+
+/// Dictionary decode: unpack codes, gather dictionary views.
+pub type DecodeDictCol = fn(
+    views_out: &mut [(u32, u32)],
+    codes_out: &mut [i32],
+    words: &[u64],
+    pbit0: u64,
+    width: u32,
+    dict_views: &[(u32, u32)],
+    first: usize,
+    n: usize,
+);
+
+#[inline(always)]
+fn mask_of(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Two-word branch-free read of packed value `r` (relative to `pbit0`).
+#[inline(always)]
+fn read2(words: &[u64], pbit0: u64, width: u32, r: usize) -> u64 {
+    let bit = pbit0 + (r as u64) * u64::from(width);
+    let w = (bit >> 6) as usize;
+    let s = (bit & 63) as u32;
+    let pair = u128::from(words[w]) | (u128::from(words[w + 1]) << 64);
+    ((pair >> s) as u64) & mask_of(width)
+}
+
+/// Single-word read with a branch for the straddling case.
+#[inline(always)]
+fn read1(words: &[u64], pbit0: u64, width: u32, r: usize) -> u64 {
+    let bit = pbit0 + (r as u64) * u64::from(width);
+    let w = (bit >> 6) as usize;
+    let s = (bit & 63) as u32;
+    let mut v = words[w] >> s;
+    if s + width > 64 {
+        v |= words[w + 1] << (64 - s);
+    }
+    v & mask_of(width)
+}
+
+macro_rules! for_kernels {
+    ($ty:ty, $branching:ident, $no_branching:ident, $unroll8:ident) => {
+        /// Branching flavor: scalar extraction, word-boundary branch.
+        pub fn $branching(
+            out: &mut [$ty],
+            words: &[u64],
+            pbit0: u64,
+            width: u32,
+            base: i64,
+            first: usize,
+            n: usize,
+        ) {
+            for (i, o) in out[..n].iter_mut().enumerate() {
+                let d = read1(words, pbit0, width, first + i);
+                *o = base.wrapping_add(d as i64) as $ty;
+            }
+        }
+
+        /// No-branching flavor: two-word blend, data-independent cost.
+        pub fn $no_branching(
+            out: &mut [$ty],
+            words: &[u64],
+            pbit0: u64,
+            width: u32,
+            base: i64,
+            first: usize,
+            n: usize,
+        ) {
+            for (i, o) in out[..n].iter_mut().enumerate() {
+                let d = read2(words, pbit0, width, first + i);
+                *o = base.wrapping_add(d as i64) as $ty;
+            }
+        }
+
+        /// Hand-unrolled (×8) no-branching flavor.
+        pub fn $unroll8(
+            out: &mut [$ty],
+            words: &[u64],
+            pbit0: u64,
+            width: u32,
+            base: i64,
+            first: usize,
+            n: usize,
+        ) {
+            let mut i = 0;
+            while i + 8 <= n {
+                let o = &mut out[i..i + 8];
+                o[0] = base.wrapping_add(read2(words, pbit0, width, first + i) as i64) as $ty;
+                o[1] = base.wrapping_add(read2(words, pbit0, width, first + i + 1) as i64) as $ty;
+                o[2] = base.wrapping_add(read2(words, pbit0, width, first + i + 2) as i64) as $ty;
+                o[3] = base.wrapping_add(read2(words, pbit0, width, first + i + 3) as i64) as $ty;
+                o[4] = base.wrapping_add(read2(words, pbit0, width, first + i + 4) as i64) as $ty;
+                o[5] = base.wrapping_add(read2(words, pbit0, width, first + i + 5) as i64) as $ty;
+                o[6] = base.wrapping_add(read2(words, pbit0, width, first + i + 6) as i64) as $ty;
+                o[7] = base.wrapping_add(read2(words, pbit0, width, first + i + 7) as i64) as $ty;
+                i += 8;
+            }
+            while i < n {
+                out[i] = base.wrapping_add(read2(words, pbit0, width, first + i) as i64) as $ty;
+                i += 1;
+            }
+        }
+    };
+}
+
+for_kernels!(
+    i32,
+    decode_for_i32_branching,
+    decode_for_i32_no_branching,
+    decode_for_i32_unroll8
+);
+for_kernels!(
+    i64,
+    decode_for_i64_branching,
+    decode_for_i64_no_branching,
+    decode_for_i64_unroll8
+);
+
+/// Shared delta-decode skeleton: walks the sync blocks overlapping
+/// `[first, first + n)`, replaying at most `SYNC_ROWS - 1` leading deltas
+/// in the first block; `read` is the bit-extraction flavor.
+#[inline(always)]
+fn delta_blocks(
+    out: &mut [i32],
+    words: &[u64],
+    pbit0: u64,
+    width: u32,
+    bases: &[i64],
+    first: usize,
+    n: usize,
+    read: impl Fn(&[u64], u64, u32, usize) -> u64,
+) {
+    let end = first + n;
+    let mut r = first;
+    while r < end {
+        let blk = r / SYNC_ROWS;
+        let b0 = blk * SYNC_ROWS;
+        let stop = end.min(b0 + SYNC_ROWS);
+        let mut acc = bases[blk];
+        if r == b0 {
+            out[r - first] = acc as i32;
+        }
+        for q in (b0 + 1)..stop {
+            acc += read(words, pbit0, width, q) as i64;
+            if q >= r {
+                out[q - first] = acc as i32;
+            }
+        }
+        r = stop;
+    }
+}
+
+/// Branching flavor of delta decode.
+pub fn decode_delta_i32_branching(
+    out: &mut [i32],
+    words: &[u64],
+    pbit0: u64,
+    width: u32,
+    bases: &[i64],
+    first: usize,
+    n: usize,
+) {
+    delta_blocks(out, words, pbit0, width, bases, first, n, read1);
+}
+
+/// No-branching flavor of delta decode.
+pub fn decode_delta_i32_no_branching(
+    out: &mut [i32],
+    words: &[u64],
+    pbit0: u64,
+    width: u32,
+    bases: &[i64],
+    first: usize,
+    n: usize,
+) {
+    delta_blocks(out, words, pbit0, width, bases, first, n, read2);
+}
+
+/// Hand-unrolled delta decode: unpacks each block's deltas ×8-unrolled
+/// into a stack buffer, then runs the serial prefix sum over the buffer.
+pub fn decode_delta_i32_unroll8(
+    out: &mut [i32],
+    words: &[u64],
+    pbit0: u64,
+    width: u32,
+    bases: &[i64],
+    first: usize,
+    n: usize,
+) {
+    let end = first + n;
+    let mut r = first;
+    let mut buf = [0u64; SYNC_ROWS];
+    while r < end {
+        let blk = r / SYNC_ROWS;
+        let b0 = blk * SYNC_ROWS;
+        let stop = end.min(b0 + SYNC_ROWS);
+        let m = stop - b0;
+        let mut j = 1;
+        while j + 8 <= m {
+            let b = &mut buf[j..j + 8];
+            b[0] = read2(words, pbit0, width, b0 + j);
+            b[1] = read2(words, pbit0, width, b0 + j + 1);
+            b[2] = read2(words, pbit0, width, b0 + j + 2);
+            b[3] = read2(words, pbit0, width, b0 + j + 3);
+            b[4] = read2(words, pbit0, width, b0 + j + 4);
+            b[5] = read2(words, pbit0, width, b0 + j + 5);
+            b[6] = read2(words, pbit0, width, b0 + j + 6);
+            b[7] = read2(words, pbit0, width, b0 + j + 7);
+            j += 8;
+        }
+        while j < m {
+            buf[j] = read2(words, pbit0, width, b0 + j);
+            j += 1;
+        }
+        let mut acc = bases[blk];
+        if r == b0 {
+            out[r - first] = acc as i32;
+        }
+        for (q, &d) in buf[1..m].iter().enumerate().map(|(q, d)| (b0 + 1 + q, d)) {
+            acc += d as i64;
+            if q >= r {
+                out[q - first] = acc as i32;
+            }
+        }
+        r = stop;
+    }
+}
+
+/// Fused dictionary decode: unpack each code and gather its view in one
+/// loop.
+pub fn decode_dict_str_fused(
+    views_out: &mut [(u32, u32)],
+    codes_out: &mut [i32],
+    words: &[u64],
+    pbit0: u64,
+    width: u32,
+    dict_views: &[(u32, u32)],
+    first: usize,
+    n: usize,
+) {
+    for (i, (v, c)) in views_out[..n]
+        .iter_mut()
+        .zip(codes_out[..n].iter_mut())
+        .enumerate()
+    {
+        let code = read2(words, pbit0, width, first + i) as usize;
+        *v = dict_views[code];
+        *c = code as i32;
+    }
+}
+
+/// Loop-fission dictionary decode: unpack all codes first, then gather
+/// all views (two simple loops the compiler can vectorize separately).
+pub fn decode_dict_str_fission(
+    views_out: &mut [(u32, u32)],
+    codes_out: &mut [i32],
+    words: &[u64],
+    pbit0: u64,
+    width: u32,
+    dict_views: &[(u32, u32)],
+    first: usize,
+    n: usize,
+) {
+    for (i, c) in codes_out[..n].iter_mut().enumerate() {
+        *c = read2(words, pbit0, width, first + i) as i32;
+    }
+    for (v, &c) in views_out[..n].iter_mut().zip(codes_out[..n].iter()) {
+        *v = dict_views[c as usize];
+    }
+}
+
+/// Hand-unrolled (×8) fused dictionary decode.
+pub fn decode_dict_str_unroll8(
+    views_out: &mut [(u32, u32)],
+    codes_out: &mut [i32],
+    words: &[u64],
+    pbit0: u64,
+    width: u32,
+    dict_views: &[(u32, u32)],
+    first: usize,
+    n: usize,
+) {
+    let mut i = 0;
+    while i + 8 <= n {
+        for k in 0..8 {
+            let code = read2(words, pbit0, width, first + i + k) as usize;
+            views_out[i + k] = dict_views[code];
+            codes_out[i + k] = code as i32;
+        }
+        i += 8;
+    }
+    while i < n {
+        let code = read2(words, pbit0, width, first + i) as usize;
+        views_out[i] = dict_views[code];
+        codes_out[i] = code as i32;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ma_vector::encode::{read_packed, DeltaInts, DictStr, ForInts, ENC_PART_ROWS};
+    use ma_vector::{DataType, StrVec};
+
+    /// SplitMix64 for deterministic pseudo-random test data.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn encode_for_i64(values: &[i64]) -> ForInts {
+        ForInts::encode(DataType::I64, values)
+    }
+
+    #[test]
+    fn read_helpers_agree_with_reference() {
+        let mut rng = Rng(0xBEEF);
+        let words: Vec<u64> = (0..64).map(|_| rng.next()).collect();
+        for width in [0u32, 1, 7, 13, 31, 33, 63, 64] {
+            let cap = if width == 0 {
+                1000
+            } else {
+                ((words.len() as u64 - 2) * 64 / u64::from(width)) as usize
+            };
+            for r in 0..cap.min(500) {
+                let want = read_packed(&words, 64, width, r);
+                assert_eq!(read1(&words, 64, width, r), want, "read1 w={width} r={r}");
+                assert_eq!(read2(&words, 64, width, r), want, "read2 w={width} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_flavors_are_equivalent() {
+        let mut rng = Rng(0xF0);
+        let values: Vec<i64> = (0..(ENC_PART_ROWS + 500))
+            .map(|_| 1_000_000 + (rng.next() % 100_000) as i64)
+            .collect();
+        let enc = encode_for_i64(&values);
+        let flavors: &[DecodeForCol<i64>] = &[
+            decode_for_i64_branching,
+            decode_for_i64_no_branching,
+            decode_for_i64_unroll8,
+        ];
+        for &(start, n) in &[
+            (0usize, 777usize),
+            (1000, 1),
+            (ENC_PART_ROWS - 3, 7),
+            (13, 0),
+        ] {
+            for (p, lo, m) in ma_vector::encode::part_ranges(start, n) {
+                let part = &enc.parts[p];
+                let pbit0 = (part.word0 as u64) * 64;
+                let mut reference = vec![0i64; m];
+                for (i, o) in reference.iter_mut().enumerate() {
+                    *o = part
+                        .base
+                        .wrapping_add(read_packed(&enc.words, pbit0, part.width, lo + i) as i64);
+                }
+                for (fi, f) in flavors.iter().enumerate() {
+                    let mut got = vec![0i64; m];
+                    f(&mut got, &enc.words, pbit0, part.width, part.base, lo, m);
+                    assert_eq!(got, reference, "flavor {fi} start={start} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_flavors_are_equivalent() {
+        let mut rng = Rng(0xD17A);
+        let mut acc = -500_000i32;
+        let values: Vec<i32> = (0..(ENC_PART_ROWS + 321))
+            .map(|_| {
+                acc = acc.saturating_add((rng.next() % 1000) as i32);
+                acc
+            })
+            .collect();
+        let enc = DeltaInts::encode(&values);
+        let flavors: &[DecodeDeltaCol] = &[
+            decode_delta_i32_branching,
+            decode_delta_i32_no_branching,
+            decode_delta_i32_unroll8,
+        ];
+        let cases = [
+            (0usize, values.len()),
+            (63, 66),
+            (64, 64),
+            (65, 1),
+            (ENC_PART_ROWS - 10, 30),
+            (7, 0),
+        ];
+        for &(start, n) in &cases {
+            for (p, lo, m) in ma_vector::encode::part_ranges(start, n) {
+                let part = &enc.parts[p];
+                let pbit0 = (part.word0 as u64) * 64;
+                let blocks0 = p * (ENC_PART_ROWS / 64);
+                let bases = &enc.sync[blocks0..];
+                let want: Vec<i32> =
+                    values[p * ENC_PART_ROWS + lo..p * ENC_PART_ROWS + lo + m].to_vec();
+                for (fi, f) in flavors.iter().enumerate() {
+                    let mut got = vec![0i32; m];
+                    f(&mut got, &enc.words, pbit0, part.width, bases, lo, m);
+                    assert_eq!(got, want, "flavor {fi} start={start} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dict_flavors_are_equivalent() {
+        let strs: Vec<String> = (0..(ENC_PART_ROWS + 99))
+            .map(|i| format!("val{:03}", (i * 31) % 613))
+            .collect();
+        let sv = StrVec::from_strings(&strs);
+        let enc = DictStr::encode(sv.arena(), sv.views());
+        let flavors: &[DecodeDictCol] = &[
+            decode_dict_str_fused,
+            decode_dict_str_fission,
+            decode_dict_str_unroll8,
+        ];
+        for &(start, n) in &[
+            (0usize, 1000usize),
+            (500, 9),
+            (ENC_PART_ROWS - 5, 20),
+            (3, 0),
+        ] {
+            for (p, lo, m) in ma_vector::encode::part_ranges(start, n) {
+                let part = &enc.parts[p];
+                let pbit0 = (part.word0 as u64) * 64;
+                let ref_codes: Vec<i32> = (0..m)
+                    .map(|i| read_packed(&enc.words, pbit0, enc.width, lo + i) as i32)
+                    .collect();
+                let ref_views: Vec<(u32, u32)> =
+                    ref_codes.iter().map(|&c| enc.views[c as usize]).collect();
+                for (fi, f) in flavors.iter().enumerate() {
+                    let mut views = vec![(0u32, 0u32); m];
+                    let mut codes = vec![0i32; m];
+                    f(
+                        &mut views, &mut codes, &enc.words, pbit0, enc.width, &enc.views, lo, m,
+                    );
+                    assert_eq!(views, ref_views, "flavor {fi}");
+                    assert_eq!(codes, ref_codes, "flavor {fi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn width_zero_and_full_width_partitions_decode() {
+        // All-equal: width 0.
+        let enc = encode_for_i64(&[7i64; 100]);
+        assert_eq!(enc.parts[0].width, 0);
+        let mut out = vec![0i64; 100];
+        decode_for_i64_no_branching(&mut out, &enc.words, 0, 0, enc.parts[0].base, 0, 100);
+        assert!(out.iter().all(|&x| x == 7));
+        // Width 64: extreme range.
+        let values = vec![i64::MIN, i64::MAX, -1, 0, 42];
+        let enc = encode_for_i64(&values);
+        assert_eq!(enc.parts[0].width, 64);
+        let flavors: &[DecodeForCol<i64>] = &[
+            decode_for_i64_branching,
+            decode_for_i64_no_branching,
+            decode_for_i64_unroll8,
+        ];
+        for f in flavors {
+            let mut out = vec![0i64; 5];
+            f(&mut out, &enc.words, 0, 64, enc.parts[0].base, 0, 5);
+            assert_eq!(out, values);
+        }
+    }
+
+    #[test]
+    fn registered_decode_flavors_are_callable_and_agree() {
+        let d = crate::build_dictionary();
+        let values: Vec<i64> = (0..5000).map(|i| 40_000 + (i * i) % 9777).collect();
+        let enc = encode_for_i64(&values);
+        let part = &enc.parts[0];
+        let s = d.lookup::<DecodeForCol<i64>>("decode_for_i64").unwrap();
+        assert!(s.len() >= 3, "decode needs >= 3 flavors for the bandit");
+        let mut reference = vec![0i64; 64];
+        (s.flavor(0))(
+            &mut reference,
+            &enc.words,
+            0,
+            part.width,
+            part.base,
+            100,
+            64,
+        );
+        assert_eq!(&reference[..5], &values[100..105]);
+        for i in 1..s.len() {
+            let mut got = vec![0i64; 64];
+            (s.flavor(i))(&mut got, &enc.words, 0, part.width, part.base, 100, 64);
+            assert_eq!(got, reference, "flavor {}", s.info(i).name);
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`like`] | SQL LIKE selections | — |
 //! | [`hashing`] | vectorized hash / rehash | compiler styles |
 //! | [`bloom`] | bloom filter + `sel_bloomfilter` | fused / loop-fission (§2 Listings 5–6, Fig. 6) |
+//! | [`decode`] | compressed-column decode (`decode_for_*`, `decode_delta_i32`, `decode_dict_str`) | branching / no-branching, fused / fission, hand-unroll |
 //! | [`group_table`] | `hash_insertcheck_{u64,str}` (Fig. 4e) | compiler styles |
 //! | [`aggregate`] | grouped & ungrouped sums/counts/min/max (incl. `sum128`) | compiler styles |
 //! | [`registry`] | [`registry::build_dictionary`] wires everything into a [`ma_core::PrimitiveDictionary`] | |
@@ -24,6 +25,7 @@
 
 pub mod aggregate;
 pub mod bloom;
+pub mod decode;
 pub mod group_table;
 pub mod hashing;
 pub mod like;
@@ -45,6 +47,7 @@ pub use aggregate::{
     AggrSumF64, AggrSumF64Grouped, AggrSumI64, AggrSumI64Grouped,
 };
 pub use bloom::SelBloom;
+pub use decode::{DecodeDeltaCol, DecodeDictCol, DecodeForCol};
 pub use group_table::{GroupInsertCheck, StrGroupInsertCheck};
 pub use hashing::{MapHash, MapHashStr, MapRehash, MapRehashStr};
 pub use like::SelLike;

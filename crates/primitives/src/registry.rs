@@ -21,6 +21,7 @@ use crate::aggregate::*;
 use crate::bloom::{
     sel_bloomfilter_fission, sel_bloomfilter_fused, sel_bloomfilter_prefetch, SelBloom,
 };
+use crate::decode::*;
 use crate::group_table::*;
 use crate::hashing::*;
 use crate::like::{sel_like, sel_not_like, SelLike};
@@ -362,6 +363,46 @@ pub fn build_dictionary() -> PrimitiveDictionary {
         ],
     ));
 
+    // --- compressed-column decode kernels ------------------------------------
+    // Every decode signature carries >= 3 flavors so the per-morsel bandit
+    // has real arms to pick between (xtask lint rule 6 enforces coverage).
+    d.register(FlavorSet::from_parts(
+        "decode_for_i32",
+        vec![fi("branching", D), fi("no_branching", A), fi("unroll8", A)],
+        vec![
+            decode_for_i32_branching as DecodeForCol<i32>,
+            decode_for_i32_no_branching,
+            decode_for_i32_unroll8,
+        ],
+    ));
+    d.register(FlavorSet::from_parts(
+        "decode_for_i64",
+        vec![fi("branching", D), fi("no_branching", A), fi("unroll8", A)],
+        vec![
+            decode_for_i64_branching as DecodeForCol<i64>,
+            decode_for_i64_no_branching,
+            decode_for_i64_unroll8,
+        ],
+    ));
+    d.register(FlavorSet::from_parts(
+        "decode_delta_i32",
+        vec![fi("branching", D), fi("no_branching", A), fi("unroll8", A)],
+        vec![
+            decode_delta_i32_branching as DecodeDeltaCol,
+            decode_delta_i32_no_branching,
+            decode_delta_i32_unroll8,
+        ],
+    ));
+    d.register(FlavorSet::from_parts(
+        "decode_dict_str",
+        vec![fi("fused", D), fi("fission", A), fi("unroll8", A)],
+        vec![
+            decode_dict_str_fused as DecodeDictCol,
+            decode_dict_str_fission,
+            decode_dict_str_unroll8,
+        ],
+    ));
+
     // --- bloom filter (loop fission flavor set, §2 Listings 5/6) -------------
     d.register(FlavorSet::from_parts(
         "sel_bloomfilter",
@@ -496,6 +537,10 @@ mod tests {
             "sel_ge_i64_col_col",
             "sel_eq_str_col_val",
             "sel_like_str_col_val",
+            "decode_for_i32",
+            "decode_for_i64",
+            "decode_delta_i32",
+            "decode_dict_str",
             "map_mul_i64_col_col",
             "map_mul_i16_col_col",
             "map_add_f64_col_val",

@@ -164,6 +164,28 @@ impl TpchData {
 
     /// [`TpchData::generate`] with an explicit generation thread count.
     pub fn generate_with_threads(sf: f64, seed: u64, threads: usize) -> Self {
+        Self::generate_storage(sf, seed, threads, true)
+    }
+
+    /// [`TpchData::generate`] without column compression: every table
+    /// keeps its raw vectors. The differential fuzzer cross-checks this
+    /// storage mode against the encoded default, and the `repro compress`
+    /// experiment measures both.
+    pub fn generate_raw(sf: f64, seed: u64) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        Self::generate_storage(sf, seed, threads, false)
+    }
+
+    /// Shared generator body. With `encode`, each table passes through
+    /// [`ma_vector::encode_table`], which picks a per-column codec from
+    /// the exact column statistics (dictionary for low-NDV strings, delta
+    /// for the clustered date/key columns, frame-of-reference for bounded
+    /// integers) and leaves unprofitable columns raw. Values round-trip
+    /// exactly, so query results are identical in both storage modes.
+    fn generate_storage(sf: f64, seed: u64, threads: usize, encode: bool) -> Self {
         assert!(sf > 0.0, "scale factor must be positive");
         let threads = threads.max(1);
         let n_supp = scaled(SF1_SUPPLIER, sf);
@@ -173,16 +195,43 @@ impl TpchData {
 
         let (orders, o_dates) = gen_orders(n_orders, n_cust, seed ^ 0x0D, threads);
         let lineitem = gen_lineitem(&o_dates, n_part, n_supp, seed ^ 0x11, threads);
+        let store = |t: Table| {
+            if encode {
+                Arc::new(ma_vector::encode_table(&t))
+            } else {
+                Arc::new(t)
+            }
+        };
         TpchData {
             sf,
-            region: Arc::new(gen_region()),
-            nation: Arc::new(gen_nation()),
-            supplier: Arc::new(gen_supplier(n_supp, seed ^ 0x55, threads)),
-            customer: Arc::new(gen_customer(n_cust, seed ^ 0xC0, threads)),
-            part: Arc::new(gen_part(n_part, seed ^ 0x9A, threads)),
-            partsupp: Arc::new(gen_partsupp(n_part, n_supp, seed ^ 0x75, threads)),
-            orders: Arc::new(orders),
-            lineitem: Arc::new(lineitem),
+            region: store(gen_region()),
+            nation: store(gen_nation()),
+            supplier: store(gen_supplier(n_supp, seed ^ 0x55, threads)),
+            customer: store(gen_customer(n_cust, seed ^ 0xC0, threads)),
+            part: store(gen_part(n_part, seed ^ 0x9A, threads)),
+            partsupp: store(gen_partsupp(n_part, n_supp, seed ^ 0x75, threads)),
+            orders: store(orders),
+            lineitem: store(lineitem),
+        }
+    }
+
+    /// The uncompressed twin of this database: every encoded column is
+    /// decoded back to raw vectors, statistics carried over unchanged.
+    /// Value-identical to `self` by construction (codecs round-trip
+    /// exactly), so any query must produce the same result on both —
+    /// the property the differential fuzzer's storage configs check.
+    pub fn decode_all(&self) -> Self {
+        let raw = |t: &Arc<Table>| Arc::new(ma_vector::decode_table(t));
+        TpchData {
+            sf: self.sf,
+            region: raw(&self.region),
+            nation: raw(&self.nation),
+            supplier: raw(&self.supplier),
+            customer: raw(&self.customer),
+            part: raw(&self.part),
+            partsupp: raw(&self.partsupp),
+            orders: raw(&self.orders),
+            lineitem: raw(&self.lineitem),
         }
     }
 

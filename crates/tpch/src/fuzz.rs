@@ -36,7 +36,7 @@ use ma_executor::frontend::ast::{
 };
 use ma_executor::frontend::{self, parse};
 use ma_executor::ops::FrozenStore;
-use ma_executor::{lower, verify, ArithKind, CmpKind, ExecConfig, QueryContext};
+use ma_executor::{lower, verify, ArithKind, CmpKind, DecodeMode, ExecConfig, QueryContext};
 use ma_primitives::build_dictionary;
 use ma_vector::{DataType, Vector};
 
@@ -68,6 +68,46 @@ pub fn config_matrix() -> Vec<(String, ExecConfig)> {
                 out.push((format!("{workers}w/{pname}/v{vs}"), cfg));
             }
         }
+    }
+    out
+}
+
+/// Which storage a configuration runs against: the encoded database
+/// (the default build, compressed columns decoded morsel-at-a-time) or
+/// its raw twin (every column decoded up front at construction).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Storage {
+    /// Compressed columns, scan-time decode.
+    Encoded,
+    /// Uncompressed columns ([`TpchData::decode_all`] twin).
+    Raw,
+}
+
+/// The [`config_matrix`] extended with the storage dimension: every
+/// base configuration runs on encoded storage, then targeted variants
+/// cross-check the codecs end-to-end — the reference configuration and
+/// the most parallel one each repeated on (a) encoded storage with the
+/// scalar reference decoder (primitive decode kernels vs the spec
+/// implementation) and (b) the raw uncompressed twin (encode → scan →
+/// decode vs never-encoded data). A full cross product would triple the
+/// matrix for no extra coverage: storage only affects the scan layer,
+/// so one sequential and one maximally-exchanged plan per storage mode
+/// already exercise every decode path.
+pub fn storage_matrix() -> Vec<(String, ExecConfig, Storage)> {
+    let base = config_matrix();
+    let seq = base[0].1.clone();
+    let par = base.last().expect("config matrix is never empty").1.clone();
+    let mut out: Vec<(String, ExecConfig, Storage)> = base
+        .into_iter()
+        .map(|(name, cfg)| (name, cfg, Storage::Encoded))
+        .collect();
+    for (tag, cfg) in [("seq", seq), ("par", par)] {
+        out.push((
+            format!("{tag}/refdecode"),
+            cfg.clone().with_decode(DecodeMode::Reference),
+            Storage::Encoded,
+        ));
+        out.push((format!("{tag}/raw"), cfg, Storage::Raw));
     }
     out
 }
@@ -371,17 +411,22 @@ impl FuzzReport {
 /// Differential fuzzer over a generated TPC-H database.
 pub struct Fuzzer {
     db: Arc<TpchData>,
+    raw_db: Arc<TpchData>,
     dict: Arc<PrimitiveDictionary>,
-    configs: Vec<(String, ExecConfig)>,
+    configs: Vec<(String, ExecConfig, Storage)>,
 }
 
 impl Fuzzer {
-    /// A fuzzer over `db` using the full [`config_matrix`].
+    /// A fuzzer over `db` using the full [`storage_matrix`]. The raw
+    /// storage twin is derived from `db` by decoding every column, so
+    /// both storage modes hold identical values by construction.
     pub fn new(db: Arc<TpchData>) -> Self {
+        let raw_db = Arc::new(db.decode_all());
         Fuzzer {
             db,
+            raw_db,
             dict: Arc::new(build_dictionary()),
-            configs: config_matrix(),
+            configs: storage_matrix(),
         }
     }
 
@@ -396,9 +441,19 @@ impl Fuzzer {
         g.query()
     }
 
-    /// Compiles and runs `ast` under one configuration.
-    fn run_one(&self, ast: &Query, cfg: &ExecConfig) -> Result<FrozenStore, CheckFail> {
-        let pb = frontend::compile(ast, self.db.as_ref()).map_err(|e| CheckFail {
+    /// Compiles and runs `ast` under one configuration against the
+    /// chosen storage mode.
+    fn run_one(
+        &self,
+        ast: &Query,
+        cfg: &ExecConfig,
+        storage: Storage,
+    ) -> Result<FrozenStore, CheckFail> {
+        let db = match storage {
+            Storage::Encoded => &self.db,
+            Storage::Raw => &self.raw_db,
+        };
+        let pb = frontend::compile(ast, db.as_ref()).map_err(|e| CheckFail {
             kind: CheckFailKind::Compile,
             detail: e.to_string(),
         })?;
@@ -465,10 +520,10 @@ impl Fuzzer {
                 })
             }
         }
-        let (ref_name, ref_cfg) = &self.configs[0];
-        let reference = self.run_one(ast, ref_cfg)?;
-        for (name, cfg) in &self.configs[1..] {
-            let got = self.run_one(ast, cfg)?;
+        let (ref_name, ref_cfg, ref_storage) = &self.configs[0];
+        let reference = self.run_one(ast, ref_cfg, *ref_storage)?;
+        for (name, cfg, storage) in &self.configs[1..] {
+            let got = self.run_one(ast, cfg, *storage)?;
             compare_stores(ref_name, &reference, name, &got).map_err(|detail| CheckFail {
                 kind: CheckFailKind::Divergence,
                 detail,
@@ -486,10 +541,10 @@ impl Fuzzer {
         })?;
         // Skip the round-trip comparison against hand-written text (it
         // may use non-canonical spellings); everything else applies.
-        let (ref_name, ref_cfg) = &self.configs[0];
-        let reference = self.run_one(&ast, ref_cfg)?;
-        for (name, cfg) in &self.configs[1..] {
-            let got = self.run_one(&ast, cfg)?;
+        let (ref_name, ref_cfg, ref_storage) = &self.configs[0];
+        let reference = self.run_one(&ast, ref_cfg, *ref_storage)?;
+        for (name, cfg, storage) in &self.configs[1..] {
+            let got = self.run_one(&ast, cfg, *storage)?;
             compare_stores(ref_name, &reference, name, &got).map_err(|detail| CheckFail {
                 kind: CheckFailKind::Divergence,
                 detail,
@@ -1605,11 +1660,13 @@ mod tests {
         let fz = Fuzzer::new(small_db());
         let text = "from nation [n_nationkey, n_name] | where n_nationkey < 10";
         let ast = parse(text).unwrap();
-        let a = fz.run_one(&ast, &fz.configs[0].1).unwrap();
-        let b = fz.run_one(&ast, &fz.configs[5].1).unwrap();
+        let a = fz.run_one(&ast, &fz.configs[0].1, fz.configs[0].2).unwrap();
+        let b = fz.run_one(&ast, &fz.configs[5].1, fz.configs[5].2).unwrap();
         compare_stores("a", &a, "b", &b).unwrap();
         let ast2 = parse("from nation [n_nationkey, n_name] | where n_nationkey < 9").unwrap();
-        let c = fz.run_one(&ast2, &fz.configs[0].1).unwrap();
+        let c = fz
+            .run_one(&ast2, &fz.configs[0].1, fz.configs[0].2)
+            .unwrap();
         assert!(compare_stores("a", &a, "c", &c).is_err());
     }
 

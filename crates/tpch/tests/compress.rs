@@ -1,0 +1,154 @@
+//! Compressed-storage integration tests: the planner verdict flip under
+//! encoded widths, dictionary-code predicate pushdown, and decode-kernel
+//! visibility in the adaptive statistics.
+
+use std::sync::Arc;
+
+use ma_executor::{ExecConfig, FlavorAxis};
+use ma_tpch::dbgen::TpchData;
+use ma_tpch::fuzz::Fuzzer;
+use ma_tpch::params::Params;
+use ma_tpch::queries::explain_query_with;
+use ma_tpch::Runner;
+use ma_vector::Encoding;
+
+fn db() -> TpchData {
+    TpchData::generate(0.001, 0xDBD1)
+}
+
+/// The §12 cost pass consumes *encoded* widths where the operator reads
+/// encoded data, so the same configuration can reach different
+/// partitioning verdicts on the two storage modes. Pinned on Q12: its
+/// aggregate keys (l_shipmode, o_orderpriority) are both
+/// dictionary-coded, which shrinks the byte-weighted demand below the
+/// trigger — raw storage partitions ×2, encoded storage stays single.
+#[test]
+fn q12_agg_partition_verdict_flips_under_compression() {
+    let enc = db();
+    let raw = enc.decode_all();
+    let cfg = ExecConfig::fixed_default()
+        .with_workers(4)
+        .with_agg_min_groups(6);
+    let p = Params::default();
+    let on_enc = explain_query_with(12, &enc, &p, &cfg).unwrap();
+    let on_raw = explain_query_with(12, &raw, &p, &cfg).unwrap();
+    assert!(
+        on_raw.contains("HashAgg (partitioned \u{d7}2)"),
+        "raw storage must partition: {on_raw}"
+    );
+    assert!(
+        !on_enc.contains("partitioned"),
+        "encoded widths must keep the aggregate single: {on_enc}"
+    );
+    // The flip is the *only* difference besides the scan annotations:
+    // both plans have the same shape.
+    assert_eq!(
+        on_enc.lines().count(),
+        on_raw.lines().count(),
+        "plan shapes diverged:\n{on_enc}\nvs\n{on_raw}"
+    );
+    // And the raw twin genuinely decoded everything.
+    assert!(on_enc.contains("enc=["));
+    assert!(!on_raw.contains("enc=["));
+}
+
+/// The verdict flip is monotone: past the raw demand both modes stay
+/// single, below the encoded demand both partition.
+#[test]
+fn verdict_flip_is_threshold_bounded() {
+    let enc = db();
+    let raw = enc.decode_all();
+    let p = Params::default();
+    for t in [1usize, 64] {
+        let cfg = ExecConfig::fixed_default()
+            .with_workers(4)
+            .with_agg_min_groups(t);
+        let e = explain_query_with(12, &enc, &p, &cfg).unwrap();
+        let r = explain_query_with(12, &raw, &p, &cfg).unwrap();
+        assert_eq!(
+            e.contains("partitioned"),
+            r.contains("partitioned"),
+            "threshold {t} should agree across storage modes"
+        );
+    }
+}
+
+/// Equality and inequality over dictionary-coded string columns rewrite
+/// to integer code comparisons without decoding. The differential
+/// fuzzer's storage matrix cross-checks each query on the raw twin and
+/// under the scalar reference decoder, so any pushdown bug shows up as
+/// a divergence here — including the absent-literal edge cases (Eq →
+/// empty, Ne → everything passes).
+#[test]
+fn dict_code_pushdown_matches_raw_storage() {
+    let fz = Fuzzer::new(Arc::new(TpchData::generate(0.002, 0xDBD1)));
+    for text in [
+        // Present literal: code binary-search succeeds.
+        "from orders [o_orderkey, o_orderpriority] | where o_orderpriority = \"1-URGENT\"",
+        "from lineitem [l_orderkey, l_shipmode] | where l_shipmode != \"TRUCK\"",
+        // Absent literal: Eq must yield zero rows, Ne must keep all.
+        "from orders [o_orderkey, o_orderpriority] | where o_orderpriority = \"9-NONE\"",
+        "from lineitem [l_orderkey, l_shipmode] | where l_shipmode != \"TELEPORT\"",
+        // Pushdown under a conjunction and a later pipeline stage.
+        "from lineitem [l_orderkey, l_shipmode, l_quantity] \
+         | where l_shipmode = \"MAIL\" and l_quantity < 30 \
+         | agg by [l_shipmode] [count as n]",
+    ] {
+        fz.check_text(text)
+            .unwrap_or_else(|f| panic!("{text}\n  {f}"));
+    }
+}
+
+/// The per-morsel bandit's flavor choice must be visible in the merged
+/// adaptive statistics for the decode primitives: every encoding the
+/// scan touches shows up as a `decode_*` instance, and under an
+/// adaptive configuration at least one decode instance spreads its
+/// calls over more than one flavor.
+#[test]
+fn decode_instances_visible_in_adaptive_stats() {
+    let runner = Runner::new(Arc::new(TpchData::generate(0.01, 0x7E57)));
+    let r = runner
+        .run(1, ExecConfig::adaptive(FlavorAxis::All).with_seed(7))
+        .unwrap();
+    let decode: Vec<_> = r
+        .instances
+        .iter()
+        .filter(|i| i.signature.starts_with("decode_"))
+        .collect();
+    assert!(!decode.is_empty(), "Q1 scan must run decode primitives");
+    // Q1 reads dict (l_returnflag/l_linestatus) and FoR (dates,
+    // quantities, prices) columns.
+    assert!(decode.iter().any(|i| i.signature == "decode_dict_str"));
+    assert!(decode.iter().any(|i| i.signature == "decode_for_i32"));
+    assert!(decode.iter().all(|i| i.calls > 0 && i.tuples > 0));
+    let spread = decode
+        .iter()
+        .any(|i| i.flavor_calls.iter().filter(|(_, c)| *c > 0).count() > 1);
+    assert!(
+        spread,
+        "adaptive decode should exercise multiple flavors: {:?}",
+        decode
+            .iter()
+            .map(|i| (&i.label, &i.flavor_calls))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// The catalog records the chosen codec per column; spot-check the
+/// selection rules on the generated schema.
+#[test]
+fn catalog_records_expected_encodings() {
+    let d = db();
+    let enc_of = |t: &str, c: &str| {
+        let table = d.table(t).unwrap();
+        let i = table.column_index(c).unwrap();
+        table.column_at(i).encoding()
+    };
+    // Clustered keys take delta, low-NDV strings take dict, bounded
+    // ints take frame-of-reference; floats stay raw.
+    assert_eq!(enc_of("lineitem", "l_orderkey"), Some(Encoding::Delta));
+    assert_eq!(enc_of("lineitem", "l_shipmode"), Some(Encoding::Dict));
+    assert_eq!(enc_of("lineitem", "l_shipdate"), Some(Encoding::For));
+    assert_eq!(enc_of("orders", "o_orderpriority"), Some(Encoding::Dict));
+    assert_eq!(enc_of("region", "r_comment"), None);
+}

@@ -18,6 +18,7 @@
 
 pub mod batch;
 pub mod builder;
+pub mod encode;
 pub mod partition;
 pub mod schema;
 pub mod selvec;
@@ -28,6 +29,7 @@ pub mod vector;
 
 pub use batch::DataChunk;
 pub use builder::ColumnBuilder;
+pub use encode::{decode_table, encode_column, encode_table, EncColumn, Encoding, ENC_PART_ROWS};
 pub use partition::{MorselQueue, RowRange, MORSEL_ROWS, VECTORS_PER_MORSEL};
 pub use schema::{Field, Schema};
 pub use selvec::SelVec;

@@ -92,6 +92,7 @@ impl ColumnStats {
                     max_bytes: if v.is_empty() { 0 } else { 8 },
                 }
             }
+            Column::Enc(e) => e.compute_stats(),
             Column::Str { arena, views } => {
                 let mut seen: HashSet<&[u8]> = HashSet::with_capacity(views.len().min(1 << 16));
                 let mut max_bytes = 0usize;

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
+use crate::encode::{EncColumn, Encoding};
 use crate::stats::ColumnStats;
 use crate::types::DataType;
 use crate::vector::{StrVec, Vector};
@@ -63,6 +64,10 @@ pub enum Column {
         /// Per-row `(offset, len)` views into the arena.
         views: Arc<Vec<(u32, u32)>>,
     },
+    /// A compressed column (see [`crate::encode`]). Lossless: slices and
+    /// gathers decode through the reference path, so every consumer of a
+    /// raw column works unchanged on an encoded one.
+    Enc(Arc<EncColumn>),
 }
 
 impl Column {
@@ -74,6 +79,24 @@ impl Column {
             Column::I64(_) => DataType::I64,
             Column::F64(_) => DataType::F64,
             Column::Str { .. } => DataType::Str,
+            Column::Enc(e) => e.data_type(),
+        }
+    }
+
+    /// The codec of an encoded column, `None` for raw storage.
+    pub fn encoding(&self) -> Option<Encoding> {
+        match self {
+            Column::Enc(e) => Some(e.encoding()),
+            _ => None,
+        }
+    }
+
+    /// Resident bytes of the column as stored: the packed representation
+    /// for encoded columns, the raw vectors/arena otherwise.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            Column::Enc(e) => e.encoded_bytes(),
+            other => crate::encode::raw_bytes(other),
         }
     }
 
@@ -85,6 +108,7 @@ impl Column {
             Column::I64(v) => v.len(),
             Column::F64(v) => v.len(),
             Column::Str { views, .. } => views.len(),
+            Column::Enc(e) => e.len(),
         }
     }
 
@@ -107,6 +131,7 @@ impl Column {
                 Arc::clone(arena),
                 views[start..start + n].to_vec(),
             )),
+            Column::Enc(e) => e.slice_vector(start, n),
         }
     }
 
@@ -118,6 +143,18 @@ impl Column {
     /// If `parts` is empty or the parts disagree on type.
     pub fn concat(parts: &[Column]) -> Column {
         assert!(!parts.is_empty(), "cannot concat zero column parts");
+        // Encoded parts decode first: concatenation re-partitions rows, so
+        // any re-encoding decision belongs to the caller (encode after).
+        if parts.iter().any(|p| matches!(p, Column::Enc(_))) {
+            let raw: Vec<Column> = parts
+                .iter()
+                .map(|p| match p {
+                    Column::Enc(e) => e.to_raw(),
+                    other => other.clone(),
+                })
+                .collect();
+            return Column::concat(&raw);
+        }
         let ty = parts[0].data_type();
         assert!(
             parts.iter().all(|p| p.data_type() == ty),
@@ -201,6 +238,7 @@ impl Column {
                 Arc::clone(arena),
                 rows.iter().map(|&r| views[r]).collect(),
             )),
+            Column::Enc(e) => e.gather_vector(rows),
         }
     }
 }
@@ -257,6 +295,13 @@ impl Table {
     pub fn stats(&self) -> &[ColumnStats] {
         self.stats
             .get_or_init(|| self.columns.iter().map(ColumnStats::compute).collect())
+    }
+
+    /// Seeds the memoized statistics (used by `encode::encode_table`, which
+    /// already scanned the raw columns: re-deriving stats from the encoded
+    /// columns would decode every row again for an identical result).
+    pub(crate) fn seed_stats(&self, stats: Vec<ColumnStats>) {
+        let _ = self.stats.set(stats);
     }
 
     /// The table name.

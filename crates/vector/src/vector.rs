@@ -16,7 +16,23 @@ use crate::types::DataType;
 pub struct StrVec {
     arena: Arc<[u8]>,
     views: Vec<(u32, u32)>,
+    /// Set when this vector was decoded from a dictionary-coded column:
+    /// the sorted dictionary views (into `arena`) plus one code per
+    /// element. Filters compare codes instead of bytes when present.
+    dict: Option<DictPayload>,
 }
+
+/// Dictionary payload of a [`StrVec`] decoded from a dictionary-coded
+/// column: the sorted dictionary views plus one code per element.
+#[derive(Debug, Clone)]
+struct DictPayload {
+    views: Arc<Vec<(u32, u32)>>,
+    codes: Vec<i32>,
+}
+
+/// Borrowed dictionary payload: `(sorted dictionary views, per-element
+/// codes)`. See [`StrVec::dict_codes`].
+pub type DictCodesRef<'a> = (&'a [(u32, u32)], &'a [i32]);
 
 impl StrVec {
     /// Builds a string vector owning a fresh arena from the given strings.
@@ -33,6 +49,7 @@ impl StrVec {
         StrVec {
             arena: bytes.into(),
             views,
+            dict: None,
         }
     }
 
@@ -46,7 +63,41 @@ impl StrVec {
             let bytes = &arena[off as usize..(off + len) as usize];
             debug_assert!(std::str::from_utf8(bytes).is_ok());
         }
-        StrVec { arena, views }
+        StrVec {
+            arena,
+            views,
+            dict: None,
+        }
+    }
+
+    /// Builds a dictionary-decoded vector: element views gathered from a
+    /// sorted dictionary sharing `arena`, with the per-element codes kept
+    /// alongside so equality filters can compare codes instead of bytes.
+    pub fn from_dict(
+        arena: Arc<[u8]>,
+        dict_views: Arc<Vec<(u32, u32)>>,
+        views: Vec<(u32, u32)>,
+        codes: Vec<i32>,
+    ) -> Self {
+        debug_assert_eq!(views.len(), codes.len());
+        StrVec {
+            arena,
+            views,
+            dict: Some(DictPayload {
+                views: dict_views,
+                codes,
+            }),
+        }
+    }
+
+    /// The sorted dictionary views and per-element codes, when this vector
+    /// was decoded from a dictionary-coded column. Codes are indices into
+    /// the dictionary, and the dictionary is lexicographically sorted, so
+    /// code equality is string equality.
+    pub fn dict_codes(&self) -> Option<DictCodesRef<'_>> {
+        self.dict
+            .as_ref()
+            .map(|d| (d.views.as_slice(), d.codes.as_slice()))
     }
 
     /// An empty vector sharing `arena`, with room for `cap` views, used as an
@@ -55,6 +106,7 @@ impl StrVec {
         StrVec {
             arena: Arc::clone(&self.arena),
             views: vec![(0, 0); cap],
+            dict: None,
         }
     }
 

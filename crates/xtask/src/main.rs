@@ -1,7 +1,7 @@
 //! In-tree repo lints, run as `cargo xtask lint` (aliased in
 //! `.cargo/config.toml`) and as a standalone CI job.
 //!
-//! Five rules, each with an explicit, justified allowlist rather than a
+//! Six rules, each with an explicit, justified allowlist rather than a
 //! blanket escape hatch:
 //!
 //! 1. **Hot-path unwrap discipline.** `.unwrap()` / `.expect(` are
@@ -35,6 +35,13 @@
 //!    high-water marks against the proven static bounds. Streaming
 //!    operators with no cross-chunk state are exempt and listed as such;
 //!    stale exemptions are flagged just like rule 3.
+//! 6. **Decode-flavor registration.** Every decode kernel flavor in
+//!    `crates/primitives/src/decode.rs` must be registered in the
+//!    `PrimitiveDictionary` (`registry.rs`) under its signature, and each
+//!    decode signature is pinned to an exact flavor count (≥ 3, so the
+//!    per-morsel bandit always has real arms to choose between). A kernel
+//!    added without registration, a registration without a kernel, and a
+//!    stale allowlist count all fail.
 //!
 //! No dependencies: a plain recursive walker over the repo's own sources
 //! keeps the lint runnable in offline builds and fast enough for CI.
@@ -93,10 +100,6 @@ const STATS_EXEMPT: &[(&str, &str)] = &[
          no tuple values",
     ),
     (
-        "scan.rs",
-        "storage access: emits stored vectors; primitives start above it",
-    ),
-    (
         "sort.rs",
         "materialization: sorts a frozen row store with direct comparisons, \
          no per-vector primitive work",
@@ -108,6 +111,13 @@ const STATS_EXEMPT: &[(&str, &str)] = &[
 /// keyed by workspace-relative path. A narrowing cast silently truncates;
 /// every survivor must be provably in-range at the cast site.
 const NARROW_CAST_ALLOWLIST: &[(&str, usize, &str)] = &[
+    (
+        "crates/primitives/src/decode.rs",
+        10,
+        "bit-shift amounts masked to < 64 (u32 by construction), delta \
+         running sums that re-materialize i32 values the codec packed, and \
+         dictionary codes bounded by DICT_MAX_VALUES = 2^16",
+    ),
     (
         "crates/primitives/src/selection.rs",
         24,
@@ -200,6 +210,33 @@ const MEM_EXEMPT: &[(&str, &str)] = &[
 /// in an offset computation is an out-of-bounds gather waiting to happen.
 const ROW_ARITH_ALLOWLIST: &[(&str, usize, &str)] = &[];
 
+/// Rule 6 allowlist: exact flavor count per decode signature. Every
+/// signature needs ≥ 3 flavors so the bandit has real arms; the exact
+/// pin means adding a flavor without updating the list (or retiring one
+/// and leaving the count) fails.
+const DECODE_FLAVOR_ALLOWLIST: &[(&str, usize, &str)] = &[
+    (
+        "decode_for_i32",
+        3,
+        "branching/no_branching/unroll8 over frame-of-reference i32 columns",
+    ),
+    (
+        "decode_for_i64",
+        3,
+        "branching/no_branching/unroll8 over frame-of-reference i64 columns",
+    ),
+    (
+        "decode_delta_i32",
+        3,
+        "branching/no_branching/unroll8 over delta + bit-packed key columns",
+    ),
+    (
+        "decode_dict_str",
+        3,
+        "fused/fission/unroll8 over dictionary-coded string columns",
+    ),
+];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -219,6 +256,7 @@ fn lint() -> ExitCode {
     lint_operator_stats(&root, &mut violations);
     lint_narrowing_and_row_arith(&root, &mut violations);
     lint_mem_facade(&root, &mut violations);
+    lint_decode_flavors(&root, &mut violations);
     if violations.is_empty() {
         println!("xtask lint: all checks passed");
         ExitCode::SUCCESS
@@ -477,6 +515,107 @@ fn lint_narrowing_and_row_arith(root: &Path, violations: &mut Vec<String>) {
     }
 }
 
+/// Rule 6: decode-flavor registration. Cross-checks the decode kernels
+/// in `crates/primitives/src/decode.rs` against the dictionary
+/// registrations in `crates/primitives/src/registry.rs`:
+///
+/// * every signature in `DECODE_FLAVOR_ALLOWLIST` must appear as a
+///   registered signature string in the registry,
+/// * the kernel file must define exactly the pinned number of flavor
+///   functions per signature (named `<signature>_<flavor>`), each of
+///   which must also appear in the registry's registration code, and
+/// * any `decode_*` identifier in the kernel file that extends no known
+///   signature (a new kernel family) fails until the allowlist names it.
+fn lint_decode_flavors(root: &Path, violations: &mut Vec<String>) {
+    let decode_src = match fs::read_to_string(root.join("crates/primitives/src/decode.rs")) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("crates/primitives/src/decode.rs: unreadable: {e}"));
+            return;
+        }
+    };
+    let registry_src = match fs::read_to_string(root.join("crates/primitives/src/registry.rs")) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!(
+                "crates/primitives/src/registry.rs: unreadable: {e}"
+            ));
+            return;
+        }
+    };
+    let kernels = identifiers_with_prefix(non_test_region(&decode_src), "decode_");
+    let registry = non_test_region(&registry_src);
+    for (sig, pinned, _) in DECODE_FLAVOR_ALLOWLIST {
+        if !registry.contains(&format!("\"{sig}\"")) {
+            violations.push(format!(
+                "registry.rs: decode signature \"{sig}\" is not registered in \
+                 the PrimitiveDictionary; the scan layer cannot instantiate it"
+            ));
+        }
+        let flavors: Vec<&String> = kernels
+            .iter()
+            .filter(|k| k.starts_with(&format!("{sig}_")))
+            .collect();
+        if flavors.len() != *pinned {
+            violations.push(format!(
+                "decode.rs: signature {sig} defines {} flavor kernel(s), \
+                 DECODE_FLAVOR_ALLOWLIST pins {pinned}; keep ≥ 3 flavors per \
+                 signature and the pin exact",
+                flavors.len()
+            ));
+        }
+        for f in flavors {
+            if !registry.contains(f.as_str()) {
+                violations.push(format!(
+                    "registry.rs: decode flavor {f} is defined in decode.rs but \
+                     never registered under \"{sig}\"; the bandit cannot pick \
+                     an unregistered flavor"
+                ));
+            }
+        }
+    }
+    for k in &kernels {
+        let known = DECODE_FLAVOR_ALLOWLIST
+            .iter()
+            .any(|(sig, _, _)| *k == *sig || k.starts_with(&format!("{sig}_")));
+        if !known {
+            violations.push(format!(
+                "decode.rs: kernel identifier {k} extends no signature in \
+                 DECODE_FLAVOR_ALLOWLIST; add the new decode family (with ≥ 3 \
+                 flavors) to the allowlist and register it"
+            ));
+        }
+    }
+}
+
+/// All distinct identifiers in `src` starting with `prefix` (identifier
+/// characters: ASCII alphanumerics and `_`), sorted. A hand-rolled
+/// scanner — the lint stays dependency-free.
+fn identifiers_with_prefix(src: &str, prefix: &str) -> Vec<String> {
+    let bytes = src.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut out = std::collections::BTreeSet::new();
+    let mut start = 0;
+    while let Some(pos) = src[start..].find(prefix) {
+        let begin = start + pos;
+        // Reject matches inside a longer identifier (e.g. `x_decode_`).
+        if begin > 0 && is_ident(bytes[begin - 1]) {
+            start = begin + prefix.len();
+            continue;
+        }
+        let mut end = begin + prefix.len();
+        while end < bytes.len() && is_ident(bytes[end]) {
+            end += 1;
+        }
+        // The bare prefix (e.g. `decode_*` in prose) is not an identifier.
+        if end > begin + prefix.len() {
+            out.insert(src[begin..end].to_string());
+        }
+        start = end;
+    }
+    out.into_iter().collect()
+}
+
 /// Compares a measured count against an exact-count allowlist entry
 /// (default 0), reporting both overshoot and stale-allowlist undershoot.
 fn check_exact(
@@ -557,6 +696,16 @@ mod tests {
         lint_test_sleeps(&root, &mut violations);
         lint_operator_stats(&root, &mut violations);
         lint_mem_facade(&root, &mut violations);
+        lint_decode_flavors(&root, &mut violations);
         assert!(violations.is_empty(), "lint violations: {violations:#?}");
+    }
+
+    #[test]
+    fn identifier_scanner_respects_boundaries() {
+        let src = "fn decode_for_i32_x() {} x_decode_y(); decode_a; decoded";
+        assert_eq!(
+            identifiers_with_prefix(src, "decode_"),
+            vec!["decode_a".to_string(), "decode_for_i32_x".to_string()]
+        );
     }
 }
